@@ -1,0 +1,83 @@
+// Shared helpers for the experiment-reproduction benches: table printing and
+// canonical sim/rt runs with measurement windows.
+//
+// Every binary in bench/ regenerates one table or figure from the paper's
+// evaluation (see DESIGN.md §3 for the index) and prints the same rows or
+// series the paper reports. Absolute numbers reflect this machine and the
+// simulator's cost model; EXPERIMENTS.md records the paper-vs-measured
+// comparison and the expected *shapes*.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "sim/sim_cluster.hpp"
+
+namespace ci::bench {
+
+using sim::ClusterOptions;
+using sim::LatencyModel;
+using sim::Protocol;
+using sim::SimCluster;
+
+inline void header(const char* experiment, const char* paper_ref, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (%s)\n%s\n", experiment, paper_ref, what);
+  std::printf("==============================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+struct SimRun {
+  double throughput = 0;      // committed ops/s over the measure window
+  double mean_latency_us = 0;
+  double p50_latency_us = 0;
+  double p99_latency_us = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t messages = 0;  // boundary crossings during the whole run
+  bool consistent = true;
+};
+
+// Runs a simulated cluster with a warmup, measuring commits over `window`.
+inline SimRun run_sim(const ClusterOptions& opts, Nanos warmup, Nanos window) {
+  SimCluster c(opts);
+  c.run(warmup);
+  const std::uint64_t committed_warm = c.total_committed();
+  const std::uint64_t messages_warm = c.net().total_messages();
+  c.run(warmup + window);
+  SimRun out;
+  out.committed = c.total_committed() - committed_warm;
+  out.messages = c.net().total_messages() - messages_warm;
+  out.throughput = static_cast<double>(out.committed) * 1e9 / static_cast<double>(window);
+  const Histogram h = c.merged_latency();  // includes warmup samples
+  out.mean_latency_us = h.mean() / 1e3;
+  out.p50_latency_us = static_cast<double>(h.percentile(0.5)) / 1e3;
+  out.p99_latency_us = static_cast<double>(h.percentile(0.99)) / 1e3;
+  out.consistent = c.consistent();
+  return out;
+}
+
+// LAN-regime engine/client timeouts (prop 135 us needs millisecond timers)
+// and a pipeline deep enough for the bandwidth-delay product — the paper's
+// LAN deployments were not window-limited.
+inline void apply_lan_timeouts(ClusterOptions& o) {
+  o.model = LatencyModel::lan();
+  o.tick_period = 1 * kMillisecond;
+  o.retry_timeout = 20 * kMillisecond;
+  o.fd_timeout = 200 * kMillisecond;
+  o.heartbeat_period = 50 * kMillisecond;
+  o.request_timeout = 500 * kMillisecond;
+  o.pipeline_window = 128;
+}
+
+inline const char* pname(Protocol p) { return sim::protocol_name(p); }
+
+}  // namespace ci::bench

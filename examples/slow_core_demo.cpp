@@ -1,0 +1,58 @@
+// Side-by-side demonstration of the paper's headline behavioral claim:
+// under a slow leader core, blocking 2PC stalls until the core heals, while
+// non-blocking 1Paxos replaces the leader and keeps committing (Fig. 11 vs
+// §2.2). Prints live 100 ms throughput buckets for both protocols.
+//
+//   $ ./examples/slow_core_demo
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "rt/rt_cluster.hpp"
+
+namespace {
+
+using namespace ci;
+
+void run_protocol(rt::Protocol protocol) {
+  rt::RtClusterOptions opts;
+  opts.protocol = protocol;
+  opts.num_clients = 5;
+  opts.requests_per_client = 0;  // run until stopped
+  rt::RtCluster cluster(opts);
+  cluster.start();
+
+  std::printf("\n--- %s: 5 clients, 3 replicas; leader slowed during [0.4s, 1.2s) ---\n",
+              rt::protocol_name(protocol));
+  std::printf("%8s %14s %s\n", "time ms", "op/s", "phase");
+
+  std::uint64_t prev = 0;
+  for (int bucket = 0; bucket < 16; ++bucket) {
+    if (bucket == 4) cluster.throttle_node(0, 2000);
+    if (bucket == 12) cluster.throttle_node(0, 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::uint64_t total = 0;
+    for (int i = 0; i < cluster.client_count(); ++i) total += cluster.client(i)->committed();
+    const char* phase = bucket < 4 ? "healthy" : (bucket < 12 ? "LEADER SLOW" : "healed");
+    std::printf("%8d %14.0f %s\n", bucket * 100, static_cast<double>(total - prev) * 10.0,
+                phase);
+    prev = total;
+  }
+  cluster.stop();
+  const rt::RtResult result = cluster.collect();
+  std::printf("total committed: %llu, agreement consistent: %s\n",
+              static_cast<unsigned long long>(result.committed),
+              result.consistent ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("The paper's claim (Fig. 11 vs. the §2.2 experiment): a blocking\n"
+              "protocol stalls on ANY slow replica; 1Paxos routes around it.\n");
+  run_protocol(rt::Protocol::kTwoPc);
+  run_protocol(rt::Protocol::kOnePaxos);
+  std::printf("\nNote the 2PC column collapsing for the whole slow window, while\n"
+              "1Paxos dips only while PaxosUtility installs the new leader.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "common/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+namespace ci {
+
+int online_cores() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+bool pin_to_core(int core) {
+  if (core < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core % online_cores()), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+bool pinning_available() {
+  static const bool ok = [] {
+    cpu_set_t original;
+    CPU_ZERO(&original);
+    if (pthread_getaffinity_np(pthread_self(), sizeof(original), &original) != 0) return false;
+    cpu_set_t probe;
+    CPU_ZERO(&probe);
+    CPU_SET(0, &probe);
+    const bool pinned = pthread_setaffinity_np(pthread_self(), sizeof(probe), &probe) == 0;
+    pthread_setaffinity_np(pthread_self(), sizeof(original), &original);
+    return pinned;
+  }();
+  return ok;
+}
+
+}  // namespace ci

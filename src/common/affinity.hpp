@@ -1,0 +1,18 @@
+// Core pinning, the library equivalent of the paper's `taskset` placement
+// (§7.1: replicas on cores 0..2, clients on 3..47, load manager on 47).
+#pragma once
+
+namespace ci {
+
+// Number of cores available to this process.
+int online_cores();
+
+// Pin the calling thread to the given core. Returns false (and leaves the
+// thread unpinned) if the platform or container forbids it; callers treat
+// pinning as best-effort so benches still run in restricted environments.
+bool pin_to_core(int core);
+
+// True if pin_to_core can succeed in this environment (probed once).
+bool pinning_available();
+
+}  // namespace ci

@@ -1,0 +1,14 @@
+// Cache-line geometry used by the QC-libtask queues (paper §6.1: message
+// slots are 128 bytes, twice the cache-line size, to match transfer units).
+#pragma once
+
+#include <cstddef>
+
+namespace ci {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// One message slot: two cache lines, as in the paper (§6.1).
+inline constexpr std::size_t kSlotSize = 128;
+
+}  // namespace ci

@@ -1,0 +1,28 @@
+// Runtime invariant checks that stay on in release builds.
+//
+// Protocol code uses CI_CHECK for conditions whose violation means a bug in
+// this library (not bad input); they abort with a location message so that
+// fault-injection tests fail loudly instead of corrupting replicated state.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ci {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CI_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace ci
+
+#define CI_CHECK(expr)                                   \
+  do {                                                   \
+    if (!(expr)) ::ci::check_fail(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define CI_CHECK_MSG(expr, msg)                                \
+  do {                                                         \
+    if (!(expr)) ::ci::check_fail(msg " [" #expr "]", __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,79 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace ci {
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+int Histogram::bucket_index(Nanos value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<int>(v);  // exact buckets
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBucketBits;  // >= 0
+  const int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+  return (shift + 1) * kSubBuckets + sub;
+}
+
+Nanos Histogram::bucket_upper_bound(int index) {
+  if (index < kSubBuckets) return index;
+  const int shift = index / kSubBuckets - 1;
+  const int sub = index % kSubBuckets;
+  // Bucket covers [(32+sub) << shift, (32+sub+1) << shift).
+  return static_cast<Nanos>((static_cast<std::uint64_t>(kSubBuckets + sub + 1) << shift) - 1);
+}
+
+void Histogram::record(Nanos value) {
+  if (value < 0) value = 0;
+  const int idx = std::min(bucket_index(value), kBucketCount - 1);
+  buckets_[static_cast<std::size_t>(idx)]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+Nanos Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  CI_CHECK(q > 0.0 && q <= 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= target && buckets_[static_cast<std::size_t>(i)] > 0) return std::min(bucket_upper_bound(i), max_);
+    if (seen >= target) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;
+}
+
+}  // namespace ci

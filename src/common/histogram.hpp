@@ -1,0 +1,45 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed footprint).
+//
+// Values are nanoseconds. Buckets have ~1/32 relative width, enough for the
+// percentile reporting the benches need without allocation on the record path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ci {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(Nanos value);
+  void merge(const Histogram& other);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  Nanos min() const { return count_ == 0 ? 0 : min_; }
+  Nanos max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  // Returns the upper bound of the bucket containing quantile q (0 < q <= 1).
+  Nanos percentile(double q) const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketCount = 64 * kSubBuckets;
+
+  static int bucket_index(Nanos value);
+  static Nanos bucket_upper_bound(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  Nanos min_ = 0;
+  Nanos max_ = 0;
+};
+
+}  // namespace ci

@@ -1,0 +1,58 @@
+// Bucketed event counter for throughput-over-time plots (paper Fig. 11 uses
+// 10 ms buckets). Thread-compatible, not thread-safe: each recording thread
+// owns one TimeSeries and they are merged afterwards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace ci {
+
+class TimeSeries {
+ public:
+  TimeSeries(Nanos origin, Nanos bucket_width, std::size_t max_buckets)
+      : origin_(origin), width_(bucket_width), counts_(max_buckets, 0) {
+    CI_CHECK(bucket_width > 0);
+    CI_CHECK(max_buckets > 0);
+  }
+
+  // Count one event at absolute time t. Events before the origin or past the
+  // last bucket are clamped into the first/last bucket.
+  void record(Nanos t) {
+    std::int64_t idx = (t - origin_) / width_;
+    if (idx < 0) idx = 0;
+    if (idx >= static_cast<std::int64_t>(counts_.size())) idx = static_cast<std::int64_t>(counts_.size()) - 1;
+    counts_[static_cast<std::size_t>(idx)]++;
+  }
+
+  void merge(const TimeSeries& other) {
+    CI_CHECK(other.counts_.size() == counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  }
+
+  Nanos origin() const { return origin_; }
+  Nanos bucket_width() const { return width_; }
+  std::size_t size() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+
+  // Events-per-second rate of bucket i.
+  double rate(std::size_t i) const {
+    return static_cast<double>(counts_[i]) * static_cast<double>(kSecond) / static_cast<double>(width_);
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (auto c : counts_) sum += c;
+    return sum;
+  }
+
+ private:
+  Nanos origin_;
+  Nanos width_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace ci

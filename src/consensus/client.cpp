@@ -1,0 +1,117 @@
+#include "consensus/client.hpp"
+
+namespace ci::consensus {
+
+ClientEngine::ClientEngine(const ClientConfig& cfg)
+    : cfg_(cfg),
+      rng_(cfg.base.seed + static_cast<std::uint64_t>(cfg.base.self) * 104729),
+      target_(cfg.initial_target) {}
+
+void ClientEngine::start(Context& ctx) {
+  if (cfg_.auto_start) {
+    started_ = true;
+    next_issue_at_ = ctx.now();
+  }
+}
+
+Command ClientEngine::make_command() {
+  Command cmd;
+  cmd.client = cfg_.base.self;
+  cmd.seq = current_seq_;
+  cmd.op = rng_.next_double() < cfg_.read_fraction ? Op::kRead : Op::kWrite;
+  cmd.key = static_cast<std::uint64_t>(cfg_.base.self);
+  cmd.value = current_seq_;
+  return cmd;
+}
+
+void ClientEngine::issue_next(Context& ctx) {
+  // Locally-serviceable reads complete immediately; keep issuing (bounded,
+  // so one call cannot consume the whole quota in zero simulated time)
+  // until a request actually reaches the network.
+  for (int burst = 0; burst < kMaxLocalBurst; ++burst) {
+    if (done()) return;
+    const Nanos now = ctx.now();
+    if (now < next_issue_at_) return;  // think time pending
+    current_seq_++;
+    issued_++;
+    current_cmd_ = make_command();
+
+    if (current_cmd_.op == Op::kRead && cfg_.local_read) {
+      std::uint64_t result = 0;
+      if (cfg_.local_read(current_cmd_, &result)) {
+        // Serviced from the co-located replica without touching the network.
+        local_reads_++;
+        committed_++;
+        latency_.record(0);
+        if (commit_series_ != nullptr) commit_series_->record(now);
+        next_issue_at_ = now + cfg_.think_time;
+        waiting_ = false;
+        if (cfg_.think_time > 0) return;
+        continue;
+      }
+    }
+
+    first_sent_ = now;
+    last_sent_ = now;
+    waiting_ = true;
+    Message m(MsgType::kClientRequest, ProtoId::kClient, cfg_.base.self, target_);
+    m.u.client_request.cmd = current_cmd_;
+    ctx.send(target_, m);
+    return;
+  }
+}
+
+void ClientEngine::on_message(Context& ctx, const Message& m) {
+  switch (m.type) {
+    case MsgType::kStart:
+      if (!started_) {
+        started_ = true;
+        next_issue_at_ = ctx.now();
+      }
+      return;
+    case MsgType::kStop:
+      started_ = false;
+      waiting_ = false;
+      return;
+    case MsgType::kClientReply: {
+      if (!waiting_ || m.u.client_reply.seq != current_seq_) return;  // stale
+      waiting_ = false;
+      const Nanos now = ctx.now();
+      latency_.record(now - first_sent_);
+      committed_++;
+      if (commit_series_ != nullptr) commit_series_->record(now);
+      if (m.u.client_reply.leader_hint != kNoNode) target_ = m.u.client_reply.leader_hint;
+      next_issue_at_ = now + cfg_.think_time;
+      // True closed loop: with no think time the next request goes out as
+      // part of handling the reply, not on the next timer tick.
+      if (started_ && cfg_.think_time == 0) issue_next(ctx);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void ClientEngine::tick(Context& ctx) {
+  if (!started_) return;
+  const Nanos now = ctx.now();
+  if (waiting_) {
+    if (now - last_sent_ >= cfg_.request_timeout) {
+      // The target looks slow; try the next replica with the same command
+      // (the (client, seq) dedup makes the duplicate harmless).
+      target_ = (target_ + 1) % cfg_.base.num_replicas;
+      retries_++;
+      last_sent_ = now;
+      Message m(MsgType::kClientRequest, ProtoId::kClient, cfg_.base.self, target_);
+      // Tell the replica we suspect the leader (paper §7.6: replicas start
+      // a takeover when re-targeted clients reach them).
+      m.flags = kFlagLeaderSuspect;
+      m.u.client_request.cmd = current_cmd_;
+      ctx.send(target_, m);
+    }
+    return;
+  }
+  if (now >= next_issue_at_ && !done()) issue_next(ctx);
+}
+
+}  // namespace ci::consensus

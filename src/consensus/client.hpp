@@ -1,0 +1,82 @@
+// Closed-loop client engine (paper §7.1): send one request, wait for the
+// commit ACK, optionally think, send the next. Clients re-target another
+// replica when the presumed leader stops answering (§7.6: "once the clients
+// detect the slow leader, they send their requests to other nodes").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/timeseries.hpp"
+#include "consensus/engine.hpp"
+
+namespace ci::consensus {
+
+struct ClientConfig {
+  EngineConfig base;
+  NodeId initial_target = 0;              // the paper's clients start at core 0
+  Nanos request_timeout = 2 * kMillisecond;
+  Nanos think_time = 0;                   // §7.4 uses 2 ms between requests
+  double read_fraction = 0.0;             // §7.5 read workloads
+  std::uint64_t total_requests = 0;       // 0 = run until kStop
+  bool auto_start = false;                // otherwise waits for kStart
+
+  // Joint deployments: called for read commands before going to the
+  // network; returning true services the read from the co-located replica
+  // (2PC-Joint local reads, §7.5).
+  std::function<bool(const Command&, std::uint64_t*)> local_read;
+};
+
+class ClientEngine final : public Engine {
+ public:
+  explicit ClientEngine(const ClientConfig& cfg);
+
+  void start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+  void tick(Context& ctx) override;
+  NodeId believed_leader() const override { return target_; }
+
+  // Counters are readable from other threads while the client runs (the
+  // real-thread harness polls them); relaxed atomics, monotonic.
+  std::uint64_t committed() const { return committed_.load(std::memory_order_relaxed); }
+  std::uint64_t issued() const { return issued_.load(std::memory_order_relaxed); }
+  std::uint64_t local_reads() const { return local_reads_; }
+  std::uint64_t retries() const { return retries_; }
+  bool done() const { return cfg_.total_requests != 0 && committed() >= cfg_.total_requests; }
+
+  // Commit latency distribution (closed-loop, per request).
+  const Histogram& latency() const { return latency_; }
+
+  // Optional: commit timestamps for throughput-over-time plots (Fig. 11).
+  void set_commit_series(TimeSeries* ts) { commit_series_ = ts; }
+
+ private:
+  // Max locally-serviced reads completed in one issue_next call; bounds the
+  // work done inside a single event when reads never touch the network.
+  static constexpr int kMaxLocalBurst = 32;
+
+  void issue_next(Context& ctx);
+  Command make_command();
+
+  ClientConfig cfg_;
+  Rng rng_;
+  bool started_ = false;
+  bool waiting_ = false;
+  std::uint32_t current_seq_ = 0;
+  Command current_cmd_;
+  Nanos first_sent_ = 0;
+  Nanos last_sent_ = 0;
+  Nanos next_issue_at_ = 0;
+  NodeId target_ = kNoNode;
+  std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::uint64_t> issued_{0};
+  std::uint64_t local_reads_ = 0;
+  std::uint64_t retries_ = 0;
+  Histogram latency_;
+  TimeSeries* commit_series_ = nullptr;
+};
+
+}  // namespace ci::consensus

@@ -1,0 +1,69 @@
+// The replicated command log: learned (decided) values by instance, plus an
+// execution cursor over the contiguous prefix.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/check.hpp"
+#include "consensus/types.hpp"
+
+namespace ci::consensus {
+
+class ReplicatedLog {
+ public:
+  // Records the decided value for an instance. Learning the same instance
+  // twice is legal (retries, catch-up) but the value must not change —
+  // that is the consistency property all our protocols guarantee, so it is
+  // enforced here as a hard invariant.
+  void learn(Instance in, const Command& cmd) {
+    CI_CHECK(in >= 0);
+    const auto idx = static_cast<std::size_t>(in);
+    if (idx >= entries_.size()) entries_.resize(idx + 1);
+    if (entries_[idx].has_value()) {
+      CI_CHECK_MSG(*entries_[idx] == cmd, "two different values learned for one instance");
+      return;
+    }
+    entries_[idx] = cmd;
+    while (first_gap_ < static_cast<Instance>(entries_.size()) &&
+           entries_[static_cast<std::size_t>(first_gap_)].has_value()) {
+      first_gap_++;
+    }
+  }
+
+  bool is_learned(Instance in) const {
+    return in >= 0 && in < static_cast<Instance>(entries_.size()) &&
+           entries_[static_cast<std::size_t>(in)].has_value();
+  }
+
+  const Command* get(Instance in) const {
+    if (!is_learned(in)) return nullptr;
+    return &*entries_[static_cast<std::size_t>(in)];
+  }
+
+  // First instance with no learned value; everything below is decided.
+  Instance first_gap() const { return first_gap_; }
+
+  // One past the highest learned instance.
+  Instance end() const { return static_cast<Instance>(entries_.size()); }
+
+  // Invokes f(instance, command) for every newly contiguous decided entry
+  // past the execution cursor, advancing it. This is where state machine
+  // application happens.
+  template <typename F>
+  void drain(F&& f) {
+    while (executed_ < first_gap_) {
+      f(executed_, *entries_[static_cast<std::size_t>(executed_)]);
+      executed_++;
+    }
+  }
+
+  Instance executed_prefix() const { return executed_; }
+
+ private:
+  std::deque<std::optional<Command>> entries_;
+  Instance first_gap_ = 0;
+  Instance executed_ = 0;
+};
+
+}  // namespace ci::consensus

@@ -1,0 +1,140 @@
+#include "consensus/message.hpp"
+
+namespace ci::consensus {
+
+namespace {
+
+std::size_t entry_bytes(const UtilityEntry& e) {
+  return offsetof(UtilityEntry, proposals) +
+         static_cast<std::size_t>(e.num_proposals) * sizeof(Proposal);
+}
+
+std::size_t payload_bytes(const Message& m) {
+  switch (m.type) {
+    case MsgType::kNone:
+    case MsgType::kStart:
+    case MsgType::kStop:
+    case MsgType::kPing:
+    case MsgType::kPong:
+      return 0;
+    case MsgType::kHeartbeat:
+      return sizeof(Heartbeat);
+    case MsgType::kClientRequest:
+      return sizeof(ClientRequest);
+    case MsgType::kClientReply:
+      return sizeof(ClientReply);
+    case MsgType::kTwoPcPrepare:
+      return sizeof(TwoPcPrepare);
+    case MsgType::kTwoPcPrepareAck:
+    case MsgType::kTwoPcPrepareNack:
+    case MsgType::kTwoPcCommit:
+    case MsgType::kTwoPcCommitAck:
+    case MsgType::kTwoPcRollback:
+      return sizeof(TwoPcAck);
+    case MsgType::kPhase1Req:
+      return sizeof(Phase1Req);
+    case MsgType::kPhase1Resp:
+      return offsetof(Phase1Resp, proposals) +
+             static_cast<std::size_t>(m.u.phase1_resp.num_proposals) * sizeof(Proposal);
+    case MsgType::kPhase2Req:
+      return sizeof(Phase2Req);
+    case MsgType::kPhase2Acked:
+      return sizeof(Phase2Acked);
+    case MsgType::kNack:
+      return sizeof(Nack);
+    case MsgType::kOpxPrepareReq:
+      return sizeof(OpxPrepareReq);
+    case MsgType::kOpxPrepareResp:
+      return offsetof(OpxPrepareResp, accepted) +
+             static_cast<std::size_t>(m.u.opx_prepare_resp.num_accepted) * sizeof(Proposal);
+    case MsgType::kOpxAcceptReq:
+      return sizeof(OpxAcceptReq);
+    case MsgType::kOpxAbandon:
+      return sizeof(OpxAbandon);
+    case MsgType::kOpxLearn:
+      return sizeof(OpxLearn);
+    case MsgType::kOpxCatchupReq:
+      return sizeof(OpxCatchupReq);
+    case MsgType::kUtilPhase1Req:
+      return sizeof(UtilPhase1Req);
+    case MsgType::kUtilPhase1Resp:
+      return offsetof(UtilPhase1Resp, accepted) + entry_bytes(m.u.util_phase1_resp.accepted);
+    case MsgType::kUtilPhase2Req:
+      return offsetof(UtilPhase2Req, entry) + entry_bytes(m.u.util_phase2_req.entry);
+    case MsgType::kUtilAccepted:
+      return offsetof(UtilAccepted, entry) + entry_bytes(m.u.util_accepted.entry);
+    case MsgType::kUtilNack:
+      return sizeof(UtilNack);
+  }
+  return sizeof(Message::Payload);  // unknown: be conservative
+}
+
+bool count_ok(std::int32_t n) { return n >= 0 && n <= kMaxProposalsPerMsg; }
+
+bool known_type(MsgType t) {
+  switch (t) {
+    case MsgType::kNone:
+    case MsgType::kStart:
+    case MsgType::kStop:
+    case MsgType::kHeartbeat:
+    case MsgType::kPing:
+    case MsgType::kPong:
+    case MsgType::kClientRequest:
+    case MsgType::kClientReply:
+    case MsgType::kTwoPcPrepare:
+    case MsgType::kTwoPcPrepareAck:
+    case MsgType::kTwoPcPrepareNack:
+    case MsgType::kTwoPcCommit:
+    case MsgType::kTwoPcCommitAck:
+    case MsgType::kTwoPcRollback:
+    case MsgType::kPhase1Req:
+    case MsgType::kPhase1Resp:
+    case MsgType::kPhase2Req:
+    case MsgType::kPhase2Acked:
+    case MsgType::kNack:
+    case MsgType::kOpxPrepareReq:
+    case MsgType::kOpxPrepareResp:
+    case MsgType::kOpxAcceptReq:
+    case MsgType::kOpxAbandon:
+    case MsgType::kOpxLearn:
+    case MsgType::kOpxCatchupReq:
+    case MsgType::kUtilPhase1Req:
+    case MsgType::kUtilPhase1Resp:
+    case MsgType::kUtilPhase2Req:
+    case MsgType::kUtilAccepted:
+    case MsgType::kUtilNack:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t wire_size(const Message& m) { return kMessageHeaderBytes + payload_bytes(m); }
+
+bool wire_validate(const Message& m, std::size_t bytes) {
+  if (bytes < kMessageHeaderBytes) return false;
+  if (!known_type(m.type)) return false;
+  switch (m.type) {
+    case MsgType::kPhase1Resp:
+      if (!count_ok(m.u.phase1_resp.num_proposals)) return false;
+      break;
+    case MsgType::kOpxPrepareResp:
+      if (!count_ok(m.u.opx_prepare_resp.num_accepted)) return false;
+      break;
+    case MsgType::kUtilPhase1Resp:
+      if (!count_ok(m.u.util_phase1_resp.accepted.num_proposals)) return false;
+      break;
+    case MsgType::kUtilPhase2Req:
+      if (!count_ok(m.u.util_phase2_req.entry.num_proposals)) return false;
+      break;
+    case MsgType::kUtilAccepted:
+      if (!count_ok(m.u.util_accepted.entry.num_proposals)) return false;
+      break;
+    default:
+      break;
+  }
+  return bytes >= wire_size(m);
+}
+
+}  // namespace ci::consensus

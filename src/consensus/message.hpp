@@ -1,0 +1,292 @@
+// Wire messages for every protocol in the repository.
+//
+// One trivially-copyable Message struct carries a small header plus a union
+// payload. wire_size() returns the number of meaningful bytes for a given
+// message so transports copy (and charge for) only what is actually sent;
+// every fast-path message fits a single 128-byte QC-libtask slot, while the
+// rare 1Paxos reconfiguration entries span a few fragments (paper §5.2: the
+// backup-acceptor machinery stays off the fast path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "consensus/types.hpp"
+
+namespace ci::consensus {
+
+enum class ProtoId : std::uint8_t {
+  kNone = 0,
+  kControl,   // start/stop/heartbeat/ping
+  kClient,    // request/reply
+  kTwoPc,
+  kBasicPaxos,
+  kMultiPaxos,
+  kOnePaxos,
+  kUtility,   // PaxosUtility configuration consensus
+};
+
+enum class MsgType : std::uint8_t {
+  kNone = 0,
+
+  // Control plane.
+  kStart,        // load manager -> clients: begin issuing requests
+  kStop,         // load manager -> everyone: drain and stop
+  kHeartbeat,    // leader -> replicas (failure detection)
+  kPing,         // liveness probe (leader -> active acceptor)
+  kPong,
+
+  // Client traffic.
+  kClientRequest,
+  kClientReply,
+
+  // 2PC (§2.2).
+  kTwoPcPrepare,
+  kTwoPcPrepareAck,
+  kTwoPcPrepareNack,
+  kTwoPcCommit,
+  kTwoPcCommitAck,
+  kTwoPcRollback,
+
+  // Paxos phases (Basic- and Multi-Paxos, §2.3).
+  kPhase1Req,    // prepare request
+  kPhase1Resp,   // promise, carrying accepted proposals
+  kPhase2Req,    // accept request
+  kPhase2Acked,  // acceptor -> learners broadcast
+  kNack,         // reject with higher ballot
+
+  // 1Paxos (§5, Appendix A).
+  kOpxPrepareReq,
+  kOpxPrepareResp,
+  kOpxAcceptReq,
+  kOpxAbandon,
+  kOpxLearn,       // single active acceptor -> all learners
+  kOpxCatchupReq,  // lagging learner -> leader: re-send decided values
+
+  // PaxosUtility (§5.2).
+  kUtilPhase1Req,
+  kUtilPhase1Resp,
+  kUtilPhase2Req,
+  kUtilAccepted,
+  kUtilNack,
+};
+
+// Message::flags bits.
+inline constexpr std::uint16_t kFlagDecided = 1;        // Phase2Acked carries a decided value
+inline constexpr std::uint16_t kFlagLeaderSuspect = 2;  // client re-sent after a timeout
+inline constexpr std::uint16_t kFlagEstablishing = 4;   // heartbeat from a leader mid-recovery
+
+// ---- Payloads ----
+
+struct ClientRequest {
+  Command cmd;
+};
+
+struct ClientReply {
+  std::uint32_t seq = 0;
+  std::uint8_t ok = 1;
+  std::uint8_t reserved[3] = {0, 0, 0};
+  std::uint64_t result = 0;     // read value for kRead commands
+  Instance instance = kNoInstance;
+  NodeId leader_hint = kNoNode;  // who the client should talk to
+};
+
+struct TwoPcPrepare {
+  Instance instance = kNoInstance;
+  Command cmd;
+};
+
+struct TwoPcAck {  // prepare-ack/nack, commit-ack, rollback, commit
+  Instance instance = kNoInstance;
+};
+
+struct Heartbeat {
+  NodeId leader = kNoNode;
+  Instance committed = kNoInstance;  // leader's contiguous commit prefix
+  ProposalNum ballot;                // resolves dueling leaders by comparison
+};
+
+struct Phase1Req {
+  ProposalNum pn;
+  Instance from_instance = 0;  // promises cover [from_instance, inf)
+};
+
+struct Phase1Resp {
+  ProposalNum pn;  // the promised ballot (echo)
+  std::int32_t num_proposals = 0;
+  Proposal proposals[kMaxProposalsPerMsg];  // accepted values >= from_instance
+};
+
+struct Phase2Req {
+  Instance instance = kNoInstance;
+  ProposalNum pn;
+  Command value;
+};
+
+struct Phase2Acked {
+  Instance instance = kNoInstance;
+  ProposalNum pn;
+  Command value;
+};
+
+struct Nack {
+  Instance instance = kNoInstance;
+  ProposalNum higher_pn;  // the ballot the acceptor is promised to
+  NodeId leader_hint = kNoNode;
+};
+
+// 1Paxos payloads (Appendix A).
+
+struct OpxPrepareReq {
+  ProposalNum pn;
+  std::uint8_t you_must_be_fresh = 0;
+  std::uint8_t reserved[7] = {0};
+};
+
+struct OpxPrepareResp {
+  NodeId acceptor = kNoNode;  // Ai: lets a proposer ignore stale responses
+  ProposalNum pn;
+  // The acceptor's allocation frontier: one past the highest instance it has
+  // seen decided or accepted. The adopting leader must not allocate below it.
+  Instance frontier = 0;
+  std::int32_t num_accepted = 0;
+  Proposal accepted[kMaxProposalsPerMsg];  // ap: the acceptor's short-term memory
+};
+
+struct OpxAcceptReq {
+  Instance instance = kNoInstance;
+  ProposalNum pn;
+  Command value;
+};
+
+struct OpxAbandon {
+  ProposalNum higher_pn;
+};
+
+struct OpxLearn {
+  Instance instance = kNoInstance;
+  Command value;
+};
+
+struct OpxCatchupReq {
+  Instance from_instance = 0;  // send decided values from here on
+};
+
+// PaxosUtility: consensus entries are leader/acceptor changes, with the
+// uncommitted proposals attached to AcceptorChange (paper §5.2).
+
+struct UtilityEntry {
+  enum class Kind : std::uint8_t { kNone = 0, kLeaderChange, kAcceptorChange };
+
+  Kind kind = Kind::kNone;
+  std::uint8_t reserved[3] = {0, 0, 0};
+  NodeId leader = kNoNode;    // kLeaderChange: the announcing proposer
+  NodeId acceptor = kNoNode;  // both kinds: the active acceptor
+  // kAcceptorChange: the switching leader's allocation frontier — no
+  // instance below it may ever be allocated to a new command. This is what
+  // keeps a future leader with a lossy log from re-filling an instance that
+  // already decided (the paper assumes lossless links; with loss the
+  // frontier must travel with the configuration).
+  Instance frontier = 0;
+  std::int32_t num_proposals = 0;
+  Proposal proposals[kMaxProposalsPerMsg];  // kAcceptorChange: uncommitted values
+
+  friend bool operator==(const UtilityEntry& a, const UtilityEntry& b) {
+    if (a.kind != b.kind || a.leader != b.leader || a.acceptor != b.acceptor ||
+        a.frontier != b.frontier || a.num_proposals != b.num_proposals) {
+      return false;
+    }
+    for (std::int32_t i = 0; i < a.num_proposals; ++i) {
+      if (!(a.proposals[i] == b.proposals[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct UtilPhase1Req {
+  Instance instance = kNoInstance;  // utility instances are per-slot (Basic-Paxos)
+  ProposalNum pn;
+};
+
+struct UtilPhase1Resp {
+  Instance instance = kNoInstance;
+  ProposalNum pn;
+  std::uint8_t has_accepted = 0;
+  std::uint8_t reserved[7] = {0};
+  ProposalNum accepted_pn;
+  UtilityEntry accepted;
+};
+
+struct UtilPhase2Req {
+  Instance instance = kNoInstance;
+  ProposalNum pn;
+  UtilityEntry entry;
+};
+
+struct UtilAccepted {
+  Instance instance = kNoInstance;
+  ProposalNum pn;
+  UtilityEntry entry;
+};
+
+struct UtilNack {
+  Instance instance = kNoInstance;
+  ProposalNum higher_pn;
+};
+
+// ---- The message ----
+
+struct Message {
+  MsgType type = MsgType::kNone;
+  ProtoId proto = ProtoId::kNone;
+  std::uint16_t flags = 0;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+
+  union Payload {
+    ClientRequest client_request;
+    ClientReply client_reply;
+    TwoPcPrepare two_pc_prepare;
+    TwoPcAck two_pc_ack;
+    Heartbeat heartbeat;
+    Phase1Req phase1_req;
+    Phase1Resp phase1_resp;
+    Phase2Req phase2_req;
+    Phase2Acked phase2_acked;
+    Nack nack;
+    OpxPrepareReq opx_prepare_req;
+    OpxPrepareResp opx_prepare_resp;
+    OpxAcceptReq opx_accept_req;
+    OpxAbandon opx_abandon;
+    OpxLearn opx_learn;
+    OpxCatchupReq opx_catchup_req;
+    UtilPhase1Req util_phase1_req;
+    UtilPhase1Resp util_phase1_resp;
+    UtilPhase2Req util_phase2_req;
+    UtilAccepted util_accepted;
+    UtilNack util_nack;
+
+    // All members are trivially copyable PODs; zero-fill so serialized
+    // padding bytes are deterministic.
+    Payload() { std::memset(static_cast<void*>(this), 0, sizeof(*this)); }
+  } u;
+
+  Message() = default;
+  Message(MsgType t, ProtoId p, NodeId from, NodeId to) : type(t), proto(p), src(from), dst(to) {}
+};
+
+static_assert(std::is_trivially_copyable_v<Message>);
+
+inline constexpr std::size_t kMessageHeaderBytes = offsetof(Message, u);
+
+// Number of meaningful bytes for serialization. Variable-length payloads
+// (proposal arrays) are truncated to their used prefix.
+std::size_t wire_size(const Message& m);
+
+// True when the message's fixed fields look internally consistent; used by
+// transports after deserialization.
+bool wire_validate(const Message& m, std::size_t bytes);
+
+}  // namespace ci::consensus

@@ -1,0 +1,364 @@
+#include "consensus/multi_paxos.hpp"
+
+#include <algorithm>
+
+namespace ci::consensus {
+
+namespace {
+
+std::uint64_t client_key(const Command& cmd) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cmd.client)) << 32) | cmd.seq;
+}
+
+}  // namespace
+
+MultiPaxosEngine::MultiPaxosEngine(const MultiPaxosConfig& cfg)
+    : cfg_(cfg),
+      executor_(cfg.base.state_machine),
+      rng_(cfg.base.seed + static_cast<std::uint64_t>(cfg.base.self) * 7919) {
+  if (cfg_.initial_leader != kNoNode) {
+    // Pre-agreed leadership: every replica starts promised to ballot
+    // {1, initial_leader}, so the leader proposes without a phase 1 — the
+    // steady state the paper measures.
+    promised_ = ProposalNum{1, cfg_.initial_leader};
+    current_leader_ = cfg_.initial_leader;
+    ballot_counter_ = 1;
+    if (cfg_.base.self == cfg_.initial_leader) {
+      leader_ = true;
+      my_ballot_ = promised_;
+    }
+  }
+  fd_jitter_ = static_cast<Nanos>(rng_.next_below(
+      static_cast<std::uint64_t>(cfg_.base.fd_timeout / 4) + 1));
+}
+
+std::int32_t MultiPaxosEngine::acceptor_count() const {
+  return cfg_.acceptor_count > 0 ? std::min(cfg_.acceptor_count, cfg_.base.num_replicas)
+                                 : cfg_.base.num_replicas;
+}
+
+ProposalNum MultiPaxosEngine::next_ballot() {
+  ballot_counter_++;
+  return ProposalNum{ballot_counter_, cfg_.base.self};
+}
+
+void MultiPaxosEngine::start(Context& ctx) { last_leader_contact_ = ctx.now(); }
+
+void MultiPaxosEngine::on_message(Context& ctx, const Message& m) {
+  if (m.src == current_leader_ && m.src != cfg_.base.self) last_leader_contact_ = ctx.now();
+  switch (m.type) {
+    case MsgType::kClientRequest:
+      handle_client_request(ctx, m);
+      return;
+    case MsgType::kPhase1Req:
+      handle_phase1_req(ctx, m);
+      return;
+    case MsgType::kPhase1Resp:
+      handle_phase1_resp(ctx, m);
+      return;
+    case MsgType::kPhase2Req:
+      handle_phase2_req(ctx, m);
+      return;
+    case MsgType::kPhase2Acked:
+      handle_phase2_acked(ctx, m);
+      return;
+    case MsgType::kNack:
+      handle_nack(ctx, m);
+      return;
+    case MsgType::kHeartbeat:
+      handle_heartbeat(ctx, m);
+      return;
+    default:
+      return;
+  }
+}
+
+void MultiPaxosEngine::tick(Context& ctx) {
+  const Nanos now = ctx.now();
+  if (leader_) {
+    // Heartbeats keep follower failure detectors quiet.
+    if (now - last_heartbeat_sent_ >= cfg_.base.heartbeat_period) {
+      last_heartbeat_sent_ = now;
+      for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
+        if (r == cfg_.base.self) continue;
+        Message hb(MsgType::kHeartbeat, ProtoId::kMultiPaxos, cfg_.base.self, r);
+        hb.u.heartbeat.leader = cfg_.base.self;
+        hb.u.heartbeat.committed = log_.first_gap();
+        hb.u.heartbeat.ballot = my_ballot_;
+        ctx.send(r, hb);
+      }
+    }
+    // Retransmit stalled accept requests (acceptors are idempotent).
+    for (auto& [in, o] : outstanding_) {
+      if (now - o.last_send >= cfg_.base.retry_timeout) {
+        o.last_send = now;
+        send_accept(ctx, in, o.cmd);
+      }
+    }
+  } else {
+    if (takeover_.has_value()) {
+      if (now - takeover_->started >= cfg_.base.retry_timeout * 4) begin_takeover(ctx);
+    } else if (now - last_leader_contact_ >= cfg_.base.fd_timeout + fd_jitter_ &&
+               (current_leader_ != cfg_.base.self)) {
+      // Leader silent for too long: attempt to take over (paper §2.3 —
+      // "other proposers can still try to become leaders when they suspect
+      // that the last leader has failed").
+      begin_takeover(ctx);
+    } else {
+      forward_pending(ctx);  // commands retained across a step-down
+    }
+  }
+}
+
+void MultiPaxosEngine::handle_client_request(Context& ctx, const Message& m) {
+  const Command& cmd = m.u.client_request.cmd;
+  if (leader_) {
+    pending_.push_back(cmd);
+    pump(ctx);
+    return;
+  }
+  if (takeover_.has_value()) {
+    pending_.push_back(cmd);  // will be proposed once takeover completes
+    return;
+  }
+  const Nanos now = ctx.now();
+  // A client that re-sent after a timeout is itself evidence the leader is
+  // slow (§7.6) — trust it alongside our own failure detector.
+  const bool suspect_leader = current_leader_ == kNoNode ||
+                              (m.flags & kFlagLeaderSuspect) != 0 ||
+                              now - last_leader_contact_ >= cfg_.base.fd_timeout + fd_jitter_;
+  if (suspect_leader) {
+    pending_.push_back(cmd);
+    begin_takeover(ctx);
+  } else {
+    Message fwd = m;
+    fwd.dst = current_leader_;
+    ctx.send(current_leader_, fwd);
+  }
+}
+
+void MultiPaxosEngine::pump(Context& ctx) {
+  while (!pending_.empty() &&
+         static_cast<std::int32_t>(outstanding_.size()) < cfg_.base.pipeline_window) {
+    Instance in = std::max(next_instance_, log_.first_gap());
+    while (log_.is_learned(in) || outstanding_.count(in) != 0) in++;
+    next_instance_ = in + 1;
+    const Command cmd = pending_.front();
+    pending_.pop_front();
+    if (cmd.client != kNoNode) advocated_.insert(client_key(cmd));
+    outstanding_[in] = Outstanding{cmd, ctx.now()};
+    send_accept(ctx, in, cmd);
+  }
+}
+
+void MultiPaxosEngine::send_accept(Context& ctx, Instance in, const Command& cmd) {
+  for (NodeId a = 0; a < acceptor_count(); ++a) {
+    Message m(MsgType::kPhase2Req, ProtoId::kMultiPaxos, cfg_.base.self, a);
+    m.u.phase2_req.instance = in;
+    m.u.phase2_req.pn = my_ballot_;
+    m.u.phase2_req.value = cmd;
+    ctx.send(a, m);
+  }
+}
+
+void MultiPaxosEngine::begin_takeover(Context& ctx) {
+  Takeover t;
+  t.pn = next_ballot();
+  t.from_instance = log_.first_gap();
+  t.started = ctx.now();
+  takeover_ = t;
+  for (NodeId a = 0; a < acceptor_count(); ++a) {
+    Message m(MsgType::kPhase1Req, ProtoId::kMultiPaxos, cfg_.base.self, a);
+    m.u.phase1_req.pn = t.pn;
+    m.u.phase1_req.from_instance = t.from_instance;
+    ctx.send(a, m);
+  }
+}
+
+void MultiPaxosEngine::finish_takeover(Context& ctx) {
+  const Takeover t = *takeover_;
+  takeover_.reset();
+  leader_ = true;
+  current_leader_ = cfg_.base.self;
+  my_ballot_ = t.pn;
+  // Re-propose every value some acceptor already accepted (the Paxos
+  // constraint), and plug any holes below them with no-ops so the log
+  // executes contiguously.
+  Instance max_recovered = t.from_instance - 1;
+  for (const auto& [in, prop] : t.recovered) max_recovered = std::max(max_recovered, in);
+  for (Instance in = t.from_instance; in <= max_recovered; ++in) {
+    if (log_.is_learned(in)) continue;
+    Command value{};  // no-op unless constrained
+    auto it = t.recovered.find(in);
+    if (it != t.recovered.end()) value = it->second.value;
+    outstanding_[in] = Outstanding{value, ctx.now()};
+    send_accept(ctx, in, value);
+  }
+  next_instance_ = std::max(log_.first_gap(), max_recovered + 1);
+  pump(ctx);
+}
+
+void MultiPaxosEngine::step_down(Context& ctx, NodeId new_leader) {
+  leader_ = false;
+  takeover_.reset();
+  if (new_leader != kNoNode && new_leader != cfg_.base.self) current_leader_ = new_leader;
+  last_leader_contact_ = ctx.now();
+  // Keep unfinished commands: they are forwarded below if we know the new
+  // leader, otherwise they wait in pending_ until tick() learns one (the
+  // executor's (client, seq) dedup makes double-proposal harmless).
+  for (auto& [in, o] : outstanding_) pending_.push_back(o.cmd);
+  outstanding_.clear();
+  forward_pending(ctx);
+}
+
+void MultiPaxosEngine::forward_pending(Context& ctx) {
+  if (current_leader_ == kNoNode || current_leader_ == cfg_.base.self || leader_) return;
+  while (!pending_.empty()) {
+    const Command cmd = pending_.front();
+    pending_.pop_front();
+    if (cmd.client == kNoNode) continue;  // no-ops need no re-advocacy
+    Message fwd(MsgType::kClientRequest, ProtoId::kMultiPaxos, cfg_.base.self, current_leader_);
+    fwd.u.client_request.cmd = cmd;
+    ctx.send(current_leader_, fwd);
+  }
+}
+
+void MultiPaxosEngine::handle_phase1_req(Context& ctx, const Message& m) {
+  const ProposalNum pn = m.u.phase1_req.pn;
+  if (pn > promised_) {
+    promised_ = pn;
+    if (leader_ && !(pn == my_ballot_)) step_down(ctx, pn.node);
+    Message resp(MsgType::kPhase1Resp, ProtoId::kMultiPaxos, cfg_.base.self, m.src);
+    resp.u.phase1_resp.pn = pn;
+    std::int32_t n = 0;
+    for (const auto& [in, prop] : accepted_) {
+      if (in < m.u.phase1_req.from_instance) continue;
+      if (n >= kMaxProposalsPerMsg) break;
+      resp.u.phase1_resp.proposals[n++] = prop;
+    }
+    resp.u.phase1_resp.num_proposals = n;
+    ctx.send(m.src, resp);
+  } else {
+    Message nack(MsgType::kNack, ProtoId::kMultiPaxos, cfg_.base.self, m.src);
+    nack.u.nack.instance = kNoInstance;
+    nack.u.nack.higher_pn = promised_;
+    nack.u.nack.leader_hint = current_leader_;
+    ctx.send(m.src, nack);
+  }
+}
+
+void MultiPaxosEngine::handle_phase1_resp(Context& ctx, const Message& m) {
+  if (!takeover_.has_value() || !(m.u.phase1_resp.pn == takeover_->pn)) return;
+  if (!is_acceptor(m.src)) return;
+  takeover_->promise_mask |= 1ULL << m.src;
+  for (std::int32_t i = 0; i < m.u.phase1_resp.num_proposals; ++i) {
+    const Proposal& p = m.u.phase1_resp.proposals[i];
+    auto it = takeover_->recovered.find(p.instance);
+    if (it == takeover_->recovered.end() || p.pn > it->second.pn) {
+      takeover_->recovered[p.instance] = p;
+    }
+  }
+  if (__builtin_popcountll(takeover_->promise_mask) >= majority(acceptor_count())) {
+    finish_takeover(ctx);
+  }
+}
+
+void MultiPaxosEngine::handle_phase2_req(Context& ctx, const Message& m) {
+  const Instance in = m.u.phase2_req.instance;
+  const ProposalNum pn = m.u.phase2_req.pn;
+  if (log_.is_learned(in)) {
+    Message acked(MsgType::kPhase2Acked, ProtoId::kMultiPaxos, cfg_.base.self, m.src);
+    acked.flags = 1;  // decided catch-up
+    acked.u.phase2_acked.instance = in;
+    acked.u.phase2_acked.value = *log_.get(in);
+    ctx.send(m.src, acked);
+    return;
+  }
+  if (pn >= promised_) {
+    promised_ = pn;
+    if (leader_ && !(pn == my_ballot_)) step_down(ctx, pn.node);
+    accepted_[in] = Proposal{in, pn, m.u.phase2_req.value};
+    // Acceptance broadcast to every replica (all are learners) — the
+    // message pattern Fig. 3 counts.
+    for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
+      Message acked(MsgType::kPhase2Acked, ProtoId::kMultiPaxos, cfg_.base.self, r);
+      acked.u.phase2_acked.instance = in;
+      acked.u.phase2_acked.pn = pn;
+      acked.u.phase2_acked.value = m.u.phase2_req.value;
+      ctx.send(r, acked);
+    }
+  } else {
+    Message nack(MsgType::kNack, ProtoId::kMultiPaxos, cfg_.base.self, m.src);
+    nack.u.nack.instance = in;
+    nack.u.nack.higher_pn = promised_;
+    nack.u.nack.leader_hint = current_leader_;
+    ctx.send(m.src, nack);
+  }
+}
+
+void MultiPaxosEngine::handle_phase2_acked(Context& ctx, const Message& m) {
+  const Instance in = m.u.phase2_acked.instance;
+  if (log_.is_learned(in)) return;
+  if (m.flags == 1) {
+    learn(ctx, in, m.u.phase2_acked.value);
+    return;
+  }
+  if (!is_acceptor(m.src)) return;
+  auto& learner = learners_[in];
+  if (learner.record(m.u.phase2_acked.pn, m.src, majority(acceptor_count()))) {
+    learn(ctx, in, m.u.phase2_acked.value);
+  }
+}
+
+void MultiPaxosEngine::handle_nack(Context& ctx, const Message& m) {
+  ballot_counter_ = std::max(ballot_counter_, m.u.nack.higher_pn.counter);
+  // The ballot owner is the best leader guess: it proved it reached this
+  // acceptor more recently than any hint the acceptor might remember.
+  const NodeId hint = m.u.nack.higher_pn.node;
+  if (takeover_.has_value() && m.u.nack.higher_pn > takeover_->pn) {
+    takeover_.reset();
+    step_down(ctx, hint);
+    return;
+  }
+  if (leader_ && m.u.nack.higher_pn > my_ballot_) step_down(ctx, hint);
+}
+
+void MultiPaxosEngine::handle_heartbeat(Context& ctx, const Message& m) {
+  const NodeId hb_leader = m.u.heartbeat.leader;
+  if (hb_leader == cfg_.base.self) return;
+  if (leader_) {
+    // Two believed leaders: the lower ballot yields (cold starts or
+    // interleaved takeovers can leave several nodes believing they lead).
+    if (m.u.heartbeat.ballot > my_ballot_) step_down(ctx, hb_leader);
+    return;
+  }
+  current_leader_ = hb_leader;
+  last_leader_contact_ = ctx.now();
+  takeover_.reset();
+  forward_pending(ctx);
+}
+
+void MultiPaxosEngine::learn(Context& ctx, Instance in, const Command& cmd) {
+  log_.learn(in, cmd);
+  accepted_.erase(in);
+  learners_.erase(in);
+  outstanding_.erase(in);
+  log_.drain([&](Instance din, const Command& dcmd) {
+    const Executor::Applied applied = executor_.apply(dcmd);
+    ctx.deliver(din, dcmd);
+    auto adv = advocated_.find(client_key(dcmd));
+    if (adv != advocated_.end()) {
+      Message reply(MsgType::kClientReply, ProtoId::kClient, cfg_.base.self, dcmd.client);
+      reply.u.client_reply.seq = dcmd.seq;
+      reply.u.client_reply.ok = 1;
+      reply.u.client_reply.instance = din;
+      reply.u.client_reply.result = applied.result;
+      reply.u.client_reply.leader_hint = leader_ ? cfg_.base.self : current_leader_;
+      ctx.send(dcmd.client, reply);
+      advocated_.erase(adv);
+    }
+  });
+  if (leader_) pump(ctx);
+}
+
+}  // namespace ci::consensus

@@ -1,0 +1,117 @@
+// Multi-Paxos (paper §2.3): collapsed roles with a stable leader that skips
+// phase 1 for successive instances. The baseline the paper calls "the most
+// efficient consensus protocol to date" in IP settings — and the protocol
+// 1Paxos halves the message count of (Fig. 3).
+//
+// Acceptors broadcast their acceptance to every replica; a value is learned
+// once a majority of acceptors accepted it. Followers detect a silent
+// leader via heartbeat timeouts and take over with a higher ballot, running
+// phase 1 over the un-decided window.
+//
+// `acceptor_count` (default: all replicas) shrinks the acceptor set for the
+// acceptor-replication ablation (DESIGN.md A2): with k acceptors a value
+// needs majority-of-k acceptances, trading message load for the fault
+// tolerance the paper discusses in §4.3.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "consensus/engine.hpp"
+#include "consensus/log.hpp"
+#include "consensus/state_machine.hpp"
+#include "consensus/synod.hpp"
+
+namespace ci::consensus {
+
+struct MultiPaxosConfig {
+  EngineConfig base;
+  // Node that starts as the established leader (ballot pre-agreed across
+  // replicas, matching the paper's steady-state measurements). kNoNode
+  // forces a cold-start election.
+  NodeId initial_leader = 0;
+  // Size of the acceptor set (replicas [0, acceptor_count)); -1 = all.
+  std::int32_t acceptor_count = -1;
+};
+
+class MultiPaxosEngine final : public Engine {
+ public:
+  explicit MultiPaxosEngine(const MultiPaxosConfig& cfg);
+
+  void start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+  void tick(Context& ctx) override;
+  NodeId believed_leader() const override { return current_leader_; }
+
+  bool is_leader() const { return leader_; }
+  const ReplicatedLog& log() const { return log_; }
+
+ private:
+  struct Outstanding {
+    Command cmd;
+    Nanos last_send = 0;
+  };
+
+  struct Takeover {
+    ProposalNum pn;
+    Instance from_instance = 0;
+    std::uint64_t promise_mask = 0;
+    std::map<Instance, Proposal> recovered;  // highest-ballot accepted values
+    Nanos started = 0;
+  };
+
+  std::int32_t acceptor_count() const;
+  bool is_acceptor(NodeId n) const { return n >= 0 && n < acceptor_count(); }
+  ProposalNum next_ballot();
+  void pump(Context& ctx);
+  void send_accept(Context& ctx, Instance in, const Command& cmd);
+  void begin_takeover(Context& ctx);
+  void finish_takeover(Context& ctx);
+  void step_down(Context& ctx, NodeId new_leader);
+  void forward_pending(Context& ctx);
+  void handle_client_request(Context& ctx, const Message& m);
+  void handle_phase1_req(Context& ctx, const Message& m);
+  void handle_phase1_resp(Context& ctx, const Message& m);
+  void handle_phase2_req(Context& ctx, const Message& m);
+  void handle_phase2_acked(Context& ctx, const Message& m);
+  void handle_nack(Context& ctx, const Message& m);
+  void handle_heartbeat(Context& ctx, const Message& m);
+  void learn(Context& ctx, Instance in, const Command& cmd);
+
+  MultiPaxosConfig cfg_;
+  ReplicatedLog log_;
+  Executor executor_;
+  Rng rng_;
+
+  // Leadership.
+  bool leader_ = false;
+  NodeId current_leader_ = kNoNode;
+  ProposalNum my_ballot_;
+  std::int64_t ballot_counter_ = 0;
+  std::optional<Takeover> takeover_;
+
+  // Acceptor.
+  ProposalNum promised_;
+  std::map<Instance, Proposal> accepted_;  // un-decided accepted values
+
+  // Learner.
+  std::unordered_map<Instance, SynodLearner> learners_;
+
+  // Proposer.
+  std::deque<Command> pending_;
+  std::map<Instance, Outstanding> outstanding_;
+  Instance next_instance_ = 0;
+  std::unordered_set<std::uint64_t> advocated_;
+
+  // Failure detection.
+  Nanos last_leader_contact_ = 0;
+  Nanos last_heartbeat_sent_ = 0;
+  Nanos fd_jitter_ = 0;
+};
+
+}  // namespace ci::consensus

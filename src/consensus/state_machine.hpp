@@ -1,0 +1,112 @@
+// The application state machine replicated by the agreement protocols, and
+// the exactly-once executor every replica runs over its log.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "consensus/types.hpp"
+
+namespace ci::consensus {
+
+// Deterministic state machine. apply() returns the operation result (the
+// value read, for kRead; implementations choose what writes return).
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  virtual std::uint64_t apply(const Command& cmd) = 0;
+};
+
+// Discards writes, reads return zero. Used by benches where only agreement
+// cost matters (the paper's requests carry no payload, §7.1).
+class NullStateMachine final : public StateMachine {
+ public:
+  std::uint64_t apply(const Command&) override { return 0; }
+};
+
+// A replicated key/value map: writes store, reads (and writes) return the
+// previous value. Queryable locally for joint-deployment local reads (§7.5).
+class MapStateMachine final : public StateMachine {
+ public:
+  std::uint64_t apply(const Command& cmd) override {
+    switch (cmd.op) {
+      case Op::kWrite: {
+        auto [it, inserted] = map_.try_emplace(cmd.key, cmd.value);
+        const std::uint64_t old = inserted ? 0 : it->second;
+        it->second = cmd.value;
+        return old;
+      }
+      case Op::kRead:
+        return read(cmd.key);
+      case Op::kNoop:
+        return 0;
+    }
+    return 0;
+  }
+
+  std::uint64_t read(std::uint64_t key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second;
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> map_;
+};
+
+// Applies log entries exactly once per (client, seq): a command can occupy
+// two instances after a client retry straddles a leader change, and the
+// duplicate must not re-execute. The last result per client is cached so a
+// deduplicated retry still answers with the original result.
+class Executor {
+ public:
+  explicit Executor(StateMachine* sm) : sm_(sm) {}
+
+  struct Applied {
+    bool duplicate = false;
+    std::uint64_t result = 0;
+  };
+
+  Applied apply(const Command& cmd) {
+    Applied out;
+    if (cmd.is_noop()) return out;
+    if (cmd.client != kNoNode) {
+      auto [it, inserted] = last_.try_emplace(cmd.client, LastOp{cmd.seq, 0});
+      if (!inserted) {
+        if (cmd.seq < it->second.seq) {
+          out.duplicate = true;  // older than the cache: result long gone
+          return out;
+        }
+        if (cmd.seq == it->second.seq) {
+          out.duplicate = true;
+          out.result = it->second.result;
+          return out;
+        }
+        it->second.seq = cmd.seq;
+      }
+      if (sm_ != nullptr) out.result = sm_->apply(cmd);
+      it->second.result = out.result;
+      return out;
+    }
+    if (sm_ != nullptr) out.result = sm_->apply(cmd);
+    return out;
+  }
+
+  std::uint64_t executed_commands() const {
+    std::uint64_t n = 0;
+    for (const auto& [client, last] : last_) n += last.seq;
+    return n;
+  }
+
+ private:
+  struct LastOp {
+    std::uint32_t seq = 0;
+    std::uint64_t result = 0;
+  };
+
+  StateMachine* sm_;
+  std::unordered_map<NodeId, LastOp> last_;
+};
+
+}  // namespace ci::consensus

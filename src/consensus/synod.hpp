@@ -1,0 +1,72 @@
+// Single-decree Synod building blocks shared by Basic-Paxos, Multi-Paxos
+// and PaxosUtility: the acceptor cell (the subtle promise/accept rules) and
+// the learner's majority counter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "consensus/types.hpp"
+
+namespace ci::consensus {
+
+// Acceptor state for one instance (or, for Multi-Paxos, the leadership-
+// scoped promise plus per-instance accepted values).
+template <typename V>
+struct SynodAcceptor {
+  ProposalNum promised;      // highest prepare seen (hpn)
+  ProposalNum accepted_pn;   // ballot of the accepted value
+  V accepted_value{};
+  bool has_accepted = false;
+
+  // Phase 1: promise not to accept ballots below pn. Returns true and
+  // updates the promise iff pn is strictly greater than any prior promise.
+  bool phase1(ProposalNum pn) {
+    if (pn > promised) {
+      promised = pn;
+      return true;
+    }
+    return false;
+  }
+
+  // Phase 2: accept (pn, v) iff the promise allows it.
+  bool phase2(ProposalNum pn, const V& v) {
+    if (pn >= promised) {
+      promised = pn;
+      accepted_pn = pn;
+      accepted_value = v;
+      has_accepted = true;
+      return true;
+    }
+    return false;
+  }
+};
+
+// Learner-side counting: a value is chosen once a majority of acceptors
+// accepted it at the same ballot.
+class SynodLearner {
+ public:
+  // Records that `acceptor` accepted at `pn`. Returns true when this
+  // acceptance completes a majority (fires exactly once per ballot).
+  bool record(ProposalNum pn, NodeId acceptor, std::int32_t majority_size) {
+    auto& mask = per_ballot_[pn];
+    const std::uint64_t bit = 1ULL << acceptor;
+    if ((mask & bit) != 0) return false;
+    mask |= bit;
+    return count_bits(mask) == majority_size;
+  }
+
+  bool has_majority(std::int32_t majority_size) const {
+    for (const auto& [pn, mask] : per_ballot_) {
+      if (count_bits(mask) >= majority_size) return true;
+    }
+    return false;
+  }
+
+ private:
+  static std::int32_t count_bits(std::uint64_t m) { return static_cast<std::int32_t>(__builtin_popcountll(m)); }
+
+  std::map<ProposalNum, std::uint64_t> per_ballot_;
+};
+
+}  // namespace ci::consensus

@@ -1,0 +1,71 @@
+// Shared identifiers and value types for all agreement protocols.
+//
+// Node ids follow the paper's deployment (§7.1): replicas occupy ids
+// 0..R-1 (cores 0..2 in the paper), clients follow. In "joint" deployments
+// (§7.4) every node is both a replica and a client.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace ci::consensus {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+// Index in the replicated command log (a Paxos instance number / 2PC round).
+using Instance = std::int64_t;
+inline constexpr Instance kNoInstance = -1;
+
+// Paxos proposal (ballot) number, totally ordered and unique per proposer.
+struct ProposalNum {
+  std::int64_t counter = 0;  // 0 = "none yet"
+  NodeId node = kNoNode;
+
+  friend auto operator<=>(const ProposalNum&, const ProposalNum&) = default;
+  bool valid() const { return counter > 0; }
+};
+
+enum class Op : std::uint8_t {
+  kNoop = 0,
+  kWrite = 1,
+  kRead = 2,
+};
+
+// A client command — the value agreed on by consensus. The paper's
+// evaluation uses empty payloads; we carry a small key/value so the examples
+// can replicate real state with the very same protocol code.
+struct Command {
+  NodeId client = kNoNode;
+  std::uint32_t seq = 0;  // client-local sequence number, for dedup/replies
+  Op op = Op::kNoop;
+  std::uint8_t reserved[3] = {0, 0, 0};
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const Command& a, const Command& b) {
+    return a.client == b.client && a.seq == b.seq && a.op == b.op && a.key == b.key &&
+           a.value == b.value;
+  }
+  bool is_noop() const { return op == Op::kNoop && client == kNoNode; }
+};
+static_assert(sizeof(Command) == 32);
+
+// A (possibly uncommitted) proposal: the unit handed between acceptors and
+// leaders during 1Paxos reconfiguration (paper §5.2).
+struct Proposal {
+  Instance instance = kNoInstance;
+  ProposalNum pn;
+  Command value;
+
+  friend bool operator==(const Proposal& a, const Proposal& b) {
+    return a.instance == b.instance && a.pn == b.pn && a.value == b.value;
+  }
+};
+
+// Upper bound on proposals carried by one message. Kept at twice the default
+// pipeline window so a reconfiguration entry can carry the union of two
+// leaders' uncommitted windows (handover after handover) in one entry.
+inline constexpr int kMaxProposalsPerMsg = 16;
+
+}  // namespace ci::consensus

@@ -1,0 +1,733 @@
+#include "core/one_paxos.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ci::core {
+
+namespace {
+
+std::uint64_t client_key(const Command& cmd) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cmd.client)) << 32) | cmd.seq;
+}
+
+}  // namespace
+
+OnePaxosEngine::OnePaxosEngine(const OnePaxosConfig& cfg)
+    : cfg_(cfg),
+      executor_(cfg.base.state_machine),
+      rng_(cfg.base.seed + static_cast<std::uint64_t>(cfg.base.self) * 6700417),
+      utility_(cfg.base, [this](Context& ctx, Instance idx, const UtilityEntry& e) {
+        on_utility_decided(ctx, idx, e);
+      }) {
+  CI_CHECK(cfg_.initial_leader != cfg_.initial_acceptor);
+  CI_CHECK(is_replica(cfg_.base, cfg_.initial_leader));
+  CI_CHECK(is_replica(cfg_.base, cfg_.initial_acceptor));
+  utility_.bootstrap(cfg_.initial_leader, cfg_.initial_acceptor);
+  current_leader_ = cfg_.initial_leader;
+  pn_counter_ = 1;
+  if (cfg_.base.self == cfg_.initial_leader) {
+    // Appendix B initialization: the initial leader starts already adopted
+    // by the initial acceptor at ballot {1, leader}.
+    i_am_leader_ = true;
+    active_acceptor_ = cfg_.initial_acceptor;
+    my_pn_ = ProposalNum{1, cfg_.initial_leader};
+  }
+  if (cfg_.base.self == cfg_.initial_acceptor) {
+    i_am_fresh_ = false;
+    hpn_ = ProposalNum{1, cfg_.initial_leader};
+  }
+  ever_acceptors_.insert(cfg_.initial_acceptor);
+  fd_jitter_ = static_cast<Nanos>(
+      rng_.next_below(static_cast<std::uint64_t>(cfg_.base.fd_timeout / 4) + 1));
+}
+
+void OnePaxosEngine::start(Context& ctx) {
+  last_leader_contact_ = ctx.now();
+  last_acceptor_contact_ = ctx.now();
+  leader_progress_at_ = ctx.now();
+}
+
+ProposalNum OnePaxosEngine::new_pn() {
+  pn_counter_++;
+  return ProposalNum{pn_counter_, cfg_.base.self};
+}
+
+bool OnePaxosEngine::suspect_leader(Nanos now) const {
+  if (current_leader_ == cfg_.base.self) return !i_am_leader_;
+  return now - last_leader_contact_ >= cfg_.base.fd_timeout + fd_jitter_;
+}
+
+void OnePaxosEngine::reset_acceptor_state() {
+  hpn_ = ProposalNum{};
+  ap_.clear();
+  i_am_fresh_ = true;
+}
+
+// ---------------------------------------------------------------- messages
+
+void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
+  if (m.src == current_leader_ && m.src != cfg_.base.self) last_leader_contact_ = ctx.now();
+  if (m.proto == ProtoId::kUtility) {
+    utility_.on_message(ctx, m);
+    return;
+  }
+  switch (m.type) {
+    case MsgType::kClientRequest:
+      handle_client_request(ctx, m);
+      return;
+    case MsgType::kOpxAcceptReq:
+      handle_accept_req(ctx, m);
+      return;
+    case MsgType::kOpxLearn:
+      if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
+      handle_learn(ctx, m);
+      return;
+    case MsgType::kOpxPrepareReq:
+      handle_prepare_req(ctx, m);
+      return;
+    case MsgType::kOpxPrepareResp:
+      if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
+      handle_prepare_resp(ctx, m);
+      return;
+    case MsgType::kOpxAbandon:
+      handle_abandon(ctx, m);
+      return;
+    case MsgType::kHeartbeat: {
+      if (m.u.heartbeat.leader == cfg_.base.self) return;
+      const Instance epoch = m.u.heartbeat.ballot.counter;
+      if (epoch < current_leader_epoch_) return;  // deposed leader's echo
+      if (i_am_leader_ && epoch > current_leader_epoch_) {
+        // A LeaderChange newer than ours exists that we have not learned
+        // yet; the heartbeat is authoritative evidence.
+        relinquish(ctx, m.u.heartbeat.leader);
+      }
+      current_leader_ = m.u.heartbeat.leader;
+      current_leader_epoch_ = epoch;
+      last_leader_contact_ = ctx.now();
+      // Track whether the leader's commit frontier moves: heartbeats alone
+      // do not prove usefulness (a slow leader heartbeats while drowning).
+      // A mid-recovery leader counts as progressing — its heartbeats say so.
+      if (m.u.heartbeat.committed > leader_committed_seen_ ||
+          (m.flags & kFlagEstablishing) != 0) {
+        leader_committed_seen_ = std::max(leader_committed_seen_, m.u.heartbeat.committed);
+        leader_progress_at_ = ctx.now();
+      }
+      if (m.u.heartbeat.committed > log_.first_gap() &&
+          ctx.now() - last_catchup_sent_ >= cfg_.base.retry_timeout) {
+        // The leader has decided instances we miss (lost learns): ask for a
+        // re-send so local execution can progress.
+        last_catchup_sent_ = ctx.now();
+        Message req(MsgType::kOpxCatchupReq, ProtoId::kOnePaxos, cfg_.base.self, m.src);
+        req.u.opx_catchup_req.from_instance = log_.first_gap();
+        ctx.send(m.src, req);
+      }
+      return;
+    }
+    case MsgType::kOpxCatchupReq: {
+      // Any node re-sends the decided values it knows (bounded batch).
+      const Instance from = m.u.opx_catchup_req.from_instance;
+      const Instance to = std::min(from + 16, log_.end());
+      for (Instance in = from; in < to; ++in) {
+        const Command* v = log_.get(in);
+        if (v == nullptr) continue;
+        Message l(MsgType::kOpxLearn, ProtoId::kOnePaxos, cfg_.base.self, m.src);
+        l.u.opx_learn.instance = in;
+        l.u.opx_learn.value = *v;
+        ctx.send(m.src, l);
+      }
+      return;
+    }
+    case MsgType::kPing: {
+      Message pong(MsgType::kPong, ProtoId::kOnePaxos, cfg_.base.self, m.src);
+      pong.u.heartbeat.committed = log_.end();  // frontier evidence for recovery polls
+      ctx.send(m.src, pong);
+      return;
+    }
+    case MsgType::kPong:
+      if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
+      if (recovery_poll_) {
+        alloc_frontier_ = std::max(alloc_frontier_, m.u.heartbeat.committed);
+      }
+      if (m.src == probe_acceptor_) {
+        // The acceptor we want to adopt is alive: announce the takeover.
+        probe_acceptor_ = kNoNode;
+        begin_leader_change(ctx);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void OnePaxosEngine::handle_client_request(Context& ctx, const Message& m) {
+  const Command& cmd = m.u.client_request.cmd;
+  if (i_am_leader_) {
+    pending_.push_back(cmd);
+    pump(ctx);
+    return;
+  }
+  if (switching_ != Switch::kNone || prepare_outstanding_ || utility_.propose_in_flight()) {
+    pending_.push_back(cmd);  // takeover in progress; propose once adopted
+    return;
+  }
+  const Nanos now = ctx.now();
+  const bool fd_suspects = suspect_leader(now);
+  if (fd_suspects || (m.flags & kFlagLeaderSuspect) != 0) {
+    // The client came to us because the leader looks slow (§7.6). Act when
+    // our own failure detector agrees, or when the leader demonstrably
+    // makes no commit progress despite heartbeating (a drowning core).
+    // A leader mid-recovery marks its heartbeats as establishing and gets
+    // patience — deposing it would restart the recovery (the LeaderChange
+    // ping-pong). Otherwise hold the command; tick() acts later.
+    const bool no_progress = now - leader_progress_at_ >= cfg_.base.fd_timeout * 2;
+    pending_.push_back(cmd);
+    if (fd_suspects || no_progress) try_takeover(ctx);
+    return;
+  }
+  Message fwd = m;
+  fwd.dst = current_leader_;
+  ctx.send(current_leader_, fwd);
+}
+
+void OnePaxosEngine::pump(Context& ctx) {
+  while (!pending_.empty() &&
+         static_cast<std::int32_t>(proposed_.size()) < cfg_.base.pipeline_window) {
+    Instance in = std::max({next_instance_, log_.first_gap(), alloc_frontier_});
+    while (log_.is_learned(in) || proposed_.count(in) != 0) in++;
+    next_instance_ = in + 1;
+    const Command cmd = pending_.front();
+    pending_.pop_front();
+    if (cmd.client != kNoNode) advocated_.insert(client_key(cmd));
+    proposed_[in] = cmd;  // getAny: remember what we advocate for `in`
+    send_accept(ctx, in);
+  }
+}
+
+void OnePaxosEngine::send_accept(Context& ctx, Instance in) {
+  auto& t = accept_times_[in];
+  if (t.first_sent == 0) t.first_sent = ctx.now();
+  t.last_sent = ctx.now();
+  Message m(MsgType::kOpxAcceptReq, ProtoId::kOnePaxos, cfg_.base.self, active_acceptor_);
+  m.u.opx_accept_req.instance = in;
+  m.u.opx_accept_req.pn = my_pn_;
+  m.u.opx_accept_req.value = proposed_.at(in);
+  ctx.send(active_acceptor_, m);
+}
+
+void OnePaxosEngine::handle_accept_req(Context& ctx, const Message& m) {
+  const Instance in = m.u.opx_accept_req.instance;
+  const ProposalNum pn = m.u.opx_accept_req.pn;
+  if (!(pn == hpn_)) {
+    Message ab(MsgType::kOpxAbandon, ProtoId::kOnePaxos, cfg_.base.self, m.src);
+    ab.u.opx_abandon.higher_pn = hpn_;
+    ctx.send(m.src, ab);
+    return;
+  }
+  if (log_.is_learned(in)) {
+    // Already decided and pruned from ap: remind only the retrying leader.
+    Message l(MsgType::kOpxLearn, ProtoId::kOnePaxos, cfg_.base.self, m.src);
+    l.u.opx_learn.instance = in;
+    l.u.opx_learn.value = *log_.get(in);
+    ctx.send(m.src, l);
+    return;
+  }
+  auto it = ap_.find(in);
+  if (it == ap_.end()) {
+    it = ap_.emplace(in, Proposal{in, pn, m.u.opx_accept_req.value}).first;
+#ifdef CI_OPX_TRACE
+    if (in == CI_OPX_TRACE) {
+      std::fprintf(stderr, "[t=%lld] node %d ACCEPTS in=%lld (c%d,s%u) pn={%lld,%d} from %d\n",
+                   (long long)ctx.now(), cfg_.base.self, (long long)in,
+                   it->second.value.client, it->second.value.seq, (long long)pn.counter,
+                   pn.node, m.src);
+    }
+#endif
+  }
+  // Accepted (or a retry of an accepted proposal): multicast the learn
+  // message to every learner — re-broadcasting covers lost learns, exactly
+  // as in Fig. 12.
+  for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
+    Message l(MsgType::kOpxLearn, ProtoId::kOnePaxos, cfg_.base.self, r);
+    l.u.opx_learn.instance = in;
+    l.u.opx_learn.value = it->second.value;
+    ctx.send(r, l);
+  }
+}
+
+void OnePaxosEngine::handle_learn(Context& ctx, const Message& m) {
+  learn(ctx, m.u.opx_learn.instance, m.u.opx_learn.value);
+}
+
+void OnePaxosEngine::learn(Context& ctx, Instance in, const Command& v) {
+  if (log_.is_learned(in)) return;
+  log_.learn(in, v);
+  ap_.erase(in);
+  accept_times_.erase(in);
+  auto it = proposed_.find(in);
+  if (it != proposed_.end()) {
+    if (!(it->second == v)) {
+      // We advocated a different command for this instance (lost a race
+      // around a reconfiguration): re-propose it later.
+      pending_.push_front(it->second);
+    }
+    proposed_.erase(it);
+  }
+  log_.drain([&](Instance din, const Command& dcmd) {
+    const Executor::Applied applied = executor_.apply(dcmd);
+    ctx.deliver(din, dcmd);
+    auto adv = advocated_.find(client_key(dcmd));
+    if (adv != advocated_.end()) {
+      Message reply(MsgType::kClientReply, ProtoId::kClient, cfg_.base.self, dcmd.client);
+      reply.u.client_reply.seq = dcmd.seq;
+      reply.u.client_reply.ok = 1;
+      reply.u.client_reply.instance = din;
+      reply.u.client_reply.result = applied.result;
+      reply.u.client_reply.leader_hint = i_am_leader_ ? cfg_.base.self : current_leader_;
+      ctx.send(dcmd.client, reply);
+      advocated_.erase(adv);
+    }
+  });
+  if (i_am_leader_) pump(ctx);
+}
+
+// ------------------------------------------------------- adopt an acceptor
+
+void OnePaxosEngine::send_prepare(Context& ctx, bool must_be_fresh) {
+  CI_CHECK(active_acceptor_ != kNoNode);
+  my_pn_ = new_pn();
+  if (!prepare_outstanding_) prepare_first_sent_ = ctx.now();  // retries keep the first timestamp
+  prepare_outstanding_ = true;
+  prepare_fresh_flag_ = must_be_fresh;
+  prepare_last_sent_ = ctx.now();
+  Message m(MsgType::kOpxPrepareReq, ProtoId::kOnePaxos, cfg_.base.self, active_acceptor_);
+  m.u.opx_prepare_req.pn = my_pn_;
+  m.u.opx_prepare_req.you_must_be_fresh = must_be_fresh ? 1 : 0;
+  ctx.send(active_acceptor_, m);
+}
+
+void OnePaxosEngine::handle_prepare_req(Context& ctx, const Message& m) {
+  const ProposalNum pn = m.u.opx_prepare_req.pn;
+  const bool must_be_fresh = m.u.opx_prepare_req.you_must_be_fresh != 0;
+  if (pn > hpn_) {
+    if (i_am_fresh_ != must_be_fresh) {
+      // Freshness mismatch (Fig. 12 line 47): the proposer's view of this
+      // acceptor is stale — e.g. we silently rebooted and lost hpn/ap.
+      // Silently drop; the proposer times out and switches acceptor.
+      return;
+    }
+    i_am_fresh_ = false;
+    hpn_ = pn;
+    Message resp(MsgType::kOpxPrepareResp, ProtoId::kOnePaxos, cfg_.base.self, m.src);
+    resp.u.opx_prepare_resp.acceptor = cfg_.base.self;
+    resp.u.opx_prepare_resp.pn = pn;
+    // One past the highest instance this acceptor has seen: the adopter's
+    // allocation lower bound.
+    Instance frontier = std::max(log_.end(), alloc_frontier_);
+    if (!ap_.empty()) frontier = std::max(frontier, ap_.rbegin()->first + 1);
+    resp.u.opx_prepare_resp.frontier = frontier;
+    std::int32_t n = 0;
+    for (const auto& [in, prop] : ap_) {
+      if (n >= kMaxProposalsPerMsg) break;
+      resp.u.opx_prepare_resp.accepted[n++] = prop;
+    }
+    resp.u.opx_prepare_resp.num_accepted = n;
+    ctx.send(m.src, resp);
+  } else {
+    Message ab(MsgType::kOpxAbandon, ProtoId::kOnePaxos, cfg_.base.self, m.src);
+    ab.u.opx_abandon.higher_pn = hpn_;
+    ctx.send(m.src, ab);
+  }
+}
+
+void OnePaxosEngine::handle_prepare_resp(Context& ctx, const Message& m) {
+  // Fig. 12: "if (IamLeader || Ai != Aa) return".
+  if (i_am_leader_ || m.u.opx_prepare_resp.acceptor != active_acceptor_ ||
+      !(m.u.opx_prepare_resp.pn == my_pn_)) {
+    return;
+  }
+  prepare_outstanding_ = false;
+  i_am_leader_ = true;
+  current_leader_ = cfg_.base.self;
+  alloc_frontier_ = std::max(alloc_frontier_, m.u.opx_prepare_resp.frontier);
+  register_proposals(m.u.opx_prepare_resp.accepted, m.u.opx_prepare_resp.num_accepted);
+  // Re-propose every uncommitted value we are responsible for, then take
+  // new client commands.
+  for (const auto& [in, cmd] : proposed_) {
+    next_instance_ = std::max(next_instance_, in + 1);
+    accept_times_.erase(in);
+    send_accept(ctx, in);
+  }
+  pump(ctx);
+}
+
+void OnePaxosEngine::handle_abandon(Context& ctx, const Message& m) {
+  if (m.src != active_acceptor_) return;  // stale abandon from an old acceptor
+  const ProposalNum higher = m.u.opx_abandon.higher_pn;
+  pn_counter_ = std::max(pn_counter_, higher.counter);
+  if (prepare_outstanding_) {
+    // Our adoption attempt was outbid. If the utility log still names us
+    // Global leader, the competing ballot is a leftover from a previous
+    // leadership stint (e.g. a reused backup's old hpn): escalate the
+    // ballot and knock again. Otherwise a real successor exists.
+    const NodeId global_leader = utility_.last_leader();
+    if (global_leader == cfg_.base.self) {
+      send_prepare(ctx, prepare_fresh_flag_);
+    } else {
+      relinquish(ctx, global_leader);
+    }
+    return;
+  }
+  if (!i_am_leader_) return;
+  if (higher > my_pn_) {
+    // Somebody holds a higher ballot at our acceptor: our leadership is
+    // gone (they will have announced a LeaderChange; we learn the new
+    // leader from the utility log / heartbeats).
+    relinquish(ctx, kNoNode);
+    return;
+  }
+  // The acceptor rejected a ballot it should be promised to: it lost its
+  // volatile state (silent reboot). Only an established leader — whose
+  // `proposed` map covers everything the old incarnation accepted — may
+  // replace it with a fresh backup ("the last leader should switch the
+  // rebooted acceptor", Appendix A prose).
+  on_acceptor_failure(ctx);
+}
+
+void OnePaxosEngine::register_proposals(const Proposal* props, std::int32_t n) {
+  for (std::int32_t i = 0; i < n; ++i) {
+    const Proposal& p = props[i];
+    if (log_.is_learned(p.instance)) continue;
+    proposed_[p.instance] = p.value;  // Fig. 13 registerProposals
+    next_instance_ = std::max(next_instance_, p.instance + 1);
+  }
+  CI_CHECK_MSG(static_cast<std::int32_t>(proposed_.size()) <= kMaxProposalsPerMsg,
+               "uncommitted window overflow");
+}
+
+std::vector<Proposal> OnePaxosEngine::uncommitted_proposals() const {
+  std::vector<Proposal> out;
+  for (const auto& [in, cmd] : proposed_) {
+    if (log_.is_learned(in)) continue;
+    out.push_back(Proposal{in, my_pn_, cmd});
+    if (static_cast<std::int32_t>(out.size()) >= kMaxProposalsPerMsg) break;
+  }
+  return out;
+}
+
+// ------------------------------------------------------ failure handling
+
+NodeId OnePaxosEngine::select_acceptor(NodeId failed) const {
+  // Deterministic round-robin over the replicas, skipping ourselves (§5.4
+  // placement: leader and acceptor on separate nodes) and the failed node.
+  NodeId candidate = failed == kNoNode ? cfg_.base.self : failed;
+  for (std::int32_t i = 0; i < cfg_.base.num_replicas; ++i) {
+    candidate = (candidate + 1) % cfg_.base.num_replicas;
+    if (candidate != cfg_.base.self && candidate != failed) return candidate;
+  }
+  return kNoNode;  // fewer than 2 usable replicas
+}
+
+void OnePaxosEngine::on_acceptor_failure(Context& ctx) {
+  // Fig. 12 "Upon AcceptorFailure".
+  if (switching_ != Switch::kNone || utility_.propose_in_flight()) return;
+  Instance idx = kNoInstance;
+  const NodeId global_leader = utility_.last_leader(&idx);
+  if (global_leader != cfg_.base.self) {
+    // Somebody thought I am dead.
+    relinquish(ctx, global_leader);
+    return;
+  }
+  const NodeId failed = active_acceptor_;
+  const NodeId next = select_acceptor(failed);
+  if (next == kNoNode) return;
+  UtilityEntry entry;
+  entry.kind = UtilityEntry::Kind::kAcceptorChange;
+  entry.leader = cfg_.base.self;
+  entry.acceptor = next;
+  // Everything this leadership ever allocated lies below this frontier; the
+  // next adopter must not re-fill instances whose learns were lost.
+  entry.frontier = std::max({next_instance_, log_.end(), alloc_frontier_});
+  const std::vector<Proposal> props = uncommitted_proposals();
+  entry.num_proposals = static_cast<std::int32_t>(props.size());
+  for (std::size_t i = 0; i < props.size(); ++i) entry.proposals[i] = props[i];
+  switching_ = Switch::kAcceptorChange;
+  pending_acceptor_ = next;
+  // A backup that never served as acceptor must be fresh; a reused one
+  // legitimately holds an hpn from its previous stint.
+  pending_must_be_fresh_ = ever_acceptors_.count(next) == 0;
+  // Anchor to the snapshot this decision was computed from (Fig. 12 l.3/10):
+  // a concurrent reconfiguration makes the proposal fail instead of
+  // installing a stale view.
+  const Instance snapshot = utility_.next_instance();
+  const bool started = utility_.propose(ctx, entry, [this](Context& cctx, bool ok) {
+    switching_ = Switch::kNone;
+    if (!ok) {
+      // Another entry won this utility instance; if it made someone else
+      // the Global leader we must stand down, otherwise retry later.
+      if (utility_.last_leader() != cfg_.base.self) relinquish(cctx, utility_.last_leader());
+      return;
+    }
+    active_acceptor_ = pending_acceptor_;
+    i_am_leader_ = false;  // must re-adopt the new acceptor (Fig. 12 l.13)
+    prepare_outstanding_ = false;
+    prepare_can_rotate_ = true;  // our proposed map is complete
+    last_acceptor_contact_ = cctx.now();
+    send_prepare(cctx, pending_must_be_fresh_);
+  }, snapshot);
+  if (!started) switching_ = Switch::kNone;
+}
+
+void OnePaxosEngine::try_takeover(Context& ctx) {
+  // Fig. 12 "proc propose", non-leader path — stage 1: probe the acceptor.
+  if (i_am_leader_ || switching_ != Switch::kNone || prepare_outstanding_ ||
+      utility_.propose_in_flight()) {
+    return;
+  }
+  const PaxosUtility::AcceptorInfo info = utility_.last_active_acceptor();
+  CI_CHECK_MSG(info.acceptor != kNoNode, "no bootstrap AcceptorChange entry");
+  if (info.acceptor == cfg_.base.self) {
+    // We host the acceptor role; adopting ourselves would collapse the
+    // leader/acceptor separation (§5.4). Let another proposer take over.
+    return;
+  }
+  if (probe_acceptor_ != kNoNode) return;  // probe already in flight
+  probe_acceptor_ = info.acceptor;
+  probe_sent_ = ctx.now();
+  Message ping(MsgType::kPing, ProtoId::kOnePaxos, cfg_.base.self, info.acceptor);
+  ctx.send(info.acceptor, ping);
+}
+
+void OnePaxosEngine::begin_leader_change(Context& ctx) {
+  // Stage 2, after the acceptor answered the probe.
+  if (i_am_leader_ || switching_ != Switch::kNone || prepare_outstanding_ ||
+      utility_.propose_in_flight()) {
+    return;
+  }
+  const PaxosUtility::AcceptorInfo info = utility_.last_active_acceptor();
+  if (info.acceptor == kNoNode || info.acceptor == cfg_.base.self) return;
+  UtilityEntry entry;
+  entry.kind = UtilityEntry::Kind::kLeaderChange;
+  entry.leader = cfg_.base.self;
+  entry.acceptor = info.acceptor;
+  pending_acceptor_ = info.acceptor;
+  pending_register_.assign(info.entry->proposals,
+                           info.entry->proposals + info.entry->num_proposals);
+  switching_ = Switch::kLeaderChange;
+  // Anchor to the snapshot the acceptor id was read from (Fig. 12 l.27/29):
+  // if any entry lands in between — e.g. the old leader replacing the
+  // acceptor — this proposal fails and we re-read instead of adopting a
+  // stale acceptor.
+  const Instance snapshot = utility_.next_instance();
+  const bool started = utility_.propose(ctx, entry, [this](Context& cctx, bool ok) {
+    switching_ = Switch::kNone;
+    if (!ok) {
+      active_acceptor_ = kNoNode;  // Fig. 12 l.31: retry later from scratch
+      return;
+    }
+    active_acceptor_ = pending_acceptor_;
+    current_leader_ = cfg_.base.self;
+    last_acceptor_contact_ = cctx.now();
+    prepare_outstanding_ = false;
+    prepare_can_rotate_ = false;  // we need the old acceptor's memory
+    for (const Proposal& p : pending_register_) register_proposals(&p, 1);
+    // The previous leader already adopted this acceptor: expect it to be
+    // non-fresh (see the fidelity note in the class comment).
+    send_prepare(cctx, /*must_be_fresh=*/false);
+  }, snapshot);
+  if (!started) switching_ = Switch::kNone;
+}
+
+void OnePaxosEngine::relinquish(Context& ctx, NodeId new_leader) {
+  const bool had_role = i_am_leader_ || prepare_outstanding_;
+  i_am_leader_ = false;
+  prepare_outstanding_ = false;
+  active_acceptor_ = kNoNode;
+  recovery_poll_ = false;
+  probe_acceptor_ = kNoNode;
+  if (new_leader != kNoNode && new_leader != cfg_.base.self) {
+    current_leader_ = new_leader;
+    last_leader_contact_ = ctx.now();
+  }
+  if (had_role) {
+    // Hand unfinished commands to whoever leads now; executor dedup makes
+    // double proposals harmless.
+    for (const auto& [in, cmd] : proposed_) {
+      if (cmd.client != kNoNode) pending_.push_back(cmd);
+    }
+    proposed_.clear();
+    accept_times_.clear();
+    forward_pending(ctx);
+  }
+}
+
+void OnePaxosEngine::forward_pending(Context& ctx) {
+  if (current_leader_ == kNoNode || current_leader_ == cfg_.base.self) return;
+  while (!pending_.empty()) {
+    const Command cmd = pending_.front();
+    pending_.pop_front();
+    if (cmd.client == kNoNode) continue;
+    Message fwd(MsgType::kClientRequest, ProtoId::kOnePaxos, cfg_.base.self, current_leader_);
+    fwd.u.client_request.cmd = cmd;
+    ctx.send(current_leader_, fwd);
+  }
+}
+
+void OnePaxosEngine::on_utility_decided(Context& ctx, Instance idx, const UtilityEntry& e) {
+  if (e.acceptor != kNoNode) ever_acceptors_.insert(e.acceptor);
+  alloc_frontier_ = std::max(alloc_frontier_, e.frontier);
+  if (e.kind == UtilityEntry::Kind::kLeaderChange) {
+    current_leader_epoch_ = std::max(current_leader_epoch_, idx);
+    if (e.leader != cfg_.base.self) {
+      // "If the leader observes this announcement, it must consider its
+      // position as relinquished" (§5.3).
+      relinquish(ctx, e.leader);
+    }
+  } else if (e.kind == UtilityEntry::Kind::kAcceptorChange) {
+    if (e.leader != cfg_.base.self && (i_am_leader_ || prepare_outstanding_)) {
+      // Lemma 1: only the Global leader inserts AcceptorChange — seeing a
+      // foreign one means our leadership is stale.
+      relinquish(ctx, e.leader);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- timers
+
+void OnePaxosEngine::tick(Context& ctx) {
+  utility_.tick(ctx);
+  const Nanos now = ctx.now();
+
+  // A global leader still establishing itself (prepare in flight after a
+  // LeaderChange/AcceptorChange) also heartbeats: follower detectors must
+  // stay quiet or they depose it mid-recovery and restart the dance.
+  const bool establishing =
+      prepare_outstanding_ && utility_.last_leader() == cfg_.base.self;
+  if ((i_am_leader_ || establishing) &&
+      now - last_heartbeat_sent_ >= cfg_.base.heartbeat_period) {
+    last_heartbeat_sent_ = now;
+    for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
+      if (r == cfg_.base.self) continue;
+      Message hb(MsgType::kHeartbeat, ProtoId::kOnePaxos, cfg_.base.self, r);
+      if (establishing) hb.flags = kFlagEstablishing;  // buys recovery patience
+      hb.u.heartbeat.leader = cfg_.base.self;
+      hb.u.heartbeat.committed = log_.first_gap();
+      hb.u.heartbeat.ballot.counter = current_leader_epoch_;  // view version
+      hb.u.heartbeat.ballot.node = cfg_.base.self;
+      ctx.send(r, hb);
+    }
+  }
+
+  if (i_am_leader_) {
+    // Retry outstanding accepts; detect a silent acceptor.
+    bool acceptor_suspect = false;
+    for (auto& [in, t] : accept_times_) {
+      if (proposed_.count(in) == 0) continue;
+      if (now - t.first_sent >= cfg_.base.fd_timeout) acceptor_suspect = true;
+      if (now - t.last_sent >= cfg_.base.retry_timeout) send_accept(ctx, in);
+    }
+    if (accept_times_.empty()) {
+      // Idle: keep probing the acceptor so its failure is noticed before
+      // the next client request stalls on it.
+      if (now - last_ping_sent_ >= cfg_.base.heartbeat_period) {
+        last_ping_sent_ = now;
+        Message ping(MsgType::kPing, ProtoId::kOnePaxos, cfg_.base.self, active_acceptor_);
+        ctx.send(active_acceptor_, ping);
+      }
+      if (now - last_acceptor_contact_ >= cfg_.base.fd_timeout) acceptor_suspect = true;
+    }
+    if (acceptor_suspect) on_acceptor_failure(ctx);
+    // A leader whose own log has holes below the allocation frontier (lost
+    // learns from a previous reign) cannot execute or reply past them; pull
+    // the values from the other replicas.
+    if (log_.first_gap() < alloc_frontier_ &&
+        now - last_catchup_sent_ >= cfg_.base.retry_timeout) {
+      last_catchup_sent_ = now;
+      for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
+        if (r == cfg_.base.self) continue;
+        Message req(MsgType::kOpxCatchupReq, ProtoId::kOnePaxos, cfg_.base.self, r);
+        req.u.opx_catchup_req.from_instance = log_.first_gap();
+        ctx.send(r, req);
+      }
+    }
+    return;
+  }
+
+  if (prepare_outstanding_) {
+    if (prepare_can_rotate_ && now - prepare_first_sent_ >= cfg_.base.fd_timeout) {
+      // We are the Global leader adopting a backup after our own
+      // AcceptorChange, so our `proposed` map is complete. A silent target
+      // may be dead — or a reused backup that rebooted and now fails the
+      // freshness check. Try the flipped expectation once (safe for an
+      // established leader), then pick another backup
+      // (on_acceptor_failure re-verifies global leadership).
+      if (!prepare_fresh_flag_ && !prepare_flip_tried_) {
+        prepare_flip_tried_ = true;
+        prepare_outstanding_ = false;
+        send_prepare(ctx, /*must_be_fresh=*/true);
+        return;
+      }
+      prepare_flip_tried_ = false;
+      prepare_outstanding_ = false;
+      on_acceptor_failure(ctx);
+    } else if (!prepare_can_rotate_ &&
+               now - prepare_first_sent_ >= cfg_.base.fd_timeout * 3) {
+      // Takeover adoption has gone unanswered for a long time: the acceptor
+      // is dead or silently rebooted, and its short-term memory is
+      // unrecoverable — but we ARE the Global leader (the LeaderChange
+      // decided). Under the paper's reliable links, every fully-broadcast
+      // learn reached its learners, so a frontier poll over the reachable
+      // replicas bounds every allocation; above it we may safely restart
+      // with a different acceptor ("the proposers can safely restart the
+      // Paxos instance", §4.3). Poll, wait one detector period, switch.
+      if (utility_.last_leader() != cfg_.base.self) {
+        relinquish(ctx, utility_.last_leader());
+      } else if (!recovery_poll_) {
+        recovery_poll_ = true;
+        recovery_poll_started_ = now;
+        alloc_frontier_ = std::max(alloc_frontier_, log_.end());
+        for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
+          if (r == cfg_.base.self) continue;
+          Message ping(MsgType::kPing, ProtoId::kOnePaxos, cfg_.base.self, r);
+          ctx.send(r, ping);
+        }
+      } else if (now - recovery_poll_started_ >= cfg_.base.fd_timeout) {
+        recovery_poll_ = false;
+        prepare_outstanding_ = false;
+        on_acceptor_failure(ctx);  // AcceptorChange with the polled frontier
+      }
+    } else if (now - prepare_last_sent_ >= cfg_.base.retry_timeout) {
+      // Keep knocking. A takeover proposer (fresh flag false) must NOT
+      // hastily replace the acceptor: it does not know the acceptor's
+      // short-term memory, and losing it can violate consistency. This is
+      // the §5.4 trade-off — wait for the acceptor (or the recovery poll
+      // above, once the silence is long enough to mean reboot/death).
+      // Retries use a fresh ballot so a response to an older ballot cannot
+      // be confused with the current attempt.
+      send_prepare(ctx, prepare_fresh_flag_);
+    }
+    return;
+  }
+
+  if (probe_acceptor_ != kNoNode && now - probe_sent_ >= cfg_.base.fd_timeout) {
+    // The acceptor never answered the takeover probe: with the leader also
+    // suspected this is the §5.4 blocked configuration; retry later.
+    probe_acceptor_ = kNoNode;
+  }
+  if (switching_ == Switch::kNone && !utility_.propose_in_flight() &&
+      probe_acceptor_ == kNoNode) {
+    if (suspect_leader(now) && (current_leader_ != cfg_.base.self || !pending_.empty())) {
+      try_takeover(ctx);
+    } else if (!pending_.empty() && current_leader_ != kNoNode &&
+               current_leader_ != cfg_.base.self &&
+               now - last_leader_contact_ <= cfg_.base.fd_timeout / 2) {
+      // Forward held commands only on recent positive evidence the leader
+      // is alive — a command queued on client suspicion must not be lobbed
+      // at a silent leader just because our own detector has not fired yet.
+      forward_pending(ctx);
+    }
+  }
+}
+
+}  // namespace ci::core

@@ -1,0 +1,53 @@
+#include "core/protocol.hpp"
+
+#include "consensus/basic_paxos.hpp"
+#include "consensus/multi_paxos.hpp"
+#include "consensus/two_pc.hpp"
+#include "core/one_paxos.hpp"
+
+namespace ci::core {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kTwoPc:
+      return "2PC";
+    case Protocol::kBasicPaxos:
+      return "Basic-Paxos";
+    case Protocol::kMultiPaxos:
+      return "Multi-Paxos";
+    case Protocol::kOnePaxos:
+      return "1Paxos";
+  }
+  return "?";
+}
+
+std::unique_ptr<Engine> make_replica_engine(Protocol p, const EngineConfig& cfg,
+                                            const ProtocolOptions& opts) {
+  switch (p) {
+    case Protocol::kTwoPc: {
+      consensus::TwoPcConfig tc;
+      tc.base = cfg;
+      tc.coordinator = opts.leader;
+      return std::make_unique<consensus::TwoPcEngine>(tc);
+    }
+    case Protocol::kBasicPaxos:
+      return std::make_unique<consensus::BasicPaxosEngine>(cfg);
+    case Protocol::kMultiPaxos: {
+      consensus::MultiPaxosConfig mc;
+      mc.base = cfg;
+      mc.initial_leader = opts.leader;
+      mc.acceptor_count = opts.acceptor_count;
+      return std::make_unique<consensus::MultiPaxosEngine>(mc);
+    }
+    case Protocol::kOnePaxos: {
+      OnePaxosConfig oc;
+      oc.base = cfg;
+      oc.initial_leader = opts.leader;
+      oc.initial_acceptor = cfg.num_replicas > 1 ? opts.initial_acceptor : opts.leader;
+      return std::make_unique<OnePaxosEngine>(oc);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ci::core

@@ -1,0 +1,59 @@
+#include "kv/kv_store.hpp"
+
+#include "common/affinity.hpp"
+#include "common/check.hpp"
+
+namespace ci::kv {
+
+ReplicatedKv::ReplicatedKv(const Options& opts) : opts_(opts) {
+  const std::int32_t R = opts.num_replicas;
+  const std::int32_t S = opts.num_sessions;
+  CI_CHECK(R >= 1);
+  CI_CHECK(S >= 1);
+  const std::int32_t total = R + S;
+
+  net_ = std::make_unique<qclt::Network>();
+
+  core::ProtocolOptions popts;
+  for (consensus::NodeId r = 0; r < R; ++r) {
+    sms_.push_back(std::make_unique<consensus::MapStateMachine>());
+    consensus::EngineConfig cfg;
+    cfg.self = r;
+    cfg.num_replicas = R;
+    cfg.fd_timeout = opts.fd_timeout;
+    cfg.state_machine = sms_.back().get();
+    replicas_.push_back(core::make_replica_engine(opts.protocol, cfg, popts));
+  }
+  for (std::int32_t s = 0; s < S; ++s) {
+    SyncClientConfig cc;
+    cc.base.self = R + s;
+    cc.base.num_replicas = R;
+    cc.request_timeout = opts.request_timeout;
+    sessions_.push_back(std::make_unique<SyncClientEngine>(cc));
+  }
+
+  const bool pin = opts.pin && pinning_available();
+  for (consensus::NodeId r = 0; r < R; ++r) {
+    nodes_.push_back(std::make_unique<rt::RtNode>(
+        r, total, replicas_[static_cast<std::size_t>(r)].get(), net_.get(),
+        pin ? static_cast<int>(r) % online_cores() : -1));
+  }
+  for (std::int32_t s = 0; s < S; ++s) {
+    nodes_.push_back(std::make_unique<rt::RtNode>(
+        R + s, total, sessions_[static_cast<std::size_t>(s)].get(), net_.get(),
+        pin ? static_cast<int>(R + s) % online_cores() : -1));
+  }
+  for (auto& n : nodes_) n->start();
+}
+
+ReplicatedKv::~ReplicatedKv() {
+  for (auto& n : nodes_) n->request_stop();
+  for (auto& n : nodes_) n->join();
+}
+
+void ReplicatedKv::throttle_replica(consensus::NodeId r, std::uint32_t factor) {
+  CI_CHECK(r >= 0 && r < opts_.num_replicas);
+  nodes_[static_cast<std::size_t>(r)]->set_slow_factor(factor);
+}
+
+}  // namespace ci::kv

@@ -1,0 +1,70 @@
+// ReplicatedKv — the library's "downstream user" facade: an in-process
+// replicated key/value store whose replicas keep consistent through any of
+// the agreement protocols, over real QC-libtask message passing on pinned
+// cores. This is the paper's motivating use case (§2.1: software-managed
+// replica consistency for state that must be shared, as in Barrelfish's
+// replicated capability system).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "consensus/state_machine.hpp"
+#include "core/protocol.hpp"
+#include "kv/sync_client.hpp"
+#include "qclt/net.hpp"
+#include "rt/rt_node.hpp"
+
+namespace ci::kv {
+
+using core::Protocol;
+using core::protocol_name;
+
+class ReplicatedKv {
+ public:
+  struct Options {
+    Protocol protocol = Protocol::kOnePaxos;
+    std::int32_t num_replicas = 3;
+    std::int32_t num_sessions = 1;  // independent synchronous client handles
+    bool pin = true;
+    Nanos fd_timeout = 25 * kMillisecond;
+    Nanos request_timeout = 10 * kMillisecond;
+  };
+
+  explicit ReplicatedKv(const Options& opts);
+  ~ReplicatedKv();
+
+  ReplicatedKv(const ReplicatedKv&) = delete;
+  ReplicatedKv& operator=(const ReplicatedKv&) = delete;
+
+  // Synchronous sessions; each may be driven by one application thread at a
+  // time. Linearizable through the protocol: put returns the old value, get
+  // the current one.
+  SyncClientEngine& session(std::int32_t i) { return *sessions_[static_cast<std::size_t>(i)]; }
+  std::int32_t session_count() const { return static_cast<std::int32_t>(sessions_.size()); }
+
+  // Relaxed-consistency local read (§7.5: "for more relaxed read
+  // consistency guarantees, local reads may be performed even with
+  // non-blocking protocols"): reads replica `r`'s executed state without a
+  // protocol round trip; may lag the commit frontier.
+  std::uint64_t local_read(consensus::NodeId r, std::uint64_t key) const {
+    return sms_[static_cast<std::size_t>(r)]->read(key);
+  }
+
+  // Fault injection: multiply replica `r`'s per-message cost.
+  void throttle_replica(consensus::NodeId r, std::uint32_t factor);
+
+  consensus::NodeId believed_leader() const { return replicas_[0]->believed_leader(); }
+  std::int32_t num_replicas() const { return opts_.num_replicas; }
+
+ private:
+  Options opts_;
+  std::unique_ptr<qclt::Network> net_;
+  std::vector<std::unique_ptr<consensus::MapStateMachine>> sms_;
+  std::vector<std::unique_ptr<consensus::Engine>> replicas_;
+  std::vector<std::unique_ptr<SyncClientEngine>> sessions_;
+  std::vector<std::unique_ptr<rt::RtNode>> nodes_;
+};
+
+}  // namespace ci::kv

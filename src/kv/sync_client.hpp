@@ -1,0 +1,123 @@
+// A synchronous (blocking-call) client for the agreement protocols: the
+// bridge between application threads and the event-driven engine world.
+//
+// One SyncClientEngine occupies one node; application threads call
+// execute() and block until the command commits. Retarget/retry behavior
+// mirrors ClientEngine (§7.6): on timeout the request goes to the next
+// replica with the leader-suspect flag set.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "consensus/engine.hpp"
+
+namespace ci::kv {
+
+using consensus::Command;
+using consensus::Context;
+using consensus::Engine;
+using consensus::Instance;
+using consensus::Message;
+using consensus::MsgType;
+using consensus::NodeId;
+using consensus::Op;
+
+struct SyncClientConfig {
+  consensus::EngineConfig base;
+  NodeId initial_target = 0;
+  Nanos request_timeout = 10 * kMillisecond;
+};
+
+class SyncClientEngine final : public Engine {
+ public:
+  explicit SyncClientEngine(const SyncClientConfig& cfg) : cfg_(cfg), target_(cfg.initial_target) {}
+
+  // Blocking; callable from any thread except the hosting node's. Returns
+  // the operation result (previous value for writes, value for reads).
+  std::uint64_t execute(Op op, std::uint64_t key, std::uint64_t value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    caller_cv_.wait(lock, [this] { return !op_pending_; });  // serialize callers
+    op_pending_ = true;
+    op_done_ = false;
+    next_seq_++;
+    pending_cmd_ = Command{};
+    pending_cmd_.client = cfg_.base.self;
+    pending_cmd_.seq = next_seq_;
+    pending_cmd_.op = op;
+    pending_cmd_.key = key;
+    pending_cmd_.value = value;
+    op_submitted_ = false;
+    done_cv_.wait(lock, [this] { return op_done_; });
+    const std::uint64_t result = result_;
+    op_pending_ = false;
+    caller_cv_.notify_one();
+    return result;
+  }
+
+  std::uint64_t put(std::uint64_t key, std::uint64_t value) {
+    return execute(Op::kWrite, key, value);
+  }
+  std::uint64_t get(std::uint64_t key) { return execute(Op::kRead, key, 0); }
+
+  // ---- Engine side (hosting node thread) ----
+
+  void on_message(Context& ctx, const Message& m) override {
+    (void)ctx;
+    if (m.type != MsgType::kClientReply) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!op_pending_ || !op_submitted_ || m.u.client_reply.seq != pending_cmd_.seq) return;
+    if (m.u.client_reply.leader_hint != consensus::kNoNode) {
+      target_ = m.u.client_reply.leader_hint;
+    }
+    result_ = m.u.client_reply.result;
+    op_done_ = true;
+    done_cv_.notify_all();
+  }
+
+  void tick(Context& ctx) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!op_pending_ || op_done_) return;
+    const Nanos now = ctx.now();
+    if (!op_submitted_) {
+      op_submitted_ = true;
+      suspect_ = false;
+      send_locked(ctx, now);
+      return;
+    }
+    if (now - last_sent_ >= cfg_.request_timeout) {
+      target_ = (target_ + 1) % cfg_.base.num_replicas;
+      suspect_ = true;
+      send_locked(ctx, now);
+    }
+  }
+
+  NodeId believed_leader() const override { return target_; }
+
+ private:
+  void send_locked(Context& ctx, Nanos now) {
+    last_sent_ = now;
+    Message m(MsgType::kClientRequest, consensus::ProtoId::kClient, cfg_.base.self, target_);
+    if (suspect_) m.flags = consensus::kFlagLeaderSuspect;
+    m.u.client_request.cmd = pending_cmd_;
+    ctx.send(target_, m);
+  }
+
+  SyncClientConfig cfg_;
+  NodeId target_;
+
+  std::mutex mu_;
+  std::condition_variable caller_cv_;
+  std::condition_variable done_cv_;
+  bool op_pending_ = false;
+  bool op_submitted_ = false;
+  bool op_done_ = false;
+  bool suspect_ = false;
+  std::uint32_t next_seq_ = 0;
+  Command pending_cmd_;
+  std::uint64_t result_ = 0;
+  Nanos last_sent_ = 0;
+};
+
+}  // namespace ci::kv

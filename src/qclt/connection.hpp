@@ -1,0 +1,173 @@
+// Framed, message-oriented view over a pair of SPSC slot queues.
+//
+// Fast-path protocol messages fit a single 128-byte slot; rare large
+// messages (1Paxos AcceptorChange carrying uncommitted proposals) are split
+// into consecutive fragments. Fragments of one message are contiguous in the
+// queue because each queue has exactly one writer.
+//
+// Two APIs are offered, mirroring QC-libtask:
+//   * blocking  — read()/write() yield the current user-level task until
+//     progress is possible (the paper's fdread/fdwrite style);
+//   * polling   — try_read()/try_write() for event-loop users.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/check.hpp"
+#include "qclt/scheduler.hpp"
+#include "qclt/spsc_queue.hpp"
+
+namespace ci::qclt {
+
+namespace wire {
+
+struct FragmentHeader {
+  std::uint32_t msg_len;     // total message length in bytes
+  std::uint16_t frag_index;  // 0-based fragment number
+  std::uint16_t reserved;
+};
+static_assert(sizeof(FragmentHeader) == 8);
+
+inline constexpr std::size_t kFragPayload = kSlotSize - sizeof(FragmentHeader);
+
+inline std::uint32_t fragments_for(std::uint32_t len) {
+  if (len == 0) return 1;
+  return static_cast<std::uint32_t>((len + kFragPayload - 1) / kFragPayload);
+}
+
+}  // namespace wire
+
+class Connection {
+ public:
+  // `out` is written by this side, `in` is read by this side. `sched` may be
+  // null when only the try_* API is used.
+  Connection(SpscQueue* out, SpscQueue* in, Scheduler* sched = nullptr)
+      : out_(out), in_(in), sched_(sched) {}
+
+  SpscQueue* out_queue() { return out_; }
+  SpscQueue* in_queue() { return in_; }
+
+  // Largest message this connection can carry (all fragments must fit the
+  // queue simultaneously for the all-or-nothing try_write).
+  std::size_t max_message_bytes() const { return out_->capacity() * wire::kFragPayload; }
+
+  // ---- Polling API ----
+
+  // Writes the whole message or nothing; false when the queue lacks space.
+  bool try_write(const void* data, std::uint32_t len) {
+    const std::uint32_t frags = wire::fragments_for(len);
+    CI_CHECK_MSG(frags <= out_->capacity(), "message exceeds connection capacity");
+    if (out_->free_slots() < frags) return false;
+    write_fragments(data, len, frags);
+    return true;
+  }
+
+  // Appends a complete message to `buf` if one is fully available; returns
+  // its length or -1. Partial fragment sequences are buffered internally, so
+  // a false return never loses data.
+  std::int32_t try_read(void* buf, std::size_t cap) {
+    while (true) {
+      const void* slot = in_->try_front();
+      if (slot == nullptr) return -1;
+      const auto* hdr = static_cast<const wire::FragmentHeader*>(slot);
+      const auto* payload = static_cast<const unsigned char*>(slot) + sizeof(wire::FragmentHeader);
+      const std::uint32_t len = hdr->msg_len;
+      const std::uint32_t frags = wire::fragments_for(len);
+      if (frags == 1) {
+        CI_CHECK_MSG(hdr->frag_index == 0, "fragment stream out of sync");
+        CI_CHECK_MSG(len <= cap, "read buffer too small");
+        std::memcpy(buf, payload, len);
+        in_->release_read();
+        return static_cast<std::int32_t>(len);
+      }
+      // Multi-fragment path.
+      CI_CHECK_MSG(hdr->frag_index == reassembly_next_, "fragment stream out of sync");
+      if (hdr->frag_index == 0) reassembly_.clear();
+      const std::size_t off = reassembly_.size();
+      const std::size_t chunk =
+          static_cast<std::uint32_t>(hdr->frag_index) + 1 == frags ? len - off : wire::kFragPayload;
+      reassembly_.insert(reassembly_.end(), payload, payload + chunk);
+      in_->release_read();
+      reassembly_next_++;
+      if (reassembly_next_ == frags) {
+        reassembly_next_ = 0;
+        CI_CHECK_MSG(len <= cap, "read buffer too small");
+        std::memcpy(buf, reassembly_.data(), len);
+        reassembly_.clear();
+        return static_cast<std::int32_t>(len);
+      }
+      // Continue looping: more fragments may already be queued.
+    }
+  }
+
+  // ---- Blocking API (must run inside a task of `sched`) ----
+
+  // Returns false only when the scheduler is stopping.
+  bool write(const void* data, std::uint32_t len) {
+    CI_CHECK(sched_ != nullptr);
+    const std::uint32_t frags = wire::fragments_for(len);
+    // Blocking mode may stream messages larger than the queue: fragments are
+    // written as slots free up (the reader tolerates partial sequences), so
+    // wait per-fragment rather than for `frags` slots at once.
+    const auto* src = static_cast<const unsigned char*>(data);
+    std::uint32_t remaining = len;
+    for (std::uint32_t i = 0; i < frags; ++i) {
+      void* slot;
+      while ((slot = out_->try_acquire_slot()) == nullptr) {
+        if (!sched_->wait_writable(out_) && out_->free_slots() == 0) return false;
+      }
+      auto* hdr = static_cast<wire::FragmentHeader*>(slot);
+      hdr->msg_len = len;
+      hdr->frag_index = static_cast<std::uint16_t>(i);
+      hdr->reserved = 0;
+      const std::size_t chunk =
+          remaining < wire::kFragPayload ? remaining : wire::kFragPayload;
+      std::memcpy(static_cast<unsigned char*>(slot) + sizeof(wire::FragmentHeader), src, chunk);
+      out_->commit_write();
+      src += chunk;
+      remaining -= static_cast<std::uint32_t>(chunk);
+    }
+    return true;
+  }
+
+  // Returns message length, or -1 when the scheduler is stopping.
+  std::int32_t read(void* buf, std::size_t cap) {
+    CI_CHECK(sched_ != nullptr);
+    while (true) {
+      const std::int32_t n = try_read(buf, cap);
+      if (n >= 0) return n;
+      if (!sched_->wait_readable(in_) && in_->readable_slots() == 0) return -1;
+    }
+  }
+
+ private:
+  void write_fragments(const void* data, std::uint32_t len, std::uint32_t frags) {
+    const auto* src = static_cast<const unsigned char*>(data);
+    std::uint32_t remaining = len;
+    for (std::uint32_t i = 0; i < frags; ++i) {
+      void* slot = out_->try_acquire_slot();
+      CI_CHECK(slot != nullptr);  // caller reserved space
+      auto* hdr = static_cast<wire::FragmentHeader*>(slot);
+      hdr->msg_len = len;
+      hdr->frag_index = static_cast<std::uint16_t>(i);
+      hdr->reserved = 0;
+      const std::size_t chunk =
+          remaining < wire::kFragPayload ? remaining : wire::kFragPayload;
+      std::memcpy(static_cast<unsigned char*>(slot) + sizeof(wire::FragmentHeader), src, chunk);
+      out_->commit_write();
+      src += chunk;
+      remaining -= static_cast<std::uint32_t>(chunk);
+    }
+  }
+
+  SpscQueue* out_;
+  SpscQueue* in_;
+  Scheduler* sched_;
+  std::vector<unsigned char> reassembly_;
+  std::uint32_t reassembly_next_ = 0;
+};
+
+}  // namespace ci::qclt

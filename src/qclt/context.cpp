@@ -1,0 +1,70 @@
+#include "qclt/context.hpp"
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace ci::qclt {
+
+#if CI_QCLT_UCONTEXT
+
+namespace {
+
+void entry_thunk(unsigned hi, unsigned lo, unsigned fhi, unsigned flo) {
+  auto arg = reinterpret_cast<void*>((static_cast<std::uintptr_t>(hi) << 32) | lo);
+  auto entry = reinterpret_cast<CtxEntryFn>((static_cast<std::uintptr_t>(fhi) << 32) | flo);
+  entry(arg);
+  CI_CHECK_MSG(false, "task entry returned");
+}
+
+}  // namespace
+
+void ctx_create(ExecContext& ctx, void* stack_base, std::size_t stack_size, CtxEntryFn entry,
+                void* arg) {
+  CI_CHECK(getcontext(&ctx.uc) == 0);
+  ctx.uc.uc_stack.ss_sp = stack_base;
+  ctx.uc.uc_stack.ss_size = stack_size;
+  ctx.uc.uc_link = nullptr;
+  const auto a = reinterpret_cast<std::uintptr_t>(arg);
+  const auto f = reinterpret_cast<std::uintptr_t>(entry);
+  makecontext(&ctx.uc, reinterpret_cast<void (*)()>(entry_thunk), 4,
+              static_cast<unsigned>(a >> 32), static_cast<unsigned>(a & 0xffffffffu),
+              static_cast<unsigned>(f >> 32), static_cast<unsigned>(f & 0xffffffffu));
+}
+
+void ctx_switch(ExecContext& from, ExecContext& to) {
+  CI_CHECK(swapcontext(&from.uc, &to.uc) == 0);
+}
+
+#else  // x86-64 assembly backend
+
+extern "C" {
+void ci_qclt_ctx_switch(void** save_sp, void* restore_sp);
+void ci_qclt_ctx_entry();
+}
+
+void ctx_create(ExecContext& ctx, void* stack_base, std::size_t stack_size, CtxEntryFn entry,
+                void* arg) {
+  auto base = reinterpret_cast<std::uintptr_t>(stack_base) + stack_size;
+  base &= ~static_cast<std::uintptr_t>(15);  // 16-align the stack top
+  auto* sp = reinterpret_cast<std::uint64_t*>(base);
+  // Stack as ci_qclt_ctx_switch expects it (top to bottom): scratch slot,
+  // return address, then rbp/rbx/r12/r13/r14/r15 in pop order.
+  *--sp = 0;                                              // alignment scratch
+  *--sp = reinterpret_cast<std::uint64_t>(&ci_qclt_ctx_entry);  // 'return' target
+  *--sp = 0;                                              // rbp
+  *--sp = reinterpret_cast<std::uint64_t>(entry);         // rbx -> entry fn
+  *--sp = reinterpret_cast<std::uint64_t>(arg);           // r12 -> argument
+  *--sp = 0;                                              // r13
+  *--sp = 0;                                              // r14
+  *--sp = 0;                                              // r15
+  ctx.sp = sp;
+}
+
+void ctx_switch(ExecContext& from, ExecContext& to) {
+  ci_qclt_ctx_switch(&from.sp, to.sp);
+}
+
+#endif
+
+}  // namespace ci::qclt

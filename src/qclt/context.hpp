@@ -1,0 +1,42 @@
+// Execution-context switching for user-level tasks.
+//
+// QC-libtask's whole point (paper §6.2) is that delivering a message costs a
+// lightweight *user-level* context switch instead of an OS one. The default
+// backend is ~20 instructions of x86-64 assembly that swap callee-saved
+// registers and the stack pointer; a ucontext backend is kept for other
+// architectures and for debugging (-DCI_QCLT_FORCE_UCONTEXT=ON), at the cost
+// of a sigprocmask syscall per switch.
+#pragma once
+
+#include <cstddef>
+
+#if !defined(CI_QCLT_UCONTEXT) && !defined(__x86_64__)
+#define CI_QCLT_UCONTEXT 1
+#endif
+
+#if CI_QCLT_UCONTEXT
+#include <ucontext.h>
+#endif
+
+namespace ci::qclt {
+
+struct ExecContext {
+#if CI_QCLT_UCONTEXT
+  ucontext_t uc;
+#else
+  void* sp = nullptr;
+#endif
+};
+
+using CtxEntryFn = void (*)(void*);
+
+// Prepares `ctx` so the first switch into it calls entry(arg) on the given
+// stack. `stack_base` is the lowest address; the stack grows down from
+// stack_base + stack_size.
+void ctx_create(ExecContext& ctx, void* stack_base, std::size_t stack_size, CtxEntryFn entry,
+                void* arg);
+
+// Saves the current context into `from` and resumes `to`.
+void ctx_switch(ExecContext& from, ExecContext& to);
+
+}  // namespace ci::qclt

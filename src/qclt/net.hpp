@@ -1,0 +1,120 @@
+// Connection establishment between nodes, in the style of libtask's
+// netlisten/netdial (paper §6.2): a replica listens, clients dial, and each
+// established connection is a pair of SPSC queues (one per direction,
+// paper Fig. 6).
+//
+// Queue memory comes from a shared arena so the same code runs over
+// anonymous memory (threads) or an shm_open segment (processes). All Network
+// methods are setup-path only and internally locked; the queues themselves
+// are the lock-free data path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/check.hpp"
+#include "qclt/shm_arena.hpp"
+#include "qclt/spsc_queue.hpp"
+
+namespace ci::qclt {
+
+// The two directed queues between a pair of endpoints, from one side's
+// point of view.
+struct Duplex {
+  SpscQueue* out = nullptr;  // written by this side
+  SpscQueue* in = nullptr;   // read by this side
+  int peer = -1;
+};
+
+class Network {
+ public:
+  explicit Network(std::uint32_t slots_per_queue = kDefaultSlots,
+                   ShmArena::Backing backing = ShmArena::Backing::kAnonymous)
+      : slots_(slots_per_queue), backing_(backing) {}
+
+  std::uint32_t slots_per_queue() const { return slots_; }
+
+  // Dials from `from` to `to`: creates the queue pair if absent, records a
+  // pending accept for `to`, and returns `from`'s view of the duplex.
+  Duplex dial(int from, int to) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Pair& p = pair_locked(from, to);
+    pending_accepts_[to].push_back(from);
+    return view_locked(p, from, to);
+  }
+
+  // Accepts one pending dial at `self`; returns false if none is pending.
+  bool accept(int self, Duplex* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_accepts_.find(self);
+    if (it == pending_accepts_.end() || it->second.empty()) return false;
+    const int from = it->second.front();
+    it->second.pop_front();
+    Pair& p = pair_locked(from, self);
+    *out = view_locked(p, self, from);
+    return true;
+  }
+
+  // Returns `self`'s duplex to `peer`, creating the queue pair if needed.
+  // Used by runtimes that set up a full mesh eagerly.
+  Duplex duplex(int self, int peer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Pair& p = pair_locked(self, peer);
+    return view_locked(p, self, peer);
+  }
+
+ private:
+  struct Pair {
+    SpscQueue* low_to_high = nullptr;  // written by min(a,b)
+    SpscQueue* high_to_low = nullptr;  // written by max(a,b)
+  };
+
+  Pair& pair_locked(int a, int b) {
+    CI_CHECK(a != b);
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    Pair& p = pairs_[key];
+    if (p.low_to_high == nullptr) {
+      p.low_to_high = make_queue_locked();
+      p.high_to_low = make_queue_locked();
+    }
+    return p;
+  }
+
+  Duplex view_locked(Pair& p, int self, int peer) {
+    Duplex d;
+    d.peer = peer;
+    if (self < peer) {
+      d.out = p.low_to_high;
+      d.in = p.high_to_low;
+    } else {
+      d.out = p.high_to_low;
+      d.in = p.low_to_high;
+    }
+    return d;
+  }
+
+  SpscQueue* make_queue_locked() {
+    const std::size_t bytes = SpscQueue::bytes_required(slots_);
+    if (arenas_.empty() || arenas_.back()->capacity() - arenas_.back()->used() < bytes + kSlotSize) {
+      arenas_.push_back(std::make_unique<ShmArena>(kArenaBytes, backing_));
+    }
+    void* mem = arenas_.back()->allocate(bytes, kSlotSize);
+    return SpscQueue::init(mem, slots_);
+  }
+
+  static constexpr std::size_t kArenaBytes = 4 * 1024 * 1024;
+
+  std::mutex mu_;
+  std::uint32_t slots_;
+  ShmArena::Backing backing_;
+  std::vector<std::unique_ptr<ShmArena>> arenas_;
+  std::map<std::pair<int, int>, Pair> pairs_;
+  std::map<int, std::deque<int>> pending_accepts_;
+};
+
+}  // namespace ci::qclt

@@ -1,0 +1,163 @@
+#include "qclt/scheduler.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace ci::qclt {
+
+namespace {
+
+thread_local Scheduler* tls_scheduler = nullptr;
+
+void cpu_relax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#endif
+}
+
+}  // namespace
+
+Task::Task(std::function<void()> fn, std::size_t stack_size, std::string name)
+    : fn_(std::move(fn)),
+      stack_(new unsigned char[stack_size]),
+      stack_size_(stack_size),
+      name_(std::move(name)) {}
+
+Scheduler::Scheduler(std::size_t default_stack_size) : default_stack_size_(default_stack_size) {}
+
+Scheduler::~Scheduler() = default;
+
+Scheduler* Scheduler::this_thread() { return tls_scheduler; }
+
+Task* Scheduler::spawn(std::function<void()> fn, std::string name) {
+  auto task = std::unique_ptr<Task>(new Task(std::move(fn), default_stack_size_, std::move(name)));
+  Task* t = task.get();
+  t->sched_ = this;
+  ctx_create(t->ctx_, t->stack_.get(), t->stack_size_, &Scheduler::task_trampoline, t);
+  tasks_.push_back(std::move(task));
+  ready_.push_back(t);
+  live_tasks_++;
+  return t;
+}
+
+void Scheduler::task_trampoline(void* self) {
+  auto* t = static_cast<Task*>(self);
+  t->fn_();
+  t->state_ = Task::State::kDone;
+  t->sched_->live_tasks_--;
+  t->sched_->back_to_scheduler();
+  CI_CHECK_MSG(false, "resumed a finished task");
+}
+
+void Scheduler::switch_to(Task* t) {
+  current_ = t;
+  t->state_ = Task::State::kRunning;
+  ctx_switch(main_ctx_, t->ctx_);
+  current_ = nullptr;
+}
+
+void Scheduler::back_to_scheduler() {
+  Task* t = current_;
+  ctx_switch(t->ctx_, main_ctx_);
+}
+
+void Scheduler::run() {
+  CI_CHECK_MSG(tls_scheduler == nullptr, "nested Scheduler::run on one thread");
+  tls_scheduler = this;
+  while (live_tasks_ > 0) {
+    if (ready_.empty()) {
+      if (!poll_waiters()) {
+        cpu_relax();
+        continue;
+      }
+    }
+    Task* t = ready_.front();
+    ready_.pop_front();
+    switch_to(t);
+    switch (t->state_) {
+      case Task::State::kRunning:  // plain yield
+        t->state_ = Task::State::kReady;
+        ready_.push_back(t);
+        break;
+      case Task::State::kWaiting:
+        waiting_.push_back(t);
+        break;
+      case Task::State::kDone:
+        break;
+      case Task::State::kReady:
+        CI_CHECK_MSG(false, "task returned in Ready state");
+    }
+    // Poll between task slices as well so that waiters are not starved by a
+    // long ready queue.
+    poll_waiters();
+  }
+  tls_scheduler = nullptr;
+}
+
+void Scheduler::yield() {
+  CI_CHECK_MSG(current_ != nullptr, "yield outside a task");
+  back_to_scheduler();
+}
+
+bool Scheduler::wait_readable(SpscQueue* q) {
+  CI_CHECK_MSG(current_ != nullptr, "wait outside a task");
+  if (q->readable_slots() > 0) return true;
+  if (stopping_) return false;
+  current_->wait_kind_ = Task::WaitKind::kReadable;
+  current_->wait_queue_ = q;
+  current_->state_ = Task::State::kWaiting;
+  back_to_scheduler();
+  return q->readable_slots() > 0;  // false => woken by stop
+}
+
+bool Scheduler::wait_writable(SpscQueue* q) {
+  CI_CHECK_MSG(current_ != nullptr, "wait outside a task");
+  if (q->free_slots() > 0) return true;
+  if (stopping_) return false;
+  current_->wait_kind_ = Task::WaitKind::kWritable;
+  current_->wait_queue_ = q;
+  current_->state_ = Task::State::kWaiting;
+  back_to_scheduler();
+  return q->free_slots() > 0;
+}
+
+bool Scheduler::poll_waiters() {
+  if (waiting_.empty()) return false;
+  bool any = false;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    Task* t = waiting_[i];
+    bool ready = stopping_;
+    if (!ready) {
+      switch (t->wait_kind_) {
+        case Task::WaitKind::kReadable:
+          ready = t->wait_queue_->readable_slots() > 0;
+          break;
+        case Task::WaitKind::kWritable:
+          ready = t->wait_queue_->free_slots() > 0;
+          break;
+        case Task::WaitKind::kNone:
+          ready = true;
+          break;
+      }
+    }
+    if (ready) {
+      t->wait_kind_ = Task::WaitKind::kNone;
+      t->wait_queue_ = nullptr;
+      t->state_ = Task::State::kReady;
+      ready_.push_back(t);
+      any = true;
+    } else {
+      waiting_[kept++] = t;
+    }
+  }
+  waiting_.resize(kept);
+  return any;
+}
+
+}  // namespace ci::qclt

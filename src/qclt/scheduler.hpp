@@ -1,0 +1,116 @@
+// Cooperative user-level task scheduler — the libtask-style core of
+// QC-libtask (paper §6.2).
+//
+// One Scheduler runs per OS thread (one per core in the runtime). Tasks are
+// spawned for each connection; a task that reads from an empty queue (or
+// writes to a full one) blocks, its wait condition joins the scheduler's
+// waiting list, and the scheduler polls all waiting conditions whenever it
+// runs out of ready tasks — "the scheduler checks for all waiting reads and,
+// upon receiving a message, loads the context of the corresponding reading
+// thread".
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qclt/context.hpp"
+#include "qclt/spsc_queue.hpp"
+
+namespace ci::qclt {
+
+class Scheduler;
+
+class Task {
+ public:
+  enum class State : std::uint8_t { kReady, kRunning, kWaiting, kDone };
+
+  State state() const { return state_; }
+  const char* name() const { return name_.c_str(); }
+
+ private:
+  friend class Scheduler;
+
+  enum class WaitKind : std::uint8_t { kNone, kReadable, kWritable };
+
+  Task(std::function<void()> fn, std::size_t stack_size, std::string name);
+
+  std::function<void()> fn_;
+  std::unique_ptr<unsigned char[]> stack_;
+  std::size_t stack_size_;
+  ExecContext ctx_{};
+  State state_ = State::kReady;
+  WaitKind wait_kind_ = WaitKind::kNone;
+  SpscQueue* wait_queue_ = nullptr;
+  std::string name_;
+  Scheduler* sched_ = nullptr;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::size_t default_stack_size = 32 * 1024);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Creates a task. May be called before run() or from inside a task.
+  Task* spawn(std::function<void()> fn, std::string name = "task");
+
+  // Runs until every task has finished or request_stop() was called and all
+  // tasks have observed it and returned.
+  void run();
+
+  // Asks tasks to finish: every blocked wait returns false ("stopped") and
+  // stopping() turns true. Callable from inside a task or from another
+  // thread (the flag is read in the scheduler loop).
+  void request_stop() { stopping_.store(true, std::memory_order_relaxed); }
+  bool stopping() const { return stopping_.load(std::memory_order_relaxed); }
+
+  // ---- Called from inside tasks ----
+
+  // Gives up the core; the task stays ready and runs again after others.
+  void yield();
+
+  // Blocks the current task until `q` has a readable slot. Returns false if
+  // woken by request_stop() instead.
+  bool wait_readable(SpscQueue* q);
+
+  // Blocks the current task until `q` has a free slot. Returns false if
+  // woken by request_stop() instead.
+  bool wait_writable(SpscQueue* q);
+
+  // The task currently executing on this scheduler (nullptr from outside).
+  Task* current() const { return current_; }
+
+  std::size_t live_tasks() const { return live_tasks_; }
+
+  // Scheduler driving the calling OS thread, if any.
+  static Scheduler* this_thread();
+
+ private:
+  friend class Task;
+
+  static void task_trampoline(void* self);
+  void switch_to(Task* t);
+  void back_to_scheduler();
+  // Moves waiters whose condition holds (or everything, when stopping) to
+  // the ready queue. Returns true if any task became ready.
+  bool poll_waiters();
+
+  std::deque<Task*> ready_;
+  std::vector<Task*> waiting_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  ExecContext main_ctx_{};
+  Task* current_ = nullptr;
+  std::size_t live_tasks_ = 0;
+  std::size_t default_stack_size_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace ci::qclt

@@ -1,0 +1,58 @@
+#include "qclt/shm_arena.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace ci::qclt {
+
+namespace {
+
+std::string unique_shm_name() {
+  static std::atomic<unsigned> counter{0};
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/ci_qclt_%d_%u", static_cast<int>(::getpid()),
+                counter.fetch_add(1));
+  return buf;
+}
+
+}  // namespace
+
+ShmArena::ShmArena(std::size_t bytes, Backing backing) : backing_(backing) {
+  CI_CHECK(bytes > 0);
+  capacity_ = bytes;
+  if (backing == Backing::kSharedMemory) {
+    shm_name_ = unique_shm_name();
+    fd_ = ::shm_open(shm_name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    CI_CHECK_MSG(fd_ >= 0, "shm_open failed");
+    CI_CHECK_MSG(::ftruncate(fd_, static_cast<off_t>(bytes)) == 0, "ftruncate failed");
+    base_ = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  } else {
+    base_ = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  }
+  CI_CHECK_MSG(base_ != MAP_FAILED, "mmap failed");
+}
+
+ShmArena::~ShmArena() {
+  if (base_ != nullptr && base_ != MAP_FAILED) ::munmap(base_, capacity_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::shm_unlink(shm_name_.c_str());
+  }
+}
+
+void* ShmArena::allocate(std::size_t bytes, std::size_t alignment) {
+  CI_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  const std::size_t aligned = (used_ + alignment - 1) & ~(alignment - 1);
+  CI_CHECK_MSG(aligned + bytes <= capacity_, "ShmArena exhausted");
+  used_ = aligned + bytes;
+  return static_cast<unsigned char*>(base_) + aligned;
+}
+
+}  // namespace ci::qclt

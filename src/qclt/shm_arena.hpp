@@ -1,0 +1,44 @@
+// Memory arena backing the message queues.
+//
+// The paper creates the communication channels in memory obtained from
+// shm_open (§6.1) so that separate processes can map them. This arena
+// supports both that mode and an anonymous-mapping mode for the common
+// threads-in-one-process deployment; queue layout is identical in both.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ci::qclt {
+
+class ShmArena {
+ public:
+  enum class Backing { kAnonymous, kSharedMemory };
+
+  // Creates an arena of `bytes` bytes. For kSharedMemory a unique
+  // /dev/shm object is created (and unlinked on destruction).
+  ShmArena(std::size_t bytes, Backing backing);
+  ~ShmArena();
+
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+
+  // Bump allocation; never freed individually. Aborts when exhausted
+  // (arena sizing is a deployment decision, not a runtime condition).
+  void* allocate(std::size_t bytes, std::size_t alignment);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  Backing backing() const { return backing_; }
+  const std::string& shm_name() const { return shm_name_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  Backing backing_;
+  std::string shm_name_;
+  int fd_ = -1;
+};
+
+}  // namespace ci::qclt

@@ -1,0 +1,153 @@
+// Single-producer single-consumer queue of fixed 128-byte slots — the
+// communication channel of QC-libtask (paper §6.1).
+//
+// Layout follows the paper: a small number of slots (seven by default), each
+// 128 bytes (two cache lines), with a head pointer moved only by the reader
+// and a tail pointer moved only by the writer, so no locks are required.
+// Writer- and reader-owned fields live on separate cache lines; each side
+// additionally caches the other side's index to avoid re-fetching the remote
+// cache line on every operation.
+//
+// The queue is a standard-layout object constructed over caller-provided
+// memory (heap or a shared-memory arena), so the exact same layout works
+// across threads and across processes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <new>
+
+#include "common/cacheline.hpp"
+#include "common/check.hpp"
+
+namespace ci::qclt {
+
+// Number of usable slots per queue, as in the paper.
+inline constexpr std::uint32_t kDefaultSlots = 7;
+
+class SpscQueue {
+ public:
+  // Bytes needed to host a queue with `capacity` usable slots.
+  static std::size_t bytes_required(std::uint32_t capacity) {
+    return sizeof(SpscQueue) + static_cast<std::size_t>(capacity) * kSlotSize;
+  }
+
+  // Constructs a queue in `mem` (which must be at least bytes_required() and
+  // kCacheLineSize-aligned). The queue does not own the memory.
+  static SpscQueue* init(void* mem, std::uint32_t capacity) {
+    CI_CHECK(capacity > 0);
+    CI_CHECK(reinterpret_cast<std::uintptr_t>(mem) % kCacheLineSize == 0);
+    return new (mem) SpscQueue(capacity);
+  }
+
+  std::uint32_t capacity() const { return capacity_; }
+
+  // ---- Writer side (exactly one thread/process) ----
+
+  // Returns a pointer to the next free 128-byte slot, or nullptr if the
+  // queue is full. The slot becomes visible to the reader only after
+  // commit_write().
+  void* try_acquire_slot() {
+    const std::uint32_t t = tail_.load(std::memory_order_relaxed);
+    if (t - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (t - cached_head_ >= capacity_) return nullptr;
+    }
+    return slot_at(t % capacity_);
+  }
+
+  void commit_write() {
+    const std::uint32_t t = tail_.load(std::memory_order_relaxed);
+    tail_.store(t + 1, std::memory_order_release);
+  }
+
+  // Convenience: copy `len` (<= kSlotSize) bytes into the next slot.
+  bool try_write(const void* data, std::size_t len) {
+    CI_CHECK(len <= kSlotSize);
+    void* slot = try_acquire_slot();
+    if (slot == nullptr) return false;
+    std::memcpy(slot, data, len);
+    commit_write();
+    return true;
+  }
+
+  // Number of free slots from the writer's point of view (refreshes the
+  // cached head so the answer is current).
+  std::uint32_t free_slots() {
+    const std::uint32_t t = tail_.load(std::memory_order_relaxed);
+    cached_head_ = head_.load(std::memory_order_acquire);
+    return capacity_ - (t - cached_head_);
+  }
+
+  // ---- Reader side (exactly one thread/process) ----
+
+  // Returns the oldest unread slot, or nullptr if the queue is empty. The
+  // slot stays valid until release_read().
+  const void* try_front() {
+    const std::uint32_t h = head_.load(std::memory_order_relaxed);
+    if (h == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (h == cached_tail_) return nullptr;
+    }
+    return slot_at(h % capacity_);
+  }
+
+  void release_read() {
+    const std::uint32_t h = head_.load(std::memory_order_relaxed);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  // Convenience: copy the next slot out. Returns false when empty.
+  bool try_read(void* out, std::size_t len) {
+    CI_CHECK(len <= kSlotSize);
+    const void* slot = try_front();
+    if (slot == nullptr) return false;
+    std::memcpy(out, slot, len);
+    release_read();
+    return true;
+  }
+
+  // Number of readable slots from the reader's point of view.
+  std::uint32_t readable_slots() {
+    const std::uint32_t h = head_.load(std::memory_order_relaxed);
+    cached_tail_ = tail_.load(std::memory_order_acquire);
+    return cached_tail_ - h;
+  }
+
+  // ---- Either side (approximate when used concurrently) ----
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+ private:
+  explicit SpscQueue(std::uint32_t capacity) : capacity_(capacity) {}
+
+  void* slot_at(std::uint32_t i) {
+    return slots_ + static_cast<std::size_t>(i) * kSlotSize;
+  }
+  const void* slot_at(std::uint32_t i) const {
+    return slots_ + static_cast<std::size_t>(i) * kSlotSize;
+  }
+
+  // Writer-owned cache line.
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> tail_{0};
+  std::uint32_t cached_head_ = 0;
+
+  // Reader-owned cache line.
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> head_{0};
+  std::uint32_t cached_tail_ = 0;
+
+  // Shared, read-only after init.
+  alignas(kCacheLineSize) const std::uint32_t capacity_;
+
+  // Slot storage begins at the next cache line (flexible tail).
+  alignas(kSlotSize) unsigned char slots_[];
+};
+
+static_assert(std::is_standard_layout_v<SpscQueue>);
+
+}  // namespace ci::qclt

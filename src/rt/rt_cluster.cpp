@@ -1,0 +1,204 @@
+#include "rt/rt_cluster.hpp"
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "common/affinity.hpp"
+#include "common/check.hpp"
+#include "consensus/two_pc.hpp"
+
+namespace ci::rt {
+
+using consensus::Command;
+using consensus::EngineConfig;
+using consensus::Instance;
+using consensus::NodeId;
+
+// The paper's load manager (§7.1, run on core 47): releases all clients
+// with a start message once its node is up.
+class RtCluster::LoadManagerEngine final : public consensus::Engine {
+ public:
+  explicit LoadManagerEngine(std::vector<NodeId> client_ids)
+      : client_ids_(std::move(client_ids)) {}
+
+  void start(consensus::Context& ctx) override {
+    for (const NodeId c : client_ids_) {
+      consensus::Message m(consensus::MsgType::kStart, consensus::ProtoId::kControl,
+                           ctx.self(), c);
+      ctx.send(c, m);
+    }
+  }
+
+  void on_message(consensus::Context&, const consensus::Message&) override {}
+
+ private:
+  std::vector<NodeId> client_ids_;
+};
+
+RtCluster::RtCluster(const RtClusterOptions& opts) : opts_(opts) {
+  const std::int32_t R = opts_.num_replicas;
+  const std::int32_t C = opts_.joint ? R : opts_.num_clients;
+  // Node ids: replicas, then (separate) clients, then the load manager.
+  const std::int32_t manager_id = opts_.joint ? R : R + C;
+  const std::int32_t total = manager_id + 1;
+  CI_CHECK(R >= 1);
+
+  net_ = std::make_unique<qclt::Network>();
+
+  auto base_cfg = [&](NodeId self) {
+    EngineConfig cfg;
+    cfg.self = self;
+    cfg.num_replicas = R;
+    cfg.retry_timeout = opts_.retry_timeout;
+    cfg.fd_timeout = opts_.fd_timeout;
+    cfg.heartbeat_period = opts_.heartbeat_period;
+    cfg.seed = opts_.seed;
+    return cfg;
+  };
+
+  core::ProtocolOptions popts;
+  popts.acceptor_count = opts_.acceptor_count;
+  for (NodeId r = 0; r < R; ++r) {
+    sms_.push_back(std::make_unique<consensus::MapStateMachine>());
+    EngineConfig cfg = base_cfg(r);
+    cfg.state_machine = sms_.back().get();
+    replicas_.push_back(core::make_replica_engine(opts_.protocol, cfg, popts));
+    burners_.push_back(std::make_unique<CoreBurner>());
+  }
+
+  for (std::int32_t c = 0; c < C; ++c) {
+    const NodeId self = opts_.joint ? c : R + c;
+    consensus::ClientConfig cc;
+    cc.base = base_cfg(self);
+    cc.initial_target = 0;
+    cc.request_timeout = opts_.request_timeout;
+    cc.think_time = opts_.think_time;
+    cc.read_fraction = opts_.read_fraction;
+    cc.total_requests = opts_.requests_per_client;
+    cc.auto_start = false;  // released by the load manager (kStart)
+    if (opts_.joint && opts_.joint_local_reads && opts_.protocol == Protocol::kTwoPc) {
+      auto* replica =
+          static_cast<consensus::TwoPcEngine*>(replicas_[static_cast<std::size_t>(c)].get());
+      auto* sm = sms_[static_cast<std::size_t>(c)].get();
+      cc.local_read = [replica, sm](const Command& cmd, std::uint64_t* out) {
+        if (replica->has_prepared_uncommitted()) return false;
+        *out = sm->read(cmd.key);
+        return true;
+      };
+    }
+    clients_.push_back(std::make_unique<ClientEngine>(cc));
+  }
+
+  std::vector<NodeId> client_ids;
+  if (opts_.joint) {
+    for (NodeId r = 0; r < R; ++r) {
+      joint_engines_.push_back(std::make_unique<core::JointEngine>(
+          replicas_[static_cast<std::size_t>(r)].get(),
+          clients_[static_cast<std::size_t>(r)].get()));
+      nodes_.push_back(std::make_unique<RtNode>(r, total, joint_engines_.back().get(),
+                                                net_.get(), core_for(r)));
+      client_ids.push_back(r);
+    }
+  } else {
+    for (NodeId r = 0; r < R; ++r) {
+      nodes_.push_back(std::make_unique<RtNode>(r, total, replicas_[static_cast<std::size_t>(r)].get(),
+                                                net_.get(), core_for(r)));
+    }
+    for (std::int32_t c = 0; c < C; ++c) {
+      const NodeId self = R + c;
+      nodes_.push_back(std::make_unique<RtNode>(self, total,
+                                                clients_[static_cast<std::size_t>(c)].get(),
+                                                net_.get(), core_for(self)));
+      client_ids.push_back(self);
+    }
+  }
+  load_manager_ = std::make_unique<LoadManagerEngine>(std::move(client_ids));
+  // The load manager runs on the machine's last core (core 47 in §7.1).
+  nodes_.push_back(std::make_unique<RtNode>(manager_id, total, load_manager_.get(), net_.get(),
+                                            opts_.pin && pinning_available()
+                                                ? online_cores() - 1
+                                                : -1));
+}
+
+RtCluster::~RtCluster() { stop(); }
+
+int RtCluster::core_for(NodeId node) const {
+  if (!opts_.pin || !pinning_available()) return -1;
+  // Replicas on cores 0..R-1, clients following, wrapped modulo the
+  // machine (the paper used a 48-core box; we report oversubscription).
+  return static_cast<int>(node) % online_cores();
+}
+
+void RtCluster::start() {
+  CI_CHECK(!started_);
+  started_ = true;
+  started_at_ = now_nanos();
+  // The load-manager node broadcasts kStart from its engine start() hook,
+  // releasing every client (§7.1).
+  for (auto& n : nodes_) n->start();
+}
+
+bool RtCluster::clients_done() const {
+  for (const auto& c : clients_) {
+    if (!c->done()) return false;
+  }
+  return true;
+}
+
+void RtCluster::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopped_at_ = now_nanos();
+  for (auto& n : nodes_) n->request_stop();
+  for (auto& n : nodes_) n->join();
+  for (auto& b : burners_) b->stop();
+}
+
+RtResult RtCluster::run_to_completion(Nanos max_wall) {
+  const Nanos deadline = now_nanos() + max_wall;
+  while (now_nanos() < deadline && !clients_done()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop();
+  return collect();
+}
+
+RtResult RtCluster::collect() {
+  CI_CHECK(stopped_);
+  RtResult res;
+  res.wall_time = stopped_at_ - started_at_;
+  for (const auto& c : clients_) {
+    res.committed += c->committed();
+    res.issued += c->issued();
+    res.local_reads += c->local_reads();
+    res.latency.merge(c->latency());
+  }
+  res.throughput_ops = static_cast<double>(res.committed) * 1e9 /
+                       static_cast<double>(res.wall_time > 0 ? res.wall_time : 1);
+  std::map<Instance, Command> decided;
+  for (const auto& n : nodes_) {
+    res.total_messages += n->messages_sent();
+    for (const auto& [in, cmd] : n->delivered()) {
+      auto [it, inserted] = decided.emplace(in, cmd);
+      if (!inserted && !(it->second == cmd)) res.consistent = false;
+    }
+  }
+  return res;
+}
+
+void RtCluster::slow_core_of(NodeId node, int burner_count) {
+  CI_CHECK(node >= 0 && node < opts_.num_replicas);
+  burners_[static_cast<std::size_t>(node)]->start(core_for(node), burner_count);
+}
+
+void RtCluster::heal_core_of(NodeId node) {
+  burners_[static_cast<std::size_t>(node)]->stop();
+}
+
+void RtCluster::throttle_node(NodeId node, std::uint32_t factor) {
+  CI_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()));
+  nodes_[static_cast<std::size_t>(node)]->set_slow_factor(factor);
+}
+
+}  // namespace ci::rt

@@ -1,0 +1,136 @@
+#include "rt/rt_node.hpp"
+
+#include "common/affinity.hpp"
+#include "common/time.hpp"
+
+namespace ci::rt {
+
+RtNode::RtNode(NodeId self, std::int32_t total_nodes, Engine* engine, qclt::Network* net,
+               int core)
+    : self_(self),
+      total_nodes_(total_nodes),
+      engine_(engine),
+      net_(net),
+      core_(core),
+      ctx_(std::make_unique<Ctx>(this)),
+      // Construct the scheduler here (not on the node thread) so
+      // request_stop() from other threads never races its creation.
+      sched_(std::make_unique<qclt::Scheduler>()),
+      pending_(static_cast<std::size_t>(total_nodes)) {}
+
+RtNode::~RtNode() {
+  request_stop();
+  join();
+}
+
+void RtNode::start() {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void RtNode::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  sched_->request_stop();
+}
+
+void RtNode::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void RtNode::send(NodeId dst, const Message& m) {
+  Message out = m;
+  out.src = self_;
+  out.dst = dst;
+  if (dst == self_) {
+    // Defer: engines are not reentrant, and local delivery between
+    // collapsed roles costs no boundary crossing.
+    self_queue_.push_back(out);
+    return;
+  }
+  ctx_->sent.fetch_add(1, std::memory_order_relaxed);
+  unsigned char buf[kWireBufBytes];
+  const std::uint32_t n = encode(out, buf);
+  auto& conn = conns_[static_cast<std::size_t>(dst)];
+  auto& backlog = pending_[static_cast<std::size_t>(dst)];
+  if (backlog.empty() && conn->try_write(buf, n)) return;
+  // Queue full (or older messages still waiting): preserve FIFO order.
+  backlog.emplace_back(buf, buf + n);
+}
+
+void RtNode::flush_pending(NodeId peer) {
+  auto& backlog = pending_[static_cast<std::size_t>(peer)];
+  auto& conn = conns_[static_cast<std::size_t>(peer)];
+  while (!backlog.empty()) {
+    const auto& frame = backlog.front();
+    if (!conn->try_write(frame.data(), static_cast<std::uint32_t>(frame.size()))) return;
+    backlog.pop_front();
+  }
+}
+
+void RtNode::drain_self_queue() {
+  while (!self_queue_.empty()) {
+    const Message m = self_queue_.front();
+    self_queue_.pop_front();
+    engine_->on_message(*ctx_, m);
+  }
+}
+
+void RtNode::maybe_stall() {
+  const std::uint32_t f = slow_factor_.load(std::memory_order_relaxed);
+  if (f > 1) busy_wait(static_cast<Nanos>(f - 1) * 500);
+}
+
+void RtNode::thread_main() {
+  if (core_ >= 0) pin_to_core(core_);
+  if (stop_.load(std::memory_order_relaxed)) return;
+
+  // Connections to every peer (netlisten/dial collapsed into an eager mesh).
+  conns_.resize(static_cast<std::size_t>(total_nodes_));
+  for (NodeId peer = 0; peer < total_nodes_; ++peer) {
+    if (peer == self_) continue;
+    const qclt::Duplex d = net_->duplex(self_, peer);
+    conns_[static_cast<std::size_t>(peer)] =
+        std::make_unique<qclt::Connection>(d.out, d.in, sched_.get());
+  }
+
+  // One blocking reader task per peer (§6.2).
+  for (NodeId peer = 0; peer < total_nodes_; ++peer) {
+    if (peer == self_) continue;
+    auto* conn = conns_[static_cast<std::size_t>(peer)].get();
+    sched_->spawn(
+        [this, conn] {
+          unsigned char buf[kWireBufBytes];
+          while (!sched_->stopping()) {
+            const std::int32_t n = conn->read(buf, sizeof(buf));
+            if (n < 0) return;  // stopped
+            maybe_stall();
+            engine_->on_message(*ctx_, decode(buf, static_cast<std::size_t>(n)));
+            drain_self_queue();
+            // One message per slice: a busy peer must not starve the other
+            // readers or the tick task (heartbeats, retries).
+            sched_->yield();
+          }
+        },
+        "reader");
+  }
+
+  // Main task: ticks, deferred local delivery, backlog flushing.
+  sched_->spawn(
+      [this] {
+        engine_->start(*ctx_);
+        drain_self_queue();
+        while (!sched_->stopping()) {
+          maybe_stall();
+          engine_->tick(*ctx_);
+          drain_self_queue();
+          for (NodeId peer = 0; peer < total_nodes_; ++peer) {
+            if (peer != self_) flush_pending(peer);
+          }
+          sched_->yield();
+        }
+      },
+      "main");
+
+  sched_->run();
+}
+
+}  // namespace ci::rt

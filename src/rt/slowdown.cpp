@@ -1,0 +1,29 @@
+#include "rt/slowdown.hpp"
+
+#include "common/affinity.hpp"
+
+namespace ci::rt {
+
+void CoreBurner::start(int core, int count) {
+  stop();
+  stop_.store(false, std::memory_order_relaxed);
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this, core] {
+      pin_to_core(core);
+      // The paper's load: continuously multiply a number by itself.
+      volatile double x = 1.0000001;
+      while (!stop_.load(std::memory_order_relaxed)) {
+        for (int k = 0; k < 4096; ++k) x = x * x + 1.0e-9;
+      }
+    });
+  }
+}
+
+void CoreBurner::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+}  // namespace ci::rt

@@ -1,0 +1,36 @@
+// CPU-burner fault injection: the paper slows a core by running "8
+// CPU-intensive processes on it; each process is a bash script that
+// continuously multiplies a number by itself" (§2.2, §7.6). We reproduce
+// that with busy-spin threads pinned to the victim core, so the replica
+// pinned there gets ~1/(burners+1) of its cycles plus scheduler churn.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ci::rt {
+
+class CoreBurner {
+ public:
+  CoreBurner() = default;
+  ~CoreBurner() { stop(); }
+
+  CoreBurner(const CoreBurner&) = delete;
+  CoreBurner& operator=(const CoreBurner&) = delete;
+
+  // Starts `count` burner threads pinned to `core`.
+  void start(int core, int count = 8);
+
+  // Stops and joins all burners.
+  void stop();
+
+  bool running() const { return !threads_.empty(); }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ci::rt

@@ -1,0 +1,32 @@
+// Message (de)serialization for the QC-libtask transport. Messages are
+// trivially copyable; only the wire_size() prefix travels, so fast-path
+// messages occupy a single 128-byte queue slot.
+#pragma once
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "consensus/message.hpp"
+
+namespace ci::rt {
+
+// Large enough for the biggest reconfiguration message.
+inline constexpr std::size_t kWireBufBytes = 1024;
+static_assert(kWireBufBytes >= sizeof(consensus::Message));
+
+inline std::uint32_t encode(const consensus::Message& m, unsigned char* buf) {
+  const std::size_t n = consensus::wire_size(m);
+  CI_CHECK(n <= kWireBufBytes);
+  std::memcpy(buf, &m, n);
+  return static_cast<std::uint32_t>(n);
+}
+
+inline consensus::Message decode(const unsigned char* buf, std::size_t n) {
+  consensus::Message m;
+  CI_CHECK(n >= consensus::kMessageHeaderBytes && n <= sizeof(consensus::Message));
+  std::memcpy(&m, buf, n);
+  CI_CHECK_MSG(consensus::wire_validate(m, n), "malformed message on the wire");
+  return m;
+}
+
+}  // namespace ci::rt

@@ -1,0 +1,146 @@
+#include "sim/sim_net.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ci::sim {
+
+SimNet::SimNet(const LatencyModel& model, std::uint64_t seed, Nanos tick_period)
+    : model_(model), rng_(seed), tick_period_(tick_period) {
+  CI_CHECK(tick_period_ > 0);
+}
+
+void SimNet::add_node(Engine* engine) {
+  CI_CHECK(!started_);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<NodeCtx>(this, id, engine));
+}
+
+void SimNet::slow_node(NodeId node, Nanos from, Nanos to, double factor) {
+  CI_CHECK(factor >= 1.0);
+  nodes_[static_cast<std::size_t>(node)]->slow_windows.emplace_back(from, to, factor);
+}
+
+void SimNet::schedule_call(Nanos t, NodeId node, std::function<void()> fn) {
+  Event e;
+  e.time = t;
+  e.seq = seq_++;
+  e.kind = Event::Kind::kCall;
+  e.node = node;
+  e.call = std::move(fn);
+  push_event(std::move(e));
+}
+
+double SimNet::speed_factor(const NodeCtx& n, Nanos t) const {
+  double f = 1.0;
+  for (const auto& [from, to, factor] : n.slow_windows) {
+    if (t >= from && t < to) f = std::max(f, factor);
+  }
+  return f;
+}
+
+void SimNet::push_event(Event e) { event_queue_.push(std::move(e)); }
+
+std::uint64_t SimNet::total_messages() const {
+  std::uint64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->sent;
+  return sum;
+}
+
+void SimNet::send_from(NodeCtx& src, NodeId dst, const Message& m) {
+  CI_CHECK(dst >= 0 && dst < static_cast<NodeId>(nodes_.size()));
+  Event e;
+  e.seq = seq_++;
+  e.kind = Event::Kind::kMessage;
+  e.node = dst;
+  e.msg = m;
+  e.msg.src = src.id_;
+  e.msg.dst = dst;
+  if (dst == src.id_) {
+    // Local delivery between collapsed roles: no node boundary is crossed,
+    // no transmission cost is charged (Fig. 3 counts only crossing
+    // messages). Delivered once the current handler finishes.
+    e.time = src.busy_until;
+    push_event(std::move(e));
+    return;
+  }
+  const double f = speed_factor(src, src.busy_until);
+  src.busy_until += static_cast<Nanos>(static_cast<double>(model_.trans_send) * f);
+  src.logical_now = src.busy_until;
+  src.sent++;
+  if (model_.drop_probability > 0 && rng_.next_bool(model_.drop_probability)) {
+    dropped_++;
+    return;
+  }
+  const Nanos jitter =
+      model_.prop_jitter > 0 ? static_cast<Nanos>(rng_.next_below(
+                                   static_cast<std::uint64_t>(model_.prop_jitter)))
+                             : 0;
+  e.time = src.busy_until + model_.prop + jitter;
+  push_event(std::move(e));
+}
+
+void SimNet::process(Event& e) {
+  NodeCtx& n = *nodes_[static_cast<std::size_t>(e.node)];
+  switch (e.kind) {
+    case Event::Kind::kMessage: {
+      const Nanos t0 = std::max(e.time, n.busy_until);
+      const double f = speed_factor(n, t0);
+      n.busy_until = t0 + static_cast<Nanos>(
+                              static_cast<double>(model_.trans_recv + model_.handler_cost) * f);
+      n.logical_now = n.busy_until;
+      n.engine_->on_message(n, e.msg);
+      break;
+    }
+    case Event::Kind::kTick: {
+      // Ticks wait for the CPU like any other work but cost ~nothing
+      // themselves; their sends are charged normally.
+      const Nanos t0 = std::max(e.time, n.busy_until);
+      n.logical_now = t0;
+      n.busy_until = std::max(n.busy_until, t0);
+      n.engine_->tick(n);
+      Event next;
+      next.time = e.time + tick_period_;
+      next.seq = seq_++;
+      next.kind = Event::Kind::kTick;
+      next.node = e.node;
+      push_event(std::move(next));
+      break;
+    }
+    case Event::Kind::kCall: {
+      n.logical_now = std::max(e.time, n.logical_now);
+      e.call();
+      break;
+    }
+  }
+}
+
+void SimNet::run_until(Nanos until) {
+  if (!started_) {
+    started_ = true;
+    for (auto& n : nodes_) {
+      n->logical_now = 0;
+      n->engine_->start(*n);
+    }
+    // Stagger first ticks so nodes do not act in lockstep.
+    const auto count = static_cast<Nanos>(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Event t;
+      t.time = tick_period_ * (static_cast<Nanos>(i) + 1) / std::max<Nanos>(count, 1);
+      t.seq = seq_++;
+      t.kind = Event::Kind::kTick;
+      t.node = static_cast<NodeId>(i);
+      push_event(std::move(t));
+    }
+  }
+  while (!event_queue_.empty() && event_queue_.top().time <= until) {
+    Event e = event_queue_.top();
+    event_queue_.pop();
+    now_ = e.time;
+    process(e);
+  }
+  now_ = std::max(now_, until);
+}
+
+}  // namespace ci::sim

@@ -1,0 +1,118 @@
+// Deterministic discrete-event simulation of a many-core "network" of
+// protocol engines.
+//
+// Each node is one Engine with a serially-busy CPU (`busy_until`): receiving
+// a message, running its handler, and sending each outgoing message all
+// advance the node's clock by the model's costs, scaled by the node's
+// current slowdown factor. Fault injection = slowdown windows (the paper
+// models failures as slow cores, §1 fn.3) plus arbitrary scheduled calls
+// (e.g. the acceptor silent-reboot hook).
+//
+// Runs are bit-reproducible for a given (cluster, seed): the event queue
+// orders by (time, sequence number) and all jitter comes from one seeded RNG.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "consensus/engine.hpp"
+#include "sim/latency_model.hpp"
+
+namespace ci::sim {
+
+using consensus::Command;
+using consensus::Engine;
+using consensus::Instance;
+using consensus::Message;
+using consensus::NodeId;
+
+class SimNet {
+ public:
+  using DeliverCb = std::function<void(NodeId node, Instance in, const Command& cmd)>;
+
+  SimNet(const LatencyModel& model, std::uint64_t seed, Nanos tick_period);
+
+  // Nodes must be added before run(); ids are dense from 0.
+  void add_node(Engine* engine);
+
+  void set_deliver_cb(DeliverCb cb) { deliver_cb_ = std::move(cb); }
+
+  // Multiplies the node's CPU costs by `factor` during [from, to).
+  void slow_node(NodeId node, Nanos from, Nanos to, double factor);
+
+  // Runs fn at virtual time t on the given node (models environment events
+  // such as an acceptor reboot).
+  void schedule_call(Nanos t, NodeId node, std::function<void()> fn);
+
+  // Processes events until virtual time reaches `until` (or the queue runs
+  // dry, which cannot happen while ticking). Can be called repeatedly with
+  // increasing deadlines.
+  void run_until(Nanos until);
+
+  // Stop ticking a node (ends the simulation cleanly once the queue drains).
+  Nanos now() const { return now_; }
+
+  // Boundary-crossing messages sent per node (self-sends excluded) — the
+  // quantity Fig. 3 counts.
+  std::uint64_t messages_sent(NodeId node) const { return nodes_[static_cast<std::size_t>(node)]->sent; }
+  std::uint64_t total_messages() const;
+  std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  struct Event {
+    Nanos time = 0;
+    std::uint64_t seq = 0;
+    enum class Kind : std::uint8_t { kMessage, kTick, kCall } kind = Kind::kMessage;
+    NodeId node = -1;
+    Message msg;
+    std::function<void()> call;
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  class NodeCtx final : public consensus::Context {
+   public:
+    NodeCtx(SimNet* net, NodeId id, Engine* engine) : net_(net), id_(id), engine_(engine) {}
+
+    NodeId self() const override { return id_; }
+    Nanos now() const override { return logical_now; }
+    void send(NodeId dst, const Message& m) override { net_->send_from(*this, dst, m); }
+    void deliver(Instance in, const Command& cmd) override {
+      if (net_->deliver_cb_) net_->deliver_cb_(id_, in, cmd);
+    }
+
+    SimNet* net_;
+    NodeId id_;
+    Engine* engine_;
+    Nanos busy_until = 0;
+    Nanos logical_now = 0;
+    std::uint64_t sent = 0;
+    std::vector<std::tuple<Nanos, Nanos, double>> slow_windows;
+  };
+
+  void send_from(NodeCtx& src, NodeId dst, const Message& m);
+  double speed_factor(const NodeCtx& n, Nanos t) const;
+  void push_event(Event e);
+  void process(Event& e);
+
+  LatencyModel model_;
+  Rng rng_;
+  Nanos tick_period_;
+  Nanos now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool started_ = false;
+  std::vector<std::unique_ptr<NodeCtx>> nodes_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> event_queue_;
+  DeliverCb deliver_cb_;
+};
+
+}  // namespace ci::sim

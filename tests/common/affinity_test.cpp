@@ -1,0 +1,40 @@
+#include "common/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ci {
+namespace {
+
+TEST(Affinity, ReportsAtLeastOneCore) { EXPECT_GE(online_cores(), 1); }
+
+TEST(Affinity, PinSelfIsBestEffort) {
+  // In a restricted container pinning may be forbidden; the call must then
+  // report failure rather than abort.
+  if (!pinning_available()) {
+    EXPECT_FALSE(pin_to_core(0));
+    return;
+  }
+  EXPECT_TRUE(pin_to_core(0));
+}
+
+TEST(Affinity, PinFromWorkerThread) {
+  if (!pinning_available()) GTEST_SKIP() << "pinning unavailable in this environment";
+  bool ok = false;
+  std::thread t([&] { ok = pin_to_core(online_cores() - 1); });
+  t.join();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Affinity, NegativeCoreRejected) { EXPECT_FALSE(pin_to_core(-1)); }
+
+TEST(Affinity, CoreIndexWrapsModuloOnlineCores) {
+  if (!pinning_available()) GTEST_SKIP() << "pinning unavailable in this environment";
+  // Core ids beyond the machine wrap instead of failing, so bench configs
+  // written for a 48-core box still run on smaller machines.
+  EXPECT_TRUE(pin_to_core(online_cores() + 3));
+}
+
+}  // namespace
+}  // namespace ci

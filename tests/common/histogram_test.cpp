@@ -1,0 +1,107 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ci {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  // Log buckets have ~3% relative width.
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 1000.0, 1000.0 / 16);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (Nanos v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+  EXPECT_EQ(h.percentile(1.0), 31);
+}
+
+TEST(Histogram, PercentileOrdering) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(i);
+  const Nanos p50 = h.percentile(0.50);
+  const Nanos p90 = h.percentile(0.90);
+  const Nanos p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 * 0.05);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(1.0), 0);
+}
+
+TEST(Histogram, LargeValues) {
+  Histogram h;
+  const Nanos big = 3'600'000'000'000;  // one hour in ns
+  h.record(big);
+  EXPECT_EQ(h.max(), big);
+  EXPECT_NEAR(static_cast<double>(h.percentile(1.0)), static_cast<double>(big),
+              static_cast<double>(big) * 0.05);
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.mean(), 505.0, 1.0);
+}
+
+TEST(Histogram, MergeIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  b.record(42);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42);
+  EXPECT_EQ(a.max(), 42);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0);
+}
+
+TEST(Histogram, MeanMatchesArithmetic) {
+  Histogram h;
+  double sum = 0;
+  for (int i = 1; i <= 1000; ++i) {
+    h.record(i * 7);
+    sum += i * 7;
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), sum / 1000.0);
+}
+
+}  // namespace
+}  // namespace ci

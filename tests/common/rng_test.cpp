@@ -1,0 +1,70 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ci {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) same++;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng r(13);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += r.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads, 30000, 1500);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  // Guards against accidental algorithm changes that would silently change
+  // every seeded simulation in the repository.
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.next());
+  EXPECT_NE(first, sm.next());
+}
+
+}  // namespace
+}  // namespace ci

@@ -1,0 +1,45 @@
+#include "common/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ci {
+namespace {
+
+TEST(TimeSeries, RecordsIntoCorrectBucket) {
+  TimeSeries ts(/*origin=*/0, /*bucket_width=*/10 * kMillisecond, /*max_buckets=*/10);
+  ts.record(5 * kMillisecond);
+  ts.record(15 * kMillisecond);
+  ts.record(15 * kMillisecond);
+  EXPECT_EQ(ts.bucket(0), 1u);
+  EXPECT_EQ(ts.bucket(1), 2u);
+  EXPECT_EQ(ts.total(), 3u);
+}
+
+TEST(TimeSeries, ClampsOutOfRange) {
+  TimeSeries ts(/*origin=*/kSecond, /*bucket_width=*/kMillisecond, /*max_buckets=*/5);
+  ts.record(0);                    // before origin -> bucket 0
+  ts.record(10 * kSecond);         // far past the end -> last bucket
+  EXPECT_EQ(ts.bucket(0), 1u);
+  EXPECT_EQ(ts.bucket(4), 1u);
+}
+
+TEST(TimeSeries, RateConvertsToPerSecond) {
+  TimeSeries ts(0, 10 * kMillisecond, 4);
+  for (int i = 0; i < 50; ++i) ts.record(1 * kMillisecond);
+  // 50 events in a 10 ms bucket = 5000 events/s.
+  EXPECT_DOUBLE_EQ(ts.rate(0), 5000.0);
+}
+
+TEST(TimeSeries, MergeAddsCounts) {
+  TimeSeries a(0, kMillisecond, 3);
+  TimeSeries b(0, kMillisecond, 3);
+  a.record(0);
+  b.record(0);
+  b.record(2 * kMillisecond);
+  a.merge(b);
+  EXPECT_EQ(a.bucket(0), 2u);
+  EXPECT_EQ(a.bucket(2), 1u);
+}
+
+}  // namespace
+}  // namespace ci

@@ -1,0 +1,124 @@
+// Hand-stepped Basic-Paxos: two-phase flow per §2.3, contention between
+// proposers, nack/backoff, and decided-value catch-up.
+#include "consensus/basic_paxos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "support/fake_net.hpp"
+
+namespace ci::consensus {
+namespace {
+
+using test::FakeNet;
+
+struct BpHarness {
+  explicit BpHarness(std::int32_t replicas = 3) {
+    for (NodeId r = 0; r < replicas; ++r) {
+      EngineConfig cfg;
+      cfg.self = r;
+      cfg.num_replicas = replicas;
+      cfg.seed = 5;
+      engines.push_back(std::make_unique<BasicPaxosEngine>(cfg));
+      net.add(engines.back().get());
+    }
+    net.start_all();
+  }
+
+  BasicPaxosEngine& at(NodeId r) { return *engines[static_cast<std::size_t>(r)]; }
+
+  void settle(int rounds = 10) {
+    for (int i = 0; i < rounds; ++i) {
+      net.advance(1 * kMillisecond);
+      net.run();
+    }
+  }
+
+  FakeNet net;
+  std::vector<std::unique_ptr<BasicPaxosEngine>> engines;
+};
+
+TEST(BasicPaxos, RunsBothPhasesForEveryCommand) {
+  BpHarness h;
+  h.net.inject(test::client_request(3, 0, 1));
+  ASSERT_TRUE(h.net.step());
+  // Phase 1 to all three replicas (collapsed roles include self).
+  int phase1 = 0;
+  for (std::size_t i = 0; i < h.net.pending(); ++i) {
+    if (h.net.peek(i).type == MsgType::kPhase1Req) phase1++;
+  }
+  EXPECT_EQ(phase1, 3);
+  h.net.run();
+  EXPECT_TRUE(h.at(0).log().is_learned(0));
+  EXPECT_TRUE(h.at(1).log().is_learned(0));
+  EXPECT_TRUE(h.at(2).log().is_learned(0));
+}
+
+TEST(BasicPaxos, AnyReplicaCanPropose) {
+  BpHarness h;
+  h.net.inject(test::client_request(3, 2, 1));  // to replica 2
+  h.net.run();
+  EXPECT_TRUE(h.at(0).log().is_learned(0));
+  EXPECT_EQ(h.at(0).log().get(0)->client, 3);
+}
+
+TEST(BasicPaxos, MajorityIsEnough) {
+  BpHarness h;
+  h.net.isolate(2);
+  h.net.inject(test::client_request(3, 0, 1));
+  h.net.run();
+  EXPECT_TRUE(h.at(0).log().is_learned(0));
+  EXPECT_TRUE(h.at(1).log().is_learned(0));
+}
+
+TEST(BasicPaxos, ContendingProposersConverge) {
+  BpHarness h;
+  // Two replicas advocate different commands concurrently; both must end up
+  // in the log (at different instances), never clobbering each other.
+  h.net.inject(test::client_request(3, 0, 1));
+  h.net.inject(test::client_request(4, 1, 1));
+  h.settle(20);
+  ASSERT_TRUE(h.at(2).log().is_learned(0));
+  ASSERT_TRUE(h.at(2).log().is_learned(1));
+  const Command* a = h.at(2).log().get(0);
+  const Command* b = h.at(2).log().get(1);
+  EXPECT_NE(a->client, b->client);
+  EXPECT_TRUE((a->client == 3 && b->client == 4) || (a->client == 4 && b->client == 3));
+  // All replicas agree.
+  for (NodeId r = 0; r < 3; ++r) {
+    EXPECT_TRUE(*h.at(r).log().get(0) == *a);
+    EXPECT_TRUE(*h.at(r).log().get(1) == *b);
+  }
+}
+
+TEST(BasicPaxos, TimeoutRestartsWithHigherBallot) {
+  BpHarness h;
+  h.net.inject(test::client_request(3, 0, 1));
+  h.net.step();
+  // Lose the entire phase-1 volley.
+  h.net.drop_if([](const Message&) { return true; });
+  EXPECT_FALSE(h.at(0).log().is_learned(0));
+  h.settle(10);
+  EXPECT_TRUE(h.at(0).log().is_learned(0));
+}
+
+TEST(BasicPaxos, ManyCommandsFromManyClients) {
+  BpHarness h;
+  for (NodeId c = 10; c < 14; ++c) {
+    for (std::uint32_t s = 1; s <= 5; ++s) {
+      h.net.inject(test::client_request(c, c % 3, s));
+    }
+  }
+  h.settle(30);
+  // 20 commands decided across the three replicas, identically.
+  EXPECT_GE(h.at(0).log().first_gap(), 20);
+  for (Instance in = 0; in < h.at(0).log().first_gap(); ++in) {
+    ASSERT_TRUE(h.at(1).log().is_learned(in));
+    EXPECT_TRUE(*h.at(0).log().get(in) == *h.at(1).log().get(in));
+  }
+}
+
+}  // namespace
+}  // namespace ci::consensus

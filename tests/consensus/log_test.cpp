@@ -1,0 +1,80 @@
+#include "consensus/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ci::consensus {
+namespace {
+
+Command cmd(NodeId client, std::uint32_t seq) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  c.op = Op::kWrite;
+  return c;
+}
+
+TEST(ReplicatedLog, StartsEmpty) {
+  ReplicatedLog log;
+  EXPECT_EQ(log.first_gap(), 0);
+  EXPECT_EQ(log.end(), 0);
+  EXPECT_FALSE(log.is_learned(0));
+  EXPECT_EQ(log.get(0), nullptr);
+}
+
+TEST(ReplicatedLog, LearnAdvancesContiguousPrefix) {
+  ReplicatedLog log;
+  log.learn(0, cmd(1, 1));
+  EXPECT_EQ(log.first_gap(), 1);
+  log.learn(1, cmd(1, 2));
+  EXPECT_EQ(log.first_gap(), 2);
+}
+
+TEST(ReplicatedLog, GapHoldsPrefix) {
+  ReplicatedLog log;
+  log.learn(0, cmd(1, 1));
+  log.learn(2, cmd(1, 3));  // gap at 1
+  EXPECT_EQ(log.first_gap(), 1);
+  EXPECT_EQ(log.end(), 3);
+  log.learn(1, cmd(1, 2));  // fill the gap
+  EXPECT_EQ(log.first_gap(), 3);
+}
+
+TEST(ReplicatedLog, DuplicateLearnSameValueIsIdempotent) {
+  ReplicatedLog log;
+  log.learn(0, cmd(1, 1));
+  log.learn(0, cmd(1, 1));
+  EXPECT_EQ(log.first_gap(), 1);
+}
+
+TEST(ReplicatedLogDeath, DuplicateLearnDifferentValueAborts) {
+  // The consistency property is a hard runtime invariant.
+  ReplicatedLog log;
+  log.learn(0, cmd(1, 1));
+  EXPECT_DEATH(log.learn(0, cmd(2, 9)), "two different values");
+}
+
+TEST(ReplicatedLog, DrainExecutesInOrderOnce) {
+  ReplicatedLog log;
+  log.learn(1, cmd(1, 2));
+  std::vector<Instance> seen;
+  log.drain([&](Instance in, const Command&) { seen.push_back(in); });
+  EXPECT_TRUE(seen.empty());  // gap at 0 blocks execution
+  log.learn(0, cmd(1, 1));
+  log.drain([&](Instance in, const Command&) { seen.push_back(in); });
+  EXPECT_EQ(seen, (std::vector<Instance>{0, 1}));
+  log.drain([&](Instance in, const Command&) { seen.push_back(in); });
+  EXPECT_EQ(seen.size(), 2u);  // nothing re-executes
+  EXPECT_EQ(log.executed_prefix(), 2);
+}
+
+TEST(ReplicatedLog, LargeSparseInstances) {
+  ReplicatedLog log;
+  log.learn(999, cmd(1, 1));
+  EXPECT_EQ(log.end(), 1000);
+  EXPECT_EQ(log.first_gap(), 0);
+  EXPECT_TRUE(log.is_learned(999));
+  EXPECT_FALSE(log.is_learned(500));
+}
+
+}  // namespace
+}  // namespace ci::consensus

@@ -1,0 +1,127 @@
+#include "consensus/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace ci::consensus {
+namespace {
+
+TEST(Wire, HeaderOnlyMessagesAreTiny) {
+  Message m(MsgType::kPing, ProtoId::kControl, 0, 1);
+  EXPECT_EQ(wire_size(m), kMessageHeaderBytes);
+  EXPECT_LE(wire_size(m), 16u);
+}
+
+TEST(Wire, FastPathMessagesFitOneSlot) {
+  // §6.1: the fast path must fit one 128-byte slot (minus the 8-byte
+  // fragment header of the framing layer).
+  constexpr std::size_t kSlotPayload = 120;
+  Message accept(MsgType::kOpxAcceptReq, ProtoId::kOnePaxos, 0, 1);
+  EXPECT_LE(wire_size(accept), kSlotPayload);
+  Message learn(MsgType::kOpxLearn, ProtoId::kOnePaxos, 1, 2);
+  EXPECT_LE(wire_size(learn), kSlotPayload);
+  Message req(MsgType::kClientRequest, ProtoId::kClient, 3, 0);
+  EXPECT_LE(wire_size(req), kSlotPayload);
+  Message reply(MsgType::kClientReply, ProtoId::kClient, 0, 3);
+  EXPECT_LE(wire_size(reply), kSlotPayload);
+  Message p2(MsgType::kPhase2Req, ProtoId::kMultiPaxos, 0, 1);
+  EXPECT_LE(wire_size(p2), kSlotPayload);
+  Message acked(MsgType::kPhase2Acked, ProtoId::kMultiPaxos, 1, 2);
+  EXPECT_LE(wire_size(acked), kSlotPayload);
+  Message prep(MsgType::kTwoPcPrepare, ProtoId::kTwoPc, 0, 1);
+  EXPECT_LE(wire_size(prep), kSlotPayload);
+}
+
+TEST(Wire, VariableSizeTruncatesToUsedProposals) {
+  Message m(MsgType::kPhase1Resp, ProtoId::kMultiPaxos, 0, 1);
+  m.u.phase1_resp.num_proposals = 0;
+  const std::size_t empty = wire_size(m);
+  m.u.phase1_resp.num_proposals = 3;
+  EXPECT_EQ(wire_size(m), empty + 3 * sizeof(Proposal));
+  m.u.phase1_resp.num_proposals = kMaxProposalsPerMsg;
+  EXPECT_EQ(wire_size(m), empty + kMaxProposalsPerMsg * sizeof(Proposal));
+}
+
+TEST(Wire, UtilityEntrySizeDependsOnProposals) {
+  Message m(MsgType::kUtilPhase2Req, ProtoId::kUtility, 0, 1);
+  m.u.util_phase2_req.entry.kind = UtilityEntry::Kind::kAcceptorChange;
+  m.u.util_phase2_req.entry.num_proposals = 0;
+  const std::size_t empty = wire_size(m);
+  m.u.util_phase2_req.entry.num_proposals = 5;
+  EXPECT_EQ(wire_size(m), empty + 5 * sizeof(Proposal));
+}
+
+TEST(Wire, RoundTripPreservesContent) {
+  Message m(MsgType::kOpxAcceptReq, ProtoId::kOnePaxos, 2, 1);
+  m.u.opx_accept_req.instance = 42;
+  m.u.opx_accept_req.pn = ProposalNum{7, 2};
+  m.u.opx_accept_req.value.client = 9;
+  m.u.opx_accept_req.value.seq = 3;
+  m.u.opx_accept_req.value.key = 0xdeadbeef;
+
+  unsigned char buf[1024];
+  const std::size_t n = wire_size(m);
+  std::memcpy(buf, &m, n);
+  Message out;
+  std::memcpy(&out, buf, n);
+  ASSERT_TRUE(wire_validate(out, n));
+  EXPECT_EQ(out.type, MsgType::kOpxAcceptReq);
+  EXPECT_EQ(out.u.opx_accept_req.instance, 42);
+  EXPECT_EQ(out.u.opx_accept_req.pn, (ProposalNum{7, 2}));
+  EXPECT_EQ(out.u.opx_accept_req.value.key, 0xdeadbeefu);
+}
+
+TEST(Wire, ValidateRejectsShortBuffers) {
+  Message m(MsgType::kOpxAcceptReq, ProtoId::kOnePaxos, 0, 1);
+  EXPECT_FALSE(wire_validate(m, kMessageHeaderBytes));  // payload missing
+  EXPECT_FALSE(wire_validate(m, 2));
+  EXPECT_TRUE(wire_validate(m, wire_size(m)));
+}
+
+TEST(Wire, ValidateRejectsBogusProposalCounts) {
+  Message m(MsgType::kPhase1Resp, ProtoId::kMultiPaxos, 0, 1);
+  m.u.phase1_resp.num_proposals = kMaxProposalsPerMsg + 1;
+  EXPECT_FALSE(wire_validate(m, sizeof(Message)));
+  m.u.phase1_resp.num_proposals = -1;
+  EXPECT_FALSE(wire_validate(m, sizeof(Message)));
+}
+
+TEST(Wire, ProposalNumOrdering) {
+  EXPECT_LT((ProposalNum{1, 5}), (ProposalNum{2, 0}));
+  EXPECT_LT((ProposalNum{2, 0}), (ProposalNum{2, 1}));  // node id breaks ties
+  EXPECT_EQ((ProposalNum{2, 1}), (ProposalNum{2, 1}));
+  EXPECT_FALSE(ProposalNum{}.valid());
+  EXPECT_TRUE((ProposalNum{1, 0}).valid());
+}
+
+TEST(Wire, UtilityEntryEquality) {
+  UtilityEntry a;
+  a.kind = UtilityEntry::Kind::kAcceptorChange;
+  a.leader = 0;
+  a.acceptor = 2;
+  a.num_proposals = 1;
+  a.proposals[0] = Proposal{5, ProposalNum{1, 0}, Command{}};
+  UtilityEntry b = a;
+  EXPECT_TRUE(a == b);
+  b.proposals[0].instance = 6;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.acceptor = 1;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Wire, CommandEqualityIgnoresPadding) {
+  Command a;
+  a.client = 1;
+  a.seq = 2;
+  a.op = Op::kWrite;
+  a.key = 3;
+  a.value = 4;
+  Command b = a;
+  b.reserved[0] = 0xFF;  // padding differences must not matter
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace ci::consensus

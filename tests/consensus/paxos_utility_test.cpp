@@ -1,0 +1,266 @@
+// PaxosUtility semantics (paper §5.2, Appendix B): bootstrap entries,
+// lastLeader/lastActiveAcceptor queries, proposal outcome callbacks, and the
+// Lemma-level guarantees (one value per utility instance; entries inserted
+// serially).
+#include "consensus/paxos_utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "support/fake_net.hpp"
+
+namespace ci::consensus {
+namespace {
+
+using test::FakeNet;
+
+// Hosts a PaxosUtility as an Engine so FakeNet can drive it.
+class UtilityHost final : public Engine {
+ public:
+  UtilityHost(NodeId self, std::int32_t replicas) {
+    EngineConfig cfg;
+    cfg.self = self;
+    cfg.num_replicas = replicas;
+    util = std::make_unique<PaxosUtility>(cfg, [this](Context&, Instance i, const UtilityEntry& e) {
+      decided.emplace_back(i, e);
+    });
+    util->bootstrap(0, 1);
+  }
+
+  void on_message(Context& ctx, const Message& m) override { util->on_message(ctx, m); }
+  void tick(Context& ctx) override { util->tick(ctx); }
+
+  std::unique_ptr<PaxosUtility> util;
+  std::vector<std::pair<Instance, UtilityEntry>> decided;
+};
+
+struct UtilHarness {
+  explicit UtilHarness(std::int32_t replicas = 3) {
+    for (NodeId r = 0; r < replicas; ++r) {
+      hosts.push_back(std::make_unique<UtilityHost>(r, replicas));
+      net.add(hosts.back().get());
+    }
+    net.start_all();
+  }
+
+  PaxosUtility& at(NodeId r) { return *hosts[static_cast<std::size_t>(r)]->util; }
+  UtilityHost& host(NodeId r) { return *hosts[static_cast<std::size_t>(r)]; }
+
+  // FakeNet context for direct propose() calls: any host's engine context
+  // works since propose only uses send/now.
+  FakeNet net;
+  std::vector<std::unique_ptr<UtilityHost>> hosts;
+};
+
+UtilityEntry leader_change(NodeId leader, NodeId acceptor) {
+  UtilityEntry e;
+  e.kind = UtilityEntry::Kind::kLeaderChange;
+  e.leader = leader;
+  e.acceptor = acceptor;
+  return e;
+}
+
+UtilityEntry acceptor_change(NodeId leader, NodeId acceptor) {
+  UtilityEntry e;
+  e.kind = UtilityEntry::Kind::kAcceptorChange;
+  e.leader = leader;
+  e.acceptor = acceptor;
+  return e;
+}
+
+TEST(PaxosUtility, BootstrapSeedsLeaderAndAcceptor) {
+  UtilHarness h;
+  Instance idx = kNoInstance;
+  EXPECT_EQ(h.at(0).last_leader(&idx), 0);
+  EXPECT_EQ(idx, 0);
+  const auto info = h.at(2).last_active_acceptor();
+  EXPECT_EQ(info.acceptor, 1);
+  EXPECT_EQ(info.index, 1);
+  ASSERT_NE(info.entry, nullptr);
+  EXPECT_EQ(info.entry->num_proposals, 0);
+  EXPECT_EQ(h.at(0).decided_count(), 2);
+}
+
+TEST(PaxosUtility, DecidedEntriesVisibleEverywhere) {
+  UtilHarness h;
+  for (NodeId r = 0; r < 3; ++r) {
+    EXPECT_EQ(h.at(r).decided_count(), 2);
+    EXPECT_EQ(h.at(r).decided(0)->kind, UtilityEntry::Kind::kLeaderChange);
+    EXPECT_EQ(h.at(r).decided(1)->kind, UtilityEntry::Kind::kAcceptorChange);
+  }
+}
+
+TEST(PaxosUtility, LastLeaderScansBackwards) {
+  UtilHarness h;
+  // No messages needed: query logic only.
+  EXPECT_EQ(h.at(0).last_leader(), 0);
+  EXPECT_EQ(h.at(1).last_leader(), 0);
+}
+
+TEST(PaxosUtility, ProposeDecidesOnAllNodes) {
+  UtilHarness h;
+  bool outcome = false;
+  bool fired = false;
+  ASSERT_TRUE(h.at(2).propose(h.net.ctx(2), leader_change(2, 1), [&](Context&, bool ok) {
+    fired = true;
+    outcome = ok;
+  }));
+  h.net.run();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(outcome);
+  for (NodeId r = 0; r < 3; ++r) {
+    EXPECT_EQ(h.at(r).decided_count(), 3) << "node " << r;
+    EXPECT_EQ(h.at(r).last_leader(), 2) << "node " << r;
+  }
+}
+
+TEST(PaxosUtility, SecondProposeWhileInFlightIsRejected) {
+  UtilHarness h;
+  ASSERT_TRUE(h.at(2).propose(h.net.ctx(2), leader_change(2, 1), nullptr));
+  EXPECT_TRUE(h.at(2).propose_in_flight());
+  EXPECT_FALSE(h.at(2).propose(h.net.ctx(2), leader_change(2, 1), nullptr));
+  h.net.run();
+  EXPECT_FALSE(h.at(2).propose_in_flight());
+}
+
+TEST(PaxosUtility, ContendingProposersOneWinsOneLoses) {
+  UtilHarness h;
+  int wins = 0;
+  int losses = 0;
+  auto count = [&](Context&, bool ok) { ok ? wins++ : losses++; };
+  ASSERT_TRUE(h.at(1).propose(h.net.ctx(1), leader_change(1, 0), count));
+  ASSERT_TRUE(h.at(2).propose(h.net.ctx(2), leader_change(2, 1), count));
+  h.net.run();
+  // Timers may be needed if ballots collided.
+  for (int i = 0; i < 10 && wins + losses < 2; ++i) {
+    h.net.advance(1 * kMillisecond);
+    h.net.run();
+  }
+  EXPECT_EQ(wins, 1);
+  EXPECT_EQ(losses, 1);
+  // Both proposed at instance 2; exactly one entry sits there, identical on
+  // every node (Appendix B: no two values for one instance).
+  const UtilityEntry* e0 = h.at(0).decided(2);
+  ASSERT_NE(e0, nullptr);
+  for (NodeId r = 1; r < 3; ++r) {
+    const UtilityEntry* er = h.at(r).decided(2);
+    ASSERT_NE(er, nullptr);
+    EXPECT_TRUE(*e0 == *er);
+  }
+}
+
+TEST(PaxosUtility, LoserCanRetryAtNextInstance) {
+  UtilHarness h;
+  bool n1_done = false;
+  bool n1_ok = false;
+  ASSERT_TRUE(h.at(1).propose(h.net.ctx(1), acceptor_change(1, 2), nullptr));
+  h.net.run();  // node 1's entry decided at instance 2
+  ASSERT_TRUE(h.at(2).propose(h.net.ctx(2), leader_change(2, 2), [&](Context&, bool ok) {
+    n1_done = true;
+    n1_ok = ok;
+  }));
+  h.net.run();
+  EXPECT_TRUE(n1_done);
+  EXPECT_TRUE(n1_ok);  // fresh instance: no contention
+  EXPECT_EQ(h.at(0).last_leader(), 2);
+  EXPECT_EQ(h.at(0).last_active_acceptor().acceptor, 2);
+}
+
+TEST(PaxosUtility, AcceptorChangeCarriesProposals) {
+  UtilHarness h;
+  UtilityEntry e = acceptor_change(0, 2);
+  e.num_proposals = 2;
+  e.proposals[0] = Proposal{5, ProposalNum{3, 0}, Command{}};
+  e.proposals[1] = Proposal{6, ProposalNum{3, 0}, Command{}};
+  ASSERT_TRUE(h.at(0).propose(h.net.ctx(0), e, nullptr));
+  h.net.run();
+  const auto info = h.at(2).last_active_acceptor();
+  EXPECT_EQ(info.acceptor, 2);
+  ASSERT_NE(info.entry, nullptr);
+  ASSERT_EQ(info.entry->num_proposals, 2);
+  EXPECT_EQ(info.entry->proposals[0].instance, 5);
+  EXPECT_EQ(info.entry->proposals[1].instance, 6);
+}
+
+TEST(PaxosUtility, ProposeWithMinoritySilentStillDecides) {
+  UtilHarness h;
+  h.net.isolate(0);
+  bool ok = false;
+  ASSERT_TRUE(h.at(2).propose(h.net.ctx(2), leader_change(2, 1), [&](Context&, bool o) { ok = o; }));
+  h.net.run();
+  EXPECT_TRUE(ok);  // majority 2 of 3 suffices
+  EXPECT_EQ(h.at(1).last_leader(), 2);
+  EXPECT_EQ(h.at(0).last_leader(), 0);  // isolated node is behind, not wrong
+}
+
+TEST(PaxosUtility, RetryAfterTotalMessageLoss) {
+  UtilHarness h;
+  bool done = false;
+  ASSERT_TRUE(h.at(2).propose(h.net.ctx(2), leader_change(2, 1), [&](Context&, bool) { done = true; }));
+  // Lose the entire first phase-1 volley.
+  h.net.drop_if([](const Message&) { return true; });
+  EXPECT_FALSE(done);
+  // The retry timer restarts the proposal with a higher ballot.
+  for (int i = 0; i < 10 && !done; ++i) {
+    h.net.advance(1 * kMillisecond);
+    h.net.run();
+  }
+  EXPECT_TRUE(done);
+  EXPECT_EQ(h.at(0).last_leader(), 2);
+}
+
+TEST(PaxosUtility, SnapshotAnchoredProposeFailsWhenLogMoved) {
+  // The Fig. 12 snapshot-propose pattern: a proposal anchored to a stale
+  // index must fail (synchronously) so the caller re-reads its snapshot.
+  UtilHarness h;
+  const Instance snapshot = h.at(2).next_instance();
+  // Someone else inserts an entry first.
+  ASSERT_TRUE(h.at(1).propose(h.net.ctx(1), acceptor_change(0, 2), nullptr, snapshot));
+  h.net.run();
+  ASSERT_EQ(h.at(2).next_instance(), snapshot + 1);
+  bool fired = false;
+  bool ok = true;
+  ASSERT_TRUE(h.at(2).propose(h.net.ctx(2), leader_change(2, 1),
+                              [&](Context&, bool o) {
+                                fired = true;
+                                ok = o;
+                              },
+                              snapshot));
+  EXPECT_TRUE(fired);  // synchronous failure
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(h.at(2).propose_in_flight());
+  // Retry with a fresh snapshot succeeds.
+  bool ok2 = false;
+  ASSERT_TRUE(h.at(2).propose(h.net.ctx(2), leader_change(2, 2),
+                              [&](Context&, bool o) { ok2 = o; }, h.at(2).next_instance()));
+  h.net.run();
+  EXPECT_TRUE(ok2);
+}
+
+TEST(PaxosUtility, LaggingNodeCaughtUpByDecidedShortCircuit) {
+  UtilHarness h;
+  h.net.isolate(0);
+  ASSERT_TRUE(h.at(2).propose(h.net.ctx(2), leader_change(2, 1), nullptr));
+  h.net.run();
+  ASSERT_EQ(h.at(0).decided_count(), 2);  // node 0 missed instance 2
+  h.net.heal(0);
+  // Node 0 now proposes at its stale next instance (2); the others answer
+  // with the decided entry, it learns, then retries and wins at 3.
+  bool first_ok = true;
+  ASSERT_TRUE(h.at(0).propose(h.net.ctx(0), acceptor_change(0, 2),
+                              [&](Context&, bool ok) { first_ok = ok; }));
+  h.net.run();
+  EXPECT_FALSE(first_ok);               // lost instance 2 to the old entry
+  EXPECT_EQ(h.at(0).decided_count(), 3);  // but caught up
+  bool second_ok = false;
+  ASSERT_TRUE(h.at(0).propose(h.net.ctx(0), acceptor_change(0, 2),
+                              [&](Context&, bool ok) { second_ok = ok; }));
+  h.net.run();
+  EXPECT_TRUE(second_ok);
+  EXPECT_EQ(h.at(1).last_active_acceptor().acceptor, 2);
+}
+
+}  // namespace
+}  // namespace ci::consensus

@@ -1,0 +1,105 @@
+#include "consensus/state_machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ci::consensus {
+namespace {
+
+Command make(NodeId client, std::uint32_t seq, Op op, std::uint64_t key, std::uint64_t value) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  c.op = op;
+  c.key = key;
+  c.value = value;
+  return c;
+}
+
+TEST(MapStateMachine, WriteThenRead) {
+  MapStateMachine sm;
+  EXPECT_EQ(sm.apply(make(1, 1, Op::kWrite, 7, 42)), 0u);  // returns old value
+  EXPECT_EQ(sm.apply(make(1, 2, Op::kRead, 7, 0)), 42u);
+  EXPECT_EQ(sm.read(7), 42u);
+  EXPECT_EQ(sm.size(), 1u);
+}
+
+TEST(MapStateMachine, OverwriteReturnsOld) {
+  MapStateMachine sm;
+  sm.apply(make(1, 1, Op::kWrite, 7, 1));
+  EXPECT_EQ(sm.apply(make(1, 2, Op::kWrite, 7, 2)), 1u);
+  EXPECT_EQ(sm.read(7), 2u);
+}
+
+TEST(MapStateMachine, ReadMissingKeyIsZero) {
+  MapStateMachine sm;
+  EXPECT_EQ(sm.read(99), 0u);
+}
+
+TEST(Executor, AppliesOnce) {
+  MapStateMachine sm;
+  Executor ex(&sm);
+  const Command w = make(1, 1, Op::kWrite, 5, 10);
+  EXPECT_FALSE(ex.apply(w).duplicate);
+  EXPECT_TRUE(ex.apply(w).duplicate);  // retry decided twice
+  EXPECT_EQ(sm.read(5), 10u);
+}
+
+TEST(Executor, DuplicateDoesNotReapply) {
+  MapStateMachine sm;
+  Executor ex(&sm);
+  ex.apply(make(1, 1, Op::kWrite, 5, 10));
+  ex.apply(make(1, 2, Op::kWrite, 5, 20));
+  // A stale duplicate of seq 1 must not clobber seq 2's effect.
+  EXPECT_TRUE(ex.apply(make(1, 1, Op::kWrite, 5, 10)).duplicate);
+  EXPECT_EQ(sm.read(5), 20u);
+}
+
+TEST(Executor, SeparateClientsTrackedIndependently) {
+  MapStateMachine sm;
+  Executor ex(&sm);
+  EXPECT_FALSE(ex.apply(make(1, 1, Op::kWrite, 1, 1)).duplicate);
+  EXPECT_FALSE(ex.apply(make(2, 1, Op::kWrite, 2, 2)).duplicate);
+  EXPECT_TRUE(ex.apply(make(1, 1, Op::kWrite, 1, 1)).duplicate);
+}
+
+TEST(Executor, NoopsAreTransparent) {
+  Executor ex(nullptr);
+  Command noop;  // default: kNoop, no client
+  EXPECT_FALSE(ex.apply(noop).duplicate);
+  EXPECT_FALSE(ex.apply(noop).duplicate);  // noops never dedup
+}
+
+TEST(Executor, ReadResultComesFromStateMachine) {
+  MapStateMachine sm;
+  Executor ex(&sm);
+  ex.apply(make(1, 1, Op::kWrite, 3, 33));
+  const auto applied = ex.apply(make(2, 1, Op::kRead, 3, 0));
+  EXPECT_FALSE(applied.duplicate);
+  EXPECT_EQ(applied.result, 33u);
+}
+
+TEST(Executor, DuplicateReturnsCachedResult) {
+  // A client retry that straddles a leader change decides twice; the second
+  // execution is suppressed but must answer with the original result, or
+  // the client would see put(k,v) "return" 0 instead of the old value.
+  MapStateMachine sm;
+  Executor ex(&sm);
+  ex.apply(make(1, 1, Op::kWrite, 5, 50));
+  const auto dup = ex.apply(make(1, 2, Op::kWrite, 5, 51));
+  EXPECT_FALSE(dup.duplicate);
+  EXPECT_EQ(dup.result, 50u);  // old value
+  const auto retry = ex.apply(make(1, 2, Op::kWrite, 5, 51));
+  EXPECT_TRUE(retry.duplicate);
+  EXPECT_EQ(retry.result, 50u);  // cached original result
+  EXPECT_EQ(sm.read(5), 51u);    // state unchanged by the retry
+}
+
+TEST(Executor, NullStateMachineExecutesWithZeroResults) {
+  Executor ex(nullptr);
+  const auto applied = ex.apply(make(1, 1, Op::kWrite, 3, 33));
+  EXPECT_FALSE(applied.duplicate);
+  EXPECT_EQ(applied.result, 0u);
+}
+
+}  // namespace
+}  // namespace ci::consensus

@@ -1,0 +1,71 @@
+#include "consensus/synod.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ci::consensus {
+namespace {
+
+TEST(SynodAcceptor, Phase1RequiresStrictlyHigherBallot) {
+  SynodAcceptor<int> a;
+  EXPECT_TRUE(a.phase1(ProposalNum{1, 0}));
+  EXPECT_FALSE(a.phase1(ProposalNum{1, 0}));  // equal rejected
+  EXPECT_FALSE(a.phase1(ProposalNum{0, 5}));  // lower rejected
+  EXPECT_TRUE(a.phase1(ProposalNum{2, 0}));
+}
+
+TEST(SynodAcceptor, Phase2HonorsPromise) {
+  SynodAcceptor<int> a;
+  ASSERT_TRUE(a.phase1(ProposalNum{5, 0}));
+  EXPECT_FALSE(a.phase2(ProposalNum{4, 1}, 10));  // below the promise
+  EXPECT_TRUE(a.phase2(ProposalNum{5, 0}, 10));   // exactly the promise
+  EXPECT_TRUE(a.has_accepted);
+  EXPECT_EQ(a.accepted_value, 10);
+}
+
+TEST(SynodAcceptor, Phase2AboveBumpsPromise) {
+  SynodAcceptor<int> a;
+  a.phase1(ProposalNum{1, 0});
+  EXPECT_TRUE(a.phase2(ProposalNum{3, 1}, 7));  // higher ballot accepted
+  EXPECT_EQ(a.promised, (ProposalNum{3, 1}));
+  EXPECT_FALSE(a.phase1(ProposalNum{2, 0}));  // now below the bumped promise
+}
+
+TEST(SynodAcceptor, AcceptedValueOverwrittenByHigherBallot) {
+  SynodAcceptor<int> a;
+  a.phase2(ProposalNum{1, 0}, 10);
+  a.phase2(ProposalNum{2, 1}, 20);
+  EXPECT_EQ(a.accepted_value, 20);
+  EXPECT_EQ(a.accepted_pn, (ProposalNum{2, 1}));
+}
+
+TEST(SynodLearner, MajorityFiresExactlyOnce) {
+  SynodLearner l;
+  const ProposalNum pn{1, 0};
+  EXPECT_FALSE(l.record(pn, 0, 2));
+  EXPECT_TRUE(l.record(pn, 1, 2));   // second acceptance = majority of 3
+  EXPECT_FALSE(l.record(pn, 2, 2));  // further acceptances do not re-fire
+}
+
+TEST(SynodLearner, DuplicateAcceptorDoesNotCount) {
+  SynodLearner l;
+  const ProposalNum pn{1, 0};
+  EXPECT_FALSE(l.record(pn, 0, 2));
+  EXPECT_FALSE(l.record(pn, 0, 2));  // same acceptor again
+  EXPECT_FALSE(l.has_majority(2));
+}
+
+TEST(SynodLearner, BallotsCountSeparately) {
+  SynodLearner l;
+  EXPECT_FALSE(l.record(ProposalNum{1, 0}, 0, 2));
+  EXPECT_FALSE(l.record(ProposalNum{2, 1}, 1, 2));  // different ballot
+  EXPECT_FALSE(l.has_majority(2));
+  EXPECT_TRUE(l.record(ProposalNum{2, 1}, 2, 2));
+}
+
+TEST(SynodLearner, SingleAcceptorMajorityOfOne) {
+  SynodLearner l;
+  EXPECT_TRUE(l.record(ProposalNum{1, 0}, 0, 1));
+}
+
+}  // namespace
+}  // namespace ci::consensus

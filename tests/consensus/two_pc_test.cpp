@@ -1,0 +1,186 @@
+// Hand-stepped 2PC semantics: exact message flow of §2.2 (prepare/ack,
+// commit/commit-ack), the wait-for-ALL blocking property, lock windows, and
+// retransmission.
+#include "consensus/two_pc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "support/fake_net.hpp"
+
+namespace ci::consensus {
+namespace {
+
+using test::FakeNet;
+
+struct TwoPcHarness {
+  explicit TwoPcHarness(std::int32_t replicas = 3) {
+    for (NodeId r = 0; r < replicas; ++r) {
+      TwoPcConfig cfg;
+      cfg.base.self = r;
+      cfg.base.num_replicas = replicas;
+      cfg.coordinator = 0;
+      engines.push_back(std::make_unique<TwoPcEngine>(cfg));
+      net.add(engines.back().get());
+    }
+    net.start_all();
+  }
+
+  TwoPcEngine& at(NodeId r) { return *engines[static_cast<std::size_t>(r)]; }
+
+  FakeNet net;
+  std::vector<std::unique_ptr<TwoPcEngine>> engines;
+};
+
+TEST(TwoPc, FullRoundMessageFlow) {
+  TwoPcHarness h;
+  h.net.inject(test::client_request(/*client=*/3, /*dst=*/0, /*seq=*/1));
+  // Client request delivered to coordinator -> 2 prepares out.
+  ASSERT_TRUE(h.net.step());
+  ASSERT_EQ(h.net.pending(), 2u);
+  EXPECT_EQ(h.net.peek(0).type, MsgType::kTwoPcPrepare);
+  EXPECT_EQ(h.net.peek(1).type, MsgType::kTwoPcPrepare);
+  // Both participants lock and ack.
+  ASSERT_TRUE(h.net.step());
+  ASSERT_TRUE(h.net.step());
+  EXPECT_TRUE(h.at(1).has_prepared_uncommitted());
+  EXPECT_TRUE(h.at(2).has_prepared_uncommitted());
+  // Acks reach the coordinator -> commits broadcast.
+  ASSERT_TRUE(h.net.step());
+  ASSERT_TRUE(h.net.step());
+  ASSERT_GE(h.net.pending(), 2u);
+  EXPECT_EQ(h.net.peek(0).type, MsgType::kTwoPcCommit);
+  // Drain the rest: commit acks + client reply.
+  h.net.run();
+  EXPECT_EQ(h.at(0).committed_rounds(), 1u);
+  EXPECT_FALSE(h.at(1).has_prepared_uncommitted());
+  EXPECT_EQ(h.at(0).log().first_gap(), 1);
+  EXPECT_EQ(h.at(1).log().first_gap(), 1);
+  EXPECT_EQ(h.at(2).log().first_gap(), 1);
+}
+
+TEST(TwoPc, ReplyOnlyAfterAllCommitAcks) {
+  TwoPcHarness h;
+  h.net.inject(test::client_request(3, 0, 1));
+  bool saw_reply_before_acks = false;
+  // Deliver everything except one commit-ack; no ClientReply may appear.
+  while (h.net.pending() > 0) {
+    if (h.net.peek(0).type == MsgType::kTwoPcCommitAck && h.net.peek(0).src == 2) {
+      // Hold node 2's commit ack: check that no reply exists yet.
+      for (std::size_t i = 0; i < h.net.pending(); ++i) {
+        if (h.net.peek(i).type == MsgType::kClientReply) saw_reply_before_acks = true;
+      }
+      break;
+    }
+    ASSERT_TRUE(h.net.step());
+  }
+  EXPECT_FALSE(saw_reply_before_acks);
+  h.net.run();
+  EXPECT_EQ(h.at(0).committed_rounds(), 1u);
+}
+
+TEST(TwoPc, BlocksWhileOneParticipantIsolated) {
+  TwoPcHarness h;
+  h.net.isolate(2);  // participant 2 unresponsive
+  h.net.inject(test::client_request(3, 0, 1));
+  h.net.run();
+  // Coordinator cannot commit: it lacks node 2's ack (blocking, §2.2).
+  EXPECT_EQ(h.at(0).committed_rounds(), 0u);
+  EXPECT_TRUE(h.at(0).has_prepared_uncommitted());
+  // Node 2 heals; coordinator retransmits on its timer and completes.
+  h.net.heal(2);
+  h.net.advance(1 * kMillisecond);
+  h.net.run();
+  EXPECT_EQ(h.at(0).committed_rounds(), 1u);
+}
+
+TEST(TwoPc, NonCoordinatorForwardsClientRequests) {
+  TwoPcHarness h;
+  h.net.inject(test::client_request(3, /*dst=*/1, 1));  // wrong replica
+  ASSERT_TRUE(h.net.step());
+  ASSERT_EQ(h.net.pending(), 1u);
+  EXPECT_EQ(h.net.peek(0).dst, 0);  // forwarded to the coordinator
+  EXPECT_EQ(h.net.peek(0).u.client_request.cmd.client, 3);
+  h.net.run();
+  EXPECT_EQ(h.at(0).committed_rounds(), 1u);
+}
+
+TEST(TwoPc, PipelinesMultipleInstances) {
+  TwoPcHarness h;
+  for (std::uint32_t s = 1; s <= 5; ++s) h.net.inject(test::client_request(3, 0, s));
+  h.net.run();
+  EXPECT_EQ(h.at(0).committed_rounds(), 5u);
+  EXPECT_EQ(h.at(1).log().first_gap(), 5);
+}
+
+TEST(TwoPc, DuplicatePrepareReAcked) {
+  TwoPcHarness h;
+  h.net.inject(test::client_request(3, 0, 1));
+  h.net.run();
+  // Inject a duplicate prepare for the committed instance 0.
+  Message dup(MsgType::kTwoPcPrepare, ProtoId::kTwoPc, 0, 1);
+  dup.u.two_pc_prepare.instance = 0;
+  h.net.inject(dup);
+  ASSERT_TRUE(h.net.step());
+  ASSERT_EQ(h.net.pending(), 1u);
+  // Already committed: participant answers with a commit ack, not a fresh lock.
+  EXPECT_EQ(h.net.peek(0).type, MsgType::kTwoPcCommitAck);
+  EXPECT_FALSE(h.at(1).has_prepared_uncommitted());
+}
+
+TEST(TwoPc, RetransmitsPreparesAfterTimeout) {
+  TwoPcHarness h;
+  h.net.inject(test::client_request(3, 0, 1));
+  ASSERT_TRUE(h.net.step());                 // prepares queued
+  h.net.drop_if([](const Message& m) { return m.type == MsgType::kTwoPcPrepare; });
+  EXPECT_EQ(h.net.pending(), 0u);
+  h.net.advance(1 * kMillisecond);           // fire the retry timer
+  EXPECT_GE(h.net.pending(), 2u);
+  h.net.run();
+  EXPECT_EQ(h.at(0).committed_rounds(), 1u);
+}
+
+TEST(TwoPc, LockWindowVisibleDuringRound) {
+  // §7.5: the "gap between the two phases" is exactly when local reads are
+  // forbidden — has_prepared_uncommitted() delimits it.
+  TwoPcHarness h;
+  EXPECT_FALSE(h.at(1).has_prepared_uncommitted());
+  h.net.inject(test::client_request(3, 0, 1));
+  h.net.step();  // coordinator sends prepares (self-locks too)
+  EXPECT_TRUE(h.at(0).has_prepared_uncommitted());
+  h.net.run();
+  EXPECT_FALSE(h.at(0).has_prepared_uncommitted());
+  EXPECT_FALSE(h.at(1).has_prepared_uncommitted());
+}
+
+TEST(TwoPc, SingleReplicaDegenerateCommits) {
+  TwoPcHarness h(1);
+  h.net.inject(test::client_request(1, 0, 1));
+  h.net.run();
+  EXPECT_EQ(h.at(0).committed_rounds(), 1u);
+  EXPECT_EQ(h.at(0).log().first_gap(), 1);
+}
+
+TEST(TwoPc, WindowLimitsInFlightRounds) {
+  TwoPcHarness h;
+  h.net.isolate(2);  // stall everything
+  for (std::uint32_t s = 1; s <= 20; ++s) h.net.inject(test::client_request(3, 0, s));
+  h.net.run();
+  // Only pipeline_window rounds may be in flight at once.
+  EXPECT_TRUE(h.at(0).has_prepared_uncommitted());
+  EXPECT_EQ(h.at(0).committed_rounds(), 0u);
+  h.net.heal(2);
+  h.net.advance(1 * kMillisecond);
+  h.net.run();
+  // More ticks let the remaining rounds start and finish.
+  for (int i = 0; i < 5; ++i) {
+    h.net.advance(1 * kMillisecond);
+    h.net.run();
+  }
+  EXPECT_EQ(h.at(0).committed_rounds(), 20u);
+}
+
+}  // namespace
+}  // namespace ci::consensus

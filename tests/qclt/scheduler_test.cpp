@@ -1,0 +1,257 @@
+#include "qclt/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace ci::qclt {
+namespace {
+
+struct QueueHolder {
+  explicit QueueHolder(std::uint32_t slots)
+      : mem(static_cast<unsigned char*>(
+            ::operator new(SpscQueue::bytes_required(slots), std::align_val_t{kSlotSize}))),
+        q(SpscQueue::init(mem, slots)) {}
+  ~QueueHolder() { ::operator delete(mem, std::align_val_t{kSlotSize}); }
+
+  unsigned char* mem;
+  SpscQueue* q;
+};
+
+TEST(Scheduler, RunsSingleTaskToCompletion) {
+  Scheduler s;
+  bool ran = false;
+  s.spawn([&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.live_tasks(), 0u);
+}
+
+TEST(Scheduler, YieldInterleavesTasks) {
+  Scheduler s;
+  std::string trace;
+  s.spawn([&] {
+    trace += 'a';
+    s.yield();
+    trace += 'c';
+  });
+  s.spawn([&] {
+    trace += 'b';
+    s.yield();
+    trace += 'd';
+  });
+  s.run();
+  EXPECT_EQ(trace, "abcd");
+}
+
+TEST(Scheduler, ManyTasksAllComplete) {
+  Scheduler s;
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    s.spawn([&s, &done] {
+      for (int k = 0; k < 5; ++k) s.yield();
+      done++;
+    });
+  }
+  s.run();
+  EXPECT_EQ(done, 200);
+}
+
+TEST(Scheduler, SpawnFromInsideTask) {
+  Scheduler s;
+  int order = 0;
+  int child_ran_at = -1;
+  s.spawn([&] {
+    order++;
+    s.spawn([&] { child_ran_at = ++order; });
+    order++;
+  });
+  s.run();
+  EXPECT_EQ(child_ran_at, 3);
+}
+
+TEST(Scheduler, DeepCallStackInsideTask) {
+  // Validates the custom stack switching with real frames on the stack.
+  Scheduler s;
+  std::function<int(int)> fib = [&](int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); };
+  int result = 0;
+  s.spawn([&] { result = fib(16); });
+  s.run();
+  EXPECT_EQ(result, 987);
+}
+
+TEST(Scheduler, WaitReadableBlocksUntilMessage) {
+  Scheduler s;
+  QueueHolder h(7);
+  std::string trace;
+  s.spawn([&] {
+    trace += "r0";
+    EXPECT_TRUE(s.wait_readable(h.q));
+    int v = 0;
+    EXPECT_TRUE(h.q->try_read(&v, sizeof(v)));
+    trace += ";got" + std::to_string(v);
+  });
+  s.spawn([&] {
+    trace += ";w0";
+    for (int i = 0; i < 3; ++i) s.yield();  // let the reader block first
+    const int v = 41;
+    EXPECT_TRUE(h.q->try_write(&v, sizeof(v)));
+    trace += ";sent";
+  });
+  s.run();
+  EXPECT_EQ(trace, "r0;w0;sent;got41");
+}
+
+TEST(Scheduler, WaitWritableBlocksUntilSpace) {
+  Scheduler s;
+  QueueHolder h(1);
+  int v = 1;
+  ASSERT_TRUE(h.q->try_write(&v, sizeof(v)));  // fill the queue
+  bool writer_done = false;
+  s.spawn([&] {
+    EXPECT_TRUE(s.wait_writable(h.q));
+    const int w = 2;
+    EXPECT_TRUE(h.q->try_write(&w, sizeof(w)));
+    writer_done = true;
+  });
+  s.spawn([&] {
+    for (int i = 0; i < 3; ++i) s.yield();
+    int out = 0;
+    EXPECT_TRUE(h.q->try_read(&out, sizeof(out)));  // free a slot
+  });
+  s.run();
+  EXPECT_TRUE(writer_done);
+}
+
+TEST(Scheduler, RequestStopWakesBlockedTasks) {
+  Scheduler s;
+  QueueHolder h(7);
+  bool stopped_wait = false;
+  s.spawn([&] {
+    const bool readable = s.wait_readable(h.q);
+    stopped_wait = !readable;
+  });
+  s.spawn([&] {
+    for (int i = 0; i < 3; ++i) s.yield();
+    s.request_stop();
+  });
+  s.run();
+  EXPECT_TRUE(stopped_wait);
+}
+
+TEST(Scheduler, WaitReadableReturnsImmediatelyWhenDataPresent) {
+  Scheduler s;
+  QueueHolder h(7);
+  const int v = 5;
+  ASSERT_TRUE(h.q->try_write(&v, sizeof(v)));
+  bool ok = false;
+  s.spawn([&] { ok = s.wait_readable(h.q); });
+  s.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Scheduler, PingPongThroughTwoQueues) {
+  // Two tasks exchanging N messages through a pair of 1-slot queues —
+  // the propagation-delay experiment skeleton from paper §3.
+  Scheduler s;
+  QueueHolder ab(1);
+  QueueHolder ba(1);
+  constexpr int kRounds = 1000;
+  int received_by_b = 0;
+  int received_by_a = 0;
+  s.spawn([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      while (!ab.q->try_write(&i, sizeof(i))) {
+        if (!s.wait_writable(ab.q)) return;
+      }
+      int echo = -1;
+      while (!ba.q->try_read(&echo, sizeof(echo))) {
+        if (!s.wait_readable(ba.q)) return;
+      }
+      EXPECT_EQ(echo, i);
+      received_by_a++;
+    }
+  });
+  s.spawn([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      int v = -1;
+      while (!ab.q->try_read(&v, sizeof(v))) {
+        if (!s.wait_readable(ab.q)) return;
+      }
+      received_by_b++;
+      while (!ba.q->try_write(&v, sizeof(v))) {
+        if (!s.wait_writable(ba.q)) return;
+      }
+    }
+  });
+  s.run();
+  EXPECT_EQ(received_by_b, kRounds);
+  EXPECT_EQ(received_by_a, kRounds);
+}
+
+TEST(Scheduler, ThisThreadIsSetOnlyDuringRun) {
+  EXPECT_EQ(Scheduler::this_thread(), nullptr);
+  Scheduler s;
+  Scheduler* seen = nullptr;
+  s.spawn([&] { seen = Scheduler::this_thread(); });
+  s.run();
+  EXPECT_EQ(seen, &s);
+  EXPECT_EQ(Scheduler::this_thread(), nullptr);
+}
+
+TEST(Scheduler, TwoSchedulersOnTwoThreads) {
+  // One scheduler per core is the deployment model; ensure thread isolation.
+  QueueHolder fwd(7);
+  QueueHolder bwd(7);
+  constexpr int kMsgs = 10000;
+  std::thread t1([&] {
+    Scheduler s;
+    s.spawn([&] {
+      for (int i = 0; i < kMsgs; ++i) {
+        while (!fwd.q->try_write(&i, sizeof(i))) s.yield();
+      }
+    });
+    s.run();
+  });
+  std::thread t2([&] {
+    Scheduler s;
+    int last = -1;
+    s.spawn([&] {
+      for (int i = 0; i < kMsgs; ++i) {
+        int v;
+        while (!fwd.q->try_read(&v, sizeof(v))) s.yield();
+        last = v;
+      }
+      while (!bwd.q->try_write(&last, sizeof(last))) s.yield();
+    });
+    s.run();
+  });
+  t1.join();
+  t2.join();
+  int final_value = -1;
+  EXPECT_TRUE(bwd.q->try_read(&final_value, sizeof(final_value)));
+  EXPECT_EQ(final_value, kMsgs - 1);
+}
+
+TEST(Scheduler, StressManyTasksManyYields) {
+  Scheduler s;
+  std::uint64_t counter = 0;
+  for (int i = 0; i < 64; ++i) {
+    s.spawn([&s, &counter] {
+      for (int k = 0; k < 1000; ++k) {
+        counter++;
+        s.yield();
+      }
+    });
+  }
+  s.run();
+  EXPECT_EQ(counter, 64u * 1000u);
+}
+
+}  // namespace
+}  // namespace ci::qclt

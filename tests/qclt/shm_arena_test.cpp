@@ -1,0 +1,63 @@
+#include "qclt/shm_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/cacheline.hpp"
+#include "qclt/spsc_queue.hpp"
+
+namespace ci::qclt {
+namespace {
+
+TEST(ShmArena, AnonymousAllocate) {
+  ShmArena arena(1 << 20, ShmArena::Backing::kAnonymous);
+  void* a = arena.allocate(100, 64);
+  void* b = arena.allocate(100, 64);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  std::memset(a, 1, 100);
+  std::memset(b, 2, 100);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[99], 1);
+}
+
+TEST(ShmArena, AlignmentHonored) {
+  ShmArena arena(1 << 20, ShmArena::Backing::kAnonymous);
+  arena.allocate(3, 1);
+  void* p = arena.allocate(64, 128);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 128, 0u);
+}
+
+TEST(ShmArena, UsedAccounting) {
+  ShmArena arena(4096, ShmArena::Backing::kAnonymous);
+  EXPECT_EQ(arena.used(), 0u);
+  arena.allocate(100, 1);
+  EXPECT_EQ(arena.used(), 100u);
+  EXPECT_EQ(arena.capacity(), 4096u);
+}
+
+TEST(ShmArena, SharedMemoryBackingWorks) {
+  ShmArena arena(1 << 20, ShmArena::Backing::kSharedMemory);
+  EXPECT_FALSE(arena.shm_name().empty());
+  void* p = arena.allocate(4096, 64);
+  std::memset(p, 0x5A, 4096);
+  EXPECT_EQ(static_cast<unsigned char*>(p)[4095], 0x5A);
+}
+
+TEST(ShmArena, QueueInSharedMemory) {
+  // The queue layout must work when placed in an shm_open segment — the
+  // paper's cross-process deployment.
+  ShmArena arena(1 << 20, ShmArena::Backing::kSharedMemory);
+  void* mem = arena.allocate(SpscQueue::bytes_required(7), kSlotSize);
+  SpscQueue* q = SpscQueue::init(mem, 7);
+  int v = 7;
+  EXPECT_TRUE(q->try_write(&v, sizeof(v)));
+  int out = 0;
+  EXPECT_TRUE(q->try_read(&out, sizeof(out)));
+  EXPECT_EQ(out, 7);
+}
+
+}  // namespace
+}  // namespace ci::qclt

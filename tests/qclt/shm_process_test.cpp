@@ -1,0 +1,86 @@
+// Cross-PROCESS transport test: the paper's deployment uses shm_open so
+// separate processes share the queues (§6.1). A forked child writes through
+// an SPSC queue placed in a shared-memory arena; the parent reads. This
+// pins down that the queue layout contains no process-local pointers and
+// that the atomics work across address spaces.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/cacheline.hpp"
+#include "common/time.hpp"
+#include "qclt/shm_arena.hpp"
+#include "qclt/spsc_queue.hpp"
+
+namespace ci::qclt {
+namespace {
+
+TEST(ShmProcess, ChildWritesParentReads) {
+  ShmArena arena(1 << 20, ShmArena::Backing::kSharedMemory);
+  void* mem = arena.allocate(SpscQueue::bytes_required(7), kSlotSize);
+  SpscQueue* q = SpscQueue::init(mem, 7);
+
+  constexpr std::uint64_t kCount = 50'000;
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: the writer process.
+    for (std::uint64_t v = 0; v < kCount;) {
+      if (q->try_write(&v, sizeof(v))) ++v;
+    }
+    _exit(0);
+  }
+  // Parent: the reader.
+  std::uint64_t expected = 0;
+  const Nanos deadline = now_nanos() + 30 * kSecond;
+  while (expected < kCount && now_nanos() < deadline) {
+    std::uint64_t out;
+    if (q->try_read(&out, sizeof(out))) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_EQ(expected, kCount);
+}
+
+TEST(ShmProcess, BidirectionalPingPongAcrossProcesses) {
+  ShmArena arena(1 << 20, ShmArena::Backing::kSharedMemory);
+  SpscQueue* fwd = SpscQueue::init(arena.allocate(SpscQueue::bytes_required(1), kSlotSize), 1);
+  SpscQueue* bwd = SpscQueue::init(arena.allocate(SpscQueue::bytes_required(1), kSlotSize), 1);
+
+  constexpr int kRounds = 10'000;
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child echoes.
+    for (int i = 0; i < kRounds;) {
+      int v;
+      if (!fwd->try_read(&v, sizeof(v))) continue;
+      while (!bwd->try_write(&v, sizeof(v))) {
+      }
+      ++i;
+    }
+    _exit(0);
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    while (!fwd->try_write(&i, sizeof(i))) {
+    }
+    int echo = -1;
+    while (!bwd->try_read(&echo, sizeof(echo))) {
+    }
+    ASSERT_EQ(echo, i);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace ci::qclt
