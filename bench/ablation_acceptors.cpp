@@ -23,23 +23,23 @@ struct Ablation {
 Ablation run_k(int k) {
   Ablation out;
   {
-    ClusterOptions o;
+    ClusterSpec o;
     o.protocol = Protocol::kMultiPaxos;
     o.num_replicas = 3;
     o.num_clients = 1;
-    o.requests_per_client = 2000;
+    o.workload.requests_per_client = 2000;
     o.acceptor_count = k;
     o.seed = 8;
-    o.heartbeat_period = 10 * kSecond;
-    o.fd_timeout = 100 * kSecond;
-    o.model.prop_jitter = 0;
+    o.engine.heartbeat_period = 10 * kSecond;
+    o.engine.fd_timeout = 100 * kSecond;
+    o.sim.model.prop_jitter = 0;
     SimCluster c(o);
     c.run(5 * kSecond);
     out.msgs_per_commit = static_cast<double>(c.net().total_messages()) /
                           static_cast<double>(c.total_committed());
   }
   {
-    ClusterOptions o;
+    ClusterSpec o;
     o.protocol = Protocol::kMultiPaxos;
     o.num_replicas = 3;
     o.num_clients = 5;
@@ -52,7 +52,7 @@ Ablation run_k(int k) {
     // committing? For k>1 the victim is the highest-id acceptor (the leader
     // survives); for k=1 the only acceptor IS node 0 — losing it removes
     // both roles, and no backup machinery exists to recover.
-    ClusterOptions o;
+    ClusterSpec o;
     o.protocol = Protocol::kMultiPaxos;
     o.num_replicas = 3;
     o.num_clients = 3;
@@ -87,7 +87,7 @@ int main() {
   }
   // 1Paxos reference: same message profile as k=1 plus recovery.
   {
-    ClusterOptions o;
+    ClusterSpec o;
     o.protocol = Protocol::kOnePaxos;
     o.num_replicas = 3;
     o.num_clients = 3;
@@ -98,7 +98,7 @@ int main() {
     const auto mid = c.total_committed();
     c.run(400 * kMillisecond);
     const bool survives = c.total_committed() > mid + 100;
-    ClusterOptions t;
+    ClusterSpec t;
     t.protocol = Protocol::kOnePaxos;
     t.num_replicas = 3;
     t.num_clients = 5;

@@ -14,12 +14,12 @@ using namespace ci;
 using namespace ci::bench;
 
 double joint_run(Protocol p, int nodes, double read_fraction, bool local_reads) {
-  ClusterOptions o;
+  ClusterSpec o;
   o.protocol = p;
   o.num_replicas = nodes;
   o.joint = true;
   o.joint_local_reads = local_reads;
-  o.read_fraction = read_fraction;
+  o.workload.read_fraction = read_fraction;
   o.seed = 6;
   return run_sim(o, 20 * kMillisecond, 300 * kMillisecond).throughput;
 }

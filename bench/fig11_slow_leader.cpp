@@ -9,13 +9,10 @@
 // The slow core is injected as per-message stalls (container sandboxes
 // emulate CPU affinity, so the paper's burner processes would not contend;
 // see DESIGN.md substitutions). The paper plots proposals/sec in 10 ms
-// buckets; so do we.
-#include <chrono>
-#include <thread>
+// buckets; so do we. `--backend={sim,rt}` picks the runtime; the fault
+// schedule travels inside the spec's FaultPlan either way.
 #include <vector>
 
-#include "common/timeseries.hpp"
-#include "rt/rt_cluster.hpp"
 #include "support/bench_common.hpp"
 
 namespace {
@@ -28,42 +25,34 @@ constexpr int kBuckets = 200;                 // 2 s total
 constexpr int kSlowStartBucket = 50;          // fault at 0.5 s
 constexpr int kSlowEndBucket = 130;           // heal at 1.3 s
 
-std::vector<double> run_series(bool inject_fault) {
-  rt::RtClusterOptions o;
-  o.protocol = rt::Protocol::kOnePaxos;
+std::vector<double> run_series(Backend backend, bool inject_fault) {
+  ClusterSpec o;
+  o.apply_backend_profile(backend);
+  o.protocol = Protocol::kOnePaxos;
   o.num_clients = 5;
-  o.requests_per_client = 0;  // run for the full window
-  rt::RtCluster c(o);
-  const Nanos origin = now_nanos();
-  std::vector<TimeSeries> per_client;
-  per_client.reserve(5);
-  for (int i = 0; i < 5; ++i) per_client.emplace_back(origin, kBucket, kBuckets);
-  for (int i = 0; i < 5; ++i) c.client(i)->set_commit_series(&per_client[static_cast<std::size_t>(i)]);
-  c.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(kSlowStartBucket * 10));
-  if (inject_fault) c.throttle_node(0, 2000);
-  std::this_thread::sleep_for(
-      std::chrono::milliseconds((kSlowEndBucket - kSlowStartBucket) * 10));
-  if (inject_fault) c.throttle_node(0, 1);
-  std::this_thread::sleep_for(std::chrono::milliseconds((kBuckets - kSlowEndBucket) * 10));
-  c.stop();
-  TimeSeries merged(origin, kBucket, kBuckets);
-  for (const auto& ts : per_client) merged.merge(ts);
-  std::vector<double> rates;
-  rates.reserve(kBuckets);
-  for (std::size_t i = 0; i < merged.size(); ++i) rates.push_back(merged.rate(i));
-  return rates;
+  o.workload.requests_per_client = 0;  // run for the full window
+  if (inject_fault) {
+    o.faults.slow_node(0, kSlowStartBucket * kBucket, kSlowEndBucket * kBucket, 2000);
+  }
+  return run_timeseries(backend, o, kBucket, kBuckets);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace ci;
+  using namespace ci::bench;
+
+  const Backend backend = harness::backend_from_args(argc, argv, Backend::kRt);
+
   header("E7: 1Paxos throughput with a slow leader (time series)",
          "paper Fig. 11 + §2.2's matching 2PC experiment",
          "5 clients, 3 replicas; leader slowed in [0.5s, 1.3s); 10 ms buckets");
+  row("backend: %s", core::backend_name(backend));
 
-  const std::vector<double> faulty = run_series(true);
-  const std::vector<double> baseline = run_series(false);
+  const std::vector<double> faulty = run_series(backend, true);
+  const std::vector<double> baseline = run_series(backend, false);
+
 
   row("%10s %18s %18s", "time ms", "slow-leader op/s", "no-failure op/s");
   for (int i = 0; i < kBuckets; i += 2) {  // print every 20 ms

@@ -20,28 +20,28 @@ int main() {
   const int client_counts[] = {1, 2, 3, 5, 7, 10, 16, 25, 40, 60, 100};
   for (const int clients : client_counts) {
     // LAN with the paper's idle-ping constants (§3: prop 135 us).
-    ClusterOptions lan;
+    ClusterSpec lan;
     lan.protocol = Protocol::kMultiPaxos;
     lan.num_replicas = 3;
     lan.num_clients = clients;
     lan.seed = 2;
     apply_lan_timeouts(lan);
-    const SimRun lan_run = run_sim(lan, 200 * kMillisecond, 2 * kSecond);
+    const BenchRun lan_run = run_sim(lan, 200 * kMillisecond, 2 * kSecond);
 
     // LAN with a loaded-network RTT (kernel wakeups + queueing push the
     // effective propagation toward ~600 us on 2014 GbE testbeds) — this is
     // the regime where Fig. 2's "scales to a hundred clients" appears.
-    ClusterOptions lan2 = lan;
-    lan2.model.prop = 600 * kMicrosecond;
-    lan2.model.prop_jitter = 100 * kMicrosecond;
-    const SimRun lan2_run = run_sim(lan2, 200 * kMillisecond, 2 * kSecond);
+    ClusterSpec lan2 = lan;
+    lan2.sim.model.prop = 600 * kMicrosecond;
+    lan2.sim.model.prop_jitter = 100 * kMicrosecond;
+    const BenchRun lan2_run = run_sim(lan2, 200 * kMillisecond, 2 * kSecond);
 
-    ClusterOptions mc;
+    ClusterSpec mc;
     mc.protocol = Protocol::kMultiPaxos;
     mc.num_replicas = 3;
     mc.num_clients = clients;
     mc.seed = 2;
-    const SimRun mc_run = run_sim(mc, 20 * kMillisecond, 300 * kMillisecond);
+    const BenchRun mc_run = run_sim(mc, 20 * kMillisecond, 300 * kMillisecond);
 
     row("%8d %16.0f %18.0f %18.0f", clients, lan_run.throughput, lan2_run.throughput,
         mc_run.throughput);

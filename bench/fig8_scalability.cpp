@@ -1,23 +1,26 @@
 // E4 — Figure 8: "latency vs throughput w.r.t. the number of clients in a
 // 48-core machine."
 //
-// 3 replicas, clients 1..45, all three protocols. Expected shape (paper):
-// 1Paxos reaches the highest throughput (its peak ~2x its single-client
-// rate); Multi-Paxos saturates around 52% and 2PC around 48% of 1Paxos's
-// peak; past saturation latency climbs steeply while throughput stalls.
+// 3 replicas, a growing client count, all three protocols. Expected shape
+// (paper): 1Paxos reaches the highest throughput (its peak ~2x its
+// single-client rate); Multi-Paxos saturates around 52% and 2PC around 48%
+// of 1Paxos's peak; past saturation latency climbs steeply while throughput
+// stalls.
 //
-// The full 1..45 sweep runs on the simulator (faithful to a 48-core box);
-// the real-runtime sweep runs up to a client count this machine can host
-// without heavy oversubscription and is reported alongside.
+// One sweep, two runtimes: `--backend=sim` (default) runs the full 1..45
+// sweep faithful to a 48-core box; `--backend=rt` runs the identical spec
+// over real threads up to a client count this machine can host without
+// heavy oversubscription.
 #include <algorithm>
 
 #include "common/affinity.hpp"
-#include "rt/rt_cluster.hpp"
 #include "support/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ci;
   using namespace ci::bench;
+
+  const Backend backend = harness::backend_from_args(argc, argv, Backend::kSim);
 
   header("E4: latency vs throughput as clients scale",
          "paper Fig. 8", "3 replicas; series = (throughput op/s, latency us) per client count");
@@ -25,20 +28,31 @@ int main() {
   const int clients[] = {1, 2, 3, 5, 7, 9, 13, 18, 25, 35, 45};
   const Protocol protocols[] = {Protocol::kTwoPc, Protocol::kMultiPaxos, Protocol::kOnePaxos};
 
-  row("--- simulator (48-core regime) ---");
+  // The rt sweep stops before drowning the machine in threads; the sim
+  // sweep models the paper's 48 cores and runs the full axis.
+  const int max_clients = backend == Backend::kSim
+                              ? 45
+                              : std::max(1, ci::online_cores() - 5);
+  const Nanos warmup = backend == Backend::kSim ? 20 * kMillisecond : 100 * kMillisecond;
+  const Nanos window = backend == Backend::kSim ? 200 * kMillisecond : 400 * kMillisecond;
+
+  row("--- backend: %s (%d cores online) ---", core::backend_name(backend),
+      ci::online_cores());
   row("%8s | %12s %10s | %12s %10s | %12s %10s", "clients", "2PC op/s", "lat us",
       "MP op/s", "lat us", "1Paxos op/s", "lat us");
   double peak[3] = {0, 0, 0};
   for (const int n : clients) {
+    if (n > max_clients) break;
     double tput[3];
     double lat[3];
     for (int p = 0; p < 3; ++p) {
-      ClusterOptions o;
+      ClusterSpec o;
+      o.apply_backend_profile(backend);
       o.protocol = protocols[p];
       o.num_replicas = 3;
       o.num_clients = n;
       o.seed = 4;
-      const SimRun r = run_sim(o, 20 * kMillisecond, 200 * kMillisecond);
+      const BenchRun r = run_cluster(backend, o, warmup, window);
       tput[p] = r.throughput;
       lat[p] = r.mean_latency_us;
       peak[p] = std::max(peak[p], r.throughput);
@@ -50,31 +64,6 @@ int main() {
   row("peak throughput: 2PC %.0f (%.0f%% of 1Paxos), Multi-Paxos %.0f (%.0f%%), 1Paxos %.0f",
       peak[0], 100.0 * peak[0] / peak[2], peak[1], 100.0 * peak[1] / peak[2], peak[2]);
   row("(paper: 2PC 48%%, Multi-Paxos 52%% of 1Paxos's peak)");
-
-  row("");
-  const int max_rt_clients = std::max(1, ci::online_cores() - 5);
-  row("--- real runtime (up to %d clients on %d cores) ---", max_rt_clients,
-      ci::online_cores());
-  row("%8s | %12s %10s | %12s %10s | %12s %10s", "clients", "2PC op/s", "lat us",
-      "MP op/s", "lat us", "1Paxos op/s", "lat us");
-  for (const int n : clients) {
-    if (n > max_rt_clients) break;
-    double tput[3];
-    double lat[3];
-    for (int p = 0; p < 3; ++p) {
-      rt::RtClusterOptions o;
-      o.protocol = protocols[p];
-      o.num_clients = n;
-      o.requests_per_client = 3000;
-      rt::RtCluster c(o);
-      c.start();
-      const rt::RtResult r = c.run_to_completion(30 * kSecond);
-      tput[p] = r.throughput_ops;
-      lat[p] = r.latency.mean() / 1e3;
-    }
-    row("%8d | %12.0f %10.2f | %12.0f %10.2f | %12.0f %10.2f", n, tput[0], lat[0], tput[1],
-        lat[1], tput[2], lat[2]);
-  }
   row("");
   row("Shape check (paper): 1Paxos scales furthest before its latency knee;");
   row("Multi-Paxos and 2PC saturate at roughly half of 1Paxos's peak.");

@@ -24,20 +24,20 @@ int main() {
     double tput[3] = {0, 0, 0};
     for (int p = 0; p < 3; ++p) {
       if (n < 2) continue;
-      ClusterOptions o;
+      ClusterSpec o;
       o.protocol = protocols[p];
       o.num_replicas = n;
       o.joint = true;
-      o.think_time = 2 * kMillisecond;  // §7.4
+      o.workload.think_time = 2 * kMillisecond;  // §7.4
       // Patient clients and a generous retransmission timer: past
       // saturation the paper's curves decline gracefully as the
       // per-agreement message count grows; timers tuned for a 3-node
       // cluster would instead trigger retry storms at 20+ nodes (a round
       // legitimately takes longer than the small-cluster timeout).
-      o.request_timeout = 500 * kMillisecond;
-      o.retry_timeout = 10 * kMillisecond;
+      o.workload.request_timeout = 500 * kMillisecond;
+      o.engine.retry_timeout = 10 * kMillisecond;
       o.seed = 5;
-      const SimRun r = run_sim(o, 50 * kMillisecond, 500 * kMillisecond);
+      const BenchRun r = run_sim(o, 50 * kMillisecond, 500 * kMillisecond);
       tput[p] = r.throughput;
     }
     row("%9d %16.0f %20.0f %16.0f", n, tput[0], tput[1], tput[2]);

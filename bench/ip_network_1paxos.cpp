@@ -18,7 +18,7 @@ int main() {
   row("%8s %20s %20s %12s", "clients", "Multi-Paxos op/s", "1Paxos op/s", "ratio");
   double best_ratio = 0;
   for (const int clients : {10, 25, 50, 100, 150, 200}) {
-    ClusterOptions mp;
+    ClusterSpec mp;
     mp.protocol = Protocol::kMultiPaxos;
     mp.num_replicas = 3;
     mp.num_clients = clients;
@@ -26,7 +26,7 @@ int main() {
     apply_lan_timeouts(mp);
     const double mp_tput = run_sim(mp, 200 * kMillisecond, 2 * kSecond).throughput;
 
-    ClusterOptions op;
+    ClusterSpec op;
     op.protocol = Protocol::kOnePaxos;
     op.num_replicas = 3;
     op.num_clients = clients;

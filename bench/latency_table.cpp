@@ -2,12 +2,13 @@
 //
 // Paper (48-core Opteron): 1Paxos 16 us < Multi-Paxos 19.6 us < 2PC 21.4 us.
 // 2PC loses to Multi-Paxos because it waits for ALL replicas; 1Paxos wins by
-// sending the fewest messages. We report both:
+// sending the fewest messages. This is the paper's sim-vs-hardware
+// comparison in one table, so both backends run the same spec through the
+// harness:
 //   * the simulator with the paper's §3 cost constants (absolute numbers in
 //     the paper's ballpark), and
 //   * the real QC-libtask runtime on this machine (absolute numbers shrink
 //     with modern cores; the ordering is the reproduced claim).
-#include "rt/rt_cluster.hpp"
 #include "support/bench_common.hpp"
 
 namespace {
@@ -15,17 +16,25 @@ namespace {
 using namespace ci;
 using namespace ci::bench;
 
-ci::rt::RtResult best_rt(Protocol p) {
+ClusterSpec one_client_spec(Backend backend, Protocol p) {
+  ClusterSpec o;
+  o.apply_backend_profile(backend);
+  o.protocol = p;
+  o.num_replicas = 3;
+  o.num_clients = 1;
+  o.seed = 3;
+  return o;
+}
+
+core::RunResult best_rt(Protocol p) {
   // Min-of-3 by median: container scheduling noise only adds latency.
-  ci::rt::RtResult best;
+  core::RunResult best;
   for (int i = 0; i < 3; ++i) {
-    rt::RtClusterOptions o;
-    o.protocol = p;
-    o.num_clients = 1;
-    o.requests_per_client = 5000;
-    rt::RtCluster c(o);
-    c.start();
-    const rt::RtResult r = c.run_to_completion(30 * kSecond);
+    ClusterSpec o = one_client_spec(Backend::kRt, p);
+    o.workload.requests_per_client = 5000;
+    RunPlan plan;
+    plan.duration = 30 * kSecond;  // quota ends the run
+    const core::RunResult r = harness::run(Backend::kRt, o, plan);
     if (i == 0 || r.latency.percentile(0.5) < best.latency.percentile(0.5)) best = r;
   }
   return best;
@@ -45,12 +54,8 @@ int main() {
   row("%-12s %14s %14s %14s %16s", "protocol", "mean lat us", "p50 lat us", "paper us",
       "throughput op/s");
   for (int i = 0; i < 3; ++i) {
-    ClusterOptions o;
-    o.protocol = protocols[i];
-    o.num_replicas = 3;
-    o.num_clients = 1;
-    o.seed = 3;
-    const SimRun r = run_sim(o, 20 * kMillisecond, 300 * kMillisecond);
+    const ClusterSpec o = one_client_spec(Backend::kSim, protocols[i]);
+    const BenchRun r = run_sim(o, 20 * kMillisecond, 300 * kMillisecond);
     row("%-12s %14.1f %14.1f %14.1f %16.0f", pname(protocols[i]), r.mean_latency_us,
         r.p50_latency_us, paper_us[i], r.throughput);
   }
@@ -59,9 +64,9 @@ int main() {
   row("--- real QC-libtask runtime on this machine ---");
   row("%-12s %14s %14s %16s", "protocol", "mean lat us", "p50 lat us", "throughput op/s");
   for (int i = 0; i < 3; ++i) {
-    const rt::RtResult r = best_rt(protocols[i]);
+    const core::RunResult r = best_rt(protocols[i]);
     row("%-12s %14.2f %14.2f %16.0f", pname(protocols[i]), r.latency.mean() / 1e3,
-        static_cast<double>(r.latency.percentile(0.5)) / 1e3, r.throughput_ops);
+        static_cast<double>(r.latency.percentile(0.5)) / 1e3, r.throughput_ops());
   }
   row("");
   row("Shape check (paper): latency ordering 1Paxos < Multi-Paxos < 2PC;");

@@ -16,16 +16,16 @@ using namespace ci;
 using namespace ci::bench;
 
 double messages_per_commit(Protocol p) {
-  ClusterOptions o;
+  ClusterSpec o;
   o.protocol = p;
   o.num_replicas = 3;
   o.num_clients = 1;
-  o.requests_per_client = 2000;
+  o.workload.requests_per_client = 2000;
   o.seed = 7;
   // Keep background chatter out of the numerator.
-  o.heartbeat_period = 10 * kSecond;
-  o.fd_timeout = 100 * kSecond;
-  o.model.prop_jitter = 0;
+  o.engine.heartbeat_period = 10 * kSecond;
+  o.engine.fd_timeout = 100 * kSecond;
+  o.sim.model.prop_jitter = 0;
   SimCluster c(o);
   c.run(5 * kSecond);
   return static_cast<double>(c.net().total_messages()) /

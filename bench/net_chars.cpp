@@ -22,7 +22,7 @@
 #include "common/time.hpp"
 #include "qclt/connection.hpp"
 #include "qclt/spsc_queue.hpp"
-#include "sim/latency_model.hpp"
+#include "core/latency_model.hpp"
 #include "support/bench_common.hpp"
 
 namespace ci {
@@ -156,7 +156,7 @@ int main() {
   row("relative to propagation, than in a LAN still holds (column below).");
   row("");
 
-  const auto lan = sim::LatencyModel::lan();
+  const auto lan = core::LatencyModel::lan();
   row("LAN reference model used by the simulator (paper-measured constants):");
   row("%-34s %10lld ns", "LAN transmission delay", static_cast<long long>(lan.trans_send));
   row("%-34s %10lld ns", "LAN propagation delay", static_cast<long long>(lan.prop));

@@ -1,24 +1,37 @@
 // Shared helpers for the experiment-reproduction benches: table printing and
-// canonical sim/rt runs with measurement windows.
+// canonical measurement-window runs over the backend-agnostic harness.
 //
 // Every binary in bench/ regenerates one table or figure from the paper's
 // evaluation (see DESIGN.md §3 for the index) and prints the same rows or
 // series the paper reports. Absolute numbers reflect this machine and the
-// simulator's cost model; EXPERIMENTS.md records the paper-vs-measured
-// comparison and the expected *shapes*.
+// simulator's cost model; DESIGN.md §3 records the expected *shapes*.
+//
+// Benches accept `--backend={sim,rt}` (parsed by backend_from_args) and run
+// the same ClusterSpec on whichever runtime was chosen.
 #pragma once
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/timeseries.hpp"
+#include "core/cluster_spec.hpp"
+#include "core/run_result.hpp"
+#include "harness/cluster_harness.hpp"
+#include "rt/rt_cluster.hpp"
 #include "sim/sim_cluster.hpp"
 
 namespace ci::bench {
 
-using sim::ClusterOptions;
-using sim::LatencyModel;
-using sim::Protocol;
+using core::Backend;
+using core::ClusterSpec;
+using core::LatencyModel;
+using core::Protocol;
+using core::TimeoutProfile;
+using harness::RunPlan;
 using sim::SimCluster;
 
 inline void header(const char* experiment, const char* paper_ref, const char* what) {
@@ -36,48 +49,84 @@ inline void row(const char* fmt, ...) {
   std::fflush(stdout);
 }
 
-struct SimRun {
-  double throughput = 0;      // committed ops/s over the measure window
+// Digest of one measured run, in the units the tables print.
+struct BenchRun {
+  double throughput = 0;  // committed ops/s over the measure window
   double mean_latency_us = 0;
   double p50_latency_us = 0;
   double p99_latency_us = 0;
   std::uint64_t committed = 0;
-  std::uint64_t messages = 0;  // boundary crossings during the whole run
+  std::uint64_t messages = 0;  // boundary crossings during the window
   bool consistent = true;
 };
 
-// Runs a simulated cluster with a warmup, measuring commits over `window`.
-inline SimRun run_sim(const ClusterOptions& opts, Nanos warmup, Nanos window) {
-  SimCluster c(opts);
-  c.run(warmup);
-  const std::uint64_t committed_warm = c.total_committed();
-  const std::uint64_t messages_warm = c.net().total_messages();
-  c.run(warmup + window);
-  SimRun out;
-  out.committed = c.total_committed() - committed_warm;
-  out.messages = c.net().total_messages() - messages_warm;
-  out.throughput = static_cast<double>(out.committed) * 1e9 / static_cast<double>(window);
-  const Histogram h = c.merged_latency();  // includes warmup samples
-  out.mean_latency_us = h.mean() / 1e3;
-  out.p50_latency_us = static_cast<double>(h.percentile(0.5)) / 1e3;
-  out.p99_latency_us = static_cast<double>(h.percentile(0.99)) / 1e3;
-  out.consistent = c.consistent();
+// Runs a spec on the chosen backend with a warmup, measuring commits over
+// `window`. Latency histograms span the whole run (they did before the
+// refactor too: warmup samples are indistinguishable without faults).
+inline BenchRun run_cluster(Backend backend, const ClusterSpec& spec, Nanos warmup,
+                            Nanos window) {
+  RunPlan plan;
+  plan.warmup = warmup;
+  plan.duration = window;
+  const core::RunResult r = harness::run(backend, spec, plan);
+  BenchRun out;
+  out.committed = r.committed;
+  out.messages = r.total_messages;
+  out.throughput = r.throughput_ops();
+  out.mean_latency_us = r.latency.mean() / 1e3;
+  out.p50_latency_us = static_cast<double>(r.latency.percentile(0.5)) / 1e3;
+  out.p99_latency_us = static_cast<double>(r.latency.percentile(0.99)) / 1e3;
+  out.consistent = r.consistent;
   return out;
 }
 
-// LAN-regime engine/client timeouts (prop 135 us needs millisecond timers)
-// and a pipeline deep enough for the bandwidth-delay product — the paper's
-// LAN deployments were not window-limited.
-inline void apply_lan_timeouts(ClusterOptions& o) {
-  o.model = LatencyModel::lan();
-  o.tick_period = 1 * kMillisecond;
-  o.retry_timeout = 20 * kMillisecond;
-  o.fd_timeout = 200 * kMillisecond;
-  o.heartbeat_period = 50 * kMillisecond;
-  o.request_timeout = 500 * kMillisecond;
-  o.pipeline_window = 128;
+// Sim-only sweeps (LAN models, 47-node joints) keep the explicit name.
+inline BenchRun run_sim(const ClusterSpec& spec, Nanos warmup, Nanos window) {
+  return run_cluster(Backend::kSim, spec, warmup, window);
 }
 
-inline const char* pname(Protocol p) { return sim::protocol_name(p); }
+// LAN-regime cost model plus the lan() timeout profile (prop 135 us needs
+// millisecond timers and a pipeline deep enough for the bandwidth-delay
+// product — the paper's LAN deployments were not window-limited).
+inline void apply_lan_timeouts(ClusterSpec& o) {
+  o.sim.model = LatencyModel::lan();
+  o.apply(TimeoutProfile::lan());
+}
+
+inline const char* pname(Protocol p) { return core::protocol_name(p); }
+
+// Time-series run for the slow-core experiments (Fig. 11 / §2.2): runs the
+// spec — including its FaultPlan — for `buckets * bucket` and returns the
+// merged per-bucket commit rate across all clients. Works on either
+// backend: virtual time under sim, wall time under rt.
+inline std::vector<double> run_timeseries(Backend backend, const ClusterSpec& spec,
+                                          Nanos bucket, int buckets) {
+  const Nanos total = bucket * buckets;
+  const int C = spec.client_count();
+  std::vector<TimeSeries> per_client;
+  per_client.reserve(static_cast<std::size_t>(C));
+
+  if (backend == Backend::kSim) {
+    sim::SimCluster c(spec);
+    for (int i = 0; i < C; ++i) per_client.emplace_back(0, bucket, static_cast<std::size_t>(buckets));
+    for (int i = 0; i < C; ++i) c.mutable_client(i).set_commit_series(&per_client[static_cast<std::size_t>(i)]);
+    c.run(total);
+  } else {
+    rt::RtCluster c(spec);
+    const Nanos origin = now_nanos();
+    for (int i = 0; i < C; ++i) per_client.emplace_back(origin, bucket, static_cast<std::size_t>(buckets));
+    for (int i = 0; i < C; ++i) c.client(i)->set_commit_series(&per_client[static_cast<std::size_t>(i)]);
+    c.start();
+    c.drive_until(origin + total);
+    c.stop();
+  }
+
+  TimeSeries merged(per_client[0].origin(), bucket, static_cast<std::size_t>(buckets));
+  for (const auto& ts : per_client) merged.merge(ts);
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(buckets));
+  for (std::size_t i = 0; i < merged.size(); ++i) rates.push_back(merged.rate(i));
+  return rates;
+}
 
 }  // namespace ci::bench

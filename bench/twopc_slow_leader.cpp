@@ -5,12 +5,8 @@
 // shape (paper): "after Core 0 becomes slow, only a few requests can commit
 // and the throughput drops to zero" — and it STAYS near zero until the core
 // heals, because 2PC has no takeover.
-#include <chrono>
-#include <thread>
 #include <vector>
 
-#include "common/timeseries.hpp"
-#include "rt/rt_cluster.hpp"
 #include "support/bench_common.hpp"
 
 namespace {
@@ -25,39 +21,30 @@ constexpr int kSlowEndBucket = 110;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Backend backend = harness::backend_from_args(argc, argv, Backend::kRt);
+
   header("E8: 2PC throughput with a slow coordinator (time series)",
          "paper §2.2 (in-text experiment)",
          "5 clients, 3 replicas; coordinator core slowed in [0.4s, 1.1s); 10 ms buckets");
+  row("backend: %s", core::backend_name(backend));
 
-  rt::RtClusterOptions o;
-  o.protocol = rt::Protocol::kTwoPc;
+  ClusterSpec o;
+  o.apply_backend_profile(backend);
+  o.protocol = Protocol::kTwoPc;
   o.num_clients = 5;
-  o.requests_per_client = 0;
-  rt::RtCluster c(o);
-  const Nanos origin = now_nanos();
-  std::vector<TimeSeries> per_client;
-  for (int i = 0; i < 5; ++i) per_client.emplace_back(origin, kBucket, kBuckets);
-  for (int i = 0; i < 5; ++i) c.client(i)->set_commit_series(&per_client[static_cast<std::size_t>(i)]);
-  c.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(kSlowStartBucket * 10));
-  c.throttle_node(0, 2000);
-  std::this_thread::sleep_for(std::chrono::milliseconds((kSlowEndBucket - kSlowStartBucket) * 10));
-  c.throttle_node(0, 1);
-  std::this_thread::sleep_for(std::chrono::milliseconds((kBuckets - kSlowEndBucket) * 10));
-  c.stop();
-
-  TimeSeries merged(origin, kBucket, kBuckets);
-  for (const auto& ts : per_client) merged.merge(ts);
+  o.workload.requests_per_client = 0;
+  o.faults.slow_node(0, kSlowStartBucket * kBucket, kSlowEndBucket * kBucket, 2000);
+  const std::vector<double> series = run_timeseries(backend, o, kBucket, kBuckets);
 
   row("%10s %18s", "time ms", "2PC op/s");
   for (int i = 0; i < kBuckets; i += 2) {
-    row("%10d %18.0f", i * 10, merged.rate(static_cast<std::size_t>(i)));
+    row("%10d %18.0f", i * 10, series[static_cast<std::size_t>(i)]);
   }
 
   auto avg = [&](int from, int to) {
     double s = 0;
-    for (int i = from; i < to; ++i) s += merged.rate(static_cast<std::size_t>(i));
+    for (int i = from; i < to; ++i) s += series[static_cast<std::size_t>(i)];
     return s / (to - from);
   };
   const double pre = avg(5, kSlowStartBucket);

@@ -5,11 +5,12 @@
 // consensus — and the service rides out a slow core, which is exactly what
 // the blocking 2PC approach cannot do (§1).
 //
-//   $ ./examples/config_service
+//   $ ./examples/config_service [--backend=sim|rt]
 #include <cstdio>
 #include <thread>
 
 #include "common/time.hpp"
+#include "harness/cluster_harness.hpp"
 #include "kv/kv_store.hpp"
 
 namespace {
@@ -23,19 +24,21 @@ enum ConfigKey : std::uint64_t {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ci;
 
   kv::ReplicatedKv::Options opts;
-  opts.protocol = kv::Protocol::kOnePaxos;
-  opts.num_replicas = 3;
+  opts.backend = harness::backend_from_args(argc, argv, core::Backend::kRt);
+  opts.spec.apply_backend_profile(opts.backend);
+  opts.spec.protocol = kv::Protocol::kOnePaxos;
+  opts.spec.num_replicas = 3;
   opts.num_sessions = 2;  // an "admin" updater and an "observer"
   kv::ReplicatedKv store(opts);
   auto& admin = store.session(0);
   auto& observer = store.session(1);
 
-  std::printf("replicated config service over %s (3 kernel replicas)\n",
-              kv::protocol_name(opts.protocol));
+  std::printf("replicated config service over %s (3 kernel replicas, %s backend)\n",
+              kv::protocol_name(opts.spec.protocol), core::backend_name(opts.backend));
 
   admin.put(kSchedulerQuantumUs, 4000);
   admin.put(kPageSize, 4096);
@@ -48,7 +51,7 @@ int main() {
               static_cast<unsigned long long>(observer.get(kIrqAffinityMask)));
 
   // Local (relaxed) reads on each core's own replica: no messages at all.
-  for (int core = 0; core < opts.num_replicas; ++core) {
+  for (int core = 0; core < store.num_replicas(); ++core) {
     std::printf("core %d local replica: quantum=%llu\n", core,
                 static_cast<unsigned long long>(store.local_read(core, kSchedulerQuantumUs)));
   }

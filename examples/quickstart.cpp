@@ -1,25 +1,32 @@
 // Quickstart: a replicated key/value store kept consistent by 1Paxos over
-// in-process shared-memory message passing — the paper's vision of "the
-// cores as nodes of a distributed system" in ~30 lines.
+// in-process message passing — the paper's vision of "the cores as nodes of
+// a distributed system" in ~30 lines.
 //
-//   $ ./examples/quickstart
+// The same logic runs on either backend of the cluster harness:
+//
+//   $ ./examples/quickstart                 # real pinned threads (default)
+//   $ ./examples/quickstart --backend=sim   # deterministic simulator
 #include <cstdio>
 
+#include "harness/cluster_harness.hpp"
 #include "kv/kv_store.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ci;
 
   kv::ReplicatedKv::Options opts;
-  opts.protocol = kv::Protocol::kOnePaxos;  // try kTwoPc or kMultiPaxos too
-  opts.num_replicas = 3;
+  opts.backend = harness::backend_from_args(argc, argv, core::Backend::kRt);
+  opts.spec.apply_backend_profile(opts.backend);
+  opts.spec.protocol = kv::Protocol::kOnePaxos;  // try kTwoPc or kMultiPaxos too
+  opts.spec.num_replicas = 3;
   opts.num_sessions = 1;
   kv::ReplicatedKv store(opts);
 
   auto& session = store.session(0);
 
-  std::printf("cluster: %d replicas under %s, leader = node %d\n", store.num_replicas(),
-              kv::protocol_name(opts.protocol), store.believed_leader());
+  std::printf("cluster: %d replicas under %s on the %s backend, leader = node %d\n",
+              store.num_replicas(), kv::protocol_name(opts.spec.protocol),
+              core::backend_name(opts.backend), store.believed_leader());
 
   session.put(/*key=*/42, /*value=*/1001);
   std::printf("put 42 -> 1001\n");

@@ -3,7 +3,7 @@
 // on the command line, then verify the replicas converged to identical
 // state.
 //
-//   $ ./examples/replicated_kv [1paxos|multipaxos|2pc] [num_ops]
+//   $ ./examples/replicated_kv [1paxos|multipaxos|2pc] [num_ops] [--backend=sim|rt]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -11,29 +11,45 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "harness/cluster_harness.hpp"
 #include "kv/kv_store.hpp"
 
 int main(int argc, char** argv) {
   using namespace ci;
 
+  // Positional args (protocol, op count), skipping flags and their values
+  // (the space form "--backend rt" consumes the following argv slot).
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend") {
+      ++i;  // its value
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') continue;
+    positional.push_back(arg);
+  }
   kv::Protocol protocol = kv::Protocol::kOnePaxos;
-  if (argc > 1) {
-    const std::string p = argv[1];
+  if (!positional.empty()) {
+    const std::string& p = positional[0];
     if (p == "2pc") protocol = kv::Protocol::kTwoPc;
     if (p == "multipaxos") protocol = kv::Protocol::kMultiPaxos;
     if (p == "basicpaxos") protocol = kv::Protocol::kBasicPaxos;
   }
-  const int ops_per_thread = argc > 2 ? std::atoi(argv[2]) : 2000;
+  const int ops_per_thread = positional.size() > 1 ? std::atoi(positional[1].c_str()) : 2000;
   constexpr int kThreads = 4;
 
   kv::ReplicatedKv::Options opts;
-  opts.protocol = protocol;
-  opts.num_replicas = 3;
+  opts.backend = harness::backend_from_args(argc, argv, core::Backend::kRt);
+  opts.spec.apply_backend_profile(opts.backend);
+  opts.spec.protocol = protocol;
+  opts.spec.num_replicas = 3;
   opts.num_sessions = kThreads;
   kv::ReplicatedKv store(opts);
 
-  std::printf("protocol: %s, %d replicas, %d writer threads x %d ops\n",
-              kv::protocol_name(protocol), opts.num_replicas, kThreads, ops_per_thread);
+  std::printf("protocol: %s, %d replicas, %d writer threads x %d ops, %s backend\n",
+              kv::protocol_name(protocol), store.num_replicas(), kThreads, ops_per_thread,
+              core::backend_name(opts.backend));
 
   const Nanos begin = now_nanos();
   std::vector<std::thread> threads;
@@ -71,7 +87,7 @@ int main(int argc, char** argv) {
     for (int i = 0; i < 50; ++i) {
       const std::uint64_t key = static_cast<std::uint64_t>(t) * 1000 + static_cast<std::uint64_t>(i);
       const std::uint64_t v0 = store.local_read(0, key);
-      for (int r = 1; r < opts.num_replicas; ++r) {
+      for (int r = 1; r < store.num_replicas(); ++r) {
         if (store.local_read(r, key) != v0) mismatches++;
       }
     }

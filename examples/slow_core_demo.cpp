@@ -1,57 +1,92 @@
 // Side-by-side demonstration of the paper's headline behavioral claim:
 // under a slow leader core, blocking 2PC stalls until the core heals, while
 // non-blocking 1Paxos replaces the leader and keeps committing (Fig. 11 vs
-// §2.2). Prints live 100 ms throughput buckets for both protocols.
+// §2.2). Prints 100 ms throughput buckets for both protocols.
 //
-//   $ ./examples/slow_core_demo
-#include <chrono>
+// The fault schedule travels inside the spec's FaultPlan, so the identical
+// experiment runs on real threads or on the deterministic simulator:
+//
+//   $ ./examples/slow_core_demo                 # real threads (default)
+//   $ ./examples/slow_core_demo --backend=sim
 #include <cstdio>
-#include <thread>
+#include <vector>
 
+#include "common/timeseries.hpp"
+#include "harness/cluster_harness.hpp"
 #include "rt/rt_cluster.hpp"
+#include "sim/sim_cluster.hpp"
 
 namespace {
 
 using namespace ci;
+using core::Backend;
+using core::ClusterSpec;
+using core::Protocol;
 
-void run_protocol(rt::Protocol protocol) {
-  rt::RtClusterOptions opts;
-  opts.protocol = protocol;
-  opts.num_clients = 5;
-  opts.requests_per_client = 0;  // run until stopped
-  rt::RtCluster cluster(opts);
-  cluster.start();
+constexpr Nanos kBucket = 100 * kMillisecond;
+constexpr int kBuckets = 16;                 // 1.6 s total
+constexpr Nanos kSlowFrom = 400 * kMillisecond;
+constexpr Nanos kSlowTo = 1200 * kMillisecond;
+
+void run_protocol(Backend backend, Protocol protocol) {
+  ClusterSpec spec;
+  spec.apply_backend_profile(backend);
+  spec.protocol = protocol;
+  spec.num_clients = 5;
+  spec.workload.requests_per_client = 0;  // run until stopped
+  spec.faults.slow_node(0, kSlowFrom, kSlowTo, 2000);
+
+  const int C = spec.client_count();
+  std::vector<TimeSeries> per_client;
+  std::uint64_t committed = 0;
+  bool consistent = true;
+
+  if (backend == Backend::kSim) {
+    sim::SimCluster c(spec);
+    for (int i = 0; i < C; ++i) per_client.emplace_back(0, kBucket, kBuckets);
+    for (int i = 0; i < C; ++i) c.mutable_client(i).set_commit_series(&per_client[static_cast<std::size_t>(i)]);
+    c.run(kBucket * kBuckets);
+    committed = c.total_committed();
+    consistent = c.consistent();
+  } else {
+    rt::RtCluster c(spec);
+    const Nanos origin = now_nanos();
+    for (int i = 0; i < C; ++i) per_client.emplace_back(origin, kBucket, kBuckets);
+    for (int i = 0; i < C; ++i) c.client(i)->set_commit_series(&per_client[static_cast<std::size_t>(i)]);
+    c.start();
+    c.drive_until(origin + kBucket * kBuckets);
+    c.stop();
+    const core::RunResult r = c.collect();
+    committed = r.committed;
+    consistent = r.consistent;
+  }
+
+  TimeSeries merged(per_client[0].origin(), kBucket, kBuckets);
+  for (const auto& ts : per_client) merged.merge(ts);
 
   std::printf("\n--- %s: 5 clients, 3 replicas; leader slowed during [0.4s, 1.2s) ---\n",
-              rt::protocol_name(protocol));
+              core::protocol_name(protocol));
   std::printf("%8s %14s %s\n", "time ms", "op/s", "phase");
-
-  std::uint64_t prev = 0;
-  for (int bucket = 0; bucket < 16; ++bucket) {
-    if (bucket == 4) cluster.throttle_node(0, 2000);
-    if (bucket == 12) cluster.throttle_node(0, 1);
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    std::uint64_t total = 0;
-    for (int i = 0; i < cluster.client_count(); ++i) total += cluster.client(i)->committed();
-    const char* phase = bucket < 4 ? "healthy" : (bucket < 12 ? "LEADER SLOW" : "healed");
-    std::printf("%8d %14.0f %s\n", bucket * 100, static_cast<double>(total - prev) * 10.0,
-                phase);
-    prev = total;
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    const Nanos t = bucket * kBucket;
+    const char* phase = t < kSlowFrom ? "healthy" : (t < kSlowTo ? "LEADER SLOW" : "healed");
+    std::printf("%8lld %14.0f %s\n", static_cast<long long>(t / kMillisecond),
+                merged.rate(static_cast<std::size_t>(bucket)), phase);
   }
-  cluster.stop();
-  const rt::RtResult result = cluster.collect();
   std::printf("total committed: %llu, agreement consistent: %s\n",
-              static_cast<unsigned long long>(result.committed),
-              result.consistent ? "yes" : "NO");
+              static_cast<unsigned long long>(committed), consistent ? "yes" : "NO");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ci::core::Backend backend =
+      ci::harness::backend_from_args(argc, argv, ci::core::Backend::kRt);
   std::printf("The paper's claim (Fig. 11 vs. the §2.2 experiment): a blocking\n"
-              "protocol stalls on ANY slow replica; 1Paxos routes around it.\n");
-  run_protocol(rt::Protocol::kTwoPc);
-  run_protocol(rt::Protocol::kOnePaxos);
+              "protocol stalls on ANY slow replica; 1Paxos routes around it.\n"
+              "backend: %s\n", ci::core::backend_name(backend));
+  run_protocol(backend, ci::core::Protocol::kTwoPc);
+  run_protocol(backend, ci::core::Protocol::kOnePaxos);
   std::printf("\nNote the 2PC column collapsing for the whole slow window, while\n"
               "1Paxos dips only while PaxosUtility installs the new leader.\n");
   return 0;

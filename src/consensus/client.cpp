@@ -40,7 +40,7 @@ void ClientEngine::issue_next(Context& ctx) {
       std::uint64_t result = 0;
       if (cfg_.local_read(current_cmd_, &result)) {
         // Serviced from the co-located replica without touching the network.
-        local_reads_++;
+        local_reads_.fetch_add(1, std::memory_order_relaxed);
         committed_++;
         latency_.record(0);
         if (commit_series_ != nullptr) commit_series_->record(now);

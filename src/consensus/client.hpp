@@ -43,7 +43,7 @@ class ClientEngine final : public Engine {
   // real-thread harness polls them); relaxed atomics, monotonic.
   std::uint64_t committed() const { return committed_.load(std::memory_order_relaxed); }
   std::uint64_t issued() const { return issued_.load(std::memory_order_relaxed); }
-  std::uint64_t local_reads() const { return local_reads_; }
+  std::uint64_t local_reads() const { return local_reads_.load(std::memory_order_relaxed); }
   std::uint64_t retries() const { return retries_; }
   bool done() const { return cfg_.total_requests != 0 && committed() >= cfg_.total_requests; }
 
@@ -73,7 +73,7 @@ class ClientEngine final : public Engine {
   NodeId target_ = kNoNode;
   std::atomic<std::uint64_t> committed_{0};
   std::atomic<std::uint64_t> issued_{0};
-  std::uint64_t local_reads_ = 0;
+  std::atomic<std::uint64_t> local_reads_{0};
   std::uint64_t retries_ = 0;
   Histogram latency_;
   TimeSeries* commit_series_ = nullptr;

@@ -1,0 +1,169 @@
+// The backend-agnostic deployment specification.
+//
+// One ClusterSpec describes a full experiment — protocol, topology, engine
+// knobs, client workload, fault schedule — and runs unchanged on either
+// backend: the discrete-event simulator (sim) or the real pinned-thread
+// runtime (rt). The per-backend structs at the bottom carry only what a
+// spec cannot abstract over (the simulator's cost model, thread pinning).
+//
+// See DESIGN.md "Deployment layer" for how SimCluster / RtCluster consume
+// this through core::Deployment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "consensus/engine.hpp"
+#include "core/latency_model.hpp"
+#include "core/protocol.hpp"
+
+namespace ci::core {
+
+// Which runtime executes the spec. kSim is the deterministic many-core
+// simulation of §3's cost model; kRt is QC-libtask message passing between
+// pinned OS threads (§6-7).
+enum class Backend { kSim, kRt };
+
+inline const char* backend_name(Backend b) {
+  return b == Backend::kSim ? "sim" : "rt";
+}
+
+// Closed-loop client workload (§7.1): send, wait for the commit ACK,
+// optionally think, repeat.
+struct WorkloadSpec {
+  Nanos request_timeout = 2 * kMillisecond;
+  Nanos think_time = 0;                  // §7.4 uses 2 ms between requests
+  double read_fraction = 0.0;            // §7.5 read workloads
+  std::uint64_t requests_per_client = 0; // 0 = run until deadline/stop
+};
+
+// A named, internally-consistent set of timer constants. The three profiles
+// are the three regimes the paper runs in; they replace the divergent
+// defaults that used to be restated across EngineConfig, ClusterOptions and
+// RtClusterOptions.
+struct TimeoutProfile {
+  Nanos retry_timeout;
+  Nanos fd_timeout;
+  Nanos heartbeat_period;
+  Nanos request_timeout;
+  Nanos tick_period;  // sim event granularity; ignored by rt
+  std::int32_t pipeline_window;
+
+  // Simulated many-core (microsecond message costs) — the EngineConfig
+  // defaults.
+  static TimeoutProfile many_core() {
+    consensus::EngineConfig d;
+    return TimeoutProfile{d.retry_timeout, d.fd_timeout, d.heartbeat_period,
+                          2 * kMillisecond, 20 * kMicrosecond, d.pipeline_window};
+  }
+
+  // Simulated LAN (prop 135 µs needs millisecond timers, and a pipeline
+  // deep enough for the bandwidth-delay product — the paper's LAN
+  // deployments were not window-limited).
+  static TimeoutProfile lan() {
+    return TimeoutProfile{20 * kMillisecond, 200 * kMillisecond, 50 * kMillisecond,
+                          500 * kMillisecond, 1 * kMillisecond, 128};
+  }
+
+  // Real threads. The failure detector is generous: container/VM scheduling
+  // can stall a healthy thread for several milliseconds, and false
+  // suspicion triggers gratuitous reconfiguration.
+  static TimeoutProfile real_threads() {
+    consensus::EngineConfig d;
+    return TimeoutProfile{2 * kMillisecond, 25 * kMillisecond, 2 * kMillisecond,
+                          10 * kMillisecond, 20 * kMicrosecond, d.pipeline_window};
+  }
+};
+
+// One fault-injection event, interpreted by the backend:
+//   * kSlowNode — the node's processing slows by `factor` during
+//     [at, until). Sim scales the node's simulated CPU costs; rt stalls the
+//     node thread per message (RtNode::set_slow_factor). The paper models
+//     failures as slow cores (§1 fn. 3).
+//   * kResetAcceptor — 1Paxos-only silent acceptor reboot at `at`
+//     (DESIGN.md A3); deterministic state surgery, so sim-only.
+struct FaultEvent {
+  enum class Kind { kSlowNode, kResetAcceptor };
+  Kind kind = Kind::kSlowNode;
+  consensus::NodeId node = 0;
+  Nanos at = 0;     // relative to run start (virtual or wall)
+  Nanos until = 0;  // end of a slow window
+  double factor = 1.0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  FaultPlan& slow_node(consensus::NodeId node, Nanos at, Nanos until, double factor) {
+    events.push_back({FaultEvent::Kind::kSlowNode, node, at, until, factor});
+    return *this;
+  }
+
+  FaultPlan& reset_acceptor_at(consensus::NodeId node, Nanos at) {
+    events.push_back({FaultEvent::Kind::kResetAcceptor, node, at, 0, 1.0});
+    return *this;
+  }
+};
+
+// Simulator-only parameters.
+struct SimParams {
+  LatencyModel model = LatencyModel::many_core();
+  Nanos tick_period = 20 * kMicrosecond;
+};
+
+// Real-thread-only parameters.
+struct RtParams {
+  bool pin = true;  // pin node threads to cores (wraps modulo the machine)
+};
+
+struct ClusterSpec {
+  Protocol protocol = Protocol::kOnePaxos;
+  std::int32_t num_replicas = 3;
+  std::int32_t num_clients = 1;
+  bool joint = false;  // clients co-located with replicas (§7.4); then
+                       // num_clients is ignored and every replica hosts one
+  bool joint_local_reads = false;  // 2PC-Joint local read optimization (§7.5)
+  std::uint64_t seed = 1;
+
+  // Multi-Paxos acceptor-set ablation (DESIGN.md A2); -1 = all replicas.
+  std::int32_t acceptor_count = -1;
+
+  // The one copy of the engine knobs. Deployment stamps the per-node fields
+  // (self, num_replicas, seed, state_machine) when wiring each engine; only
+  // the timers and pipeline_window are read from here.
+  consensus::EngineConfig engine;
+
+  WorkloadSpec workload;
+  FaultPlan faults;
+
+  SimParams sim;
+  RtParams rt;
+
+  ClusterSpec& apply(const TimeoutProfile& p) {
+    engine.retry_timeout = p.retry_timeout;
+    engine.fd_timeout = p.fd_timeout;
+    engine.heartbeat_period = p.heartbeat_period;
+    engine.pipeline_window = p.pipeline_window;
+    workload.request_timeout = p.request_timeout;
+    sim.tick_period = p.tick_period;
+    return *this;
+  }
+
+  // Canonical profile for a backend: many-core simulation vs real threads.
+  ClusterSpec& apply_backend_profile(Backend b) {
+    return apply(b == Backend::kSim ? TimeoutProfile::many_core()
+                                    : TimeoutProfile::real_threads());
+  }
+
+  std::int32_t client_count() const { return joint ? num_replicas : num_clients; }
+
+  // Protocol nodes (excluding backend-private helpers such as rt's load
+  // manager): joint deployments fold each client into its replica's node.
+  std::int32_t node_count() const {
+    return joint ? num_replicas : num_replicas + num_clients;
+  }
+};
+
+}  // namespace ci::core

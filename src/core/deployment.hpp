@@ -1,0 +1,142 @@
+// The shared deployment builder: turns a ClusterSpec into wired engines.
+//
+// Both backends used to duplicate this — SimCluster::build() and RtCluster's
+// constructor each created state machines, replica engines, client engines,
+// the 2PC-Joint local-read hook, and joint co-location. Deployment does it
+// once; SimCluster and RtCluster only attach the result to their transport
+// (SimNet vs qclt::Network) and drive time.
+//
+// Node id layout (shared by both backends):
+//   * separate:  replicas 0..R-1, clients R..R+C-1
+//   * joint:     nodes 0..R-1, each hosting replica r + client r (§7.4)
+// Backend-private helpers (rt's load manager) take ids past node_count().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "consensus/client.hpp"
+#include "consensus/state_machine.hpp"
+#include "core/cluster_spec.hpp"
+#include "core/run_result.hpp"
+
+namespace ci::consensus {
+class MultiPaxosEngine;
+class TwoPcEngine;
+}  // namespace ci::consensus
+
+namespace ci::core {
+
+class OnePaxosEngine;
+
+// Cross-node agreement record: instance -> first value delivered; every
+// later delivery must match (consistency) and every delivered command must
+// have been issued by a client (non-triviality). Backends feed it from
+// their delivery paths: sim live from the deliver callback, rt post-join
+// from each node's delivered log. Not internally synchronized.
+class AgreementRecorder {
+ public:
+  explicit AgreementRecorder(std::int32_t num_replicas)
+      : delivered_(static_cast<std::size_t>(num_replicas)) {}
+
+  void record(consensus::NodeId node, consensus::Instance in,
+              const consensus::Command& cmd) {
+    deliveries_++;
+    if (node >= 0 && node < static_cast<consensus::NodeId>(delivered_.size())) {
+      delivered_[static_cast<std::size_t>(node)].push_back(cmd);
+    }
+    auto [it, inserted] = decided_.emplace(in, cmd);
+    if (!inserted && !(it->second == cmd)) consistent_ = false;  // agreement violated
+    if (!cmd.is_noop() && cmd.client == consensus::kNoNode) consistent_ = false;
+  }
+
+  bool consistent() const { return consistent_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+  const std::map<consensus::Instance, consensus::Command>& decided() const {
+    return decided_;
+  }
+
+  // Per-replica delivered sequences, for prefix checks.
+  const std::vector<std::vector<consensus::Command>>& delivered_by_node() const {
+    return delivered_;
+  }
+
+ private:
+  std::map<consensus::Instance, consensus::Command> decided_;
+  std::vector<std::vector<consensus::Command>> delivered_;
+  bool consistent_ = true;
+  std::uint64_t deliveries_ = 0;
+};
+
+class Deployment {
+ public:
+  // auto_start_clients: sim clients self-start at t=0; rt clients wait for
+  // the load manager's kStart broadcast (§7.1).
+  Deployment(const ClusterSpec& spec, bool auto_start_clients);
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  const ClusterSpec& spec() const { return spec_; }
+  std::int32_t num_replicas() const { return spec_.num_replicas; }
+  std::int32_t num_nodes() const { return spec_.node_count(); }
+
+  // The engine a transport should host on node `id` (a JointEngine on joint
+  // deployments).
+  consensus::Engine* node_engine(consensus::NodeId id) {
+    return node_order_[static_cast<std::size_t>(id)];
+  }
+
+  // Node ids that host a client (targets of rt's kStart broadcast).
+  const std::vector<consensus::NodeId>& client_node_ids() const {
+    return client_node_ids_;
+  }
+
+  consensus::Engine* replica_engine(consensus::NodeId r) {
+    return replicas_[static_cast<std::size_t>(r)].get();
+  }
+  consensus::MapStateMachine* state_machine(consensus::NodeId r) {
+    return sms_[static_cast<std::size_t>(r)].get();
+  }
+  consensus::ClientEngine* client(std::int32_t i) {
+    return clients_[static_cast<std::size_t>(i)].get();
+  }
+  const consensus::ClientEngine* client(std::int32_t i) const {
+    return clients_[static_cast<std::size_t>(i)].get();
+  }
+  std::int32_t client_count() const { return static_cast<std::int32_t>(clients_.size()); }
+
+  // Protocol-specific accessors (null when the spec runs another protocol).
+  OnePaxosEngine* one_paxos(consensus::NodeId r);
+  consensus::MultiPaxosEngine* multi_paxos(consensus::NodeId r);
+  consensus::TwoPcEngine* two_pc(consensus::NodeId r);
+
+  // ---- Client-side aggregation (live-readable: counters are atomics) ----
+  bool clients_done() const;
+  std::uint64_t total_committed() const;
+  std::uint64_t total_issued() const;
+  std::uint64_t total_local_reads() const;
+  Histogram merged_latency() const;
+
+  AgreementRecorder& recorder() { return recorder_; }
+  const AgreementRecorder& recorder() const { return recorder_; }
+
+  // Client + agreement side of a RunResult; the backend fills duration and
+  // total_messages.
+  RunResult collect() const;
+
+ private:
+  ClusterSpec spec_;
+  std::vector<std::unique_ptr<consensus::MapStateMachine>> sms_;  // one per replica
+  std::vector<std::unique_ptr<consensus::Engine>> replicas_;      // protocol engines
+  std::vector<std::unique_ptr<consensus::ClientEngine>> clients_;
+  std::vector<std::unique_ptr<consensus::Engine>> joint_engines_;
+  std::vector<consensus::Engine*> node_order_;  // what the transport hosts
+  std::vector<consensus::NodeId> client_node_ids_;
+  AgreementRecorder recorder_;
+};
+
+}  // namespace ci::core

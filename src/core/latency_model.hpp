@@ -11,11 +11,14 @@
 //
 // Because cores process events serially, throughput saturation emerges from
 // message counts — the paper's central claim — rather than being scripted.
+//
+// Lives in core (not sim) because the backend-agnostic ClusterSpec carries
+// it as the sim-backend parameterization.
 #pragma once
 
 #include "common/time.hpp"
 
-namespace ci::sim {
+namespace ci::core {
 
 struct LatencyModel {
   Nanos trans_send = 500;       // CPU cost to put one message on the medium
@@ -39,4 +42,4 @@ struct LatencyModel {
   }
 };
 
-}  // namespace ci::sim
+}  // namespace ci::core

@@ -1,0 +1,28 @@
+// The unified result of running a ClusterSpec on any backend.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/time.hpp"
+
+namespace ci::core {
+
+struct RunResult {
+  std::uint64_t committed = 0;    // client requests acknowledged
+  std::uint64_t issued = 0;       // client requests sent (>= committed)
+  std::uint64_t local_reads = 0;  // reads serviced without the network (§7.5)
+  std::uint64_t total_messages = 0;  // boundary-crossing messages (Fig. 3's count)
+  std::uint64_t deliveries = 0;      // state-machine executions across replicas
+  Nanos duration = 0;  // measured window: virtual time (sim) or wall time (rt)
+  Histogram latency;   // per-request commit latency, merged over clients
+  bool consistent = true;  // cross-replica per-instance agreement held
+
+  double throughput_ops() const {
+    return duration > 0 ? static_cast<double>(committed) * 1e9 /
+                              static_cast<double>(duration)
+                        : 0.0;
+  }
+};
+
+}  // namespace ci::core

@@ -1,0 +1,91 @@
+#include "harness/cluster_harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "rt/rt_cluster.hpp"
+#include "sim/sim_cluster.hpp"
+
+namespace ci::harness {
+namespace {
+
+RunResult run_sim_backend(const ClusterSpec& spec, const RunPlan& plan) {
+  sim::SimCluster c(spec);
+  c.run(plan.warmup);
+  const std::uint64_t committed_warm = c.total_committed();
+  const std::uint64_t issued_warm = c.total_issued();
+  const std::uint64_t local_reads_warm = c.deployment().total_local_reads();
+  const std::uint64_t messages_warm = c.net().total_messages();
+  c.run(plan.warmup + plan.duration);
+  const Nanos measured = std::max<Nanos>(c.net().now() - plan.warmup, 1);
+  RunResult res = c.result(measured);
+  res.committed -= committed_warm;
+  res.issued -= issued_warm;
+  res.local_reads -= local_reads_warm;
+  res.total_messages -= messages_warm;
+  return res;
+}
+
+RunResult run_rt_backend(const ClusterSpec& spec, const RunPlan& plan) {
+  rt::RtCluster c(spec);
+  c.start();
+  const Nanos t0 = now_nanos();
+  c.drive_until(t0 + plan.warmup);
+  const std::uint64_t committed_warm = c.live_committed();
+  const std::uint64_t issued_warm = c.live_issued();
+  const std::uint64_t local_reads_warm = c.live_local_reads();
+  const std::uint64_t messages_warm = c.live_messages();
+  const Nanos measure_start = now_nanos();
+  c.drive_until(t0 + std::min(plan.warmup + plan.duration, plan.max_wall));
+  const Nanos measured = std::max<Nanos>(now_nanos() - measure_start, 1);
+  c.stop();
+  RunResult res = c.collect();
+  res.committed -= committed_warm;
+  res.issued -= issued_warm;
+  res.local_reads -= local_reads_warm;
+  res.total_messages -= messages_warm;
+  res.duration = measured;
+  return res;
+}
+
+}  // namespace
+
+bool parse_backend(const char* s, Backend* out) {
+  if (std::strcmp(s, "sim") == 0) {
+    *out = Backend::kSim;
+    return true;
+  }
+  if (std::strcmp(s, "rt") == 0) {
+    *out = Backend::kRt;
+    return true;
+  }
+  return false;
+}
+
+Backend backend_from_args(int argc, char** argv, Backend def) {
+  Backend b = def;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--backend=", 10) == 0) {
+      value = arg + 10;
+    } else if (std::strcmp(arg, "--backend") == 0 && i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      continue;
+    }
+    if (!parse_backend(value, &b)) {
+      std::fprintf(stderr, "unknown backend '%s' (expected --backend=sim|rt)\n", value);
+      std::exit(2);
+    }
+  }
+  return b;
+}
+
+RunResult run(Backend b, const ClusterSpec& spec, const RunPlan& plan) {
+  return b == Backend::kSim ? run_sim_backend(spec, plan) : run_rt_backend(spec, plan);
+}
+
+}  // namespace ci::harness

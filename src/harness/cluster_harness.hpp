@@ -1,0 +1,40 @@
+// Backend-agnostic cluster harness: run one ClusterSpec on either backend
+// and get one RunResult back. This is the layer benches, examples, and the
+// parity tests program against; `--backend={sim,rt}` selects the runtime at
+// the command line.
+#pragma once
+
+#include "core/cluster_spec.hpp"
+#include "core/run_result.hpp"
+
+namespace ci::harness {
+
+using core::Backend;
+using core::ClusterSpec;
+using core::RunResult;
+
+// "sim" / "rt" -> Backend. Returns false on anything else.
+bool parse_backend(const char* s, Backend* out);
+
+// Scans argv for `--backend=sim|rt` (or `--backend sim`); returns `def`
+// when the flag is absent. Prints usage and exits(2) on a bad value.
+Backend backend_from_args(int argc, char** argv, Backend def = Backend::kSim);
+
+// How to drive the run. Virtual time under sim, wall time under rt.
+struct RunPlan {
+  // Excluded from committed/issued/message counts (latency histograms span
+  // the whole run on both backends).
+  Nanos warmup = 0;
+  // Measurement window. A request quota (workload.requests_per_client > 0)
+  // may end the run earlier; the result's `duration` reports the window
+  // actually measured.
+  Nanos duration = 1 * kSecond;
+  // Safety net for the rt backend (threads can't outrun a hung protocol the
+  // way virtual time can).
+  Nanos max_wall = 30 * kSecond;
+};
+
+// Builds the cluster on the chosen backend, runs the plan, tears it down.
+RunResult run(Backend b, const ClusterSpec& spec, const RunPlan& plan);
+
+}  // namespace ci::harness

@@ -1,41 +1,74 @@
 #include "kv/kv_store.hpp"
 
+#include <mutex>
+
 #include "common/affinity.hpp"
 #include "common/check.hpp"
+#include "sim/sim_net.hpp"
 
 namespace ci::kv {
 
-ReplicatedKv::ReplicatedKv(const Options& opts) : opts_(opts) {
-  const std::int32_t R = opts.num_replicas;
-  const std::int32_t S = opts.num_sessions;
-  CI_CHECK(R >= 1);
+using consensus::NodeId;
+
+// Simulator transport for synchronous sessions: virtual time only advances
+// while some session blocks in execute(), pumping slices through run_until.
+// The mutex serializes pumps from concurrent session threads.
+struct ReplicatedKv::SimState {
+  static constexpr Nanos kPumpSlice = 50 * kMicrosecond;
+
+  std::mutex mu;
+  std::unique_ptr<sim::SimNet> net;
+
+  void pump() {
+    std::lock_guard<std::mutex> lock(mu);
+    net->run_until(net->now() + kPumpSlice);
+  }
+};
+
+ReplicatedKv::ReplicatedKv(const Options& opts)
+    : opts_([&] {
+        Options o = opts;
+        o.spec.num_clients = 0;  // sessions replace workload clients
+        o.spec.joint = false;
+        return o;
+      }()),
+      dep_(opts_.spec, /*auto_start_clients=*/true) {
+  const std::int32_t R = opts_.spec.num_replicas;
+  const std::int32_t S = opts_.num_sessions;
   CI_CHECK(S >= 1);
   const std::int32_t total = R + S;
 
-  net_ = std::make_unique<qclt::Network>();
+  const bool is_sim = opts_.backend == core::Backend::kSim;
+  if (is_sim) sim_ = std::make_unique<SimState>();
 
-  core::ProtocolOptions popts;
-  for (consensus::NodeId r = 0; r < R; ++r) {
-    sms_.push_back(std::make_unique<consensus::MapStateMachine>());
-    consensus::EngineConfig cfg;
-    cfg.self = r;
-    cfg.num_replicas = R;
-    cfg.fd_timeout = opts.fd_timeout;
-    cfg.state_machine = sms_.back().get();
-    replicas_.push_back(core::make_replica_engine(opts.protocol, cfg, popts));
-  }
   for (std::int32_t s = 0; s < S; ++s) {
     SyncClientConfig cc;
+    cc.base = opts_.spec.engine;
     cc.base.self = R + s;
     cc.base.num_replicas = R;
-    cc.request_timeout = opts.request_timeout;
+    cc.base.seed = opts_.spec.seed;
+    cc.base.state_machine = nullptr;
+    cc.request_timeout = opts_.spec.workload.request_timeout;
+    if (is_sim) cc.pump = [state = sim_.get()] { state->pump(); };
     sessions_.push_back(std::make_unique<SyncClientEngine>(cc));
   }
 
-  const bool pin = opts.pin && pinning_available();
-  for (consensus::NodeId r = 0; r < R; ++r) {
+  if (is_sim) {
+    sim_->net = std::make_unique<sim::SimNet>(opts_.spec.sim.model, opts_.spec.seed,
+                                              opts_.spec.sim.tick_period);
+    for (NodeId r = 0; r < R; ++r) sim_->net->add_node(dep_.node_engine(r));
+    for (auto& s : sessions_) sim_->net->add_node(s.get());
+    // Bring the replicas up (leader election, first heartbeats) so the
+    // first session op does not pay the cold-start latency.
+    sim_->net->run_until(1 * kMillisecond);
+    return;
+  }
+
+  net_ = std::make_unique<qclt::Network>();
+  const bool pin = opts_.spec.rt.pin && pinning_available();
+  for (NodeId r = 0; r < R; ++r) {
     nodes_.push_back(std::make_unique<rt::RtNode>(
-        r, total, replicas_[static_cast<std::size_t>(r)].get(), net_.get(),
+        r, total, dep_.node_engine(r), net_.get(),
         pin ? static_cast<int>(r) % online_cores() : -1));
   }
   for (std::int32_t s = 0; s < S; ++s) {
@@ -51,9 +84,28 @@ ReplicatedKv::~ReplicatedKv() {
   for (auto& n : nodes_) n->join();
 }
 
-void ReplicatedKv::throttle_replica(consensus::NodeId r, std::uint32_t factor) {
-  CI_CHECK(r >= 0 && r < opts_.num_replicas);
+std::uint64_t ReplicatedKv::local_read(NodeId r, std::uint64_t key) const {
+  return const_cast<ReplicatedKv*>(this)->dep_.state_machine(r)->read(key);
+}
+
+void ReplicatedKv::throttle_replica(NodeId r, std::uint32_t factor) {
+  CI_CHECK(r >= 0 && r < opts_.spec.num_replicas);
+  if (opts_.backend == core::Backend::kSim) {
+    std::lock_guard<std::mutex> lock(sim_->mu);
+    if (factor <= 1) {
+      sim_->net->heal_node(r, sim_->net->now());
+    } else {
+      sim_->net->slow_node(r, sim_->net->now(), sim_->net->now() + 3600 * kSecond,
+                           static_cast<double>(factor));
+    }
+    return;
+  }
   nodes_[static_cast<std::size_t>(r)]->set_slow_factor(factor);
+}
+
+consensus::NodeId ReplicatedKv::believed_leader() const {
+  // Deployment hands out mutable engine pointers; the query is read-only.
+  return const_cast<ReplicatedKv*>(this)->dep_.replica_engine(0)->believed_leader();
 }
 
 }  // namespace ci::kv

@@ -1,17 +1,22 @@
 // ReplicatedKv — the library's "downstream user" facade: an in-process
 // replicated key/value store whose replicas keep consistent through any of
-// the agreement protocols, over real QC-libtask message passing on pinned
-// cores. This is the paper's motivating use case (§2.1: software-managed
-// replica consistency for state that must be shared, as in Barrelfish's
-// replicated capability system).
+// the agreement protocols. This is the paper's motivating use case (§2.1:
+// software-managed replica consistency for state that must be shared, as in
+// Barrelfish's replicated capability system).
+//
+// Like every deployment in the repo it is specified by a core::ClusterSpec
+// and runs on either backend: real QC-libtask message passing on pinned
+// cores (kRt, the paper's setup) or the deterministic many-core simulator
+// (kSim, where synchronous sessions pump virtual time from the calling
+// thread).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "consensus/state_machine.hpp"
-#include "core/protocol.hpp"
+#include "core/cluster_spec.hpp"
+#include "core/deployment.hpp"
 #include "kv/sync_client.hpp"
 #include "qclt/net.hpp"
 #include "rt/rt_node.hpp"
@@ -24,12 +29,18 @@ using core::protocol_name;
 class ReplicatedKv {
  public:
   struct Options {
-    Protocol protocol = Protocol::kOnePaxos;
-    std::int32_t num_replicas = 3;
+    Options() {
+      spec.apply(core::TimeoutProfile::real_threads());
+      spec.workload.request_timeout = 10 * kMillisecond;  // session retry timer
+      spec.num_clients = 0;  // synchronous sessions replace workload clients
+    }
+
+    // protocol / num_replicas / engine knobs / rt.pin / sim model all come
+    // from here; num_clients and the closed-loop workload are ignored
+    // (sessions replace them).
+    core::ClusterSpec spec;
+    core::Backend backend = core::Backend::kRt;
     std::int32_t num_sessions = 1;  // independent synchronous client handles
-    bool pin = true;
-    Nanos fd_timeout = 25 * kMillisecond;
-    Nanos request_timeout = 10 * kMillisecond;
   };
 
   explicit ReplicatedKv(const Options& opts);
@@ -48,23 +59,28 @@ class ReplicatedKv {
   // consistency guarantees, local reads may be performed even with
   // non-blocking protocols"): reads replica `r`'s executed state without a
   // protocol round trip; may lag the commit frontier.
-  std::uint64_t local_read(consensus::NodeId r, std::uint64_t key) const {
-    return sms_[static_cast<std::size_t>(r)]->read(key);
-  }
+  std::uint64_t local_read(consensus::NodeId r, std::uint64_t key) const;
 
   // Fault injection: multiply replica `r`'s per-message cost.
   void throttle_replica(consensus::NodeId r, std::uint32_t factor);
 
-  consensus::NodeId believed_leader() const { return replicas_[0]->believed_leader(); }
-  std::int32_t num_replicas() const { return opts_.num_replicas; }
+  consensus::NodeId believed_leader() const;
+  std::int32_t num_replicas() const { return opts_.spec.num_replicas; }
+  core::Backend backend() const { return opts_.backend; }
 
  private:
+  struct SimState;  // simulator transport + the pump mutex
+
   Options opts_;
-  std::unique_ptr<qclt::Network> net_;
-  std::vector<std::unique_ptr<consensus::MapStateMachine>> sms_;
-  std::vector<std::unique_ptr<consensus::Engine>> replicas_;
+  core::Deployment dep_;  // replicas only (sessions are wired here, per backend)
   std::vector<std::unique_ptr<SyncClientEngine>> sessions_;
+
+  // rt backend
+  std::unique_ptr<qclt::Network> net_;
   std::vector<std::unique_ptr<rt::RtNode>> nodes_;
+
+  // sim backend
+  std::unique_ptr<SimState> sim_;
 };
 
 }  // namespace ci::kv

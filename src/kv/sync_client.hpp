@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 
 #include "consensus/engine.hpp"
@@ -28,6 +29,14 @@ struct SyncClientConfig {
   consensus::EngineConfig base;
   NodeId initial_target = 0;
   Nanos request_timeout = 10 * kMillisecond;
+
+  // Backend bridge. Under the real-thread runtime the hosting node's thread
+  // drives the engine, so execute() just blocks on a condition variable.
+  // Under the simulator nothing runs until somebody advances virtual time:
+  // when set, execute() calls pump() in a loop (with the session unlocked)
+  // until the reply lands; the callback is expected to advance the
+  // simulation by a slice.
+  std::function<void()> pump;
 };
 
 class SyncClientEngine final : public Engine {
@@ -49,7 +58,15 @@ class SyncClientEngine final : public Engine {
     pending_cmd_.key = key;
     pending_cmd_.value = value;
     op_submitted_ = false;
-    done_cv_.wait(lock, [this] { return op_done_; });
+    if (cfg_.pump) {
+      while (!op_done_) {
+        lock.unlock();
+        cfg_.pump();  // advances the simulation; may re-enter on_message/tick
+        lock.lock();
+      }
+    } else {
+      done_cv_.wait(lock, [this] { return op_done_; });
+    }
     const std::uint64_t result = result_;
     op_pending_ = false;
     caller_cv_.notify_one();

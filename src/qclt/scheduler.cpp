@@ -1,5 +1,6 @@
 #include "qclt/scheduler.hpp"
 
+#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
@@ -69,12 +70,27 @@ void Scheduler::back_to_scheduler() {
 void Scheduler::run() {
   CI_CHECK_MSG(tls_scheduler == nullptr, "nested Scheduler::run on one thread");
   tls_scheduler = this;
+  // Busy-poll while work flows (the paper's runtime owns its core), but
+  // give the OS thread up after a streak of slices in which no waiter made
+  // progress. On a dedicated core the yield returns immediately; on an
+  // oversubscribed machine (fewer cores than nodes) it is what lets the
+  // peer holding the protocol's next message run at all — without it every
+  // idle node burns full timeslices on empty ticks and a single agreement
+  // round takes tens of scheduler quanta.
+  int idle_streak = 0;
+  constexpr int kIdleSpinSlices = 64;
   while (live_tasks_ > 0) {
+    bool progress = false;
     if (ready_.empty()) {
       if (!poll_waiters()) {
         cpu_relax();
+        if (++idle_streak >= kIdleSpinSlices) {
+          idle_streak = 0;
+          std::this_thread::yield();
+        }
         continue;
       }
+      progress = true;
     }
     Task* t = ready_.front();
     ready_.pop_front();
@@ -88,13 +104,20 @@ void Scheduler::run() {
         waiting_.push_back(t);
         break;
       case Task::State::kDone:
+        progress = true;
         break;
       case Task::State::kReady:
         CI_CHECK_MSG(false, "task returned in Ready state");
     }
     // Poll between task slices as well so that waiters are not starved by a
     // long ready queue.
-    poll_waiters();
+    if (poll_waiters()) progress = true;
+    if (progress) {
+      idle_streak = 0;
+    } else if (++idle_streak >= kIdleSpinSlices) {
+      idle_streak = 0;
+      std::this_thread::yield();
+    }
   }
   tls_scheduler = nullptr;
 }

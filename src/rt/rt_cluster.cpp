@@ -1,19 +1,16 @@
 #include "rt/rt_cluster.hpp"
 
+#include <algorithm>
 #include <chrono>
-#include <map>
 #include <thread>
 
 #include "common/affinity.hpp"
 #include "common/check.hpp"
-#include "consensus/two_pc.hpp"
 
 namespace ci::rt {
 
-using consensus::Command;
-using consensus::EngineConfig;
-using consensus::Instance;
 using consensus::NodeId;
+using core::FaultEvent;
 
 // The paper's load manager (§7.1, run on core 47): releases all clients
 // with a start message once its node is up.
@@ -36,87 +33,32 @@ class RtCluster::LoadManagerEngine final : public consensus::Engine {
   std::vector<NodeId> client_ids_;
 };
 
-RtCluster::RtCluster(const RtClusterOptions& opts) : opts_(opts) {
-  const std::int32_t R = opts_.num_replicas;
-  const std::int32_t C = opts_.joint ? R : opts_.num_clients;
-  // Node ids: replicas, then (separate) clients, then the load manager.
-  const std::int32_t manager_id = opts_.joint ? R : R + C;
+RtCluster::RtCluster(const ClusterSpec& spec)
+    : spec_(spec), dep_(spec, /*auto_start_clients=*/false) {
+  // Node ids: the deployment's nodes, then the load manager.
+  const NodeId manager_id = dep_.num_nodes();
   const std::int32_t total = manager_id + 1;
-  CI_CHECK(R >= 1);
+
+  for (const FaultEvent& f : spec_.faults.events) {
+    // Silent acceptor reboot is deterministic state surgery; only the
+    // simulator can apply it race-free.
+    CI_CHECK(f.kind == FaultEvent::Kind::kSlowNode);
+  }
 
   net_ = std::make_unique<qclt::Network>();
 
-  auto base_cfg = [&](NodeId self) {
-    EngineConfig cfg;
-    cfg.self = self;
-    cfg.num_replicas = R;
-    cfg.retry_timeout = opts_.retry_timeout;
-    cfg.fd_timeout = opts_.fd_timeout;
-    cfg.heartbeat_period = opts_.heartbeat_period;
-    cfg.seed = opts_.seed;
-    return cfg;
-  };
-
-  core::ProtocolOptions popts;
-  popts.acceptor_count = opts_.acceptor_count;
-  for (NodeId r = 0; r < R; ++r) {
-    sms_.push_back(std::make_unique<consensus::MapStateMachine>());
-    EngineConfig cfg = base_cfg(r);
-    cfg.state_machine = sms_.back().get();
-    replicas_.push_back(core::make_replica_engine(opts_.protocol, cfg, popts));
+  for (NodeId r = 0; r < spec_.num_replicas; ++r) {
     burners_.push_back(std::make_unique<CoreBurner>());
   }
-
-  for (std::int32_t c = 0; c < C; ++c) {
-    const NodeId self = opts_.joint ? c : R + c;
-    consensus::ClientConfig cc;
-    cc.base = base_cfg(self);
-    cc.initial_target = 0;
-    cc.request_timeout = opts_.request_timeout;
-    cc.think_time = opts_.think_time;
-    cc.read_fraction = opts_.read_fraction;
-    cc.total_requests = opts_.requests_per_client;
-    cc.auto_start = false;  // released by the load manager (kStart)
-    if (opts_.joint && opts_.joint_local_reads && opts_.protocol == Protocol::kTwoPc) {
-      auto* replica =
-          static_cast<consensus::TwoPcEngine*>(replicas_[static_cast<std::size_t>(c)].get());
-      auto* sm = sms_[static_cast<std::size_t>(c)].get();
-      cc.local_read = [replica, sm](const Command& cmd, std::uint64_t* out) {
-        if (replica->has_prepared_uncommitted()) return false;
-        *out = sm->read(cmd.key);
-        return true;
-      };
-    }
-    clients_.push_back(std::make_unique<ClientEngine>(cc));
+  for (NodeId n = 0; n < dep_.num_nodes(); ++n) {
+    nodes_.push_back(std::make_unique<RtNode>(n, total, dep_.node_engine(n), net_.get(),
+                                              core_for(n)));
   }
-
-  std::vector<NodeId> client_ids;
-  if (opts_.joint) {
-    for (NodeId r = 0; r < R; ++r) {
-      joint_engines_.push_back(std::make_unique<core::JointEngine>(
-          replicas_[static_cast<std::size_t>(r)].get(),
-          clients_[static_cast<std::size_t>(r)].get()));
-      nodes_.push_back(std::make_unique<RtNode>(r, total, joint_engines_.back().get(),
-                                                net_.get(), core_for(r)));
-      client_ids.push_back(r);
-    }
-  } else {
-    for (NodeId r = 0; r < R; ++r) {
-      nodes_.push_back(std::make_unique<RtNode>(r, total, replicas_[static_cast<std::size_t>(r)].get(),
-                                                net_.get(), core_for(r)));
-    }
-    for (std::int32_t c = 0; c < C; ++c) {
-      const NodeId self = R + c;
-      nodes_.push_back(std::make_unique<RtNode>(self, total,
-                                                clients_[static_cast<std::size_t>(c)].get(),
-                                                net_.get(), core_for(self)));
-      client_ids.push_back(self);
-    }
-  }
-  load_manager_ = std::make_unique<LoadManagerEngine>(std::move(client_ids));
+  load_manager_ = std::make_unique<LoadManagerEngine>(dep_.client_node_ids());
   // The load manager runs on the machine's last core (core 47 in §7.1).
-  nodes_.push_back(std::make_unique<RtNode>(manager_id, total, load_manager_.get(), net_.get(),
-                                            opts_.pin && pinning_available()
+  nodes_.push_back(std::make_unique<RtNode>(manager_id, total, load_manager_.get(),
+                                            net_.get(),
+                                            spec_.rt.pin && pinning_available()
                                                 ? online_cores() - 1
                                                 : -1));
 }
@@ -124,7 +66,7 @@ RtCluster::RtCluster(const RtClusterOptions& opts) : opts_(opts) {
 RtCluster::~RtCluster() { stop(); }
 
 int RtCluster::core_for(NodeId node) const {
-  if (!opts_.pin || !pinning_available()) return -1;
+  if (!spec_.rt.pin || !pinning_available()) return -1;
   // Replicas on cores 0..R-1, clients following, wrapped modulo the
   // machine (the paper used a 48-core box; we report oversubscription).
   return static_cast<int>(node) % online_cores();
@@ -139,13 +81,6 @@ void RtCluster::start() {
   for (auto& n : nodes_) n->start();
 }
 
-bool RtCluster::clients_done() const {
-  for (const auto& c : clients_) {
-    if (!c->done()) return false;
-  }
-  return true;
-}
-
 void RtCluster::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
@@ -155,40 +90,65 @@ void RtCluster::stop() {
   for (auto& b : burners_) b->stop();
 }
 
-RtResult RtCluster::run_to_completion(Nanos max_wall) {
-  const Nanos deadline = now_nanos() + max_wall;
-  while (now_nanos() < deadline && !clients_done()) {
+void RtCluster::apply_faults(Nanos elapsed) {
+  // Recompute each planned node's factor from ALL windows active now
+  // (mirrors SimNet::speed_factor's max-over-windows), so overlapping
+  // windows compose and healing one window cannot erase another.
+  for (const FaultEvent& f : spec_.faults.events) {
+    double factor = 1.0;
+    for (const FaultEvent& g : spec_.faults.events) {
+      if (g.node == f.node && elapsed >= g.at && elapsed < g.until) {
+        factor = std::max(factor, g.factor);
+      }
+    }
+    // Round, and never round an intended fault down to the healthy
+    // sentinel (rt stall granularity is (factor-1) x 500ns).
+    const auto quantized =
+        factor <= 1.0 ? 1u
+                      : std::max(2u, static_cast<std::uint32_t>(factor + 0.5));
+    throttle_node(f.node, quantized);
+  }
+}
+
+void RtCluster::drive_until(Nanos wall_deadline) {
+  while (now_nanos() < wall_deadline && !clients_done()) {
+    tick_faults();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+}
+
+RunResult RtCluster::run_to_completion(Nanos max_wall) {
+  drive_until(now_nanos() + max_wall);
   stop();
   return collect();
 }
 
-RtResult RtCluster::collect() {
+std::uint64_t RtCluster::live_messages() const {
+  std::uint64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->messages_sent();
+  return sum;
+}
+
+RunResult RtCluster::collect() {
   CI_CHECK(stopped_);
-  RtResult res;
-  res.wall_time = stopped_at_ - started_at_;
-  for (const auto& c : clients_) {
-    res.committed += c->committed();
-    res.issued += c->issued();
-    res.local_reads += c->local_reads();
-    res.latency.merge(c->latency());
-  }
-  res.throughput_ops = static_cast<double>(res.committed) * 1e9 /
-                       static_cast<double>(res.wall_time > 0 ? res.wall_time : 1);
-  std::map<Instance, Command> decided;
-  for (const auto& n : nodes_) {
-    res.total_messages += n->messages_sent();
-    for (const auto& [in, cmd] : n->delivered()) {
-      auto [it, inserted] = decided.emplace(in, cmd);
-      if (!inserted && !(it->second == cmd)) res.consistent = false;
+  // Feed each node's delivered log into the shared agreement recorder once
+  // (the logs are safe to read after join()).
+  if (!collected_) {
+    collected_ = true;
+    for (const auto& n : nodes_) {
+      for (const auto& [in, cmd] : n->delivered()) {
+        dep_.recorder().record(n->id(), in, cmd);
+      }
     }
   }
+  RunResult res = dep_.collect();
+  res.duration = stopped_at_ - started_at_;
+  res.total_messages = live_messages();
   return res;
 }
 
 void RtCluster::slow_core_of(NodeId node, int burner_count) {
-  CI_CHECK(node >= 0 && node < opts_.num_replicas);
+  CI_CHECK(node >= 0 && node < spec_.num_replicas);
   burners_[static_cast<std::size_t>(node)]->start(core_for(node), burner_count);
 }
 

@@ -1,7 +1,13 @@
-// Real-thread deployment mirroring the paper's experimental setup (§7.1):
+// The rt backend adapter: plugs a core::Deployment into real OS threads
+// over QC-libtask message passing, mirroring the paper's setup (§7.1):
 // replica nodes pinned to cores 0..R-1, clients on the following cores, a
 // "load manager" that releases the clients with a start message, and
-// CPU-burner fault injection.
+// slow-core fault injection.
+//
+// All wiring and agreement checking live in the shared deployment layer
+// (core/deployment); this class owns the transport and threads, feeds the
+// agreement recorder from each node's delivered log at collect(), and
+// applies the spec's FaultPlan at wall-clock offsets while running.
 //
 // On machines with fewer cores than nodes, pinning wraps modulo the core
 // count (oversubscription), which the benches report alongside results.
@@ -11,10 +17,9 @@
 #include <memory>
 #include <vector>
 
-#include "common/histogram.hpp"
-#include "common/timeseries.hpp"
-#include "consensus/client.hpp"
-#include "core/protocol.hpp"
+#include "core/cluster_spec.hpp"
+#include "core/deployment.hpp"
+#include "core/run_result.hpp"
 #include "qclt/net.hpp"
 #include "rt/rt_node.hpp"
 #include "rt/slowdown.hpp"
@@ -22,48 +27,14 @@
 namespace ci::rt {
 
 using consensus::ClientEngine;
+using core::ClusterSpec;
 using core::Protocol;
 using core::protocol_name;
-
-struct RtClusterOptions {
-  Protocol protocol = Protocol::kOnePaxos;
-  std::int32_t num_replicas = 3;
-  std::int32_t num_clients = 1;
-  bool joint = false;                  // clients co-located with replicas (§7.4)
-  bool joint_local_reads = false;      // 2PC-Joint local reads (§7.5)
-  bool pin = true;                     // pin node threads to cores
-
-  // Engine knobs. The failure detector is generous: container/VM scheduling
-  // can stall a healthy thread for several milliseconds, and false
-  // suspicion triggers gratuitous reconfiguration.
-  Nanos retry_timeout = 2 * kMillisecond;
-  Nanos fd_timeout = 25 * kMillisecond;
-  Nanos heartbeat_period = 2 * kMillisecond;
-
-  // Client workload.
-  Nanos request_timeout = 10 * kMillisecond;
-  Nanos think_time = 0;
-  double read_fraction = 0.0;
-  std::uint64_t requests_per_client = 100;  // §7.1: each client sends 100
-
-  std::int32_t acceptor_count = -1;  // Multi-Paxos ablation
-  std::uint64_t seed = 1;
-};
-
-struct RtResult {
-  std::uint64_t committed = 0;
-  std::uint64_t issued = 0;
-  std::uint64_t local_reads = 0;
-  Nanos wall_time = 0;
-  Histogram latency;
-  double throughput_ops = 0;  // committed per second of wall time
-  std::uint64_t total_messages = 0;
-  bool consistent = true;  // cross-replica per-instance agreement
-};
+using core::RunResult;
 
 class RtCluster {
  public:
-  explicit RtCluster(const RtClusterOptions& opts);
+  explicit RtCluster(const ClusterSpec& spec);
   ~RtCluster();
 
   RtCluster(const RtCluster&) = delete;
@@ -73,13 +44,14 @@ class RtCluster {
   void start();
 
   // Blocks until all clients finished their quota or `max_wall` elapsed
-  // (whichever first), then stops all nodes.
-  RtResult run_to_completion(Nanos max_wall = 30 * kSecond);
+  // (whichever first), applying the spec's FaultPlan along the way, then
+  // stops all nodes.
+  RunResult run_to_completion(Nanos max_wall = 30 * kSecond);
 
   // Manual control for time-series experiments (Fig. 11). For commit
   // timestamps, call client(i)->set_commit_series(...) before start().
   void stop();
-  RtResult collect();
+  RunResult collect();
 
   // Slow the core hosting `node` with busy threads (paper §7.6). Only
   // effective where thread affinity really constrains scheduling (bare
@@ -91,28 +63,43 @@ class RtCluster {
   // (see RtNode::set_slow_factor). factor 1 = healthy.
   void throttle_node(consensus::NodeId node, std::uint32_t factor);
 
-  ClientEngine* client(std::int32_t i) { return clients_[static_cast<std::size_t>(i)].get(); }
-  std::int32_t client_count() const { return static_cast<std::int32_t>(clients_.size()); }
-  bool clients_done() const;
+  // Applies any FaultPlan events whose wall-clock offset has been reached.
+  // run_to_completion calls this itself; manual drivers (and the harness)
+  // call it from their poll loops.
+  void tick_faults() { apply_faults(now_nanos() - started_at_); }
+
+  // The canonical poll loop: ticks faults until `wall_deadline` (absolute
+  // now_nanos() time) or until every client finished its quota.
+  void drive_until(Nanos wall_deadline);
+
+  core::Deployment& deployment() { return dep_; }
+  ClientEngine* client(std::int32_t i) { return dep_.client(i); }
+  std::int32_t client_count() const { return dep_.client_count(); }
+  bool clients_done() const { return dep_.clients_done(); }
+
+  // Live counters (atomics only) for windowed measurement while running.
+  std::uint64_t live_committed() const { return dep_.total_committed(); }
+  std::uint64_t live_issued() const { return dep_.total_issued(); }
+  std::uint64_t live_local_reads() const { return dep_.total_local_reads(); }
+  std::uint64_t live_messages() const;
 
  private:
   class LoadManagerEngine;
 
   int core_for(consensus::NodeId node) const;
+  void apply_faults(Nanos elapsed);
 
-  RtClusterOptions opts_;
+  ClusterSpec spec_;
+  core::Deployment dep_;
   std::unique_ptr<consensus::Engine> load_manager_;
   std::unique_ptr<qclt::Network> net_;
-  std::vector<std::unique_ptr<consensus::MapStateMachine>> sms_;
-  std::vector<std::unique_ptr<consensus::Engine>> replicas_;
-  std::vector<std::unique_ptr<ClientEngine>> clients_;
-  std::vector<std::unique_ptr<consensus::Engine>> joint_engines_;
   std::vector<std::unique_ptr<RtNode>> nodes_;
   std::vector<std::unique_ptr<CoreBurner>> burners_;  // per replica id
   Nanos started_at_ = 0;
   Nanos stopped_at_ = 0;
   bool started_ = false;
   bool stopped_ = false;
+  bool collected_ = false;
 };
 
 }  // namespace ci::rt

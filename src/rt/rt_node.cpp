@@ -1,5 +1,8 @@
 #include "rt/rt_node.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "common/affinity.hpp"
 #include "common/time.hpp"
 
@@ -76,7 +79,12 @@ void RtNode::drain_self_queue() {
 
 void RtNode::maybe_stall() {
   const std::uint32_t f = slow_factor_.load(std::memory_order_relaxed);
-  if (f > 1) busy_wait(static_cast<Nanos>(f - 1) * 500);
+  if (f <= 1) return;
+  // Sleep, don't spin: on a dedicated core the node's processing rate
+  // collapses identically either way, but on an oversubscribed machine a
+  // busy-wait would burn timeslices the *healthy* nodes need — the fault
+  // would slow the whole cluster instead of one node.
+  std::this_thread::sleep_for(std::chrono::nanoseconds(static_cast<Nanos>(f - 1) * 500));
 }
 
 void RtNode::thread_main() {

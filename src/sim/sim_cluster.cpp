@@ -3,105 +3,42 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "core/one_paxos.hpp"
 
 namespace ci::sim {
 
 using consensus::Command;
-using consensus::Context;
-using consensus::Engine;
 using consensus::Instance;
-using consensus::Message;
-using consensus::MsgType;
 using consensus::NodeId;
+using core::FaultEvent;
 
-SimCluster::SimCluster(const ClusterOptions& opts) : opts_(opts) { build(); }
+SimCluster::SimCluster(const ClusterSpec& spec)
+    : spec_(spec), dep_(spec, /*auto_start_clients=*/true) {
+  net_ = std::make_unique<SimNet>(spec_.sim.model, spec_.seed, spec_.sim.tick_period);
+  for (NodeId n = 0; n < dep_.num_nodes(); ++n) net_->add_node(dep_.node_engine(n));
+  net_->set_deliver_cb([this](NodeId node, Instance in, const Command& cmd) {
+    dep_.recorder().record(node, in, cmd);
+  });
+  for (const FaultEvent& f : spec_.faults.events) {
+    switch (f.kind) {
+      case FaultEvent::Kind::kSlowNode:
+        net_->slow_node(f.node, f.at, f.until, f.factor);
+        break;
+      case FaultEvent::Kind::kResetAcceptor:
+        reset_acceptor_state_at(f.node, f.at);
+        break;
+    }
+  }
+}
 
 SimCluster::~SimCluster() = default;
-
-void SimCluster::build() {
-  const std::int32_t R = opts_.num_replicas;
-  const std::int32_t C = opts_.joint ? R : opts_.num_clients;
-  CI_CHECK(R >= 1);
-
-  net_ = std::make_unique<SimNet>(opts_.model, opts_.seed, opts_.tick_period);
-  delivered_.resize(static_cast<std::size_t>(R));
-
-  auto base_cfg = [&](NodeId self) {
-    EngineConfig cfg;
-    cfg.self = self;
-    cfg.num_replicas = R;
-    cfg.retry_timeout = opts_.retry_timeout;
-    cfg.fd_timeout = opts_.fd_timeout;
-    cfg.heartbeat_period = opts_.heartbeat_period;
-    cfg.pipeline_window = opts_.pipeline_window;
-    cfg.seed = opts_.seed;
-    return cfg;
-  };
-
-  // Replica engines.
-  core::ProtocolOptions popts;
-  popts.acceptor_count = opts_.acceptor_count;
-  for (NodeId r = 0; r < R; ++r) {
-    sms_.push_back(std::make_unique<consensus::MapStateMachine>());
-    EngineConfig cfg = base_cfg(r);
-    cfg.state_machine = sms_.back().get();
-    replicas_.push_back(core::make_replica_engine(opts_.protocol, cfg, popts));
-  }
-
-  // Client engines.
-  for (std::int32_t c = 0; c < C; ++c) {
-    const NodeId self = opts_.joint ? c : R + c;
-    ClientConfig cc;
-    cc.base = base_cfg(self);
-    cc.initial_target = 0;  // the paper's clients start at core 0
-    cc.request_timeout = opts_.request_timeout;
-    cc.think_time = opts_.think_time;
-    cc.read_fraction = opts_.read_fraction;
-    cc.total_requests = opts_.requests_per_client;
-    cc.auto_start = true;
-    if (opts_.joint && opts_.joint_local_reads && opts_.protocol == Protocol::kTwoPc) {
-      auto* replica = static_cast<consensus::TwoPcEngine*>(replicas_[static_cast<std::size_t>(c)].get());
-      auto* sm = sms_[static_cast<std::size_t>(c)].get();
-      cc.local_read = [replica, sm](const Command& cmd, std::uint64_t* out) {
-        // §7.5: serviceable locally unless the replica sits between the two
-        // phases of an ongoing 2PC round.
-        if (replica->has_prepared_uncommitted()) return false;
-        *out = sm->read(cmd.key);
-        return true;
-      };
-    }
-    clients_.push_back(std::make_unique<ClientEngine>(cc));
-  }
-
-  // Nodes as SimNet sees them.
-  if (opts_.joint) {
-    for (NodeId r = 0; r < R; ++r) {
-      node_engines_.push_back(std::make_unique<core::JointEngine>(
-          replicas_[static_cast<std::size_t>(r)].get(), clients_[static_cast<std::size_t>(r)].get()));
-      net_->add_node(node_engines_.back().get());
-    }
-  } else {
-    for (NodeId r = 0; r < R; ++r) net_->add_node(replicas_[static_cast<std::size_t>(r)].get());
-    for (std::int32_t c = 0; c < C; ++c) net_->add_node(clients_[static_cast<std::size_t>(c)].get());
-  }
-
-  net_->set_deliver_cb([this](NodeId node, Instance in, const Command& cmd) {
-    deliveries_++;
-    if (node >= 0 && node < static_cast<NodeId>(delivered_.size())) {
-      delivered_[static_cast<std::size_t>(node)].push_back(cmd);
-    }
-    auto [it, inserted] = decided_.emplace(in, cmd);
-    if (!inserted && !(it->second == cmd)) consistent_ = false;  // consistency violation
-    if (!cmd.is_noop() && cmd.client == consensus::kNoNode) consistent_ = false;
-  });
-}
 
 void SimCluster::slow_node(NodeId node, Nanos from, Nanos to, double factor) {
   net_->slow_node(node, from, to, factor);
 }
 
 void SimCluster::reset_acceptor_state_at(NodeId node, Nanos t) {
-  auto* opx = one_paxos(node);
+  auto* opx = dep_.one_paxos(node);
   CI_CHECK(opx != nullptr);
   net_->schedule_call(t, node, [opx] { opx->reset_acceptor_state(); });
 }
@@ -112,56 +49,21 @@ void SimCluster::run(Nanos deadline) {
   while (true) {
     net_->run_until(t);
     if (t >= deadline) return;
-    if (opts_.requests_per_client > 0) {
-      bool all_done = true;
-      for (const auto& c : clients_) {
-        if (!c->done()) {
-          all_done = false;
-          break;
-        }
-      }
-      if (all_done) return;
-    }
+    if (spec_.workload.requests_per_client > 0 && dep_.clients_done()) return;
     t = std::min(t + step, deadline);
   }
 }
 
-std::uint64_t SimCluster::total_committed() const {
-  std::uint64_t sum = 0;
-  for (const auto& c : clients_) sum += c->committed();
-  return sum;
-}
-
-std::uint64_t SimCluster::total_issued() const {
-  std::uint64_t sum = 0;
-  for (const auto& c : clients_) sum += c->issued();
-  return sum;
-}
-
-Histogram SimCluster::merged_latency() const {
-  Histogram h;
-  for (const auto& c : clients_) h.merge(c->latency());
-  return h;
+core::RunResult SimCluster::result(Nanos duration) const {
+  core::RunResult res = dep_.collect();
+  res.duration = duration;
+  res.total_messages = net_->total_messages();
+  return res;
 }
 
 double SimCluster::throughput_ops_per_sec(Nanos duration) const {
   return static_cast<double>(total_committed()) * static_cast<double>(kSecond) /
          static_cast<double>(duration);
-}
-
-core::OnePaxosEngine* SimCluster::one_paxos(NodeId r) {
-  if (opts_.protocol != Protocol::kOnePaxos) return nullptr;
-  return static_cast<core::OnePaxosEngine*>(replicas_[static_cast<std::size_t>(r)].get());
-}
-
-consensus::MultiPaxosEngine* SimCluster::multi_paxos(NodeId r) {
-  if (opts_.protocol != Protocol::kMultiPaxos) return nullptr;
-  return static_cast<consensus::MultiPaxosEngine*>(replicas_[static_cast<std::size_t>(r)].get());
-}
-
-consensus::TwoPcEngine* SimCluster::two_pc(NodeId r) {
-  if (opts_.protocol != Protocol::kTwoPc) return nullptr;
-  return static_cast<consensus::TwoPcEngine*>(replicas_[static_cast<std::size_t>(r)].get());
 }
 
 }  // namespace ci::sim

@@ -1,76 +1,43 @@
-// Assembles a full simulated deployment: R replicas running one of the four
-// protocols, C closed-loop clients (optionally co-located with the replicas
-// — the paper's "Joint" deployments, §7.4), a seeded fault schedule, and the
-// agreement-invariant recorder used by the property tests.
+// The sim backend adapter: plugs a core::Deployment into the deterministic
+// discrete-event SimNet and drives virtual time.
+//
+// All wiring (engines, state machines, clients, joint co-location) and all
+// agreement checking live in the shared deployment layer (core/deployment);
+// this class only owns the transport, translates the FaultPlan into SimNet
+// slow-windows/scheduled calls, and implements the run loop.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "common/histogram.hpp"
-#include "common/timeseries.hpp"
-#include "consensus/basic_paxos.hpp"
-#include "consensus/client.hpp"
-#include "consensus/multi_paxos.hpp"
-#include "consensus/two_pc.hpp"
-#include "core/one_paxos.hpp"
-#include "core/protocol.hpp"
+#include "core/cluster_spec.hpp"
+#include "core/deployment.hpp"
+#include "core/run_result.hpp"
 #include "sim/sim_net.hpp"
 
 namespace ci::sim {
 
-using consensus::ClientConfig;
 using consensus::ClientEngine;
-using consensus::EngineConfig;
+using core::ClusterSpec;
 using core::Protocol;
 using core::protocol_name;
 
-struct ClusterOptions {
-  Protocol protocol = Protocol::kOnePaxos;
-  std::int32_t num_replicas = 3;
-  std::int32_t num_clients = 1;
-  bool joint = false;  // clients co-located with replicas (§7.4); then
-                       // num_clients is ignored and every replica hosts one
-  bool joint_local_reads = false;  // 2PC-Joint local read optimization (§7.5)
-
-  LatencyModel model = LatencyModel::many_core();
-  std::uint64_t seed = 1;
-  Nanos tick_period = 20 * kMicrosecond;
-
-  // Engine knobs (copied into every engine config).
-  Nanos retry_timeout = 200 * kMicrosecond;
-  Nanos fd_timeout = 1 * kMillisecond;
-  Nanos heartbeat_period = 200 * kMicrosecond;
-  // Outstanding-instance window. High-latency (LAN) sweeps need a deep
-  // pipeline to fill the bandwidth-delay product; values above
-  // kMaxProposalsPerMsg are only safe in fault-free runs (a reconfiguration
-  // could not hand over the full uncommitted window and would abort).
-  std::int32_t pipeline_window = consensus::kMaxProposalsPerMsg / 2;
-
-  // Client workload.
-  Nanos request_timeout = 2 * kMillisecond;
-  Nanos think_time = 0;
-  double read_fraction = 0.0;
-  std::uint64_t requests_per_client = 0;  // 0 = until deadline
-
-  // Multi-Paxos acceptor-set ablation (DESIGN.md A2).
-  std::int32_t acceptor_count = -1;
-};
-
 class SimCluster {
  public:
-  explicit SimCluster(const ClusterOptions& opts);
+  explicit SimCluster(const ClusterSpec& spec);
   ~SimCluster();
 
   SimCluster(const SimCluster&) = delete;
   SimCluster& operator=(const SimCluster&) = delete;
 
   SimNet& net() { return *net_; }
+  core::Deployment& deployment() { return dep_; }
 
-  // Fault injection (forwarded to SimNet; replica ids only).
+  // Ad-hoc fault injection (tests schedule these relative to now; specs can
+  // instead carry a FaultPlan, applied at construction).
   void slow_node(consensus::NodeId node, Nanos from, Nanos to, double factor);
   // 1Paxos-only: silent acceptor reboot at time t.
   void reset_acceptor_state_at(consensus::NodeId node, Nanos t);
@@ -79,48 +46,37 @@ class SimCluster {
   // (checked at millisecond granularity), plus nothing further.
   void run(Nanos deadline);
 
-  // ---- Results ----
-  std::uint64_t total_committed() const;
-  std::uint64_t total_issued() const;
-  Histogram merged_latency() const;
+  // Unified result over the whole run so far; `duration` is the window the
+  // caller wants throughput computed over (usually the measured window).
+  core::RunResult result(Nanos duration) const;
+
+  // ---- Convenience forwards (tests address the deployment through these) ----
+  std::uint64_t total_committed() const { return dep_.total_committed(); }
+  std::uint64_t total_issued() const { return dep_.total_issued(); }
+  Histogram merged_latency() const { return dep_.merged_latency(); }
   double throughput_ops_per_sec(Nanos duration) const;
-  const ClientEngine& client(std::int32_t i) const { return *clients_[static_cast<std::size_t>(i)]; }
-  std::int32_t client_count() const { return static_cast<std::int32_t>(clients_.size()); }
-  ClientEngine& mutable_client(std::int32_t i) { return *clients_[static_cast<std::size_t>(i)]; }
+  const ClientEngine& client(std::int32_t i) const { return *dep_.client(i); }
+  ClientEngine& mutable_client(std::int32_t i) { return *dep_.client(i); }
+  std::int32_t client_count() const { return dep_.client_count(); }
 
-  // Cross-node agreement record: instance -> first value delivered; the
-  // checker verifies every later delivery matches (consistency) and that
-  // every delivered command was issued by a client (non-triviality).
-  bool consistent() const { return consistent_; }
-  std::uint64_t total_deliveries() const { return deliveries_; }
-  const std::map<consensus::Instance, consensus::Command>& decided() const { return decided_; }
-
-  // Per-replica delivered sequences, for prefix checks.
+  bool consistent() const { return dep_.recorder().consistent(); }
+  std::uint64_t total_deliveries() const { return dep_.recorder().deliveries(); }
+  const std::map<consensus::Instance, consensus::Command>& decided() const {
+    return dep_.recorder().decided();
+  }
   const std::vector<std::vector<consensus::Command>>& delivered_by_node() const {
-    return delivered_;
+    return dep_.recorder().delivered_by_node();
   }
 
-  consensus::Engine* replica_engine(consensus::NodeId r) {
-    return replicas_[static_cast<std::size_t>(r)].get();
-  }
-  core::OnePaxosEngine* one_paxos(consensus::NodeId r);
-  consensus::MultiPaxosEngine* multi_paxos(consensus::NodeId r);
-  consensus::TwoPcEngine* two_pc(consensus::NodeId r);
+  consensus::Engine* replica_engine(consensus::NodeId r) { return dep_.replica_engine(r); }
+  core::OnePaxosEngine* one_paxos(consensus::NodeId r) { return dep_.one_paxos(r); }
+  consensus::MultiPaxosEngine* multi_paxos(consensus::NodeId r) { return dep_.multi_paxos(r); }
+  consensus::TwoPcEngine* two_pc(consensus::NodeId r) { return dep_.two_pc(r); }
 
  private:
-  void build();
-
-  ClusterOptions opts_;
+  ClusterSpec spec_;
+  core::Deployment dep_;
   std::unique_ptr<SimNet> net_;
-  std::vector<std::unique_ptr<consensus::Engine>> replicas_;       // protocol engines
-  std::vector<std::unique_ptr<consensus::MapStateMachine>> sms_;   // one per replica
-  std::vector<std::unique_ptr<ClientEngine>> clients_;             // client engines
-  std::vector<std::unique_ptr<consensus::Engine>> node_engines_;   // what SimNet sees
-
-  std::map<consensus::Instance, consensus::Command> decided_;
-  std::vector<std::vector<consensus::Command>> delivered_;
-  bool consistent_ = true;
-  std::uint64_t deliveries_ = 0;
 };
 
 }  // namespace ci::sim

@@ -22,6 +22,12 @@ void SimNet::slow_node(NodeId node, Nanos from, Nanos to, double factor) {
   nodes_[static_cast<std::size_t>(node)]->slow_windows.emplace_back(from, to, factor);
 }
 
+void SimNet::heal_node(NodeId node, Nanos t) {
+  for (auto& [from, to, factor] : nodes_[static_cast<std::size_t>(node)]->slow_windows) {
+    if (from <= t && to > t) to = t;  // only windows open at t; future ones stand
+  }
+}
+
 void SimNet::schedule_call(Nanos t, NodeId node, std::function<void()> fn) {
   Event e;
   e.time = t;

@@ -21,7 +21,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "consensus/engine.hpp"
-#include "sim/latency_model.hpp"
+#include "core/latency_model.hpp"
 
 namespace ci::sim {
 
@@ -30,6 +30,7 @@ using consensus::Engine;
 using consensus::Instance;
 using consensus::Message;
 using consensus::NodeId;
+using core::LatencyModel;
 
 class SimNet {
  public:
@@ -44,6 +45,9 @@ class SimNet {
 
   // Multiplies the node's CPU costs by `factor` during [from, to).
   void slow_node(NodeId node, Nanos from, Nanos to, double factor);
+
+  // Ends every slow window still open at time t for `node` (heal).
+  void heal_node(NodeId node, Nanos t);
 
   // Runs fn at virtual time t on the given node (models environment events
   // such as an acceptor reboot).

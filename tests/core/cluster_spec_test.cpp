@@ -1,0 +1,130 @@
+// Unit tests for the backend-agnostic spec: timeout profiles, fault-plan
+// builders, and the deployment builder's wiring rules.
+#include "core/cluster_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+
+namespace ci::core {
+namespace {
+
+TEST(TimeoutProfile, ManyCoreMatchesEngineDefaults) {
+  // The spec's default engine knobs, the EngineConfig defaults, and the
+  // many_core profile must be one and the same set of constants — the
+  // divergence between ClusterOptions / RtClusterOptions / EngineConfig is
+  // what this layer removed.
+  const ClusterSpec spec;
+  const consensus::EngineConfig d;
+  EXPECT_EQ(spec.engine.retry_timeout, d.retry_timeout);
+  EXPECT_EQ(spec.engine.fd_timeout, d.fd_timeout);
+  EXPECT_EQ(spec.engine.heartbeat_period, d.heartbeat_period);
+  EXPECT_EQ(spec.engine.pipeline_window, d.pipeline_window);
+
+  ClusterSpec applied;
+  applied.apply(TimeoutProfile::many_core());
+  EXPECT_EQ(applied.engine.retry_timeout, d.retry_timeout);
+  EXPECT_EQ(applied.engine.fd_timeout, d.fd_timeout);
+  EXPECT_EQ(applied.engine.heartbeat_period, d.heartbeat_period);
+  EXPECT_EQ(applied.workload.request_timeout, ClusterSpec{}.workload.request_timeout);
+}
+
+TEST(TimeoutProfile, ProfilesScaleWithTheirRegime) {
+  const TimeoutProfile mc = TimeoutProfile::many_core();
+  const TimeoutProfile lan = TimeoutProfile::lan();
+  const TimeoutProfile rt = TimeoutProfile::real_threads();
+  // LAN propagation (135 us) and thread scheduling noise both need longer
+  // timers than simulated microsecond messaging.
+  EXPECT_GT(lan.retry_timeout, mc.retry_timeout);
+  EXPECT_GT(lan.fd_timeout, mc.fd_timeout);
+  EXPECT_GT(rt.fd_timeout, mc.fd_timeout);
+  EXPECT_GT(lan.pipeline_window, mc.pipeline_window);  // bandwidth-delay product
+}
+
+TEST(ClusterSpec, BackendProfileSelection) {
+  ClusterSpec s;
+  s.apply_backend_profile(Backend::kRt);
+  EXPECT_EQ(s.engine.fd_timeout, TimeoutProfile::real_threads().fd_timeout);
+  s.apply_backend_profile(Backend::kSim);
+  EXPECT_EQ(s.engine.fd_timeout, TimeoutProfile::many_core().fd_timeout);
+}
+
+TEST(ClusterSpec, TopologyCounts) {
+  ClusterSpec s;
+  s.num_replicas = 5;
+  s.num_clients = 3;
+  EXPECT_EQ(s.client_count(), 3);
+  EXPECT_EQ(s.node_count(), 8);
+  s.joint = true;  // every replica hosts one client; num_clients ignored
+  EXPECT_EQ(s.client_count(), 5);
+  EXPECT_EQ(s.node_count(), 5);
+}
+
+TEST(FaultPlan, BuilderRecordsEvents) {
+  FaultPlan plan;
+  plan.slow_node(0, 1 * kMillisecond, 2 * kMillisecond, 50.0)
+      .reset_acceptor_at(1, 3 * kMillisecond);
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, FaultEvent::Kind::kSlowNode);
+  EXPECT_EQ(plan.events[0].factor, 50.0);
+  EXPECT_EQ(plan.events[1].kind, FaultEvent::Kind::kResetAcceptor);
+  EXPECT_EQ(plan.events[1].node, 1);
+}
+
+TEST(Deployment, SeparateWiring) {
+  ClusterSpec s;
+  s.num_replicas = 3;
+  s.num_clients = 2;
+  Deployment d(s, /*auto_start_clients=*/true);
+  EXPECT_EQ(d.num_nodes(), 5);
+  EXPECT_EQ(d.client_count(), 2);
+  ASSERT_EQ(d.client_node_ids().size(), 2u);
+  EXPECT_EQ(d.client_node_ids()[0], 3);
+  EXPECT_EQ(d.client_node_ids()[1], 4);
+  // Replica nodes host the replica engines directly.
+  for (consensus::NodeId r = 0; r < 3; ++r) {
+    EXPECT_EQ(d.node_engine(r), d.replica_engine(r));
+    EXPECT_NE(d.state_machine(r), nullptr);
+  }
+  // Protocol accessors gate on the spec's protocol.
+  EXPECT_NE(d.one_paxos(0), nullptr);
+  EXPECT_EQ(d.multi_paxos(0), nullptr);
+  EXPECT_EQ(d.two_pc(0), nullptr);
+}
+
+TEST(Deployment, JointWiringFoldsClientsIntoReplicaNodes) {
+  ClusterSpec s;
+  s.num_replicas = 4;
+  s.joint = true;
+  Deployment d(s, /*auto_start_clients=*/true);
+  EXPECT_EQ(d.num_nodes(), 4);
+  EXPECT_EQ(d.client_count(), 4);
+  for (consensus::NodeId r = 0; r < 4; ++r) {
+    EXPECT_EQ(d.client_node_ids()[static_cast<std::size_t>(r)], r);
+    // Joint nodes host a composite engine, not the bare replica.
+    EXPECT_NE(d.node_engine(r), d.replica_engine(r));
+  }
+}
+
+TEST(AgreementRecorder, DetectsDivergedDecision) {
+  AgreementRecorder rec(2);
+  consensus::Command a;
+  a.client = 5;
+  a.seq = 1;
+  consensus::Command b;
+  b.client = 6;
+  b.seq = 2;
+  rec.record(0, /*in=*/1, a);
+  EXPECT_TRUE(rec.consistent());
+  rec.record(1, /*in=*/1, a);
+  EXPECT_TRUE(rec.consistent());  // same value re-delivered: fine
+  rec.record(1, /*in=*/2, b);
+  EXPECT_TRUE(rec.consistent());
+  rec.record(0, /*in=*/2, a);  // different value for instance 2
+  EXPECT_FALSE(rec.consistent());
+  EXPECT_EQ(rec.deliveries(), 4u);
+  EXPECT_EQ(rec.delivered_by_node()[0].size(), 2u);
+}
+
+}  // namespace
+}  // namespace ci::core

@@ -3,18 +3,29 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 namespace ci::kv {
 namespace {
 
-class KvProtocols : public ::testing::TestWithParam<Protocol> {};
+// Every protocol, on both backends: the synchronous sessions block on real
+// node threads under rt and pump virtual time under sim.
+class KvProtocols
+    : public ::testing::TestWithParam<std::tuple<Protocol, core::Backend>> {
+ protected:
+  static ReplicatedKv::Options opts() {
+    ReplicatedKv::Options o;
+    o.spec.protocol = std::get<0>(GetParam());
+    o.backend = std::get<1>(GetParam());
+    return o;
+  }
+};
 
 TEST_P(KvProtocols, PutGetRoundTrip) {
-  ReplicatedKv::Options o;
-  o.protocol = GetParam();
-  ReplicatedKv store(o);
+  ReplicatedKv store(opts());
   auto& s = store.session(0);
   EXPECT_EQ(s.put(1, 100), 0u);    // first write: old value 0
   EXPECT_EQ(s.put(1, 200), 100u);  // returns previous
@@ -23,30 +34,35 @@ TEST_P(KvProtocols, PutGetRoundTrip) {
 }
 
 TEST_P(KvProtocols, SequentialOpsAreOrdered) {
-  ReplicatedKv::Options o;
-  o.protocol = GetParam();
-  ReplicatedKv store(o);
+  ReplicatedKv store(opts());
   auto& s = store.session(0);
   for (std::uint64_t i = 1; i <= 200; ++i) s.put(7, i);
   EXPECT_EQ(s.get(7), 200u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Protocols, KvProtocols,
-                         ::testing::Values(Protocol::kTwoPc, Protocol::kMultiPaxos,
-                                           Protocol::kOnePaxos),
-                         [](const auto& info) {
-                           switch (info.param) {
-                             case Protocol::kTwoPc:
-                               return "TwoPc";
-                             case Protocol::kBasicPaxos:
-                               return "BasicPaxos";
-                             case Protocol::kMultiPaxos:
-                               return "MultiPaxos";
-                             case Protocol::kOnePaxos:
-                               return "OnePaxos";
-                           }
-                           return "Unknown";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, KvProtocols,
+    ::testing::Combine(::testing::Values(Protocol::kTwoPc, Protocol::kMultiPaxos,
+                                         Protocol::kOnePaxos),
+                       ::testing::Values(core::Backend::kRt, core::Backend::kSim)),
+    [](const auto& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case Protocol::kTwoPc:
+          name = "TwoPc";
+          break;
+        case Protocol::kBasicPaxos:
+          name = "BasicPaxos";
+          break;
+        case Protocol::kMultiPaxos:
+          name = "MultiPaxos";
+          break;
+        case Protocol::kOnePaxos:
+          name = "OnePaxos";
+          break;
+      }
+      return name + "_" + core::backend_name(std::get<1>(info.param));
+    });
 
 TEST(ReplicatedKv, ConcurrentSessionsStayConsistent) {
   ReplicatedKv::Options o;
@@ -77,7 +93,7 @@ TEST(ReplicatedKv, ConcurrentSessionsStayConsistent) {
 
 TEST(ReplicatedKv, SurvivesSlowLeader) {
   ReplicatedKv::Options o;
-  o.protocol = Protocol::kOnePaxos;
+  o.spec.protocol = Protocol::kOnePaxos;
   ReplicatedKv store(o);
   auto& s = store.session(0);
   s.put(5, 50);

@@ -3,6 +3,7 @@
 // an SPSC queue placed in a shared-memory arena; the parent reads. This
 // pins down that the queue layout contains no process-local pointers and
 // that the atomics work across address spaces.
+#include <sched.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -27,9 +28,17 @@ TEST(ShmProcess, ChildWritesParentReads) {
   const pid_t pid = fork();
   ASSERT_GE(pid, 0);
   if (pid == 0) {
-    // Child: the writer process.
+    // Child: the writer process. Yield when the queue is full so the reader
+    // can run on a shared core, and bail out (nonzero) rather than spin
+    // forever if the reader died.
+    const Nanos child_deadline = now_nanos() + 60 * kSecond;
     for (std::uint64_t v = 0; v < kCount;) {
-      if (q->try_write(&v, sizeof(v))) ++v;
+      if (q->try_write(&v, sizeof(v))) {
+        ++v;
+      } else {
+        sched_yield();
+        if (now_nanos() > child_deadline) _exit(3);
+      }
     }
     _exit(0);
   }
@@ -41,6 +50,8 @@ TEST(ShmProcess, ChildWritesParentReads) {
     if (q->try_read(&out, sizeof(out))) {
       ASSERT_EQ(out, expected);
       ++expected;
+    } else {
+      sched_yield();
     }
   }
   int status = 0;
@@ -59,22 +70,26 @@ TEST(ShmProcess, BidirectionalPingPongAcrossProcesses) {
   const pid_t pid = fork();
   ASSERT_GE(pid, 0);
   if (pid == 0) {
-    // Child echoes.
+    // Child echoes. Yields keep the ping-pong moving when both processes
+    // share one core; the deadline keeps a dead parent from leaking a
+    // spinning child.
+    const Nanos child_deadline = now_nanos() + 60 * kSecond;
     for (int i = 0; i < kRounds;) {
       int v;
-      if (!fwd->try_read(&v, sizeof(v))) continue;
-      while (!bwd->try_write(&v, sizeof(v))) {
+      if (!fwd->try_read(&v, sizeof(v))) {
+        sched_yield();
+        if (now_nanos() > child_deadline) _exit(3);
+        continue;
       }
+      while (!bwd->try_write(&v, sizeof(v))) sched_yield();
       ++i;
     }
     _exit(0);
   }
   for (int i = 0; i < kRounds; ++i) {
-    while (!fwd->try_write(&i, sizeof(i))) {
-    }
+    while (!fwd->try_write(&i, sizeof(i))) sched_yield();
     int echo = -1;
-    while (!bwd->try_read(&echo, sizeof(echo))) {
-    }
+    while (!bwd->try_read(&echo, sizeof(echo))) sched_yield();
     ASSERT_EQ(echo, i);
   }
   int status = 0;

@@ -118,7 +118,11 @@ TEST(SpscQueue, CrossThreadSequenceIntegrity) {
   constexpr std::uint64_t kCount = 2'000'000;
   std::thread writer([&] {
     for (std::uint64_t v = 0; v < kCount;) {
-      if (h.q->try_write(&v, sizeof(v))) ++v;
+      if (h.q->try_write(&v, sizeof(v))) {
+        ++v;
+      } else {
+        std::this_thread::yield();  // single-core machines: let the reader drain
+      }
     }
   });
   std::uint64_t expected = 0;
@@ -127,6 +131,8 @@ TEST(SpscQueue, CrossThreadSequenceIntegrity) {
     if (h.q->try_read(&out, sizeof(out))) {
       ASSERT_EQ(out, expected);
       ++expected;
+    } else {
+      std::this_thread::yield();
     }
   }
   writer.join();
@@ -142,12 +148,19 @@ TEST(SpscQueue, CrossThreadFullSlotPayloads) {
     for (std::uint32_t v = 0; v < kCount;) {
       std::memset(buf, static_cast<int>(v & 0xff), kSlotSize);
       std::memcpy(buf, &v, sizeof(v));
-      if (h.q->try_write(buf, kSlotSize)) ++v;
+      if (h.q->try_write(buf, kSlotSize)) {
+        ++v;
+      } else {
+        std::this_thread::yield();
+      }
     }
   });
   for (std::uint32_t expected = 0; expected < kCount;) {
     unsigned char buf[kSlotSize];
-    if (!h.q->try_read(buf, kSlotSize)) continue;
+    if (!h.q->try_read(buf, kSlotSize)) {
+      std::this_thread::yield();
+      continue;
+    }
     std::uint32_t v;
     std::memcpy(&v, buf, sizeof(v));
     ASSERT_EQ(v, expected);

@@ -18,14 +18,14 @@ class OnePaxosChaos : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(OnePaxosChaos, SurvivesCombinedFaultSchedule) {
   Rng rng(GetParam() * 0x2545F4914F6CDD1DULL + 99);
-  ClusterOptions o;
+  ClusterSpec o;
   o.protocol = Protocol::kOnePaxos;
   o.num_replicas = 3 + static_cast<std::int32_t>(rng.next_below(3));  // 3..5
   o.num_clients = 3;
-  o.requests_per_client = 300;
-  o.think_time = 500 * kMicrosecond;  // stretch across the fault schedule
+  o.workload.requests_per_client = 300;
+  o.workload.think_time = 500 * kMicrosecond;  // stretch across the fault schedule
   o.seed = GetParam();
-  o.model.drop_probability = 0.02;
+  o.sim.model.drop_probability = 0.02;
   SimCluster c(o);
 
   // Rotating slow windows over the first 120 ms, always leaving a majority

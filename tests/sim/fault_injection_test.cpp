@@ -10,6 +10,7 @@
 // the paper's failure model ("crash" = slow core, §1 fn. 3).
 #include <gtest/gtest.h>
 
+#include "core/one_paxos.hpp"
 #include "sim/sim_cluster.hpp"
 
 namespace ci::sim {
@@ -20,12 +21,12 @@ constexpr Nanos kWindowEnd = 120 * kMillisecond;
 constexpr Nanos kRunEnd = 300 * kMillisecond;
 constexpr double kSlowFactor = 5000;  // one message costs ~3 ms on the slow core
 
-ClusterOptions faulty_opts(Protocol p, std::uint64_t seed = 11) {
-  ClusterOptions o;
+ClusterSpec faulty_opts(Protocol p, std::uint64_t seed = 11) {
+  ClusterSpec o;
   o.protocol = p;
   o.num_replicas = 3;
   o.num_clients = 5;
-  o.requests_per_client = 0;  // run for the whole window
+  o.workload.requests_per_client = 0;  // run for the whole window
   o.seed = seed;
   return o;
 }
@@ -38,7 +39,7 @@ struct PhaseCounts {
   std::uint64_t after = 0;
 };
 
-PhaseCounts run_with_slow_node(ClusterOptions opts, consensus::NodeId victim,
+PhaseCounts run_with_slow_node(ClusterSpec opts, consensus::NodeId victim,
                                double factor = kSlowFactor) {
   SimCluster c(opts);
   c.slow_node(victim, kWindowStart, kWindowEnd, factor);
@@ -88,7 +89,7 @@ TEST(OnePaxosFaults, SlowThirdReplicaDoesNotStallCommits) {
 }
 
 TEST(OnePaxosFaults, SlowAcceptorIsReplaced) {
-  ClusterOptions o = faulty_opts(Protocol::kOnePaxos);
+  ClusterSpec o = faulty_opts(Protocol::kOnePaxos);
   SimCluster c(o);
   c.slow_node(1, kWindowStart, kRunEnd, kSlowFactor);  // acceptor slow forever
   c.run(kRunEnd);
@@ -116,7 +117,7 @@ TEST(OnePaxosFaults, SlowLeaderIsReplacedAndThroughputRecovers) {
 }
 
 TEST(OnePaxosFaults, LeaderChangeElectsDifferentNode) {
-  ClusterOptions o = faulty_opts(Protocol::kOnePaxos);
+  ClusterSpec o = faulty_opts(Protocol::kOnePaxos);
   SimCluster c(o);
   c.slow_node(0, kWindowStart, kRunEnd, kSlowFactor);  // leader slow forever
   c.run(kRunEnd);
@@ -132,7 +133,7 @@ TEST(OnePaxosFaults, LeaderChangeElectsDifferentNode) {
 TEST(OnePaxosFaults, BothLeaderAndAcceptorSlow_StallsThenRecovers) {
   // §5.4: with N=3, leader+acceptor slow = 2 of 3 nodes slow; neither
   // 1Paxos nor any majority protocol can progress until one responds.
-  ClusterOptions o = faulty_opts(Protocol::kOnePaxos);
+  ClusterSpec o = faulty_opts(Protocol::kOnePaxos);
   SimCluster c(o);
   c.slow_node(0, kWindowStart, kWindowEnd, kSlowFactor);
   c.slow_node(1, kWindowStart, kWindowEnd, kSlowFactor);
@@ -151,7 +152,7 @@ TEST(OnePaxosFaults, BothLeaderAndAcceptorSlow_StallsThenRecovers) {
 TEST(OnePaxosFaults, FiveReplicasTolerateTwoSlowNonCriticalNodes) {
   // With N=5, two slow nodes that are neither leader nor acceptor leave the
   // fast path and the utility majority intact.
-  ClusterOptions o = faulty_opts(Protocol::kOnePaxos);
+  ClusterSpec o = faulty_opts(Protocol::kOnePaxos);
   o.num_replicas = 5;
   SimCluster c(o);
   c.slow_node(3, kWindowStart, kWindowEnd, kSlowFactor);
@@ -177,7 +178,7 @@ TEST(OnePaxosFaults, AcceptorSilentRebootIsDetectedAndReplaced) {
   // The IamFresh/YouMustBeFresh machinery (Fig. 12 l.47): the acceptor loses
   // hpn/ap, the established leader sees an out-of-order abandon and must
   // switch to a fresh backup; consistency holds throughout.
-  ClusterOptions o = faulty_opts(Protocol::kOnePaxos);
+  ClusterSpec o = faulty_opts(Protocol::kOnePaxos);
   SimCluster c(o);
   c.reset_acceptor_state_at(1, 30 * kMillisecond);
   c.run(kRunEnd);

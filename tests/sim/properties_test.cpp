@@ -44,19 +44,19 @@ TEST_P(FaultSweep, SafetyAlwaysLivenessEventually) {
   const SweepParam param = GetParam();
   Rng rng(param.seed * 0x9e3779b97f4a7c15ULL + 13);
 
-  ClusterOptions o;
+  ClusterSpec o;
   o.protocol = param.protocol;
   o.num_replicas = 3 + static_cast<std::int32_t>(rng.next_below(2)) * 2;  // 3 or 5
   o.num_clients = 2 + static_cast<std::int32_t>(rng.next_below(4));
-  o.requests_per_client = 200;
+  o.workload.requests_per_client = 200;
   // 1 ms think time stretches each client's run across the whole fault
   // schedule (otherwise the quota completes before the first slow window).
-  o.think_time = 1 * kMillisecond;
+  o.workload.think_time = 1 * kMillisecond;
   o.seed = param.seed;
   // Light message loss for the quorum protocols; 2PC in its Barrelfish
   // agreement form assumes reliable channels (§1) but has retransmission
   // timers, so give it loss too on some seeds.
-  o.model.drop_probability = rng.next_bool(0.5) ? 0.01 : 0.0;
+  o.sim.model.drop_probability = rng.next_bool(0.5) ? 0.01 : 0.0;
 
   SimCluster c(o);
 
@@ -99,7 +99,7 @@ TEST_P(FaultSweep, SafetyAlwaysLivenessEventually) {
 
   // LIVENESS: every quota filled once faults cleared.
   EXPECT_EQ(c.total_committed(),
-            static_cast<std::uint64_t>(o.num_clients) * o.requests_per_client)
+            static_cast<std::uint64_t>(o.num_clients) * o.workload.requests_per_client)
       << protocol_name(param.protocol) << " failed to recover liveness";
 }
 
@@ -121,18 +121,18 @@ class ReadMixSweep : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(ReadMixSweep, MixedWorkloadsStayConsistent) {
   const SweepParam param = GetParam();
-  ClusterOptions o;
+  ClusterSpec o;
   o.protocol = param.protocol;
   o.num_replicas = 3;
   o.joint = true;
   o.joint_local_reads = param.protocol == Protocol::kTwoPc;
-  o.requests_per_client = 120;
-  o.read_fraction = 0.25 * static_cast<double>(param.seed % 4);  // 0, .25, .5, .75
+  o.workload.requests_per_client = 120;
+  o.workload.read_fraction = 0.25 * static_cast<double>(param.seed % 4);  // 0, .25, .5, .75
   o.seed = param.seed;
   SimCluster c(o);
   c.run(kDeadline);
   EXPECT_TRUE(c.consistent());
-  EXPECT_EQ(c.total_committed(), 3u * o.requests_per_client);
+  EXPECT_EQ(c.total_committed(), 3u * o.workload.requests_per_client);
 }
 
 std::vector<SweepParam> readmix_params() {

@@ -8,12 +8,12 @@
 namespace ci::sim {
 namespace {
 
-ClusterOptions base_opts(Protocol p, std::int32_t clients, std::uint64_t reqs) {
-  ClusterOptions o;
+ClusterSpec base_opts(Protocol p, std::int32_t clients, std::uint64_t reqs) {
+  ClusterSpec o;
   o.protocol = p;
   o.num_replicas = 3;
   o.num_clients = clients;
-  o.requests_per_client = reqs;
+  o.workload.requests_per_client = reqs;
   o.seed = 42;
   return o;
 }
@@ -96,7 +96,7 @@ TEST(SimShape, OnePaxosSendsFewerMessagesThanMultiPaxos) {
 
 TEST(SimShape, DeterministicForSameSeed) {
   auto run_once = [](std::uint64_t seed) {
-    ClusterOptions o = base_opts(Protocol::kOnePaxos, 3, 50);
+    ClusterSpec o = base_opts(Protocol::kOnePaxos, 3, 50);
     o.seed = seed;
     SimCluster c(o);
     c.run(2 * kSecond);
