@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   using namespace ci;
   using namespace ci::bench;
 
+  harness::require_harness_flags_only(argc, argv, {"--backend"});
   const Backend backend = harness::backend_from_args(argc, argv, Backend::kRt);
 
   header("E7: 1Paxos throughput with a slow leader (time series)",

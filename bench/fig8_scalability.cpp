@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   using namespace ci;
   using namespace ci::bench;
 
+  harness::require_harness_flags_only(argc, argv, {"--backend"});
   const Backend backend = harness::backend_from_args(argc, argv, Backend::kSim);
 
   header("E4: latency vs throughput as clients scale",

@@ -60,15 +60,16 @@ struct BenchRun {
   bool consistent = true;
 };
 
-// Runs a spec on the chosen backend with a warmup, measuring commits over
-// `window`. Latency histograms span the whole run (they did before the
-// refactor too: warmup samples are indistinguishable without faults).
-inline BenchRun run_cluster(Backend backend, const ClusterSpec& spec, Nanos warmup,
+// Runs a (possibly sharded) spec on the chosen backend with a warmup,
+// measuring commits over `window`, merged across groups. Latency
+// histograms span the whole run (they did before the refactor too: warmup
+// samples are indistinguishable without faults).
+inline BenchRun run_cluster(Backend backend, const core::ShardSpec& shard, Nanos warmup,
                             Nanos window) {
   RunPlan plan;
   plan.warmup = warmup;
   plan.duration = window;
-  const core::RunResult r = harness::run(backend, spec, plan);
+  const core::RunResult r = harness::run(backend, shard, plan);
   BenchRun out;
   out.committed = r.committed;
   out.messages = r.total_messages;
@@ -78,6 +79,11 @@ inline BenchRun run_cluster(Backend backend, const ClusterSpec& spec, Nanos warm
   out.p99_latency_us = static_cast<double>(r.latency.percentile(0.99)) / 1e3;
   out.consistent = r.consistent;
   return out;
+}
+
+inline BenchRun run_cluster(Backend backend, const ClusterSpec& spec, Nanos warmup,
+                            Nanos window) {
+  return run_cluster(backend, core::ShardSpec(spec), warmup, window);
 }
 
 // Sim-only sweeps (LAN models, 47-node joints) keep the explicit name.

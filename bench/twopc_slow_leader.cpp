@@ -22,6 +22,7 @@ constexpr int kSlowEndBucket = 110;
 }  // namespace
 
 int main(int argc, char** argv) {
+  harness::require_harness_flags_only(argc, argv, {"--backend"});
   const Backend backend = harness::backend_from_args(argc, argv, Backend::kRt);
 
   header("E8: 2PC throughput with a slow coordinator (time series)",

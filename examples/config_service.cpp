@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   using namespace ci;
 
   kv::ReplicatedKv::Options opts;
+  harness::require_harness_flags_only(argc, argv, {"--backend"});
   opts.backend = harness::backend_from_args(argc, argv, core::Backend::kRt);
   opts.spec.apply_backend_profile(opts.backend);
   opts.spec.protocol = kv::Protocol::kOnePaxos;
@@ -66,7 +67,8 @@ int main(int argc, char** argv) {
   const Nanos reconfig_latency = now_nanos() - begin;
   std::printf("config updates committed DESPITE the slow leader in %.2f ms\n",
               static_cast<double>(reconfig_latency) / 1e6);
-  std::printf("sessions now talk to node %d (was node 0)\n", admin.believed_leader());
+  std::printf("sessions now talk to node %d (was node 0)\n",
+              admin.believed_leader_for(kSchedulerQuantumUs));
   std::printf("observer reads quantum=%llu irq=0x%llx\n",
               static_cast<unsigned long long>(observer.get(kSchedulerQuantumUs)),
               static_cast<unsigned long long>(observer.get(kIrqAffinityMask)));

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace ci;
 
   kv::ReplicatedKv::Options opts;
+  harness::require_harness_flags_only(argc, argv, {"--backend"});
   opts.backend = harness::backend_from_args(argc, argv, core::Backend::kRt);
   opts.spec.apply_backend_profile(opts.backend);
   opts.spec.protocol = kv::Protocol::kOnePaxos;  // try kTwoPc or kMultiPaxos too

@@ -3,7 +3,12 @@
 // on the command line, then verify the replicas converged to identical
 // state.
 //
-//   $ ./examples/replicated_kv [1paxos|multipaxos|2pc] [num_ops] [--backend=sim|rt]
+// With --groups=N the key space is hash-sharded over N independent
+// consensus groups carried by the same transport; sessions route each op to
+// its key's group, so the workload code below does not change at all.
+//
+//   $ ./examples/replicated_kv [1paxos|multipaxos|2pc] [num_ops]
+//       [--backend=sim|rt] [--groups=N] [--placement=group-major|interleaved|colocated]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -17,18 +22,9 @@
 int main(int argc, char** argv) {
   using namespace ci;
 
-  // Positional args (protocol, op count), skipping flags and their values
-  // (the space form "--backend rt" consumes the following argv slot).
-  std::vector<std::string> positional;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--backend") {
-      ++i;  // its value
-      continue;
-    }
-    if (!arg.empty() && arg[0] == '-') continue;
-    positional.push_back(arg);
-  }
+  // Positional args (protocol, op count); the harness knows which of its
+  // flags consume the following argv slot in their space form.
+  const std::vector<std::string> positional = harness::positional_args(argc, argv);
   kv::Protocol protocol = kv::Protocol::kOnePaxos;
   if (!positional.empty()) {
     const std::string& p = positional[0];
@@ -45,11 +41,15 @@ int main(int argc, char** argv) {
   opts.spec.protocol = protocol;
   opts.spec.num_replicas = 3;
   opts.num_sessions = kThreads;
+  opts.groups = harness::groups_from_args(argc, argv);
+  opts.placement = harness::placement_from_args(argc, argv);
   kv::ReplicatedKv store(opts);
 
-  std::printf("protocol: %s, %d replicas, %d writer threads x %d ops, %s backend\n",
-              kv::protocol_name(protocol), store.num_replicas(), kThreads, ops_per_thread,
-              core::backend_name(opts.backend));
+  std::printf(
+      "protocol: %s, %d groups x %d replicas (%s), %d writer threads x %d ops, %s backend\n",
+      kv::protocol_name(protocol), store.num_groups(), store.num_replicas(),
+      core::placement_name(opts.placement), kThreads, ops_per_thread,
+      core::backend_name(opts.backend));
 
   const Nanos begin = now_nanos();
   std::vector<std::thread> threads;

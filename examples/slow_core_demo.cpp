@@ -80,6 +80,7 @@ void run_protocol(Backend backend, Protocol protocol) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ci::harness::require_harness_flags_only(argc, argv, {"--backend"});
   const ci::core::Backend backend =
       ci::harness::backend_from_args(argc, argv, ci::core::Backend::kRt);
   std::printf("The paper's claim (Fig. 11 vs. the §2.2 experiment): a blocking\n"

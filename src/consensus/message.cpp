@@ -115,6 +115,7 @@ std::size_t wire_size(const Message& m) { return kMessageHeaderBytes + payload_b
 bool wire_validate(const Message& m, std::size_t bytes) {
   if (bytes < kMessageHeaderBytes) return false;
   if (!known_type(m.type)) return false;
+  if (m.group < 0) return false;
   switch (m.type) {
     case MsgType::kPhase1Resp:
       if (!count_ok(m.u.phase1_resp.num_proposals)) return false;

@@ -244,6 +244,12 @@ struct Message {
   std::uint16_t flags = 0;
   NodeId src = kNoNode;
   NodeId dst = kNoNode;
+  // Consensus group this message belongs to. Multi-group deployments run
+  // several independent groups over one transport; a demux on each node
+  // routes by this field. Single-group traffic is group 0, and the field
+  // occupies what used to be header padding, so the wire layout of existing
+  // deployments is unchanged.
+  GroupId group = kGroup0;
 
   union Payload {
     ClientRequest client_request;
@@ -280,6 +286,9 @@ struct Message {
 static_assert(std::is_trivially_copyable_v<Message>);
 
 inline constexpr std::size_t kMessageHeaderBytes = offsetof(Message, u);
+// `group` must fit inside the pre-existing header padding (the union is
+// 8-byte aligned); growing the header would change every wire frame.
+static_assert(kMessageHeaderBytes == 16);
 
 // Number of meaningful bytes for serialization. Variable-length payloads
 // (proposal arrays) are truncated to their used prefix.

@@ -13,6 +13,13 @@ namespace ci::consensus {
 using NodeId = std::int32_t;
 inline constexpr NodeId kNoNode = -1;
 
+// Consensus group (shard). Every message belongs to exactly one group; a
+// single-group deployment is group 0, so the zero-initialized default is
+// always valid. Groups partition the instance space: instance i of group g
+// and instance i of group g' are unrelated decisions.
+using GroupId = std::int32_t;
+inline constexpr GroupId kGroup0 = 0;
+
 // Index in the replicated command log (a Paxos instance number / 2PC round).
 using Instance = std::int64_t;
 inline constexpr Instance kNoInstance = -1;

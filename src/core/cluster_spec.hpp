@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "consensus/engine.hpp"
@@ -82,6 +83,10 @@ struct TimeoutProfile {
 //     failures as slow cores (§1 fn. 3).
 //   * kResetAcceptor — 1Paxos-only silent acceptor reboot at `at`
 //     (DESIGN.md A3); deterministic state surgery, so sim-only.
+// `node` is a deployment-local id. Under a sharded spec the plan is part of
+// the per-group template like everything else in the ClusterSpec: each
+// event applies to node `node` of EVERY group (a slow leader means every
+// group's leader is slow), mapped to transport nodes by the placement.
 struct FaultEvent {
   enum class Kind { kSlowNode, kResetAcceptor };
   Kind kind = Kind::kSlowNode;
@@ -163,6 +168,64 @@ struct ClusterSpec {
   // manager): joint deployments fold each client into its replica's node.
   std::int32_t node_count() const {
     return joint ? num_replicas : num_replicas + num_clients;
+  }
+};
+
+// How a sharded deployment lays its groups' participants out over the
+// transport's node ids (the simulated cores / pinned threads):
+//   * kGroupMajor — group g owns the contiguous id block
+//     [g*node_count, (g+1)*node_count): replicas cluster per group, like
+//     giving each shard its own socket.
+//   * kInterleaved — participant p of group g sits at p*groups + g:
+//     same-role nodes of different groups are neighbors, spreading each
+//     group across the machine.
+//   * kCoLocated — every group's participant p shares transport node p:
+//     one core hosts one replica of EVERY group (the paper's §2.1 end
+//     state — many small groups partitioning one machine's state). Total
+//     node count stays at one group's node_count.
+enum class Placement { kGroupMajor, kInterleaved, kCoLocated };
+
+const char* placement_name(Placement p);
+
+// N independent consensus groups built from one ClusterSpec template.
+// groups == 1 with kGroupMajor is exactly the single-group deployment.
+// Each group gets its own engines, its own instance space, its own
+// AgreementRecorder, and a derived seed (base.seed + g) so groups do not
+// run in RNG lockstep (group 0 keeps the base seed).
+struct ShardSpec {
+  ClusterSpec base;
+  std::int32_t groups = 1;
+  Placement placement = Placement::kGroupMajor;
+
+  ShardSpec() = default;
+  explicit ShardSpec(ClusterSpec b, std::int32_t g = 1,
+                     Placement p = Placement::kGroupMajor)
+      : base(std::move(b)), groups(g), placement(p) {}
+
+  std::int32_t nodes_per_group() const { return base.node_count(); }
+
+  std::int32_t total_nodes() const {
+    return placement == Placement::kCoLocated ? nodes_per_group()
+                                              : groups * nodes_per_group();
+  }
+
+  // Transport node hosting participant `local` of group `g`.
+  consensus::NodeId global_node(consensus::GroupId g, consensus::NodeId local) const {
+    switch (placement) {
+      case Placement::kGroupMajor:
+        return g * nodes_per_group() + local;
+      case Placement::kInterleaved:
+        return local * groups + g;
+      case Placement::kCoLocated:
+        return local;
+    }
+    return consensus::kNoNode;
+  }
+
+  ClusterSpec group_spec(consensus::GroupId g) const {
+    ClusterSpec s = base;
+    s.seed = base.seed + static_cast<std::uint64_t>(g);
+    return s;
   }
 };
 

@@ -1,0 +1,142 @@
+#include "core/sharded_deployment.hpp"
+
+#include "common/check.hpp"
+
+namespace ci::core {
+
+using consensus::NodeId;
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::kGroupMajor:
+      return "group-major";
+    case Placement::kInterleaved:
+      return "interleaved";
+    case Placement::kCoLocated:
+      return "colocated";
+  }
+  return "?";
+}
+
+ShardedDeployment::ShardedDeployment(const ShardSpec& shard, bool auto_start_clients)
+    : shard_(shard) {
+  CI_CHECK(shard_.groups >= 1);
+  const std::int32_t G = shard_.groups;
+  const std::int32_t per_group = shard_.nodes_per_group();
+  // Guard total_nodes() against int32 overflow (the CLI accepts any group
+  // count up to INT32_MAX) and the routing tables against runaway memory:
+  // each group's dense global->local table spans up to total_nodes()
+  // entries, so the tables sum to ~groups x total_nodes(). 4M entries
+  // (~16 MB) is far beyond anything a one-machine deployment can host.
+  const std::int64_t engines64 = static_cast<std::int64_t>(G) * per_group;
+  const std::int64_t span64 =  // what one group's dense table spans
+      shard_.placement == Placement::kCoLocated ? per_group : engines64;
+  CI_CHECK_MSG(engines64 <= (1 << 20) && span64 * G <= (1 << 22),
+               "sharded deployment too large (groups x nodes_per_group)");
+
+  for (GroupId g = 0; g < G; ++g) {
+    groups_.push_back(std::make_unique<Deployment>(shard_.group_spec(g), auto_start_clients));
+    auto routing = std::make_unique<consensus::GroupRouting>();
+    for (NodeId local = 0; local < per_group; ++local) {
+      routing->map(local, shard_.global_node(g, local));
+    }
+    routing_.push_back(std::move(routing));
+  }
+
+  for (NodeId n = 0; n < shard_.total_nodes(); ++n) {
+    demux_.push_back(std::make_unique<consensus::GroupDemuxEngine>(n));
+  }
+  for (GroupId g = 0; g < G; ++g) {
+    for (NodeId local = 0; local < per_group; ++local) {
+      const NodeId global = shard_.global_node(g, local);
+      demux_[static_cast<std::size_t>(global)]->add_group(
+          g, groups_[static_cast<std::size_t>(g)]->node_engine(local), local,
+          routing_[static_cast<std::size_t>(g)].get());
+    }
+    for (const NodeId local : groups_[static_cast<std::size_t>(g)]->client_node_ids()) {
+      client_targets_.emplace_back(g, shard_.global_node(g, local));
+    }
+  }
+}
+
+ShardedDeployment::~ShardedDeployment() = default;
+
+void ShardedDeployment::set_deliver_hook(DeliverHook hook) {
+  for (auto& d : demux_) {
+    const NodeId global = d->global_self();
+    d->set_deliver_hook([hook, global](GroupId g, NodeId local, consensus::Instance in,
+                                       const consensus::Command& cmd) {
+      hook(global, g, local, in, cmd);
+    });
+  }
+}
+
+std::unique_ptr<consensus::GroupDemuxEngine> ShardedDeployment::make_external_demux(
+    NodeId global, NodeId local, const std::vector<consensus::Engine*>& per_group) {
+  CI_CHECK(global >= num_nodes());
+  CI_CHECK(static_cast<std::int32_t>(per_group.size()) == shard_.groups);
+  auto demux = std::make_unique<consensus::GroupDemuxEngine>(global);
+  for (GroupId g = 0; g < shard_.groups; ++g) {
+    routing_[static_cast<std::size_t>(g)]->map(local, global);
+    demux->add_group(g, per_group[static_cast<std::size_t>(g)], local,
+                     routing_[static_cast<std::size_t>(g)].get());
+  }
+  return demux;
+}
+
+bool ShardedDeployment::clients_done() const {
+  for (const auto& d : groups_) {
+    if (!d->clients_done()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ShardedDeployment::total_committed() const {
+  std::uint64_t sum = 0;
+  for (const auto& d : groups_) sum += d->total_committed();
+  return sum;
+}
+
+std::uint64_t ShardedDeployment::total_issued() const {
+  std::uint64_t sum = 0;
+  for (const auto& d : groups_) sum += d->total_issued();
+  return sum;
+}
+
+std::uint64_t ShardedDeployment::total_local_reads() const {
+  std::uint64_t sum = 0;
+  for (const auto& d : groups_) sum += d->total_local_reads();
+  return sum;
+}
+
+Histogram ShardedDeployment::merged_latency() const {
+  Histogram h;
+  for (const auto& d : groups_) h.merge(d->merged_latency());
+  return h;
+}
+
+bool ShardedDeployment::consistent() const {
+  for (const auto& d : groups_) {
+    if (!d->recorder().consistent()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ShardedDeployment::deliveries() const {
+  std::uint64_t sum = 0;
+  for (const auto& d : groups_) sum += d->recorder().deliveries();
+  return sum;
+}
+
+RunResult ShardedDeployment::collect() const {
+  RunResult res;
+  res.committed = total_committed();
+  res.issued = total_issued();
+  res.local_reads = total_local_reads();
+  res.latency = merged_latency();
+  res.deliveries = deliveries();
+  res.consistent = consistent();
+  return res;
+}
+
+}  // namespace ci::core

@@ -4,19 +4,46 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
+#include "common/check.hpp"
 #include "rt/rt_cluster.hpp"
 #include "sim/sim_cluster.hpp"
 
 namespace ci::harness {
 namespace {
 
-RunResult run_sim_backend(const ClusterSpec& spec, const RunPlan& plan) {
-  sim::SimCluster c(spec);
+// The single source of truth for the harness's flags (all value-taking:
+// the space form consumes the next argv slot). flag_value() refuses names
+// missing from this table, so the strict scanners below cannot drift from
+// the parsers.
+constexpr const char* kValueFlags[] = {"--backend", "--groups", "--placement"};
+
+bool is_harness_flag(const char* name) {
+  for (const char* flag : kValueFlags) {
+    if (std::strcmp(name, flag) == 0) return true;
+  }
+  return false;
+}
+
+// The one matcher both scanners share: how (if at all) `arg` invokes flag
+// `name`. kSpace means the value sits in the NEXT argv slot.
+enum class FlagForm { kNone, kEquals, kSpace };
+
+FlagForm flag_form(const char* arg, const char* name) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return FlagForm::kNone;
+  if (arg[n] == '=') return FlagForm::kEquals;
+  if (arg[n] == '\0') return FlagForm::kSpace;
+  return FlagForm::kNone;  // longer flag sharing the prefix (--groupsize)
+}
+
+RunResult run_sim_backend(const ShardSpec& shard, const RunPlan& plan) {
+  sim::SimCluster c(shard);
   c.run(plan.warmup);
   const std::uint64_t committed_warm = c.total_committed();
   const std::uint64_t issued_warm = c.total_issued();
-  const std::uint64_t local_reads_warm = c.deployment().total_local_reads();
+  const std::uint64_t local_reads_warm = c.sharded().total_local_reads();
   const std::uint64_t messages_warm = c.net().total_messages();
   c.run(plan.warmup + plan.duration);
   const Nanos measured = std::max<Nanos>(c.net().now() - plan.warmup, 1);
@@ -28,8 +55,8 @@ RunResult run_sim_backend(const ClusterSpec& spec, const RunPlan& plan) {
   return res;
 }
 
-RunResult run_rt_backend(const ClusterSpec& spec, const RunPlan& plan) {
-  rt::RtCluster c(spec);
+RunResult run_rt_backend(const ShardSpec& shard, const RunPlan& plan) {
+  rt::RtCluster c(shard);
   c.start();
   const Nanos t0 = now_nanos();
   c.drive_until(t0 + plan.warmup);
@@ -50,6 +77,36 @@ RunResult run_rt_backend(const ClusterSpec& spec, const RunPlan& plan) {
   return res;
 }
 
+// Scans argv for `--name=value` or `--name value`. Returns the value, or
+// nullptr when absent. A flag present without a value sets *malformed.
+const char* flag_value(int argc, char** argv, const char* name, bool* malformed) {
+  CI_CHECK_MSG(is_harness_flag(name), "flag not registered in kValueFlags");
+  const char* found = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    switch (flag_form(arg, name)) {
+      case FlagForm::kNone:
+        break;
+      case FlagForm::kEquals:
+        found = arg + std::strlen(name) + 1;
+        break;
+      case FlagForm::kSpace:
+        if (i + 1 >= argc) {
+          *malformed = true;
+          return nullptr;
+        }
+        found = argv[++i];
+        break;
+    }
+  }
+  return found;
+}
+
+[[noreturn]] void usage_exit(const char* err) {
+  std::fprintf(stderr, "%s\n", err);
+  std::exit(2);
+}
+
 }  // namespace
 
 bool parse_backend(const char* s, Backend* out) {
@@ -64,28 +121,146 @@ bool parse_backend(const char* s, Backend* out) {
   return false;
 }
 
+bool parse_placement(const char* s, Placement* out) {
+  if (std::strcmp(s, "group-major") == 0) {
+    *out = Placement::kGroupMajor;
+    return true;
+  }
+  if (std::strcmp(s, "interleaved") == 0) {
+    *out = Placement::kInterleaved;
+    return true;
+  }
+  if (std::strcmp(s, "colocated") == 0) {
+    *out = Placement::kCoLocated;
+    return true;
+  }
+  return false;
+}
+
+bool try_backend_from_args(int argc, char** argv, Backend def, Backend* out,
+                           std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--backend", &malformed);
+  if (malformed) {
+    *err = "--backend requires a value (expected --backend=sim|rt)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  if (!parse_backend(value, out)) {
+    *err = std::string("unknown backend '") + value + "' (expected --backend=sim|rt)";
+    return false;
+  }
+  return true;
+}
+
 Backend backend_from_args(int argc, char** argv, Backend def) {
   Backend b = def;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    if (std::strncmp(arg, "--backend=", 10) == 0) {
-      value = arg + 10;
-    } else if (std::strcmp(arg, "--backend") == 0 && i + 1 < argc) {
-      value = argv[++i];
-    } else {
-      continue;
-    }
-    if (!parse_backend(value, &b)) {
-      std::fprintf(stderr, "unknown backend '%s' (expected --backend=sim|rt)\n", value);
-      std::exit(2);
-    }
-  }
+  std::string err;
+  if (!try_backend_from_args(argc, argv, def, &b, &err)) usage_exit(err.c_str());
   return b;
 }
 
+std::int32_t groups_from_args(int argc, char** argv, std::int32_t def) {
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--groups", &malformed);
+  if (malformed) usage_exit("--groups requires a value (expected --groups=N)");
+  if (value == nullptr) return def;
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || n < 1 ||
+      n > std::numeric_limits<std::int32_t>::max()) {
+    std::fprintf(stderr, "bad group count '%s' (expected --groups=N, N >= 1)\n", value);
+    std::exit(2);
+  }
+  return static_cast<std::int32_t>(n);
+}
+
+Placement placement_from_args(int argc, char** argv, Placement def) {
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--placement", &malformed);
+  if (malformed) {
+    usage_exit("--placement requires a value (group-major|interleaved|colocated)");
+  }
+  if (value == nullptr) return def;
+  Placement p = def;
+  if (!parse_placement(value, &p)) {
+    std::fprintf(stderr,
+                 "unknown placement '%s' (expected group-major|interleaved|colocated)\n",
+                 value);
+    std::exit(2);
+  }
+  return p;
+}
+
+ShardSpec shard_from_args(int argc, char** argv, const ClusterSpec& base) {
+  return ShardSpec(base, groups_from_args(argc, argv), placement_from_args(argc, argv));
+}
+
+namespace {
+
+// Walks argv once; calls on_positional for every non-flag argument and
+// exits(2) on a dash-prefixed argument that is not a harness flag, a flag
+// missing its space-form value, or (with a non-empty `consumed` list) a
+// harness flag the binary never reads.
+template <typename Fn>
+void scan_args(int argc, char** argv, std::initializer_list<const char*> consumed,
+               Fn on_positional) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (arg[0] != '-') {
+      on_positional(arg);
+      continue;
+    }
+    bool known = false;
+    for (const char* flag : kValueFlags) {
+      const FlagForm form = flag_form(arg, flag);
+      if (form == FlagForm::kNone) continue;
+      if (consumed.size() > 0 &&
+          std::find_if(consumed.begin(), consumed.end(), [flag](const char* c) {
+            return std::strcmp(c, flag) == 0;
+          }) == consumed.end()) {
+        std::fprintf(stderr, "flag '%s' is not used by this binary\n", flag);
+        std::exit(2);
+      }
+      if (form == FlagForm::kSpace) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s requires a value\n", flag);
+          std::exit(2);
+        }
+        ++i;  // skip its value
+      }
+      known = true;
+      break;
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (harness flags: --backend, --groups, --placement)\n",
+                   arg);
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> positional_args(int argc, char** argv) {
+  std::vector<std::string> out;
+  scan_args(argc, argv, {}, [&out](const char* arg) { out.emplace_back(arg); });
+  return out;
+}
+
+void require_harness_flags_only(int argc, char** argv,
+                                std::initializer_list<const char*> consumed) {
+  scan_args(argc, argv, consumed, [](const char*) {});
+}
+
+RunResult run(Backend b, const ShardSpec& shard, const RunPlan& plan) {
+  return b == Backend::kSim ? run_sim_backend(shard, plan) : run_rt_backend(shard, plan);
+}
+
 RunResult run(Backend b, const ClusterSpec& spec, const RunPlan& plan) {
-  return b == Backend::kSim ? run_sim_backend(spec, plan) : run_rt_backend(spec, plan);
+  return run(b, ShardSpec(spec), plan);
 }
 
 }  // namespace ci::harness

@@ -1,8 +1,13 @@
-// Backend-agnostic cluster harness: run one ClusterSpec on either backend
-// and get one RunResult back. This is the layer benches, examples, and the
-// parity tests program against; `--backend={sim,rt}` selects the runtime at
-// the command line.
+// Backend-agnostic cluster harness: run one ClusterSpec (or a sharded
+// ShardSpec) on either backend and get one RunResult back. This is the
+// layer benches, examples, and the parity tests program against;
+// `--backend={sim,rt}`, `--groups=N` and `--placement=...` select the
+// runtime and the sharding layout at the command line.
 #pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
 
 #include "core/cluster_spec.hpp"
 #include "core/run_result.hpp"
@@ -11,14 +16,46 @@ namespace ci::harness {
 
 using core::Backend;
 using core::ClusterSpec;
+using core::Placement;
 using core::RunResult;
+using core::ShardSpec;
 
 // "sim" / "rt" -> Backend. Returns false on anything else.
 bool parse_backend(const char* s, Backend* out);
 
-// Scans argv for `--backend=sim|rt` (or `--backend sim`); returns `def`
-// when the flag is absent. Prints usage and exits(2) on a bad value.
+// "group-major" / "interleaved" / "colocated" -> Placement.
+bool parse_placement(const char* s, Placement* out);
+
+// Scans argv for `--backend=sim|rt` (or `--backend sim`). Returns false
+// with a message in *err on an unknown value or a missing one; *out holds
+// `def` when the flag is absent.
+bool try_backend_from_args(int argc, char** argv, Backend def, Backend* out,
+                           std::string* err);
+
+// Exiting wrappers for CLI binaries: print the error and exit(2) on any
+// malformed flag (unknown value, missing value).
 Backend backend_from_args(int argc, char** argv, Backend def = Backend::kSim);
+std::int32_t groups_from_args(int argc, char** argv, std::int32_t def = 1);
+Placement placement_from_args(int argc, char** argv,
+                              Placement def = Placement::kGroupMajor);
+
+// `base` plus whatever `--groups` / `--placement` say: the one-liner that
+// makes any existing bench spec shardable.
+ShardSpec shard_from_args(int argc, char** argv, const ClusterSpec& base);
+
+// argv minus the harness's flags (and their space-form values, e.g.
+// `--backend rt`). Any OTHER dash-prefixed argument prints an error and
+// exits(2): for binaries whose entire flag surface is the harness's, a
+// typo'd `--group=4` must not silently run the default configuration.
+std::vector<std::string> positional_args(int argc, char** argv);
+
+// The same strictness for binaries without positional arguments: exits(2)
+// on any dash-prefixed argument that is not a harness flag, on a harness
+// flag missing its value, and — when `consumed` is non-empty — on a
+// harness flag this binary does not actually read (passing --groups to a
+// bench that sweeps group counts itself must not silently no-op).
+void require_harness_flags_only(int argc, char** argv,
+                                std::initializer_list<const char*> consumed = {});
 
 // How to drive the run. Virtual time under sim, wall time under rt.
 struct RunPlan {
@@ -35,6 +72,9 @@ struct RunPlan {
 };
 
 // Builds the cluster on the chosen backend, runs the plan, tears it down.
+// The sharded overload merges per-group results; the ClusterSpec one is
+// the single-group special case.
+RunResult run(Backend b, const ShardSpec& shard, const RunPlan& plan);
 RunResult run(Backend b, const ClusterSpec& spec, const RunPlan& plan);
 
 }  // namespace ci::harness

@@ -1,14 +1,21 @@
 // ReplicatedKv — the library's "downstream user" facade: an in-process
-// replicated key/value store whose replicas keep consistent through any of
-// the agreement protocols. This is the paper's motivating use case (§2.1:
-// software-managed replica consistency for state that must be shared, as in
-// Barrelfish's replicated capability system).
+// replicated (and optionally sharded) key/value store whose replicas keep
+// consistent through any of the agreement protocols. This is the paper's
+// motivating use case (§2.1: OS/service state partitioned across many
+// small consensus groups inside one machine, as in Barrelfish's replicated
+// capability system).
 //
 // Like every deployment in the repo it is specified by a core::ClusterSpec
-// and runs on either backend: real QC-libtask message passing on pinned
-// cores (kRt, the paper's setup) or the deterministic many-core simulator
-// (kSim, where synchronous sessions pump virtual time from the calling
-// thread).
+// — here the per-group template of a core::ShardSpec — and runs on either
+// backend: real QC-libtask message passing on pinned cores (kRt, the
+// paper's setup) or the deterministic many-core simulator (kSim, where
+// synchronous sessions pump virtual time from the calling thread).
+//
+// Sharding: with groups > 1 the key space is hash-partitioned across
+// groups. Each session owns one synchronous client per group behind a
+// single transport node; put/get route by key, so application code is
+// oblivious to the layout. Cross-group operations are single-key only —
+// there is no cross-shard transaction layer (yet).
 #pragma once
 
 #include <cstdint>
@@ -16,15 +23,40 @@
 #include <vector>
 
 #include "core/cluster_spec.hpp"
-#include "core/deployment.hpp"
+#include "core/sharded_deployment.hpp"
 #include "kv/sync_client.hpp"
 #include "qclt/net.hpp"
 #include "rt/rt_node.hpp"
 
 namespace ci::kv {
 
+using consensus::GroupId;
 using core::Protocol;
 using core::protocol_name;
+
+// One application handle: a set of per-group synchronous clients sharing a
+// transport node; execute() hashes the key to its owning group. May be
+// driven by one application thread at a time (sessions are independent).
+class KvSession {
+ public:
+  // Linearizable within the key's group: put returns the old value, get
+  // the current one.
+  std::uint64_t execute(consensus::Op op, std::uint64_t key, std::uint64_t value);
+  std::uint64_t put(std::uint64_t key, std::uint64_t value) {
+    return execute(consensus::Op::kWrite, key, value);
+  }
+  std::uint64_t get(std::uint64_t key) { return execute(consensus::Op::kRead, key, 0); }
+
+  // Which group (shard) owns `key`.
+  GroupId group_of(std::uint64_t key) const;
+  // The replica this session believes leads `key`'s group (a group-local
+  // replica id).
+  consensus::NodeId believed_leader_for(std::uint64_t key) const;
+
+ private:
+  friend class ReplicatedKv;
+  std::vector<std::unique_ptr<SyncClientEngine>> per_group_;
+};
 
 class ReplicatedKv {
  public:
@@ -37,10 +69,13 @@ class ReplicatedKv {
 
     // protocol / num_replicas / engine knobs / rt.pin / sim model all come
     // from here; num_clients and the closed-loop workload are ignored
-    // (sessions replace them).
+    // (sessions replace them). With groups > 1 this is the per-group
+    // template of a ShardSpec.
     core::ClusterSpec spec;
     core::Backend backend = core::Backend::kRt;
     std::int32_t num_sessions = 1;  // independent synchronous client handles
+    std::int32_t groups = 1;        // consensus groups the key space shards over
+    core::Placement placement = core::Placement::kGroupMajor;
   };
 
   explicit ReplicatedKv(const Options& opts);
@@ -49,22 +84,28 @@ class ReplicatedKv {
   ReplicatedKv(const ReplicatedKv&) = delete;
   ReplicatedKv& operator=(const ReplicatedKv&) = delete;
 
-  // Synchronous sessions; each may be driven by one application thread at a
-  // time. Linearizable through the protocol: put returns the old value, get
-  // the current one.
-  SyncClientEngine& session(std::int32_t i) { return *sessions_[static_cast<std::size_t>(i)]; }
+  KvSession& session(std::int32_t i);
   std::int32_t session_count() const { return static_cast<std::int32_t>(sessions_.size()); }
 
   // Relaxed-consistency local read (§7.5: "for more relaxed read
   // consistency guarantees, local reads may be performed even with
-  // non-blocking protocols"): reads replica `r`'s executed state without a
-  // protocol round trip; may lag the commit frontier.
+  // non-blocking protocols"): reads replica `r`'s executed state — in the
+  // group that owns `key` — without a protocol round trip; may lag the
+  // commit frontier. `r` is a group-local replica id.
   std::uint64_t local_read(consensus::NodeId r, std::uint64_t key) const;
 
-  // Fault injection: multiply replica `r`'s per-message cost.
+  // Fault injection: multiply the per-message cost of replica `r` (a
+  // group-local id) of group `g` — or of EVERY group in the one-argument
+  // form (under co-location that is one shared node anyway).
   void throttle_replica(consensus::NodeId r, std::uint32_t factor);
+  void throttle_replica(GroupId g, consensus::NodeId r, std::uint32_t factor);
 
-  consensus::NodeId believed_leader() const;
+  // Which replica (group-local id) group `g` currently believes leads it.
+  consensus::NodeId believed_leader(GroupId g) const;
+  consensus::NodeId believed_leader() const { return believed_leader(0); }
+
+  GroupId group_of(std::uint64_t key) const;
+  std::int32_t num_groups() const { return dep_.num_groups(); }
   std::int32_t num_replicas() const { return opts_.spec.num_replicas; }
   core::Backend backend() const { return opts_.backend; }
 
@@ -72,8 +113,9 @@ class ReplicatedKv {
   struct SimState;  // simulator transport + the pump mutex
 
   Options opts_;
-  core::Deployment dep_;  // replicas only (sessions are wired here, per backend)
-  std::vector<std::unique_ptr<SyncClientEngine>> sessions_;
+  core::ShardedDeployment dep_;  // replicas only (sessions are wired here, per backend)
+  std::vector<std::unique_ptr<KvSession>> sessions_;
+  std::vector<std::unique_ptr<consensus::GroupDemuxEngine>> session_demux_;
 
   // rt backend
   std::unique_ptr<qclt::Network> net_;

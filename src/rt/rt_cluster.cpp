@@ -13,33 +13,37 @@ using consensus::NodeId;
 using core::FaultEvent;
 
 // The paper's load manager (§7.1, run on core 47): releases all clients
-// with a start message once its node is up.
+// with a start message once its node is up. Sharded deployments get one
+// kStart per (group, client node) so every group's demux can route it.
 class RtCluster::LoadManagerEngine final : public consensus::Engine {
  public:
-  explicit LoadManagerEngine(std::vector<NodeId> client_ids)
-      : client_ids_(std::move(client_ids)) {}
+  explicit LoadManagerEngine(std::vector<std::pair<GroupId, NodeId>> targets)
+      : targets_(std::move(targets)) {}
 
   void start(consensus::Context& ctx) override {
-    for (const NodeId c : client_ids_) {
+    for (const auto& [g, node] : targets_) {
       consensus::Message m(consensus::MsgType::kStart, consensus::ProtoId::kControl,
-                           ctx.self(), c);
-      ctx.send(c, m);
+                           ctx.self(), node);
+      m.group = g;
+      ctx.send(node, m);
     }
   }
 
   void on_message(consensus::Context&, const consensus::Message&) override {}
 
  private:
-  std::vector<NodeId> client_ids_;
+  std::vector<std::pair<GroupId, NodeId>> targets_;
 };
 
-RtCluster::RtCluster(const ClusterSpec& spec)
-    : spec_(spec), dep_(spec, /*auto_start_clients=*/false) {
-  // Node ids: the deployment's nodes, then the load manager.
+RtCluster::RtCluster(const ClusterSpec& spec) : RtCluster(ShardSpec(spec)) {}
+
+RtCluster::RtCluster(const ShardSpec& shard)
+    : shard_(shard), dep_(shard, /*auto_start_clients=*/false) {
+  // Node ids: the deployment's transport nodes, then the load manager.
   const NodeId manager_id = dep_.num_nodes();
   const std::int32_t total = manager_id + 1;
 
-  for (const FaultEvent& f : spec_.faults.events) {
+  for (const FaultEvent& f : shard_.base.faults.events) {
     // Silent acceptor reboot is deterministic state surgery; only the
     // simulator can apply it race-free.
     CI_CHECK(f.kind == FaultEvent::Kind::kSlowNode);
@@ -47,18 +51,22 @@ RtCluster::RtCluster(const ClusterSpec& spec)
 
   net_ = std::make_unique<qclt::Network>();
 
-  for (NodeId r = 0; r < spec_.num_replicas; ++r) {
-    burners_.push_back(std::make_unique<CoreBurner>());
-  }
+  delivery_logs_.resize(static_cast<std::size_t>(dep_.num_nodes()));
+  dep_.set_deliver_hook([this](NodeId global, GroupId g, NodeId local,
+                               consensus::Instance in, const consensus::Command& cmd) {
+    delivery_logs_[static_cast<std::size_t>(global)].emplace_back(g, local, in, cmd);
+  });
+
   for (NodeId n = 0; n < dep_.num_nodes(); ++n) {
+    burners_.push_back(std::make_unique<CoreBurner>());
     nodes_.push_back(std::make_unique<RtNode>(n, total, dep_.node_engine(n), net_.get(),
                                               core_for(n)));
   }
-  load_manager_ = std::make_unique<LoadManagerEngine>(dep_.client_node_ids());
+  load_manager_ = std::make_unique<LoadManagerEngine>(dep_.client_targets());
   // The load manager runs on the machine's last core (core 47 in §7.1).
   nodes_.push_back(std::make_unique<RtNode>(manager_id, total, load_manager_.get(),
                                             net_.get(),
-                                            spec_.rt.pin && pinning_available()
+                                            shard_.base.rt.pin && pinning_available()
                                                 ? online_cores() - 1
                                                 : -1));
 }
@@ -66,9 +74,10 @@ RtCluster::RtCluster(const ClusterSpec& spec)
 RtCluster::~RtCluster() { stop(); }
 
 int RtCluster::core_for(NodeId node) const {
-  if (!spec_.rt.pin || !pinning_available()) return -1;
-  // Replicas on cores 0..R-1, clients following, wrapped modulo the
-  // machine (the paper used a 48-core box; we report oversubscription).
+  if (!shard_.base.rt.pin || !pinning_available()) return -1;
+  // Transport node ids map straight onto cores, wrapped modulo the machine
+  // (the paper used a 48-core box; we report oversubscription). The
+  // placement policy decides which group's replicas share a core.
   return static_cast<int>(node) % online_cores();
 }
 
@@ -77,7 +86,7 @@ void RtCluster::start() {
   started_ = true;
   started_at_ = now_nanos();
   // The load-manager node broadcasts kStart from its engine start() hook,
-  // releasing every client (§7.1).
+  // releasing every client of every group (§7.1).
   for (auto& n : nodes_) n->start();
 }
 
@@ -94,9 +103,9 @@ void RtCluster::apply_faults(Nanos elapsed) {
   // Recompute each planned node's factor from ALL windows active now
   // (mirrors SimNet::speed_factor's max-over-windows), so overlapping
   // windows compose and healing one window cannot erase another.
-  for (const FaultEvent& f : spec_.faults.events) {
+  for (const FaultEvent& f : shard_.base.faults.events) {
     double factor = 1.0;
-    for (const FaultEvent& g : spec_.faults.events) {
+    for (const FaultEvent& g : shard_.base.faults.events) {
       if (g.node == f.node && elapsed >= g.at && elapsed < g.until) {
         factor = std::max(factor, g.factor);
       }
@@ -106,7 +115,11 @@ void RtCluster::apply_faults(Nanos elapsed) {
     const auto quantized =
         factor <= 1.0 ? 1u
                       : std::max(2u, static_cast<std::uint32_t>(factor + 0.5));
-    throttle_node(f.node, quantized);
+    // Template semantics: the fault hits its group-local node in EVERY
+    // group (one shared transport node under co-location).
+    for (GroupId g = 0; g < dep_.num_groups(); ++g) {
+      throttle_node(dep_.global_node(g, f.node), quantized);
+    }
   }
 }
 
@@ -129,30 +142,44 @@ std::uint64_t RtCluster::live_messages() const {
   return sum;
 }
 
-RunResult RtCluster::collect() {
+void RtCluster::replay_delivery_logs() {
   CI_CHECK(stopped_);
-  // Feed each node's delivered log into the shared agreement recorder once
-  // (the logs are safe to read after join()).
-  if (!collected_) {
-    collected_ = true;
-    for (const auto& n : nodes_) {
-      for (const auto& [in, cmd] : n->delivered()) {
-        dep_.recorder().record(n->id(), in, cmd);
-      }
+  // Feed each node's delivered log into its group's agreement recorder
+  // once (the logs are safe to read after join()).
+  if (collected_) return;
+  collected_ = true;
+  for (const auto& log : delivery_logs_) {
+    for (const auto& [g, local, in, cmd] : log) {
+      dep_.recorder(g).record(local, in, cmd);
     }
   }
+}
+
+RunResult RtCluster::collect() {
+  replay_delivery_logs();
   RunResult res = dep_.collect();
   res.duration = stopped_at_ - started_at_;
   res.total_messages = live_messages();
   return res;
 }
 
+RunResult RtCluster::collect_group(GroupId g) {
+  replay_delivery_logs();
+  RunResult res = dep_.collect_group(g);
+  res.duration = stopped_at_ - started_at_;
+  // total_messages stays 0: transport send counters are per node, and a
+  // node's traffic is not attributable to one group (co-location shares
+  // nodes across groups). Read collect() for whole-transport counts.
+  return res;
+}
+
 void RtCluster::slow_core_of(NodeId node, int burner_count) {
-  CI_CHECK(node >= 0 && node < spec_.num_replicas);
+  CI_CHECK(node >= 0 && node < dep_.num_nodes());
   burners_[static_cast<std::size_t>(node)]->start(core_for(node), burner_count);
 }
 
 void RtCluster::heal_core_of(NodeId node) {
+  CI_CHECK(node >= 0 && node < dep_.num_nodes());
   burners_[static_cast<std::size_t>(node)]->stop();
 }
 

@@ -1,13 +1,17 @@
-// The rt backend adapter: plugs a core::Deployment into real OS threads
-// over QC-libtask message passing, mirroring the paper's setup (§7.1):
-// replica nodes pinned to cores 0..R-1, clients on the following cores, a
-// "load manager" that releases the clients with a start message, and
-// slow-core fault injection.
+// The rt backend adapter: plugs a core::ShardedDeployment into real OS
+// threads over QC-libtask message passing, mirroring the paper's setup
+// (§7.1): replica nodes pinned to cores 0..R-1, clients on the following
+// cores, a "load manager" that releases the clients with a start message,
+// and slow-core fault injection.
 //
-// All wiring and agreement checking live in the shared deployment layer
-// (core/deployment); this class owns the transport and threads, feeds the
-// agreement recorder from each node's delivered log at collect(), and
-// applies the spec's FaultPlan at wall-clock offsets while running.
+// All wiring (including the group demux layer) and agreement checking live
+// in the shared deployment layers; this class owns the transport and
+// threads, logs each node's deliveries from its own thread (replayed into
+// the per-group agreement recorders at collect()), and applies the spec's
+// FaultPlan at wall-clock offsets while running.
+//
+// Constructing from a plain ClusterSpec runs the single-group layout; the
+// single-group accessors below then address group 0.
 //
 // On machines with fewer cores than nodes, pinning wraps modulo the core
 // count (oversubscription), which the benches report alongside results.
@@ -15,10 +19,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "core/cluster_spec.hpp"
-#include "core/deployment.hpp"
+#include "core/sharded_deployment.hpp"
 #include "core/run_result.hpp"
 #include "qclt/net.hpp"
 #include "rt/rt_node.hpp"
@@ -27,14 +32,17 @@
 namespace ci::rt {
 
 using consensus::ClientEngine;
+using consensus::GroupId;
 using core::ClusterSpec;
 using core::Protocol;
 using core::protocol_name;
 using core::RunResult;
+using core::ShardSpec;
 
 class RtCluster {
  public:
   explicit RtCluster(const ClusterSpec& spec);
+  explicit RtCluster(const ShardSpec& shard);
   ~RtCluster();
 
   RtCluster(const RtCluster&) = delete;
@@ -52,15 +60,17 @@ class RtCluster {
   // timestamps, call client(i)->set_commit_series(...) before start().
   void stop();
   RunResult collect();
+  RunResult collect_group(GroupId g);
 
-  // Slow the core hosting `node` with busy threads (paper §7.6). Only
-  // effective where thread affinity really constrains scheduling (bare
-  // metal); container sandboxes often emulate affinity.
+  // Slow the core hosting transport node `node` with busy threads (paper
+  // §7.6). Only effective where thread affinity really constrains
+  // scheduling (bare metal); container sandboxes often emulate affinity.
   void slow_core_of(consensus::NodeId node, int burners = 8);
   void heal_core_of(consensus::NodeId node);
 
   // Portable slow-core injection: multiplies the node's per-message cost
-  // (see RtNode::set_slow_factor). factor 1 = healthy.
+  // (see RtNode::set_slow_factor). factor 1 = healthy. `node` is a
+  // transport id; under sharding, map through sharded().global_node.
   void throttle_node(consensus::NodeId node, std::uint32_t factor);
 
   // Applies any FaultPlan events whose wall-clock offset has been reached.
@@ -72,12 +82,15 @@ class RtCluster {
   // now_nanos() time) or until every client finished its quota.
   void drive_until(Nanos wall_deadline);
 
-  core::Deployment& deployment() { return dep_; }
-  ClientEngine* client(std::int32_t i) { return dep_.client(i); }
-  std::int32_t client_count() const { return dep_.client_count(); }
+  core::ShardedDeployment& sharded() { return dep_; }
+  std::int32_t num_groups() const { return dep_.num_groups(); }
+  core::Deployment& deployment() { return dep_.group(0); }
+  ClientEngine* client(std::int32_t i) { return dep_.group(0).client(i); }
+  std::int32_t client_count() const { return dep_.group(0).client_count(); }
   bool clients_done() const { return dep_.clients_done(); }
 
-  // Live counters (atomics only) for windowed measurement while running.
+  // Live counters (atomics only) for windowed measurement while running;
+  // aggregated over every group.
   std::uint64_t live_committed() const { return dep_.total_committed(); }
   std::uint64_t live_issued() const { return dep_.total_issued(); }
   std::uint64_t live_local_reads() const { return dep_.total_local_reads(); }
@@ -88,13 +101,20 @@ class RtCluster {
 
   int core_for(consensus::NodeId node) const;
   void apply_faults(Nanos elapsed);
+  void replay_delivery_logs();
 
-  ClusterSpec spec_;
-  core::Deployment dep_;
+  ShardSpec shard_;
+  core::ShardedDeployment dep_;
   std::unique_ptr<consensus::Engine> load_manager_;
   std::unique_ptr<qclt::Network> net_;
   std::vector<std::unique_ptr<RtNode>> nodes_;
-  std::vector<std::unique_ptr<CoreBurner>> burners_;  // per replica id
+  std::vector<std::unique_ptr<CoreBurner>> burners_;  // per transport node
+  // Per transport node: every (group, local id, instance, command) its
+  // engines executed. Written only by that node's thread (outer vector
+  // never resizes while running), read after join().
+  std::vector<std::vector<std::tuple<GroupId, consensus::NodeId, consensus::Instance,
+                                     consensus::Command>>>
+      delivery_logs_;
   Nanos started_at_ = 0;
   Nanos stopped_at_ = 0;
   bool started_ = false;

@@ -58,8 +58,6 @@ class RtNode {
 
   NodeId id() const { return self_; }
   std::uint64_t messages_sent() const { return ctx_->sent.load(std::memory_order_relaxed); }
-  // Valid after join(): every (instance, command) the engine executed.
-  const std::vector<std::pair<Instance, Command>>& delivered() const { return ctx_->delivered; }
 
  private:
   class Ctx final : public consensus::Context {
@@ -68,11 +66,12 @@ class RtNode {
     NodeId self() const override { return node_->self_; }
     Nanos now() const override { return now_nanos(); }
     void send(NodeId dst, const Message& m) override { node_->send(dst, m); }
-    void deliver(Instance in, const Command& cmd) override { delivered.emplace_back(in, cmd); }
+    // Delivery reporting happens in the GroupDemuxEngine hosted on every
+    // node (RtCluster's hook logs per node thread and replays into the
+    // per-group recorders after join()); the transport has no channel.
+    void deliver(Instance, const Command&) override {}
 
     std::atomic<std::uint64_t> sent{0};
-    // Written only by the node thread; read after join().
-    std::vector<std::pair<Instance, Command>> delivered;
 
    private:
     RtNode* node_;

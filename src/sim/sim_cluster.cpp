@@ -12,21 +12,35 @@ using consensus::Instance;
 using consensus::NodeId;
 using core::FaultEvent;
 
-SimCluster::SimCluster(const ClusterSpec& spec)
-    : spec_(spec), dep_(spec, /*auto_start_clients=*/true) {
-  net_ = std::make_unique<SimNet>(spec_.sim.model, spec_.seed, spec_.sim.tick_period);
+SimCluster::SimCluster(const ClusterSpec& spec) : SimCluster(ShardSpec(spec)) {}
+
+SimCluster::SimCluster(const ShardSpec& shard)
+    : shard_(shard), dep_(shard, /*auto_start_clients=*/true) {
+  net_ = std::make_unique<SimNet>(shard_.base.sim.model, shard_.base.seed,
+                                  shard_.base.sim.tick_period);
   for (NodeId n = 0; n < dep_.num_nodes(); ++n) net_->add_node(dep_.node_engine(n));
-  net_->set_deliver_cb([this](NodeId node, Instance in, const Command& cmd) {
-    dep_.recorder().record(node, in, cmd);
+  // Sim is single-threaded: record into the per-group recorders live.
+  dep_.set_deliver_hook([this](NodeId, GroupId g, NodeId local, Instance in,
+                               const Command& cmd) {
+    dep_.recorder(g).record(local, in, cmd);
   });
-  for (const FaultEvent& f : spec_.faults.events) {
-    switch (f.kind) {
-      case FaultEvent::Kind::kSlowNode:
-        net_->slow_node(f.node, f.at, f.until, f.factor);
-        break;
-      case FaultEvent::Kind::kResetAcceptor:
-        reset_acceptor_state_at(f.node, f.at);
-        break;
+  // The FaultPlan is part of the per-group template: each event hits its
+  // group-local node in EVERY group (under co-location that is one shared
+  // transport node; duplicate windows compose by max, so that's harmless).
+  for (const FaultEvent& f : shard_.base.faults.events) {
+    for (GroupId g = 0; g < dep_.num_groups(); ++g) {
+      const NodeId node = dep_.global_node(g, f.node);
+      switch (f.kind) {
+        case FaultEvent::Kind::kSlowNode:
+          net_->slow_node(node, f.at, f.until, f.factor);
+          break;
+        case FaultEvent::Kind::kResetAcceptor: {
+          auto* opx = dep_.group(g).one_paxos(f.node);
+          CI_CHECK(opx != nullptr);
+          net_->schedule_call(f.at, node, [opx] { opx->reset_acceptor_state(); });
+          break;
+        }
+      }
     }
   }
 }
@@ -38,9 +52,9 @@ void SimCluster::slow_node(NodeId node, Nanos from, Nanos to, double factor) {
 }
 
 void SimCluster::reset_acceptor_state_at(NodeId node, Nanos t) {
-  auto* opx = dep_.one_paxos(node);
+  auto* opx = dep_.group(0).one_paxos(node);
   CI_CHECK(opx != nullptr);
-  net_->schedule_call(t, node, [opx] { opx->reset_acceptor_state(); });
+  net_->schedule_call(t, dep_.global_node(0, node), [opx] { opx->reset_acceptor_state(); });
 }
 
 void SimCluster::run(Nanos deadline) {
@@ -49,7 +63,7 @@ void SimCluster::run(Nanos deadline) {
   while (true) {
     net_->run_until(t);
     if (t >= deadline) return;
-    if (spec_.workload.requests_per_client > 0 && dep_.clients_done()) return;
+    if (shard_.base.workload.requests_per_client > 0 && dep_.clients_done()) return;
     t = std::min(t + step, deadline);
   }
 }
@@ -58,6 +72,15 @@ core::RunResult SimCluster::result(Nanos duration) const {
   core::RunResult res = dep_.collect();
   res.duration = duration;
   res.total_messages = net_->total_messages();
+  return res;
+}
+
+core::RunResult SimCluster::group_result(GroupId g, Nanos duration) const {
+  core::RunResult res = dep_.collect_group(g);
+  res.duration = duration;
+  // total_messages stays 0: transport send counters are per node, and a
+  // node's traffic is not attributable to one group (co-location shares
+  // nodes across groups). Read result() for whole-transport counts.
   return res;
 }
 

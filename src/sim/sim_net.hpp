@@ -34,14 +34,10 @@ using core::LatencyModel;
 
 class SimNet {
  public:
-  using DeliverCb = std::function<void(NodeId node, Instance in, const Command& cmd)>;
-
   SimNet(const LatencyModel& model, std::uint64_t seed, Nanos tick_period);
 
   // Nodes must be added before run(); ids are dense from 0.
   void add_node(Engine* engine);
-
-  void set_deliver_cb(DeliverCb cb) { deliver_cb_ = std::move(cb); }
 
   // Multiplies the node's CPU costs by `factor` during [from, to).
   void slow_node(NodeId node, Nanos from, Nanos to, double factor);
@@ -89,9 +85,10 @@ class SimNet {
     NodeId self() const override { return id_; }
     Nanos now() const override { return logical_now; }
     void send(NodeId dst, const Message& m) override { net_->send_from(*this, dst, m); }
-    void deliver(Instance in, const Command& cmd) override {
-      if (net_->deliver_cb_) net_->deliver_cb_(id_, in, cmd);
-    }
+    // Delivery reporting happens in the GroupDemuxEngine hosted on every
+    // node (its deliver hook feeds the per-group agreement recorders); the
+    // transport itself has no delivery channel.
+    void deliver(Instance, const Command&) override {}
 
     SimNet* net_;
     NodeId id_;
@@ -116,7 +113,6 @@ class SimNet {
   bool started_ = false;
   std::vector<std::unique_ptr<NodeCtx>> nodes_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> event_queue_;
-  DeliverCb deliver_cb_;
 };
 
 }  // namespace ci::sim

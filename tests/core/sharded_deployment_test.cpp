@@ -1,0 +1,146 @@
+// Unit tests for the sharding layer's pure parts: ShardSpec placement
+// arithmetic, the per-group AgreementRecorder isolation invariant, and
+// ShardedDeployment wiring (no transport involved).
+#include "core/sharded_deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/protocol.hpp"
+
+namespace ci::core {
+namespace {
+
+using consensus::Command;
+using consensus::GroupId;
+using consensus::NodeId;
+using consensus::Op;
+
+ClusterSpec base_spec(std::int32_t replicas, std::int32_t clients) {
+  ClusterSpec o;
+  o.protocol = Protocol::kMultiPaxos;
+  o.num_replicas = replicas;
+  o.num_clients = clients;
+  return o;
+}
+
+TEST(ShardSpec, GroupMajorLayout) {
+  const ShardSpec s(base_spec(3, 2), 4, Placement::kGroupMajor);
+  EXPECT_EQ(s.nodes_per_group(), 5);
+  EXPECT_EQ(s.total_nodes(), 20);
+  EXPECT_EQ(s.global_node(0, 0), 0);
+  EXPECT_EQ(s.global_node(0, 4), 4);
+  EXPECT_EQ(s.global_node(1, 0), 5);
+  EXPECT_EQ(s.global_node(3, 4), 19);
+}
+
+TEST(ShardSpec, InterleavedLayout) {
+  const ShardSpec s(base_spec(3, 2), 4, Placement::kInterleaved);
+  EXPECT_EQ(s.total_nodes(), 20);
+  EXPECT_EQ(s.global_node(0, 0), 0);
+  EXPECT_EQ(s.global_node(1, 0), 1);
+  EXPECT_EQ(s.global_node(3, 0), 3);
+  EXPECT_EQ(s.global_node(0, 1), 4);
+  EXPECT_EQ(s.global_node(3, 4), 19);
+}
+
+TEST(ShardSpec, CoLocatedLayoutSharesNodes) {
+  const ShardSpec s(base_spec(3, 2), 4, Placement::kCoLocated);
+  EXPECT_EQ(s.total_nodes(), 5);  // one group's footprint
+  for (GroupId g = 0; g < 4; ++g) {
+    for (NodeId local = 0; local < 5; ++local) {
+      EXPECT_EQ(s.global_node(g, local), local);
+    }
+  }
+}
+
+TEST(ShardSpec, NonCoLocatedLayoutsAreBijective) {
+  for (const Placement p : {Placement::kGroupMajor, Placement::kInterleaved}) {
+    const ShardSpec s(base_spec(3, 2), 3, p);
+    std::set<NodeId> seen;
+    for (GroupId g = 0; g < s.groups; ++g) {
+      for (NodeId local = 0; local < s.nodes_per_group(); ++local) {
+        const NodeId global = s.global_node(g, local);
+        EXPECT_GE(global, 0);
+        EXPECT_LT(global, s.total_nodes());
+        EXPECT_TRUE(seen.insert(global).second) << "collision at " << global;
+      }
+    }
+  }
+}
+
+TEST(ShardSpec, GroupZeroKeepsTheBaseSeed) {
+  ShardSpec s(base_spec(3, 1), 3);
+  s.base.seed = 41;
+  EXPECT_EQ(s.group_spec(0).seed, 41u);
+  EXPECT_EQ(s.group_spec(1).seed, 42u);
+  EXPECT_EQ(s.group_spec(2).seed, 43u);
+}
+
+Command cmd(NodeId client, std::uint32_t seq, std::uint64_t value) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  c.op = Op::kWrite;
+  c.key = 1;
+  c.value = value;
+  return c;
+}
+
+// The cross-group isolation invariant: groups have independent instance
+// spaces, so the SAME instance number deciding DIFFERENT values in two
+// groups is normal operation — it must not trip either group's recorder.
+// Only a conflict within one group is an agreement violation.
+TEST(AgreementRecorder, InstanceSpacesAreIsolatedPerGroup) {
+  AgreementRecorder g0(3);
+  AgreementRecorder g1(3);
+
+  g0.record(0, /*in=*/0, cmd(3, 1, 100));
+  g1.record(0, /*in=*/0, cmd(3, 1, 999));  // same instance, different value
+  EXPECT_TRUE(g0.consistent());
+  EXPECT_TRUE(g1.consistent());
+
+  // Re-delivery of the agreed value on another replica is fine...
+  g0.record(1, 0, cmd(3, 1, 100));
+  EXPECT_TRUE(g0.consistent());
+  // ...but a conflicting value inside the SAME group is a violation.
+  g0.record(2, 0, cmd(3, 2, 777));
+  EXPECT_FALSE(g0.consistent());
+  EXPECT_TRUE(g1.consistent());  // untouched by g0's violation
+}
+
+TEST(ShardedDeployment, WiresOneDemuxPerNodeAndOneRecorderPerGroup) {
+  const ShardSpec s(base_spec(3, 2), 3, Placement::kGroupMajor);
+  ShardedDeployment dep(s, /*auto_start_clients=*/true);
+
+  EXPECT_EQ(dep.num_groups(), 3);
+  EXPECT_EQ(dep.num_nodes(), 15);
+  // Every node hosts exactly its group's engine under group-major.
+  for (GroupId g = 0; g < 3; ++g) {
+    for (NodeId local = 0; local < 5; ++local) {
+      auto* demux = dep.node_engine(dep.global_node(g, local));
+      ASSERT_NE(demux, nullptr);
+      EXPECT_EQ(demux->engine_for(g), dep.group(g).node_engine(local));
+      EXPECT_EQ(demux->engine_for((g + 1) % 3), nullptr);
+    }
+  }
+  // One kStart target per (group, client).
+  EXPECT_EQ(dep.client_targets().size(), 6u);
+  // Recorders are distinct objects.
+  EXPECT_NE(&dep.recorder(0), &dep.recorder(1));
+}
+
+TEST(ShardedDeployment, CoLocatedDemuxHostsEveryGroup) {
+  const ShardSpec s(base_spec(3, 1), 4, Placement::kCoLocated);
+  ShardedDeployment dep(s, /*auto_start_clients=*/true);
+  EXPECT_EQ(dep.num_nodes(), 4);
+  for (NodeId n = 0; n < 4; ++n) {
+    for (GroupId g = 0; g < 4; ++g) {
+      EXPECT_EQ(dep.node_engine(n)->engine_for(g), dep.group(g).node_engine(n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ci::core

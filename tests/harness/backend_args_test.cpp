@@ -1,0 +1,178 @@
+// Unit tests for the harness flag parsers. backend_from_args must reject
+// unknown and missing values loudly (exit 2) instead of silently running
+// the default backend — a sweep silently running sim when the user asked
+// for a typo'd rt would report the wrong machine's numbers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/cluster_harness.hpp"
+
+namespace ci::harness {
+namespace {
+
+// argv helper: materializes writable argv from string literals.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : store_(std::move(args)) {
+    ptrs_.push_back(prog_);
+    for (auto& s : store_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  char prog_[5] = "test";
+  std::vector<std::string> store_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(ParseBackend, RecognizesBothBackends) {
+  Backend b = Backend::kRt;
+  EXPECT_TRUE(parse_backend("sim", &b));
+  EXPECT_EQ(b, Backend::kSim);
+  EXPECT_TRUE(parse_backend("rt", &b));
+  EXPECT_EQ(b, Backend::kRt);
+}
+
+TEST(ParseBackend, RejectsUnknownNames) {
+  Backend b = Backend::kSim;
+  EXPECT_FALSE(parse_backend("simulator", &b));
+  EXPECT_FALSE(parse_backend("", &b));
+  EXPECT_FALSE(parse_backend("SIM", &b));
+  EXPECT_EQ(b, Backend::kSim);  // untouched on failure
+}
+
+TEST(BackendFromArgs, AbsentFlagYieldsDefault) {
+  Args a({"--seed=3"});
+  Backend b = Backend::kRt;
+  std::string err;
+  EXPECT_TRUE(try_backend_from_args(a.argc(), a.argv(), Backend::kSim, &b, &err));
+  EXPECT_EQ(b, Backend::kSim);
+}
+
+TEST(BackendFromArgs, ParsesEqualsAndSpaceForms) {
+  {
+    Args a({"--backend=rt"});
+    Backend b = Backend::kSim;
+    std::string err;
+    EXPECT_TRUE(try_backend_from_args(a.argc(), a.argv(), Backend::kSim, &b, &err));
+    EXPECT_EQ(b, Backend::kRt);
+  }
+  {
+    Args a({"--backend", "rt"});
+    Backend b = Backend::kSim;
+    std::string err;
+    EXPECT_TRUE(try_backend_from_args(a.argc(), a.argv(), Backend::kSim, &b, &err));
+    EXPECT_EQ(b, Backend::kRt);
+  }
+}
+
+TEST(BackendFromArgs, LastFlagWins) {
+  Args a({"--backend=rt", "--backend=sim"});
+  Backend b = Backend::kRt;
+  std::string err;
+  EXPECT_TRUE(try_backend_from_args(a.argc(), a.argv(), Backend::kRt, &b, &err));
+  EXPECT_EQ(b, Backend::kSim);
+}
+
+TEST(BackendFromArgs, UnknownValueIsAnError) {
+  Args a({"--backend=fast"});
+  Backend b = Backend::kSim;
+  std::string err;
+  EXPECT_FALSE(try_backend_from_args(a.argc(), a.argv(), Backend::kSim, &b, &err));
+  EXPECT_NE(err.find("fast"), std::string::npos);  // names the offender
+}
+
+TEST(BackendFromArgs, MissingValueIsAnError) {
+  Args a({"--backend"});
+  Backend b = Backend::kSim;
+  std::string err;
+  EXPECT_FALSE(try_backend_from_args(a.argc(), a.argv(), Backend::kSim, &b, &err));
+  EXPECT_NE(err.find("--backend"), std::string::npos);
+}
+
+TEST(BackendFromArgs, ExitingWrapperDiesOnBadValue) {
+  Args a({"--backend=bogus"});
+  EXPECT_EXIT(backend_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+              "unknown backend");
+}
+
+TEST(PlacementFromArgs, ParsesAllPolicies) {
+  Placement p = Placement::kGroupMajor;
+  EXPECT_TRUE(parse_placement("group-major", &p));
+  EXPECT_EQ(p, Placement::kGroupMajor);
+  EXPECT_TRUE(parse_placement("interleaved", &p));
+  EXPECT_EQ(p, Placement::kInterleaved);
+  EXPECT_TRUE(parse_placement("colocated", &p));
+  EXPECT_EQ(p, Placement::kCoLocated);
+  EXPECT_FALSE(parse_placement("striped", &p));
+}
+
+TEST(GroupsFromArgs, ParsesAndDefaults) {
+  {
+    Args a({"--groups=4"});
+    EXPECT_EQ(groups_from_args(a.argc(), a.argv()), 4);
+  }
+  {
+    Args a({});
+    EXPECT_EQ(groups_from_args(a.argc(), a.argv()), 1);
+  }
+  {
+    Args a({"--groups=0"});
+    EXPECT_EXIT(groups_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad group count");
+  }
+}
+
+TEST(PositionalArgs, SkipsHarnessFlagsAndTheirValues) {
+  Args a({"multipaxos", "--backend", "rt", "300", "--groups=4", "--placement", "colocated"});
+  const auto pos = positional_args(a.argc(), a.argv());
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], "multipaxos");
+  EXPECT_EQ(pos[1], "300");
+}
+
+TEST(PositionalArgs, RejectsTypodFlagsInsteadOfDefaulting) {
+  Args a({"--group=4"});  // missing the 's'
+  EXPECT_EXIT(positional_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+              "unknown flag");
+}
+
+TEST(RequireHarnessFlagsOnly, AcceptsKnownRejectsUnknown) {
+  {
+    Args a({"--backend=sim", "--groups", "2"});
+    require_harness_flags_only(a.argc(), a.argv());  // must not exit
+  }
+  {
+    Args a({"--colocated"});
+    EXPECT_EXIT(require_harness_flags_only(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "unknown flag");
+  }
+}
+
+TEST(RequireHarnessFlagsOnly, RejectsFlagsTheBinaryDoesNotConsume) {
+  Args a({"--groups=4"});
+  EXPECT_EXIT(require_harness_flags_only(a.argc(), a.argv(), {"--backend"}),
+              ::testing::ExitedWithCode(2), "not used by this binary");
+}
+
+TEST(RequireHarnessFlagsOnly, RejectsTrailingFlagWithoutValue) {
+  Args a({"--groups"});
+  EXPECT_EXIT(require_harness_flags_only(a.argc(), a.argv()),
+              ::testing::ExitedWithCode(2), "requires a value");
+}
+
+TEST(ShardFromArgs, BundlesGroupsAndPlacement) {
+  Args a({"--groups=3", "--placement=colocated"});
+  ClusterSpec base;
+  base.num_replicas = 5;
+  const ShardSpec s = shard_from_args(a.argc(), a.argv(), base);
+  EXPECT_EQ(s.groups, 3);
+  EXPECT_EQ(s.placement, Placement::kCoLocated);
+  EXPECT_EQ(s.base.num_replicas, 5);
+}
+
+}  // namespace
+}  // namespace ci::harness
