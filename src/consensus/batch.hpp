@@ -1,0 +1,150 @@
+// Leader-side request batching: the knob, the value type, and the
+// accumulator.
+//
+// Batching changes the unit of agreement from one client command to an
+// ordered run of commands (a Batch): the leader packs pending requests into
+// one instance, acceptors accept / learn the run as a single value, and the
+// execution path fans the run back out — every command is applied, delivered
+// and acked individually, in batch order. This amortizes the per-message
+// leader cost that dominates throughput on a many-core (paper §3: cores
+// process events serially, so saturation emerges from message counts).
+//
+// The degenerate policy (max_commands == 1, the default) produces only
+// single-command batches, which travel in the exact legacy wire frames —
+// an unbatched deployment's traffic and results are reproduced bit for bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "consensus/types.hpp"
+
+namespace ci::consensus {
+
+// The value one agreement instance decides: 1..kMaxCommandsPerBatch
+// commands, ordered. Size 1 is the classic one-command-per-instance regime.
+using Batch = std::vector<Command>;
+
+inline Batch single_batch(const Command& cmd) { return Batch{cmd}; }
+
+struct BatchPolicy {
+  // Commands per instance; 1 (default) reproduces unbatched behavior
+  // bit-identically. Clamped to [1, kMaxCommandsPerBatch].
+  std::int32_t max_commands = 1;
+
+  // Payload-byte budget per batch. Commands are indivisible: a single
+  // command always travels even when it alone exceeds the budget.
+  std::int32_t max_bytes = kMaxCommandsPerBatch * static_cast<std::int32_t>(sizeof(Command));
+
+  // How long a partial batch may wait for company ONCE THE PIPELINE IS
+  // IDLE. Group commit proper needs no timer: while instances are in
+  // flight, arrivals accumulate, and each decide flushes the whole backlog
+  // as one batch — the batch size adapts to load by itself. The timer only
+  // governs the idle case: 0 (default) proposes a lone command immediately
+  // (work-conserving, no added latency), T > 0 holds it up to T hoping for
+  // company (trading latency for fill at low load).
+  Nanos flush_after = 0;
+
+  bool batching() const { return max_commands > 1; }
+
+  // Commands per batch after every cap (max_commands, the byte budget, the
+  // compile-time ceiling); never below 1.
+  std::int32_t commands_cap() const {
+    std::int32_t cap = std::min(max_commands, kMaxCommandsPerBatch);
+    cap = std::min(cap, max_bytes / static_cast<std::int32_t>(sizeof(Command)));
+    return std::max(cap, 1);
+  }
+};
+
+// FIFO of commands waiting for a leader pipeline slot, with the flush
+// policy folded in. Engines push on arrival and take() a batch whenever
+// ready() says the head of the queue should be proposed.
+class Batcher {
+ public:
+  Batcher() = default;
+  explicit Batcher(const BatchPolicy& policy) : policy_(policy) {}
+
+  const BatchPolicy& policy() const { return policy_; }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+
+  void push(const Command& cmd, Nanos now) { q_.push_back({cmd, now}); }
+
+  // Re-queue at the front (a command that lost an instance race must be
+  // re-proposed before new arrivals). Front-of-queue age makes it flush
+  // immediately under any flush_after.
+  void push_front(const Command& cmd) { q_.push_front({cmd, kNoTime}); }
+
+  // True when a batch should be proposed now. `outstanding` is the number
+  // of instances the caller already has in flight:
+  //   * unbatched policy — any pending command goes at once (the classic
+  //     regime, bit-identical to pre-batching behavior);
+  //   * batching — a full batch always goes; a partial batch goes only when
+  //     the pipeline is idle and its oldest command has waited flush_after
+  //     (group commit: in-flight decides flush the accumulated backlog).
+  // Re-queued commands (push_front) count as overdue: a race loser must be
+  // re-proposed as soon as the pipeline allows.
+  bool ready(Nanos now, std::size_t outstanding) const {
+    if (q_.empty()) return false;
+    if (!policy_.batching()) return true;
+    if (static_cast<std::int32_t>(q_.size()) >= policy_.commands_cap()) return true;
+    if (outstanding > 0) return false;
+    const Nanos enqueued = q_.front().enqueued;
+    return enqueued == kNoTime || now - enqueued >= policy_.flush_after;
+  }
+
+  // Pops the next batch (up to the policy's cap), FIFO. Empty iff empty().
+  Batch take() {
+    Batch out;
+    const std::int32_t cap = policy_.commands_cap();
+    while (!q_.empty() && static_cast<std::int32_t>(out.size()) < cap) {
+      out.push_back(q_.front().cmd);
+      q_.pop_front();
+    }
+    return out;
+  }
+
+  // Drains everything in FIFO order (forwarding to another leader).
+  std::vector<Command> drain() {
+    std::vector<Command> out;
+    out.reserve(q_.size());
+    for (const Pending& p : q_) out.push_back(p.cmd);
+    q_.clear();
+    return out;
+  }
+
+ private:
+  // Sentinel enqueue time for re-queued commands: always overdue.
+  static constexpr Nanos kNoTime = -1;
+
+  struct Pending {
+    Command cmd;
+    Nanos enqueued = 0;
+  };
+
+  BatchPolicy policy_;
+  std::deque<Pending> q_;
+};
+
+// ---- Wire helpers ----
+// Batches travel as count-prefixed Command runs inside fixed-capacity
+// message payloads; only the used prefix is serialized (wire_size).
+
+inline std::int32_t pack_batch(const Batch& b, Command* out) {
+  CI_CHECK(!b.empty() &&
+           b.size() <= static_cast<std::size_t>(kMaxCommandsPerBatch));
+  std::copy(b.begin(), b.end(), out);
+  return static_cast<std::int32_t>(b.size());
+}
+
+inline Batch unpack_batch(const Command* cmds, std::int32_t count) {
+  CI_CHECK(count >= 1 && count <= kMaxCommandsPerBatch);
+  return Batch(cmds, cmds + count);
+}
+
+}  // namespace ci::consensus

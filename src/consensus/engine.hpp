@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/time.hpp"
+#include "consensus/batch.hpp"
 #include "consensus/message.hpp"
 #include "consensus/state_machine.hpp"
 #include "consensus/types.hpp"
@@ -48,6 +49,10 @@ struct EngineConfig {
   // at half kMaxProposalsPerMsg so one reconfiguration entry can carry the
   // union of two uncommitted windows.
   std::int32_t pipeline_window = kMaxProposalsPerMsg / 2;
+
+  // Leader-side request batching (consensus/batch.hpp). The default
+  // (max_commands == 1) reproduces unbatched behavior bit for bit.
+  BatchPolicy batch;
 
   // Applied state machine; may be null (agreement only).
   StateMachine* state_machine = nullptr;

@@ -1,11 +1,17 @@
 // The replicated command log: learned (decided) values by instance, plus an
 // execution cursor over the contiguous prefix.
+//
+// Since the batching layer, the value of one instance is a Batch — an
+// ordered run of 1..kMaxCommandsPerBatch commands. drain() fans a decided
+// batch back out command by command, so execution, delivery reporting and
+// client acks stay per-command everywhere above this class.
 #pragma once
 
 #include <deque>
 #include <optional>
 
 #include "common/check.hpp"
+#include "consensus/batch.hpp"
 #include "consensus/types.hpp"
 
 namespace ci::consensus {
@@ -15,30 +21,42 @@ class ReplicatedLog {
   // Records the decided value for an instance. Learning the same instance
   // twice is legal (retries, catch-up) but the value must not change —
   // that is the consistency property all our protocols guarantee, so it is
-  // enforced here as a hard invariant.
-  void learn(Instance in, const Command& cmd) {
+  // enforced here as a hard invariant. Batches compare element-wise: a
+  // batch differing in any command (or in length) is a different value.
+  void learn(Instance in, const Batch& value) {
     CI_CHECK(in >= 0);
+    CI_CHECK(!value.empty());
     const auto idx = static_cast<std::size_t>(in);
     if (idx >= entries_.size()) entries_.resize(idx + 1);
     if (entries_[idx].has_value()) {
-      CI_CHECK_MSG(*entries_[idx] == cmd, "two different values learned for one instance");
+      CI_CHECK_MSG(*entries_[idx] == value, "two different values learned for one instance");
       return;
     }
-    entries_[idx] = cmd;
+    entries_[idx] = value;
     while (first_gap_ < static_cast<Instance>(entries_.size()) &&
            entries_[static_cast<std::size_t>(first_gap_)].has_value()) {
       first_gap_++;
     }
   }
 
+  void learn(Instance in, const Command& cmd) { learn(in, single_batch(cmd)); }
+
   bool is_learned(Instance in) const {
     return in >= 0 && in < static_cast<Instance>(entries_.size()) &&
            entries_[static_cast<std::size_t>(in)].has_value();
   }
 
-  const Command* get(Instance in) const {
+  const Batch* get_batch(Instance in) const {
     if (!is_learned(in)) return nullptr;
     return &*entries_[static_cast<std::size_t>(in)];
+  }
+
+  // First command of the instance's value — the whole value in the
+  // one-command-per-instance regime (single-command protocols and tests
+  // read through this).
+  const Command* get(Instance in) const {
+    const Batch* b = get_batch(in);
+    return b == nullptr ? nullptr : &b->front();
   }
 
   // First instance with no learned value; everything below is decided.
@@ -47,13 +65,14 @@ class ReplicatedLog {
   // One past the highest learned instance.
   Instance end() const { return static_cast<Instance>(entries_.size()); }
 
-  // Invokes f(instance, command) for every newly contiguous decided entry
-  // past the execution cursor, advancing it. This is where state machine
-  // application happens.
+  // Invokes f(instance, command) for every newly contiguous decided command
+  // past the execution cursor — batched instances fan out in batch order —
+  // advancing the cursor. This is where state machine application happens.
   template <typename F>
   void drain(F&& f) {
     while (executed_ < first_gap_) {
-      f(executed_, *entries_[static_cast<std::size_t>(executed_)]);
+      const Batch& b = *entries_[static_cast<std::size_t>(executed_)];
+      for (const Command& cmd : b) f(executed_, cmd);
       executed_++;
     }
   }
@@ -61,7 +80,7 @@ class ReplicatedLog {
   Instance executed_prefix() const { return executed_; }
 
  private:
-  std::deque<std::optional<Command>> entries_;
+  std::deque<std::optional<Batch>> entries_;
   Instance first_gap_ = 0;
   Instance executed_ = 0;
 };

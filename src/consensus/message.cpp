@@ -5,8 +5,21 @@ namespace ci::consensus {
 namespace {
 
 std::size_t entry_bytes(const UtilityEntry& e) {
-  return offsetof(UtilityEntry, proposals) +
-         static_cast<std::size_t>(e.num_proposals) * sizeof(Proposal);
+  // Entries without batched proposals keep the pre-batching layout: the
+  // appended batched[]/pool[] region is never serialized, so legacy traffic
+  // is unchanged byte for byte (receivers zero-fill, so num_batched reads 0).
+  if (e.num_batched == 0) {
+    return offsetof(UtilityEntry, proposals) +
+           static_cast<std::size_t>(e.num_proposals) * sizeof(Proposal);
+  }
+  return offsetof(UtilityEntry, pool) +
+         static_cast<std::size_t>(e.pool_count) * sizeof(Command);
+}
+
+// Count-prefixed Command runs: header fields + the used prefix of cmds[].
+template <typename P>
+std::size_t batch_bytes(const P& p) {
+  return offsetof(P, cmds) + static_cast<std::size_t>(p.count) * sizeof(Command);
 }
 
 std::size_t payload_bytes(const Message& m) {
@@ -65,6 +78,18 @@ std::size_t payload_bytes(const Message& m) {
       return offsetof(UtilAccepted, entry) + entry_bytes(m.u.util_accepted.entry);
     case MsgType::kUtilNack:
       return sizeof(UtilNack);
+    case MsgType::kPhase2BatchReq:
+      return batch_bytes(m.u.phase2_batch_req);
+    case MsgType::kPhase2BatchAcked:
+      return batch_bytes(m.u.phase2_batch_acked);
+    case MsgType::kPhase1BatchResp:
+      return batch_bytes(m.u.phase1_batch_resp);
+    case MsgType::kOpxBatchAcceptReq:
+      return batch_bytes(m.u.opx_batch_accept_req);
+    case MsgType::kOpxBatchLearn:
+      return batch_bytes(m.u.opx_batch_learn);
+    case MsgType::kOpxPrepareBatchResp:
+      return batch_bytes(m.u.opx_prepare_batch_resp);
   }
   return sizeof(Message::Payload);  // unknown: be conservative
 }
@@ -103,9 +128,32 @@ bool known_type(MsgType t) {
     case MsgType::kUtilPhase2Req:
     case MsgType::kUtilAccepted:
     case MsgType::kUtilNack:
+    case MsgType::kPhase2BatchReq:
+    case MsgType::kPhase2BatchAcked:
+    case MsgType::kPhase1BatchResp:
+    case MsgType::kOpxBatchAcceptReq:
+    case MsgType::kOpxBatchLearn:
+    case MsgType::kOpxPrepareBatchResp:
       return true;
   }
   return false;
+}
+
+// A batched frame must carry at least 2 commands (count-1 values use the
+// legacy single-command frames) and at most the compile-time ceiling.
+bool batch_count_ok(std::int32_t n) { return n >= 2 && n <= kMaxCommandsPerBatch; }
+
+bool entry_ok(const UtilityEntry& e) {
+  if (!count_ok(e.num_proposals)) return false;
+  if (e.num_batched < 0 || e.num_batched > kMaxBatchedPerEntry) return false;
+  if (e.pool_count < 0 || e.pool_count > kUtilityBatchPoolCommands) return false;
+  for (std::int32_t i = 0; i < e.num_batched; ++i) {
+    const BatchedProposalRef& r = e.batched[i];
+    if (!batch_count_ok(r.count) || r.offset < 0 || r.offset + r.count > e.pool_count) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -119,18 +167,38 @@ bool wire_validate(const Message& m, std::size_t bytes) {
   switch (m.type) {
     case MsgType::kPhase1Resp:
       if (!count_ok(m.u.phase1_resp.num_proposals)) return false;
+      if (m.u.phase1_resp.num_batched < 0) return false;
       break;
     case MsgType::kOpxPrepareResp:
       if (!count_ok(m.u.opx_prepare_resp.num_accepted)) return false;
+      if (m.u.opx_prepare_resp.num_batched < 0) return false;
       break;
     case MsgType::kUtilPhase1Resp:
-      if (!count_ok(m.u.util_phase1_resp.accepted.num_proposals)) return false;
+      if (!entry_ok(m.u.util_phase1_resp.accepted)) return false;
       break;
     case MsgType::kUtilPhase2Req:
-      if (!count_ok(m.u.util_phase2_req.entry.num_proposals)) return false;
+      if (!entry_ok(m.u.util_phase2_req.entry)) return false;
       break;
     case MsgType::kUtilAccepted:
-      if (!count_ok(m.u.util_accepted.entry.num_proposals)) return false;
+      if (!entry_ok(m.u.util_accepted.entry)) return false;
+      break;
+    case MsgType::kPhase2BatchReq:
+      if (!batch_count_ok(m.u.phase2_batch_req.count)) return false;
+      break;
+    case MsgType::kPhase2BatchAcked:
+      if (!batch_count_ok(m.u.phase2_batch_acked.count)) return false;
+      break;
+    case MsgType::kPhase1BatchResp:
+      if (!batch_count_ok(m.u.phase1_batch_resp.count)) return false;
+      break;
+    case MsgType::kOpxBatchAcceptReq:
+      if (!batch_count_ok(m.u.opx_batch_accept_req.count)) return false;
+      break;
+    case MsgType::kOpxBatchLearn:
+      if (!batch_count_ok(m.u.opx_batch_learn.count)) return false;
+      break;
+    case MsgType::kOpxPrepareBatchResp:
+      if (!batch_count_ok(m.u.opx_prepare_batch_resp.count)) return false;
       break;
     default:
       break;

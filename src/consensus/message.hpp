@@ -71,6 +71,23 @@ enum class MsgType : std::uint8_t {
   kUtilPhase2Req,
   kUtilAccepted,
   kUtilNack,
+
+  // Batched fast path (leader-side request batching; consensus/batch.hpp).
+  // One instance deciding a run of >= 2 commands. Single-command batches
+  // use the legacy frames above, so an unbatched deployment's wire traffic
+  // is unchanged byte for byte.
+  kPhase2BatchReq,    // Multi-Paxos accept carrying a batch
+  kPhase2BatchAcked,  // acceptor broadcast / decided catch-up for a batch
+  kOpxBatchAcceptReq,
+  kOpxBatchLearn,
+
+  // Batched recovery sidecars: one per batched accepted-but-undecided
+  // instance, sent BEFORE the main phase-1 / prepare response, which counts
+  // them (num_batched) so the adopter can tell a complete report from a
+  // reordered or partially-lost one and wait (or retry) instead of
+  // recovering half a window.
+  kPhase1BatchResp,
+  kOpxPrepareBatchResp,
 };
 
 // Message::flags bits.
@@ -116,6 +133,10 @@ struct Phase1Req {
 struct Phase1Resp {
   ProposalNum pn;  // the promised ballot (echo)
   std::int32_t num_proposals = 0;
+  // Batched accepted values travel as kPhase1BatchResp sidecars (one per
+  // instance) sent before this message; this is their count. Occupies what
+  // used to be padding, so the single-command wire layout is unchanged.
+  std::int32_t num_batched = 0;
   Proposal proposals[kMaxProposalsPerMsg];  // accepted values >= from_instance
 };
 
@@ -152,6 +173,9 @@ struct OpxPrepareResp {
   // seen decided or accepted. The adopting leader must not allocate below it.
   Instance frontier = 0;
   std::int32_t num_accepted = 0;
+  // Batched ap entries travel as kOpxPrepareBatchResp sidecars sent before
+  // this message; this is their count (former padding, layout unchanged).
+  std::int32_t num_batched = 0;
   Proposal accepted[kMaxProposalsPerMsg];  // ap: the acceptor's short-term memory
 };
 
@@ -174,8 +198,81 @@ struct OpxCatchupReq {
   Instance from_instance = 0;  // send decided values from here on
 };
 
+// ---- Batched payloads ----
+// One instance whose value is a run of count (>= 2) commands. wire_size()
+// truncates cmds to the used prefix, so a batch of k costs one header plus
+// k commands on the wire — the amortization the batching layer buys.
+
+struct Phase2BatchReq {
+  Instance instance = kNoInstance;
+  ProposalNum pn;
+  std::int32_t count = 0;
+  std::uint8_t reserved[4] = {0};
+  Command cmds[kMaxCommandsPerBatch];
+};
+
+struct Phase2BatchAcked {
+  Instance instance = kNoInstance;
+  ProposalNum pn;
+  std::int32_t count = 0;
+  std::uint8_t reserved[4] = {0};
+  Command cmds[kMaxCommandsPerBatch];
+};
+
+// Recovery sidecar: one batched accepted-but-undecided instance reported
+// during a Multi-Paxos takeover (single-command entries stay inline in the
+// main Phase1Resp).
+struct Phase1BatchResp {
+  ProposalNum pn;           // the promised ballot (echo, matches the main resp)
+  ProposalNum accepted_pn;  // ballot this batch was accepted at
+  Instance instance = kNoInstance;
+  std::int32_t count = 0;
+  std::uint8_t reserved[4] = {0};
+  Command cmds[kMaxCommandsPerBatch];
+};
+
+struct OpxBatchAcceptReq {
+  Instance instance = kNoInstance;
+  ProposalNum pn;
+  std::int32_t count = 0;
+  std::uint8_t reserved[4] = {0};
+  Command cmds[kMaxCommandsPerBatch];
+};
+
+struct OpxBatchLearn {
+  Instance instance = kNoInstance;
+  std::int32_t count = 0;
+  std::uint8_t reserved[4] = {0};
+  Command cmds[kMaxCommandsPerBatch];
+};
+
+// Recovery sidecar: one batched ap entry reported during a 1Paxos adoption.
+struct OpxPrepareBatchResp {
+  NodeId acceptor = kNoNode;  // Ai (mirrors the main resp's guard)
+  std::int32_t count = 0;
+  ProposalNum pn;  // the adoption ballot (echo, matches the main resp)
+  Instance instance = kNoInstance;
+  Command cmds[kMaxCommandsPerBatch];
+};
+
 // PaxosUtility: consensus entries are leader/acceptor changes, with the
 // uncommitted proposals attached to AcceptorChange (paper §5.2).
+
+// Capacity of a UtilityEntry's batched-proposal region. Like the legacy
+// proposals array (twice the default pipeline window), the command pool
+// holds the union of TWO uncommitted batched windows — 1Paxos clamps its
+// effective window under batching so a handover-after-handover entry still
+// fits (see OnePaxosEngine::effective_window).
+inline constexpr std::int32_t kMaxBatchedPerEntry = kMaxProposalsPerMsg;
+inline constexpr std::int32_t kUtilityBatchPoolCommands = 2 * kMaxCommandsPerBatch;
+
+// One batched uncommitted instance inside a UtilityEntry: `count` commands
+// starting at `offset` in the entry's command pool.
+struct BatchedProposalRef {
+  Instance instance = kNoInstance;
+  std::int32_t offset = 0;
+  std::int32_t count = 0;
+};
 
 struct UtilityEntry {
   enum class Kind : std::uint8_t { kNone = 0, kLeaderChange, kAcceptorChange };
@@ -191,15 +288,35 @@ struct UtilityEntry {
   // frontier must travel with the configuration).
   Instance frontier = 0;
   std::int32_t num_proposals = 0;
-  Proposal proposals[kMaxProposalsPerMsg];  // kAcceptorChange: uncommitted values
+  // Batched uncommitted values ride in the batched[]/pool[] region below;
+  // num_batched occupies former padding, and entries with num_batched == 0
+  // keep the legacy wire size exactly (see entry_bytes in message.cpp).
+  std::int32_t num_batched = 0;
+  Proposal proposals[kMaxProposalsPerMsg];  // kAcceptorChange: single-command values
+  std::int32_t pool_count = 0;
+  std::uint8_t reserved2[4] = {0};
+  BatchedProposalRef batched[kMaxBatchedPerEntry];
+  Command pool[kUtilityBatchPoolCommands];
 
   friend bool operator==(const UtilityEntry& a, const UtilityEntry& b) {
     if (a.kind != b.kind || a.leader != b.leader || a.acceptor != b.acceptor ||
-        a.frontier != b.frontier || a.num_proposals != b.num_proposals) {
+        a.frontier != b.frontier || a.num_proposals != b.num_proposals ||
+        a.num_batched != b.num_batched) {
       return false;
     }
     for (std::int32_t i = 0; i < a.num_proposals; ++i) {
       if (!(a.proposals[i] == b.proposals[i])) return false;
+    }
+    // Batched values compare semantically (instance + commands) so two
+    // producers packing the same window with different pool offsets still
+    // compare equal.
+    for (std::int32_t i = 0; i < a.num_batched; ++i) {
+      const BatchedProposalRef& ra = a.batched[i];
+      const BatchedProposalRef& rb = b.batched[i];
+      if (ra.instance != rb.instance || ra.count != rb.count) return false;
+      for (std::int32_t c = 0; c < ra.count; ++c) {
+        if (!(a.pool[ra.offset + c] == b.pool[rb.offset + c])) return false;
+      }
     }
     return true;
   }
@@ -273,6 +390,12 @@ struct Message {
     UtilPhase2Req util_phase2_req;
     UtilAccepted util_accepted;
     UtilNack util_nack;
+    Phase2BatchReq phase2_batch_req;
+    Phase2BatchAcked phase2_batch_acked;
+    Phase1BatchResp phase1_batch_resp;
+    OpxBatchAcceptReq opx_batch_accept_req;
+    OpxBatchLearn opx_batch_learn;
+    OpxPrepareBatchResp opx_prepare_batch_resp;
 
     // All members are trivially copyable PODs; zero-fill so serialized
     // padding bytes are deterministic.
@@ -289,6 +412,13 @@ inline constexpr std::size_t kMessageHeaderBytes = offsetof(Message, u);
 // `group` must fit inside the pre-existing header padding (the union is
 // 8-byte aligned); growing the header would change every wire frame.
 static_assert(kMessageHeaderBytes == 16);
+
+// The batching counters must occupy pre-existing struct padding: moving the
+// proposal arrays would change the single-command wire frames that batching
+// promises to keep byte-identical.
+static_assert(offsetof(Phase1Resp, proposals) == 24);
+static_assert(offsetof(OpxPrepareResp, accepted) == 40);
+static_assert(offsetof(UtilityEntry, proposals) == 32);
 
 // Number of meaningful bytes for serialization. Variable-length payloads
 // (proposal arrays) are truncated to their used prefix.

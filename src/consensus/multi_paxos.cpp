@@ -15,7 +15,8 @@ std::uint64_t client_key(const Command& cmd) {
 MultiPaxosEngine::MultiPaxosEngine(const MultiPaxosConfig& cfg)
     : cfg_(cfg),
       executor_(cfg.base.state_machine),
-      rng_(cfg.base.seed + static_cast<std::uint64_t>(cfg.base.self) * 7919) {
+      rng_(cfg.base.seed + static_cast<std::uint64_t>(cfg.base.self) * 7919),
+      pending_(cfg.base.batch) {
   if (cfg_.initial_leader != kNoNode) {
     // Pre-agreed leadership: every replica starts promised to ballot
     // {1, initial_leader}, so the leader proposes without a phase 1 — the
@@ -56,11 +57,28 @@ void MultiPaxosEngine::on_message(Context& ctx, const Message& m) {
     case MsgType::kPhase1Resp:
       handle_phase1_resp(ctx, m);
       return;
+    case MsgType::kPhase1BatchResp:
+      handle_phase1_batch_resp(ctx, m);
+      return;
     case MsgType::kPhase2Req:
-      handle_phase2_req(ctx, m);
+      scratch_.assign(1, m.u.phase2_req.value);
+      handle_phase2_req(ctx, m.u.phase2_req.instance, m.u.phase2_req.pn, scratch_, m.src);
+      return;
+    case MsgType::kPhase2BatchReq:
+      handle_phase2_req(ctx, m.u.phase2_batch_req.instance, m.u.phase2_batch_req.pn,
+                        unpack_batch(m.u.phase2_batch_req.cmds, m.u.phase2_batch_req.count),
+                        m.src);
       return;
     case MsgType::kPhase2Acked:
-      handle_phase2_acked(ctx, m);
+      scratch_.assign(1, m.u.phase2_acked.value);
+      handle_phase2_acked(ctx, m.u.phase2_acked.instance, m.u.phase2_acked.pn, scratch_,
+                          m.src, m.flags == 1);
+      return;
+    case MsgType::kPhase2BatchAcked:
+      handle_phase2_acked(
+          ctx, m.u.phase2_batch_acked.instance, m.u.phase2_batch_acked.pn,
+          unpack_batch(m.u.phase2_batch_acked.cmds, m.u.phase2_batch_acked.count), m.src,
+          m.flags == 1);
       return;
     case MsgType::kNack:
       handle_nack(ctx, m);
@@ -92,9 +110,13 @@ void MultiPaxosEngine::tick(Context& ctx) {
     for (auto& [in, o] : outstanding_) {
       if (now - o.last_send >= cfg_.base.retry_timeout) {
         o.last_send = now;
-        send_accept(ctx, in, o.cmd);
+        send_accept(ctx, in, o.value);
       }
     }
+    // Flush-timer path: a partial batch whose oldest command waited
+    // flush_after goes out now. No-op in the unbatched regime (pending_
+    // is non-empty only while the window is full).
+    pump(ctx);
   } else {
     if (takeover_.has_value()) {
       if (now - takeover_->started >= cfg_.base.retry_timeout * 4) begin_takeover(ctx);
@@ -113,12 +135,12 @@ void MultiPaxosEngine::tick(Context& ctx) {
 void MultiPaxosEngine::handle_client_request(Context& ctx, const Message& m) {
   const Command& cmd = m.u.client_request.cmd;
   if (leader_) {
-    pending_.push_back(cmd);
+    pending_.push(cmd, ctx.now());
     pump(ctx);
     return;
   }
   if (takeover_.has_value()) {
-    pending_.push_back(cmd);  // will be proposed once takeover completes
+    pending_.push(cmd, ctx.now());  // will be proposed once takeover completes
     return;
   }
   const Nanos now = ctx.now();
@@ -128,7 +150,7 @@ void MultiPaxosEngine::handle_client_request(Context& ctx, const Message& m) {
                               (m.flags & kFlagLeaderSuspect) != 0 ||
                               now - last_leader_contact_ >= cfg_.base.fd_timeout + fd_jitter_;
   if (suspect_leader) {
-    pending_.push_back(cmd);
+    pending_.push(cmd, now);
     begin_takeover(ctx);
   } else {
     Message fwd = m;
@@ -138,26 +160,56 @@ void MultiPaxosEngine::handle_client_request(Context& ctx, const Message& m) {
 }
 
 void MultiPaxosEngine::pump(Context& ctx) {
-  while (!pending_.empty() &&
+  while (pending_.ready(ctx.now(), outstanding_.size()) &&
          static_cast<std::int32_t>(outstanding_.size()) < cfg_.base.pipeline_window) {
     Instance in = std::max(next_instance_, log_.first_gap());
     while (log_.is_learned(in) || outstanding_.count(in) != 0) in++;
     next_instance_ = in + 1;
-    const Command cmd = pending_.front();
-    pending_.pop_front();
-    if (cmd.client != kNoNode) advocated_.insert(client_key(cmd));
-    outstanding_[in] = Outstanding{cmd, ctx.now()};
-    send_accept(ctx, in, cmd);
+    const Batch value = pending_.take();
+    for (const Command& cmd : value) {
+      if (cmd.client != kNoNode) advocated_.insert(client_key(cmd));
+    }
+    outstanding_[in] = Outstanding{value, ctx.now()};
+    send_accept(ctx, in, value);
   }
 }
 
-void MultiPaxosEngine::send_accept(Context& ctx, Instance in, const Command& cmd) {
+void MultiPaxosEngine::send_accept(Context& ctx, Instance in, const Batch& value) {
   for (NodeId a = 0; a < acceptor_count(); ++a) {
-    Message m(MsgType::kPhase2Req, ProtoId::kMultiPaxos, cfg_.base.self, a);
-    m.u.phase2_req.instance = in;
-    m.u.phase2_req.pn = my_ballot_;
-    m.u.phase2_req.value = cmd;
-    ctx.send(a, m);
+    if (value.size() == 1) {
+      Message m(MsgType::kPhase2Req, ProtoId::kMultiPaxos, cfg_.base.self, a);
+      m.u.phase2_req.instance = in;
+      m.u.phase2_req.pn = my_ballot_;
+      m.u.phase2_req.value = value.front();
+      ctx.send(a, m);
+    } else {
+      Message m(MsgType::kPhase2BatchReq, ProtoId::kMultiPaxos, cfg_.base.self, a);
+      m.u.phase2_batch_req.instance = in;
+      m.u.phase2_batch_req.pn = my_ballot_;
+      m.u.phase2_batch_req.count = pack_batch(value, m.u.phase2_batch_req.cmds);
+      ctx.send(a, m);
+    }
+  }
+}
+
+// One acceptance frame for `value` — legacy or batched by size, decided
+// catch-up (flags == 1) or live acceptance.
+void MultiPaxosEngine::send_acked(Context& ctx, NodeId dst, Instance in, ProposalNum pn,
+                                  const Batch& value, bool decided) {
+  if (value.size() == 1) {
+    Message acked(MsgType::kPhase2Acked, ProtoId::kMultiPaxos, cfg_.base.self, dst);
+    if (decided) acked.flags = 1;
+    acked.u.phase2_acked.instance = in;
+    acked.u.phase2_acked.pn = pn;
+    acked.u.phase2_acked.value = value.front();
+    ctx.send(dst, acked);
+  } else {
+    Message acked(MsgType::kPhase2BatchAcked, ProtoId::kMultiPaxos, cfg_.base.self, dst);
+    if (decided) acked.flags = 1;
+    acked.u.phase2_batch_acked.instance = in;
+    acked.u.phase2_batch_acked.pn = pn;
+    acked.u.phase2_batch_acked.count = pack_batch(value, acked.u.phase2_batch_acked.cmds);
+    ctx.send(dst, acked);
   }
 }
 
@@ -175,6 +227,23 @@ void MultiPaxosEngine::begin_takeover(Context& ctx) {
   }
 }
 
+void MultiPaxosEngine::merge_recovered(Instance in, ProposalNum pn, const Batch& value) {
+  auto it = takeover_->recovered.find(in);
+  if (it == takeover_->recovered.end() || pn > it->second.pn) {
+    takeover_->recovered[in] = AcceptedValue{pn, value};
+  }
+}
+
+void MultiPaxosEngine::maybe_count_promise(Context& ctx, NodeId acceptor) {
+  Takeover::Report& r = takeover_->reports[acceptor];
+  if (!r.main || r.seen_batched < r.expect_batched) return;
+  if ((takeover_->promise_mask & (1ULL << acceptor)) != 0) return;
+  takeover_->promise_mask |= 1ULL << acceptor;
+  if (__builtin_popcountll(takeover_->promise_mask) >= majority(acceptor_count())) {
+    finish_takeover(ctx);
+  }
+}
+
 void MultiPaxosEngine::finish_takeover(Context& ctx) {
   const Takeover t = *takeover_;
   takeover_.reset();
@@ -185,10 +254,10 @@ void MultiPaxosEngine::finish_takeover(Context& ctx) {
   // constraint), and plug any holes below them with no-ops so the log
   // executes contiguously.
   Instance max_recovered = t.from_instance - 1;
-  for (const auto& [in, prop] : t.recovered) max_recovered = std::max(max_recovered, in);
+  for (const auto& [in, rec] : t.recovered) max_recovered = std::max(max_recovered, in);
   for (Instance in = t.from_instance; in <= max_recovered; ++in) {
     if (log_.is_learned(in)) continue;
-    Command value{};  // no-op unless constrained
+    Batch value = single_batch(Command{});  // no-op unless constrained
     auto it = t.recovered.find(in);
     if (it != t.recovered.end()) value = it->second.value;
     outstanding_[in] = Outstanding{value, ctx.now()};
@@ -206,16 +275,16 @@ void MultiPaxosEngine::step_down(Context& ctx, NodeId new_leader) {
   // Keep unfinished commands: they are forwarded below if we know the new
   // leader, otherwise they wait in pending_ until tick() learns one (the
   // executor's (client, seq) dedup makes double-proposal harmless).
-  for (auto& [in, o] : outstanding_) pending_.push_back(o.cmd);
+  for (auto& [in, o] : outstanding_) {
+    for (const Command& cmd : o.value) pending_.push(cmd, ctx.now());
+  }
   outstanding_.clear();
   forward_pending(ctx);
 }
 
 void MultiPaxosEngine::forward_pending(Context& ctx) {
   if (current_leader_ == kNoNode || current_leader_ == cfg_.base.self || leader_) return;
-  while (!pending_.empty()) {
-    const Command cmd = pending_.front();
-    pending_.pop_front();
+  for (const Command& cmd : pending_.drain()) {
     if (cmd.client == kNoNode) continue;  // no-ops need no re-advocacy
     Message fwd(MsgType::kClientRequest, ProtoId::kMultiPaxos, cfg_.base.self, current_leader_);
     fwd.u.client_request.cmd = cmd;
@@ -230,13 +299,31 @@ void MultiPaxosEngine::handle_phase1_req(Context& ctx, const Message& m) {
     if (leader_ && !(pn == my_ballot_)) step_down(ctx, pn.node);
     Message resp(MsgType::kPhase1Resp, ProtoId::kMultiPaxos, cfg_.base.self, m.src);
     resp.u.phase1_resp.pn = pn;
+    // Each kind fills to its own cap so a glut of one cannot truncate the
+    // other. (The caps themselves are a pre-existing bound: an undecided
+    // window can only exceed them after pathological handover chains, and
+    // pipeline_window keeps honest leaders far below.)
     std::int32_t n = 0;
-    for (const auto& [in, prop] : accepted_) {
+    std::int32_t nb = 0;
+    for (const auto& [in, acc] : accepted_) {
       if (in < m.u.phase1_req.from_instance) continue;
-      if (n >= kMaxProposalsPerMsg) break;
-      resp.u.phase1_resp.proposals[n++] = prop;
+      if (acc.value.size() == 1) {
+        if (n >= kMaxProposalsPerMsg) continue;
+        resp.u.phase1_resp.proposals[n++] = Proposal{in, acc.pn, acc.value.front()};
+      } else {
+        // Batched values travel as sidecars ahead of the main response.
+        if (nb >= kMaxProposalsPerMsg) continue;
+        Message side(MsgType::kPhase1BatchResp, ProtoId::kMultiPaxos, cfg_.base.self, m.src);
+        side.u.phase1_batch_resp.pn = pn;
+        side.u.phase1_batch_resp.accepted_pn = acc.pn;
+        side.u.phase1_batch_resp.instance = in;
+        side.u.phase1_batch_resp.count = pack_batch(acc.value, side.u.phase1_batch_resp.cmds);
+        ctx.send(m.src, side);
+        nb++;
+      }
     }
     resp.u.phase1_resp.num_proposals = n;
+    resp.u.phase1_resp.num_batched = nb;
     ctx.send(m.src, resp);
   } else {
     Message nack(MsgType::kNack, ProtoId::kMultiPaxos, cfg_.base.self, m.src);
@@ -250,63 +337,62 @@ void MultiPaxosEngine::handle_phase1_req(Context& ctx, const Message& m) {
 void MultiPaxosEngine::handle_phase1_resp(Context& ctx, const Message& m) {
   if (!takeover_.has_value() || !(m.u.phase1_resp.pn == takeover_->pn)) return;
   if (!is_acceptor(m.src)) return;
-  takeover_->promise_mask |= 1ULL << m.src;
   for (std::int32_t i = 0; i < m.u.phase1_resp.num_proposals; ++i) {
     const Proposal& p = m.u.phase1_resp.proposals[i];
-    auto it = takeover_->recovered.find(p.instance);
-    if (it == takeover_->recovered.end() || p.pn > it->second.pn) {
-      takeover_->recovered[p.instance] = p;
-    }
+    merge_recovered(p.instance, p.pn, single_batch(p.value));
   }
-  if (__builtin_popcountll(takeover_->promise_mask) >= majority(acceptor_count())) {
-    finish_takeover(ctx);
-  }
+  Takeover::Report& r = takeover_->reports[m.src];
+  r.main = true;
+  r.expect_batched = m.u.phase1_resp.num_batched;
+  maybe_count_promise(ctx, m.src);
 }
 
-void MultiPaxosEngine::handle_phase2_req(Context& ctx, const Message& m) {
-  const Instance in = m.u.phase2_req.instance;
-  const ProposalNum pn = m.u.phase2_req.pn;
+void MultiPaxosEngine::handle_phase1_batch_resp(Context& ctx, const Message& m) {
+  if (!takeover_.has_value() || !(m.u.phase1_batch_resp.pn == takeover_->pn)) return;
+  if (!is_acceptor(m.src)) return;
+  merge_recovered(m.u.phase1_batch_resp.instance, m.u.phase1_batch_resp.accepted_pn,
+                  unpack_batch(m.u.phase1_batch_resp.cmds, m.u.phase1_batch_resp.count));
+  takeover_->reports[m.src].seen_batched++;
+  maybe_count_promise(ctx, m.src);
+}
+
+void MultiPaxosEngine::handle_phase2_req(Context& ctx, Instance in, ProposalNum pn,
+                                         const Batch& value, NodeId src) {
   if (log_.is_learned(in)) {
-    Message acked(MsgType::kPhase2Acked, ProtoId::kMultiPaxos, cfg_.base.self, m.src);
-    acked.flags = 1;  // decided catch-up
-    acked.u.phase2_acked.instance = in;
-    acked.u.phase2_acked.value = *log_.get(in);
-    ctx.send(m.src, acked);
+    // Already decided: remind only the retrying proposer (a decided
+    // catch-up carries no ballot, matching the pre-batching frame).
+    send_acked(ctx, src, in, ProposalNum{}, *log_.get_batch(in), /*decided=*/true);
     return;
   }
   if (pn >= promised_) {
     promised_ = pn;
     if (leader_ && !(pn == my_ballot_)) step_down(ctx, pn.node);
-    accepted_[in] = Proposal{in, pn, m.u.phase2_req.value};
+    accepted_[in] = AcceptedValue{pn, value};
     // Acceptance broadcast to every replica (all are learners) — the
-    // message pattern Fig. 3 counts.
+    // message pattern Fig. 3 counts. A whole batch rides one broadcast.
     for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
-      Message acked(MsgType::kPhase2Acked, ProtoId::kMultiPaxos, cfg_.base.self, r);
-      acked.u.phase2_acked.instance = in;
-      acked.u.phase2_acked.pn = pn;
-      acked.u.phase2_acked.value = m.u.phase2_req.value;
-      ctx.send(r, acked);
+      send_acked(ctx, r, in, pn, value, /*decided=*/false);
     }
   } else {
-    Message nack(MsgType::kNack, ProtoId::kMultiPaxos, cfg_.base.self, m.src);
+    Message nack(MsgType::kNack, ProtoId::kMultiPaxos, cfg_.base.self, src);
     nack.u.nack.instance = in;
     nack.u.nack.higher_pn = promised_;
     nack.u.nack.leader_hint = current_leader_;
-    ctx.send(m.src, nack);
+    ctx.send(src, nack);
   }
 }
 
-void MultiPaxosEngine::handle_phase2_acked(Context& ctx, const Message& m) {
-  const Instance in = m.u.phase2_acked.instance;
+void MultiPaxosEngine::handle_phase2_acked(Context& ctx, Instance in, ProposalNum pn,
+                                           const Batch& value, NodeId src, bool decided) {
   if (log_.is_learned(in)) return;
-  if (m.flags == 1) {
-    learn(ctx, in, m.u.phase2_acked.value);
+  if (decided) {
+    learn(ctx, in, value);
     return;
   }
-  if (!is_acceptor(m.src)) return;
+  if (!is_acceptor(src)) return;
   auto& learner = learners_[in];
-  if (learner.record(m.u.phase2_acked.pn, m.src, majority(acceptor_count()))) {
-    learn(ctx, in, m.u.phase2_acked.value);
+  if (learner.record(pn, src, majority(acceptor_count()))) {
+    learn(ctx, in, value);
   }
 }
 
@@ -338,8 +424,8 @@ void MultiPaxosEngine::handle_heartbeat(Context& ctx, const Message& m) {
   forward_pending(ctx);
 }
 
-void MultiPaxosEngine::learn(Context& ctx, Instance in, const Command& cmd) {
-  log_.learn(in, cmd);
+void MultiPaxosEngine::learn(Context& ctx, Instance in, const Batch& value) {
+  log_.learn(in, value);
   accepted_.erase(in);
   learners_.erase(in);
   outstanding_.erase(in);

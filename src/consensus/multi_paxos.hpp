@@ -12,10 +12,15 @@
 // acceptor-replication ablation (DESIGN.md A2): with k acceptors a value
 // needs majority-of-k acceptances, trading message load for the fault
 // tolerance the paper discusses in §4.3.
+//
+// With a batching policy (EngineConfig::batch) the leader packs pending
+// client commands into multi-command instances: one accept / one acceptance
+// broadcast decides a whole run, and the execution path fans it back out
+// with one ack per command. Takeovers recover batched values through
+// kPhase1BatchResp sidecars counted by the main response.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -53,15 +58,31 @@ class MultiPaxosEngine final : public Engine {
 
  private:
   struct Outstanding {
-    Command cmd;
+    Batch value;
     Nanos last_send = 0;
+  };
+
+  // An accepted-but-undecided value (what phase 1 must recover).
+  struct AcceptedValue {
+    ProposalNum pn;
+    Batch value;
   };
 
   struct Takeover {
     ProposalNum pn;
     Instance from_instance = 0;
     std::uint64_t promise_mask = 0;
-    std::map<Instance, Proposal> recovered;  // highest-ballot accepted values
+    std::map<Instance, AcceptedValue> recovered;  // highest-ballot accepted values
+    // Per-acceptor report progress: the main Phase1Resp announces how many
+    // batched sidecars it was preceded by; the acceptor only counts toward
+    // the majority once all of them arrived (they may be reordered or lost
+    // — a retry with a fresh ballot re-requests everything).
+    struct Report {
+      bool main = false;
+      std::int32_t expect_batched = 0;
+      std::int32_t seen_batched = 0;
+    };
+    std::map<NodeId, Report> reports;
     Nanos started = 0;
   };
 
@@ -69,19 +90,26 @@ class MultiPaxosEngine final : public Engine {
   bool is_acceptor(NodeId n) const { return n >= 0 && n < acceptor_count(); }
   ProposalNum next_ballot();
   void pump(Context& ctx);
-  void send_accept(Context& ctx, Instance in, const Command& cmd);
+  void send_accept(Context& ctx, Instance in, const Batch& value);
+  void send_acked(Context& ctx, NodeId dst, Instance in, ProposalNum pn, const Batch& value,
+                  bool decided);
   void begin_takeover(Context& ctx);
+  void merge_recovered(Instance in, ProposalNum pn, const Batch& value);
+  void maybe_count_promise(Context& ctx, NodeId acceptor);
   void finish_takeover(Context& ctx);
   void step_down(Context& ctx, NodeId new_leader);
   void forward_pending(Context& ctx);
   void handle_client_request(Context& ctx, const Message& m);
   void handle_phase1_req(Context& ctx, const Message& m);
   void handle_phase1_resp(Context& ctx, const Message& m);
-  void handle_phase2_req(Context& ctx, const Message& m);
-  void handle_phase2_acked(Context& ctx, const Message& m);
+  void handle_phase1_batch_resp(Context& ctx, const Message& m);
+  void handle_phase2_req(Context& ctx, Instance in, ProposalNum pn, const Batch& value,
+                         NodeId src);
+  void handle_phase2_acked(Context& ctx, Instance in, ProposalNum pn, const Batch& value,
+                           NodeId src, bool decided);
   void handle_nack(Context& ctx, const Message& m);
   void handle_heartbeat(Context& ctx, const Message& m);
-  void learn(Context& ctx, Instance in, const Command& cmd);
+  void learn(Context& ctx, Instance in, const Batch& value);
 
   MultiPaxosConfig cfg_;
   ReplicatedLog log_;
@@ -97,16 +125,22 @@ class MultiPaxosEngine final : public Engine {
 
   // Acceptor.
   ProposalNum promised_;
-  std::map<Instance, Proposal> accepted_;  // un-decided accepted values
+  std::map<Instance, AcceptedValue> accepted_;  // un-decided accepted values
 
   // Learner.
   std::unordered_map<Instance, SynodLearner> learners_;
 
   // Proposer.
-  std::deque<Command> pending_;
+  Batcher pending_;
   std::map<Instance, Outstanding> outstanding_;
   Instance next_instance_ = 0;
   std::unordered_set<std::uint64_t> advocated_;
+
+  // Reused single-command wrapper for the legacy-frame dispatch path, so
+  // the unbatched regime stays allocation-free per message (the vector's
+  // capacity persists across handlers; engines are single-threaded and the
+  // handlers copy the value before any re-entry can occur).
+  Batch scratch_;
 
   // Failure detection.
   Nanos last_leader_contact_ = 0;

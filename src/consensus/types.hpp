@@ -75,4 +75,10 @@ struct Proposal {
 // leaders' uncommitted windows (handover after handover) in one entry.
 inline constexpr int kMaxProposalsPerMsg = 16;
 
+// Compile-time ceiling on commands batched into one agreement instance
+// (leader-side request batching; BatchPolicy::max_commands is clamped to
+// it). Wire frames carry batches as count-prefixed Command runs, so only
+// the used prefix travels.
+inline constexpr std::int32_t kMaxCommandsPerBatch = 64;
+
 }  // namespace ci::consensus

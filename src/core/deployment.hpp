@@ -36,6 +36,13 @@ class OnePaxosEngine;
 // have been issued by a client (non-triviality). Backends feed it from
 // their delivery paths: sim live from the deliver callback, rt post-join
 // from each node's delivered log. Not internally synchronized.
+//
+// Under batching an instance's value is a run of commands, delivered one by
+// one in batch order; each node's deliveries arrive in log order, so a
+// per-node cursor recovers the position inside the instance and the record
+// compares command-by-command. When a node moves past an instance, the
+// batch LENGTH it delivered is checked against the first complete delivery
+// too — agreeing on a prefix but not the length is still disagreement.
 class AgreementRecorder {
  public:
   explicit AgreementRecorder(std::int32_t num_replicas)
@@ -44,18 +51,43 @@ class AgreementRecorder {
   void record(consensus::NodeId node, consensus::Instance in,
               const consensus::Command& cmd) {
     deliveries_++;
+    std::int32_t offset = 0;
     if (node >= 0 && node < static_cast<consensus::NodeId>(delivered_.size())) {
       delivered_[static_cast<std::size_t>(node)].push_back(cmd);
+      Cursor& cur = cursors_[node];
+      if (cur.in == in) {
+        offset = ++cur.offset;
+      } else {
+        if (cur.in != consensus::kNoInstance) finalize_length(cur.in, cur.offset + 1);
+        cur.in = in;
+        cur.offset = 0;
+      }
     }
-    auto [it, inserted] = decided_.emplace(in, cmd);
-    if (!inserted && !(it->second == cmd)) consistent_ = false;  // agreement violated
+    auto& slots = decided_[in];
+    if (offset < static_cast<std::int32_t>(slots.size())) {
+      if (!(slots[static_cast<std::size_t>(offset)] == cmd)) consistent_ = false;
+    } else if (offset == static_cast<std::int32_t>(slots.size())) {
+      slots.push_back(cmd);
+    } else {
+      consistent_ = false;  // a delivery skipped a slot: orders diverged
+    }
     if (!cmd.is_noop() && cmd.client == consensus::kNoNode) consistent_ = false;
   }
 
   bool consistent() const { return consistent_; }
   std::uint64_t deliveries() const { return deliveries_; }
-  const std::map<consensus::Instance, consensus::Command>& decided() const {
+
+  // Decided values by instance (each a batch of >= 1 commands).
+  const std::map<consensus::Instance, std::vector<consensus::Command>>& decided() const {
     return decided_;
+  }
+
+  // The decided commands flattened in (instance, batch-position) order —
+  // the canonical command sequence parity tests compare.
+  std::vector<consensus::Command> decided_sequence() const {
+    std::vector<consensus::Command> out;
+    for (const auto& [in, slots] : decided_) out.insert(out.end(), slots.begin(), slots.end());
+    return out;
   }
 
   // Per-replica delivered sequences, for prefix checks.
@@ -64,7 +96,19 @@ class AgreementRecorder {
   }
 
  private:
-  std::map<consensus::Instance, consensus::Command> decided_;
+  struct Cursor {
+    consensus::Instance in = consensus::kNoInstance;
+    std::int32_t offset = 0;
+  };
+
+  void finalize_length(consensus::Instance in, std::int32_t length) {
+    auto [it, inserted] = lengths_.emplace(in, length);
+    if (!inserted && it->second != length) consistent_ = false;
+  }
+
+  std::map<consensus::Instance, std::vector<consensus::Command>> decided_;
+  std::map<consensus::Instance, std::int32_t> lengths_;  // first finalized batch length
+  std::map<consensus::NodeId, Cursor> cursors_;
   std::vector<std::vector<consensus::Command>> delivered_;
   bool consistent_ = true;
   std::uint64_t deliveries_ = 0;

@@ -20,7 +20,8 @@ OnePaxosEngine::OnePaxosEngine(const OnePaxosConfig& cfg)
       rng_(cfg.base.seed + static_cast<std::uint64_t>(cfg.base.self) * 6700417),
       utility_(cfg.base, [this](Context& ctx, Instance idx, const UtilityEntry& e) {
         on_utility_decided(ctx, idx, e);
-      }) {
+      }),
+      pending_(cfg.base.batch) {
   CI_CHECK(cfg_.initial_leader != cfg_.initial_acceptor);
   CI_CHECK(is_replica(cfg_.base, cfg_.initial_leader));
   CI_CHECK(is_replica(cfg_.base, cfg_.initial_acceptor));
@@ -78,11 +79,24 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
       handle_client_request(ctx, m);
       return;
     case MsgType::kOpxAcceptReq:
-      handle_accept_req(ctx, m);
+      scratch_.assign(1, m.u.opx_accept_req.value);
+      handle_accept_req(ctx, m.u.opx_accept_req.instance, m.u.opx_accept_req.pn, scratch_,
+                        m.src);
+      return;
+    case MsgType::kOpxBatchAcceptReq:
+      handle_accept_req(
+          ctx, m.u.opx_batch_accept_req.instance, m.u.opx_batch_accept_req.pn,
+          unpack_batch(m.u.opx_batch_accept_req.cmds, m.u.opx_batch_accept_req.count), m.src);
       return;
     case MsgType::kOpxLearn:
       if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
-      handle_learn(ctx, m);
+      scratch_.assign(1, m.u.opx_learn.value);
+      learn(ctx, m.u.opx_learn.instance, scratch_);
+      return;
+    case MsgType::kOpxBatchLearn:
+      if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
+      learn(ctx, m.u.opx_batch_learn.instance,
+            unpack_batch(m.u.opx_batch_learn.cmds, m.u.opx_batch_learn.count));
       return;
     case MsgType::kOpxPrepareReq:
       handle_prepare_req(ctx, m);
@@ -90,6 +104,10 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
     case MsgType::kOpxPrepareResp:
       if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
       handle_prepare_resp(ctx, m);
+      return;
+    case MsgType::kOpxPrepareBatchResp:
+      if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
+      handle_prepare_batch_resp(ctx, m);
       return;
     case MsgType::kOpxAbandon:
       handle_abandon(ctx, m);
@@ -126,16 +144,13 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
       return;
     }
     case MsgType::kOpxCatchupReq: {
-      // Any node re-sends the decided values it knows (bounded batch).
+      // Any node re-sends the decided values it knows (bounded run).
       const Instance from = m.u.opx_catchup_req.from_instance;
       const Instance to = std::min(from + 16, log_.end());
       for (Instance in = from; in < to; ++in) {
-        const Command* v = log_.get(in);
+        const Batch* v = log_.get_batch(in);
         if (v == nullptr) continue;
-        Message l(MsgType::kOpxLearn, ProtoId::kOnePaxos, cfg_.base.self, m.src);
-        l.u.opx_learn.instance = in;
-        l.u.opx_learn.value = *v;
-        ctx.send(m.src, l);
+        send_learn(ctx, m.src, in, *v);
       }
       return;
     }
@@ -164,12 +179,12 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
 void OnePaxosEngine::handle_client_request(Context& ctx, const Message& m) {
   const Command& cmd = m.u.client_request.cmd;
   if (i_am_leader_) {
-    pending_.push_back(cmd);
+    pending_.push(cmd, ctx.now());
     pump(ctx);
     return;
   }
   if (switching_ != Switch::kNone || prepare_outstanding_ || utility_.propose_in_flight()) {
-    pending_.push_back(cmd);  // takeover in progress; propose once adopted
+    pending_.push(cmd, ctx.now());  // takeover in progress; propose once adopted
     return;
   }
   const Nanos now = ctx.now();
@@ -182,7 +197,7 @@ void OnePaxosEngine::handle_client_request(Context& ctx, const Message& m) {
     // patience — deposing it would restart the recovery (the LeaderChange
     // ping-pong). Otherwise hold the command; tick() acts later.
     const bool no_progress = now - leader_progress_at_ >= cfg_.base.fd_timeout * 2;
-    pending_.push_back(cmd);
+    pending_.push(cmd, now);
     if (fd_suspects || no_progress) try_takeover(ctx);
     return;
   }
@@ -191,16 +206,29 @@ void OnePaxosEngine::handle_client_request(Context& ctx, const Message& m) {
   ctx.send(current_leader_, fwd);
 }
 
+// Outstanding instances under batching: the uncommitted window — and the
+// union of TWO windows after a handover — must fit one AcceptorChange
+// entry's singles array and command pool. This is the batching analogue of
+// the default pipeline_window = kMaxProposalsPerMsg / 2 convention.
+std::int32_t OnePaxosEngine::effective_window() const {
+  const BatchPolicy& p = cfg_.base.batch;
+  if (!p.batching()) return cfg_.base.pipeline_window;
+  std::int32_t w = std::min(cfg_.base.pipeline_window, kMaxProposalsPerMsg / 2);
+  w = std::min(w, std::max(1, kMaxCommandsPerBatch / p.commands_cap()));
+  return std::max(w, 1);
+}
+
 void OnePaxosEngine::pump(Context& ctx) {
-  while (!pending_.empty() &&
-         static_cast<std::int32_t>(proposed_.size()) < cfg_.base.pipeline_window) {
+  while (pending_.ready(ctx.now(), proposed_.size()) &&
+         static_cast<std::int32_t>(proposed_.size()) < effective_window()) {
     Instance in = std::max({next_instance_, log_.first_gap(), alloc_frontier_});
     while (log_.is_learned(in) || proposed_.count(in) != 0) in++;
     next_instance_ = in + 1;
-    const Command cmd = pending_.front();
-    pending_.pop_front();
-    if (cmd.client != kNoNode) advocated_.insert(client_key(cmd));
-    proposed_[in] = cmd;  // getAny: remember what we advocate for `in`
+    const Batch value = pending_.take();
+    for (const Command& cmd : value) {
+      if (cmd.client != kNoNode) advocated_.insert(client_key(cmd));
+    }
+    proposed_[in] = value;  // getAny: remember what we advocate for `in`
     send_accept(ctx, in);
   }
 }
@@ -209,39 +237,60 @@ void OnePaxosEngine::send_accept(Context& ctx, Instance in) {
   auto& t = accept_times_[in];
   if (t.first_sent == 0) t.first_sent = ctx.now();
   t.last_sent = ctx.now();
-  Message m(MsgType::kOpxAcceptReq, ProtoId::kOnePaxos, cfg_.base.self, active_acceptor_);
-  m.u.opx_accept_req.instance = in;
-  m.u.opx_accept_req.pn = my_pn_;
-  m.u.opx_accept_req.value = proposed_.at(in);
-  ctx.send(active_acceptor_, m);
+  const Batch& value = proposed_.at(in);
+  if (value.size() == 1) {
+    Message m(MsgType::kOpxAcceptReq, ProtoId::kOnePaxos, cfg_.base.self, active_acceptor_);
+    m.u.opx_accept_req.instance = in;
+    m.u.opx_accept_req.pn = my_pn_;
+    m.u.opx_accept_req.value = value.front();
+    ctx.send(active_acceptor_, m);
+  } else {
+    Message m(MsgType::kOpxBatchAcceptReq, ProtoId::kOnePaxos, cfg_.base.self,
+              active_acceptor_);
+    m.u.opx_batch_accept_req.instance = in;
+    m.u.opx_batch_accept_req.pn = my_pn_;
+    m.u.opx_batch_accept_req.count = pack_batch(value, m.u.opx_batch_accept_req.cmds);
+    ctx.send(active_acceptor_, m);
+  }
 }
 
-void OnePaxosEngine::handle_accept_req(Context& ctx, const Message& m) {
-  const Instance in = m.u.opx_accept_req.instance;
-  const ProposalNum pn = m.u.opx_accept_req.pn;
+// One learn frame for `value`, in whichever encoding its size calls for.
+void OnePaxosEngine::send_learn(Context& ctx, NodeId dst, Instance in, const Batch& value) {
+  if (value.size() == 1) {
+    Message l(MsgType::kOpxLearn, ProtoId::kOnePaxos, cfg_.base.self, dst);
+    l.u.opx_learn.instance = in;
+    l.u.opx_learn.value = value.front();
+    ctx.send(dst, l);
+  } else {
+    Message l(MsgType::kOpxBatchLearn, ProtoId::kOnePaxos, cfg_.base.self, dst);
+    l.u.opx_batch_learn.instance = in;
+    l.u.opx_batch_learn.count = pack_batch(value, l.u.opx_batch_learn.cmds);
+    ctx.send(dst, l);
+  }
+}
+
+void OnePaxosEngine::handle_accept_req(Context& ctx, Instance in, ProposalNum pn,
+                                       const Batch& value, NodeId src) {
   if (!(pn == hpn_)) {
-    Message ab(MsgType::kOpxAbandon, ProtoId::kOnePaxos, cfg_.base.self, m.src);
+    Message ab(MsgType::kOpxAbandon, ProtoId::kOnePaxos, cfg_.base.self, src);
     ab.u.opx_abandon.higher_pn = hpn_;
-    ctx.send(m.src, ab);
+    ctx.send(src, ab);
     return;
   }
   if (log_.is_learned(in)) {
     // Already decided and pruned from ap: remind only the retrying leader.
-    Message l(MsgType::kOpxLearn, ProtoId::kOnePaxos, cfg_.base.self, m.src);
-    l.u.opx_learn.instance = in;
-    l.u.opx_learn.value = *log_.get(in);
-    ctx.send(m.src, l);
+    send_learn(ctx, src, in, *log_.get_batch(in));
     return;
   }
   auto it = ap_.find(in);
   if (it == ap_.end()) {
-    it = ap_.emplace(in, Proposal{in, pn, m.u.opx_accept_req.value}).first;
+    it = ap_.emplace(in, AcceptedValue{pn, value}).first;
 #ifdef CI_OPX_TRACE
     if (in == CI_OPX_TRACE) {
       std::fprintf(stderr, "[t=%lld] node %d ACCEPTS in=%lld (c%d,s%u) pn={%lld,%d} from %d\n",
                    (long long)ctx.now(), cfg_.base.self, (long long)in,
-                   it->second.value.client, it->second.value.seq, (long long)pn.counter,
-                   pn.node, m.src);
+                   it->second.value.front().client, it->second.value.front().seq,
+                   (long long)pn.counter, pn.node, src);
     }
 #endif
   }
@@ -249,18 +298,11 @@ void OnePaxosEngine::handle_accept_req(Context& ctx, const Message& m) {
   // message to every learner — re-broadcasting covers lost learns, exactly
   // as in Fig. 12.
   for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
-    Message l(MsgType::kOpxLearn, ProtoId::kOnePaxos, cfg_.base.self, r);
-    l.u.opx_learn.instance = in;
-    l.u.opx_learn.value = it->second.value;
-    ctx.send(r, l);
+    send_learn(ctx, r, in, it->second.value);
   }
 }
 
-void OnePaxosEngine::handle_learn(Context& ctx, const Message& m) {
-  learn(ctx, m.u.opx_learn.instance, m.u.opx_learn.value);
-}
-
-void OnePaxosEngine::learn(Context& ctx, Instance in, const Command& v) {
+void OnePaxosEngine::learn(Context& ctx, Instance in, const Batch& v) {
   if (log_.is_learned(in)) return;
   log_.learn(in, v);
   ap_.erase(in);
@@ -268,9 +310,12 @@ void OnePaxosEngine::learn(Context& ctx, Instance in, const Command& v) {
   auto it = proposed_.find(in);
   if (it != proposed_.end()) {
     if (!(it->second == v)) {
-      // We advocated a different command for this instance (lost a race
-      // around a reconfiguration): re-propose it later.
-      pending_.push_front(it->second);
+      // We advocated a different value for this instance (lost a race
+      // around a reconfiguration): re-propose the commands of ours that
+      // did not make it, ahead of new arrivals.
+      for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        if (std::find(v.begin(), v.end(), *rit) == v.end()) pending_.push_front(*rit);
+      }
     }
     proposed_.erase(it);
   }
@@ -301,6 +346,9 @@ void OnePaxosEngine::send_prepare(Context& ctx, bool must_be_fresh) {
   prepare_outstanding_ = true;
   prepare_fresh_flag_ = must_be_fresh;
   prepare_last_sent_ = ctx.now();
+  // A fresh ballot obsoletes any partially-collected report.
+  prepare_batched_.clear();
+  prepare_main_held_ = false;
   Message m(MsgType::kOpxPrepareReq, ProtoId::kOnePaxos, cfg_.base.self, active_acceptor_);
   m.u.opx_prepare_req.pn = my_pn_;
   m.u.opx_prepare_req.you_must_be_fresh = must_be_fresh ? 1 : 0;
@@ -328,16 +376,51 @@ void OnePaxosEngine::handle_prepare_req(Context& ctx, const Message& m) {
     if (!ap_.empty()) frontier = std::max(frontier, ap_.rbegin()->first + 1);
     resp.u.opx_prepare_resp.frontier = frontier;
     std::int32_t n = 0;
-    for (const auto& [in, prop] : ap_) {
-      if (n >= kMaxProposalsPerMsg) break;
-      resp.u.opx_prepare_resp.accepted[n++] = prop;
+    std::int32_t nb = 0;
+    for (const auto& [in, acc] : ap_) {
+      if (acc.value.size() == 1) {
+        if (n >= kMaxProposalsPerMsg) break;
+        resp.u.opx_prepare_resp.accepted[n++] = Proposal{in, acc.pn, acc.value.front()};
+      } else {
+        // Batched ap entries ride as sidecars ahead of the main response,
+        // which counts them so the adopter knows when its copy of our
+        // short-term memory is complete.
+        if (nb >= kMaxProposalsPerMsg) break;
+        Message side(MsgType::kOpxPrepareBatchResp, ProtoId::kOnePaxos, cfg_.base.self,
+                     m.src);
+        side.u.opx_prepare_batch_resp.acceptor = cfg_.base.self;
+        side.u.opx_prepare_batch_resp.pn = pn;
+        side.u.opx_prepare_batch_resp.instance = in;
+        side.u.opx_prepare_batch_resp.count =
+            pack_batch(acc.value, side.u.opx_prepare_batch_resp.cmds);
+        ctx.send(m.src, side);
+        nb++;
+      }
     }
     resp.u.opx_prepare_resp.num_accepted = n;
+    resp.u.opx_prepare_resp.num_batched = nb;
     ctx.send(m.src, resp);
   } else {
     Message ab(MsgType::kOpxAbandon, ProtoId::kOnePaxos, cfg_.base.self, m.src);
     ab.u.opx_abandon.higher_pn = hpn_;
     ctx.send(m.src, ab);
+  }
+}
+
+void OnePaxosEngine::handle_prepare_batch_resp(Context& ctx, const Message& m) {
+  // Same staleness guards as the main response (Fig. 12).
+  if (i_am_leader_ || m.u.opx_prepare_batch_resp.acceptor != active_acceptor_ ||
+      !(m.u.opx_prepare_batch_resp.pn == my_pn_)) {
+    return;
+  }
+  prepare_batched_[m.u.opx_prepare_batch_resp.instance] =
+      unpack_batch(m.u.opx_prepare_batch_resp.cmds, m.u.opx_prepare_batch_resp.count);
+  if (prepare_main_held_ &&
+      static_cast<std::int32_t>(prepare_batched_.size()) >=
+          prepare_held_main_.u.opx_prepare_resp.num_batched) {
+    const Message main = prepare_held_main_;
+    prepare_main_held_ = false;
+    adopt(ctx, main);
   }
 }
 
@@ -347,14 +430,30 @@ void OnePaxosEngine::handle_prepare_resp(Context& ctx, const Message& m) {
       !(m.u.opx_prepare_resp.pn == my_pn_)) {
     return;
   }
+  if (static_cast<std::int32_t>(prepare_batched_.size()) <
+      m.u.opx_prepare_resp.num_batched) {
+    // Sidecars still in flight (reordered): hold the adoption until they
+    // land. A lost sidecar resolves through the retry path — the next
+    // prepare uses a fresh ballot and the acceptor reports again.
+    prepare_main_held_ = true;
+    prepare_held_main_ = m;
+    return;
+  }
+  adopt(ctx, m);
+}
+
+void OnePaxosEngine::adopt(Context& ctx, const Message& m) {
   prepare_outstanding_ = false;
+  prepare_main_held_ = false;
   i_am_leader_ = true;
   current_leader_ = cfg_.base.self;
   alloc_frontier_ = std::max(alloc_frontier_, m.u.opx_prepare_resp.frontier);
   register_proposals(m.u.opx_prepare_resp.accepted, m.u.opx_prepare_resp.num_accepted);
+  for (const auto& [in, value] : prepare_batched_) register_batched(in, value);
+  prepare_batched_.clear();
   // Re-propose every uncommitted value we are responsible for, then take
   // new client commands.
-  for (const auto& [in, cmd] : proposed_) {
+  for (const auto& [in, value] : proposed_) {
     next_instance_ = std::max(next_instance_, in + 1);
     accept_times_.erase(in);
     send_accept(ctx, in);
@@ -399,21 +498,59 @@ void OnePaxosEngine::register_proposals(const Proposal* props, std::int32_t n) {
   for (std::int32_t i = 0; i < n; ++i) {
     const Proposal& p = props[i];
     if (log_.is_learned(p.instance)) continue;
-    proposed_[p.instance] = p.value;  // Fig. 13 registerProposals
+    proposed_[p.instance] = single_batch(p.value);  // Fig. 13 registerProposals
     next_instance_ = std::max(next_instance_, p.instance + 1);
   }
   CI_CHECK_MSG(static_cast<std::int32_t>(proposed_.size()) <= kMaxProposalsPerMsg,
                "uncommitted window overflow");
 }
 
-std::vector<Proposal> OnePaxosEngine::uncommitted_proposals() const {
-  std::vector<Proposal> out;
-  for (const auto& [in, cmd] : proposed_) {
-    if (log_.is_learned(in)) continue;
-    out.push_back(Proposal{in, my_pn_, cmd});
-    if (static_cast<std::int32_t>(out.size()) >= kMaxProposalsPerMsg) break;
+void OnePaxosEngine::register_batched(Instance in, const Batch& value) {
+  if (log_.is_learned(in)) return;
+  proposed_[in] = value;
+  next_instance_ = std::max(next_instance_, in + 1);
+  CI_CHECK_MSG(static_cast<std::int32_t>(proposed_.size()) <= kMaxProposalsPerMsg,
+               "uncommitted window overflow");
+}
+
+// Unpacks an AcceptorChange entry's batched region into proposed_.
+void OnePaxosEngine::register_entry_batches(const UtilityEntry& e) {
+  for (std::int32_t i = 0; i < e.num_batched; ++i) {
+    const BatchedProposalRef& r = e.batched[i];
+    register_batched(r.instance, unpack_batch(e.pool + r.offset, r.count));
   }
-  return out;
+}
+
+// Packs the uncommitted window into an AcceptorChange entry: single-command
+// values in the legacy proposals array, batched values in the refs/pool
+// region. Overflow is a hard invariant violation — dropping an uncommitted
+// value here could let a successor refill a partially-learned instance with
+// a different value (Lemma 2a) — and effective_window() sizes the window so
+// even the union of two handovers fits.
+void OnePaxosEngine::fill_uncommitted(UtilityEntry* entry) const {
+  std::int32_t np = 0;
+  std::int32_t nb = 0;
+  std::int32_t pool = 0;
+  for (const auto& [in, value] : proposed_) {
+    if (log_.is_learned(in)) continue;
+    if (value.size() == 1) {
+      CI_CHECK_MSG(np < kMaxProposalsPerMsg, "uncommitted window overflows one entry");
+      entry->proposals[np++] = Proposal{in, my_pn_, value.front()};
+    } else {
+      CI_CHECK_MSG(nb < kMaxBatchedPerEntry &&
+                       pool + static_cast<std::int32_t>(value.size()) <=
+                           kUtilityBatchPoolCommands,
+                   "uncommitted batches overflow one entry");
+      entry->batched[nb] =
+          BatchedProposalRef{in, pool, static_cast<std::int32_t>(value.size())};
+      std::copy(value.begin(), value.end(), entry->pool + pool);
+      pool += static_cast<std::int32_t>(value.size());
+      nb++;
+    }
+  }
+  entry->num_proposals = np;
+  entry->num_batched = nb;
+  entry->pool_count = pool;
 }
 
 // ------------------------------------------------------ failure handling
@@ -449,9 +586,7 @@ void OnePaxosEngine::on_acceptor_failure(Context& ctx) {
   // Everything this leadership ever allocated lies below this frontier; the
   // next adopter must not re-fill instances whose learns were lost.
   entry.frontier = std::max({next_instance_, log_.end(), alloc_frontier_});
-  const std::vector<Proposal> props = uncommitted_proposals();
-  entry.num_proposals = static_cast<std::int32_t>(props.size());
-  for (std::size_t i = 0; i < props.size(); ++i) entry.proposals[i] = props[i];
+  fill_uncommitted(&entry);
   switching_ = Switch::kAcceptorChange;
   pending_acceptor_ = next;
   // A backup that never served as acceptor must be fresh; a reused one
@@ -514,6 +649,12 @@ void OnePaxosEngine::begin_leader_change(Context& ctx) {
   pending_acceptor_ = info.acceptor;
   pending_register_.assign(info.entry->proposals,
                            info.entry->proposals + info.entry->num_proposals);
+  pending_register_batched_.clear();
+  for (std::int32_t i = 0; i < info.entry->num_batched; ++i) {
+    const BatchedProposalRef& r = info.entry->batched[i];
+    pending_register_batched_.emplace_back(r.instance,
+                                           unpack_batch(info.entry->pool + r.offset, r.count));
+  }
   switching_ = Switch::kLeaderChange;
   // Anchor to the snapshot the acceptor id was read from (Fig. 12 l.27/29):
   // if any entry lands in between — e.g. the old leader replacing the
@@ -532,6 +673,7 @@ void OnePaxosEngine::begin_leader_change(Context& ctx) {
     prepare_outstanding_ = false;
     prepare_can_rotate_ = false;  // we need the old acceptor's memory
     for (const Proposal& p : pending_register_) register_proposals(&p, 1);
+    for (const auto& [in, value] : pending_register_batched_) register_batched(in, value);
     // The previous leader already adopted this acceptor: expect it to be
     // non-fresh (see the fidelity note in the class comment).
     send_prepare(cctx, /*must_be_fresh=*/false);
@@ -543,6 +685,8 @@ void OnePaxosEngine::relinquish(Context& ctx, NodeId new_leader) {
   const bool had_role = i_am_leader_ || prepare_outstanding_;
   i_am_leader_ = false;
   prepare_outstanding_ = false;
+  prepare_main_held_ = false;
+  prepare_batched_.clear();
   active_acceptor_ = kNoNode;
   recovery_poll_ = false;
   probe_acceptor_ = kNoNode;
@@ -553,8 +697,10 @@ void OnePaxosEngine::relinquish(Context& ctx, NodeId new_leader) {
   if (had_role) {
     // Hand unfinished commands to whoever leads now; executor dedup makes
     // double proposals harmless.
-    for (const auto& [in, cmd] : proposed_) {
-      if (cmd.client != kNoNode) pending_.push_back(cmd);
+    for (const auto& [in, value] : proposed_) {
+      for (const Command& cmd : value) {
+        if (cmd.client != kNoNode) pending_.push(cmd, ctx.now());
+      }
     }
     proposed_.clear();
     accept_times_.clear();
@@ -564,9 +710,7 @@ void OnePaxosEngine::relinquish(Context& ctx, NodeId new_leader) {
 
 void OnePaxosEngine::forward_pending(Context& ctx) {
   if (current_leader_ == kNoNode || current_leader_ == cfg_.base.self) return;
-  while (!pending_.empty()) {
-    const Command cmd = pending_.front();
-    pending_.pop_front();
+  for (const Command& cmd : pending_.drain()) {
     if (cmd.client == kNoNode) continue;
     Message fwd(MsgType::kClientRequest, ProtoId::kOnePaxos, cfg_.base.self, current_leader_);
     fwd.u.client_request.cmd = cmd;
@@ -620,6 +764,10 @@ void OnePaxosEngine::tick(Context& ctx) {
   }
 
   if (i_am_leader_) {
+    // Flush-timer path: a partial batch whose oldest command waited
+    // flush_after goes out now (no-op in the unbatched regime: pending_ is
+    // non-empty only while the window is full).
+    pump(ctx);
     // Retry outstanding accepts; detect a silent acceptor.
     bool acceptor_suspect = false;
     for (auto& [in, t] : accept_times_) {

@@ -32,10 +32,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <set>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -82,18 +82,28 @@ class OnePaxosEngine final : public Engine {
   };
   enum class Switch : std::uint8_t { kNone, kAcceptorChange, kLeaderChange };
 
+  // An accepted-but-undecided value in the acceptor's short-term memory.
+  struct AcceptedValue {
+    ProposalNum pn;
+    Batch value;
+  };
+
   // Fast path.
   void handle_client_request(Context& ctx, const Message& m);
   void pump(Context& ctx);
+  std::int32_t effective_window() const;
   void send_accept(Context& ctx, Instance in);
-  void handle_accept_req(Context& ctx, const Message& m);
-  void handle_learn(Context& ctx, const Message& m);
-  void learn(Context& ctx, Instance in, const Command& v);
+  void send_learn(Context& ctx, NodeId dst, Instance in, const Batch& value);
+  void handle_accept_req(Context& ctx, Instance in, ProposalNum pn, const Batch& value,
+                         NodeId src);
+  void learn(Context& ctx, Instance in, const Batch& v);
 
   // Adoption / reconfiguration.
   void send_prepare(Context& ctx, bool must_be_fresh);
   void handle_prepare_req(Context& ctx, const Message& m);
   void handle_prepare_resp(Context& ctx, const Message& m);
+  void handle_prepare_batch_resp(Context& ctx, const Message& m);
+  void adopt(Context& ctx, const Message& m);
   void handle_abandon(Context& ctx, const Message& m);
   void on_acceptor_failure(Context& ctx);
   void try_takeover(Context& ctx);
@@ -102,7 +112,9 @@ class OnePaxosEngine final : public Engine {
   void relinquish(Context& ctx, NodeId new_leader);
   NodeId select_acceptor(NodeId failed) const;
   void register_proposals(const Proposal* props, std::int32_t n);
-  std::vector<Proposal> uncommitted_proposals() const;
+  void register_batched(Instance in, const Batch& value);
+  void register_entry_batches(const UtilityEntry& e);
+  void fill_uncommitted(UtilityEntry* entry) const;
   ProposalNum new_pn();
   bool suspect_leader(Nanos now) const;
   void forward_pending(Context& ctx);
@@ -118,11 +130,15 @@ class OnePaxosEngine final : public Engine {
   NodeId active_acceptor_ = kNoNode;      // Aa (kNoNode == null)
   ProposalNum my_pn_;                     // pn
   std::int64_t pn_counter_ = 0;
-  std::map<Instance, Command> proposed_;  // proposed[], uncommitted only
+  std::map<Instance, Batch> proposed_;    // proposed[], uncommitted only
   std::map<Instance, AcceptTimes> accept_times_;
-  std::deque<Command> pending_;
+  Batcher pending_;
   std::unordered_set<std::uint64_t> advocated_;
   Instance next_instance_ = 0;
+  // Reused single-command wrapper for the legacy-frame dispatch path, so
+  // the unbatched regime stays allocation-free per message (handlers copy
+  // the value before any re-entry can occur).
+  Batch scratch_;
   // Lower bound below which no new command may ever be allocated: the max
   // of every AcceptorChange frontier observed and every adopted acceptor's
   // frontier. Protects already-decided instances whose learn this node
@@ -144,12 +160,20 @@ class OnePaxosEngine final : public Engine {
   bool prepare_flip_tried_ = false;
   Nanos prepare_first_sent_ = 0;
   Nanos prepare_last_sent_ = 0;
+  // Batched ap entries arrive as kOpxPrepareBatchResp sidecars ahead of the
+  // main response, which counts them; the main response is held here until
+  // the count is complete (reordering), and retries with a fresh ballot
+  // cover loss. Both keyed to my_pn_ — send_prepare clears them.
+  std::map<Instance, Batch> prepare_batched_;
+  bool prepare_main_held_ = false;
+  Message prepare_held_main_;
 
   // Reconfiguration in flight.
   Switch switching_ = Switch::kNone;
   NodeId pending_acceptor_ = kNoNode;
   bool pending_must_be_fresh_ = true;
   std::vector<Proposal> pending_register_;
+  std::vector<std::pair<Instance, Batch>> pending_register_batched_;
 
   // Takeover probe: §5.3 allows a proposer to take the leadership "given
   // that the active acceptor is still running" — so the acceptor is pinged
@@ -175,7 +199,7 @@ class OnePaxosEngine final : public Engine {
   // Acceptor role state.
   ProposalNum hpn_;                       // hpn
   bool i_am_fresh_ = true;                // IamFresh
-  std::map<Instance, Proposal> ap_;       // ap
+  std::map<Instance, AcceptedValue> ap_;  // ap
 
   // Views / failure detection. The leader view is versioned by the utility
   // index of the LeaderChange that installed it, so stale heartbeats from a

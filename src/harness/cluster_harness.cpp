@@ -17,7 +17,8 @@ namespace {
 // the space form consumes the next argv slot). flag_value() refuses names
 // missing from this table, so the strict scanners below cannot drift from
 // the parsers.
-constexpr const char* kValueFlags[] = {"--backend", "--groups", "--placement"};
+constexpr const char* kValueFlags[] = {"--backend", "--groups", "--placement",
+                                       "--batch", "--batch-flush-us"};
 
 bool is_harness_flag(const char* name) {
   for (const char* flag : kValueFlags) {
@@ -197,6 +198,74 @@ ShardSpec shard_from_args(int argc, char** argv, const ClusterSpec& base) {
   return ShardSpec(base, groups_from_args(argc, argv), placement_from_args(argc, argv));
 }
 
+bool try_batch_from_args(int argc, char** argv, std::int32_t def, std::int32_t* out,
+                         std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--batch", &malformed);
+  if (malformed) {
+    *err = "--batch requires a value (expected --batch=N, 1 <= N <= " +
+           std::to_string(consensus::kMaxCommandsPerBatch) + ")";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || n < 1 || n > consensus::kMaxCommandsPerBatch) {
+    *err = std::string("bad batch size '") + value + "' (expected --batch=N, 1 <= N <= " +
+           std::to_string(consensus::kMaxCommandsPerBatch) + ")";
+    return false;
+  }
+  *out = static_cast<std::int32_t>(n);
+  return true;
+}
+
+std::int32_t batch_from_args(int argc, char** argv, std::int32_t def) {
+  std::int32_t n = def;
+  std::string err;
+  if (!try_batch_from_args(argc, argv, def, &n, &err)) usage_exit(err.c_str());
+  return n;
+}
+
+bool try_batch_flush_from_args(int argc, char** argv, Nanos def, Nanos* out,
+                               std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--batch-flush-us", &malformed);
+  if (malformed) {
+    *err = "--batch-flush-us requires a value (expected --batch-flush-us=T, T >= 0)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const long long t = std::strtoll(value, &end, 10);
+  // Bounded so the microsecond->nanosecond multiply cannot overflow (and
+  // strtoll's silent clamp to LLONG_MAX cannot sneak through): an hour is
+  // far beyond any sane flush timer.
+  constexpr long long kMaxFlushUs = 3600LL * 1000 * 1000;
+  if (end == value || *end != '\0' || t < 0 || t > kMaxFlushUs) {
+    *err = std::string("bad flush timeout '") + value +
+           "' (expected --batch-flush-us=T microseconds, 0 <= T <= 3600000000)";
+    return false;
+  }
+  *out = static_cast<Nanos>(t) * kMicrosecond;
+  return true;
+}
+
+Nanos batch_flush_from_args(int argc, char** argv, Nanos def) {
+  Nanos t = def;
+  std::string err;
+  if (!try_batch_flush_from_args(argc, argv, def, &t, &err)) usage_exit(err.c_str());
+  return t;
+}
+
+consensus::BatchPolicy batch_policy_from_args(int argc, char** argv) {
+  consensus::BatchPolicy policy;
+  policy.max_commands = batch_from_args(argc, argv);
+  policy.flush_after = batch_flush_from_args(argc, argv);
+  return policy;
+}
+
 namespace {
 
 // Walks argv once; calls on_positional for every non-flag argument and
@@ -235,7 +304,8 @@ void scan_args(int argc, char** argv, std::initializer_list<const char*> consume
     }
     if (!known) {
       std::fprintf(stderr,
-                   "unknown flag '%s' (harness flags: --backend, --groups, --placement)\n",
+                   "unknown flag '%s' (harness flags: --backend, --groups, --placement, "
+                   "--batch, --batch-flush-us)\n",
                    arg);
       std::exit(2);
     }

@@ -39,6 +39,24 @@ std::int32_t groups_from_args(int argc, char** argv, std::int32_t def = 1);
 Placement placement_from_args(int argc, char** argv,
                               Placement def = Placement::kGroupMajor);
 
+// `--batch=N`: commands per agreement instance (leader-side batching;
+// consensus/batch.hpp). Non-positive, non-numeric, or beyond the
+// compile-time ceiling is an error — `--batch=0` must not silently run
+// unbatched. The try_ form reports instead of exiting; *out holds `def`
+// when the flag is absent.
+bool try_batch_from_args(int argc, char** argv, std::int32_t def, std::int32_t* out,
+                         std::string* err);
+std::int32_t batch_from_args(int argc, char** argv, std::int32_t def = 1);
+
+// `--batch-flush-us=T`: microseconds a partial batch may wait before it is
+// flushed (BatchPolicy::flush_after); T >= 0, default 0 = flush at once.
+bool try_batch_flush_from_args(int argc, char** argv, Nanos def, Nanos* out,
+                               std::string* err);
+Nanos batch_flush_from_args(int argc, char** argv, Nanos def = 0);
+
+// Both batching flags folded into one policy (defaults: unbatched).
+consensus::BatchPolicy batch_policy_from_args(int argc, char** argv);
+
 // `base` plus whatever `--groups` / `--placement` say: the one-liner that
 // makes any existing bench spec shardable.
 ShardSpec shard_from_args(int argc, char** argv, const ClusterSpec& base);

@@ -27,6 +27,15 @@ std::uint64_t KvSession::execute(consensus::Op op, std::uint64_t key, std::uint6
   return per_group_[static_cast<std::size_t>(group_of(key))]->execute(op, key, value);
 }
 
+void KvSession::put_async(std::uint64_t key, std::uint64_t value) {
+  per_group_[static_cast<std::size_t>(group_of(key))]->submit(consensus::Op::kWrite, key,
+                                                              value);
+}
+
+void KvSession::flush() {
+  for (auto& client : per_group_) client->flush();
+}
+
 GroupId KvSession::group_of(std::uint64_t key) const {
   return group_of_key(key, static_cast<std::int32_t>(per_group_.size()));
 }
@@ -105,7 +114,7 @@ ReplicatedKv::ReplicatedKv(const Options& opts)
     return;
   }
 
-  net_ = std::make_unique<qclt::Network>();
+  net_ = std::make_unique<qclt::Network>(rt::slots_for(opts_.spec.engine.batch));
   const bool pin = opts_.spec.rt.pin && pinning_available();
   for (NodeId n = 0; n < replica_nodes; ++n) {
     nodes_.push_back(std::make_unique<rt::RtNode>(

@@ -47,6 +47,20 @@ class KvSession {
   }
   std::uint64_t get(std::uint64_t key) { return execute(consensus::Op::kRead, key, 0); }
 
+  // Pipelined write: queue and return without waiting for the commit (the
+  // returned old value is discarded). Keeps many commands in flight per
+  // session, which is what fills a batching leader's multi-command
+  // instances. flush() blocks until everything queued so far committed;
+  // call it before reading keys written through put_async.
+  //
+  // Ordering caveat: pipelined writes commit in submission order on a
+  // stable leader, but a leader failover can commit concurrently-in-flight
+  // writes out of order (a lost proposal's retry lands after a later one).
+  // Where failover-order matters, use the synchronous put() — it keeps one
+  // command in flight — or flush() between order-dependent writes.
+  void put_async(std::uint64_t key, std::uint64_t value);
+  void flush();
+
   // Which group (shard) owns `key`.
   GroupId group_of(std::uint64_t key) const;
   // The replica this session believes leads `key`'s group (a group-local

@@ -5,12 +5,22 @@
 // execute() and block until the command commits. Retarget/retry behavior
 // mirrors ClientEngine (§7.6): on timeout the request goes to the next
 // replica with the leader-suspect flag set.
+//
+// Pipelining: submit() queues a command and returns immediately (bounded by
+// kMaxOutstanding; it blocks for room, never for commits), flush() blocks
+// until everything submitted so far committed. A pipelined session keeps
+// many commands in flight at once, which is what lets a batching leader
+// (EngineConfig::batch) fill multi-command instances instead of seeing one
+// command per round trip per session.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <set>
 
 #include "consensus/engine.hpp"
 
@@ -41,35 +51,21 @@ struct SyncClientConfig {
 
 class SyncClientEngine final : public Engine {
  public:
+  // Pipeline depth bound: one batching leader can absorb at most this many
+  // commands into a single instance anyway.
+  static constexpr std::int32_t kMaxOutstanding = consensus::kMaxCommandsPerBatch;
+
   explicit SyncClientEngine(const SyncClientConfig& cfg) : cfg_(cfg), target_(cfg.initial_target) {}
 
   // Blocking; callable from any thread except the hosting node's. Returns
   // the operation result (previous value for writes, value for reads).
   std::uint64_t execute(Op op, std::uint64_t key, std::uint64_t value) {
     std::unique_lock<std::mutex> lock(mu_);
-    caller_cv_.wait(lock, [this] { return !op_pending_; });  // serialize callers
-    op_pending_ = true;
-    op_done_ = false;
-    next_seq_++;
-    pending_cmd_ = Command{};
-    pending_cmd_.client = cfg_.base.self;
-    pending_cmd_.seq = next_seq_;
-    pending_cmd_.op = op;
-    pending_cmd_.key = key;
-    pending_cmd_.value = value;
-    op_submitted_ = false;
-    if (cfg_.pump) {
-      while (!op_done_) {
-        lock.unlock();
-        cfg_.pump();  // advances the simulation; may re-enter on_message/tick
-        lock.lock();
-      }
-    } else {
-      done_cv_.wait(lock, [this] { return op_done_; });
-    }
-    const std::uint64_t result = result_;
-    op_pending_ = false;
-    caller_cv_.notify_one();
+    wait_locked(lock, [this] { return in_flight_count() < kMaxOutstanding; });
+    const std::uint32_t seq = enqueue_locked(op, key, value);
+    wait_locked(lock, [this, seq] { return results_.count(seq) != 0; });
+    const std::uint64_t result = results_[seq];
+    results_.erase(seq);
     return result;
   }
 
@@ -78,46 +74,104 @@ class SyncClientEngine final : public Engine {
   }
   std::uint64_t get(std::uint64_t key) { return execute(Op::kRead, key, 0); }
 
+  // Pipelined operation: queue and return (the result is discarded when it
+  // arrives). Blocks only when the pipeline is full.
+  void submit(Op op, std::uint64_t key, std::uint64_t value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    wait_locked(lock, [this] { return in_flight_count() < kMaxOutstanding; });
+    discard_.insert(enqueue_locked(op, key, value));
+  }
+
+  // Blocks until every submitted/executing command committed.
+  void flush() {
+    std::unique_lock<std::mutex> lock(mu_);
+    wait_locked(lock, [this] { return in_flight_count() == 0; });
+  }
+
   // ---- Engine side (hosting node thread) ----
 
   void on_message(Context& ctx, const Message& m) override {
     (void)ctx;
     if (m.type != MsgType::kClientReply) return;
     std::lock_guard<std::mutex> lock(mu_);
-    if (!op_pending_ || !op_submitted_ || m.u.client_reply.seq != pending_cmd_.seq) return;
+    auto it = sent_.find(m.u.client_reply.seq);
+    if (it == sent_.end()) return;
     if (m.u.client_reply.leader_hint != consensus::kNoNode) {
       target_ = m.u.client_reply.leader_hint;
     }
-    result_ = m.u.client_reply.result;
-    op_done_ = true;
+    const std::uint32_t seq = it->first;
+    sent_.erase(it);
+    if (discard_.erase(seq) == 0) results_[seq] = m.u.client_reply.result;
     done_cv_.notify_all();
   }
 
   void tick(Context& ctx) override {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!op_pending_ || op_done_) return;
     const Nanos now = ctx.now();
-    if (!op_submitted_) {
-      op_submitted_ = true;
-      suspect_ = false;
-      send_locked(ctx, now);
-      return;
+    // Launch queued commands from the hosting node's thread.
+    while (!queued_.empty()) {
+      InFlight f;
+      f.cmd = queued_.front();
+      queued_.pop_front();
+      f.last_sent = now;
+      send_locked(ctx, f.cmd, /*suspect=*/false);
+      sent_.emplace(f.cmd.seq, f);
     }
-    if (now - last_sent_ >= cfg_.request_timeout) {
-      target_ = (target_ + 1) % cfg_.base.num_replicas;
-      suspect_ = true;
-      send_locked(ctx, now);
+    // Retry stragglers; rotate the target at most once per tick so several
+    // outstanding commands cannot spin it around the ring.
+    bool rotated = false;
+    for (auto& [seq, f] : sent_) {
+      if (now - f.last_sent < cfg_.request_timeout) continue;
+      if (!rotated) {
+        target_ = (target_ + 1) % cfg_.base.num_replicas;
+        rotated = true;
+      }
+      f.last_sent = now;
+      send_locked(ctx, f.cmd, /*suspect=*/true);
     }
   }
 
   NodeId believed_leader() const override { return target_; }
 
  private:
-  void send_locked(Context& ctx, Nanos now) {
-    last_sent_ = now;
+  struct InFlight {
+    Command cmd;
+    Nanos last_sent = 0;
+  };
+
+  std::int32_t in_flight_count() const {
+    return static_cast<std::int32_t>(queued_.size() + sent_.size());
+  }
+
+  std::uint32_t enqueue_locked(Op op, std::uint64_t key, std::uint64_t value) {
+    next_seq_++;
+    Command cmd;
+    cmd.client = cfg_.base.self;
+    cmd.seq = next_seq_;
+    cmd.op = op;
+    cmd.key = key;
+    cmd.value = value;
+    queued_.push_back(cmd);
+    return next_seq_;
+  }
+
+  template <typename Pred>
+  void wait_locked(std::unique_lock<std::mutex>& lock, Pred pred) {
+    if (cfg_.pump) {
+      while (!pred()) {
+        lock.unlock();
+        cfg_.pump();  // advances the simulation; may re-enter on_message/tick
+        lock.lock();
+      }
+    } else {
+      done_cv_.wait(lock, pred);
+    }
+  }
+
+  void send_locked(Context& ctx, const Command& cmd, bool suspect) {
     Message m(MsgType::kClientRequest, consensus::ProtoId::kClient, cfg_.base.self, target_);
-    if (suspect_) m.flags = consensus::kFlagLeaderSuspect;
-    m.u.client_request.cmd = pending_cmd_;
+    if (suspect) m.flags = consensus::kFlagLeaderSuspect;
+    m.u.client_request.cmd = cmd;
     ctx.send(target_, m);
   }
 
@@ -125,16 +179,12 @@ class SyncClientEngine final : public Engine {
   NodeId target_;
 
   std::mutex mu_;
-  std::condition_variable caller_cv_;
   std::condition_variable done_cv_;
-  bool op_pending_ = false;
-  bool op_submitted_ = false;
-  bool op_done_ = false;
-  bool suspect_ = false;
   std::uint32_t next_seq_ = 0;
-  Command pending_cmd_;
-  std::uint64_t result_ = 0;
-  Nanos last_sent_ = 0;
+  std::deque<Command> queued_;            // not yet sent (tick launches them)
+  std::map<std::uint32_t, InFlight> sent_;  // awaiting a reply, by seq
+  std::set<std::uint32_t> discard_;       // submit()ted: drop the result
+  std::map<std::uint32_t, std::uint64_t> results_;  // completed execute() ops
 };
 
 }  // namespace ci::kv

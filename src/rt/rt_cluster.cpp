@@ -49,7 +49,7 @@ RtCluster::RtCluster(const ShardSpec& shard)
     CI_CHECK(f.kind == FaultEvent::Kind::kSlowNode);
   }
 
-  net_ = std::make_unique<qclt::Network>();
+  net_ = std::make_unique<qclt::Network>(slots_for(shard_.base.engine.batch));
 
   delivery_logs_.resize(static_cast<std::size_t>(dep_.num_nodes()));
   dep_.set_deliver_hook([this](NodeId global, GroupId g, NodeId local,

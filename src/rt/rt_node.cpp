@@ -18,7 +18,12 @@ RtNode::RtNode(NodeId self, std::int32_t total_nodes, Engine* engine, qclt::Netw
       ctx_(std::make_unique<Ctx>(this)),
       // Construct the scheduler here (not on the node thread) so
       // request_stop() from other threads never races its creation.
-      sched_(std::make_unique<qclt::Scheduler>()),
+      // Task stacks must hold a handful of Message temporaries at once
+      // (reader buffer, decode copy, demux rewrite, handler locals, the
+      // send-path copy and its encode buffer) — and sizeof(Message) is
+      // multi-KB since the batching payloads, so budget for them explicitly
+      // on top of the scheduler's plain-code default.
+      sched_(std::make_unique<qclt::Scheduler>(32 * 1024 + 12 * sizeof(Message))),
       pending_(static_cast<std::size_t>(total_nodes)) {}
 
 RtNode::~RtNode() {
@@ -40,18 +45,24 @@ void RtNode::join() {
 }
 
 void RtNode::send(NodeId dst, const Message& m) {
-  Message out = m;
-  out.src = self_;
-  out.dst = dst;
   if (dst == self_) {
     // Defer: engines are not reentrant, and local delivery between
     // collapsed roles costs no boundary crossing.
+    Message out = m;
+    out.src = self_;
+    out.dst = dst;
     self_queue_.push_back(out);
     return;
   }
   ctx_->sent.fetch_add(1, std::memory_order_relaxed);
-  unsigned char buf[kWireBufBytes];
-  const std::uint32_t n = encode(out, buf);
+  // Encode straight from the engine's message and stamp src/dst in the
+  // buffer: copying the full (multi-KB since batching) Message just to
+  // rewrite two header fields would dominate small sends.
+  alignas(Message) unsigned char buf[kWireBufBytes];
+  const std::uint32_t n = encode(m, buf);
+  auto* hdr = reinterpret_cast<Message*>(buf);
+  hdr->src = self_;
+  hdr->dst = dst;
   auto& conn = conns_[static_cast<std::size_t>(dst)];
   auto& backlog = pending_[static_cast<std::size_t>(dst)];
   if (backlog.empty() && conn->try_write(buf, n)) return;

@@ -3,16 +3,30 @@
 // messages occupy a single 128-byte queue slot.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.hpp"
+#include "consensus/batch.hpp"
 #include "consensus/message.hpp"
+#include "qclt/connection.hpp"
 
 namespace ci::rt {
 
-// Large enough for the biggest reconfiguration message.
-inline constexpr std::size_t kWireBufBytes = 1024;
-static_assert(kWireBufBytes >= sizeof(consensus::Message));
+// Large enough for the biggest message (a batched reconfiguration entry
+// sets the worst case since the batching layer).
+inline constexpr std::size_t kWireBufBytes = sizeof(consensus::Message);
+
+// Queue slots per connection: the paper's seven suffice for unbatched
+// traffic, but RtNode's non-blocking try_write needs every fragment of a
+// frame to fit the queue at once — batched frames span dozens of 128-byte
+// slots, so batching deployments size their queues for the biggest frame
+// plus headroom for the small control traffic behind it.
+inline std::uint32_t slots_for(const consensus::BatchPolicy& policy) {
+  if (!policy.batching()) return qclt::kDefaultSlots;
+  const auto frame = static_cast<std::uint32_t>(sizeof(consensus::Message));
+  return std::max(qclt::kDefaultSlots, qclt::wire::fragments_for(frame) + 2);
+}
 
 inline std::uint32_t encode(const consensus::Message& m, unsigned char* buf) {
   const std::size_t n = consensus::wire_size(m);

@@ -76,7 +76,8 @@ class SimCluster {
 
   bool consistent() const { return dep_.consistent(); }
   std::uint64_t total_deliveries() const { return dep_.deliveries(); }
-  const std::map<consensus::Instance, consensus::Command>& decided() const {
+  // Instance -> decided batch (one command per batch unless batching is on).
+  const std::map<consensus::Instance, std::vector<consensus::Command>>& decided() const {
     return dep_.group(0).recorder().decided();
   }
   const std::vector<std::vector<consensus::Command>>& delivered_by_node() const {

@@ -46,7 +46,10 @@ double SimNet::speed_factor(const NodeCtx& n, Nanos t) const {
   return f;
 }
 
-void SimNet::push_event(Event e) { event_queue_.push(std::move(e)); }
+void SimNet::push_event(Event e) {
+  event_queue_.push_back(std::move(e));
+  std::push_heap(event_queue_.begin(), event_queue_.end(), EventAfter{});
+}
 
 std::uint64_t SimNet::total_messages() const {
   std::uint64_t sum = 0;
@@ -60,9 +63,9 @@ void SimNet::send_from(NodeCtx& src, NodeId dst, const Message& m) {
   e.seq = seq_++;
   e.kind = Event::Kind::kMessage;
   e.node = dst;
-  e.msg = m;
-  e.msg.src = src.id_;
-  e.msg.dst = dst;
+  e.msg = std::make_unique<Message>(m);
+  e.msg->src = src.id_;
+  e.msg->dst = dst;
   if (dst == src.id_) {
     // Local delivery between collapsed roles: no node boundary is crossed,
     // no transmission cost is charged (Fig. 3 counts only crossing
@@ -96,7 +99,7 @@ void SimNet::process(Event& e) {
       n.busy_until = t0 + static_cast<Nanos>(
                               static_cast<double>(model_.trans_recv + model_.handler_cost) * f);
       n.logical_now = n.busy_until;
-      n.engine_->on_message(n, e.msg);
+      n.engine_->on_message(n, *e.msg);
       break;
     }
     case Event::Kind::kTick: {
@@ -140,9 +143,10 @@ void SimNet::run_until(Nanos until) {
       push_event(std::move(t));
     }
   }
-  while (!event_queue_.empty() && event_queue_.top().time <= until) {
-    Event e = event_queue_.top();
-    event_queue_.pop();
+  while (!event_queue_.empty() && event_queue_.front().time <= until) {
+    std::pop_heap(event_queue_.begin(), event_queue_.end(), EventAfter{});
+    Event e = std::move(event_queue_.back());
+    event_queue_.pop_back();
     now_ = e.time;
     process(e);
   }

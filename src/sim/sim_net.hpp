@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -64,18 +63,28 @@ class SimNet {
   std::uint64_t messages_dropped() const { return dropped_; }
 
  private:
+  // Move-only: the message rides behind a pointer so heap sift operations
+  // move ~64 bytes instead of copying the multi-kilobyte Message union
+  // (whose worst case is set by the batching payloads).
   struct Event {
     Nanos time = 0;
     std::uint64_t seq = 0;
     enum class Kind : std::uint8_t { kMessage, kTick, kCall } kind = Kind::kMessage;
     NodeId node = -1;
-    Message msg;
+    std::unique_ptr<Message> msg;  // kMessage only
     std::function<void()> call;
 
     friend bool operator>(const Event& a, const Event& b) {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
+  };
+
+  // Min-heap "later" comparator: heap front = earliest (time, seq). The
+  // (time, seq) order is total, so run order — and with it bit-exact
+  // reproducibility — is independent of the heap's internal layout.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const { return a > b; }
   };
 
   class NodeCtx final : public consensus::Context {
@@ -112,7 +121,9 @@ class SimNet {
   std::uint64_t dropped_ = 0;
   bool started_ = false;
   std::vector<std::unique_ptr<NodeCtx>> nodes_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> event_queue_;
+  // Binary min-heap over (time, seq), maintained with std::push_heap /
+  // std::pop_heap (std::priority_queue cannot hand move-only elements back).
+  std::vector<Event> event_queue_;
 };
 
 }  // namespace ci::sim

@@ -1,0 +1,148 @@
+// BatchPolicy / Batcher unit tests: the flush-timer edges the batching
+// layer's correctness rests on — empty flush, byte-budget overflow, the
+// single-oversized-command rule, group-commit accumulation, and the
+// bit-identical unbatched degenerate case.
+#include "consensus/batch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ci::consensus {
+namespace {
+
+Command cmd(std::uint32_t seq) {
+  Command c;
+  c.client = 9;
+  c.seq = seq;
+  c.op = Op::kWrite;
+  c.key = seq;
+  return c;
+}
+
+TEST(BatchPolicy, DefaultIsUnbatched) {
+  const BatchPolicy p;
+  EXPECT_FALSE(p.batching());
+  EXPECT_EQ(p.commands_cap(), 1);
+}
+
+TEST(BatchPolicy, CapRespectsCompileTimeCeiling) {
+  BatchPolicy p;
+  p.max_commands = kMaxCommandsPerBatch * 10;
+  EXPECT_EQ(p.commands_cap(), kMaxCommandsPerBatch);
+}
+
+TEST(BatchPolicy, MaxBytesShrinksTheCap) {
+  BatchPolicy p;
+  p.max_commands = 8;
+  p.max_bytes = 3 * static_cast<std::int32_t>(sizeof(Command));
+  EXPECT_EQ(p.commands_cap(), 3);  // byte budget binds before max_commands
+}
+
+TEST(BatchPolicy, SingleOversizedCommandStillTravels) {
+  // Commands are indivisible: a byte budget below one command must not
+  // wedge the pipeline — the command goes alone.
+  BatchPolicy p;
+  p.max_commands = 8;
+  p.max_bytes = static_cast<std::int32_t>(sizeof(Command)) / 2;
+  EXPECT_EQ(p.commands_cap(), 1);
+}
+
+TEST(Batcher, EmptyNeverReadyAndTakeYieldsNothing) {
+  Batcher b(BatchPolicy{});
+  EXPECT_FALSE(b.ready(/*now=*/123, /*outstanding=*/0));
+  EXPECT_TRUE(b.take().empty());  // empty flush: no phantom batch
+  EXPECT_TRUE(b.drain().empty());
+}
+
+TEST(Batcher, UnbatchedPolicyFlushesEveryCommandAlone) {
+  Batcher b(BatchPolicy{});
+  b.push(cmd(1), 0);
+  b.push(cmd(2), 0);
+  // Legacy regime: ready regardless of in-flight instances...
+  EXPECT_TRUE(b.ready(0, /*outstanding=*/5));
+  // ...and one command per take.
+  EXPECT_EQ(b.take().size(), 1u);
+  EXPECT_EQ(b.take().size(), 1u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Batcher, FullBatchIsAlwaysReady) {
+  BatchPolicy p;
+  p.max_commands = 4;
+  Batcher b(p);
+  for (std::uint32_t s = 1; s <= 4; ++s) b.push(cmd(s), 0);
+  EXPECT_TRUE(b.ready(0, /*outstanding=*/7));  // full beats a busy pipeline
+  const Batch out = b.take();
+  ASSERT_EQ(out.size(), 4u);
+  for (std::uint32_t s = 1; s <= 4; ++s) EXPECT_EQ(out[s - 1].seq, s);  // FIFO
+}
+
+TEST(Batcher, PartialBatchWaitsWhileInstancesAreInFlight) {
+  // Group commit: in-flight decides — not timers — flush the backlog.
+  BatchPolicy p;
+  p.max_commands = 8;
+  Batcher b(p);
+  b.push(cmd(1), 0);
+  b.push(cmd(2), 0);
+  EXPECT_FALSE(b.ready(1 * kSecond, /*outstanding=*/1));
+  EXPECT_TRUE(b.ready(1 * kSecond, /*outstanding=*/0));
+  EXPECT_EQ(b.take().size(), 2u);
+}
+
+TEST(Batcher, IdleFlushHonorsFlushAfter) {
+  BatchPolicy p;
+  p.max_commands = 8;
+  p.flush_after = 100 * kMicrosecond;
+  Batcher b(p);
+  b.push(cmd(1), /*now=*/1000);
+  // Idle pipeline, but the lone command has not waited long enough.
+  EXPECT_FALSE(b.ready(1000, 0));
+  EXPECT_FALSE(b.ready(1000 + 99 * kMicrosecond, 0));
+  EXPECT_TRUE(b.ready(1000 + 100 * kMicrosecond, 0));
+}
+
+TEST(Batcher, TakeIsCappedAndKeepsTheRemainder) {
+  BatchPolicy p;
+  p.max_commands = 3;
+  Batcher b(p);
+  for (std::uint32_t s = 1; s <= 7; ++s) b.push(cmd(s), 0);
+  EXPECT_EQ(b.take().size(), 3u);
+  EXPECT_EQ(b.take().size(), 3u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(Batcher, PushFrontIsOverdueAndOrderedFirst) {
+  BatchPolicy p;
+  p.max_commands = 4;
+  p.flush_after = 1 * kSecond;
+  Batcher b(p);
+  b.push(cmd(2), /*now=*/0);
+  b.push_front(cmd(1));  // a race loser re-queued
+  EXPECT_TRUE(b.ready(/*now=*/0, /*outstanding=*/0));  // overdue despite flush_after
+  const Batch out = b.take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 1u);
+  EXPECT_EQ(out[1].seq, 2u);
+}
+
+TEST(Batcher, DrainPreservesFifoOrder) {
+  BatchPolicy p;
+  p.max_commands = 4;
+  Batcher b(p);
+  for (std::uint32_t s = 1; s <= 5; ++s) b.push(cmd(s), 0);
+  const std::vector<Command> all = b.drain();
+  ASSERT_EQ(all.size(), 5u);
+  for (std::uint32_t s = 1; s <= 5; ++s) EXPECT_EQ(all[s - 1].seq, s);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BatchWire, PackUnpackRoundTrip) {
+  Batch in;
+  for (std::uint32_t s = 1; s <= 5; ++s) in.push_back(cmd(s));
+  Command buf[kMaxCommandsPerBatch];
+  const std::int32_t n = pack_batch(in, buf);
+  EXPECT_EQ(n, 5);
+  EXPECT_EQ(unpack_batch(buf, n), in);
+}
+
+}  // namespace
+}  // namespace ci::consensus

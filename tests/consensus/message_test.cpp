@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "consensus/batch.hpp"
+
 namespace ci::consensus {
 namespace {
 
@@ -109,6 +111,140 @@ TEST(Wire, UtilityEntryEquality) {
   b = a;
   b.acceptor = 1;
   EXPECT_FALSE(a == b);
+}
+
+// ---- Batched payloads ----
+
+Command bcmd(std::uint32_t seq) {
+  Command c;
+  c.client = 4;
+  c.seq = seq;
+  c.op = Op::kWrite;
+  c.key = 100 + seq;
+  c.value = seq * 7;
+  return c;
+}
+
+TEST(Wire, BatchFramesTruncateToUsedCommands) {
+  Message m(MsgType::kPhase2BatchReq, ProtoId::kMultiPaxos, 0, 1);
+  m.u.phase2_batch_req.count = 2;
+  const std::size_t two = wire_size(m);
+  m.u.phase2_batch_req.count = 8;
+  EXPECT_EQ(wire_size(m), two + 6 * sizeof(Command));
+  // A batch of 8 costs one header where 8 singles cost 8 — the amortization.
+  Message single(MsgType::kPhase2Req, ProtoId::kMultiPaxos, 0, 1);
+  EXPECT_LT(wire_size(m), 8 * wire_size(single));
+}
+
+TEST(Wire, BatchAcceptRoundTripPreservesEveryCommand) {
+  Batch value;
+  for (std::uint32_t s = 1; s <= 5; ++s) value.push_back(bcmd(s));
+  Message m(MsgType::kOpxBatchAcceptReq, ProtoId::kOnePaxos, 0, 1);
+  m.u.opx_batch_accept_req.instance = 17;
+  m.u.opx_batch_accept_req.pn = ProposalNum{3, 0};
+  m.u.opx_batch_accept_req.count = pack_batch(value, m.u.opx_batch_accept_req.cmds);
+
+  unsigned char buf[sizeof(Message)];
+  const std::size_t n = wire_size(m);
+  std::memcpy(buf, &m, n);
+  Message out;
+  std::memcpy(&out, buf, n);
+  ASSERT_TRUE(wire_validate(out, n));
+  EXPECT_EQ(out.u.opx_batch_accept_req.instance, 17);
+  EXPECT_EQ(unpack_batch(out.u.opx_batch_accept_req.cmds, out.u.opx_batch_accept_req.count),
+            value);
+}
+
+TEST(Wire, BatchLearnRoundTrip) {
+  Batch value = {bcmd(1), bcmd(2)};
+  Message m(MsgType::kOpxBatchLearn, ProtoId::kOnePaxos, 1, 2);
+  m.u.opx_batch_learn.instance = 3;
+  m.u.opx_batch_learn.count = pack_batch(value, m.u.opx_batch_learn.cmds);
+  unsigned char buf[sizeof(Message)];
+  const std::size_t n = wire_size(m);
+  std::memcpy(buf, &m, n);
+  Message out;
+  std::memcpy(&out, buf, n);
+  ASSERT_TRUE(wire_validate(out, n));
+  EXPECT_EQ(unpack_batch(out.u.opx_batch_learn.cmds, out.u.opx_batch_learn.count), value);
+}
+
+TEST(Wire, ValidateRejectsBogusBatchCounts) {
+  Message m(MsgType::kPhase2BatchAcked, ProtoId::kMultiPaxos, 0, 1);
+  m.u.phase2_batch_acked.count = 0;  // batches of < 2 use the legacy frames
+  EXPECT_FALSE(wire_validate(m, sizeof(Message)));
+  m.u.phase2_batch_acked.count = 1;
+  EXPECT_FALSE(wire_validate(m, sizeof(Message)));
+  m.u.phase2_batch_acked.count = kMaxCommandsPerBatch + 1;
+  EXPECT_FALSE(wire_validate(m, sizeof(Message)));
+  m.u.phase2_batch_acked.count = 2;
+  EXPECT_TRUE(wire_validate(m, sizeof(Message)));
+}
+
+TEST(Wire, LegacyUtilityEntryKeepsPreBatchingSize) {
+  // num_batched == 0 entries must serialize exactly as before the batching
+  // layer: the appended pool region never travels.
+  Message m(MsgType::kUtilPhase2Req, ProtoId::kUtility, 0, 1);
+  m.u.util_phase2_req.entry.kind = UtilityEntry::Kind::kAcceptorChange;
+  m.u.util_phase2_req.entry.num_proposals = 3;
+  EXPECT_EQ(wire_size(m), kMessageHeaderBytes + offsetof(UtilPhase2Req, entry) +
+                              offsetof(UtilityEntry, proposals) + 3 * sizeof(Proposal));
+}
+
+TEST(Wire, BatchedUtilityEntryRoundTrip) {
+  Message m(MsgType::kUtilPhase2Req, ProtoId::kUtility, 0, 1);
+  UtilityEntry& e = m.u.util_phase2_req.entry;
+  e.kind = UtilityEntry::Kind::kAcceptorChange;
+  e.leader = 0;
+  e.acceptor = 2;
+  e.frontier = 40;
+  e.num_proposals = 1;
+  e.proposals[0] = Proposal{5, ProposalNum{2, 0}, bcmd(9)};
+  const Batch b0 = {bcmd(1), bcmd(2), bcmd(3)};
+  const Batch b1 = {bcmd(4), bcmd(5)};
+  e.num_batched = 2;
+  e.batched[0] = BatchedProposalRef{6, 0, 3};
+  e.batched[1] = BatchedProposalRef{7, 3, 2};
+  e.pool_count = pack_batch(b0, e.pool);
+  e.pool_count += pack_batch(b1, e.pool + e.pool_count);
+
+  unsigned char buf[sizeof(Message)];
+  const std::size_t n = wire_size(m);
+  EXPECT_LT(n, sizeof(Message));  // pool truncated to its used prefix
+  std::memcpy(buf, &m, n);
+  Message out;
+  std::memcpy(&out, buf, n);
+  ASSERT_TRUE(wire_validate(out, n));
+  const UtilityEntry& oe = out.u.util_phase2_req.entry;
+  EXPECT_TRUE(oe == e);
+  EXPECT_EQ(unpack_batch(oe.pool + oe.batched[0].offset, oe.batched[0].count), b0);
+  EXPECT_EQ(unpack_batch(oe.pool + oe.batched[1].offset, oe.batched[1].count), b1);
+}
+
+TEST(Wire, ValidateRejectsBatchedRefsOutsideThePool) {
+  Message m(MsgType::kUtilAccepted, ProtoId::kUtility, 0, 1);
+  UtilityEntry& e = m.u.util_accepted.entry;
+  e.kind = UtilityEntry::Kind::kAcceptorChange;
+  e.num_batched = 1;
+  e.pool_count = 3;
+  e.batched[0] = BatchedProposalRef{1, 2, 2};  // offset+count > pool_count
+  EXPECT_FALSE(wire_validate(m, sizeof(Message)));
+  e.batched[0] = BatchedProposalRef{1, 0, 3};
+  EXPECT_TRUE(wire_validate(m, sizeof(Message)));
+}
+
+TEST(Wire, BatchingCountersLiveInFormerPadding) {
+  // The single-command wire frames must be byte-stable: the new counters
+  // occupy padding, so the arrays did not move.
+  Message m(MsgType::kPhase1Resp, ProtoId::kMultiPaxos, 0, 1);
+  m.u.phase1_resp.num_proposals = 2;
+  m.u.phase1_resp.num_batched = 0;
+  EXPECT_EQ(wire_size(m),
+            kMessageHeaderBytes + offsetof(Phase1Resp, proposals) + 2 * sizeof(Proposal));
+  Message p(MsgType::kOpxPrepareResp, ProtoId::kOnePaxos, 1, 0);
+  p.u.opx_prepare_resp.num_accepted = 1;
+  EXPECT_EQ(wire_size(p),
+            kMessageHeaderBytes + offsetof(OpxPrepareResp, accepted) + sizeof(Proposal));
 }
 
 TEST(Wire, CommandEqualityIgnoresPadding) {

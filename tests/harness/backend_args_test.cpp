@@ -164,6 +164,96 @@ TEST(RequireHarnessFlagsOnly, RejectsTrailingFlagWithoutValue) {
               ::testing::ExitedWithCode(2), "requires a value");
 }
 
+TEST(BatchFromArgs, ParsesAndDefaults) {
+  {
+    Args a({"--batch=8"});
+    EXPECT_EQ(batch_from_args(a.argc(), a.argv()), 8);
+  }
+  {
+    Args a({"--batch", "64"});
+    EXPECT_EQ(batch_from_args(a.argc(), a.argv()), 64);
+  }
+  {
+    Args a({});
+    EXPECT_EQ(batch_from_args(a.argc(), a.argv()), 1);  // default: unbatched
+  }
+}
+
+TEST(BatchFromArgs, RejectsNonPositiveSizes) {
+  // --batch=0 must not silently run unbatched: a sweep that asked for
+  // batching and got none would report the wrong machine's numbers.
+  {
+    Args a({"--batch=0"});
+    std::int32_t n = 0;
+    std::string err;
+    EXPECT_FALSE(try_batch_from_args(a.argc(), a.argv(), 1, &n, &err));
+    EXPECT_NE(err.find("'0'"), std::string::npos);
+    EXPECT_EXIT(batch_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad batch size");
+  }
+  {
+    Args a({"--batch=-3"});
+    EXPECT_EXIT(batch_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad batch size");
+  }
+}
+
+TEST(BatchFromArgs, RejectsGarbageOverflowAndMissingValue) {
+  {
+    Args a({"--batch=lots"});
+    EXPECT_EXIT(batch_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad batch size");
+  }
+  {
+    Args a({"--batch=65"});  // beyond the compile-time ceiling
+    EXPECT_EXIT(batch_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad batch size");
+  }
+  {
+    Args a({"--batch"});
+    EXPECT_EXIT(batch_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "requires a value");
+  }
+}
+
+TEST(BatchFlushFromArgs, ParsesMicrosecondsRejectsNegative) {
+  {
+    Args a({"--batch-flush-us=50"});
+    EXPECT_EQ(batch_flush_from_args(a.argc(), a.argv()), 50 * kMicrosecond);
+  }
+  {
+    Args a({});
+    EXPECT_EQ(batch_flush_from_args(a.argc(), a.argv()), 0);
+  }
+  {
+    Args a({"--batch-flush-us=-1"});
+    EXPECT_EXIT(batch_flush_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad flush timeout");
+  }
+  {
+    // Beyond the overflow-safe bound (strtoll would clamp silently).
+    Args a({"--batch-flush-us=9223372036854775807"});
+    EXPECT_EXIT(batch_flush_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad flush timeout");
+  }
+}
+
+TEST(BatchPolicyFromArgs, BundlesBothFlags) {
+  Args a({"--batch=16", "--batch-flush-us=200"});
+  const consensus::BatchPolicy p = batch_policy_from_args(a.argc(), a.argv());
+  EXPECT_EQ(p.max_commands, 16);
+  EXPECT_EQ(p.flush_after, 200 * kMicrosecond);
+  EXPECT_TRUE(p.batching());
+}
+
+TEST(PositionalArgs, SkipsBatchFlagsToo) {
+  Args a({"multipaxos", "--batch", "8", "--batch-flush-us=10", "300"});
+  const auto pos = positional_args(a.argc(), a.argv());
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], "multipaxos");
+  EXPECT_EQ(pos[1], "300");
+}
+
 TEST(ShardFromArgs, BundlesGroupsAndPlacement) {
   Args a({"--groups=3", "--placement=colocated"});
   ClusterSpec base;

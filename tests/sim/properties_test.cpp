@@ -91,10 +91,12 @@ TEST_P(FaultSweep, SafetyAlwaysLivenessEventually) {
   }
   // Non-triviality: every decided command was issued by a live client (or is
   // a recovery no-op).
-  for (const auto& [in, cmd] : c.decided()) {
-    if (cmd.is_noop()) continue;
-    ASSERT_GE(cmd.client, 0);
-    ASSERT_GE(cmd.seq, 1u);
+  for (const auto& [in, batch] : c.decided()) {
+    for (const auto& cmd : batch) {
+      if (cmd.is_noop()) continue;
+      ASSERT_GE(cmd.client, 0);
+      ASSERT_GE(cmd.seq, 1u);
+    }
   }
 
   // LIVENESS: every quota filled once faults cleared.
