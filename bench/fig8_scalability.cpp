@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   const Nanos warmup = backend == Backend::kSim ? 20 * kMillisecond : 100 * kMillisecond;
   const Nanos window = backend == Backend::kSim ? 200 * kMillisecond : 400 * kMillisecond;
 
+  BenchJson json("fig8_scalability");
   row("--- backend: %s (%d cores online) ---", core::backend_name(backend),
       ci::online_cores());
   row("%8s | %12s %10s | %12s %10s | %12s %10s", "clients", "2PC op/s", "lat us",
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
       tput[p] = r.throughput;
       lat[p] = r.mean_latency_us;
       peak[p] = std::max(peak[p], r.throughput);
+      json.add(std::string(pname(protocols[p])) + "-clients=" + std::to_string(n), r);
     }
     row("%8d | %12.0f %10.1f | %12.0f %10.1f | %12.0f %10.1f", n, tput[0], lat[0], tput[1],
         lat[1], tput[2], lat[2]);

@@ -16,7 +16,11 @@
 //      two multipliers compose (each group's leader batches its own
 //      backlog).
 //
-//   $ ./bench/fig_batching_amortization [--backend=sim|rt]
+//   $ ./bench/fig_batching_amortization [--backend=sim|rt] [--sweep-diff]
+//
+// --sweep-diff appends a cross-backend check: one representative batched
+// spec runs on sim AND rt and the two RunResults are shape-diffed
+// (harness::sweep_diff); any mismatch fails the binary.
 #include "support/bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -26,8 +30,9 @@ int main(int argc, char** argv) {
   using core::ShardSpec;
 
   // The batch sweep is this bench's own axis; --batch would silently no-op.
-  harness::require_harness_flags_only(argc, argv, {"--backend"});
+  harness::require_harness_flags_only(argc, argv, {"--backend", "--sweep-diff"});
   const Backend backend = harness::backend_from_args(argc, argv, Backend::kSim);
+  const bool diff_backends = harness::sweep_diff_from_args(argc, argv);
 
   header("Batching amortization: throughput vs batch size",
          "Multi-Paxos group commit over the §3 cost model",
@@ -50,21 +55,22 @@ int main(int argc, char** argv) {
     return run_cluster(backend, ShardSpec(o, groups, placement), warmup, window);
   };
 
+  BenchJson json("fig_batching_amortization");
+
   row("--- backend: %s, %d clients/group, 3 replicas/group ---",
       core::backend_name(backend), kClients);
   row("");
   row("single group:");
-  row("%8s | %12s %10s | %10s %10s | %8s", "batch", "op/s", "msgs/op", "p50 us",
-      "p99 us", "speedup");
+  row("%8s | %12s %10s %10s | %10s %10s | %8s", "batch", "op/s", "msgs/op", "bytes/op",
+      "p50 us", "p99 us", "speedup");
   double base = 0;
   for (const std::int32_t b : {1, 2, 4, 8, 16, 32, 64}) {
     const BenchRun r = batched(b, 1, Placement::kGroupMajor);
     if (b == 1) base = r.throughput;
-    const double mpo = r.committed > 0
-                           ? static_cast<double>(r.messages) / static_cast<double>(r.committed)
-                           : 0.0;
-    row("%8d | %12.0f %10.2f | %10.1f %10.1f | %7.2fx", b, r.throughput, mpo,
-        r.p50_latency_us, r.p99_latency_us, base > 0 ? r.throughput / base : 0.0);
+    row("%8d | %12.0f %10.2f %10.1f | %10.1f %10.1f | %7.2fx", b, r.throughput,
+        r.msgs_per_op(), r.bytes_per_op(), r.p50_latency_us, r.p99_latency_us,
+        base > 0 ? r.throughput / base : 0.0);
+    json.add("batch=" + std::to_string(b), r);
   }
 
   row("");
@@ -77,11 +83,37 @@ int main(int argc, char** argv) {
     row("%12s | %10d | %12.0f | %8s", core::placement_name(p), 1, one.throughput, "");
     row("%12s | %10d | %12.0f | %7.2fx", core::placement_name(p), 64, big.throughput,
         one.throughput > 0 ? big.throughput / one.throughput : 0.0);
+    json.add(std::string(core::placement_name(p)) + "-4g-batch=1", one);
+    json.add(std::string(core::placement_name(p)) + "-4g-batch=64", big);
   }
 
   row("");
   row("Shape check: single-group op/s rises monotonically with batch size and");
-  row("clears 2x by batch=64 while msgs/op collapses toward the per-command");
-  row("client traffic floor; the 4-group rows show batching and sharding compose.");
+  row("clears 2x by batch=64 while msgs/op AND bytes/op collapse toward the");
+  row("per-command client traffic floor (frames carry k commands behind one");
+  row("header); the 4-group rows show batching and sharding compose.");
+
+  if (diff_backends) {
+    // One representative batched spec, both runtimes, shapes diffed.
+    ClusterSpec o;
+    o.protocol = Protocol::kMultiPaxos;
+    o.num_replicas = 3;
+    o.num_clients = 4;
+    o.workload.requests_per_client = 100;
+    o.engine.batch.max_commands = 16;
+    o.seed = 21;
+    harness::RunPlan plan;
+    plan.duration = 20 * kSecond;  // the quota ends both runs long before this
+    plan.max_wall = 60 * kSecond;
+    row("");
+    row("--sweep-diff: batch=16 spec on sim AND rt...");
+    const harness::SweepDiff d = harness::sweep_diff(ShardSpec(o), plan);
+    row("  sim committed %llu, rt committed %llu",
+        static_cast<unsigned long long>(d.sim.committed),
+        static_cast<unsigned long long>(d.rt.committed));
+    for (const std::string& m : d.mismatches) row("  MISMATCH: %s", m.c_str());
+    if (!d.ok()) return 1;
+    row("  shapes agree.");
+  }
   return 0;
 }

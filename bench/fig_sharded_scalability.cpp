@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
     o.num_clients = clients_per_group;
     return ShardSpec(o, groups, placement).total_nodes();
   };
+  BenchJson json("fig_sharded_scalability");
   row("%8s | %8s %8s | %12s %12s | %8s", "groups", "replicas", "clients",
       "agg op/s", "op/s/group", "speedup");
   double base = 0;
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
     const double speedup = base > 0 ? r.throughput / base : 0.0;
     row("%8d | %8d %8d | %12.0f %12.0f | %7.2fx", g, g * 3, g * 4, r.throughput,
         r.throughput / g, speedup);
+    json.add("groups=" + std::to_string(g), r);
   }
 
   // Sweep 2: the same replica budget (12) as one group vs several. Client
@@ -100,6 +102,7 @@ int main(int argc, char** argv) {
     std::snprintf(name, sizeof(name), "%dx%d", l.groups, l.replicas);
     row("%16s | %12.0f %10.1f | %10s", name, r.throughput, r.mean_latency_us,
         r.consistent ? "yes" : "NO");
+    json.add(name, r);
   }
 
   row("");

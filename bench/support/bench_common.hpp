@@ -57,7 +57,17 @@ struct BenchRun {
   double p99_latency_us = 0;
   std::uint64_t committed = 0;
   std::uint64_t messages = 0;  // boundary crossings during the window
+  std::uint64_t bytes = 0;     // encoded wire frame bytes behind them
   bool consistent = true;
+
+  double msgs_per_op() const {
+    return committed > 0 ? static_cast<double>(messages) / static_cast<double>(committed)
+                         : 0.0;
+  }
+  double bytes_per_op() const {
+    return committed > 0 ? static_cast<double>(bytes) / static_cast<double>(committed)
+                         : 0.0;
+  }
 };
 
 // Runs a (possibly sharded) spec on the chosen backend with a warmup,
@@ -73,6 +83,7 @@ inline BenchRun run_cluster(Backend backend, const core::ShardSpec& shard, Nanos
   BenchRun out;
   out.committed = r.committed;
   out.messages = r.total_messages;
+  out.bytes = r.total_bytes;
   out.throughput = r.throughput_ops();
   out.mean_latency_us = r.latency.mean() / 1e3;
   out.p50_latency_us = static_cast<double>(r.latency.percentile(0.5)) / 1e3;
@@ -90,6 +101,49 @@ inline BenchRun run_cluster(Backend backend, const ClusterSpec& spec, Nanos warm
 inline BenchRun run_sim(const ClusterSpec& spec, Nanos warmup, Nanos window) {
   return run_cluster(Backend::kSim, spec, warmup, window);
 }
+
+// Machine-readable perf trajectory: every bench can mirror its printed
+// rows into BENCH_<name>.json (one object per row: label, op/s, msgs/op,
+// bytes/op, latencies) so sizes and amortization are diffable across PRs
+// instead of living only in scrollback. Written on destruction, to the
+// working directory.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void add(const std::string& label, const BenchRun& r) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"label\": \"%s\", \"ops_per_sec\": %.1f, \"msgs_per_op\": %.3f, "
+                  "\"bytes_per_op\": %.1f, \"committed\": %llu, \"p50_us\": %.1f, "
+                  "\"p99_us\": %.1f, \"consistent\": %s}",
+                  label.c_str(), r.throughput, r.msgs_per_op(), r.bytes_per_op(),
+                  static_cast<unsigned long long>(r.committed), r.p50_latency_us,
+                  r.p99_latency_us, r.consistent ? "true" : "false");
+    rows_.emplace_back(buf);
+  }
+
+  ~BenchJson() {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;  // read-only cwd: the table already printed
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"sizeof_message\": %zu,\n  \"rows\": [\n",
+                 name_.c_str(), sizeof(ci::consensus::Message));
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(), i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
+};
 
 // LAN-regime cost model plus the lan() timeout profile (prop 135 us needs
 // millisecond timers and a pipeline deep enough for the bandwidth-delay

@@ -1,0 +1,76 @@
+// Backend sweep diff CLI (--sweep-diff made runnable): one spec, executed
+// on the simulator AND the real-thread runtime, with the two RunResults
+// diffed automatically by SHAPE — consistency, quota completion, message
+// amortization — never by wall-clock numbers (rt may be oversubscribed).
+// Exits non-zero on any mismatch, so it doubles as a scriptable check.
+//
+//   $ ./bench/sweep_diff [--batch=N] [--batch-flush-us=T] [--groups=N]
+//                        [--placement=...] [2pc|basic|multi|1paxos]
+#include <cstdio>
+#include <cstring>
+
+#include "support/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ci;
+  using namespace ci::bench;
+
+  Protocol protocol = Protocol::kMultiPaxos;
+  for (const std::string& arg : harness::positional_args(argc, argv)) {
+    if (arg == "2pc") {
+      protocol = Protocol::kTwoPc;
+    } else if (arg == "basic") {
+      protocol = Protocol::kBasicPaxos;
+    } else if (arg == "multi") {
+      protocol = Protocol::kMultiPaxos;
+    } else if (arg == "1paxos") {
+      protocol = Protocol::kOnePaxos;
+    } else {
+      std::fprintf(stderr, "unknown protocol '%s' (2pc|basic|multi|1paxos)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  ClusterSpec o;
+  o.protocol = protocol;
+  o.num_replicas = 3;
+  o.num_clients = 4;
+  o.workload.requests_per_client = 100;
+  o.engine.batch = harness::batch_policy_from_args(argc, argv);
+  o.seed = 29;
+  const core::ShardSpec shard = harness::shard_from_args(argc, argv, o);
+
+  harness::RunPlan plan;
+  plan.duration = 20 * kSecond;  // the quota ends both runs long before this
+  plan.max_wall = 60 * kSecond;
+
+  header("Backend sweep diff", "one spec, both runtimes",
+         "shapes must agree; absolute numbers are expected to differ");
+  const harness::SweepDiff d = harness::sweep_diff(shard, plan);
+
+  const auto mpo = [](const core::RunResult& r) {
+    return r.committed > 0
+               ? static_cast<double>(r.total_messages) / static_cast<double>(r.committed)
+               : 0.0;
+  };
+  const auto bpo = [](const core::RunResult& r) {
+    return r.committed > 0
+               ? static_cast<double>(r.total_bytes) / static_cast<double>(r.committed)
+               : 0.0;
+  };
+  row("%6s | %10s %10s %10s %12s | %s", "side", "committed", "msgs/op", "bytes/op",
+      "op/s", "consistent");
+  row("%6s | %10llu %10.2f %10.1f %12.0f | %s", "sim",
+      static_cast<unsigned long long>(d.sim.committed), mpo(d.sim), bpo(d.sim),
+      d.sim.throughput_ops(), d.sim.consistent ? "yes" : "NO");
+  row("%6s | %10llu %10.2f %10.1f %12.0f | %s", "rt",
+      static_cast<unsigned long long>(d.rt.committed), mpo(d.rt), bpo(d.rt),
+      d.rt.throughput_ops(), d.rt.consistent ? "yes" : "NO");
+
+  if (d.ok()) {
+    row("shapes agree.");
+    return 0;
+  }
+  for (const std::string& m : d.mismatches) row("MISMATCH: %s", m.c_str());
+  return 1;
+}

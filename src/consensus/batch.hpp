@@ -132,8 +132,9 @@ class Batcher {
 };
 
 // ---- Wire helpers ----
-// Batches travel as count-prefixed Command runs inside fixed-capacity
-// message payloads; only the used prefix is serialized (wire_size).
+// Batches travel as count-prefixed Command runs. In memory a run is a
+// CommandRun (message.hpp): inline for short runs, pooled for long ones;
+// on the wire the codec serializes only the used commands.
 
 inline std::int32_t pack_batch(const Batch& b, Command* out) {
   CI_CHECK(!b.empty() &&
@@ -145,6 +146,32 @@ inline std::int32_t pack_batch(const Batch& b, Command* out) {
 inline Batch unpack_batch(const Command* cmds, std::int32_t count) {
   CI_CHECK(count >= 1 && count <= kMaxCommandsPerBatch);
   return Batch(cmds, cmds + count);
+}
+
+// Order-sensitive digest of a command run (FNV-1a over the semantic fields,
+// seeded by the count; padding excluded). AcceptorChange entries identify
+// their batched uncommitted values by (instance, count, digest) and the
+// bodies travel out of line — the digest is what lets an adopter verify a
+// fetched body against the decided entry (see message.hpp BatchedProposalRef
+// and DESIGN.md §1c).
+inline std::uint64_t batch_digest(const Command* cmds, std::int32_t count) {
+  std::uint64_t h = 1469598103934665603ull ^ static_cast<std::uint64_t>(count);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (std::int32_t i = 0; i < count; ++i) {
+    const Command& c = cmds[i];
+    mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.client)) << 32) | c.seq);
+    mix(static_cast<std::uint64_t>(c.op));
+    mix(c.key);
+    mix(c.value);
+  }
+  return h;
+}
+
+inline std::uint64_t batch_digest(const Batch& b) {
+  return batch_digest(b.data(), static_cast<std::int32_t>(b.size()));
 }
 
 }  // namespace ci::consensus

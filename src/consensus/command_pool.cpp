@@ -1,0 +1,74 @@
+#include "consensus/command_pool.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace ci::consensus {
+
+namespace {
+
+// (index, generation) packing: the index addresses blocks_, the generation
+// guards against stale refs to a recycled block.
+constexpr std::uint64_t make_bits(std::uint32_t index, std::uint32_t generation) {
+  return (static_cast<std::uint64_t>(index) << 32) | generation;
+}
+constexpr std::uint32_t index_of(BodyRef ref) {
+  return static_cast<std::uint32_t>(ref.bits >> 32);
+}
+constexpr std::uint32_t generation_of(BodyRef ref) {
+  return static_cast<std::uint32_t>(ref.bits & 0xFFFFFFFFu);
+}
+
+}  // namespace
+
+CommandPool& CommandPool::local() {
+  thread_local CommandPool pool;
+  return pool;
+}
+
+CommandPool::Block& CommandPool::checked_block(BodyRef ref) {
+  CI_CHECK_MSG(ref.bits != 0, "null command-pool ref");
+  const std::uint32_t idx = index_of(ref);
+  CI_CHECK_MSG(idx < blocks_.size(), "command-pool ref out of range");
+  Block& b = blocks_[idx];
+  CI_CHECK_MSG(b.generation == generation_of(ref) && b.refs > 0,
+               "stale command-pool ref (block was released)");
+  return b;
+}
+
+const CommandPool::Block& CommandPool::checked_block(BodyRef ref) const {
+  return const_cast<CommandPool*>(this)->checked_block(ref);
+}
+
+BodyRef CommandPool::alloc(const Command* src, std::int32_t count) {
+  CI_CHECK(src != nullptr && count >= 1 && count <= kMaxCommandsPerBatch);
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(blocks_.size());
+    blocks_.emplace_back();
+  }
+  Block& b = blocks_[idx];
+  b.refs = 1;
+  std::memcpy(b.cmds, src, static_cast<std::size_t>(count) * sizeof(Command));
+  live_++;
+  return BodyRef{make_bits(idx, b.generation)};
+}
+
+const Command* CommandPool::data(BodyRef ref) const { return checked_block(ref).cmds; }
+
+void CommandPool::retain(BodyRef ref) { checked_block(ref).refs++; }
+
+void CommandPool::release(BodyRef ref) {
+  Block& b = checked_block(ref);
+  if (--b.refs == 0) {
+    b.generation++;
+    free_.push_back(index_of(ref));
+    live_--;
+  }
+}
+
+}  // namespace ci::consensus

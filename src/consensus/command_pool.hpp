@@ -1,0 +1,75 @@
+// Out-of-line storage for large batched command runs.
+//
+// sizeof(Message) is budgeted (message.hpp pins it under 1.5 KB), so a
+// batch payload cannot inline kMaxCommandsPerBatch commands. Runs longer
+// than the small inline buffer live in a CommandPool block and the message
+// carries a BodyRef to it. Messages stay trivially copyable, so the ref is
+// a plain value and custody is by convention (documented in wire_codec.hpp):
+// ctx.send() consumes the ref, transports release it after delivery, and
+// wire::decode() allocates a fresh block on the receiving side.
+//
+// The pool is thread-local: a ref is only ever dereferenced on the thread
+// that allocated it (engines run on one node thread; the simulator, the
+// FakeNet harness, and each RtNode are single-threaded), so no locking is
+// needed and the hot batch path stays allocation-free once the free list
+// warms up. Refs carry a generation so a use-after-release trips a CHECK
+// instead of reading recycled bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "consensus/types.hpp"
+
+namespace ci::consensus {
+
+// Handle to a pooled command block; value 0 is null (the zero-initialized
+// Message default). Trivially copyable so Message stays memcpy-able.
+struct BodyRef {
+  std::uint64_t bits = 0;
+
+  explicit operator bool() const { return bits != 0; }
+  friend bool operator==(BodyRef a, BodyRef b) { return a.bits == b.bits; }
+};
+
+class CommandPool {
+ public:
+  // The calling thread's pool. Refs must be dereferenced and released on
+  // the thread that allocated them.
+  static CommandPool& local();
+
+  // Copies `count` commands into a fresh block (refcount 1).
+  BodyRef alloc(const Command* src, std::int32_t count);
+
+  const Command* data(BodyRef ref) const;
+
+  // Production custody is single-owner (one reference per block, handed
+  // along the send/deliver chain); retain() exists for harnesses that
+  // deliberately duplicate a message — e.g. a test that peeks a pooled
+  // frame out of a queue and re-injects it later — and must pin the block
+  // across the original's release.
+  void retain(BodyRef ref);
+  void release(BodyRef ref);
+
+  // Outstanding (allocated, unreleased) blocks — the leak check for tests.
+  std::size_t live() const { return live_; }
+
+ private:
+  struct Block {
+    Command cmds[kMaxCommandsPerBatch];
+    std::uint32_t generation = 1;  // bumped on release; 0 never used
+    std::int32_t refs = 0;
+  };
+
+  Block& checked_block(BodyRef ref);
+  const Block& checked_block(BodyRef ref) const;
+
+  // deque: blocks never move, so data() pointers stay valid across alloc.
+  std::deque<Block> blocks_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace ci::consensus

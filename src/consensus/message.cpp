@@ -6,20 +6,23 @@ namespace {
 
 std::size_t entry_bytes(const UtilityEntry& e) {
   // Entries without batched proposals keep the pre-batching layout: the
-  // appended batched[]/pool[] region is never serialized, so legacy traffic
-  // is unchanged byte for byte (receivers zero-fill, so num_batched reads 0).
+  // appended batched[] region is never serialized, so legacy traffic is
+  // unchanged byte for byte (receivers zero-fill, so num_batched reads 0).
   if (e.num_batched == 0) {
     return offsetof(UtilityEntry, proposals) +
            static_cast<std::size_t>(e.num_proposals) * sizeof(Proposal);
   }
-  return offsetof(UtilityEntry, pool) +
-         static_cast<std::size_t>(e.pool_count) * sizeof(Command);
+  return offsetof(UtilityEntry, batched) +
+         static_cast<std::size_t>(e.num_batched) * sizeof(BatchedProposalRef);
 }
 
-// Count-prefixed Command runs: header fields + the used prefix of cmds[].
+// Count-prefixed Command runs: the fixed fields (everything before the
+// in-memory CommandRun) + `count` commands. The codec serializes the run's
+// commands at this offset, where the fixed-size cmds[] array used to sit,
+// so the frame bytes are unchanged.
 template <typename P>
 std::size_t batch_bytes(const P& p) {
-  return offsetof(P, cmds) + static_cast<std::size_t>(p.count) * sizeof(Command);
+  return offsetof(P, run) + static_cast<std::size_t>(p.count) * sizeof(Command);
 }
 
 std::size_t payload_bytes(const Message& m) {
@@ -90,6 +93,10 @@ std::size_t payload_bytes(const Message& m) {
       return batch_bytes(m.u.opx_batch_learn);
     case MsgType::kOpxPrepareBatchResp:
       return batch_bytes(m.u.opx_prepare_batch_resp);
+    case MsgType::kOpxWindowBody:
+      return batch_bytes(m.u.opx_window_body);
+    case MsgType::kOpxWindowFetchReq:
+      return sizeof(OpxWindowFetchReq);
   }
   return sizeof(Message::Payload);  // unknown: be conservative
 }
@@ -134,6 +141,8 @@ bool known_type(MsgType t) {
     case MsgType::kOpxBatchAcceptReq:
     case MsgType::kOpxBatchLearn:
     case MsgType::kOpxPrepareBatchResp:
+    case MsgType::kOpxWindowBody:
+    case MsgType::kOpxWindowFetchReq:
       return true;
   }
   return false;
@@ -146,12 +155,8 @@ bool batch_count_ok(std::int32_t n) { return n >= 2 && n <= kMaxCommandsPerBatch
 bool entry_ok(const UtilityEntry& e) {
   if (!count_ok(e.num_proposals)) return false;
   if (e.num_batched < 0 || e.num_batched > kMaxBatchedPerEntry) return false;
-  if (e.pool_count < 0 || e.pool_count > kUtilityBatchPoolCommands) return false;
   for (std::int32_t i = 0; i < e.num_batched; ++i) {
-    const BatchedProposalRef& r = e.batched[i];
-    if (!batch_count_ok(r.count) || r.offset < 0 || r.offset + r.count > e.pool_count) {
-      return false;
-    }
+    if (!batch_count_ok(e.batched[i].count)) return false;
   }
   return true;
 }
@@ -199,6 +204,9 @@ bool wire_validate(const Message& m, std::size_t bytes) {
       break;
     case MsgType::kOpxPrepareBatchResp:
       if (!batch_count_ok(m.u.opx_prepare_batch_resp.count)) return false;
+      break;
+    case MsgType::kOpxWindowBody:
+      if (!batch_count_ok(m.u.opx_window_body.count)) return false;
       break;
     default:
       break;

@@ -1,11 +1,15 @@
 // Wire messages for every protocol in the repository.
 //
 // One trivially-copyable Message struct carries a small header plus a union
-// payload. wire_size() returns the number of meaningful bytes for a given
-// message so transports copy (and charge for) only what is actually sent;
-// every fast-path message fits a single 128-byte QC-libtask slot, while the
-// rare 1Paxos reconfiguration entries span a few fragments (paper §5.2: the
-// backup-acceptor machinery stays off the fast path).
+// payload. The in-memory Message is deliberately decoupled from the wire:
+// batched command runs longer than the inline buffer live out of line in
+// the CommandPool (command_pool.hpp) and the wire::Codec (wire_codec.hpp)
+// produces compact variable-length frames, so sizeof(Message) stays within
+// the budget pinned below instead of growing with the worst-case batch.
+// wire_size() returns the encoded frame size for a given message; every
+// fast-path message fits a single 128-byte QC-libtask slot, while batched
+// frames and the rare 1Paxos reconfiguration entries span a few fragments
+// (paper §5.2: the backup-acceptor machinery stays off the fast path).
 #pragma once
 
 #include <cstddef>
@@ -13,6 +17,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "consensus/command_pool.hpp"
 #include "consensus/types.hpp"
 
 namespace ci::consensus {
@@ -88,6 +93,16 @@ enum class MsgType : std::uint8_t {
   // recovering half a window.
   kPhase1BatchResp,
   kOpxPrepareBatchResp,
+
+  // Out-of-line batched-window bodies (1Paxos reconfiguration). An
+  // AcceptorChange entry identifies its batched uncommitted values by
+  // (instance, count, digest); the command bodies are published to every
+  // replica as kOpxWindowBody frames when the change is proposed, and an
+  // adopter missing one fetches it with kOpxWindowFetchReq (fetch-on-adopt,
+  // DESIGN.md §1c). This keeps the consensus value itself small and
+  // self-contained instead of appending a worst-case command pool to it.
+  kOpxWindowBody,
+  kOpxWindowFetchReq,
 };
 
 // Message::flags bits.
@@ -199,16 +214,52 @@ struct OpxCatchupReq {
 };
 
 // ---- Batched payloads ----
-// One instance whose value is a run of count (>= 2) commands. wire_size()
-// truncates cmds to the used prefix, so a batch of k costs one header plus
-// k commands on the wire — the amortization the batching layer buys.
+// One instance whose value is a run of count (>= 2) commands. In memory the
+// run is a CommandRun: inline up to kInlineBatchCommands, out of line in
+// the CommandPool beyond that. On the wire the codec serializes the fixed
+// fields (everything before the run — their offsets are pinned below, so
+// frames are byte-identical to the fixed-size era) followed by exactly
+// `count` commands: a batch of k costs one header plus k commands — the
+// amortization the batching layer buys.
+
+struct CommandRun {
+  BodyRef ref;  // non-null iff the run is pooled (count > kInlineBatchCommands)
+  Command inline_cmds[kInlineBatchCommands];
+
+  const Command* data(std::int32_t count) const {
+    return count <= kInlineBatchCommands ? inline_cmds : CommandPool::local().data(ref);
+  }
+
+  // Copies the run in; long runs allocate a pool block whose single
+  // reference this message now owns (see wire_codec.hpp for the custody
+  // rules: ctx.send() consumes it, transports release after delivery).
+  void assign(const Command* src, std::int32_t count) {
+    CI_CHECK(count >= 1 && count <= kMaxCommandsPerBatch);
+    if (count <= kInlineBatchCommands) {
+      std::memcpy(inline_cmds, src, static_cast<std::size_t>(count) * sizeof(Command));
+      ref = BodyRef{};
+    } else {
+      ref = CommandPool::local().alloc(src, count);
+    }
+  }
+
+  // Engine convenience: copy a whole batch in, returning its count for the
+  // payload's count field. (Templated so this header stays independent of
+  // batch.hpp, which defines the Batch vector type.)
+  template <typename BatchT>
+  std::int32_t pack(const BatchT& b) {
+    const auto count = static_cast<std::int32_t>(b.size());
+    assign(b.data(), count);
+    return count;
+  }
+};
 
 struct Phase2BatchReq {
   Instance instance = kNoInstance;
   ProposalNum pn;
   std::int32_t count = 0;
   std::uint8_t reserved[4] = {0};
-  Command cmds[kMaxCommandsPerBatch];
+  CommandRun run;
 };
 
 struct Phase2BatchAcked {
@@ -216,7 +267,7 @@ struct Phase2BatchAcked {
   ProposalNum pn;
   std::int32_t count = 0;
   std::uint8_t reserved[4] = {0};
-  Command cmds[kMaxCommandsPerBatch];
+  CommandRun run;
 };
 
 // Recovery sidecar: one batched accepted-but-undecided instance reported
@@ -228,7 +279,7 @@ struct Phase1BatchResp {
   Instance instance = kNoInstance;
   std::int32_t count = 0;
   std::uint8_t reserved[4] = {0};
-  Command cmds[kMaxCommandsPerBatch];
+  CommandRun run;
 };
 
 struct OpxBatchAcceptReq {
@@ -236,14 +287,14 @@ struct OpxBatchAcceptReq {
   ProposalNum pn;
   std::int32_t count = 0;
   std::uint8_t reserved[4] = {0};
-  Command cmds[kMaxCommandsPerBatch];
+  CommandRun run;
 };
 
 struct OpxBatchLearn {
   Instance instance = kNoInstance;
   std::int32_t count = 0;
   std::uint8_t reserved[4] = {0};
-  Command cmds[kMaxCommandsPerBatch];
+  CommandRun run;
 };
 
 // Recovery sidecar: one batched ap entry reported during a 1Paxos adoption.
@@ -252,26 +303,47 @@ struct OpxPrepareBatchResp {
   std::int32_t count = 0;
   ProposalNum pn;  // the adoption ballot (echo, matches the main resp)
   Instance instance = kNoInstance;
-  Command cmds[kMaxCommandsPerBatch];
+  CommandRun run;
+};
+
+// A batched uncommitted value published out of line when an AcceptorChange
+// entry is proposed: every replica stores the body keyed by (instance,
+// digest) so a later adopter can resolve the entry's refs locally.
+struct OpxWindowBody {
+  Instance instance = kNoInstance;
+  std::uint64_t digest = 0;
+  std::int32_t count = 0;
+  std::uint8_t reserved[4] = {0};
+  CommandRun run;
+};
+
+// Fetch-on-adopt: an adopter missing a body named by an AcceptorChange ref
+// asks the other replicas; any holder answers with kOpxWindowBody.
+struct OpxWindowFetchReq {
+  Instance instance = kNoInstance;
+  std::uint64_t digest = 0;
 };
 
 // PaxosUtility: consensus entries are leader/acceptor changes, with the
 // uncommitted proposals attached to AcceptorChange (paper §5.2).
 
-// Capacity of a UtilityEntry's batched-proposal region. Like the legacy
-// proposals array (twice the default pipeline window), the command pool
-// holds the union of TWO uncommitted batched windows — 1Paxos clamps its
-// effective window under batching so a handover-after-handover entry still
-// fits (see OnePaxosEngine::effective_window).
+// Capacity of a UtilityEntry's batched-ref array. Like the legacy proposals
+// array (twice the default pipeline window), it holds the union of TWO
+// uncommitted batched windows (handover after handover). Refs are a few
+// dozen bytes each: the command bodies travel out of line (kOpxWindowBody),
+// which is what keeps the entry — and with it sizeof(Message) — small.
 inline constexpr std::int32_t kMaxBatchedPerEntry = kMaxProposalsPerMsg;
-inline constexpr std::int32_t kUtilityBatchPoolCommands = 2 * kMaxCommandsPerBatch;
 
 // One batched uncommitted instance inside a UtilityEntry: `count` commands
-// starting at `offset` in the entry's command pool.
+// whose bodies are named by `digest` (batch_digest in batch.hpp). The entry
+// stays a self-contained consensus value — what was agreed is the (instance,
+// count, digest) binding — while the bodies are published to every replica
+// when the change is proposed and fetched on adopt if missing.
 struct BatchedProposalRef {
   Instance instance = kNoInstance;
-  std::int32_t offset = 0;
   std::int32_t count = 0;
+  std::uint8_t reserved[4] = {0};
+  std::uint64_t digest = 0;
 };
 
 struct UtilityEntry {
@@ -288,15 +360,12 @@ struct UtilityEntry {
   // frontier must travel with the configuration).
   Instance frontier = 0;
   std::int32_t num_proposals = 0;
-  // Batched uncommitted values ride in the batched[]/pool[] region below;
-  // num_batched occupies former padding, and entries with num_batched == 0
-  // keep the legacy wire size exactly (see entry_bytes in message.cpp).
+  // Batched uncommitted values ride as refs in batched[] below; num_batched
+  // occupies former padding, and entries with num_batched == 0 keep the
+  // legacy wire size exactly (see entry_bytes in message.cpp).
   std::int32_t num_batched = 0;
   Proposal proposals[kMaxProposalsPerMsg];  // kAcceptorChange: single-command values
-  std::int32_t pool_count = 0;
-  std::uint8_t reserved2[4] = {0};
   BatchedProposalRef batched[kMaxBatchedPerEntry];
-  Command pool[kUtilityBatchPoolCommands];
 
   friend bool operator==(const UtilityEntry& a, const UtilityEntry& b) {
     if (a.kind != b.kind || a.leader != b.leader || a.acceptor != b.acceptor ||
@@ -307,15 +376,14 @@ struct UtilityEntry {
     for (std::int32_t i = 0; i < a.num_proposals; ++i) {
       if (!(a.proposals[i] == b.proposals[i])) return false;
     }
-    // Batched values compare semantically (instance + commands) so two
-    // producers packing the same window with different pool offsets still
-    // compare equal.
+    // The digest IS the batched value's identity: two producers packing the
+    // same window compute the same digest (batch_digest is order-sensitive
+    // and padding-blind), so semantic equality survived the move out of line.
     for (std::int32_t i = 0; i < a.num_batched; ++i) {
       const BatchedProposalRef& ra = a.batched[i];
       const BatchedProposalRef& rb = b.batched[i];
-      if (ra.instance != rb.instance || ra.count != rb.count) return false;
-      for (std::int32_t c = 0; c < ra.count; ++c) {
-        if (!(a.pool[ra.offset + c] == b.pool[rb.offset + c])) return false;
+      if (ra.instance != rb.instance || ra.count != rb.count || ra.digest != rb.digest) {
+        return false;
       }
     }
     return true;
@@ -396,6 +464,8 @@ struct Message {
     OpxBatchAcceptReq opx_batch_accept_req;
     OpxBatchLearn opx_batch_learn;
     OpxPrepareBatchResp opx_prepare_batch_resp;
+    OpxWindowBody opx_window_body;
+    OpxWindowFetchReq opx_window_fetch_req;
 
     // All members are trivially copyable PODs; zero-fill so serialized
     // padding bytes are deterministic.
@@ -420,8 +490,30 @@ static_assert(offsetof(Phase1Resp, proposals) == 24);
 static_assert(offsetof(OpxPrepareResp, accepted) == 40);
 static_assert(offsetof(UtilityEntry, proposals) == 32);
 
-// Number of meaningful bytes for serialization. Variable-length payloads
-// (proposal arrays) are truncated to their used prefix.
+// A batch frame's fixed fields end where its command run begins; pinning
+// the run offsets pins the frame prefix the codec serializes, keeping
+// batched wire frames byte-identical to the fixed-size era (the commands
+// followed the fixed fields at these very offsets).
+static_assert(offsetof(Phase2BatchReq, run) == 32);
+static_assert(offsetof(Phase2BatchAcked, run) == 32);
+static_assert(offsetof(Phase1BatchResp, run) == 48);
+static_assert(offsetof(OpxBatchAcceptReq, run) == 32);
+static_assert(offsetof(OpxBatchLearn, run) == 16);
+static_assert(offsetof(OpxPrepareBatchResp, run) == 32);
+
+// The budget this refactor exists to enforce: every Message construction
+// zero-fills sizeof(Message) bytes and every SPSC slot, rt task stack, and
+// sim event is sized against it, so the worst-case union member must stay
+// small. Regressions fail the build here (and the ctest wire-budget checks
+// pin the per-frame encodings; see tests/consensus/wire_codec_test.cpp).
+inline constexpr std::size_t kMessageBudgetBytes = 1536;
+static_assert(sizeof(Message) <= kMessageBudgetBytes,
+              "sizeof(Message) exceeds its budget: move payload out of line "
+              "instead of growing the union");
+
+// Encoded frame size of a message (header + compact payload). Variable-
+// length payloads — proposal arrays, command runs — are truncated to their
+// used prefix; out-of-line runs count their commands, not their refs.
 std::size_t wire_size(const Message& m);
 
 // True when the message's fixed fields look internally consistent; used by

@@ -66,7 +66,8 @@ void MultiPaxosEngine::on_message(Context& ctx, const Message& m) {
       return;
     case MsgType::kPhase2BatchReq:
       handle_phase2_req(ctx, m.u.phase2_batch_req.instance, m.u.phase2_batch_req.pn,
-                        unpack_batch(m.u.phase2_batch_req.cmds, m.u.phase2_batch_req.count),
+                        unpack_batch(m.u.phase2_batch_req.run.data(m.u.phase2_batch_req.count),
+                                     m.u.phase2_batch_req.count),
                         m.src);
       return;
     case MsgType::kPhase2Acked:
@@ -77,8 +78,9 @@ void MultiPaxosEngine::on_message(Context& ctx, const Message& m) {
     case MsgType::kPhase2BatchAcked:
       handle_phase2_acked(
           ctx, m.u.phase2_batch_acked.instance, m.u.phase2_batch_acked.pn,
-          unpack_batch(m.u.phase2_batch_acked.cmds, m.u.phase2_batch_acked.count), m.src,
-          m.flags == 1);
+          unpack_batch(m.u.phase2_batch_acked.run.data(m.u.phase2_batch_acked.count),
+                       m.u.phase2_batch_acked.count),
+          m.src, m.flags == 1);
       return;
     case MsgType::kNack:
       handle_nack(ctx, m);
@@ -186,7 +188,7 @@ void MultiPaxosEngine::send_accept(Context& ctx, Instance in, const Batch& value
       Message m(MsgType::kPhase2BatchReq, ProtoId::kMultiPaxos, cfg_.base.self, a);
       m.u.phase2_batch_req.instance = in;
       m.u.phase2_batch_req.pn = my_ballot_;
-      m.u.phase2_batch_req.count = pack_batch(value, m.u.phase2_batch_req.cmds);
+      m.u.phase2_batch_req.count = m.u.phase2_batch_req.run.pack(value);
       ctx.send(a, m);
     }
   }
@@ -208,7 +210,7 @@ void MultiPaxosEngine::send_acked(Context& ctx, NodeId dst, Instance in, Proposa
     if (decided) acked.flags = 1;
     acked.u.phase2_batch_acked.instance = in;
     acked.u.phase2_batch_acked.pn = pn;
-    acked.u.phase2_batch_acked.count = pack_batch(value, acked.u.phase2_batch_acked.cmds);
+    acked.u.phase2_batch_acked.count = acked.u.phase2_batch_acked.run.pack(value);
     ctx.send(dst, acked);
   }
 }
@@ -317,7 +319,7 @@ void MultiPaxosEngine::handle_phase1_req(Context& ctx, const Message& m) {
         side.u.phase1_batch_resp.pn = pn;
         side.u.phase1_batch_resp.accepted_pn = acc.pn;
         side.u.phase1_batch_resp.instance = in;
-        side.u.phase1_batch_resp.count = pack_batch(acc.value, side.u.phase1_batch_resp.cmds);
+        side.u.phase1_batch_resp.count = side.u.phase1_batch_resp.run.pack(acc.value);
         ctx.send(m.src, side);
         nb++;
       }
@@ -351,7 +353,8 @@ void MultiPaxosEngine::handle_phase1_batch_resp(Context& ctx, const Message& m) 
   if (!takeover_.has_value() || !(m.u.phase1_batch_resp.pn == takeover_->pn)) return;
   if (!is_acceptor(m.src)) return;
   merge_recovered(m.u.phase1_batch_resp.instance, m.u.phase1_batch_resp.accepted_pn,
-                  unpack_batch(m.u.phase1_batch_resp.cmds, m.u.phase1_batch_resp.count));
+                  unpack_batch(m.u.phase1_batch_resp.run.data(m.u.phase1_batch_resp.count),
+                               m.u.phase1_batch_resp.count));
   takeover_->reports[m.src].seen_batched++;
   maybe_count_promise(ctx, m.src);
 }

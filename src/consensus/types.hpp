@@ -81,4 +81,11 @@ inline constexpr int kMaxProposalsPerMsg = 16;
 // the used prefix travels.
 inline constexpr std::int32_t kMaxCommandsPerBatch = 64;
 
+// Commands a batch payload stores inside the Message itself. Longer runs
+// live out of line in the CommandPool (command_pool.hpp) so sizeof(Message)
+// stays within its budget; short runs stay self-contained, which also keeps
+// hand-stepped test harnesses (which copy and re-inject messages) free of
+// pool-custody concerns at small batch sizes.
+inline constexpr std::int32_t kInlineBatchCommands = 8;
+
 }  // namespace ci::consensus

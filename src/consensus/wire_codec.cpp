@@ -1,0 +1,129 @@
+#include "consensus/wire_codec.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace ci::wire {
+
+using consensus::Command;
+using consensus::CommandPool;
+using consensus::CommandRun;
+using consensus::kMaxCommandsPerBatch;
+using consensus::kMessageHeaderBytes;
+using consensus::Message;
+using consensus::MsgType;
+
+namespace {
+
+// The batched payloads all follow one shape: fixed fields, a count, and a
+// CommandRun. This view erases the per-type struct so encode/decode handle
+// them uniformly; fixed is the payload-relative offset of the run (pinned
+// by static_asserts in message.hpp).
+struct RunView {
+  std::size_t fixed = 0;
+  CommandRun* run = nullptr;
+  std::int32_t count = 0;
+};
+
+// Non-const so decode can assign into the run; encode uses it read-only.
+bool run_view(Message& m, RunView* v) {
+  switch (m.type) {
+    case MsgType::kPhase2BatchReq:
+      *v = {offsetof(consensus::Phase2BatchReq, run), &m.u.phase2_batch_req.run,
+            m.u.phase2_batch_req.count};
+      return true;
+    case MsgType::kPhase2BatchAcked:
+      *v = {offsetof(consensus::Phase2BatchAcked, run), &m.u.phase2_batch_acked.run,
+            m.u.phase2_batch_acked.count};
+      return true;
+    case MsgType::kPhase1BatchResp:
+      *v = {offsetof(consensus::Phase1BatchResp, run), &m.u.phase1_batch_resp.run,
+            m.u.phase1_batch_resp.count};
+      return true;
+    case MsgType::kOpxBatchAcceptReq:
+      *v = {offsetof(consensus::OpxBatchAcceptReq, run), &m.u.opx_batch_accept_req.run,
+            m.u.opx_batch_accept_req.count};
+      return true;
+    case MsgType::kOpxBatchLearn:
+      *v = {offsetof(consensus::OpxBatchLearn, run), &m.u.opx_batch_learn.run,
+            m.u.opx_batch_learn.count};
+      return true;
+    case MsgType::kOpxPrepareBatchResp:
+      *v = {offsetof(consensus::OpxPrepareBatchResp, run), &m.u.opx_prepare_batch_resp.run,
+            m.u.opx_prepare_batch_resp.count};
+      return true;
+    case MsgType::kOpxWindowBody:
+      *v = {offsetof(consensus::OpxWindowBody, run), &m.u.opx_window_body.run,
+            m.u.opx_window_body.count};
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::uint32_t encode(const Message& m, unsigned char* buf) {
+  RunView v;
+  if (run_view(const_cast<Message&>(m), &v)) {
+    CI_CHECK_MSG(v.count >= 2 && v.count <= kMaxCommandsPerBatch,
+                 "encoding a batched frame with a bogus count");
+    const std::size_t fixed = kMessageHeaderBytes + v.fixed;
+    const std::size_t cmds = static_cast<std::size_t>(v.count) * sizeof(Command);
+    std::memcpy(buf, &m, fixed);
+    std::memcpy(buf + fixed, v.run->data(v.count), cmds);
+    return static_cast<std::uint32_t>(fixed + cmds);
+  }
+  const std::size_t n = consensus::wire_size(m);
+  CI_CHECK(n <= kMaxFrameBytes);
+  std::memcpy(buf, &m, n);
+  return static_cast<std::uint32_t>(n);
+}
+
+bool try_decode(const unsigned char* buf, std::size_t n, Message* out) {
+  if (n < kMessageHeaderBytes || n > kMaxFrameBytes) return false;
+  Message m;  // zero-filled payload: undelivered frame bytes read as zeroes
+  std::memcpy(static_cast<void*>(&m), buf, kMessageHeaderBytes);
+  RunView v;
+  if (run_view(m, &v)) {
+    const std::size_t fixed = kMessageHeaderBytes + v.fixed;
+    if (n < fixed) return false;
+    std::memcpy(static_cast<void*>(&m), buf, fixed);
+    if (!run_view(m, &v)) return false;  // re-read with the real count
+    if (v.count < 2 || v.count > kMaxCommandsPerBatch) return false;
+    const std::size_t cmds = static_cast<std::size_t>(v.count) * sizeof(Command);
+    if (n < fixed + cmds) return false;  // truncated command run
+    if (!consensus::wire_validate(m, n)) return false;
+    // All checks passed: materialize the run (may allocate a pool block the
+    // caller now owns through *out).
+    v.run->assign(reinterpret_cast<const Command*>(buf + fixed), v.count);
+    *out = m;
+    return true;
+  }
+  if (n > sizeof(Message)) return false;  // legacy frames are struct prefixes
+  std::memcpy(static_cast<void*>(&m), buf, n);
+  if (!consensus::wire_validate(m, n)) return false;
+  *out = m;
+  return true;
+}
+
+void release_body(const Message& m) {
+  RunView v;
+  if (!run_view(const_cast<Message&>(m), &v)) return;
+  if (v.count > consensus::kInlineBatchCommands && v.run->ref) {
+    CommandPool::local().release(v.run->ref);
+  }
+}
+
+std::uint32_t max_frame_bytes(const consensus::BatchPolicy& policy) {
+  const std::size_t batch_frame =
+      kMessageHeaderBytes + kMaxBatchFixedBytes +
+      static_cast<std::size_t>(policy.commands_cap()) * sizeof(Command);
+  const std::size_t entry_frame = kMessageHeaderBytes +
+                                  offsetof(consensus::UtilPhase1Resp, accepted) +
+                                  sizeof(consensus::UtilityEntry);
+  return static_cast<std::uint32_t>(std::max(batch_frame, entry_frame));
+}
+
+}  // namespace ci::wire

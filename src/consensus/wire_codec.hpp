@@ -1,0 +1,86 @@
+// wire::Codec — the one seam between in-memory Messages and wire frames.
+//
+// A frame is the 16-byte message header followed by the payload's compact
+// encoding: fixed fields, then any variable-length tail (proposal arrays,
+// command runs) truncated to its used prefix. For every message whose
+// payload is stored contiguously in the Message this is a plain prefix copy
+// — bit-identical to the fixed-size-Message era, which is what keeps
+// batch=1 deployments byte-stable on the wire. Batched payloads differ only
+// in memory (their command run may live in the CommandPool): the codec
+// serializes the fixed fields at their pinned offsets and appends the
+// commands exactly where the old inline array sat, so batched frames are
+// byte-identical too.
+//
+// Both backends speak frames through this codec: the rt transport encodes
+// into SPSC slots (rt/wire.hpp delegates here), the simulator charges
+// frame_size() bytes per send, and a future LAN-socket backend would write
+// these very frames to a socket — the codec is the seam it plugs into.
+//
+// Custody rules for pooled bodies (CommandRun::ref, thread-local pool):
+//   * building a batched message (CommandRun::assign / pack_batch) hands
+//     the block's single reference to that message;
+//   * ctx.send() CONSUMES the reference — the transport either encodes the
+//     frame immediately (rt) or holds the message and releases after
+//     delivery (sim, FakeNet); the sender must not touch the run after
+//     send();
+//   * decode() allocates a fresh block for long runs on the receiving side;
+//     the transport releases it (release_body) once the handler returns —
+//     engines copy commands out inside on_message and never retain refs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "consensus/batch.hpp"
+#include "consensus/message.hpp"
+
+namespace ci::wire {
+
+// Largest fixed-field region among the batched frame kinds (the codec
+// writes commands immediately after it).
+inline constexpr std::size_t kMaxBatchFixedBytes = std::max({
+    offsetof(consensus::Phase2BatchReq, run),
+    offsetof(consensus::Phase2BatchAcked, run),
+    offsetof(consensus::Phase1BatchResp, run),
+    offsetof(consensus::OpxBatchAcceptReq, run),
+    offsetof(consensus::OpxBatchLearn, run),
+    offsetof(consensus::OpxPrepareBatchResp, run),
+    offsetof(consensus::OpxWindowBody, run),
+});
+
+// Upper bound on any encoded frame: either a full-capacity batched frame or
+// the largest contiguous payload. Transport buffers and queue sizing derive
+// from this — NOT from sizeof(Message), which no longer bounds a frame now
+// that command runs live out of line.
+inline constexpr std::size_t kMaxFrameBytes =
+    consensus::kMessageHeaderBytes +
+    std::max(sizeof(consensus::Message::Payload),
+             kMaxBatchFixedBytes + static_cast<std::size_t>(consensus::kMaxCommandsPerBatch) *
+                                       sizeof(consensus::Command));
+
+// Encoded size of `m`'s frame (== consensus::wire_size).
+inline std::size_t frame_size(const consensus::Message& m) { return consensus::wire_size(m); }
+
+// Encodes `m` into `buf` (capacity >= kMaxFrameBytes); returns the frame
+// length. Does NOT release a pooled body — callers that consume the message
+// (transport send paths) pair this with release_body().
+std::uint32_t encode(const consensus::Message& m, unsigned char* buf);
+
+// Decodes a frame. Returns false on anything malformed — short buffers,
+// unknown types, bogus counts, truncated command runs — without leaking
+// pool blocks. On success *out owns any pooled body decode allocated.
+bool try_decode(const unsigned char* buf, std::size_t n, consensus::Message* out);
+
+// Returns the pooled body (if any) of a message back to the pool. The
+// transport-side half of the custody rules above; harmless on messages
+// whose run is inline or absent.
+void release_body(const consensus::Message& m);
+
+// Largest frame a deployment with this batch policy can put on the wire:
+// a commands_cap()-sized batched frame or a reconfiguration entry frame,
+// whichever is bigger. rt queue/stack sizing uses this instead of
+// sizeof(Message).
+std::uint32_t max_frame_bytes(const consensus::BatchPolicy& policy);
+
+}  // namespace ci::wire

@@ -1,6 +1,7 @@
 #include "core/one_paxos.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -86,7 +87,9 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
     case MsgType::kOpxBatchAcceptReq:
       handle_accept_req(
           ctx, m.u.opx_batch_accept_req.instance, m.u.opx_batch_accept_req.pn,
-          unpack_batch(m.u.opx_batch_accept_req.cmds, m.u.opx_batch_accept_req.count), m.src);
+          unpack_batch(m.u.opx_batch_accept_req.run.data(m.u.opx_batch_accept_req.count),
+                       m.u.opx_batch_accept_req.count),
+          m.src);
       return;
     case MsgType::kOpxLearn:
       if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
@@ -96,7 +99,8 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
     case MsgType::kOpxBatchLearn:
       if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
       learn(ctx, m.u.opx_batch_learn.instance,
-            unpack_batch(m.u.opx_batch_learn.cmds, m.u.opx_batch_learn.count));
+            unpack_batch(m.u.opx_batch_learn.run.data(m.u.opx_batch_learn.count),
+                         m.u.opx_batch_learn.count));
       return;
     case MsgType::kOpxPrepareReq:
       handle_prepare_req(ctx, m);
@@ -108,6 +112,12 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
     case MsgType::kOpxPrepareBatchResp:
       if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
       handle_prepare_batch_resp(ctx, m);
+      return;
+    case MsgType::kOpxWindowBody:
+      handle_window_body(ctx, m);
+      return;
+    case MsgType::kOpxWindowFetchReq:
+      handle_window_fetch(ctx, m);
       return;
     case MsgType::kOpxAbandon:
       handle_abandon(ctx, m);
@@ -208,14 +218,15 @@ void OnePaxosEngine::handle_client_request(Context& ctx, const Message& m) {
 
 // Outstanding instances under batching: the uncommitted window — and the
 // union of TWO windows after a handover — must fit one AcceptorChange
-// entry's singles array and command pool. This is the batching analogue of
-// the default pipeline_window = kMaxProposalsPerMsg / 2 convention.
+// entry's proposals/batched arrays (kMaxProposalsPerMsg entries each).
+// Batch SIZE no longer constrains the depth: entries carry (instance,
+// count, digest) refs and the command bodies travel out of line, so a
+// batch-64 leader pipelines as deeply as an unbatched one (the old command
+// pool clamped this to one instance at full batch).
 std::int32_t OnePaxosEngine::effective_window() const {
   const BatchPolicy& p = cfg_.base.batch;
   if (!p.batching()) return cfg_.base.pipeline_window;
-  std::int32_t w = std::min(cfg_.base.pipeline_window, kMaxProposalsPerMsg / 2);
-  w = std::min(w, std::max(1, kMaxCommandsPerBatch / p.commands_cap()));
-  return std::max(w, 1);
+  return std::max(std::min(cfg_.base.pipeline_window, kMaxProposalsPerMsg / 2), 1);
 }
 
 void OnePaxosEngine::pump(Context& ctx) {
@@ -249,7 +260,7 @@ void OnePaxosEngine::send_accept(Context& ctx, Instance in) {
               active_acceptor_);
     m.u.opx_batch_accept_req.instance = in;
     m.u.opx_batch_accept_req.pn = my_pn_;
-    m.u.opx_batch_accept_req.count = pack_batch(value, m.u.opx_batch_accept_req.cmds);
+    m.u.opx_batch_accept_req.count = m.u.opx_batch_accept_req.run.pack(value);
     ctx.send(active_acceptor_, m);
   }
 }
@@ -264,7 +275,7 @@ void OnePaxosEngine::send_learn(Context& ctx, NodeId dst, Instance in, const Bat
   } else {
     Message l(MsgType::kOpxBatchLearn, ProtoId::kOnePaxos, cfg_.base.self, dst);
     l.u.opx_batch_learn.instance = in;
-    l.u.opx_batch_learn.count = pack_batch(value, l.u.opx_batch_learn.cmds);
+    l.u.opx_batch_learn.count = l.u.opx_batch_learn.run.pack(value);
     ctx.send(dst, l);
   }
 }
@@ -307,6 +318,11 @@ void OnePaxosEngine::learn(Context& ctx, Instance in, const Batch& v) {
   log_.learn(in, v);
   ap_.erase(in);
   accept_times_.erase(in);
+  // Any published window body for this instance is superseded by the
+  // decision; prune every digest keyed to it.
+  window_bodies_.erase(
+      window_bodies_.lower_bound({in, 0}),
+      window_bodies_.upper_bound({in, std::numeric_limits<std::uint64_t>::max()}));
   auto it = proposed_.find(in);
   if (it != proposed_.end()) {
     if (!(it->second == v)) {
@@ -391,8 +407,7 @@ void OnePaxosEngine::handle_prepare_req(Context& ctx, const Message& m) {
         side.u.opx_prepare_batch_resp.acceptor = cfg_.base.self;
         side.u.opx_prepare_batch_resp.pn = pn;
         side.u.opx_prepare_batch_resp.instance = in;
-        side.u.opx_prepare_batch_resp.count =
-            pack_batch(acc.value, side.u.opx_prepare_batch_resp.cmds);
+        side.u.opx_prepare_batch_resp.count = side.u.opx_prepare_batch_resp.run.pack(acc.value);
         ctx.send(m.src, side);
         nb++;
       }
@@ -414,7 +429,8 @@ void OnePaxosEngine::handle_prepare_batch_resp(Context& ctx, const Message& m) {
     return;
   }
   prepare_batched_[m.u.opx_prepare_batch_resp.instance] =
-      unpack_batch(m.u.opx_prepare_batch_resp.cmds, m.u.opx_prepare_batch_resp.count);
+      unpack_batch(m.u.opx_prepare_batch_resp.run.data(m.u.opx_prepare_batch_resp.count),
+                   m.u.opx_prepare_batch_resp.count);
   if (prepare_main_held_ &&
       static_cast<std::int32_t>(prepare_batched_.size()) >=
           prepare_held_main_.u.opx_prepare_resp.num_batched) {
@@ -513,44 +529,106 @@ void OnePaxosEngine::register_batched(Instance in, const Batch& value) {
                "uncommitted window overflow");
 }
 
-// Unpacks an AcceptorChange entry's batched region into proposed_.
-void OnePaxosEngine::register_entry_batches(const UtilityEntry& e) {
-  for (std::int32_t i = 0; i < e.num_batched; ++i) {
-    const BatchedProposalRef& r = e.batched[i];
-    register_batched(r.instance, unpack_batch(e.pool + r.offset, r.count));
-  }
-}
-
 // Packs the uncommitted window into an AcceptorChange entry: single-command
-// values in the legacy proposals array, batched values in the refs/pool
-// region. Overflow is a hard invariant violation — dropping an uncommitted
-// value here could let a successor refill a partially-learned instance with
-// a different value (Lemma 2a) — and effective_window() sizes the window so
+// values in the legacy proposals array, batched values as (instance, count,
+// digest) refs whose bodies publish_window_bodies() ships out of line.
+// Overflow is a hard invariant violation — dropping an uncommitted value
+// here could let a successor refill a partially-learned instance with a
+// different value (Lemma 2a) — and effective_window() sizes the window so
 // even the union of two handovers fits.
 void OnePaxosEngine::fill_uncommitted(UtilityEntry* entry) const {
   std::int32_t np = 0;
   std::int32_t nb = 0;
-  std::int32_t pool = 0;
   for (const auto& [in, value] : proposed_) {
     if (log_.is_learned(in)) continue;
     if (value.size() == 1) {
       CI_CHECK_MSG(np < kMaxProposalsPerMsg, "uncommitted window overflows one entry");
       entry->proposals[np++] = Proposal{in, my_pn_, value.front()};
     } else {
-      CI_CHECK_MSG(nb < kMaxBatchedPerEntry &&
-                       pool + static_cast<std::int32_t>(value.size()) <=
-                           kUtilityBatchPoolCommands,
-                   "uncommitted batches overflow one entry");
-      entry->batched[nb] =
-          BatchedProposalRef{in, pool, static_cast<std::int32_t>(value.size())};
-      std::copy(value.begin(), value.end(), entry->pool + pool);
-      pool += static_cast<std::int32_t>(value.size());
-      nb++;
+      CI_CHECK_MSG(nb < kMaxBatchedPerEntry, "uncommitted batches overflow one entry");
+      BatchedProposalRef ref;
+      ref.instance = in;
+      ref.count = static_cast<std::int32_t>(value.size());
+      ref.digest = batch_digest(value);
+      entry->batched[nb++] = ref;
     }
   }
   entry->num_proposals = np;
   entry->num_batched = nb;
-  entry->pool_count = pool;
+}
+
+// Ships the bodies behind an AcceptorChange entry's batched refs to every
+// replica (and into our own store): by the time the entry decides, anyone
+// who may later adopt it holds the bodies its refs name. The refs were
+// computed from proposed_ (fill_uncommitted), so walking proposed_ directly
+// publishes exactly the ref'd bodies — which also makes this safely
+// re-runnable from tick() for as long as this leadership is mid-switch
+// (loss of a one-shot broadcast plus a publisher death must not strand the
+// decided entry's refs; fetch-on-adopt covers the receivers that missed
+// every round).
+void OnePaxosEngine::publish_window_bodies(Context& ctx) {
+  for (const auto& [in, value] : proposed_) {
+    if (value.size() <= 1 || log_.is_learned(in)) continue;
+    const std::uint64_t digest = batch_digest(value);
+    store_window_body(in, digest, value);
+    for (NodeId n = 0; n < cfg_.base.num_replicas; ++n) {
+      if (n == cfg_.base.self) continue;
+      Message body(MsgType::kOpxWindowBody, ProtoId::kOnePaxos, cfg_.base.self, n);
+      body.u.opx_window_body.instance = in;
+      body.u.opx_window_body.digest = digest;
+      body.u.opx_window_body.count = body.u.opx_window_body.run.pack(value);
+      ctx.send(n, body);
+    }
+  }
+  last_body_publish_ = ctx.now();
+}
+
+void OnePaxosEngine::store_window_body(Instance in, std::uint64_t digest,
+                                       const Batch& value) {
+  if (log_.is_learned(in)) return;  // the decided value supersedes any body
+  window_bodies_[{in, digest}] = value;
+}
+
+const Batch* OnePaxosEngine::find_window_body(Instance in, std::uint64_t digest) const {
+  const auto it = window_bodies_.find({in, digest});
+  if (it != window_bodies_.end()) return &it->second;
+  // Our own advocacy and our acceptor-role memory can answer too: both hold
+  // the very batch the ref describes if the digests agree.
+  const auto pit = proposed_.find(in);
+  if (pit != proposed_.end() && batch_digest(pit->second) == digest) return &pit->second;
+  const auto ait = ap_.find(in);
+  if (ait != ap_.end() && batch_digest(ait->second.value) == digest) {
+    return &ait->second.value;
+  }
+  return nullptr;
+}
+
+void OnePaxosEngine::handle_window_body(Context& ctx, const Message& m) {
+  (void)ctx;
+  const OpxWindowBody& p = m.u.opx_window_body;
+  Batch value = unpack_batch(p.run.data(p.count), p.count);
+  // The digest binds the body to the decided entry; a mismatch means a
+  // corrupt or stale frame — never store it under the claimed key.
+  if (batch_digest(value) != p.digest) return;
+  store_window_body(p.instance, p.digest, value);
+}
+
+void OnePaxosEngine::handle_window_fetch(Context& ctx, const Message& m) {
+  const Instance in = m.u.opx_window_fetch_req.instance;
+  const std::uint64_t digest = m.u.opx_window_fetch_req.digest;
+  if (log_.is_learned(in)) {
+    // Decided since: the learn supersedes the body (the fetcher will skip
+    // the ref once it sees the instance decided).
+    send_learn(ctx, m.src, in, *log_.get_batch(in));
+    return;
+  }
+  const Batch* body = find_window_body(in, digest);
+  if (body == nullptr) return;  // silence; the fetcher retries elsewhere
+  Message reply(MsgType::kOpxWindowBody, ProtoId::kOnePaxos, cfg_.base.self, m.src);
+  reply.u.opx_window_body.instance = in;
+  reply.u.opx_window_body.digest = digest;
+  reply.u.opx_window_body.count = reply.u.opx_window_body.run.pack(*body);
+  ctx.send(m.src, reply);
 }
 
 // ------------------------------------------------------ failure handling
@@ -587,6 +665,10 @@ void OnePaxosEngine::on_acceptor_failure(Context& ctx) {
   // next adopter must not re-fill instances whose learns were lost.
   entry.frontier = std::max({next_instance_, log_.end(), alloc_frontier_});
   fill_uncommitted(&entry);
+  // Bodies first, entry second: replicas should hold the bodies before the
+  // refs that name them decide (fetch-on-adopt covers lost bodies, and
+  // tick() keeps republishing while the switch is in flight).
+  publish_window_bodies(ctx);
   switching_ = Switch::kAcceptorChange;
   pending_acceptor_ = next;
   // A backup that never served as acceptor must be fresh; a reused one
@@ -642,6 +724,31 @@ void OnePaxosEngine::begin_leader_change(Context& ctx) {
   }
   const PaxosUtility::AcceptorInfo info = utility_.last_active_acceptor();
   if (info.acceptor == kNoNode || info.acceptor == cfg_.base.self) return;
+  // Resolve the entry's batched refs to bodies BEFORE announcing anything:
+  // an adopter must be able to re-propose every uncommitted value the entry
+  // names (Lemma 2a). Missing bodies — the publish broadcast was lost, or
+  // we joined late — are fetched from the other replicas and the takeover
+  // resumes on a later tick once they land.
+  std::vector<std::pair<Instance, Batch>> resolved;
+  bool missing = false;
+  for (std::int32_t i = 0; i < info.entry->num_batched; ++i) {
+    const BatchedProposalRef& r = info.entry->batched[i];
+    if (log_.is_learned(r.instance)) continue;  // decided: nothing to re-propose
+    const Batch* body = find_window_body(r.instance, r.digest);
+    if (body != nullptr) {
+      resolved.emplace_back(r.instance, *body);
+      continue;
+    }
+    missing = true;
+    for (NodeId n = 0; n < cfg_.base.num_replicas; ++n) {
+      if (n == cfg_.base.self) continue;
+      Message fetch(MsgType::kOpxWindowFetchReq, ProtoId::kOnePaxos, cfg_.base.self, n);
+      fetch.u.opx_window_fetch_req.instance = r.instance;
+      fetch.u.opx_window_fetch_req.digest = r.digest;
+      ctx.send(n, fetch);
+    }
+  }
+  if (missing) return;  // fetch-on-adopt in flight; tick() retries the takeover
   UtilityEntry entry;
   entry.kind = UtilityEntry::Kind::kLeaderChange;
   entry.leader = cfg_.base.self;
@@ -649,12 +756,7 @@ void OnePaxosEngine::begin_leader_change(Context& ctx) {
   pending_acceptor_ = info.acceptor;
   pending_register_.assign(info.entry->proposals,
                            info.entry->proposals + info.entry->num_proposals);
-  pending_register_batched_.clear();
-  for (std::int32_t i = 0; i < info.entry->num_batched; ++i) {
-    const BatchedProposalRef& r = info.entry->batched[i];
-    pending_register_batched_.emplace_back(r.instance,
-                                           unpack_batch(info.entry->pool + r.offset, r.count));
-  }
+  pending_register_batched_ = std::move(resolved);
   switching_ = Switch::kLeaderChange;
   // Anchor to the snapshot the acceptor id was read from (Fig. 12 l.27/29):
   // if any entry lands in between — e.g. the old leader replacing the
@@ -742,6 +844,18 @@ void OnePaxosEngine::on_utility_decided(Context& ctx, Instance idx, const Utilit
 void OnePaxosEngine::tick(Context& ctx) {
   utility_.tick(ctx);
   const Nanos now = ctx.now();
+
+  // While our AcceptorChange (or the adoption that follows it — the phase
+  // where a decided entry's refs exist but the window has not re-decided)
+  // is in flight, keep the out-of-line window bodies flowing on the retry
+  // cadence: the utility proposal retries to a decision on its own, and a
+  // decided entry whose bodies were all lost would otherwise leave any
+  // future adopter with nothing to fetch.
+  if ((switching_ == Switch::kAcceptorChange ||
+       (prepare_outstanding_ && prepare_can_rotate_)) &&
+      now - last_body_publish_ >= cfg_.base.retry_timeout) {
+    publish_window_bodies(ctx);
+  }
 
   // A global leader still establishing itself (prepare in flight after a
   // LeaderChange/AcceptorChange) also heartbeats: follower detectors must

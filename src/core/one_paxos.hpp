@@ -113,8 +113,13 @@ class OnePaxosEngine final : public Engine {
   NodeId select_acceptor(NodeId failed) const;
   void register_proposals(const Proposal* props, std::int32_t n);
   void register_batched(Instance in, const Batch& value);
-  void register_entry_batches(const UtilityEntry& e);
   void fill_uncommitted(UtilityEntry* entry) const;
+  // Out-of-line window bodies (AcceptorChange batched refs; DESIGN.md §1c).
+  void publish_window_bodies(Context& ctx);
+  void store_window_body(Instance in, std::uint64_t digest, const Batch& value);
+  const Batch* find_window_body(Instance in, std::uint64_t digest) const;
+  void handle_window_body(Context& ctx, const Message& m);
+  void handle_window_fetch(Context& ctx, const Message& m);
   ProposalNum new_pn();
   bool suspect_leader(Nanos now) const;
   void forward_pending(Context& ctx);
@@ -174,6 +179,17 @@ class OnePaxosEngine final : public Engine {
   bool pending_must_be_fresh_ = true;
   std::vector<Proposal> pending_register_;
   std::vector<std::pair<Instance, Batch>> pending_register_batched_;
+
+  // Bodies of batched uncommitted values named by AcceptorChange refs,
+  // keyed (instance, digest): filled by kOpxWindowBody broadcasts (and by
+  // our own publishes), consulted when adopting an entry, answered back out
+  // on kOpxWindowFetchReq, pruned as instances decide. Bounded by the
+  // uncommitted window the refs describe.
+  std::map<std::pair<Instance, std::uint64_t>, Batch> window_bodies_;
+  // Last publish_window_bodies broadcast; tick() republishes on the retry
+  // cadence while an AcceptorChange (or the adoption that follows it) is
+  // in flight, so a lost broadcast doesn't depend on fetch alone.
+  Nanos last_body_publish_ = 0;
 
   // Takeover probe: §5.3 allows a proposer to take the leadership "given
   // that the active acceptor is still running" — so the acceptor is pinged

@@ -13,6 +13,7 @@ struct RunResult {
   std::uint64_t issued = 0;       // client requests sent (>= committed)
   std::uint64_t local_reads = 0;  // reads serviced without the network (§7.5)
   std::uint64_t total_messages = 0;  // boundary-crossing messages (Fig. 3's count)
+  std::uint64_t total_bytes = 0;     // encoded wire frame bytes behind them
   std::uint64_t deliveries = 0;      // state-machine executions across replicas
   Nanos duration = 0;  // measured window: virtual time (sim) or wall time (rt)
   Histogram latency;   // per-request commit latency, merged over clients

@@ -19,6 +19,8 @@ namespace {
 // the parsers.
 constexpr const char* kValueFlags[] = {"--backend", "--groups", "--placement",
                                        "--batch", "--batch-flush-us"};
+// Valueless flags: presence is the whole message.
+constexpr const char* kBoolFlags[] = {"--sweep-diff"};
 
 bool is_harness_flag(const char* name) {
   for (const char* flag : kValueFlags) {
@@ -46,6 +48,7 @@ RunResult run_sim_backend(const ShardSpec& shard, const RunPlan& plan) {
   const std::uint64_t issued_warm = c.total_issued();
   const std::uint64_t local_reads_warm = c.sharded().total_local_reads();
   const std::uint64_t messages_warm = c.net().total_messages();
+  const std::uint64_t bytes_warm = c.net().total_bytes();
   c.run(plan.warmup + plan.duration);
   const Nanos measured = std::max<Nanos>(c.net().now() - plan.warmup, 1);
   RunResult res = c.result(measured);
@@ -53,6 +56,7 @@ RunResult run_sim_backend(const ShardSpec& shard, const RunPlan& plan) {
   res.issued -= issued_warm;
   res.local_reads -= local_reads_warm;
   res.total_messages -= messages_warm;
+  res.total_bytes -= bytes_warm;
   return res;
 }
 
@@ -65,6 +69,7 @@ RunResult run_rt_backend(const ShardSpec& shard, const RunPlan& plan) {
   const std::uint64_t issued_warm = c.live_issued();
   const std::uint64_t local_reads_warm = c.live_local_reads();
   const std::uint64_t messages_warm = c.live_messages();
+  const std::uint64_t bytes_warm = c.live_bytes();
   const Nanos measure_start = now_nanos();
   c.drive_until(t0 + std::min(plan.warmup + plan.duration, plan.max_wall));
   const Nanos measured = std::max<Nanos>(now_nanos() - measure_start, 1);
@@ -74,6 +79,7 @@ RunResult run_rt_backend(const ShardSpec& shard, const RunPlan& plan) {
   res.issued -= issued_warm;
   res.local_reads -= local_reads_warm;
   res.total_messages -= messages_warm;
+  res.total_bytes -= bytes_warm;
   res.duration = measured;
   return res;
 }
@@ -282,7 +288,20 @@ void scan_args(int argc, char** argv, std::initializer_list<const char*> consume
       continue;
     }
     bool known = false;
+    for (const char* flag : kBoolFlags) {
+      if (std::strcmp(arg, flag) != 0) continue;
+      if (consumed.size() > 0 &&
+          std::find_if(consumed.begin(), consumed.end(), [flag](const char* c) {
+            return std::strcmp(c, flag) == 0;
+          }) == consumed.end()) {
+        std::fprintf(stderr, "flag '%s' is not used by this binary\n", flag);
+        std::exit(2);
+      }
+      known = true;
+      break;
+    }
     for (const char* flag : kValueFlags) {
+      if (known) break;
       const FlagForm form = flag_form(arg, flag);
       if (form == FlagForm::kNone) continue;
       if (consumed.size() > 0 &&
@@ -305,7 +324,7 @@ void scan_args(int argc, char** argv, std::initializer_list<const char*> consume
     if (!known) {
       std::fprintf(stderr,
                    "unknown flag '%s' (harness flags: --backend, --groups, --placement, "
-                   "--batch, --batch-flush-us)\n",
+                   "--batch, --batch-flush-us, --sweep-diff)\n",
                    arg);
       std::exit(2);
     }
@@ -331,6 +350,79 @@ RunResult run(Backend b, const ShardSpec& shard, const RunPlan& plan) {
 
 RunResult run(Backend b, const ClusterSpec& spec, const RunPlan& plan) {
   return run(b, ShardSpec(spec), plan);
+}
+
+bool sweep_diff_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-diff") == 0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// One formatted complaint; keeps the shape checks below readable.
+void mismatch(std::vector<std::string>* out, const std::string& what) {
+  out->push_back(what);
+}
+
+}  // namespace
+
+SweepDiff sweep_diff(const ShardSpec& shard, const RunPlan& plan) {
+  SweepDiff d;
+  // One logical spec, two runtimes. Each side gets its backend's timeout
+  // profile (virtual microsecond timers vs real oversubscribed threads) —
+  // the same adaptation every cross-backend comparison in the repo makes.
+  ShardSpec sim_shard = shard;
+  sim_shard.base.apply_backend_profile(Backend::kSim);
+  ShardSpec rt_shard = shard;
+  rt_shard.base.apply_backend_profile(Backend::kRt);
+  d.sim = run(Backend::kSim, sim_shard, plan);
+  d.rt = run(Backend::kRt, rt_shard, plan);
+  auto* m = &d.mismatches;
+
+  // Safety shapes: agreement must hold on both backends, full stop.
+  if (!d.sim.consistent) mismatch(m, "sim run inconsistent (cross-replica disagreement)");
+  if (!d.rt.consistent) mismatch(m, "rt run inconsistent (cross-replica disagreement)");
+
+  // Liveness shapes: both backends make progress on the same spec.
+  if (d.sim.committed == 0) mismatch(m, "sim committed nothing");
+  if (d.rt.committed == 0) mismatch(m, "rt committed nothing");
+
+  // Quota shapes: a closed-loop request quota must complete on both sides —
+  // the one throughput-independent count the backends can agree on exactly.
+  const std::uint64_t per_client = shard.base.workload.requests_per_client;
+  if (per_client > 0) {
+    const std::uint64_t quota = per_client *
+                                static_cast<std::uint64_t>(shard.base.client_count()) *
+                                static_cast<std::uint64_t>(shard.groups);
+    if (d.sim.committed != quota) {
+      mismatch(m, "sim committed " + std::to_string(d.sim.committed) + " of a " +
+                      std::to_string(quota) + "-request quota");
+    }
+    if (d.rt.committed != quota) {
+      mismatch(m, "rt committed " + std::to_string(d.rt.committed) + " of a " +
+                      std::to_string(quota) + "-request quota");
+    }
+  }
+
+  // Amortization shape: messages per committed op is a structural property
+  // of the protocol/batch configuration, not of the clock — the backends
+  // must land within an order of magnitude (rt retries under an
+  // oversubscribed machine account for the slack; see the memory note:
+  // trust shapes, not numbers).
+  if (d.sim.committed > 0 && d.rt.committed > 0) {
+    const double sim_mpo =
+        static_cast<double>(d.sim.total_messages) / static_cast<double>(d.sim.committed);
+    const double rt_mpo =
+        static_cast<double>(d.rt.total_messages) / static_cast<double>(d.rt.committed);
+    if (sim_mpo > 0 && rt_mpo > 0 &&
+        (rt_mpo / sim_mpo > 10.0 || sim_mpo / rt_mpo > 10.0)) {
+      mismatch(m, "msgs/op diverged: sim " + std::to_string(sim_mpo) + " vs rt " +
+                      std::to_string(rt_mpo));
+    }
+  }
+  return d;
 }
 
 }  // namespace ci::harness

@@ -95,4 +95,28 @@ struct RunPlan {
 RunResult run(Backend b, const ShardSpec& shard, const RunPlan& plan);
 RunResult run(Backend b, const ClusterSpec& spec, const RunPlan& plan);
 
+// ---- Backend sweep diffing (--sweep-diff) ----
+//
+// Runs the SAME spec on sim and rt and diffs the two RunResults by SHAPE,
+// not absolute numbers: virtual-time throughput and oversubscribed wall
+// clocks are incomparable, but consistency, liveness, quota completion,
+// and order-of-magnitude message amortization must agree. `mismatches` is
+// empty when the shapes line up; each entry is a human-readable complaint.
+struct SweepDiff {
+  RunResult sim;
+  RunResult rt;
+  std::vector<std::string> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+SweepDiff sweep_diff(const ShardSpec& shard, const RunPlan& plan);
+
+// True when argv carries `--sweep-diff` (a valueless flag, recognized by
+// the strict scanners; a binary that reads it lists it in its `consumed`
+// set like any other harness flag). `bench/fig_batching_amortization`
+// honors it by appending a sim-vs-rt shape diff of a representative spec;
+// `bench/sweep_diff` is the standalone CLI for arbitrary specs.
+bool sweep_diff_from_args(int argc, char** argv);
+
 }  // namespace ci::harness

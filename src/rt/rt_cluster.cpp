@@ -142,6 +142,12 @@ std::uint64_t RtCluster::live_messages() const {
   return sum;
 }
 
+std::uint64_t RtCluster::live_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->bytes_sent();
+  return sum;
+}
+
 void RtCluster::replay_delivery_logs() {
   CI_CHECK(stopped_);
   // Feed each node's delivered log into its group's agreement recorder
@@ -160,6 +166,7 @@ RunResult RtCluster::collect() {
   RunResult res = dep_.collect();
   res.duration = stopped_at_ - started_at_;
   res.total_messages = live_messages();
+  res.total_bytes = live_bytes();
   return res;
 }
 

@@ -95,6 +95,7 @@ class RtCluster {
   std::uint64_t live_issued() const { return dep_.total_issued(); }
   std::uint64_t live_local_reads() const { return dep_.total_local_reads(); }
   std::uint64_t live_messages() const;
+  std::uint64_t live_bytes() const;
 
  private:
   class LoadManagerEngine;

@@ -18,12 +18,7 @@ RtNode::RtNode(NodeId self, std::int32_t total_nodes, Engine* engine, qclt::Netw
       ctx_(std::make_unique<Ctx>(this)),
       // Construct the scheduler here (not on the node thread) so
       // request_stop() from other threads never races its creation.
-      // Task stacks must hold a handful of Message temporaries at once
-      // (reader buffer, decode copy, demux rewrite, handler locals, the
-      // send-path copy and its encode buffer) — and sizeof(Message) is
-      // multi-KB since the batching payloads, so budget for them explicitly
-      // on top of the scheduler's plain-code default.
-      sched_(std::make_unique<qclt::Scheduler>(32 * 1024 + 12 * sizeof(Message))),
+      sched_(std::make_unique<qclt::Scheduler>(kTaskStackBytes)),
       pending_(static_cast<std::size_t>(total_nodes)) {}
 
 RtNode::~RtNode() {
@@ -47,7 +42,9 @@ void RtNode::join() {
 void RtNode::send(NodeId dst, const Message& m) {
   if (dst == self_) {
     // Defer: engines are not reentrant, and local delivery between
-    // collapsed roles costs no boundary crossing.
+    // collapsed roles costs no boundary crossing. The copy shares the
+    // message's pooled body (if any); custody moves to the self queue and
+    // drain_self_queue releases it after delivery.
     Message out = m;
     out.src = self_;
     out.dst = dst;
@@ -56,10 +53,12 @@ void RtNode::send(NodeId dst, const Message& m) {
   }
   ctx_->sent.fetch_add(1, std::memory_order_relaxed);
   // Encode straight from the engine's message and stamp src/dst in the
-  // buffer: copying the full (multi-KB since batching) Message just to
-  // rewrite two header fields would dominate small sends.
+  // buffer: copying the Message just to rewrite two header fields would
+  // dominate small sends.
   alignas(Message) unsigned char buf[kWireBufBytes];
   const std::uint32_t n = encode(m, buf);
+  wire::release_body(m);  // send() consumes the message's pooled body
+  ctx_->sent_bytes.fetch_add(n, std::memory_order_relaxed);
   auto* hdr = reinterpret_cast<Message*>(buf);
   hdr->src = self_;
   hdr->dst = dst;
@@ -85,6 +84,7 @@ void RtNode::drain_self_queue() {
     const Message m = self_queue_.front();
     self_queue_.pop_front();
     engine_->on_message(*ctx_, m);
+    wire::release_body(m);
   }
 }
 
@@ -122,7 +122,9 @@ void RtNode::thread_main() {
             const std::int32_t n = conn->read(buf, sizeof(buf));
             if (n < 0) return;  // stopped
             maybe_stall();
-            engine_->on_message(*ctx_, decode(buf, static_cast<std::size_t>(n)));
+            const Message m = decode(buf, static_cast<std::size_t>(n));
+            engine_->on_message(*ctx_, m);
+            wire::release_body(m);  // decode allocated any pooled body
             drain_self_queue();
             // One message per slice: a busy peer must not starve the other
             // readers or the tick task (heartbeats, retries).
@@ -150,6 +152,11 @@ void RtNode::thread_main() {
       "main");
 
   sched_->run();
+
+  // Pooled bodies are thread-local; anything still parked in the self
+  // queue must go back to this thread's pool before the thread exits.
+  for (const Message& m : self_queue_) wire::release_body(m);
+  self_queue_.clear();
 }
 
 }  // namespace ci::rt

@@ -58,6 +58,8 @@ class RtNode {
 
   NodeId id() const { return self_; }
   std::uint64_t messages_sent() const { return ctx_->sent.load(std::memory_order_relaxed); }
+  // Encoded frame bytes behind messages_sent() (boundary crossings only).
+  std::uint64_t bytes_sent() const { return ctx_->sent_bytes.load(std::memory_order_relaxed); }
 
  private:
   class Ctx final : public consensus::Context {
@@ -72,6 +74,7 @@ class RtNode {
     void deliver(Instance, const Command&) override {}
 
     std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> sent_bytes{0};
 
    private:
     RtNode* node_;

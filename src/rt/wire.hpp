@@ -1,6 +1,12 @@
-// Message (de)serialization for the QC-libtask transport. Messages are
-// trivially copyable; only the wire_size() prefix travels, so fast-path
-// messages occupy a single 128-byte queue slot.
+// Frame (de)serialization for the QC-libtask transport — a thin veneer over
+// the shared wire::Codec (consensus/wire_codec.hpp), which both backends
+// and any future socket backend speak. Fast-path messages occupy a single
+// 128-byte queue slot; batched frames and reconfiguration entries span a
+// few fragments.
+//
+// Everything here is sized from the codec's real frame bytes, NOT from
+// sizeof(Message): in-memory messages keep long command runs out of line,
+// so the two quantities are independent.
 #pragma once
 
 #include <algorithm>
@@ -8,38 +14,39 @@
 
 #include "common/check.hpp"
 #include "consensus/batch.hpp"
-#include "consensus/message.hpp"
+#include "consensus/wire_codec.hpp"
 #include "qclt/connection.hpp"
 
 namespace ci::rt {
 
-// Large enough for the biggest message (a batched reconfiguration entry
-// sets the worst case since the batching layer).
-inline constexpr std::size_t kWireBufBytes = sizeof(consensus::Message);
+// Encode/read buffer capacity: the largest frame the codec can produce.
+inline constexpr std::size_t kWireBufBytes = wire::kMaxFrameBytes;
+
+// Stack budget for tasks that handle frames: a handful of Message
+// temporaries (decode copy, demux rewrite, handler locals, the self-queue
+// copy) plus the encode/read frame buffers, on top of the scheduler's
+// plain-code default.
+inline constexpr std::size_t kTaskStackBytes =
+    32 * 1024 + 8 * sizeof(consensus::Message) + 4 * wire::kMaxFrameBytes;
 
 // Queue slots per connection: the paper's seven suffice for unbatched
 // traffic, but RtNode's non-blocking try_write needs every fragment of a
-// frame to fit the queue at once — batched frames span dozens of 128-byte
-// slots, so batching deployments size their queues for the biggest frame
-// plus headroom for the small control traffic behind it.
+// frame to fit the queue at once — so batching deployments size their
+// queues from the codec's largest frame under the policy, plus headroom
+// for the small control traffic behind it.
 inline std::uint32_t slots_for(const consensus::BatchPolicy& policy) {
   if (!policy.batching()) return qclt::kDefaultSlots;
-  const auto frame = static_cast<std::uint32_t>(sizeof(consensus::Message));
-  return std::max(qclt::kDefaultSlots, qclt::wire::fragments_for(frame) + 2);
+  return std::max(qclt::kDefaultSlots,
+                  qclt::wire::fragments_for(wire::max_frame_bytes(policy)) + 2);
 }
 
 inline std::uint32_t encode(const consensus::Message& m, unsigned char* buf) {
-  const std::size_t n = consensus::wire_size(m);
-  CI_CHECK(n <= kWireBufBytes);
-  std::memcpy(buf, &m, n);
-  return static_cast<std::uint32_t>(n);
+  return wire::encode(m, buf);
 }
 
 inline consensus::Message decode(const unsigned char* buf, std::size_t n) {
   consensus::Message m;
-  CI_CHECK(n >= consensus::kMessageHeaderBytes && n <= sizeof(consensus::Message));
-  std::memcpy(&m, buf, n);
-  CI_CHECK_MSG(consensus::wire_validate(m, n), "malformed message on the wire");
+  CI_CHECK_MSG(wire::try_decode(buf, n, &m), "malformed message on the wire");
   return m;
 }
 

@@ -72,6 +72,7 @@ core::RunResult SimCluster::result(Nanos duration) const {
   core::RunResult res = dep_.collect();
   res.duration = duration;
   res.total_messages = net_->total_messages();
+  res.total_bytes = net_->total_bytes();
   return res;
 }
 

@@ -3,12 +3,21 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "consensus/wire_codec.hpp"
 
 namespace ci::sim {
 
 SimNet::SimNet(const LatencyModel& model, std::uint64_t seed, Nanos tick_period)
     : model_(model), rng_(seed), tick_period_(tick_period) {
   CI_CHECK(tick_period_ > 0);
+}
+
+SimNet::~SimNet() {
+  // Undelivered messages own their pooled command bodies (the sender's
+  // custody moved into the event on send); return them to the pool.
+  for (Event& e : event_queue_) {
+    if (e.kind == Event::Kind::kMessage && e.msg != nullptr) wire::release_body(*e.msg);
+  }
 }
 
 void SimNet::add_node(Engine* engine) {
@@ -57,6 +66,12 @@ std::uint64_t SimNet::total_messages() const {
   return sum;
 }
 
+std::uint64_t SimNet::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->sent_bytes;
+  return sum;
+}
+
 void SimNet::send_from(NodeCtx& src, NodeId dst, const Message& m) {
   CI_CHECK(dst >= 0 && dst < static_cast<NodeId>(nodes_.size()));
   Event e;
@@ -78,8 +93,10 @@ void SimNet::send_from(NodeCtx& src, NodeId dst, const Message& m) {
   src.busy_until += static_cast<Nanos>(static_cast<double>(model_.trans_send) * f);
   src.logical_now = src.busy_until;
   src.sent++;
+  src.sent_bytes += wire::frame_size(*e.msg);
   if (model_.drop_probability > 0 && rng_.next_bool(model_.drop_probability)) {
     dropped_++;
+    wire::release_body(*e.msg);  // the event dies here with its body
     return;
   }
   const Nanos jitter =
@@ -100,6 +117,7 @@ void SimNet::process(Event& e) {
                               static_cast<double>(model_.trans_recv + model_.handler_cost) * f);
       n.logical_now = n.busy_until;
       n.engine_->on_message(n, *e.msg);
+      wire::release_body(*e.msg);  // delivery consumed the event's custody
       break;
     }
     case Event::Kind::kTick: {

@@ -34,6 +34,8 @@ using core::LatencyModel;
 class SimNet {
  public:
   SimNet(const LatencyModel& model, std::uint64_t seed, Nanos tick_period);
+  // Messages still in flight may own pooled command bodies; hand them back.
+  ~SimNet();
 
   // Nodes must be added before run(); ids are dense from 0.
   void add_node(Engine* engine);
@@ -61,6 +63,9 @@ class SimNet {
   std::uint64_t messages_sent(NodeId node) const { return nodes_[static_cast<std::size_t>(node)]->sent; }
   std::uint64_t total_messages() const;
   std::uint64_t messages_dropped() const { return dropped_; }
+  // Encoded frame bytes behind those messages (wire::frame_size per send):
+  // what a socket backend would actually push through the kernel.
+  std::uint64_t total_bytes() const;
 
  private:
   // Move-only: the message rides behind a pointer so heap sift operations
@@ -105,6 +110,7 @@ class SimNet {
     Nanos busy_until = 0;
     Nanos logical_now = 0;
     std::uint64_t sent = 0;
+    std::uint64_t sent_bytes = 0;
     std::vector<std::tuple<Nanos, Nanos, double>> slow_windows;
   };
 

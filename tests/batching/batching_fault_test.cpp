@@ -257,7 +257,7 @@ struct OpxBatchHarness {
     step_while_queued(net, MsgType::kOpxBatchAcceptReq);  // the acceptor accepts
     ASSERT_EQ(
         net.drop_if([](const Message& m) { return m.type == MsgType::kOpxBatchLearn; }),
-        3);
+        static_cast<int>(engines.size()));  // one learn per learner
     ASSERT_FALSE(at(0).log().is_learned(2));
   }
 
@@ -292,6 +292,75 @@ TEST(OnePaxosBatchedRaces, AcceptorChangeCarriesTheBatchedWindow) {
   ASSERT_GE(h.at(0).log().first_gap(), 4);
   EXPECT_TRUE(*h.at(0).log().get_batch(3) == expected_batch(7, 8));
   expect_exactly_once(h.at(2), 8);
+}
+
+TEST(OnePaxosBatchedRaces, TakeoverFetchesWindowBodiesItNeverReceived) {
+  // The decoupled AcceptorChange entry names its batched window by
+  // (instance, count, digest); the bodies are broadcast out of line when
+  // the change is proposed, and an adopter that MISSED that broadcast must
+  // fetch them before taking over (fetch-on-adopt, DESIGN.md §1c).
+  //
+  // Script: on 5 replicas, the acceptor (1) dies holding an accepted,
+  // undecided batch. Leader 0 inserts AcceptorChange(->2) — but the window
+  // bodies to nodes 3 and 4 are lost, so only node 2 holds them. Leader 0
+  // then dies before re-proposing the batch. Node 3 takes over: it reads
+  // the decided entry, finds the ref's body missing locally, fetches it
+  // from node 2, and only then completes the takeover and re-proposes the
+  // original commands (Lemma 2a, sustained through two failures and a lossy
+  // body broadcast).
+  OpxBatchHarness h(/*batch=*/4, /*replicas=*/5);
+  h.wedge_batch_at_acceptor();
+  h.net.isolate(1);
+
+  // Let leader 0 notice the silent acceptor and publish the window bodies;
+  // lose the copies addressed to 3 and 4.
+  for (int i = 0; i < 500 && !queue_has(h.net, MsgType::kOpxWindowBody); ++i) {
+    if (!h.net.step()) h.net.advance(1 * kMillisecond);
+  }
+  ASSERT_TRUE(queue_has(h.net, MsgType::kOpxWindowBody));
+  ASSERT_EQ(h.net.drop_if([](const Message& m) {
+              return m.type == MsgType::kOpxWindowBody && (m.dst == 3 || m.dst == 4);
+            }),
+            2);
+
+  // Drive the AcceptorChange to a decision and 0's adoption of the fresh
+  // backup 2 — but drop every re-proposal so the wedged instance stays
+  // undecided, and keep losing the (retried — the publisher re-broadcasts
+  // on the retry cadence while switching) bodies toward 3 and 4, then kill
+  // 0. (The drops model 0 dying mid-recovery behind a lossy fabric;
+  // FakeNet has no partial-isolation primitive for a single direction.)
+  bool adopted = false;
+  for (int i = 0; i < 500 && !adopted; ++i) {
+    h.net.drop_if([](const Message& m) {
+      if (m.type == MsgType::kOpxWindowBody && (m.dst == 3 || m.dst == 4)) return true;
+      return (m.type == MsgType::kOpxBatchAcceptReq || m.type == MsgType::kOpxAcceptReq) &&
+             m.src == 0;
+    });
+    if (!h.net.step()) h.net.advance(1 * kMillisecond);
+    adopted = h.at(0).is_leader() && h.at(0).active_acceptor() == 2;
+  }
+  ASSERT_TRUE(adopted);
+  ASSERT_FALSE(h.at(2).log().is_learned(2));
+  h.net.isolate(0);
+
+  // Node 3 — which never received the body — is prodded into the takeover.
+  // Node 4's failure detector may race it; both missed the broadcast, so
+  // WHICHEVER proposer wins must first fetch the body from node 2.
+  Message m = test::client_request(9, 3, 1);
+  m.flags = consensus::kFlagLeaderSuspect;
+  h.net.inject(m);
+  h.settle(60);
+
+  const NodeId winner = h.at(3).is_leader() ? 3 : 4;
+  ASSERT_TRUE(h.at(winner).is_leader()) << "no live proposer completed the takeover";
+  EXPECT_EQ(h.at(winner).active_acceptor(), 2);
+  const Batch mid = expected_batch(3, 6);
+  for (NodeId r : {2, 3, 4}) {
+    SCOPED_TRACE("replica " + std::to_string(r));
+    ASSERT_TRUE(h.at(r).log().is_learned(2));
+    EXPECT_TRUE(*h.at(r).log().get_batch(2) == mid);  // original values, intact
+  }
+  expect_exactly_once(h.at(winner), 6);
 }
 
 TEST(OnePaxosBatchedRaces, LeaderChangeAdoptionRecoversBatchedShortTermMemory) {

@@ -224,6 +224,17 @@ TEST(BatchingAmortization, BatchSixtyFourDoublesSaturatedSimThroughput) {
                 static_cast<double>(batched.committed),
             0.5 * static_cast<double>(base.total_messages) /
                 static_cast<double>(base.committed));
+  // And so do wire bytes per command (shape, not absolute): a batch of k
+  // ships k commands behind ONE set of frame headers where the unbatched
+  // regime ships k full frames, so per-op bytes must drop even though the
+  // per-command client traffic stays. This is the byte-level half of the
+  // amortization the decoupled codec preserves.
+  ASSERT_GT(base.total_bytes, 0u);
+  ASSERT_GT(batched.total_bytes, 0u);
+  EXPECT_LT(static_cast<double>(batched.total_bytes) /
+                static_cast<double>(batched.committed),
+            0.8 * static_cast<double>(base.total_bytes) /
+                static_cast<double>(base.committed));
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "consensus/batch.hpp"
+#include "consensus/wire_codec.hpp"
 
 namespace ci::consensus {
 namespace {
@@ -142,16 +143,16 @@ TEST(Wire, BatchAcceptRoundTripPreservesEveryCommand) {
   Message m(MsgType::kOpxBatchAcceptReq, ProtoId::kOnePaxos, 0, 1);
   m.u.opx_batch_accept_req.instance = 17;
   m.u.opx_batch_accept_req.pn = ProposalNum{3, 0};
-  m.u.opx_batch_accept_req.count = pack_batch(value, m.u.opx_batch_accept_req.cmds);
+  m.u.opx_batch_accept_req.count = m.u.opx_batch_accept_req.run.pack(value);
 
-  unsigned char buf[sizeof(Message)];
-  const std::size_t n = wire_size(m);
-  std::memcpy(buf, &m, n);
+  unsigned char buf[ci::wire::kMaxFrameBytes];
+  const std::uint32_t n = ci::wire::encode(m, buf);
+  EXPECT_EQ(n, wire_size(m));
   Message out;
-  std::memcpy(&out, buf, n);
-  ASSERT_TRUE(wire_validate(out, n));
+  ASSERT_TRUE(ci::wire::try_decode(buf, n, &out));
   EXPECT_EQ(out.u.opx_batch_accept_req.instance, 17);
-  EXPECT_EQ(unpack_batch(out.u.opx_batch_accept_req.cmds, out.u.opx_batch_accept_req.count),
+  EXPECT_EQ(unpack_batch(out.u.opx_batch_accept_req.run.data(out.u.opx_batch_accept_req.count),
+                         out.u.opx_batch_accept_req.count),
             value);
 }
 
@@ -159,14 +160,14 @@ TEST(Wire, BatchLearnRoundTrip) {
   Batch value = {bcmd(1), bcmd(2)};
   Message m(MsgType::kOpxBatchLearn, ProtoId::kOnePaxos, 1, 2);
   m.u.opx_batch_learn.instance = 3;
-  m.u.opx_batch_learn.count = pack_batch(value, m.u.opx_batch_learn.cmds);
-  unsigned char buf[sizeof(Message)];
-  const std::size_t n = wire_size(m);
-  std::memcpy(buf, &m, n);
+  m.u.opx_batch_learn.count = m.u.opx_batch_learn.run.pack(value);
+  unsigned char buf[ci::wire::kMaxFrameBytes];
+  const std::uint32_t n = ci::wire::encode(m, buf);
   Message out;
-  std::memcpy(&out, buf, n);
-  ASSERT_TRUE(wire_validate(out, n));
-  EXPECT_EQ(unpack_batch(out.u.opx_batch_learn.cmds, out.u.opx_batch_learn.count), value);
+  ASSERT_TRUE(ci::wire::try_decode(buf, n, &out));
+  EXPECT_EQ(unpack_batch(out.u.opx_batch_learn.run.data(out.u.opx_batch_learn.count),
+                         out.u.opx_batch_learn.count),
+            value);
 }
 
 TEST(Wire, ValidateRejectsBogusBatchCounts) {
@@ -203,34 +204,41 @@ TEST(Wire, BatchedUtilityEntryRoundTrip) {
   const Batch b0 = {bcmd(1), bcmd(2), bcmd(3)};
   const Batch b1 = {bcmd(4), bcmd(5)};
   e.num_batched = 2;
-  e.batched[0] = BatchedProposalRef{6, 0, 3};
-  e.batched[1] = BatchedProposalRef{7, 3, 2};
-  e.pool_count = pack_batch(b0, e.pool);
-  e.pool_count += pack_batch(b1, e.pool + e.pool_count);
+  e.batched[0].instance = 6;
+  e.batched[0].count = 3;
+  e.batched[0].digest = batch_digest(b0);
+  e.batched[1].instance = 7;
+  e.batched[1].count = 2;
+  e.batched[1].digest = batch_digest(b1);
 
-  unsigned char buf[sizeof(Message)];
-  const std::size_t n = wire_size(m);
-  EXPECT_LT(n, sizeof(Message));  // pool truncated to its used prefix
-  std::memcpy(buf, &m, n);
+  unsigned char buf[ci::wire::kMaxFrameBytes];
+  const std::uint32_t n = ci::wire::encode(m, buf);
+  EXPECT_EQ(n, wire_size(m));
+  EXPECT_LT(n, sizeof(Message));  // refs truncated to their used prefix
   Message out;
-  std::memcpy(&out, buf, n);
-  ASSERT_TRUE(wire_validate(out, n));
+  ASSERT_TRUE(ci::wire::try_decode(buf, n, &out));
   const UtilityEntry& oe = out.u.util_phase2_req.entry;
   EXPECT_TRUE(oe == e);
-  EXPECT_EQ(unpack_batch(oe.pool + oe.batched[0].offset, oe.batched[0].count), b0);
-  EXPECT_EQ(unpack_batch(oe.pool + oe.batched[1].offset, oe.batched[1].count), b1);
+  // The digest is the body's identity: a producer of the same batch
+  // computes the same ref, a different batch a different one.
+  EXPECT_EQ(oe.batched[0].digest, batch_digest(b0));
+  EXPECT_NE(oe.batched[0].digest, batch_digest(b1));
 }
 
-TEST(Wire, ValidateRejectsBatchedRefsOutsideThePool) {
+TEST(Wire, ValidateRejectsBatchedRefsWithBogusCounts) {
   Message m(MsgType::kUtilAccepted, ProtoId::kUtility, 0, 1);
   UtilityEntry& e = m.u.util_accepted.entry;
   e.kind = UtilityEntry::Kind::kAcceptorChange;
   e.num_batched = 1;
-  e.pool_count = 3;
-  e.batched[0] = BatchedProposalRef{1, 2, 2};  // offset+count > pool_count
+  e.batched[0].instance = 1;
+  e.batched[0].count = 1;  // batched refs name >= 2 commands
   EXPECT_FALSE(wire_validate(m, sizeof(Message)));
-  e.batched[0] = BatchedProposalRef{1, 0, 3};
+  e.batched[0].count = kMaxCommandsPerBatch + 1;
+  EXPECT_FALSE(wire_validate(m, sizeof(Message)));
+  e.batched[0].count = 3;
   EXPECT_TRUE(wire_validate(m, sizeof(Message)));
+  e.num_batched = kMaxBatchedPerEntry + 1;
+  EXPECT_FALSE(wire_validate(m, sizeof(Message)));
 }
 
 TEST(Wire, BatchingCountersLiveInFormerPadding) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "consensus/engine.hpp"
+#include "consensus/wire_codec.hpp"
 
 namespace ci::test {
 
@@ -27,6 +28,16 @@ using consensus::NodeId;
 
 class FakeNet {
  public:
+  // In-flight and externally-captured messages may own pooled command
+  // bodies (batches longer than the inline buffer); return them. NOTE:
+  // tests that peek-copy a message, drop the original, and re-inject the
+  // copy later rely on inline bodies — keep hand-stepped batch sizes at or
+  // below consensus::kInlineBatchCommands.
+  ~FakeNet() {
+    for (const Message& m : queue_) ci::wire::release_body(m);
+    for (const Message& m : external_) ci::wire::release_body(m);
+  }
+
   // Engines are registered with dense ids starting at 0.
   void add(Engine* e) {
     auto ctx = std::make_unique<Ctx>();
@@ -80,6 +91,7 @@ class FakeNet {
     for (auto& m : queue_) {
       if (pred(m)) {
         dropped++;
+        ci::wire::release_body(m);
       } else {
         kept.push_back(m);
       }
@@ -109,7 +121,10 @@ class FakeNet {
   // Messages addressed to ids without a registered engine (e.g. replies to
   // clients the test injected by hand) land here instead of crashing.
   const std::vector<Message>& external() const { return external_; }
-  void clear_external() { external_.clear(); }
+  void clear_external() {
+    for (const Message& m : external_) ci::wire::release_body(m);
+    external_.clear();
+  }
 
  private:
   struct Ctx final : Context {
@@ -120,7 +135,10 @@ class FakeNet {
       out.src = id;
       out.dst = dst;
       if (id != dst) sent++;
-      if (net->isolated_.count(id) != 0 || net->isolated_.count(dst) != 0) return;
+      if (net->isolated_.count(id) != 0 || net->isolated_.count(dst) != 0) {
+        ci::wire::release_body(out);  // send() consumed it; nobody delivers
+        return;
+      }
       net->queue_.push_back(out);
     }
     void deliver(Instance in, const Command& cmd) override { delivered.emplace_back(in, cmd); }
@@ -133,13 +151,17 @@ class FakeNet {
   };
 
   void deliver(const Message& m) {
-    if (isolated_.count(m.dst) != 0) return;
+    if (isolated_.count(m.dst) != 0) {
+      ci::wire::release_body(m);
+      return;
+    }
     if (m.dst < 0 || m.dst >= static_cast<NodeId>(ctxs_.size())) {
-      external_.push_back(m);
+      external_.push_back(m);  // custody parks here until clear/destruction
       return;
     }
     auto& c = ctxs_[static_cast<std::size_t>(m.dst)];
     c->engine->on_message(*c, m);
+    ci::wire::release_body(m);
   }
 
   Nanos now_ = 0;
