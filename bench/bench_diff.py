@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json sets and print per-metric deltas.
+
+Every bench in bench/ mirrors its printed rows into BENCH_<name>.json
+(bench::BenchJson): one object per row with ops_per_sec, msgs_per_op,
+bytes_per_op, latencies. This tool compares two such snapshots — single
+files or whole directories of them — so perf trajectories are diffable
+across PRs instead of living in scrollback.
+
+usage:
+  bench_diff.py OLD NEW [--max-regress-pct P]
+
+OLD and NEW are BENCH_*.json files or directories containing them. Rows are
+matched by (bench, label); per-metric deltas print as percentages (positive
+ops_per_sec = faster, positive msgs_per_op/bytes_per_op = chattier).
+Latency metrics (p50_us, p99_us) print when present. Unmatched rows are
+listed but not an error (benches gain and lose rows across PRs).
+
+--max-regress-pct P exits 1 when any matched row regresses by more than P
+percent on ops_per_sec (drop) or msgs_per_op/bytes_per_op (growth) — the CI
+gate, opt-in so exploratory diffs never fail.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+METRICS = [
+    # (key, higher_is_better, show_always)
+    ("ops_per_sec", True, True),
+    ("msgs_per_op", False, True),
+    ("bytes_per_op", False, True),
+    ("p50_us", False, False),
+    ("p99_us", False, False),
+]
+
+
+def load_set(path):
+    """path -> {(bench, label): row_dict}; accepts a file or a directory."""
+    if os.path.isdir(path):
+        files = sorted(
+            os.path.join(path, f)
+            for f in os.listdir(path)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        )
+        if not files:
+            sys.exit(f"error: no BENCH_*.json files under {path}")
+    else:
+        files = [path]
+    rows = {}
+    for f in files:
+        try:
+            with open(f, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"error: cannot read {f}: {e}")
+        bench = doc.get("bench", os.path.basename(f))
+        for row in doc.get("rows", []):
+            rows[(bench, row.get("label", "?"))] = row
+    return rows
+
+
+def pct(old, new):
+    if old == 0:
+        return None
+    return 100.0 * (new - old) / old
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="BENCH_*.json file or directory (baseline)")
+    ap.add_argument("new", help="BENCH_*.json file or directory (candidate)")
+    ap.add_argument(
+        "--max-regress-pct",
+        type=float,
+        default=None,
+        metavar="P",
+        help="exit 1 if any row regresses more than P%% on a core metric",
+    )
+    args = ap.parse_args()
+
+    old_rows = load_set(args.old)
+    new_rows = load_set(args.new)
+    matched = sorted(set(old_rows) & set(new_rows))
+    only_old = sorted(set(old_rows) - set(new_rows))
+    only_new = sorted(set(new_rows) - set(old_rows))
+
+    regressions = []
+    print(f"{'bench/label':<56} {'metric':<12} {'old':>12} {'new':>12} {'delta':>9}")
+    for key in matched:
+        o, n = old_rows[key], new_rows[key]
+        name = f"{key[0]}/{key[1]}"
+        for metric, higher_better, always in METRICS:
+            if metric not in o or metric not in n:
+                continue
+            ov, nv = o[metric], n[metric]
+            if not always and ov == 0 and nv == 0:
+                continue
+            p = pct(ov, nv)
+            delta = "n/a" if p is None else f"{p:+8.1f}%"
+            print(f"{name:<56} {metric:<12} {ov:>12.2f} {nv:>12.2f} {delta:>9}")
+            if args.max_regress_pct is not None and p is not None:
+                regressed = (-p if higher_better else p) > args.max_regress_pct
+                if regressed:
+                    regressions.append(f"{name} {metric}: {delta}")
+        if o.get("consistent", True) and not n.get("consistent", True):
+            regressions.append(f"{name}: became INCONSISTENT")
+            print(f"{name:<56} {'consistent':<12} {'true':>12} {'FALSE':>12}")
+
+    for key in only_old:
+        print(f"only in OLD: {key[0]}/{key[1]}")
+    for key in only_new:
+        print(f"only in NEW: {key[0]}/{key[1]}")
+    print(f"{len(matched)} rows matched, {len(only_old)} only-old, {len(only_new)} only-new")
+
+    if regressions:
+        print("\nregressions beyond the gate:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,15 +11,22 @@
 // multi-command instances (consensus/batch.hpp); the writer threads below
 // pipeline their puts (put_async + flush) so there is a backlog to pack.
 //
+// With --txn-mix=P each thread issues a fraction P of its ops as two-key
+// CROSS-SHARD transactions (session.txn().put(..).put(..).commit()),
+// committed atomically by 2PC across the keys' groups (client/txn.hpp).
+//
 //   $ ./examples/replicated_kv [1paxos|multipaxos|2pc] [num_ops]
 //       [--backend=sim|rt] [--groups=N] [--placement=group-major|interleaved|colocated]
-//       [--batch=N] [--batch-flush-us=T]
+//       [--batch=N] [--batch-flush-us=T] [--txn-mix=P]
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "client/txn.hpp"
+#include "common/rng.hpp"
 #include "common/time.hpp"
 #include "harness/cluster_harness.hpp"
 #include "kv/kv_store.hpp"
@@ -30,6 +37,7 @@ int main(int argc, char** argv) {
   // Positional args (protocol, op count); the harness knows which of its
   // flags consume the following argv slot in their space form.
   const std::vector<std::string> positional = harness::positional_args(argc, argv);
+  const double txn_mix = harness::txn_mix_from_args(argc, argv, 0.0);
   kv::Protocol protocol = kv::Protocol::kOnePaxos;
   if (!positional.empty()) {
     const std::string& p = positional[0];
@@ -70,16 +78,36 @@ int main(int argc, char** argv) {
       core::backend_name(opts.backend));
 
   const Nanos begin = now_nanos();
+  std::atomic<std::uint64_t> txns_committed{0};
+  std::atomic<std::uint64_t> txns_aborted{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&store, t, ops_per_thread] {
+    threads.emplace_back([&store, &txns_committed, &txns_aborted, t, ops_per_thread,
+                          txn_mix] {
       auto& session = store.session(t);
+      Rng rng(static_cast<std::uint64_t>(t) + 7);
       for (int i = 1; i <= ops_per_thread; ++i) {
         // Each thread owns a key range; interleaved reads check freshness.
         // Writes are pipelined (the leader batches whatever backlog forms);
         // each read flushes first so it observes the writes before it.
         const std::uint64_t key = static_cast<std::uint64_t>(t) * 1000 +
                                   static_cast<std::uint64_t>(i % 50);
+        if (txn_mix > 0 && rng.next_bool(txn_mix)) {
+          // A cross-shard transaction pairing this thread's key with a
+          // sibling in its transfer range: both writes commit atomically or
+          // not at all, whichever groups the keys hash to. (Threads touch
+          // disjoint ranges, so aborts only come from this thread's own
+          // still-locked earlier txn — i.e. never in this closed loop.)
+          const std::uint64_t pair = key + 500;
+          const auto state = session.txn()
+                                 .put(key, static_cast<std::uint64_t>(i))
+                                 .put(pair, static_cast<std::uint64_t>(i))
+                                 .commit()
+                                 .wait();
+          (state == client::TxnState::kCommitted ? txns_committed : txns_aborted)
+              .fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         session.put_async(key, static_cast<std::uint64_t>(i));
         if (i % 10 == 0) {
           session.flush();
@@ -96,6 +124,11 @@ int main(int argc, char** argv) {
   }
   for (auto& t : threads) t.join();
   const Nanos elapsed = now_nanos() - begin;
+  if (txn_mix > 0) {
+    std::printf("cross-shard txns: %llu committed, %llu aborted (mix %.2f)\n",
+                static_cast<unsigned long long>(txns_committed.load()),
+                static_cast<unsigned long long>(txns_aborted.load()), txn_mix);
+  }
 
   const double total_ops = static_cast<double>(kThreads) * ops_per_thread * 1.1;  // + reads
   std::printf("completed %.0f ops in %.1f ms (%.0f op/s)\n", total_ops,

@@ -1,0 +1,304 @@
+// The asynchronous replicated-service client engine: the bridge between
+// application threads and the event-driven engine world, and the layer the
+// public client API (service_client.hpp) is built on.
+//
+// One AsyncClientEngine occupies one node of one consensus group. The core
+// operation is submit(): queue a command, get a SubmitHandle completion
+// token back immediately. Blocking is a wrapper — execute() is
+// submit().wait(), flush() waits for everything in flight. Retarget/retry
+// behavior mirrors ClientEngine (§7.6): on timeout the request goes to the
+// next replica with the leader-suspect flag set.
+//
+// Backend bridging: under the real-thread runtime the hosting node's thread
+// drives the engine and waiters block on a condition variable. Under the
+// simulator nothing runs until somebody advances virtual time, so waiters
+// call the configured pump() in a loop (with the engine unlocked) until the
+// completion lands — exactly the bridging the synchronous client had.
+//
+// Pipelining: up to kMaxOutstanding commands ride concurrently (submit
+// blocks for ROOM, never for commits); that backlog is what lets a batching
+// leader (EngineConfig::batch) fill multi-command instances. submit_run()
+// additionally marks a run of commands to travel to the replica in shared
+// kClientCmdBatch frames (one frame per kMaxClientBatchCommands chunk) —
+// the cross-shard transaction driver uses it for its per-group fan-out.
+// Retries always degrade to per-command legacy frames, so a lost batch
+// frame costs nothing but the amortization.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "consensus/engine.hpp"
+
+namespace ci::client {
+
+using consensus::Command;
+using consensus::Context;
+using consensus::Engine;
+using consensus::Message;
+using consensus::MsgType;
+using consensus::NodeId;
+using consensus::Op;
+
+struct AsyncClientConfig {
+  consensus::EngineConfig base;
+  NodeId initial_target = 0;
+  Nanos request_timeout = 10 * kMillisecond;
+
+  // Simulator bridge: when set, blocking waits advance virtual time by
+  // calling this (expected to run the simulation for a slice) instead of
+  // sleeping on the condition variable.
+  std::function<void()> pump;
+};
+
+class AsyncClientEngine;
+
+// Completion token for one submitted command. Default-constructed handles
+// are invalid; valid ones stay usable until the engine is destroyed (the
+// engine, not the handle, owns the protocol state — dropping a handle
+// simply discards the result). Handles may be polled or waited from any
+// thread except the engine's hosting node thread.
+class SubmitHandle {
+ public:
+  SubmitHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  // Non-blocking: has the command committed (reply received)?
+  bool done() const;
+  // Blocks (or pumps, under sim) until the command commits; returns the
+  // operation result (previous value for writes, value for reads, the vote
+  // for transaction prepares).
+  std::uint64_t wait();
+
+ private:
+  friend class AsyncClientEngine;
+
+  struct Completion {
+    bool done = false;
+    std::uint64_t result = 0;
+  };
+
+  SubmitHandle(AsyncClientEngine* engine, std::shared_ptr<Completion> state)
+      : engine_(engine), state_(std::move(state)) {}
+
+  AsyncClientEngine* engine_ = nullptr;
+  std::shared_ptr<Completion> state_;
+};
+
+class AsyncClientEngine final : public Engine {
+ public:
+  // Pipeline depth bound: one batching leader can absorb at most this many
+  // commands into a single instance anyway.
+  static constexpr std::int32_t kMaxOutstanding = consensus::kMaxCommandsPerBatch;
+
+  explicit AsyncClientEngine(const AsyncClientConfig& cfg)
+      : cfg_(cfg), target_(cfg.initial_target) {}
+
+  // ---- Application side (any thread but the hosting node's) ----
+
+  // Queue one command; returns its completion token. Blocks only when the
+  // pipeline is full. The key/value form covers plain operations; the
+  // Command form carries transaction ops (op + txn stamped by the caller;
+  // client and seq are stamped here).
+  SubmitHandle submit(Op op, std::uint64_t key, std::uint64_t value) {
+    Command cmd;
+    cmd.op = op;
+    cmd.key = key;
+    cmd.value = value;
+    return submit(cmd);
+  }
+
+  SubmitHandle submit(const Command& proto) {
+    std::unique_lock<std::mutex> lock(mu_);
+    wait_locked(lock, [this] { return in_flight_count() < kMaxOutstanding; });
+    return enqueue_locked(proto, /*run=*/0);
+  }
+
+  // Queue a run of commands that should share kClientCmdBatch frames on
+  // their first send (chunked to kMaxClientBatchCommands per frame). The
+  // run must fit the pipeline whole.
+  std::vector<SubmitHandle> submit_run(const std::vector<Command>& protos) {
+    CI_CHECK(static_cast<std::int32_t>(protos.size()) <= kMaxOutstanding);
+    std::vector<SubmitHandle> handles;
+    handles.reserve(protos.size());
+    std::unique_lock<std::mutex> lock(mu_);
+    wait_locked(lock, [this, &protos] {
+      return in_flight_count() + static_cast<std::int32_t>(protos.size()) <=
+             kMaxOutstanding;
+    });
+    const std::uint32_t run = ++next_run_;
+    for (const Command& proto : protos) handles.push_back(enqueue_locked(proto, run));
+    return handles;
+  }
+
+  // Blocking one-shot: submit and wait.
+  std::uint64_t execute(Op op, std::uint64_t key, std::uint64_t value) {
+    return submit(op, key, value).wait();
+  }
+
+  // Blocks until every command submitted so far committed.
+  void flush() {
+    std::unique_lock<std::mutex> lock(mu_);
+    wait_locked(lock, [this] { return in_flight_count() == 0; });
+  }
+
+  // ---- Engine side (hosting node thread) ----
+
+  void on_message(Context& ctx, const Message& m) override {
+    (void)ctx;
+    if (m.type != MsgType::kClientReply) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sent_.find(m.u.client_reply.seq);
+    if (it == sent_.end()) return;
+    if (m.u.client_reply.leader_hint != consensus::kNoNode) {
+      target_ = m.u.client_reply.leader_hint;
+    }
+    it->second.completion->done = true;
+    it->second.completion->result = m.u.client_reply.result;
+    sent_.erase(it);
+    done_cv_.notify_all();
+  }
+
+  void tick(Context& ctx) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Nanos now = ctx.now();
+    // Launch queued commands from the hosting node's thread. Members of one
+    // run travel together in kClientCmdBatch frames; everything else goes
+    // as a legacy kClientRequest.
+    while (!queued_.empty()) {
+      if (queued_.front().run != 0) {
+        launch_run_locked(ctx, now);
+        continue;
+      }
+      Pending p = std::move(queued_.front());
+      queued_.pop_front();
+      send_locked(ctx, p.cmd, /*suspect=*/false);
+      sent_.emplace(p.cmd.seq, InFlight{p.cmd, std::move(p.completion), now});
+    }
+    // Retry stragglers individually; rotate the target at most once per
+    // tick so several outstanding commands cannot spin it around the ring.
+    bool rotated = false;
+    for (auto& [seq, f] : sent_) {
+      if (now - f.last_sent < cfg_.request_timeout) continue;
+      if (!rotated) {
+        target_ = (target_ + 1) % cfg_.base.num_replicas;
+        rotated = true;
+      }
+      f.last_sent = now;
+      send_locked(ctx, f.cmd, /*suspect=*/true);
+    }
+  }
+
+  NodeId believed_leader() const override { return target_; }
+
+ private:
+  friend class SubmitHandle;
+
+  struct Pending {
+    Command cmd;
+    std::shared_ptr<SubmitHandle::Completion> completion;
+    std::uint32_t run = 0;  // nonzero: batch with same-run neighbors
+  };
+
+  struct InFlight {
+    Command cmd;
+    std::shared_ptr<SubmitHandle::Completion> completion;
+    Nanos last_sent = 0;
+  };
+
+  std::int32_t in_flight_count() const {
+    return static_cast<std::int32_t>(queued_.size() + sent_.size());
+  }
+
+  SubmitHandle enqueue_locked(const Command& proto, std::uint32_t run) {
+    Pending p;
+    p.cmd = proto;
+    p.cmd.client = cfg_.base.self;
+    p.cmd.seq = ++next_seq_;
+    p.completion = std::make_shared<SubmitHandle::Completion>();
+    p.run = run;
+    queued_.push_back(p);
+    return SubmitHandle(this, std::move(p.completion));
+  }
+
+  // Front of the queue is a run member: peel off up to a frame's worth of
+  // its siblings and send them in one kClientCmdBatch (single leftovers go
+  // as a legacy frame — the wire promise is that one command never rides a
+  // batch frame).
+  void launch_run_locked(Context& ctx, Nanos now) {
+    const std::uint32_t run = queued_.front().run;
+    std::vector<Pending> chunk;
+    while (!queued_.empty() && queued_.front().run == run &&
+           static_cast<std::int32_t>(chunk.size()) < consensus::kMaxClientBatchCommands) {
+      chunk.push_back(std::move(queued_.front()));
+      queued_.pop_front();
+    }
+    if (chunk.size() == 1) {
+      send_locked(ctx, chunk[0].cmd, /*suspect=*/false);
+    } else {
+      Message m(MsgType::kClientCmdBatch, consensus::ProtoId::kClient, cfg_.base.self,
+                target_);
+      std::vector<Command> cmds;
+      cmds.reserve(chunk.size());
+      for (const Pending& p : chunk) cmds.push_back(p.cmd);
+      m.u.client_cmd_batch.count = static_cast<std::int32_t>(cmds.size());
+      m.u.client_cmd_batch.run.assign(cmds.data(), m.u.client_cmd_batch.count);
+      ctx.send(target_, m);
+    }
+    for (Pending& p : chunk) {
+      const std::uint32_t seq = p.cmd.seq;
+      sent_.emplace(seq, InFlight{p.cmd, std::move(p.completion), now});
+    }
+  }
+
+  template <typename Pred>
+  void wait_locked(std::unique_lock<std::mutex>& lock, Pred pred) {
+    if (cfg_.pump) {
+      while (!pred()) {
+        lock.unlock();
+        cfg_.pump();  // advances the simulation; may re-enter on_message/tick
+        lock.lock();
+      }
+    } else {
+      done_cv_.wait(lock, pred);
+    }
+  }
+
+  void send_locked(Context& ctx, const Command& cmd, bool suspect) {
+    Message m(MsgType::kClientRequest, consensus::ProtoId::kClient, cfg_.base.self, target_);
+    if (suspect) m.flags = consensus::kFlagLeaderSuspect;
+    m.u.client_request.cmd = cmd;
+    ctx.send(target_, m);
+  }
+
+  AsyncClientConfig cfg_;
+  NodeId target_;
+
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::uint32_t next_seq_ = 0;
+  std::uint32_t next_run_ = 0;
+  std::deque<Pending> queued_;             // not yet sent (tick launches them)
+  std::map<std::uint32_t, InFlight> sent_;  // awaiting a reply, by seq
+};
+
+inline bool SubmitHandle::done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(engine_->mu_);
+  return state_->done;
+}
+
+inline std::uint64_t SubmitHandle::wait() {
+  CI_CHECK_MSG(state_ != nullptr, "waiting on an invalid SubmitHandle");
+  std::unique_lock<std::mutex> lock(engine_->mu_);
+  engine_->wait_locked(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+}  // namespace ci::client

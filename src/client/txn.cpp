@@ -1,0 +1,168 @@
+#include "client/txn.hpp"
+
+#include <algorithm>
+
+#include "client/service_client.hpp"
+#include "common/check.hpp"
+
+namespace ci::client {
+
+using consensus::kNoTxn;
+using consensus::make_txn_id;
+
+// Everything one in-flight transaction needs: the cross-group analogue of
+// TwoPcEngine::Round, with SubmitHandles standing in for the ack mask (each
+// handle is a whole replicated group's ack).
+struct TxnHandle::Work {
+  Session* session = nullptr;
+  TxnId txn = kNoTxn;
+  GroupId home = 0;
+  TxnState state = TxnState::kPending;
+  bool settled = false;        // wait() ran to completion
+  bool decided = false;        // the kTxnDecide command committed
+  bool decided_commit = false; // ... and its outcome was commit
+
+  // Participant groups in first-use order (home first) with their prepare
+  // handles; finals are the per-group commit/abort handles.
+  std::vector<GroupId> participants;
+  std::vector<SubmitHandle> prepares;
+  std::vector<SubmitHandle> finals;
+
+  std::function<void(TxnPhase)> hook;
+
+  void notify(TxnPhase p) {
+    if (hook) hook(p);
+  }
+
+  // A handle dropped before wait() settled must not strand the locks its
+  // prepares took: fire-and-forget the resolution. Per-group engine queues
+  // are FIFO, so these finals land AFTER the still-queued prepares in every
+  // participant log. An already-committed decision (a hook threw mid-wait)
+  // is honored; anything earlier aborts — no participant has applied, so
+  // aborting everywhere keeps the all-or-nothing invariant.
+  ~Work() {
+    if (settled || txn == kNoTxn) return;
+    for (const GroupId g : participants) {
+      Command fin;
+      fin.op = decided && decided_commit ? Op::kTxnCommit : Op::kTxnAbort;
+      fin.txn = txn;
+      (void)session->group_client(g).submit(fin);  // result discarded
+    }
+  }
+};
+
+Txn& Txn::put(std::uint64_t key, std::uint64_t value) {
+  for (auto& [k, v] : puts_) {
+    if (k == key) {
+      v = value;  // last client-side write to a key wins
+      return *this;
+    }
+  }
+  puts_.emplace_back(key, value);
+  return *this;
+}
+
+Txn& Txn::on_phase(std::function<void(TxnPhase)> hook) {
+  hook_ = std::move(hook);
+  return *this;
+}
+
+TxnHandle Txn::commit() {
+  CI_CHECK_MSG(session_ != nullptr, "Txn already committed (or moved from)");
+  Session* session = session_;
+  session_ = nullptr;  // the builder is spent: a second commit() trips above
+  auto work = std::make_shared<TxnHandle::Work>();
+  work->session = session;
+  work->hook = std::move(hook_);
+  if (puts_.empty()) {
+    // Nothing to do: trivially committed.
+    work->state = TxnState::kCommitted;
+    work->settled = true;
+    return TxnHandle(std::move(work));
+  }
+
+  work->txn = make_txn_id(session->local_id_, ++session->next_txn_);
+  work->home = session->group_of(puts_.front().first);
+
+  // Group the writes; the home group leads the participant list so decide
+  // and finals address it consistently.
+  std::vector<std::vector<Command>> by_group(
+      static_cast<std::size_t>(session->num_groups()));
+  for (const auto& [key, value] : puts_) {
+    Command c;
+    c.op = Op::kTxnPrepare;
+    c.txn = work->txn;
+    c.key = key;
+    c.value = value;
+    by_group[static_cast<std::size_t>(session->group_of(key))].push_back(c);
+  }
+
+  auto launch_group = [&](GroupId g) {
+    const auto& cmds = by_group[static_cast<std::size_t>(g)];
+    if (cmds.empty()) return;
+    CI_CHECK_MSG(static_cast<std::int32_t>(cmds.size()) <=
+                     AsyncClientEngine::kMaxOutstanding,
+                 "transaction writes more keys in one group than the pipeline holds");
+    work->participants.push_back(g);
+    AsyncClientEngine& client = session->group_client(g);
+    if (cmds.size() == 1) {
+      work->prepares.push_back(client.submit(cmds.front()));
+    } else {
+      // Multi-key groups share kClientCmdBatch frames for the fan-out.
+      for (SubmitHandle& h : client.submit_run(cmds)) {
+        work->prepares.push_back(std::move(h));
+      }
+    }
+  };
+  launch_group(work->home);
+  for (GroupId g = 0; g < session->num_groups(); ++g) {
+    if (g != work->home) launch_group(g);
+  }
+  return TxnHandle(std::move(work));
+}
+
+TxnId TxnHandle::id() const { return work_ ? work_->txn : kNoTxn; }
+
+TxnState TxnHandle::wait() {
+  CI_CHECK_MSG(work_ != nullptr, "waiting on an invalid TxnHandle");
+  Work& w = *work_;
+  if (w.settled) return w.state;
+
+  // PREPARE: collect every participant's vote. Each wait() rides the
+  // group's replicated log, so a leader failover mid-prepare just delays
+  // the reply — the command (and with it the lock/stage) survives in the
+  // group.
+  bool all_yes = true;
+  for (SubmitHandle& h : w.prepares) all_yes &= h.wait() == 1;
+  w.notify(TxnPhase::kPrepared);
+
+  // DECIDE: replicate the outcome in the home group. After this commits,
+  // the transaction's fate is settled durably; everything beyond is
+  // (retried) application. The flags are set before the hook fires so a
+  // throwing hook leaves Work able to resolve faithfully (~Work).
+  Command decide;
+  decide.op = Op::kTxnDecide;
+  decide.txn = w.txn;
+  decide.value = all_yes ? 1 : 0;
+  w.session->group_client(w.home).submit(decide).wait();
+  w.decided = true;
+  w.decided_commit = all_yes;
+  w.notify(TxnPhase::kDecided);
+
+  // COMMIT/ABORT: apply (or discard) on every participant; locks release
+  // either way. The ack — wait() returning — only happens after ALL
+  // participants applied, so an acked transaction is fully visible.
+  for (const GroupId g : w.participants) {
+    Command fin;
+    fin.op = all_yes ? Op::kTxnCommit : Op::kTxnAbort;
+    fin.txn = w.txn;
+    w.finals.push_back(w.session->group_client(g).submit(fin));
+  }
+  for (SubmitHandle& h : w.finals) h.wait();
+  w.state = all_yes ? TxnState::kCommitted : TxnState::kAborted;
+  w.settled = true;
+  w.notify(TxnPhase::kApplied);
+  return w.state;
+}
+
+}  // namespace ci::client

@@ -1,0 +1,107 @@
+// Cross-shard transactions: classic two-phase commit run ACROSS consensus
+// groups, where every participant — and the coordinator's decision — is
+// replicated (paper §2.2: "consensus groups make blocking protocols safe to
+// layer"). See DESIGN.md §1d for the full flow and the non-blocking
+// argument.
+//
+// The protocol, driven from the submitting session:
+//   1. PREPARE   — one kTxnPrepare command per written key, submitted to the
+//                  key's owning group through that group's ordinary
+//                  replicated log (multi-key groups share kClientCmdBatch
+//                  frames). Executing the prepare locks the key and stages
+//                  the value; the reply carries the participant's vote.
+//   2. DECIDE    — the coordinator's decision (commit iff every vote was
+//                  yes) is itself a replicated command, kTxnDecide, in the
+//                  transaction's HOME group (the first key's group). Once it
+//                  commits there, the outcome is durable against any single
+//                  replica failure — this is what removes the classic 2PC
+//                  blocking window, where a dead coordinator strands
+//                  participants holding locks.
+//   3. COMMIT/   — one kTxnCommit (or kTxnAbort) command per participant
+//      ABORT       group applies the staged writes (or discards them) and
+//                  releases the locks, again through the replicated logs.
+//
+// The handle acks (wait() returns kCommitted) only after every participant
+// applied, so an acked transaction is never partially visible. Conflicting
+// prepares vote no instead of waiting — a deterministic log cannot block —
+// so concurrent transactions over the same keys abort-and-retry rather than
+// deadlock. The coordinator mirrors the single-group TwoPcEngine's round
+// structure (consensus::TwoPcPhase: prepare fan-out / decision fan-out) one
+// layer up: participants are groups, and each "send" is a replicated
+// command instead of a point-to-point message.
+//
+// Dropping a TxnHandle without wait()ing does not strand locks: the last
+// reference fire-and-forgets the resolution (abort, or commit if the
+// decision already committed). Like SubmitHandle, a TxnHandle must not
+// outlive the ServiceClient that owns its session — the drop path submits
+// through the session's engines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "client/async_client.hpp"
+
+namespace ci::client {
+
+class Session;
+
+using consensus::GroupId;
+using consensus::TxnId;
+
+enum class TxnState : std::uint8_t { kPending, kCommitted, kAborted };
+
+// Progress points reported to the Txn::on_phase hook, in order. Fault tests
+// use the hook to kill leaders exactly mid-prepare / mid-commit.
+enum class TxnPhase : std::uint8_t {
+  kPrepared,  // every vote collected, decision not yet submitted
+  kDecided,   // decision committed in the home group, outcome not yet applied
+  kApplied,   // every participant applied the outcome
+};
+
+// Completion token for one transaction. wait() drives the remaining phases
+// (prepares are already in flight when commit() returns) and blocks — or
+// pumps virtual time, under sim — until the outcome is applied everywhere.
+class TxnHandle {
+ public:
+  TxnHandle() = default;
+
+  bool valid() const { return work_ != nullptr; }
+  TxnId id() const;
+  TxnState wait();
+  bool committed() { return wait() == TxnState::kCommitted; }
+
+ private:
+  friend class Txn;
+  struct Work;
+  explicit TxnHandle(std::shared_ptr<Work> work) : work_(std::move(work)) {}
+  std::shared_ptr<Work> work_;
+};
+
+// Builder: stage writes, then commit() to launch the 2PC. One transaction
+// writes each key at most once (a second put to the same key overwrites the
+// staged value client-side).
+class Txn {
+ public:
+  explicit Txn(Session* session) : session_(session) {}
+
+  Txn& put(std::uint64_t key, std::uint64_t value);
+
+  // Test/fault-injection hook, called at each TxnPhase transition during
+  // wait(). Installed before commit().
+  Txn& on_phase(std::function<void(TxnPhase)> hook);
+
+  // Launches the prepare fan-out and returns the completion token. The
+  // builder is spent afterwards — a second commit() CHECK-fails rather
+  // than silently launching the writes a second time.
+  TxnHandle commit();
+
+ private:
+  Session* session_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> puts_;
+  std::function<void(TxnPhase)> hook_;
+};
+
+}  // namespace ci::client

@@ -88,6 +88,25 @@ void GroupDemuxEngine::on_message(Context& ctx, const Message& m) {
   // Out-of-group senders (e.g. the rt load manager's kStart) have no local
   // id; kNoNode is fine — engines never reply to control traffic.
   const NodeId lsrc = p->routing->to_local(m.src);
+  if (m.type == MsgType::kClientCmdBatch) {
+    // A client-side command run: decompose into ordinary kClientRequest
+    // deliveries so the hosted engine — whichever protocol it speaks —
+    // handles each command exactly as if it had arrived alone. Replies are
+    // per-command through the usual path. The run is inline by construction
+    // (kMaxClientBatchCommands <= kInlineBatchCommands), so no pool custody
+    // changes hands here; the transport's post-delivery release is a no-op.
+    const std::int32_t count = m.u.client_cmd_batch.count;
+    const Command* cmds = m.u.client_cmd_batch.run.data(count);
+    Message each(MsgType::kClientRequest, ProtoId::kClient,
+                 lsrc != kNoNode ? lsrc : m.src, p->local_self);
+    each.flags = m.flags;
+    each.group = p->g;
+    for (std::int32_t i = 0; i < count; ++i) {
+      each.u.client_request.cmd = cmds[i];
+      p->engine->on_message(gctx, each);
+    }
+    return;
+  }
   if (lsrc == m.src && m.dst == p->local_self) {
     p->engine->on_message(gctx, m);  // identity layout: skip the copy
     return;

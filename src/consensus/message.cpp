@@ -97,6 +97,8 @@ std::size_t payload_bytes(const Message& m) {
       return batch_bytes(m.u.opx_window_body);
     case MsgType::kOpxWindowFetchReq:
       return sizeof(OpxWindowFetchReq);
+    case MsgType::kClientCmdBatch:
+      return batch_bytes(m.u.client_cmd_batch);
   }
   return sizeof(Message::Payload);  // unknown: be conservative
 }
@@ -143,6 +145,7 @@ bool known_type(MsgType t) {
     case MsgType::kOpxPrepareBatchResp:
     case MsgType::kOpxWindowBody:
     case MsgType::kOpxWindowFetchReq:
+    case MsgType::kClientCmdBatch:
       return true;
   }
   return false;
@@ -207,6 +210,13 @@ bool wire_validate(const Message& m, std::size_t bytes) {
       break;
     case MsgType::kOpxWindowBody:
       if (!batch_count_ok(m.u.opx_window_body.count)) return false;
+      break;
+    case MsgType::kClientCmdBatch:
+      // Tighter cap than the protocol batches: client runs stay inline.
+      if (m.u.client_cmd_batch.count < 2 ||
+          m.u.client_cmd_batch.count > kMaxClientBatchCommands) {
+        return false;
+      }
       break;
     default:
       break;

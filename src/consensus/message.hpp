@@ -103,6 +103,15 @@ enum class MsgType : std::uint8_t {
   // self-contained instead of appending a worst-case command pool to it.
   kOpxWindowBody,
   kOpxWindowFetchReq,
+
+  // Client-side command batching (cross-shard transactions, client/txn.hpp):
+  // one frame carrying a run of 2..kInlineBatchCommands commands from one
+  // client to one group's replica. The GroupDemuxEngine on the receiving
+  // node decomposes the run into ordinary kClientRequest deliveries, so
+  // every protocol engine handles the commands without knowing the frame
+  // exists; replies stay per-command. Single-command submissions keep the
+  // legacy kClientRequest frame, so unbatched wire traffic is unchanged.
+  kClientCmdBatch,
 };
 
 // Message::flags bits.
@@ -324,6 +333,18 @@ struct OpxWindowFetchReq {
   std::uint64_t digest = 0;
 };
 
+// A run of client commands in one frame (kClientCmdBatch). Capped at the
+// inline run capacity: the run never touches the CommandPool (sessions live
+// on application threads; the pool is engine-thread-local) and the frame
+// always fits an unbatched deployment's default SPSC queue slots, so
+// clients may send it regardless of the group's BatchPolicy.
+struct ClientCmdBatch {
+  std::int32_t count = 0;
+  std::uint8_t reserved[4] = {0};
+  CommandRun run;
+};
+inline constexpr std::int32_t kMaxClientBatchCommands = kInlineBatchCommands;
+
 // PaxosUtility: consensus entries are leader/acceptor changes, with the
 // uncommitted proposals attached to AcceptorChange (paper §5.2).
 
@@ -466,6 +487,7 @@ struct Message {
     OpxPrepareBatchResp opx_prepare_batch_resp;
     OpxWindowBody opx_window_body;
     OpxWindowFetchReq opx_window_fetch_req;
+    ClientCmdBatch client_cmd_batch;
 
     // All members are trivially copyable PODs; zero-fill so serialized
     // padding bytes are deterministic.
@@ -500,6 +522,7 @@ static_assert(offsetof(Phase1BatchResp, run) == 48);
 static_assert(offsetof(OpxBatchAcceptReq, run) == 32);
 static_assert(offsetof(OpxBatchLearn, run) == 16);
 static_assert(offsetof(OpxPrepareBatchResp, run) == 32);
+static_assert(offsetof(ClientCmdBatch, run) == 8);
 
 // The budget this refactor exists to enforce: every Message construction
 // zero-fills sizeof(Message) bytes and every SPSC slot, rt task stack, and

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "consensus/types.hpp"
 
@@ -11,10 +13,67 @@ namespace ci::consensus {
 
 // Deterministic state machine. apply() returns the operation result (the
 // value read, for kRead; implementations choose what writes return).
+//
+// Transaction participation (cross-shard 2PC, DESIGN.md §1d): the txn hooks
+// let a replicated group serve as one participant of a transaction that
+// spans groups. All hooks execute from the replicated log, so every replica
+// of the group walks the same lock/stage/apply sequence deterministically:
+//   * txn_prepare — called once per (txn, key) write: lock the key and
+//     stage the value, returning the participant's vote (1 = yes, 0 = no;
+//     a key locked by ANOTHER live transaction must vote no — voting is the
+//     only conflict resolution, there is no waiting inside a deterministic
+//     log). A no vote must leave nothing locked or staged for that command.
+//   * txn_commit — apply every staged write of the txn, release its locks.
+//   * txn_abort — discard staged writes, release locks.
+//   * txn_decide — home-group bookkeeping: record the coordinator's
+//     replicated decision (the durable commit point of the 2PC).
+// The defaults vote yes and do nothing, so state machines that never see
+// transactions are unaffected.
 class StateMachine {
  public:
   virtual ~StateMachine() = default;
   virtual std::uint64_t apply(const Command& cmd) = 0;
+
+  // Relaxed local read (§7.5): a replica's current value for `key` without
+  // a protocol round trip. Services without a keyed read return 0.
+  virtual std::uint64_t read(std::uint64_t key) const {
+    (void)key;
+    return 0;
+  }
+
+  virtual std::uint64_t txn_prepare(const Command& cmd) {
+    (void)cmd;
+    return 1;
+  }
+  virtual std::uint64_t txn_commit(TxnId txn) {
+    (void)txn;
+    return 1;
+  }
+  virtual std::uint64_t txn_abort(TxnId txn) {
+    (void)txn;
+    return 1;
+  }
+  virtual std::uint64_t txn_decide(TxnId txn, bool commit) {
+    (void)txn;
+    return commit ? 1 : 0;
+  }
+
+  // The dispatcher the Executor drives: routes transaction ops to the hooks
+  // above and everything else to apply().
+  std::uint64_t execute(const Command& cmd) {
+    switch (cmd.op) {
+      case Op::kTxnPrepare:
+        return txn_prepare(cmd);
+      case Op::kTxnCommit:
+        return txn_commit(cmd.txn);
+      case Op::kTxnAbort:
+        return txn_abort(cmd.txn);
+      case Op::kTxnDecide:
+        return txn_decide(cmd.txn, cmd.value != 0);
+      default:
+        return apply(cmd);
+    }
+  }
 };
 
 // Discards writes, reads return zero. Used by benches where only agreement
@@ -26,6 +85,12 @@ class NullStateMachine final : public StateMachine {
 
 // A replicated key/value map: writes store, reads (and writes) return the
 // previous value. Queryable locally for joint-deployment local reads (§7.5).
+//
+// Transactions: prepare locks the key and stages the write (vote no when
+// another live transaction holds the lock), commit applies staged writes
+// and releases, abort releases without applying. Locks isolate transactions
+// from EACH OTHER only; plain kWrite commands are linearized by the log
+// independently and do not consult the lock table (relaxed reads likewise).
 class MapStateMachine final : public StateMachine {
  public:
   std::uint64_t apply(const Command& cmd) override {
@@ -40,19 +105,76 @@ class MapStateMachine final : public StateMachine {
         return read(cmd.key);
       case Op::kNoop:
         return 0;
+      default:
+        return 0;  // txn ops never reach apply (execute() routes them)
     }
-    return 0;
   }
 
-  std::uint64_t read(std::uint64_t key) const {
+  std::uint64_t read(std::uint64_t key) const override {
     auto it = map_.find(key);
     return it == map_.end() ? 0 : it->second;
   }
 
+  std::uint64_t txn_prepare(const Command& cmd) override {
+    auto [it, inserted] = locks_.try_emplace(cmd.key, cmd.txn);
+    if (!inserted && it->second != cmd.txn) return 0;  // locked by another txn
+    staged_[cmd.txn].emplace_back(cmd.key, cmd.value);
+    return 1;
+  }
+
+  std::uint64_t txn_commit(TxnId txn) override {
+    decisions_.erase(txn);  // the final reached the home group: record done
+    auto it = staged_.find(txn);
+    if (it == staged_.end()) return 1;  // already finished (duplicate decision)
+    for (const auto& [key, value] : it->second) {
+      map_[key] = value;
+      release_lock(txn, key);
+    }
+    staged_.erase(it);
+    return 1;
+  }
+
+  std::uint64_t txn_abort(TxnId txn) override {
+    decisions_.erase(txn);
+    auto it = staged_.find(txn);
+    if (it == staged_.end()) return 1;
+    for (const auto& [key, value] : it->second) release_lock(txn, key);
+    staged_.erase(it);
+    return 1;
+  }
+
+  std::uint64_t txn_decide(TxnId txn, bool commit) override {
+    decisions_[txn] = commit ? 1 : 0;
+    return commit ? 1 : 0;
+  }
+
   std::size_t size() const { return map_.size(); }
 
+  // Test introspection: transactions holding locks / staged writes here.
+  std::size_t locked_keys() const { return locks_.size(); }
+  bool has_txn_state(TxnId txn) const { return staged_.count(txn) != 0; }
+  // -1 = no decision recorded (this replica is not the txn's home group, or
+  // the decide has not executed here yet).
+  int decision(TxnId txn) const {
+    auto it = decisions_.find(txn);
+    return it == decisions_.end() ? -1 : it->second;
+  }
+
  private:
+  void release_lock(TxnId txn, std::uint64_t key) {
+    auto lk = locks_.find(key);
+    if (lk != locks_.end() && lk->second == txn) locks_.erase(lk);
+  }
+
   std::unordered_map<std::uint64_t, std::uint64_t> map_;
+  std::unordered_map<std::uint64_t, TxnId> locks_;  // key -> holding txn
+  std::unordered_map<TxnId, std::vector<std::pair<std::uint64_t, std::uint64_t>>> staged_;
+  // Home-group decision record, covering the decide->apply window; the
+  // final command (txn_commit/txn_abort always reaches the home group —
+  // it is a participant by construction) prunes it, so live transactions
+  // bound its size and a reused TxnId (the 20-bit counter wraps after ~1M
+  // txns per session) cannot meet a stale record.
+  std::unordered_map<TxnId, std::uint8_t> decisions_;
 };
 
 // Applies log entries exactly once per (client, seq): a command can occupy
@@ -85,11 +207,11 @@ class Executor {
         }
         it->second.seq = cmd.seq;
       }
-      if (sm_ != nullptr) out.result = sm_->apply(cmd);
+      if (sm_ != nullptr) out.result = sm_->execute(cmd);
       it->second.result = out.result;
       return out;
     }
-    if (sm_ != nullptr) out.result = sm_->apply(cmd);
+    if (sm_ != nullptr) out.result = sm_->execute(cmd);
     return out;
   }
 

@@ -30,6 +30,14 @@ struct TwoPcConfig {
   NodeId coordinator = 0;
 };
 
+// The two phases every 2PC round walks: fan out prepares, collect the
+// votes, fan out the decision, collect the acks. Shared by the single-group
+// engine below (participants = replicas) and the cross-group transaction
+// coordinator built on top of replicated groups (participants = groups;
+// client/txn.hpp) — the §2.2 layering reuses the round structure one level
+// up.
+enum class TwoPcPhase : std::uint8_t { kPreparing, kCommitting };
+
 class TwoPcEngine final : public Engine {
  public:
   explicit TwoPcEngine(const TwoPcConfig& cfg);
@@ -47,7 +55,7 @@ class TwoPcEngine final : public Engine {
   std::uint64_t committed_rounds() const { return committed_rounds_; }
 
  private:
-  enum class Phase : std::uint8_t { kPreparing, kCommitting };
+  using Phase = TwoPcPhase;
 
   struct Round {
     Command cmd;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 
 namespace ci::consensus {
@@ -37,7 +38,28 @@ enum class Op : std::uint8_t {
   kNoop = 0,
   kWrite = 1,
   kRead = 2,
+
+  // Cross-shard transaction participation (paper §2.2 layering: classic 2PC
+  // across groups, each participant itself a non-blocking replicated group).
+  // These ride the replicated logs like any other command; the Executor
+  // routes them to the StateMachine's prepare/commit/abort hooks instead of
+  // apply(). See DESIGN.md §1d for the message flow.
+  kTxnPrepare = 3,  // lock cmd.key, stage cmd.value; result = vote (1 yes / 0 no)
+  kTxnCommit = 4,   // apply cmd.txn's staged writes, release its locks
+  kTxnAbort = 5,    // discard cmd.txn's staged writes, release its locks
+  kTxnDecide = 6,   // home group only: record the decision (value 1=commit, 0=abort)
 };
+
+// Identifies one cross-shard transaction: (coordinating session node, local
+// counter), packed so it fits the Command padding below. 0 = "not a txn".
+using TxnId = std::uint32_t;
+inline constexpr TxnId kNoTxn = 0;
+inline constexpr int kTxnSessionShift = 20;  // 12 bits session, 20 bits counter
+
+inline TxnId make_txn_id(NodeId session, std::uint32_t counter) {
+  return (static_cast<TxnId>(session & 0xFFF) << kTxnSessionShift) |
+         (counter & ((1u << kTxnSessionShift) - 1));
+}
 
 // A client command — the value agreed on by consensus. The paper's
 // evaluation uses empty payloads; we carry a small key/value so the examples
@@ -47,16 +69,23 @@ struct Command {
   std::uint32_t seq = 0;  // client-local sequence number, for dedup/replies
   Op op = Op::kNoop;
   std::uint8_t reserved[3] = {0, 0, 0};
+  // Transaction this command belongs to (kTxn* ops only; kNoTxn otherwise).
+  // Occupies what used to be struct padding, so offsets of every other
+  // field — and with them all wire frames carrying commands — are unchanged.
+  TxnId txn = kNoTxn;
   std::uint64_t key = 0;
   std::uint64_t value = 0;
 
   friend bool operator==(const Command& a, const Command& b) {
-    return a.client == b.client && a.seq == b.seq && a.op == b.op && a.key == b.key &&
-           a.value == b.value;
+    return a.client == b.client && a.seq == b.seq && a.op == b.op && a.txn == b.txn &&
+           a.key == b.key && a.value == b.value;
   }
   bool is_noop() const { return op == Op::kNoop && client == kNoNode; }
+  bool is_txn_op() const { return op >= Op::kTxnPrepare && op <= Op::kTxnDecide; }
 };
 static_assert(sizeof(Command) == 32);
+static_assert(offsetof(Command, key) == 16 && offsetof(Command, value) == 24,
+              "Command::txn must occupy the former padding, not shift fields");
 
 // A (possibly uncommitted) proposal: the unit handed between acceptors and
 // leaders during 1Paxos reconfiguration (paper §5.2).

@@ -57,6 +57,10 @@ bool run_view(Message& m, RunView* v) {
       *v = {offsetof(consensus::OpxWindowBody, run), &m.u.opx_window_body.run,
             m.u.opx_window_body.count};
       return true;
+    case MsgType::kClientCmdBatch:
+      *v = {offsetof(consensus::ClientCmdBatch, run), &m.u.client_cmd_batch.run,
+            m.u.client_cmd_batch.count};
+      return true;
     default:
       return false;
   }

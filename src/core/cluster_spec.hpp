@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -139,6 +141,15 @@ struct ClusterSpec {
   // (self, num_replicas, seed, state_machine) when wiring each engine; only
   // the timers and pipeline_window are read from here.
   consensus::EngineConfig engine;
+
+  // Builds the applied state machine for replica `r` of each group. Null =
+  // consensus::MapStateMachine (the repo's KV). This is what makes the
+  // client layer (client::ServiceClient) serve ANY replicated service: the
+  // deployment replicates whatever machine the spec supplies, and the
+  // transaction hooks (StateMachine::txn_*) let it participate in
+  // cross-shard 2PC if it implements them.
+  std::function<std::unique_ptr<consensus::StateMachine>(consensus::NodeId r)>
+      state_machine_factory;
 
   WorkloadSpec workload;
   FaultPlan faults;

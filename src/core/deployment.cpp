@@ -30,7 +30,10 @@ Deployment::Deployment(const ClusterSpec& spec, bool auto_start_clients)
   ProtocolOptions popts;
   popts.acceptor_count = spec_.acceptor_count;
   for (NodeId r = 0; r < R; ++r) {
-    sms_.push_back(std::make_unique<consensus::MapStateMachine>());
+    sms_.push_back(spec_.state_machine_factory
+                       ? spec_.state_machine_factory(r)
+                       : std::make_unique<consensus::MapStateMachine>());
+    CI_CHECK_MSG(sms_.back() != nullptr, "state_machine_factory returned null");
     EngineConfig cfg = base_cfg(r);
     cfg.state_machine = sms_.back().get();
     replicas_.push_back(make_replica_engine(spec_.protocol, cfg, popts));

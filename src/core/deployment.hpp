@@ -142,7 +142,10 @@ class Deployment {
   consensus::Engine* replica_engine(consensus::NodeId r) {
     return replicas_[static_cast<std::size_t>(r)].get();
   }
-  consensus::MapStateMachine* state_machine(consensus::NodeId r) {
+  // The replica's applied machine (whatever spec.state_machine_factory
+  // built; MapStateMachine by default). Callers that configured a custom
+  // factory know the concrete type.
+  consensus::StateMachine* state_machine(consensus::NodeId r) {
     return sms_[static_cast<std::size_t>(r)].get();
   }
   consensus::ClientEngine* client(std::int32_t i) {
@@ -174,7 +177,7 @@ class Deployment {
 
  private:
   ClusterSpec spec_;
-  std::vector<std::unique_ptr<consensus::MapStateMachine>> sms_;  // one per replica
+  std::vector<std::unique_ptr<consensus::StateMachine>> sms_;  // one per replica
   std::vector<std::unique_ptr<consensus::Engine>> replicas_;      // protocol engines
   std::vector<std::unique_ptr<consensus::ClientEngine>> clients_;
   std::vector<std::unique_ptr<consensus::Engine>> joint_engines_;

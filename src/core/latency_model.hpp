@@ -16,6 +16,8 @@
 // it as the sim-backend parameterization.
 #pragma once
 
+#include <cstddef>
+
 #include "common/time.hpp"
 
 namespace ci::core {
@@ -28,6 +30,19 @@ struct LatencyModel {
   Nanos handler_cost = 100;     // protocol work per message
   double drop_probability = 0;  // per-message loss (0 on many-core: §1 —
                                 // "link failures are not an issue")
+
+  // Optional per-byte sender cost: when > 0, putting a frame on the medium
+  // additionally charges frame_bytes / bytes_per_second of CPU, using the
+  // encoded frame size the wire codec reports (what a socket backend would
+  // push through the kernel — batched frames cost more than heartbeats).
+  // 0 = off: runs stay bit-reproducible with the pre-bandwidth model, which
+  // charges per message only. A LAN model would set this to link bandwidth.
+  double bytes_per_second = 0;
+
+  Nanos per_byte_cost(std::size_t frame_bytes) const {
+    if (bytes_per_second <= 0) return 0;
+    return static_cast<Nanos>(static_cast<double>(frame_bytes) * 1e9 / bytes_per_second);
+  }
 
   static LatencyModel many_core() { return LatencyModel{}; }
 

@@ -81,6 +81,7 @@ std::unique_ptr<consensus::GroupDemuxEngine> ShardedDeployment::make_external_de
     demux->add_group(g, per_group[static_cast<std::size_t>(g)], local,
                      routing_[static_cast<std::size_t>(g)].get());
   }
+  externals_++;
   return demux;
 }
 

@@ -77,14 +77,29 @@ class ShardedDeployment {
                          consensus::Instance in, const consensus::Command& cmd)>;
   void set_deliver_hook(DeliverHook hook);
 
-  // Registers an external participant (e.g. a kv session) that talks inside
-  // EVERY group from one extra transport node past num_nodes(): maps
-  // `local` to `global` in each group's routing table and returns a demux
-  // hosting `per_group[g]` as group g's engine. Call before the transport
-  // starts; the demux is owned by the caller, the routing by this object.
+  // Registers an external participant (e.g. a client-layer session) that
+  // talks inside EVERY group from one extra transport node past
+  // num_nodes(): maps `local` to `global` in each group's routing table and
+  // returns a demux hosting `per_group[g]` as group g's engine. Call before
+  // the transport starts; the demux is owned by the caller, the routing by
+  // this object.
   std::unique_ptr<consensus::GroupDemuxEngine> make_external_demux(
       consensus::NodeId global, consensus::NodeId local,
       const std::vector<consensus::Engine*>& per_group);
+
+  // Id allocation for external sessions: the k-th session (k = sessions
+  // registered so far) occupies transport node num_nodes()+k and group-local
+  // participant id nodes_per_group()+k in every group. ServiceClient wires
+  // its sessions through this so backends can size transports as
+  // num_nodes() + external_count().
+  struct ExternalSeat {
+    consensus::NodeId global = consensus::kNoNode;
+    consensus::NodeId local = consensus::kNoNode;
+  };
+  ExternalSeat next_external_seat() const {
+    return ExternalSeat{num_nodes() + externals_, shard_.nodes_per_group() + externals_};
+  }
+  std::int32_t external_count() const { return externals_; }
 
   // ---- Aggregates over all groups (live-readable where Deployment's are) ----
   bool clients_done() const;
@@ -108,6 +123,7 @@ class ShardedDeployment {
   std::vector<std::unique_ptr<consensus::GroupRouting>> routing_;  // per group
   std::vector<std::unique_ptr<consensus::GroupDemuxEngine>> demux_;  // per node
   std::vector<std::pair<GroupId, consensus::NodeId>> client_targets_;
+  std::int32_t externals_ = 0;  // external sessions registered so far
 };
 
 }  // namespace ci::core

@@ -18,9 +18,11 @@ namespace {
 // missing from this table, so the strict scanners below cannot drift from
 // the parsers.
 constexpr const char* kValueFlags[] = {"--backend", "--groups", "--placement",
-                                       "--batch", "--batch-flush-us"};
-// Valueless flags: presence is the whole message.
-constexpr const char* kBoolFlags[] = {"--sweep-diff"};
+                                       "--batch", "--batch-flush-us", "--txn-mix"};
+// Valueless flags: presence is the whole message. --help is recognized by
+// the strict scanners (print usage, exit 0) and always legal, so binaries
+// need not list it in their consumed sets.
+constexpr const char* kBoolFlags[] = {"--sweep-diff", "--help"};
 
 bool is_harness_flag(const char* name) {
   for (const char* flag : kValueFlags) {
@@ -272,6 +274,52 @@ consensus::BatchPolicy batch_policy_from_args(int argc, char** argv) {
   return policy;
 }
 
+bool try_txn_mix_from_args(int argc, char** argv, double def, double* out,
+                          std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--txn-mix", &malformed);
+  if (malformed) {
+    *err = "--txn-mix requires a value (expected --txn-mix=P, 0 <= P <= 1)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const double p = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !(p >= 0.0) || !(p <= 1.0)) {
+    *err = std::string("bad txn mix '") + value +
+           "' (expected --txn-mix=P, a fraction 0 <= P <= 1)";
+    return false;
+  }
+  *out = p;
+  return true;
+}
+
+double txn_mix_from_args(int argc, char** argv, double def) {
+  double p = def;
+  std::string err;
+  if (!try_txn_mix_from_args(argc, argv, def, &p, &err)) usage_exit(err.c_str());
+  return p;
+}
+
+const char* usage_text() {
+  return
+      "harness flags (all binaries in bench/ and examples/ accept the subset\n"
+      "they consume; anything else exits 2):\n"
+      "  --backend=sim|rt          runtime: deterministic simulator or pinned threads\n"
+      "  --groups=N                consensus groups to shard over (N >= 1)\n"
+      "  --placement=group-major|interleaved|colocated\n"
+      "                            how groups map onto transport nodes\n"
+      "  --batch=N                 commands per agreement instance (1 <= N <= 64)\n"
+      "  --batch-flush-us=T        max microseconds a partial batch waits (T >= 0)\n"
+      "  --txn-mix=P               fraction of ops issued as cross-shard\n"
+      "                            transactions (0 <= P <= 1)\n"
+      "  --sweep-diff              also run the spec on BOTH backends and diff\n"
+      "                            the result shapes\n"
+      "  --help                    print this text and exit\n"
+      "Flags take --name=value or --name value form; the last occurrence wins.\n";
+}
+
 namespace {
 
 // Walks argv once; calls on_positional for every non-flag argument and
@@ -286,6 +334,10 @@ void scan_args(int argc, char** argv, std::initializer_list<const char*> consume
     if (arg[0] != '-') {
       on_positional(arg);
       continue;
+    }
+    if (std::strcmp(arg, "--help") == 0) {
+      std::fputs(usage_text(), stdout);
+      std::exit(0);
     }
     bool known = false;
     for (const char* flag : kBoolFlags) {
@@ -324,7 +376,7 @@ void scan_args(int argc, char** argv, std::initializer_list<const char*> consume
     if (!known) {
       std::fprintf(stderr,
                    "unknown flag '%s' (harness flags: --backend, --groups, --placement, "
-                   "--batch, --batch-flush-us, --sweep-diff)\n",
+                   "--batch, --batch-flush-us, --txn-mix, --sweep-diff, --help)\n",
                    arg);
       std::exit(2);
     }

@@ -57,6 +57,20 @@ Nanos batch_flush_from_args(int argc, char** argv, Nanos def = 0);
 // Both batching flags folded into one policy (defaults: unbatched).
 consensus::BatchPolicy batch_policy_from_args(int argc, char** argv);
 
+// `--txn-mix=P`: fraction (0 <= P <= 1) of workload operations issued as
+// cross-shard transactions instead of single-key commands (client/txn.hpp).
+// Consumed by the transaction benches/examples; anything outside [0, 1] or
+// non-numeric exits 2.
+bool try_txn_mix_from_args(int argc, char** argv, double def, double* out,
+                           std::string* err);
+double txn_mix_from_args(int argc, char** argv, double def = 0.0);
+
+// The usage text every harness-flag binary shares: enumerates ALL harness
+// flags (--backend, --groups, --placement, --batch, --batch-flush-us,
+// --txn-mix, --sweep-diff, --help) with their value shapes. The strict
+// scanners print it and exit 0 when argv carries `--help`.
+const char* usage_text();
+
 // `base` plus whatever `--groups` / `--placement` say: the one-liner that
 // makes any existing bench spec shardable.
 ShardSpec shard_from_args(int argc, char** argv, const ClusterSpec& base);

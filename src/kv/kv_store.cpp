@@ -1,137 +1,32 @@
 #include "kv/kv_store.hpp"
 
-#include <mutex>
-
-#include "common/affinity.hpp"
 #include "common/check.hpp"
-#include "common/rng.hpp"
-#include "sim/sim_net.hpp"
 
 namespace ci::kv {
 
-using consensus::NodeId;
-
 namespace {
 
-// Keys are often small sequential integers, so run them through the
-// SplitMix64 finalizer to keep the shards balanced.
-GroupId group_of_key(std::uint64_t key, std::int32_t groups) {
-  return groups <= 1 ? 0
-                     : static_cast<GroupId>(SplitMix64(key).next() %
-                                            static_cast<std::uint64_t>(groups));
+client::ServiceClient::Options to_client_options(const ReplicatedKv::Options& opts) {
+  client::ServiceClient::Options o;
+  // The factory travels as-is: null means MapStateMachine (the KV service);
+  // a caller-supplied factory is honored — local_read and the txn hooks go
+  // through the StateMachine virtuals, so a custom machine (e.g. an
+  // instrumented Map variant in tests) keeps the whole facade working.
+  o.spec = opts.spec;
+  o.backend = opts.backend;
+  o.num_sessions = opts.num_sessions;
+  o.groups = opts.groups;
+  o.placement = opts.placement;
+  o.router = opts.router;
+  return o;
 }
 
 }  // namespace
 
-std::uint64_t KvSession::execute(consensus::Op op, std::uint64_t key, std::uint64_t value) {
-  return per_group_[static_cast<std::size_t>(group_of(key))]->execute(op, key, value);
-}
-
-void KvSession::put_async(std::uint64_t key, std::uint64_t value) {
-  per_group_[static_cast<std::size_t>(group_of(key))]->submit(consensus::Op::kWrite, key,
-                                                              value);
-}
-
-void KvSession::flush() {
-  for (auto& client : per_group_) client->flush();
-}
-
-GroupId KvSession::group_of(std::uint64_t key) const {
-  return group_of_key(key, static_cast<std::int32_t>(per_group_.size()));
-}
-
-NodeId KvSession::believed_leader_for(std::uint64_t key) const {
-  return per_group_[static_cast<std::size_t>(group_of(key))]->believed_leader();
-}
-
-// Simulator transport for synchronous sessions: virtual time only advances
-// while some session blocks in execute(), pumping slices through run_until.
-// The mutex serializes pumps from concurrent session threads.
-struct ReplicatedKv::SimState {
-  static constexpr Nanos kPumpSlice = 50 * kMicrosecond;
-
-  std::mutex mu;
-  std::unique_ptr<sim::SimNet> net;
-
-  void pump() {
-    std::lock_guard<std::mutex> lock(mu);
-    net->run_until(net->now() + kPumpSlice);
+ReplicatedKv::ReplicatedKv(const Options& opts) : client_(to_client_options(opts)) {
+  for (std::int32_t s = 0; s < client_.session_count(); ++s) {
+    sessions_.push_back(std::unique_ptr<KvSession>(new KvSession(&client_.session(s))));
   }
-};
-
-ReplicatedKv::ReplicatedKv(const Options& opts)
-    : opts_([&] {
-        Options o = opts;
-        o.spec.num_clients = 0;  // sessions replace workload clients
-        o.spec.joint = false;
-        return o;
-      }()),
-      dep_(core::ShardSpec(opts_.spec, opts_.groups, opts_.placement),
-           /*auto_start_clients=*/true) {
-  const std::int32_t R = opts_.spec.num_replicas;
-  const std::int32_t G = opts_.groups;
-  const std::int32_t S = opts_.num_sessions;
-  CI_CHECK(G >= 1);
-  CI_CHECK(S >= 1);
-  const std::int32_t replica_nodes = dep_.num_nodes();
-  const std::int32_t total = replica_nodes + S;
-
-  const bool is_sim = opts_.backend == core::Backend::kSim;
-  if (is_sim) sim_ = std::make_unique<SimState>();
-
-  for (std::int32_t s = 0; s < S; ++s) {
-    auto session = std::make_unique<KvSession>();
-    std::vector<consensus::Engine*> engines;
-    for (GroupId g = 0; g < G; ++g) {
-      SyncClientConfig cc;
-      cc.base = opts_.spec.engine;
-      cc.base.self = R + s;  // group-local id, same in every group
-      cc.base.num_replicas = R;
-      cc.base.seed = opts_.spec.seed;
-      cc.base.state_machine = nullptr;
-      cc.request_timeout = opts_.spec.workload.request_timeout;
-      if (is_sim) cc.pump = [state = sim_.get()] { state->pump(); };
-      session->per_group_.push_back(std::make_unique<SyncClientEngine>(cc));
-      engines.push_back(session->per_group_.back().get());
-    }
-    session_demux_.push_back(
-        dep_.make_external_demux(replica_nodes + s, R + s, engines));
-    sessions_.push_back(std::move(session));
-  }
-
-  if (is_sim) {
-    sim_->net = std::make_unique<sim::SimNet>(opts_.spec.sim.model, opts_.spec.seed,
-                                              opts_.spec.sim.tick_period);
-    for (NodeId n = 0; n < replica_nodes; ++n) sim_->net->add_node(dep_.node_engine(n));
-    for (auto& d : session_demux_) sim_->net->add_node(d.get());
-    // No deliver hook on either backend: the facade exposes no agreement
-    // introspection, and recording every delivery would grow recorder state
-    // unboundedly over the store's lifetime (deployments with a bounded
-    // run window are where the recorders earn their keep).
-    // Bring the replicas up (leader election, first heartbeats) so the
-    // first session op does not pay the cold-start latency.
-    sim_->net->run_until(1 * kMillisecond);
-    return;
-  }
-
-  net_ = std::make_unique<qclt::Network>(rt::slots_for(opts_.spec.engine.batch));
-  const bool pin = opts_.spec.rt.pin && pinning_available();
-  for (NodeId n = 0; n < replica_nodes; ++n) {
-    nodes_.push_back(std::make_unique<rt::RtNode>(
-        n, total, dep_.node_engine(n), net_.get(),
-        pin ? static_cast<int>(n) % online_cores() : -1));
-  }
-  for (std::int32_t s = 0; s < S; ++s) {
-    nodes_.push_back(std::make_unique<rt::RtNode>(
-        replica_nodes + s, total, session_demux_[static_cast<std::size_t>(s)].get(),
-        net_.get(), pin ? static_cast<int>(replica_nodes + s) % online_cores() : -1));
-  }
-  for (auto& n : nodes_) n->start();
-}
-
-ReplicatedKv::~ReplicatedKv() {
-  for (auto& n : nodes_) n->request_stop();
-  for (auto& n : nodes_) n->join();
 }
 
 KvSession& ReplicatedKv::session(std::int32_t i) {
@@ -139,41 +34,9 @@ KvSession& ReplicatedKv::session(std::int32_t i) {
   return *sessions_[static_cast<std::size_t>(i)];
 }
 
-GroupId ReplicatedKv::group_of(std::uint64_t key) const {
-  return group_of_key(key, opts_.groups);
-}
-
-std::uint64_t ReplicatedKv::local_read(NodeId r, std::uint64_t key) const {
-  CI_CHECK(r >= 0 && r < opts_.spec.num_replicas);
-  const GroupId g = group_of(key);
-  return const_cast<ReplicatedKv*>(this)->dep_.group(g).state_machine(r)->read(key);
-}
-
-void ReplicatedKv::throttle_replica(NodeId r, std::uint32_t factor) {
-  for (GroupId g = 0; g < opts_.groups; ++g) throttle_replica(g, r, factor);
-}
-
-void ReplicatedKv::throttle_replica(GroupId g, NodeId r, std::uint32_t factor) {
-  CI_CHECK(g >= 0 && g < opts_.groups);
-  CI_CHECK(r >= 0 && r < opts_.spec.num_replicas);
-  const NodeId node = dep_.global_node(g, r);
-  if (opts_.backend == core::Backend::kSim) {
-    std::lock_guard<std::mutex> lock(sim_->mu);
-    if (factor <= 1) {
-      sim_->net->heal_node(node, sim_->net->now());
-    } else {
-      sim_->net->slow_node(node, sim_->net->now(), sim_->net->now() + 3600 * kSecond,
-                           static_cast<double>(factor));
-    }
-    return;
-  }
-  nodes_[static_cast<std::size_t>(node)]->set_slow_factor(factor);
-}
-
-consensus::NodeId ReplicatedKv::believed_leader(GroupId g) const {
-  CI_CHECK(g >= 0 && g < opts_.groups);
-  // Deployment hands out mutable engine pointers; the query is read-only.
-  return const_cast<ReplicatedKv*>(this)->dep_.group(g).replica_engine(0)->believed_leader();
+std::uint64_t ReplicatedKv::local_read(consensus::NodeId r, std::uint64_t key) const {
+  const GroupId g = client_.group_of(key);
+  return client_.state_machine(g, r)->read(key);
 }
 
 }  // namespace ci::kv

@@ -5,43 +5,41 @@
 // small consensus groups inside one machine, as in Barrelfish's replicated
 // capability system).
 //
-// Like every deployment in the repo it is specified by a core::ClusterSpec
-// — here the per-group template of a core::ShardSpec — and runs on either
-// backend: real QC-libtask message passing on pinned cores (kRt, the
-// paper's setup) or the deterministic many-core simulator (kSim, where
-// synchronous sessions pump virtual time from the calling thread).
-//
-// Sharding: with groups > 1 the key space is hash-partitioned across
-// groups. Each session owns one synchronous client per group behind a
-// single transport node; put/get route by key, so application code is
-// oblivious to the layout. Cross-group operations are single-key only —
-// there is no cross-shard transaction layer (yet).
+// Since the client-layer redesign this is a THIN TYPED FACADE over
+// client::ServiceClient (client/service_client.hpp): the generic layer owns
+// the deployment, the per-group session fan-out, both backends' transports
+// and the sim pump bridging; this file only types the API in KV terms
+// (put/get over u64 keys, MapStateMachine replicas). Cross-shard
+// transactions come straight through: KvSession::txn() opens a
+// client::Txn committed by 2PC across the owning groups.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "client/service_client.hpp"
 #include "core/cluster_spec.hpp"
-#include "core/sharded_deployment.hpp"
-#include "kv/sync_client.hpp"
-#include "qclt/net.hpp"
-#include "rt/rt_node.hpp"
 
 namespace ci::kv {
 
+using client::SubmitHandle;
+using client::Txn;
+using client::TxnHandle;
 using consensus::GroupId;
 using core::Protocol;
 using core::protocol_name;
 
-// One application handle: a set of per-group synchronous clients sharing a
-// transport node; execute() hashes the key to its owning group. May be
-// driven by one application thread at a time (sessions are independent).
+// One application handle: put/get routed by key to the owning group's
+// replicated log. May be driven by one application thread at a time
+// (sessions are independent).
 class KvSession {
  public:
   // Linearizable within the key's group: put returns the old value, get
   // the current one.
-  std::uint64_t execute(consensus::Op op, std::uint64_t key, std::uint64_t value);
+  std::uint64_t execute(consensus::Op op, std::uint64_t key, std::uint64_t value) {
+    return session_->execute(op, key, value);
+  }
   std::uint64_t put(std::uint64_t key, std::uint64_t value) {
     return execute(consensus::Op::kWrite, key, value);
   }
@@ -58,48 +56,60 @@ class KvSession {
   // writes out of order (a lost proposal's retry lands after a later one).
   // Where failover-order matters, use the synchronous put() — it keeps one
   // command in flight — or flush() between order-dependent writes.
-  void put_async(std::uint64_t key, std::uint64_t value);
-  void flush();
+  void put_async(std::uint64_t key, std::uint64_t value) {
+    session_->submit(consensus::Op::kWrite, key, value);  // handle discarded
+  }
+  void flush() { session_->flush(); }
+
+  // Cross-shard transaction builder: txn().put(k1,v1).put(k2,v2).commit()
+  // commits atomically across the keys' owning groups (client/txn.hpp).
+  Txn txn() { return session_->txn(); }
 
   // Which group (shard) owns `key`.
-  GroupId group_of(std::uint64_t key) const;
+  GroupId group_of(std::uint64_t key) const { return session_->group_of(key); }
   // The replica this session believes leads `key`'s group (a group-local
   // replica id).
-  consensus::NodeId believed_leader_for(std::uint64_t key) const;
+  consensus::NodeId believed_leader_for(std::uint64_t key) const {
+    return session_->believed_leader_for(key);
+  }
+
+  // The generic session underneath, for callers outgrowing the KV typing.
+  client::Session& generic() { return *session_; }
 
  private:
   friend class ReplicatedKv;
-  std::vector<std::unique_ptr<SyncClientEngine>> per_group_;
+  explicit KvSession(client::Session* session) : session_(session) {}
+  client::Session* session_;
 };
 
 class ReplicatedKv {
  public:
   struct Options {
-    Options() {
-      spec.apply(core::TimeoutProfile::real_threads());
-      spec.workload.request_timeout = 10 * kMillisecond;  // session retry timer
-      spec.num_clients = 0;  // synchronous sessions replace workload clients
-    }
+    Options() = default;
 
     // protocol / num_replicas / engine knobs / rt.pin / sim model all come
-    // from here; num_clients and the closed-loop workload are ignored
-    // (sessions replace them). With groups > 1 this is the per-group
-    // template of a ShardSpec.
-    core::ClusterSpec spec;
+    // from here (defaults from client::ServiceClient::Options: real-thread
+    // timeout profile, 10 ms session retry); num_clients and the
+    // closed-loop workload are ignored (sessions replace them). With
+    // groups > 1 this is the per-group template of a ShardSpec.
+    // These mirror client::ServiceClient::Options one for one (the facade
+    // forwards them in kv_store.cpp — extend BOTH when the client layer
+    // grows a knob).
+    core::ClusterSpec spec = client::ServiceClient::Options().spec;
     core::Backend backend = core::Backend::kRt;
-    std::int32_t num_sessions = 1;  // independent synchronous client handles
+    std::int32_t num_sessions = 1;  // independent client handles
     std::int32_t groups = 1;        // consensus groups the key space shards over
     core::Placement placement = core::Placement::kGroupMajor;
+    client::Session::Router router = nullptr;  // key->group; null = splitmix hash
   };
 
   explicit ReplicatedKv(const Options& opts);
-  ~ReplicatedKv();
 
   ReplicatedKv(const ReplicatedKv&) = delete;
   ReplicatedKv& operator=(const ReplicatedKv&) = delete;
 
   KvSession& session(std::int32_t i);
-  std::int32_t session_count() const { return static_cast<std::int32_t>(sessions_.size()); }
+  std::int32_t session_count() const { return client_.session_count(); }
 
   // Relaxed-consistency local read (§7.5: "for more relaxed read
   // consistency guarantees, local reads may be performed even with
@@ -111,32 +121,31 @@ class ReplicatedKv {
   // Fault injection: multiply the per-message cost of replica `r` (a
   // group-local id) of group `g` — or of EVERY group in the one-argument
   // form (under co-location that is one shared node anyway).
-  void throttle_replica(consensus::NodeId r, std::uint32_t factor);
-  void throttle_replica(GroupId g, consensus::NodeId r, std::uint32_t factor);
+  void throttle_replica(consensus::NodeId r, std::uint32_t factor) {
+    client_.throttle_replica(r, factor);
+  }
+  void throttle_replica(GroupId g, consensus::NodeId r, std::uint32_t factor) {
+    client_.throttle_replica(g, r, factor);
+  }
 
   // Which replica (group-local id) group `g` currently believes leads it.
-  consensus::NodeId believed_leader(GroupId g) const;
+  consensus::NodeId believed_leader(GroupId g) const {
+    return client_.believed_leader(g);
+  }
   consensus::NodeId believed_leader() const { return believed_leader(0); }
 
-  GroupId group_of(std::uint64_t key) const;
-  std::int32_t num_groups() const { return dep_.num_groups(); }
-  std::int32_t num_replicas() const { return opts_.spec.num_replicas; }
-  core::Backend backend() const { return opts_.backend; }
+  GroupId group_of(std::uint64_t key) const { return client_.group_of(key); }
+  std::int32_t num_groups() const { return client_.num_groups(); }
+  std::int32_t num_replicas() const { return client_.num_replicas(); }
+  core::Backend backend() const { return client_.backend(); }
+
+  // The generic client underneath (traffic counters, deployment access).
+  client::ServiceClient& generic() { return client_; }
+  const client::ServiceClient& generic() const { return client_; }
 
  private:
-  struct SimState;  // simulator transport + the pump mutex
-
-  Options opts_;
-  core::ShardedDeployment dep_;  // replicas only (sessions are wired here, per backend)
+  client::ServiceClient client_;
   std::vector<std::unique_ptr<KvSession>> sessions_;
-  std::vector<std::unique_ptr<consensus::GroupDemuxEngine>> session_demux_;
-
-  // rt backend
-  std::unique_ptr<qclt::Network> net_;
-  std::vector<std::unique_ptr<rt::RtNode>> nodes_;
-
-  // sim backend
-  std::unique_ptr<SimState> sim_;
 };
 
 }  // namespace ci::kv

@@ -90,10 +90,15 @@ void SimNet::send_from(NodeCtx& src, NodeId dst, const Message& m) {
     return;
   }
   const double f = speed_factor(src, src.busy_until);
-  src.busy_until += static_cast<Nanos>(static_cast<double>(model_.trans_send) * f);
+  const std::size_t frame_bytes = wire::frame_size(*e.msg);
+  // trans_send is the per-message cost; per_byte_cost (off by default) adds
+  // the bandwidth term from the frame size the codec reports. Both are CPU
+  // work on the sending core, so both scale with its slowdown factor.
+  src.busy_until += static_cast<Nanos>(
+      static_cast<double>(model_.trans_send + model_.per_byte_cost(frame_bytes)) * f);
   src.logical_now = src.busy_until;
   src.sent++;
-  src.sent_bytes += wire::frame_size(*e.msg);
+  src.sent_bytes += frame_bytes;
   if (model_.drop_probability > 0 && rng_.next_bool(model_.drop_probability)) {
     dropped_++;
     wire::release_body(*e.msg);  // the event dies here with its body

@@ -101,5 +101,123 @@ TEST(Executor, NullStateMachineExecutesWithZeroResults) {
   EXPECT_EQ(applied.result, 0u);
 }
 
+// ---- Transaction hooks (cross-shard 2PC participation, DESIGN.md §1d) ----
+
+Command make_txn(NodeId client, std::uint32_t seq, Op op, TxnId txn, std::uint64_t key,
+                 std::uint64_t value) {
+  Command c = make(client, seq, op, key, value);
+  c.txn = txn;
+  return c;
+}
+
+TEST(MapStateMachine, PrepareStagesAndLocksCommitApplies) {
+  MapStateMachine sm;
+  const TxnId t = make_txn_id(9, 1);
+  EXPECT_EQ(sm.txn_prepare(make_txn(9, 1, Op::kTxnPrepare, t, 1, 11)), 1u);  // vote yes
+  EXPECT_EQ(sm.txn_prepare(make_txn(9, 2, Op::kTxnPrepare, t, 2, 22)), 1u);
+  EXPECT_EQ(sm.locked_keys(), 2u);
+  EXPECT_TRUE(sm.has_txn_state(t));
+  EXPECT_EQ(sm.read(1), 0u);  // staged, not applied
+  EXPECT_EQ(sm.txn_commit(t), 1u);
+  EXPECT_EQ(sm.read(1), 11u);
+  EXPECT_EQ(sm.read(2), 22u);
+  EXPECT_EQ(sm.locked_keys(), 0u);
+  EXPECT_FALSE(sm.has_txn_state(t));
+  EXPECT_EQ(sm.txn_commit(t), 1u);  // duplicate commit is a harmless no-op
+}
+
+TEST(MapStateMachine, ConflictingPrepareVotesNoWithoutStaging) {
+  MapStateMachine sm;
+  const TxnId a = make_txn_id(9, 1);
+  const TxnId b = make_txn_id(9, 2);
+  EXPECT_EQ(sm.txn_prepare(make_txn(9, 1, Op::kTxnPrepare, a, 5, 50)), 1u);
+  EXPECT_EQ(sm.txn_prepare(make_txn(9, 2, Op::kTxnPrepare, b, 5, 51)), 0u);  // vote no
+  EXPECT_FALSE(sm.has_txn_state(b));
+  EXPECT_EQ(sm.locked_keys(), 1u);  // only a's lock
+  // b's abort (the coordinator aborts after a no vote) releases nothing of
+  // a's and is safe with no staged state.
+  EXPECT_EQ(sm.txn_abort(b), 1u);
+  EXPECT_EQ(sm.locked_keys(), 1u);
+  sm.txn_commit(a);
+  EXPECT_EQ(sm.read(5), 50u);
+  // The key is free again: b's retry can lock it.
+  EXPECT_EQ(sm.txn_prepare(make_txn(9, 3, Op::kTxnPrepare, b, 5, 51)), 1u);
+}
+
+TEST(MapStateMachine, AbortDiscardsStagedWritesAndReleasesLocks) {
+  MapStateMachine sm;
+  sm.apply(make(1, 1, Op::kWrite, 7, 70));
+  const TxnId t = make_txn_id(2, 1);
+  EXPECT_EQ(sm.txn_prepare(make_txn(2, 1, Op::kTxnPrepare, t, 7, 71)), 1u);
+  EXPECT_EQ(sm.txn_abort(t), 1u);
+  EXPECT_EQ(sm.read(7), 70u);  // old value intact
+  EXPECT_EQ(sm.locked_keys(), 0u);
+  EXPECT_FALSE(sm.has_txn_state(t));
+}
+
+TEST(MapStateMachine, DecideRecordsTheOutcomeUntilTheFinalPrunesIt) {
+  MapStateMachine sm;
+  const TxnId t = make_txn_id(3, 1);
+  EXPECT_EQ(sm.decision(t), -1);
+  EXPECT_EQ(sm.txn_decide(t, true), 1u);
+  EXPECT_EQ(sm.decision(t), 1);
+  EXPECT_EQ(sm.txn_decide(make_txn_id(3, 2), false), 0u);
+  EXPECT_EQ(sm.decision(make_txn_id(3, 2)), 0);
+  // The final command prunes the record: decisions_ is bounded by LIVE
+  // transactions, not by service lifetime.
+  sm.txn_commit(t);
+  EXPECT_EQ(sm.decision(t), -1);
+  sm.txn_abort(make_txn_id(3, 2));
+  EXPECT_EQ(sm.decision(make_txn_id(3, 2)), -1);
+}
+
+TEST(MapStateMachine, PlainWritesIgnoreTxnLocks) {
+  // Locks isolate transactions from each other; single-key commands are
+  // linearized by the log independently (documented semantics).
+  MapStateMachine sm;
+  const TxnId t = make_txn_id(4, 1);
+  sm.txn_prepare(make_txn(4, 1, Op::kTxnPrepare, t, 9, 90));
+  EXPECT_EQ(sm.apply(make(1, 1, Op::kWrite, 9, 91)), 0u);
+  EXPECT_EQ(sm.read(9), 91u);
+  sm.txn_commit(t);
+  EXPECT_EQ(sm.read(9), 90u);  // staged write applied at commit
+}
+
+TEST(Executor, RoutesTxnOpsToHooksWithDedup) {
+  MapStateMachine sm;
+  Executor ex(&sm);
+  const TxnId t = make_txn_id(5, 1);
+  const Command prep = make_txn(5, 1, Op::kTxnPrepare, t, 3, 30);
+  EXPECT_EQ(ex.apply(prep).result, 1u);  // vote yes
+  // A duplicate prepare (client retry straddling a leader change) must not
+  // re-stage; the cached vote answers.
+  const auto dup = ex.apply(prep);
+  EXPECT_TRUE(dup.duplicate);
+  EXPECT_EQ(dup.result, 1u);
+  EXPECT_EQ(ex.apply(make_txn(5, 2, Op::kTxnDecide, t, 0, 1)).result, 1u);
+  EXPECT_EQ(ex.apply(make_txn(5, 3, Op::kTxnCommit, t, 0, 0)).result, 1u);
+  EXPECT_EQ(sm.read(3), 30u);
+  // A stale duplicate of the prepare arriving after the commit is filtered
+  // by seq and cannot re-lock.
+  EXPECT_TRUE(ex.apply(prep).duplicate);
+  EXPECT_EQ(sm.locked_keys(), 0u);
+}
+
+TEST(StateMachine, DefaultHooksVoteYesAndDoNothing) {
+  NullStateMachine sm;
+  const TxnId t = make_txn_id(6, 1);
+  EXPECT_EQ(sm.execute(make_txn(6, 1, Op::kTxnPrepare, t, 1, 2)), 1u);
+  EXPECT_EQ(sm.execute(make_txn(6, 2, Op::kTxnDecide, t, 0, 1)), 1u);
+  EXPECT_EQ(sm.execute(make_txn(6, 3, Op::kTxnCommit, t, 0, 0)), 1u);
+  EXPECT_EQ(sm.execute(make_txn(6, 4, Op::kTxnAbort, t, 0, 0)), 1u);
+}
+
+TEST(TxnIds, PackSessionAndCounterNonZero) {
+  EXPECT_EQ(make_txn_id(0, 1), 1u);
+  EXPECT_NE(make_txn_id(3, 1), make_txn_id(4, 1));
+  EXPECT_NE(make_txn_id(3, 1), make_txn_id(3, 2));
+  EXPECT_NE(make_txn_id(0, 1), kNoTxn);
+}
+
 }  // namespace
 }  // namespace ci::consensus

@@ -231,6 +231,51 @@ TEST(WireCodec, LegacyFramesStayBitIdenticalToStructPrefix) {
   }
 }
 
+// kClientCmdBatch: the client-side run frame. Tighter count cap than the
+// protocol batches (runs stay inline, so sessions never touch the
+// engine-thread-local pool) and full strictness on decode.
+TEST(WireCodec, ClientCmdBatchRoundTripsWithinItsCap) {
+  Rng rng(0xC11E);
+  const std::size_t live0 = CommandPool::local().live();
+  for (std::int32_t count = 2; count <= kMaxClientBatchCommands; ++count) {
+    const Batch value = rand_batch(rng, count);
+    Message m(MsgType::kClientCmdBatch, ProtoId::kClient, 7, 0);
+    m.u.client_cmd_batch.count = m.u.client_cmd_batch.run.pack(value);
+    unsigned char buf[ci::wire::kMaxFrameBytes];
+    const std::uint32_t n = ci::wire::encode(m, buf);
+    EXPECT_EQ(n, wire_size(m));
+    EXPECT_EQ(n, kMessageHeaderBytes + offsetof(ClientCmdBatch, run) +
+                     static_cast<std::size_t>(count) * sizeof(Command));
+    Message out;
+    ASSERT_TRUE(ci::wire::try_decode(buf, n, &out)) << "count " << count;
+    expect_same_frame(m, out);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      EXPECT_FALSE(ci::wire::try_decode(buf, k, &out)) << count << "-run prefix " << k;
+    }
+  }
+  EXPECT_EQ(CommandPool::local().live(), live0) << "client runs must stay inline";
+}
+
+TEST(WireCodec, ClientCmdBatchRejectsCountsBeyondTheInlineCap) {
+  // Counts the PROTOCOL batches accept (up to 64) are invalid here: a
+  // client run longer than the inline capacity must never decode, or the
+  // demux would dereference a pool the sender never filled.
+  Rng rng(0xC11F);
+  const Batch value = rand_batch(rng, kMaxClientBatchCommands);
+  Message m(MsgType::kClientCmdBatch, ProtoId::kClient, 7, 0);
+  m.u.client_cmd_batch.count = m.u.client_cmd_batch.run.pack(value);
+  unsigned char buf[ci::wire::kMaxFrameBytes];
+  std::memset(buf, 0, sizeof(buf));
+  (void)ci::wire::encode(m, buf);
+  for (const std::int32_t bogus : {0, 1, kMaxClientBatchCommands + 1, 64, -3}) {
+    std::memcpy(buf + kMessageHeaderBytes, &bogus, sizeof(bogus));
+    Message out;
+    EXPECT_FALSE(
+        ci::wire::try_decode(buf, ci::wire::kMaxFrameBytes, &out))
+        << "count " << bogus;
+  }
+}
+
 TEST(WireCodec, PooledDecodeAllocatesAndReleaseReturns) {
   const std::size_t live0 = CommandPool::local().live();
   Rng rng(7);

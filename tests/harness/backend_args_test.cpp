@@ -264,5 +264,71 @@ TEST(ShardFromArgs, BundlesGroupsAndPlacement) {
   EXPECT_EQ(s.base.num_replicas, 5);
 }
 
+TEST(TxnMixFromArgs, ParsesFractionsAndDefaults) {
+  {
+    Args a({"--txn-mix=0.25"});
+    EXPECT_DOUBLE_EQ(txn_mix_from_args(a.argc(), a.argv()), 0.25);
+  }
+  {
+    Args a({"--txn-mix", "1"});
+    EXPECT_DOUBLE_EQ(txn_mix_from_args(a.argc(), a.argv()), 1.0);
+  }
+  {
+    Args a({});
+    EXPECT_DOUBLE_EQ(txn_mix_from_args(a.argc(), a.argv(), 0.1), 0.1);
+  }
+}
+
+TEST(TxnMixFromArgs, RejectsOutOfRangeAndGarbage) {
+  for (const char* bad : {"--txn-mix=1.5", "--txn-mix=-0.1", "--txn-mix=nan",
+                          "--txn-mix=lots", "--txn-mix=0.5x"}) {
+    Args a({bad});
+    EXPECT_EXIT(txn_mix_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad txn mix")
+        << bad;
+  }
+  {
+    Args a({"--txn-mix"});
+    EXPECT_EXIT(txn_mix_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "requires a value");
+  }
+}
+
+TEST(PositionalArgs, SkipsTxnMixToo) {
+  Args a({"--txn-mix", "0.3", "keep"});
+  const auto pos = positional_args(a.argc(), a.argv());
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], "keep");
+}
+
+// --help prints the full flag enumeration and exits 0 — from either strict
+// scanner, and regardless of the binary's consumed set.
+TEST(Usage, HelpPrintsEveryFlagAndExitsZero) {
+  const std::string text = usage_text();
+  for (const char* flag : {"--backend", "--groups", "--placement", "--batch",
+                           "--batch-flush-us", "--txn-mix", "--sweep-diff", "--help"}) {
+    EXPECT_NE(text.find(flag), std::string::npos) << flag << " missing from usage";
+  }
+  // (the EXIT matcher regex applies to stderr; usage goes to stdout, so
+  // only the exit code is asserted here)
+  {
+    Args a({"--help"});
+    EXPECT_EXIT(positional_args(a.argc(), a.argv()), ::testing::ExitedWithCode(0), "");
+  }
+  {
+    Args a({"--help"});
+    EXPECT_EXIT(require_harness_flags_only(a.argc(), a.argv(), {"--backend"}),
+                ::testing::ExitedWithCode(0), "");
+  }
+}
+
+// The unknown-flag contract, restated with the full current flag set in the
+// message: a typo exits 2 and names every real flag.
+TEST(Usage, UnknownFlagExitsTwoNamingAllFlags) {
+  Args a({"--txnmix=0.5"});
+  EXPECT_EXIT(require_harness_flags_only(a.argc(), a.argv()),
+              ::testing::ExitedWithCode(2), "--txn-mix, --sweep-diff, --help");
+}
+
 }  // namespace
 }  // namespace ci::harness

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -145,6 +146,21 @@ TEST(ReplicatedKv, SurvivesSlowLeader) {
   EXPECT_EQ(s.get(5), 51u);
   store.throttle_replica(0, 1);
   EXPECT_EQ(s.put(5, 52), 51u);
+}
+
+TEST(ReplicatedKv, HonorsACustomStateMachineFactory) {
+  int built = 0;
+  ReplicatedKv::Options o;
+  o.backend = core::Backend::kSim;
+  o.spec.state_machine_factory = [&built](consensus::NodeId) {
+    built++;
+    return std::make_unique<consensus::MapStateMachine>();
+  };
+  ReplicatedKv store(o);
+  EXPECT_EQ(built, 3);  // one machine per replica, from THIS factory
+  auto& s = store.session(0);
+  EXPECT_EQ(s.put(1, 5), 0u);
+  EXPECT_EQ(s.get(1), 5u);
 }
 
 TEST(ReplicatedKv, LocalReadsSeeCommittedStateEventually) {

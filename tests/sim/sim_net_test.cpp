@@ -8,6 +8,8 @@
 
 #include <vector>
 
+#include "consensus/wire_codec.hpp"
+
 namespace ci::sim {
 namespace {
 
@@ -194,6 +196,61 @@ TEST(SimNet, TicksKeepFiringForever) {
   net.run_until(kMillisecond);
   EXPECT_GE(node.ticks, 99);
   EXPECT_LE(node.ticks, 101);
+}
+
+// The optional bandwidth term (LatencyModel::bytes_per_second), charged from
+// the encoded frame size the codec reports. Off by default — the legacy
+// per-message arithmetic must hold bit for bit (the timing pins above
+// already run with the default model; the OFF case here re-checks with the
+// field explicitly zeroed so a future default change cannot slip by).
+TEST(SimNet, PerByteCostOffKeepsLegacyTiming) {
+  LatencyModel m = flat_model();
+  m.bytes_per_second = 0;
+  SimNet net(m, 1, kMillisecond);
+  Pinger pinger(1, 1);
+  Recorder recorder;
+  net.add_node(&pinger);
+  net.add_node(&recorder);
+  net.run_until(10 * kMicrosecond);
+  ASSERT_EQ(recorder.deliveries.size(), 1u);
+  EXPECT_EQ(recorder.deliveries[0].first, 100 + 1000 + 200 + 50);
+}
+
+TEST(SimNet, PerByteCostChargesTheSenderByFrameSize) {
+  LatencyModel m = flat_model();
+  m.bytes_per_second = 1e9;  // 1 GB/s: 1 ns per frame byte
+  SimNet net(m, 1, kMillisecond);
+  Pinger pinger(1, 3);
+  Recorder recorder;
+  net.add_node(&pinger);
+  net.add_node(&recorder);
+  net.run_until(10 * kMicrosecond);
+  ASSERT_EQ(recorder.deliveries.size(), 3u);
+  // A kPing frame is the bare 16-byte header, so each send now costs
+  // trans_send + 16: departures at 116, 232, 348; arrivals 1116, 1232,
+  // 1348; receiver processing (unchanged: the charge is sender-side)
+  // serializes over [1116,1366), [1366,1616), [1616,1866).
+  const std::size_t ping_bytes =
+      wire::frame_size(Message(MsgType::kPing, ProtoId::kControl, 0, 1));
+  ASSERT_EQ(ping_bytes, 16u);
+  EXPECT_EQ(recorder.deliveries[0].first, 116 + 1000 + 250);
+  EXPECT_EQ(recorder.deliveries[1].first, 1366 + 250);
+  EXPECT_EQ(recorder.deliveries[2].first, 1616 + 250);
+}
+
+TEST(SimNet, PerByteCostScalesWithSlowdownLikeOtherCpuWork) {
+  LatencyModel m = flat_model();
+  m.bytes_per_second = 1e9;
+  SimNet net(m, 1, kMillisecond);
+  Pinger pinger(1, 1);
+  Recorder recorder;
+  net.add_node(&pinger);
+  net.add_node(&recorder);
+  net.slow_node(0, 0, kMillisecond, 10.0);  // sender 10x slow
+  net.run_until(10 * kMicrosecond);
+  ASSERT_EQ(recorder.deliveries.size(), 1u);
+  // (trans_send + 16 bytes) x 10 = 1160, then prop + receive as usual.
+  EXPECT_EQ(recorder.deliveries[0].first, 1160 + 1000 + 250);
 }
 
 TEST(SimNet, MessagesSentCountsBoundaryCrossingsOnly) {

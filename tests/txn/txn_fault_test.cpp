@@ -1,0 +1,231 @@
+// Transaction atomicity under faults: sweeps that kill (throttle into
+// uselessness) the home group's leader and a participant group's leader
+// mid-prepare and mid-commit, on both backends. The session-store analogue
+// of the spec-driven FaultPlan sweeps: throttle_replica is the same
+// mechanism FaultEvent::kSlowNode uses, applied at instants the Txn phase
+// hook pins exactly (the paper models failures as slow cores, §1 fn. 3).
+//
+// Invariants checked after every scenario:
+//   * an acked (kCommitted) transaction is fully applied — every key on
+//     every replica of every participant group carries the txn's value
+//     (all-or-nothing visibility);
+//   * an aborted transaction left no write behind;
+//   * all locks are released — a fresh transaction over the same keys
+//     commits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/txn.hpp"
+#include "kv/kv_store.hpp"
+
+namespace ci::kv {
+namespace {
+
+using client::TxnPhase;
+using client::TxnState;
+
+constexpr std::uint32_t kKill = 10000;  // slow factor: effectively dead
+
+std::uint64_t key_in_group(const ReplicatedKv& store, GroupId g, std::uint64_t from) {
+  for (std::uint64_t k = from;; ++k) {
+    if (store.group_of(k) == g) return k;
+  }
+}
+
+// Waits (politely pumping the store through linearizable gets, which both
+// backends accept as a clock) until replica r of key's group converges to
+// `expect`; returns false after ~2000 attempts.
+bool local_converges(ReplicatedKv& store, KvSession& s, consensus::NodeId r,
+                     std::uint64_t key, std::uint64_t expect) {
+  for (int i = 0; i < 2000; ++i) {
+    if (store.local_read(r, key) == expect) return true;
+    (void)s.get(key);  // advances virtual time under sim; real time under rt
+    if (store.backend() == core::Backend::kRt) busy_wait(200 * kMicrosecond);
+  }
+  return false;
+}
+
+void expect_fully_applied(ReplicatedKv& store, KvSession& s, std::uint64_t key,
+                          std::uint64_t expect, const std::string& what) {
+  EXPECT_EQ(s.get(key), expect) << what;
+  for (consensus::NodeId r = 0; r < store.num_replicas(); ++r) {
+    EXPECT_TRUE(local_converges(store, s, r, key, expect))
+        << what << ": replica " << r << " never converged on key " << key;
+  }
+}
+
+enum class KillWhom { kHomeLeader, kParticipantLeader };
+enum class KillWhen { kMidPrepare, kMidCommit };
+
+struct Scenario {
+  KillWhom whom;
+  KillWhen when;
+};
+
+const Scenario kSweep[] = {
+    {KillWhom::kHomeLeader, KillWhen::kMidPrepare},
+    {KillWhom::kHomeLeader, KillWhen::kMidCommit},
+    {KillWhom::kParticipantLeader, KillWhen::kMidPrepare},
+    {KillWhom::kParticipantLeader, KillWhen::kMidCommit},
+};
+
+class TxnFaults : public ::testing::TestWithParam<core::Backend> {
+ protected:
+  static ReplicatedKv::Options opts() {
+    ReplicatedKv::Options o;
+    o.spec.protocol = Protocol::kMultiPaxos;
+    o.backend = GetParam();
+    o.groups = 2;
+    return o;
+  }
+};
+
+TEST_P(TxnFaults, LeaderKillSweepNeverSplitsATxn) {
+  std::uint64_t next_value = 100;
+  for (const Scenario& sc : kSweep) {
+    ReplicatedKv store(opts());
+    auto& s = store.session(0);
+    // k1's group (0) is the txn's home group; k2's (1) a plain participant.
+    const std::uint64_t k1 = key_in_group(store, 0, 1);
+    const std::uint64_t k2 = key_in_group(store, 1, k1 + 1);
+    const GroupId victim_group = sc.whom == KillWhom::kHomeLeader ? 0 : 1;
+    const std::string what = std::string(sc.whom == KillWhom::kHomeLeader
+                                             ? "home leader"
+                                             : "participant leader") +
+                             (sc.when == KillWhen::kMidPrepare ? " killed mid-prepare"
+                                                               : " killed mid-commit");
+    SCOPED_TRACE(what);
+
+    // Baseline values so "nothing applied" is distinguishable from "never
+    // written".
+    s.put(k1, 1);
+    s.put(k2, 2);
+
+    const std::uint64_t v1 = next_value++;
+    const std::uint64_t v2 = next_value++;
+    consensus::NodeId victim = consensus::kNoNode;
+    auto kill = [&] {
+      victim = store.believed_leader(victim_group);
+      store.throttle_replica(victim_group, victim, kKill);
+    };
+
+    client::Txn txn = s.txn();
+    txn.put(k1, v1).put(k2, v2);
+    if (sc.when == KillWhen::kMidCommit) {
+      // Decision is committed in the home group; the apply fan-out has not
+      // started. The kill lands between phases 2 and 3.
+      txn.on_phase([&](TxnPhase p) {
+        if (p == TxnPhase::kDecided && victim == consensus::kNoNode) kill();
+      });
+    }
+    TxnHandle h = txn.commit();
+    if (sc.when == KillWhen::kMidPrepare) kill();  // prepares are in flight
+
+    // The kill only delays: each phase rides a replicated log that elects
+    // around the dead leader, so the transaction still commits.
+    EXPECT_EQ(h.wait(), TxnState::kCommitted) << what;
+    store.throttle_replica(victim_group, victim, 1);  // heal
+
+    expect_fully_applied(store, s, k1, v1, what);
+    expect_fully_applied(store, s, k2, v2, what);
+
+    // Locks are gone: a follow-up transaction over the same keys commits.
+    EXPECT_EQ(s.txn().put(k1, v1 + 10).put(k2, v2 + 10).commit().wait(),
+              TxnState::kCommitted)
+        << what << ": follow-up txn blocked (locks leaked?)";
+    expect_fully_applied(store, s, k1, v1 + 10, what + " follow-up");
+    expect_fully_applied(store, s, k2, v2 + 10, what + " follow-up");
+  }
+}
+
+TEST_P(TxnFaults, AbortUnderFaultReleasesLocksAndAppliesNothing) {
+  ReplicatedKv store(opts());
+  auto& s = store.session(0);
+  const std::uint64_t k1 = key_in_group(store, 0, 1);
+  const std::uint64_t k2 = key_in_group(store, 1, k1 + 1);
+  s.put(k1, 11);
+  s.put(k2, 22);
+
+  // A holds the locks; B will vote no and abort. The participant leader
+  // dies right after B's abort decision commits, so the abort fan-out must
+  // survive the failover too.
+  TxnHandle a = s.txn().put(k1, 30).put(k2, 31).commit();
+  consensus::NodeId victim = consensus::kNoNode;
+  TxnHandle b = s.txn()
+                    .put(k1, 40)
+                    .put(k2, 41)
+                    .on_phase([&](TxnPhase p) {
+                      if (p == TxnPhase::kDecided && victim == consensus::kNoNode) {
+                        victim = store.believed_leader(1);
+                        store.throttle_replica(1, victim, kKill);
+                      }
+                    })
+                    .commit();
+  EXPECT_EQ(b.wait(), TxnState::kAborted);
+  EXPECT_EQ(a.wait(), TxnState::kCommitted);
+  store.throttle_replica(1, victim, 1);  // heal
+
+  // Nothing of B is visible anywhere; A is fully applied.
+  expect_fully_applied(store, s, k1, 30, "winner txn");
+  expect_fully_applied(store, s, k2, 31, "winner txn");
+
+  // B's abort released its (never-granted) locks and A's commit its real
+  // ones: B's retry commits.
+  EXPECT_EQ(s.txn().put(k1, 40).put(k2, 41).commit().wait(), TxnState::kCommitted);
+  expect_fully_applied(store, s, k1, 40, "retry");
+  expect_fully_applied(store, s, k2, 41, "retry");
+}
+
+// A stream of transactions with unique keys while leaders die and heal
+// mid-stream: every acked transaction must be fully applied afterwards —
+// the "no acked txn is partially applied" sweep.
+TEST_P(TxnFaults, AckedTxnStreamSurvivesLeaderChurn) {
+  ReplicatedKv store(opts());
+  auto& s = store.session(0);
+  constexpr int kTxns = 24;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> acked;  // (key, value)
+
+  consensus::NodeId victim0 = consensus::kNoNode;
+  consensus::NodeId victim1 = consensus::kNoNode;
+  // Every transaction gets keys no earlier transaction touched (the scan
+  // windows can otherwise overlap and a later txn's write would mask an
+  // earlier one in the final visibility check).
+  std::uint64_t next_key = 1000;
+  for (int i = 0; i < kTxns; ++i) {
+    const std::uint64_t k1 = key_in_group(store, 0, next_key);
+    const std::uint64_t k2 = key_in_group(store, 1, k1 + 1);
+    next_key = std::max(k1, k2) + 1;
+    if (i == kTxns / 3) {
+      victim0 = store.believed_leader(0);
+      store.throttle_replica(0, victim0, kKill);
+    }
+    if (i == (2 * kTxns) / 3) {
+      store.throttle_replica(0, victim0, 1);
+      victim1 = store.believed_leader(1);
+      store.throttle_replica(1, victim1, kKill);
+    }
+    const std::uint64_t v = 5000 + static_cast<std::uint64_t>(i);
+    TxnHandle h = s.txn().put(k1, v).put(k2, v).commit();
+    ASSERT_EQ(h.wait(), TxnState::kCommitted) << "txn " << i;
+    acked.emplace_back(k1, v);
+    acked.emplace_back(k2, v);
+  }
+  if (victim1 != consensus::kNoNode) store.throttle_replica(1, victim1, 1);
+
+  for (const auto& [key, value] : acked) {
+    expect_fully_applied(store, s, key, value, "stream txn key " + std::to_string(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TxnFaults,
+                         ::testing::Values(core::Backend::kSim, core::Backend::kRt),
+                         [](const auto& info) {
+                           return std::string(core::backend_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace ci::kv
