@@ -33,6 +33,7 @@ METRICS = [
     ("bytes_per_op", False, True),
     ("p50_us", False, False),
     ("p99_us", False, False),
+    ("p999_us", False, False),
 ]
 
 

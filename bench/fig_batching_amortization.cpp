@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   // (a batch can never exceed the number of waiting commands).
   const std::int32_t kClients = 24;
 
-  auto batched = [&](std::int32_t batch, std::int32_t groups, Placement placement) {
+  auto batched = [&](std::int32_t batch, std::int32_t groups, Placement placement,
+                     std::int32_t coalesce = 1) {
     ClusterSpec o;
     o.apply_backend_profile(backend);
     o.protocol = Protocol::kMultiPaxos;
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
     o.num_clients = kClients;
     o.seed = 21;
     o.engine.batch.max_commands = batch;
+    o.workload.client_coalesce = coalesce;
     return run_cluster(backend, ShardSpec(o, groups, placement), warmup, window);
   };
 
@@ -72,6 +74,20 @@ int main(int argc, char** argv) {
         base > 0 ? r.throughput / base : 0.0);
     json.add("batch=" + std::to_string(b), r);
   }
+
+  row("");
+  row("client coalescing x leader batching (single group, batch=64):");
+  row("%8s | %12s %10s %10s | %10s %10s", "coalesce", "op/s", "msgs/op", "bytes/op",
+      "p50 us", "p99 us");
+  for (const std::int32_t cw : {1, 4, 8}) {
+    const BenchRun r = batched(64, 1, Placement::kGroupMajor, cw);
+    row("%8d | %12.0f %10.2f %10.1f | %10.1f %10.1f", cw, r.throughput, r.msgs_per_op(),
+        r.bytes_per_op(), r.p50_latency_us, r.p99_latency_us);
+    json.add("batch=64-coalesce=" + std::to_string(cw), r);
+  }
+  row("(coalesce=N ships N client commands per kClientCmdBatch frame, so the");
+  row("per-command request/reply traffic amortizes too — the floor the batch");
+  row("sweep flattens against drops below it)");
 
   row("");
   row("batching x sharding (4 groups, %d clients per group):", kClients);

@@ -20,10 +20,13 @@
 //
 //   $ ./bench/fig_txn_crossshard [--backend=sim|rt] [--groups=G] [--txn-mix=P]
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "client/txn.hpp"
+#include "common/histogram.hpp"
 #include "kv/kv_store.hpp"
 #include "support/bench_common.hpp"
 
@@ -50,6 +53,7 @@ struct Measured {
   double msgs_per_op = 0;
   double bytes_per_op = 0;
   std::uint64_t ops = 0;
+  ci::Histogram lat;  // per-op completion latency (submit -> observed commit)
 
   BenchRun as_run() const {
     BenchRun r;
@@ -57,20 +61,22 @@ struct Measured {
     r.committed = ops;
     r.messages = static_cast<std::uint64_t>(msgs_per_op * static_cast<double>(ops));
     r.bytes = static_cast<std::uint64_t>(bytes_per_op * static_cast<double>(ops));
+    fill_latency(&r, lat);
     return r;
   }
 };
 
-// Runs `body` (which performs `ops` completed operations against `store`)
-// inside a message/byte/time measurement window.
+// Runs `body` (which performs `ops` completed operations against `store`,
+// recording each op's latency into *lat) inside a message/byte/time
+// measurement window.
 template <typename Body>
 Measured measure(ReplicatedKv& store, std::uint64_t ops, Body body) {
   const Nanos t0 = store_now(store);
   const std::uint64_t m0 = store.generic().total_messages();
   const std::uint64_t b0 = store.generic().total_bytes();
-  body();
-  const Nanos dt = std::max<Nanos>(store_now(store) - t0, 1);
   Measured out;
+  body(&out.lat);
+  const Nanos dt = std::max<Nanos>(store_now(store) - t0, 1);
   out.ops = ops;
   out.ops_per_sec = static_cast<double>(ops) * 1e9 / static_cast<double>(dt);
   out.msgs_per_op =
@@ -79,6 +85,33 @@ Measured measure(ReplicatedKv& store, std::uint64_t ops, Body body) {
       static_cast<double>(store.generic().total_bytes() - b0) / static_cast<double>(ops);
   return out;
 }
+
+// Pipelined submissions keep a bounded window of (handle, submit time)
+// pairs; draining the front records the real per-op latency the old
+// fire-and-forget put_async lost (its p50/p99 printed as 0).
+struct LatencyWindow {
+  ReplicatedKv* store;
+  ci::Histogram* lat;
+  std::size_t depth;
+  std::deque<std::pair<client::SubmitHandle, Nanos>> open;
+
+  void submit(client::Session& s, std::uint64_t key, std::uint64_t value) {
+    // Stamp AFTER submit returns: submit may block for pipeline room, and
+    // that backpressure wait is not part of the op's commit latency.
+    client::SubmitHandle h = s.submit(consensus::Op::kWrite, key, value);
+    open.emplace_back(std::move(h), store_now(*store));
+    if (open.size() >= depth) drain_one();
+  }
+  void drain_one() {
+    auto [h, start] = std::move(open.front());
+    open.pop_front();
+    h.wait();
+    lat->record(store_now(*store) - start);
+  }
+  void drain_all() {
+    while (!open.empty()) drain_one();
+  }
+};
 
 }  // namespace
 
@@ -125,40 +158,54 @@ int main(int argc, char** argv) {
   row("--- backend: %s, %d groups x 3 replicas, MultiPaxos batch=16 ---",
       core::backend_name(backend), groups);
   row("");
-  row("%22s | %12s %10s %10s", "workload", "op/s", "msgs/op", "bytes/op");
+  row("%22s | %12s %10s %10s | %10s %10s", "workload", "op/s", "msgs/op", "bytes/op",
+      "p50 us", "p99 us");
 
   BenchJson json("fig_txn_crossshard");
 
-  // 1. Pure single-key, pipelined: the amortized baseline.
-  const Measured singles = measure(store, kSingles, [&] {
+  // 1. Pure single-key, pipelined: the amortized baseline. A sliding
+  // handle window keeps ~512 commands in flight AND yields a real per-op
+  // latency sample for every one of them.
+  const Measured singles = measure(store, kSingles, [&](ci::Histogram* lat) {
+    LatencyWindow win{&store, lat, 512, {}};
     for (std::uint64_t i = 0; i < kSingles; ++i) {
-      s.put_async(pick(static_cast<consensus::GroupId>(i % static_cast<std::uint64_t>(
-                           groups)),
-                       i / static_cast<std::uint64_t>(groups)),
-                  i);
-      if ((i + 1) % 512 == 0) s.flush();
+      win.submit(s.generic(),
+                 pick(static_cast<consensus::GroupId>(i % static_cast<std::uint64_t>(
+                          groups)),
+                      i / static_cast<std::uint64_t>(groups)),
+                 i);
     }
-    s.flush();
+    win.drain_all();
   });
-  row("%22s | %12.0f %10.2f %10.1f", "single-key (pipelined)", singles.ops_per_sec,
-      singles.msgs_per_op, singles.bytes_per_op);
-  json.add("single-key", singles.as_run());
+  {
+    const BenchRun r = singles.as_run();
+    row("%22s | %12.0f %10.2f %10.1f | %10.1f %10.1f", "single-key (pipelined)",
+        singles.ops_per_sec, singles.msgs_per_op, singles.bytes_per_op, r.p50_latency_us,
+        r.p99_latency_us);
+    json.add("single-key", r);
+  }
 
   // 2. Pure cross-shard 2-key transactions, closed loop.
   std::uint64_t committed_txns = 0;
-  const Measured txns = measure(store, kTxns, [&] {
+  const Measured txns = measure(store, kTxns, [&](ci::Histogram* lat) {
     for (std::uint64_t i = 0; i < kTxns; ++i) {
       const auto g1 = static_cast<consensus::GroupId>(i % static_cast<std::uint64_t>(groups));
       const auto g2 = static_cast<consensus::GroupId>((g1 + 1) %
                                                       groups);
+      const Nanos start = store_now(store);
       client::TxnHandle h =
           s.txn().put(pick(g1, i), 7000 + i).put(pick(g2, i), 8000 + i).commit();
       committed_txns += h.wait() == TxnState::kCommitted ? 1 : 0;
+      lat->record(store_now(store) - start);
     }
   });
-  row("%22s | %12.0f %10.2f %10.1f", "cross-shard txn", txns.ops_per_sec,
-      txns.msgs_per_op, txns.bytes_per_op);
-  json.add("cross-shard-txn", txns.as_run());
+  {
+    const BenchRun r = txns.as_run();
+    row("%22s | %12.0f %10.2f %10.1f | %10.1f %10.1f", "cross-shard txn",
+        txns.ops_per_sec, txns.msgs_per_op, txns.bytes_per_op, r.p50_latency_us,
+        r.p99_latency_us);
+    json.add("cross-shard-txn", r);
+  }
 
   // 3. Mixed stream at --txn-mix=P. Transactions ride a small outstanding
   // window (commit() launches the prepares immediately; wait() is deferred)
@@ -167,30 +214,37 @@ int main(int argc, char** argv) {
   Rng rng(99);
   std::uint64_t mixed_singles = 0;
   std::uint64_t mixed_txns = 0;
-  const Measured mixed = measure(store, kMixedOps, [&] {
-    std::vector<client::TxnHandle> open;
+  const Measured mixed = measure(store, kMixedOps, [&](ci::Histogram* lat) {
+    LatencyWindow win{&store, lat, 512, {}};
+    std::vector<std::pair<client::TxnHandle, Nanos>> open;
+    auto drain_txns = [&] {
+      for (auto& [h, start] : open) {
+        (void)h.wait();
+        lat->record(store_now(store) - start);
+      }
+      open.clear();
+    };
     for (std::uint64_t i = 0; i < kMixedOps; ++i) {
       const bool txn = rng.next_bool(txn_mix);
       if (txn) {
         const auto g1 = static_cast<consensus::GroupId>(i % static_cast<std::uint64_t>(groups));
         const auto g2 = static_cast<consensus::GroupId>((g1 + 1) % groups);
-        open.push_back(s.txn().put(pick(g1, i), i).put(pick(g2, i), i).commit());
+        const Nanos start = store_now(store);
+        open.emplace_back(s.txn().put(pick(g1, i), i).put(pick(g2, i), i).commit(),
+                          start);
         mixed_txns++;
-        if (open.size() >= 4) {
-          for (client::TxnHandle& h : open) (void)h.wait();
-          open.clear();
-        }
+        if (open.size() >= 4) drain_txns();
       } else {
-        s.put_async(pick(static_cast<consensus::GroupId>(i % static_cast<std::uint64_t>(
-                             groups)),
-                         i),
-                    i);
+        win.submit(s.generic(),
+                   pick(static_cast<consensus::GroupId>(i % static_cast<std::uint64_t>(
+                            groups)),
+                        i),
+                   i);
         mixed_singles++;
-        if (mixed_singles % 512 == 0) s.flush();
       }
     }
-    for (client::TxnHandle& h : open) (void)h.wait();
-    s.flush();
+    drain_txns();
+    win.drain_all();
   });
   // Split the mixed traffic: charge each txn its pure-run message cost; the
   // rest belongs to the single-key share.
@@ -201,11 +255,15 @@ int main(int argc, char** argv) {
   const double mixed_single_mpo =
       mixed_singles > 0 ? std::max(single_share_msgs, 0.0) / static_cast<double>(mixed_singles)
                         : 0.0;
-  row("%22s | %12.0f %10.2f %10.1f",
-      ("mixed (P=" + std::to_string(txn_mix).substr(0, 4) + ")").c_str(),
-      mixed.ops_per_sec, mixed.msgs_per_op, mixed.bytes_per_op);
-  row("%22s | %12s %10.2f %10s", "  single-key share", "", mixed_single_mpo, "");
-  json.add("mixed", mixed.as_run());
+  {
+    const BenchRun r = mixed.as_run();
+    row("%22s | %12.0f %10.2f %10.1f | %10.1f %10.1f",
+        ("mixed (P=" + std::to_string(txn_mix).substr(0, 4) + ")").c_str(),
+        mixed.ops_per_sec, mixed.msgs_per_op, mixed.bytes_per_op, r.p50_latency_us,
+        r.p99_latency_us);
+    row("%22s | %12s %10.2f %10s", "  single-key share", "", mixed_single_mpo, "");
+    json.add("mixed", r);
+  }
   {
     BenchRun share;
     share.committed = mixed_singles;

@@ -55,6 +55,7 @@ struct BenchRun {
   double mean_latency_us = 0;
   double p50_latency_us = 0;
   double p99_latency_us = 0;
+  double p999_latency_us = 0;
   std::uint64_t committed = 0;
   std::uint64_t messages = 0;  // boundary crossings during the window
   std::uint64_t bytes = 0;     // encoded wire frame bytes behind them
@@ -88,8 +89,19 @@ inline BenchRun run_cluster(Backend backend, const core::ShardSpec& shard, Nanos
   out.mean_latency_us = r.latency.mean() / 1e3;
   out.p50_latency_us = static_cast<double>(r.latency.percentile(0.5)) / 1e3;
   out.p99_latency_us = static_cast<double>(r.latency.percentile(0.99)) / 1e3;
+  out.p999_latency_us = static_cast<double>(r.latency.percentile(0.999)) / 1e3;
   out.consistent = r.consistent;
   return out;
+}
+
+// Fills a BenchRun's latency columns from a bench-recorded histogram (for
+// benches that measure their own windows instead of going through
+// run_cluster).
+inline void fill_latency(BenchRun* out, const Histogram& h) {
+  out->mean_latency_us = h.mean() / 1e3;
+  out->p50_latency_us = static_cast<double>(h.percentile(0.5)) / 1e3;
+  out->p99_latency_us = static_cast<double>(h.percentile(0.99)) / 1e3;
+  out->p999_latency_us = static_cast<double>(h.percentile(0.999)) / 1e3;
 }
 
 inline BenchRun run_cluster(Backend backend, const ClusterSpec& spec, Nanos warmup,
@@ -119,10 +131,10 @@ class BenchJson {
     std::snprintf(buf, sizeof(buf),
                   "    {\"label\": \"%s\", \"ops_per_sec\": %.1f, \"msgs_per_op\": %.3f, "
                   "\"bytes_per_op\": %.1f, \"committed\": %llu, \"p50_us\": %.1f, "
-                  "\"p99_us\": %.1f, \"consistent\": %s}",
+                  "\"p99_us\": %.1f, \"p999_us\": %.1f, \"consistent\": %s}",
                   label.c_str(), r.throughput, r.msgs_per_op(), r.bytes_per_op(),
                   static_cast<unsigned long long>(r.committed), r.p50_latency_us,
-                  r.p99_latency_us, r.consistent ? "true" : "false");
+                  r.p99_latency_us, r.p999_latency_us, r.consistent ? "true" : "false");
     rows_.emplace_back(buf);
   }
 

@@ -15,9 +15,13 @@
 // CROSS-SHARD transactions (session.txn().put(..).put(..).commit()),
 // committed atomically by 2PC across the keys' groups (client/txn.hpp).
 //
+// With --client-coalesce=N the sessions pack up to N adjacent pipelined
+// puts bound for the same group into one kClientCmdBatch frame (sender-side
+// coalescing, orthogonal to the leader's --batch).
+//
 //   $ ./examples/replicated_kv [1paxos|multipaxos|2pc] [num_ops]
 //       [--backend=sim|rt] [--groups=N] [--placement=group-major|interleaved|colocated]
-//       [--batch=N] [--batch-flush-us=T] [--txn-mix=P]
+//       [--batch=N] [--batch-flush-us=T] [--client-coalesce=N] [--txn-mix=P]
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -57,6 +61,7 @@ int main(int argc, char** argv) {
   opts.groups = harness::groups_from_args(argc, argv);
   opts.placement = harness::placement_from_args(argc, argv);
   opts.spec.engine.batch = harness::batch_policy_from_args(argc, argv);
+  opts.spec.workload.client_coalesce = harness::client_coalesce_from_args(argc, argv);
   // Only the Paxos-family leaders batch; silently reporting a batch size a
   // 2PC/Basic-Paxos run ignores would mislabel any numbers cut from this
   // output (the same silent-nonsense class --batch=0 is rejected for).

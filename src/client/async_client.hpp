@@ -25,6 +25,7 @@
 // frame costs nothing but the amortization.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -50,6 +51,13 @@ struct AsyncClientConfig {
   consensus::EngineConfig base;
   NodeId initial_target = 0;
   Nanos request_timeout = 10 * kMillisecond;
+
+  // Coalescing window: N > 1 lets each tick gather up to N consecutive
+  // plain queued commands (those not already part of a submit_run() run)
+  // into one kClientCmdBatch frame. N = 1 sends every command as a legacy
+  // kClientRequest — bit-identical to the uncoalesced wire. Bounded by
+  // kMaxClientBatchCommands; retries always degrade to legacy frames.
+  std::int32_t coalesce = 1;
 
   // Simulator bridge: when set, blocking waits advance virtual time by
   // calling this (expected to run the simulation for a slice) instead of
@@ -176,6 +184,10 @@ class AsyncClientEngine final : public Engine {
         launch_run_locked(ctx, now);
         continue;
       }
+      if (cfg_.coalesce > 1) {
+        launch_coalesced_locked(ctx, now);
+        continue;
+      }
       Pending p = std::move(queued_.front());
       queued_.pop_front();
       send_locked(ctx, p.cmd, /*suspect=*/false);
@@ -236,6 +248,38 @@ class AsyncClientEngine final : public Engine {
     std::vector<Pending> chunk;
     while (!queued_.empty() && queued_.front().run == run &&
            static_cast<std::int32_t>(chunk.size()) < consensus::kMaxClientBatchCommands) {
+      chunk.push_back(std::move(queued_.front()));
+      queued_.pop_front();
+    }
+    if (chunk.size() == 1) {
+      send_locked(ctx, chunk[0].cmd, /*suspect=*/false);
+    } else {
+      Message m(MsgType::kClientCmdBatch, consensus::ProtoId::kClient, cfg_.base.self,
+                target_);
+      std::vector<Command> cmds;
+      cmds.reserve(chunk.size());
+      for (const Pending& p : chunk) cmds.push_back(p.cmd);
+      m.u.client_cmd_batch.count = static_cast<std::int32_t>(cmds.size());
+      m.u.client_cmd_batch.run.assign(cmds.data(), m.u.client_cmd_batch.count);
+      ctx.send(target_, m);
+    }
+    for (Pending& p : chunk) {
+      const std::uint32_t seq = p.cmd.seq;
+      sent_.emplace(seq, InFlight{p.cmd, std::move(p.completion), now});
+    }
+  }
+
+  // Front of the queue is a plain command and coalescing is on: close the
+  // window over up to cfg_.coalesce consecutive plain commands and ship
+  // them in one kClientCmdBatch. A window that closes with one command
+  // (queue drained, or a run boundary hit) keeps the legacy frame — the
+  // wire never pays the batch header for a single command.
+  void launch_coalesced_locked(Context& ctx, Nanos now) {
+    const std::int32_t window =
+        std::min(cfg_.coalesce, consensus::kMaxClientBatchCommands);
+    std::vector<Pending> chunk;
+    while (!queued_.empty() && queued_.front().run == 0 &&
+           static_cast<std::int32_t>(chunk.size()) < window) {
       chunk.push_back(std::move(queued_.front()));
       queued_.pop_front();
     }

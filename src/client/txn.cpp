@@ -19,11 +19,20 @@ struct TxnHandle::Work {
   GroupId home = 0;
   TxnState state = TxnState::kPending;
   bool settled = false;        // wait() ran to completion
-  bool decided = false;        // the kTxnDecide command committed
+  bool decided = false;        // the anchor (kTxnPrepareDecide) committed
   bool decided_commit = false; // ... and its outcome was commit
 
-  // Participant groups in first-use order (home first) with their prepare
-  // handles; finals are the per-group commit/abort handles.
+  // The home group's first put, withheld from the prepare fan-out: wait()
+  // ships it as the kTxnPrepareDecide anchor once every other vote is in,
+  // folding the home group's prepare, the replicated decision, and the home
+  // final into ONE replicated command. Until then nothing is locked or
+  // staged under this key, so a dropped handle has nothing to release here.
+  std::uint64_t anchor_key = 0;
+  std::uint64_t anchor_value = 0;
+
+  // Participant groups in first-use order with their prepare handles
+  // (the home group appears only when it has puts BEYOND the anchor);
+  // finals are the per-group commit/abort handles.
   std::vector<GroupId> participants;
   std::vector<SubmitHandle> prepares;
   std::vector<SubmitHandle> finals;
@@ -39,7 +48,10 @@ struct TxnHandle::Work {
   // are FIFO, so these finals land AFTER the still-queued prepares in every
   // participant log. An already-committed decision (a hook threw mid-wait)
   // is honored; anything earlier aborts — no participant has applied, so
-  // aborting everywhere keeps the all-or-nothing invariant.
+  // aborting everywhere keeps the all-or-nothing invariant. The withheld
+  // anchor needs nothing: if the anchor never launched, its key was never
+  // locked; if it committed, the home group already applied and a duplicate
+  // final there is a no-op.
   ~Work() {
     if (settled || txn == kNoTxn) return;
     for (const GroupId g : participants) {
@@ -83,12 +95,17 @@ TxnHandle Txn::commit() {
 
   work->txn = make_txn_id(session->local_id_, ++session->next_txn_);
   work->home = session->group_of(puts_.front().first);
+  // The first put IS the anchor: it prepares inside the kTxnPrepareDecide
+  // command wait() sends to the home group, not in this fan-out.
+  work->anchor_key = puts_.front().first;
+  work->anchor_value = puts_.front().second;
 
-  // Group the writes; the home group leads the participant list so decide
-  // and finals address it consistently.
+  // Group the remaining writes; the home group leads the participant list
+  // (when it has non-anchor puts) so finals address it consistently.
   std::vector<std::vector<Command>> by_group(
       static_cast<std::size_t>(session->num_groups()));
-  for (const auto& [key, value] : puts_) {
+  for (std::size_t i = 1; i < puts_.size(); ++i) {
+    const auto& [key, value] = puts_[i];
     Command c;
     c.op = Op::kTxnPrepare;
     c.txn = work->txn;
@@ -136,30 +153,41 @@ TxnState TxnHandle::wait() {
   for (SubmitHandle& h : w.prepares) all_yes &= h.wait() == 1;
   w.notify(TxnPhase::kPrepared);
 
-  // DECIDE: replicate the outcome in the home group. After this commits,
-  // the transaction's fate is settled durably; everything beyond is
-  // (retried) application. The flags are set before the hook fires so a
-  // throwing hook leaves Work able to resolve faithfully (~Work).
-  Command decide;
-  decide.op = Op::kTxnDecide;
-  decide.txn = w.txn;
-  decide.value = all_yes ? 1 : 0;
-  w.session->group_client(w.home).submit(decide).wait();
+  // PREPARE+DECIDE: ship the withheld anchor to the home group. One
+  // replicated command prepares the anchor key, folds in the other votes,
+  // records the decision, and applies or aborts at home — after it commits
+  // the transaction's fate is settled durably AND the home group is done;
+  // everything beyond is remote (retried) application. Its result IS the
+  // outcome: the anchor's own vote is the last input, so the classic
+  // decide round-trip disappears from the wire. The flags are set before
+  // the hook fires so a throwing hook leaves Work able to resolve
+  // faithfully (~Work).
+  Command anchor;
+  anchor.op = Op::kTxnPrepareDecide;
+  anchor.txn = w.txn;
+  anchor.key = w.anchor_key;
+  anchor.value = w.anchor_value;
+  anchor.reserved[0] = all_yes ? 1 : 0;
+  const bool committed =
+      w.session->group_client(w.home).submit(anchor).wait() == 1;
   w.decided = true;
-  w.decided_commit = all_yes;
+  w.decided_commit = committed;
   w.notify(TxnPhase::kDecided);
 
-  // COMMIT/ABORT: apply (or discard) on every participant; locks release
-  // either way. The ack — wait() returning — only happens after ALL
-  // participants applied, so an acked transaction is fully visible.
+  // COMMIT/ABORT: apply (or discard) on every REMOTE participant; locks
+  // release either way. The home group already applied inside the anchor,
+  // so its final leg is gone too. The ack — wait() returning — only
+  // happens after ALL participants applied, so an acked transaction is
+  // fully visible.
   for (const GroupId g : w.participants) {
+    if (g == w.home) continue;  // the anchor was the home group's final
     Command fin;
-    fin.op = all_yes ? Op::kTxnCommit : Op::kTxnAbort;
+    fin.op = committed ? Op::kTxnCommit : Op::kTxnAbort;
     fin.txn = w.txn;
     w.finals.push_back(w.session->group_client(g).submit(fin));
   }
   for (SubmitHandle& h : w.finals) h.wait();
-  w.state = all_yes ? TxnState::kCommitted : TxnState::kAborted;
+  w.state = committed ? TxnState::kCommitted : TxnState::kAborted;
   w.settled = true;
   w.notify(TxnPhase::kApplied);
   return w.state;

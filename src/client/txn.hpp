@@ -4,22 +4,36 @@
 // layer"). See DESIGN.md §1d for the full flow and the non-blocking
 // argument.
 //
-// The protocol, driven from the submitting session:
-//   1. PREPARE   — one kTxnPrepare command per written key, submitted to the
-//                  key's owning group through that group's ordinary
-//                  replicated log (multi-key groups share kClientCmdBatch
-//                  frames). Executing the prepare locks the key and stages
-//                  the value; the reply carries the participant's vote.
-//   2. DECIDE    — the coordinator's decision (commit iff every vote was
-//                  yes) is itself a replicated command, kTxnDecide, in the
-//                  transaction's HOME group (the first key's group). Once it
-//                  commits there, the outcome is durable against any single
+// The protocol, driven from the submitting session. The first put is the
+// ANCHOR: it belongs to the transaction's HOME group (its key's group) and
+// is withheld from the prepare fan-out so the home group's prepare, the
+// replicated decision, and the home final collapse into one command:
+//   1. PREPARE   — one kTxnPrepare command per written key EXCEPT the
+//                  anchor, submitted to the key's owning group through that
+//                  group's ordinary replicated log (multi-key groups share
+//                  kClientCmdBatch frames). Executing the prepare locks the
+//                  key and stages the value; the reply carries the
+//                  participant's vote.
+//   2. PREPARE+  — once every other vote is in, the coordinator ships the
+//      DECIDE      anchor as one kTxnPrepareDecide command to the home
+//                  group, carrying the combined remote vote in reserved[0].
+//                  Executing it prepares the anchor key, folds in that vote,
+//                  records the decision, and applies or aborts AT HOME — all
+//                  in one log entry; the reply is the outcome. Once it
+//                  commits, the outcome is durable against any single
 //                  replica failure — this is what removes the classic 2PC
 //                  blocking window, where a dead coordinator strands
-//                  participants holding locks.
-//   3. COMMIT/   — one kTxnCommit (or kTxnAbort) command per participant
-//      ABORT       group applies the staged writes (or discards them) and
-//                  releases the locks, again through the replicated logs.
+//                  participants holding locks — and the home group needs no
+//                  further command.
+//   3. COMMIT/   — one kTxnCommit (or kTxnAbort) command per REMOTE
+//      ABORT       participant group applies the staged writes (or discards
+//                  them) and releases the locks, again through the
+//                  replicated logs.
+//
+// Versus the classic flow (prepare per key + kTxnDecide + final per group),
+// the anchor removes two replicated commands from every transaction — a
+// 2-key/2-group transaction runs 3 replicated commands instead of 5, and
+// the wire messages per transaction drop accordingly (DESIGN.md §1e).
 //
 // The handle acks (wait() returns kCommitted) only after every participant
 // applied, so an acked transaction is never partially visible. Conflicting
@@ -56,8 +70,9 @@ enum class TxnState : std::uint8_t { kPending, kCommitted, kAborted };
 // Progress points reported to the Txn::on_phase hook, in order. Fault tests
 // use the hook to kill leaders exactly mid-prepare / mid-commit.
 enum class TxnPhase : std::uint8_t {
-  kPrepared,  // every vote collected, decision not yet submitted
-  kDecided,   // decision committed in the home group, outcome not yet applied
+  kPrepared,  // every remote vote collected, anchor not yet submitted
+  kDecided,   // anchor committed: decision durable AND applied at home,
+              // remote finals not yet applied
   kApplied,   // every participant applied the outcome
 };
 

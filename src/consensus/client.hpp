@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
@@ -23,6 +24,14 @@ struct ClientConfig {
   double read_fraction = 0.0;             // §7.5 read workloads
   std::uint64_t total_requests = 0;       // 0 = run until kStop
   bool auto_start = false;                // otherwise waits for kStart
+
+  // Client-side coalescing (general-traffic counterpart of the leader's
+  // batching knob): N > 1 turns each closed-loop round into N commands
+  // shipped together in one kClientCmdBatch frame; the round completes when
+  // every reply lands, and each command records its own latency. N = 1 is
+  // the classic one-request loop, bit-identical on the wire. Bounded by
+  // kMaxClientBatchCommands.
+  std::int32_t coalesce = 1;
 
   // Joint deployments: called for read commands before going to the
   // network; returning true services the read from the co-located replica
@@ -61,6 +70,12 @@ class ClientEngine final : public Engine {
   void issue_next(Context& ctx);
   Command make_command();
 
+  // Round mode (cfg_.coalesce > 1): issue a whole round in one frame /
+  // complete it as replies land / degrade retries to legacy singles.
+  void issue_round(Context& ctx);
+  void on_round_reply(Context& ctx, const Message& m);
+  void retry_round(Context& ctx, Nanos now);
+
   ClientConfig cfg_;
   Rng rng_;
   bool started_ = false;
@@ -77,6 +92,12 @@ class ClientEngine final : public Engine {
   std::uint64_t retries_ = 0;
   Histogram latency_;
   TimeSeries* commit_series_ = nullptr;
+
+  // Round-mode state: the current round's commands and which still await a
+  // reply (parallel vectors; round_open_ counts the undone ones).
+  std::vector<Command> round_cmds_;
+  std::vector<bool> round_done_;
+  std::int32_t round_open_ = 0;
 };
 
 }  // namespace ci::consensus

@@ -31,9 +31,13 @@ std::size_t payload_bytes(const Message& m) {
     case MsgType::kStart:
     case MsgType::kStop:
     case MsgType::kPing:
-    case MsgType::kPong:
       return 0;
     case MsgType::kHeartbeat:
+    case MsgType::kPong:
+      // A pong answers a liveness probe with the responder's commit
+      // frontier (Heartbeat-shaped payload): recovery polls read it, so the
+      // frame must carry it — a 0-byte pong would silently truncate the
+      // frontier to zero on decode.
       return sizeof(Heartbeat);
     case MsgType::kClientRequest:
       return sizeof(ClientRequest);
@@ -99,6 +103,8 @@ std::size_t payload_bytes(const Message& m) {
       return sizeof(OpxWindowFetchReq);
     case MsgType::kClientCmdBatch:
       return batch_bytes(m.u.client_cmd_batch);
+    case MsgType::kOpxLearnRun:
+      return batch_bytes(m.u.opx_learn_run);
   }
   return sizeof(Message::Payload);  // unknown: be conservative
 }
@@ -146,6 +152,7 @@ bool known_type(MsgType t) {
     case MsgType::kOpxWindowBody:
     case MsgType::kOpxWindowFetchReq:
     case MsgType::kClientCmdBatch:
+    case MsgType::kOpxLearnRun:
       return true;
   }
   return false;
@@ -213,8 +220,19 @@ bool wire_validate(const Message& m, std::size_t bytes) {
       break;
     case MsgType::kClientCmdBatch:
       // Tighter cap than the protocol batches: client runs stay inline.
-      if (m.u.client_cmd_batch.count < 2 ||
+      // count == 1 is legal (a coalescing window can close with one
+      // command queued); senders still prefer the legacy kClientRequest
+      // frame for singles, so default wire traffic is unchanged.
+      if (m.u.client_cmd_batch.count < 1 ||
           m.u.client_cmd_batch.count > kMaxClientBatchCommands) {
+        return false;
+      }
+      break;
+    case MsgType::kOpxLearnRun:
+      // Runs of 1 use the legacy kOpxLearn frame; the cap is the catch-up
+      // window, tighter than the batch ceiling.
+      if (m.u.opx_learn_run.count < 2 ||
+          m.u.opx_learn_run.count > kMaxLearnRunCommands) {
         return false;
       }
       break;

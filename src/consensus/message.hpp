@@ -104,14 +104,24 @@ enum class MsgType : std::uint8_t {
   kOpxWindowBody,
   kOpxWindowFetchReq,
 
-  // Client-side command batching (cross-shard transactions, client/txn.hpp):
-  // one frame carrying a run of 2..kInlineBatchCommands commands from one
-  // client to one group's replica. The GroupDemuxEngine on the receiving
-  // node decomposes the run into ordinary kClientRequest deliveries, so
-  // every protocol engine handles the commands without knowing the frame
-  // exists; replies stay per-command. Single-command submissions keep the
-  // legacy kClientRequest frame, so unbatched wire traffic is unchanged.
+  // Client-side command batching (cross-shard transactions and session
+  // coalescing, client/txn.hpp + client/async_client.hpp): one frame
+  // carrying a run of 1..kInlineBatchCommands commands from one client to
+  // one group's replica. The GroupDemuxEngine on the receiving node
+  // decomposes the run into ordinary kClientRequest deliveries, so every
+  // protocol engine handles the commands without knowing the frame exists;
+  // replies stay per-command. Coalescing senders still emit single-command
+  // submissions as legacy kClientRequest frames, so unbatched wire traffic
+  // is unchanged (count == 1 is merely tolerated on decode).
   kClientCmdBatch,
+
+  // Catch-up run (1Paxos): a run of count (>= 2) CONSECUTIVE instances
+  // starting at first_instance, each of which decided exactly ONE command
+  // (cmds[i] is the whole value of first_instance + i). Replaces the
+  // per-instance kOpxLearn resends a lagging learner's kOpxCatchupReq used
+  // to trigger: one header amortizes over the run. Instances that decided
+  // multi-command batches still ride kOpxBatchLearn.
+  kOpxLearnRun,
 };
 
 // Message::flags bits.
@@ -345,6 +355,20 @@ struct ClientCmdBatch {
 };
 inline constexpr std::int32_t kMaxClientBatchCommands = kInlineBatchCommands;
 
+// A catch-up run (kOpxLearnRun): `count` consecutive single-command decided
+// instances, [first_instance, first_instance + count). Same shape as
+// OpxBatchLearn — the meaning of the run differs (one command per instance,
+// not one instance deciding the run). Capped at the catch-up window (16
+// instances per kOpxCatchupReq), which keeps the frame under every
+// deployment's max_frame_bytes() bound regardless of batch policy.
+inline constexpr std::int32_t kMaxLearnRunCommands = 16;
+struct OpxLearnRun {
+  Instance first_instance = kNoInstance;
+  std::int32_t count = 0;
+  std::uint8_t reserved[4] = {0};
+  CommandRun run;
+};
+
 // PaxosUtility: consensus entries are leader/acceptor changes, with the
 // uncommitted proposals attached to AcceptorChange (paper §5.2).
 
@@ -488,6 +512,7 @@ struct Message {
     OpxWindowBody opx_window_body;
     OpxWindowFetchReq opx_window_fetch_req;
     ClientCmdBatch client_cmd_batch;
+    OpxLearnRun opx_learn_run;
 
     // All members are trivially copyable PODs; zero-fill so serialized
     // padding bytes are deterministic.
@@ -523,6 +548,7 @@ static_assert(offsetof(OpxBatchAcceptReq, run) == 32);
 static_assert(offsetof(OpxBatchLearn, run) == 16);
 static_assert(offsetof(OpxPrepareBatchResp, run) == 32);
 static_assert(offsetof(ClientCmdBatch, run) == 8);
+static_assert(offsetof(OpxLearnRun, run) == 16);
 
 // The budget this refactor exists to enforce: every Message construction
 // zero-fills sizeof(Message) bytes and every SPSC slot, rt task stack, and

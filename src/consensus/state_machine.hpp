@@ -70,6 +70,22 @@ class StateMachine {
         return txn_abort(cmd.txn);
       case Op::kTxnDecide:
         return txn_decide(cmd.txn, cmd.value != 0);
+      case Op::kTxnPrepareDecide: {
+        // The home group's anchor: prepare + decide + final in ONE log
+        // entry, composed from the hooks above so every StateMachine gets
+        // it for free. reserved[0] carries the other participants' combined
+        // vote; the anchor key only locks when the txn can still commit (an
+        // already-doomed txn must leave nothing locked or staged here).
+        const bool others_yes = cmd.reserved[0] != 0;
+        const bool commit = others_yes && txn_prepare(cmd) != 0;
+        txn_decide(cmd.txn, commit);
+        if (commit) {
+          txn_commit(cmd.txn);
+        } else {
+          txn_abort(cmd.txn);
+        }
+        return commit ? 1 : 0;
+      }
       default:
         return apply(cmd);
     }

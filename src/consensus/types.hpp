@@ -48,6 +48,15 @@ enum class Op : std::uint8_t {
   kTxnCommit = 4,   // apply cmd.txn's staged writes, release its locks
   kTxnAbort = 5,    // discard cmd.txn's staged writes, release its locks
   kTxnDecide = 6,   // home group only: record the decision (value 1=commit, 0=abort)
+  // Home-group anchor: the coordinator's OWN prepare, the replicated
+  // decision, AND the home group's final, composed into one replicated
+  // command. The coordinator withholds the home group's first put until
+  // every other vote is in, then ships it with the outcome so far in
+  // reserved[0] (1 = all others voted yes): execute() prepares the anchor
+  // key, combines the votes, records the decision, and applies or aborts —
+  // one log entry where the classic flow replicated three (prepare, decide,
+  // final). Result = 1 committed, 0 aborted.
+  kTxnPrepareDecide = 7,
 };
 
 // Identifies one cross-shard transaction: (coordinating session node, local
@@ -81,7 +90,7 @@ struct Command {
            a.key == b.key && a.value == b.value;
   }
   bool is_noop() const { return op == Op::kNoop && client == kNoNode; }
-  bool is_txn_op() const { return op >= Op::kTxnPrepare && op <= Op::kTxnDecide; }
+  bool is_txn_op() const { return op >= Op::kTxnPrepare && op <= Op::kTxnPrepareDecide; }
 };
 static_assert(sizeof(Command) == 32);
 static_assert(offsetof(Command, key) == 16 && offsetof(Command, value) == 24,

@@ -25,7 +25,11 @@
 //     send();
 //   * decode() allocates a fresh block for long runs on the receiving side;
 //     the transport releases it (release_body) once the handler returns —
-//     engines copy commands out inside on_message and never retain refs.
+//     engines copy commands out inside on_message and never retain refs;
+//   * encode_into() writes a pooled run's commands STRAIGHT from the pool
+//     block into the destination (an SPSC slot, a pooled sim event body) —
+//     the body is read exactly once at encode and never copied again, which
+//     is why send paths release it immediately after encoding.
 #pragma once
 
 #include <algorithm>
@@ -47,6 +51,7 @@ inline constexpr std::size_t kMaxBatchFixedBytes = std::max({
     offsetof(consensus::OpxBatchLearn, run),
     offsetof(consensus::OpxPrepareBatchResp, run),
     offsetof(consensus::OpxWindowBody, run),
+    offsetof(consensus::OpxLearnRun, run),
 });
 
 // Upper bound on any encoded frame: either a full-capacity batched frame or
@@ -62,9 +67,62 @@ inline constexpr std::size_t kMaxFrameBytes =
 // Encoded size of `m`'s frame (== consensus::wire_size).
 inline std::size_t frame_size(const consensus::Message& m) { return consensus::wire_size(m); }
 
+// Per-thread send-path copy accounting: every FrameWriter::append bumps
+// these, so tests can pin "bytes copied == frame bytes" — exactly one pass,
+// source fields to destination memory, per encoded frame (the WireBudgets
+// suite asserts the bound).
+struct CopyStats {
+  std::uint64_t bytes = 0;
+  std::uint64_t appends = 0;
+  void reset() { *this = CopyStats{}; }
+};
+CopyStats& copy_stats();
+
+// Destination-agnostic frame sink. encode_into() appends the stamped header
+// and the payload fields straight into wherever the transport wants the
+// frame — an rt SPSC slot span (rt::SlotFrameWriter), a pooled SimNet event
+// body, a backlog vector — so the encode IS the only copy; there is no
+// intermediate stack Message or scratch buffer. Appends arrive in wire
+// order and their sizes sum to the frame length the encode call returns.
+class FrameWriter {
+ public:
+  virtual ~FrameWriter() = default;
+
+  void append(const void* data, std::size_t n) {
+    CopyStats& s = copy_stats();
+    s.bytes += n;
+    s.appends++;
+    do_append(data, n);
+  }
+
+ private:
+  virtual void do_append(const void* data, std::size_t n) = 0;
+};
+
+// FrameWriter over a contiguous buffer (capacity >= kMaxFrameBytes).
+class BufferWriter final : public FrameWriter {
+ public:
+  explicit BufferWriter(unsigned char* buf) : buf_(buf) {}
+  std::uint32_t written() const { return n_; }
+
+ private:
+  void do_append(const void* data, std::size_t n) override;
+
+  unsigned char* buf_;
+  std::uint32_t n_ = 0;
+};
+
+// Encodes `m` into `w` with src/dst stamped into the frame header (the
+// in-memory message is not touched — transports stamp at encode time, so
+// the same Message can be encoded toward several destinations). Returns the
+// frame length. Does NOT release a pooled body — callers that consume the
+// message (transport send paths) pair this with release_body().
+std::uint32_t encode_into(const consensus::Message& m, FrameWriter& w,
+                          consensus::NodeId src, consensus::NodeId dst);
+
 // Encodes `m` into `buf` (capacity >= kMaxFrameBytes); returns the frame
-// length. Does NOT release a pooled body — callers that consume the message
-// (transport send paths) pair this with release_body().
+// length. Header src/dst are taken from the message unchanged. Same custody
+// note as encode_into.
 std::uint32_t encode(const consensus::Message& m, unsigned char* buf);
 
 // Decodes a frame. Returns false on anything malformed — short buffers,

@@ -38,6 +38,10 @@ struct WorkloadSpec {
   Nanos think_time = 0;                  // §7.4 uses 2 ms between requests
   double read_fraction = 0.0;            // §7.5 read workloads
   std::uint64_t requests_per_client = 0; // 0 = run until deadline/stop
+  // Client-side coalescing (`--client-coalesce`): N > 1 ships N commands
+  // per client round / per session tick in shared kClientCmdBatch frames;
+  // 1 = one legacy frame per command (bit-identical to the classic wire).
+  std::int32_t client_coalesce = 1;
 };
 
 // A named, internally-consistent set of timer constants. The three profiles

@@ -48,6 +48,7 @@ Deployment::Deployment(const ClusterSpec& spec, bool auto_start_clients)
     cc.think_time = spec_.workload.think_time;
     cc.read_fraction = spec_.workload.read_fraction;
     cc.total_requests = spec_.workload.requests_per_client;
+    cc.coalesce = spec_.workload.client_coalesce;
     cc.auto_start = auto_start_clients;
     if (spec_.joint && spec_.joint_local_reads && spec_.protocol == Protocol::kTwoPc) {
       auto* replica =

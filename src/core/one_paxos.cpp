@@ -102,6 +102,17 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
             unpack_batch(m.u.opx_batch_learn.run.data(m.u.opx_batch_learn.count),
                          m.u.opx_batch_learn.count));
       return;
+    case MsgType::kOpxLearnRun: {
+      // A catch-up run: count consecutive instances, one command each.
+      if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
+      const OpxLearnRun& p = m.u.opx_learn_run;
+      const Command* cmds = p.run.data(p.count);
+      for (std::int32_t i = 0; i < p.count; ++i) {
+        scratch_.assign(1, cmds[i]);
+        learn(ctx, p.first_instance + i, scratch_);
+      }
+      return;
+    }
     case MsgType::kOpxPrepareReq:
       handle_prepare_req(ctx, m);
       return;
@@ -154,14 +165,30 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
       return;
     }
     case MsgType::kOpxCatchupReq: {
-      // Any node re-sends the decided values it knows (bounded run).
+      // Any node re-sends the decided values it knows (bounded window).
+      // Consecutive single-command instances coalesce into one
+      // kOpxLearnRun frame; multi-command batches and undecided gaps
+      // break the run and ship as their own legacy learn frames.
       const Instance from = m.u.opx_catchup_req.from_instance;
-      const Instance to = std::min(from + 16, log_.end());
+      const Instance to = std::min(from + kMaxLearnRunCommands, log_.end());
+      Batch run;  // one command per coalesced instance
+      Instance run_start = kNoInstance;
+      const auto flush_run = [&] {
+        if (run.empty()) return;
+        send_learn_run(ctx, m.src, run_start, run);
+        run.clear();
+      };
       for (Instance in = from; in < to; ++in) {
         const Batch* v = log_.get_batch(in);
-        if (v == nullptr) continue;
-        send_learn(ctx, m.src, in, *v);
+        if (v == nullptr || v->size() != 1) {
+          flush_run();
+          if (v != nullptr) send_learn(ctx, m.src, in, *v);
+          continue;
+        }
+        if (run.empty()) run_start = in;
+        run.push_back(v->front());
       }
+      flush_run();
       return;
     }
     case MsgType::kPing: {
@@ -278,6 +305,22 @@ void OnePaxosEngine::send_learn(Context& ctx, NodeId dst, Instance in, const Bat
     l.u.opx_batch_learn.count = l.u.opx_batch_learn.run.pack(value);
     ctx.send(dst, l);
   }
+}
+
+// One frame for a run of consecutive single-command decided instances
+// starting at `first` (cmds[i] decides first + i). A run of one degenerates
+// to the legacy kOpxLearn so idle catch-up traffic is unchanged.
+void OnePaxosEngine::send_learn_run(Context& ctx, NodeId dst, Instance first,
+                                    const Batch& cmds) {
+  if (cmds.size() == 1) {
+    send_learn(ctx, dst, first, cmds);
+    return;
+  }
+  CI_CHECK(cmds.size() <= static_cast<std::size_t>(kMaxLearnRunCommands));
+  Message l(MsgType::kOpxLearnRun, ProtoId::kOnePaxos, cfg_.base.self, dst);
+  l.u.opx_learn_run.first_instance = first;
+  l.u.opx_learn_run.count = l.u.opx_learn_run.run.pack(cmds);
+  ctx.send(dst, l);
 }
 
 void OnePaxosEngine::handle_accept_req(Context& ctx, Instance in, ProposalNum pn,
@@ -462,6 +505,7 @@ void OnePaxosEngine::adopt(Context& ctx, const Message& m) {
   prepare_outstanding_ = false;
   prepare_main_held_ = false;
   i_am_leader_ = true;
+  stuck_gap_ = kNoInstance;  // a fresh reign restarts the gap patience clock
   current_leader_ = cfg_.base.self;
   alloc_frontier_ = std::max(alloc_frontier_, m.u.opx_prepare_resp.frontier);
   register_proposals(m.u.opx_prepare_resp.accepted, m.u.opx_prepare_resp.num_accepted);
@@ -903,15 +947,38 @@ void OnePaxosEngine::tick(Context& ctx) {
     // A leader whose own log has holes below the allocation frontier (lost
     // learns from a previous reign) cannot execute or reply past them; pull
     // the values from the other replicas.
-    if (log_.first_gap() < alloc_frontier_ &&
-        now - last_catchup_sent_ >= cfg_.base.retry_timeout) {
-      last_catchup_sent_ = now;
-      for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
-        if (r == cfg_.base.self) continue;
-        Message req(MsgType::kOpxCatchupReq, ProtoId::kOnePaxos, cfg_.base.self, r);
-        req.u.opx_catchup_req.from_instance = log_.first_gap();
-        ctx.send(r, req);
+    if (log_.first_gap() < alloc_frontier_) {
+      const Instance gap = log_.first_gap();
+      if (gap != stuck_gap_) {
+        stuck_gap_ = gap;
+        stuck_gap_since_ = now;
       }
+      if (now - last_catchup_sent_ >= cfg_.base.retry_timeout) {
+        last_catchup_sent_ = now;
+        for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
+          if (r == cfg_.base.self) continue;
+          Message req(MsgType::kOpxCatchupReq, ProtoId::kOnePaxos, cfg_.base.self, r);
+          req.u.opx_catchup_req.from_instance = gap;
+          ctx.send(r, req);
+        }
+      }
+      // Many catch-up rounds later the gap is still unanswered: no replica
+      // has the instance learned, so its accept died before any acceptor
+      // recorded it (a proposer relinquished mid-flight and higher
+      // instances moved the frontier past the hole). The paper lets
+      // proposers "safely restart the Paxos instance" (§4.3): re-run it
+      // with a noop through the current acceptor. A decided-but-unlearned
+      // value, were one still in flight somewhere, beats the noop —
+      // learn() keeps the first decision and drops our advocacy (noops are
+      // never re-pended).
+      if (proposed_.count(gap) == 0 &&
+          now - stuck_gap_since_ >= cfg_.base.fd_timeout * 4) {
+        scratch_.assign(1, Command{});
+        proposed_[gap] = scratch_;
+        send_accept(ctx, gap);
+      }
+    } else {
+      stuck_gap_ = kNoInstance;
     }
     return;
   }

@@ -94,6 +94,7 @@ class OnePaxosEngine final : public Engine {
   std::int32_t effective_window() const;
   void send_accept(Context& ctx, Instance in);
   void send_learn(Context& ctx, NodeId dst, Instance in, const Batch& value);
+  void send_learn_run(Context& ctx, NodeId dst, Instance first, const Batch& cmds);
   void handle_accept_req(Context& ctx, Instance in, ProposalNum pn, const Batch& value,
                          NodeId src);
   void learn(Context& ctx, Instance in, const Batch& v);
@@ -229,6 +230,15 @@ class OnePaxosEngine final : public Engine {
   Nanos last_heartbeat_sent_ = 0;
   Nanos last_ping_sent_ = 0;
   Nanos last_catchup_sent_ = 0;
+  // Leader-side gap-restart bookkeeping (§4.3): the first unlearned
+  // instance we are stuck behind and since when. When catch-up rounds to
+  // every replica leave the same gap unanswered for several detector
+  // periods, no reachable replica learned the instance — its accept was
+  // lost before any acceptor saw it — and the leader re-runs the instance
+  // with a noop through the current acceptor (ordinary Paxos, so a racing
+  // late learn still wins via the is_learned guard).
+  Instance stuck_gap_ = kNoInstance;
+  Nanos stuck_gap_since_ = 0;
   Nanos fd_jitter_ = 0;
 };
 

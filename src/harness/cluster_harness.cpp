@@ -18,7 +18,8 @@ namespace {
 // missing from this table, so the strict scanners below cannot drift from
 // the parsers.
 constexpr const char* kValueFlags[] = {"--backend", "--groups", "--placement",
-                                       "--batch", "--batch-flush-us", "--txn-mix"};
+                                       "--batch", "--batch-flush-us",
+                                       "--client-coalesce", "--txn-mix"};
 // Valueless flags: presence is the whole message. --help is recognized by
 // the strict scanners (print usage, exit 0) and always legal, so binaries
 // need not list it in their consumed sets.
@@ -274,6 +275,36 @@ consensus::BatchPolicy batch_policy_from_args(int argc, char** argv) {
   return policy;
 }
 
+bool try_client_coalesce_from_args(int argc, char** argv, std::int32_t def,
+                                   std::int32_t* out, std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--client-coalesce", &malformed);
+  if (malformed) {
+    *err = "--client-coalesce requires a value (expected --client-coalesce=N, 1 <= N <= " +
+           std::to_string(consensus::kMaxClientBatchCommands) + ")";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || n < 1 || n > consensus::kMaxClientBatchCommands) {
+    *err = std::string("bad coalesce window '") + value +
+           "' (expected --client-coalesce=N, 1 <= N <= " +
+           std::to_string(consensus::kMaxClientBatchCommands) + ")";
+    return false;
+  }
+  *out = static_cast<std::int32_t>(n);
+  return true;
+}
+
+std::int32_t client_coalesce_from_args(int argc, char** argv, std::int32_t def) {
+  std::int32_t n = def;
+  std::string err;
+  if (!try_client_coalesce_from_args(argc, argv, def, &n, &err)) usage_exit(err.c_str());
+  return n;
+}
+
 bool try_txn_mix_from_args(int argc, char** argv, double def, double* out,
                           std::string* err) {
   *out = def;
@@ -312,6 +343,8 @@ const char* usage_text() {
       "                            how groups map onto transport nodes\n"
       "  --batch=N                 commands per agreement instance (1 <= N <= 64)\n"
       "  --batch-flush-us=T        max microseconds a partial batch waits (T >= 0)\n"
+      "  --client-coalesce=N       commands per client-side kClientCmdBatch frame\n"
+      "                            (1 <= N <= 8; 1 = legacy per-command frames)\n"
       "  --txn-mix=P               fraction of ops issued as cross-shard\n"
       "                            transactions (0 <= P <= 1)\n"
       "  --sweep-diff              also run the spec on BOTH backends and diff\n"
@@ -376,7 +409,8 @@ void scan_args(int argc, char** argv, std::initializer_list<const char*> consume
     if (!known) {
       std::fprintf(stderr,
                    "unknown flag '%s' (harness flags: --backend, --groups, --placement, "
-                   "--batch, --batch-flush-us, --txn-mix, --sweep-diff, --help)\n",
+                   "--batch, --batch-flush-us, --client-coalesce, --txn-mix, "
+                   "--sweep-diff, --help)\n",
                    arg);
       std::exit(2);
     }

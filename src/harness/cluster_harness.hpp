@@ -57,6 +57,15 @@ Nanos batch_flush_from_args(int argc, char** argv, Nanos def = 0);
 // Both batching flags folded into one policy (defaults: unbatched).
 consensus::BatchPolicy batch_policy_from_args(int argc, char** argv);
 
+// `--client-coalesce=N`: commands per client-side kClientCmdBatch frame
+// (WorkloadSpec::client_coalesce). N = 1 keeps the legacy one-frame-per-
+// command wire; bounded by consensus::kMaxClientBatchCommands. Non-positive,
+// non-numeric, or oversized values exit 2 — like --batch, `--client-
+// coalesce=0` must not silently run uncoalesced.
+bool try_client_coalesce_from_args(int argc, char** argv, std::int32_t def,
+                                   std::int32_t* out, std::string* err);
+std::int32_t client_coalesce_from_args(int argc, char** argv, std::int32_t def = 1);
+
 // `--txn-mix=P`: fraction (0 <= P <= 1) of workload operations issued as
 // cross-shard transactions instead of single-key commands (client/txn.hpp).
 // Consumed by the transaction benches/examples; anything outside [0, 1] or
@@ -67,7 +76,8 @@ double txn_mix_from_args(int argc, char** argv, double def = 0.0);
 
 // The usage text every harness-flag binary shares: enumerates ALL harness
 // flags (--backend, --groups, --placement, --batch, --batch-flush-us,
-// --txn-mix, --sweep-diff, --help) with their value shapes. The strict
+// --client-coalesce, --txn-mix, --sweep-diff, --help) with their value
+// shapes. The strict
 // scanners print it and exit 0 when argv carries `--help`.
 const char* usage_text();
 

@@ -52,20 +52,30 @@ void RtNode::send(NodeId dst, const Message& m) {
     return;
   }
   ctx_->sent.fetch_add(1, std::memory_order_relaxed);
-  // Encode straight from the engine's message and stamp src/dst in the
-  // buffer: copying the Message just to rewrite two header fields would
-  // dominate small sends.
-  alignas(Message) unsigned char buf[kWireBufBytes];
-  const std::uint32_t n = encode(m, buf);
-  wire::release_body(m);  // send() consumes the message's pooled body
+  const auto n = static_cast<std::uint32_t>(wire::frame_size(m));
   ctx_->sent_bytes.fetch_add(n, std::memory_order_relaxed);
-  auto* hdr = reinterpret_cast<Message*>(buf);
-  hdr->src = self_;
-  hdr->dst = dst;
   auto& conn = conns_[static_cast<std::size_t>(dst)];
   auto& backlog = pending_[static_cast<std::size_t>(dst)];
-  if (backlog.empty() && conn->try_write(buf, n)) return;
-  // Queue full (or older messages still waiting): preserve FIFO order.
+  qclt::SpscQueue* q = conn->out_queue();
+  if (backlog.empty() && q->free_slots() >= qclt::wire::fragments_for(n)) {
+    // Fast path: encode the frame straight into the reserved SPSC slots —
+    // each field byte moves exactly once, engine memory to shared-memory
+    // slot, with src/dst stamped mid-flight (no frame buffer, no Message
+    // copy just to rewrite two header fields).
+    SlotFrameWriter w(q, n);
+    const std::uint32_t written = wire::encode_into(m, w, self_, dst);
+    CI_CHECK(written == n);
+    w.finish();
+    wire::release_body(m);  // send() consumes the message's pooled body
+    return;
+  }
+  // Queue full (or older messages still waiting): encode into the FIFO
+  // backlog instead; flush_pending replays the finished frames.
+  alignas(Message) unsigned char buf[kWireBufBytes];
+  wire::BufferWriter w(buf);
+  const std::uint32_t written = wire::encode_into(m, w, self_, dst);
+  CI_CHECK(written == n);
+  wire::release_body(m);
   backlog.emplace_back(buf, buf + n);
 }
 

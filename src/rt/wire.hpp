@@ -44,6 +44,60 @@ inline std::uint32_t encode(const consensus::Message& m, unsigned char* buf) {
   return wire::encode(m, buf);
 }
 
+// FrameWriter that lays a frame straight into SPSC queue slots, stamping
+// fragment headers as it crosses slot boundaries — the zero-copy half of
+// RtNode::send: field bytes go from the in-memory Message (or its pooled
+// run) directly into the shared-memory slot, with no intermediate frame
+// buffer. The caller reserves capacity up front (free_slots() >=
+// fragments_for(frame_len)); acquiring a slot then never fails, so the
+// whole frame publishes, slot by slot, in one pass. finish() commits the
+// trailing partial slot.
+class SlotFrameWriter final : public wire::FrameWriter {
+ public:
+  SlotFrameWriter(qclt::SpscQueue* q, std::uint32_t frame_len) : q_(q), len_(frame_len) {}
+
+  void finish() {
+    CI_CHECK_MSG(written_ == len_, "frame length mismatch at finish");
+    if (slot_ != nullptr) {
+      q_->commit_write();
+      slot_ = nullptr;
+    }
+  }
+
+ private:
+  void do_append(const void* data, std::size_t n) override {
+    const auto* src = static_cast<const unsigned char*>(data);
+    while (n > 0) {
+      if (slot_ == nullptr) {
+        slot_ = static_cast<unsigned char*>(q_->try_acquire_slot());
+        CI_CHECK_MSG(slot_ != nullptr, "caller reserved too few slots");
+        auto* hdr = reinterpret_cast<qclt::wire::FragmentHeader*>(slot_);
+        hdr->msg_len = len_;
+        hdr->frag_index = frag_index_++;
+        hdr->reserved = 0;
+        slot_off_ = 0;
+      }
+      const std::size_t chunk = std::min(n, qclt::wire::kFragPayload - slot_off_);
+      std::memcpy(slot_ + sizeof(qclt::wire::FragmentHeader) + slot_off_, src, chunk);
+      slot_off_ += chunk;
+      src += chunk;
+      n -= chunk;
+      written_ += static_cast<std::uint32_t>(chunk);
+      if (slot_off_ == qclt::wire::kFragPayload) {
+        q_->commit_write();
+        slot_ = nullptr;
+      }
+    }
+  }
+
+  qclt::SpscQueue* q_;
+  const std::uint32_t len_;
+  std::uint32_t written_ = 0;
+  unsigned char* slot_ = nullptr;
+  std::size_t slot_off_ = 0;
+  std::uint16_t frag_index_ = 0;
+};
+
 inline consensus::Message decode(const unsigned char* buf, std::size_t n) {
   consensus::Message m;
   CI_CHECK_MSG(wire::try_decode(buf, n, &m), "malformed message on the wire");

@@ -13,11 +13,26 @@ SimNet::SimNet(const LatencyModel& model, std::uint64_t seed, Nanos tick_period)
 }
 
 SimNet::~SimNet() {
-  // Undelivered messages own their pooled command bodies (the sender's
+  // Undelivered self-sends own their pooled command bodies (the sender's
   // custody moved into the event on send); return them to the pool.
+  // Cross-node events hold only encoded frames — their bodies went back to
+  // the pool at encode time.
   for (Event& e : event_queue_) {
     if (e.kind == Event::Kind::kMessage && e.msg != nullptr) wire::release_body(*e.msg);
   }
+}
+
+std::unique_ptr<unsigned char[]> SimNet::acquire_frame() {
+  if (!frame_pool_.empty()) {
+    auto buf = std::move(frame_pool_.back());
+    frame_pool_.pop_back();
+    return buf;
+  }
+  return std::make_unique<unsigned char[]>(wire::kMaxFrameBytes);
+}
+
+void SimNet::recycle_frame(std::unique_ptr<unsigned char[]> frame) {
+  frame_pool_.push_back(std::move(frame));
 }
 
 void SimNet::add_node(Engine* engine) {
@@ -78,19 +93,19 @@ void SimNet::send_from(NodeCtx& src, NodeId dst, const Message& m) {
   e.seq = seq_++;
   e.kind = Event::Kind::kMessage;
   e.node = dst;
-  e.msg = std::make_unique<Message>(m);
-  e.msg->src = src.id_;
-  e.msg->dst = dst;
   if (dst == src.id_) {
     // Local delivery between collapsed roles: no node boundary is crossed,
-    // no transmission cost is charged (Fig. 3 counts only crossing
-    // messages). Delivered once the current handler finishes.
+    // nothing is serialized, no transmission cost is charged (Fig. 3 counts
+    // only crossing messages). Delivered once the current handler finishes.
+    e.msg = std::make_unique<Message>(m);
+    e.msg->src = src.id_;
+    e.msg->dst = dst;
     e.time = src.busy_until;
     push_event(std::move(e));
     return;
   }
   const double f = speed_factor(src, src.busy_until);
-  const std::size_t frame_bytes = wire::frame_size(*e.msg);
+  const std::size_t frame_bytes = wire::frame_size(m);
   // trans_send is the per-message cost; per_byte_cost (off by default) adds
   // the bandwidth term from the frame size the codec reports. Both are CPU
   // work on the sending core, so both scale with its slowdown factor.
@@ -101,9 +116,18 @@ void SimNet::send_from(NodeCtx& src, NodeId dst, const Message& m) {
   src.sent_bytes += frame_bytes;
   if (model_.drop_probability > 0 && rng_.next_bool(model_.drop_probability)) {
     dropped_++;
-    wire::release_body(*e.msg);  // the event dies here with its body
+    wire::release_body(m);  // send consumed the body; the frame dies unsent
     return;
   }
+  // Encode at send: the event carries the wire frame, with src/dst stamped
+  // mid-encode — the in-memory Message and its pooled run are released here,
+  // and each field byte moved exactly once.
+  e.frame = acquire_frame();
+  wire::BufferWriter w(e.frame.get());
+  const std::uint32_t written = wire::encode_into(m, w, src.id_, dst);
+  CI_CHECK(written == frame_bytes);
+  wire::release_body(m);
+  e.frame_len = written;
   const Nanos jitter =
       model_.prop_jitter > 0 ? static_cast<Nanos>(rng_.next_below(
                                    static_cast<std::uint64_t>(model_.prop_jitter)))
@@ -121,8 +145,20 @@ void SimNet::process(Event& e) {
       n.busy_until = t0 + static_cast<Nanos>(
                               static_cast<double>(model_.trans_recv + model_.handler_cost) * f);
       n.logical_now = n.busy_until;
-      n.engine_->on_message(n, *e.msg);
-      wire::release_body(*e.msg);  // delivery consumed the event's custody
+      if (e.frame != nullptr) {
+        // Cross-node: decode the wire frame the sender encoded (allocating a
+        // fresh pooled body if the frame carries a command run), deliver,
+        // then recycle both the body and the buffer.
+        Message m;
+        CI_CHECK_MSG(wire::try_decode(e.frame.get(), e.frame_len, &m),
+                     "malformed frame in the sim network");
+        n.engine_->on_message(n, m);
+        wire::release_body(m);
+        recycle_frame(std::move(e.frame));
+      } else {
+        n.engine_->on_message(n, *e.msg);
+        wire::release_body(*e.msg);  // delivery consumed the event's custody
+      }
       break;
     }
     case Event::Kind::kTick: {

@@ -68,15 +68,23 @@ class SimNet {
   std::uint64_t total_bytes() const;
 
  private:
-  // Move-only: the message rides behind a pointer so heap sift operations
-  // move ~64 bytes instead of copying the multi-kilobyte Message union
-  // (whose worst case is set by the batching payloads).
+  // Move-only: payloads ride behind pointers so heap sift operations move
+  // ~80 bytes instead of copying a multi-kilobyte Message union or frame.
+  //
+  // Cross-node messages are ENCODED AT SEND: the event carries the wire
+  // frame (a pooled buffer, recycled after delivery or drop), not the
+  // in-memory Message — each field byte moves exactly once, engine memory
+  // to frame, mirroring what a socket backend would transmit. Self-sends
+  // keep the full Message copy: no node boundary is crossed, so nothing is
+  // serialized (and nothing is charged).
   struct Event {
     Nanos time = 0;
     std::uint64_t seq = 0;
     enum class Kind : std::uint8_t { kMessage, kTick, kCall } kind = Kind::kMessage;
     NodeId node = -1;
-    std::unique_ptr<Message> msg;  // kMessage only
+    std::unique_ptr<Message> msg;               // kMessage, self-sends only
+    std::unique_ptr<unsigned char[]> frame;     // kMessage, cross-node only
+    std::uint32_t frame_len = 0;
     std::function<void()> call;
 
     friend bool operator>(const Event& a, const Event& b) {
@@ -118,6 +126,8 @@ class SimNet {
   double speed_factor(const NodeCtx& n, Nanos t) const;
   void push_event(Event e);
   void process(Event& e);
+  std::unique_ptr<unsigned char[]> acquire_frame();
+  void recycle_frame(std::unique_ptr<unsigned char[]> frame);
 
   LatencyModel model_;
   Rng rng_;
@@ -130,6 +140,10 @@ class SimNet {
   // Binary min-heap over (time, seq), maintained with std::push_heap /
   // std::pop_heap (std::priority_queue cannot hand move-only elements back).
   std::vector<Event> event_queue_;
+  // Recycled frame buffers (each wire::kMaxFrameBytes): the steady state
+  // allocates nothing per send — in-flight depth sets the pool's high-water
+  // mark once and buffers cycle through it thereafter.
+  std::vector<std::unique_ptr<unsigned char[]>> frame_pool_;
 };
 
 }  // namespace ci::sim

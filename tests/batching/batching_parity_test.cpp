@@ -162,6 +162,103 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 4), ::testing::Values(8, 64)),
     param_name);
 
+// Client-side coalescing parity (--client-coalesce): shipping N commands
+// per kClientCmdBatch frame changes the wire grouping, never the acked
+// command stream. Both backends, coalesce=1 (the legacy frames) vs 8,
+// against the uncoalesced baseline on the deterministic backend.
+ShardSpec coalesced_spec(Backend backend, std::int32_t groups, std::int32_t coalesce) {
+  ClusterSpec o;
+  o.apply_backend_profile(backend);
+  o.protocol = Protocol::kMultiPaxos;
+  o.num_replicas = 3;
+  o.num_clients = kClients;
+  o.workload.requests_per_client = kQuota;  // rounds of 8 then a ragged 4
+  o.seed = 17;
+  o.engine.batch.max_commands = 16;
+  o.workload.client_coalesce = coalesce;
+  return ShardSpec(o, groups, Placement::kGroupMajor);
+}
+
+class CoalesceParity
+    : public ::testing::TestWithParam<std::tuple<Backend, std::int32_t>> {};
+
+TEST_P(CoalesceParity, AckSequencesMatchTheUncoalescedBaseline) {
+  const auto [backend, coalesce] = GetParam();
+  constexpr std::int32_t kGroups = 2;
+  const ShardSpec shard = coalesced_spec(backend, kGroups, coalesce);
+
+  if (backend == Backend::kSim) {
+    sim::SimCluster base(coalesced_spec(backend, kGroups, 1));
+    base.run(10 * kSecond);
+    ASSERT_TRUE(base.sharded().clients_done());
+
+    sim::SimCluster c(shard);
+    c.run(10 * kSecond);
+    ASSERT_TRUE(c.sharded().clients_done());
+
+    for (GroupId g = 0; g < kGroups; ++g) {
+      SCOPED_TRACE("group " + std::to_string(g));
+      for (std::int32_t i = 0; i < c.sharded().group(g).client_count(); ++i) {
+        EXPECT_EQ(c.sharded().group(g).client(i)->committed(), kQuota);
+      }
+      EXPECT_TRUE(c.sharded().recorder(g).consistent());
+      // Identical per-client ack sequences: every command decides exactly
+      // once, in seq order, whether it rode a legacy frame or a shared one.
+      EXPECT_EQ(per_client_seqs(c.sharded().recorder(g)),
+                per_client_seqs(base.sharded().recorder(g)));
+    }
+    if (coalesce > 1) {
+      // The point of the window: fewer boundary crossings for the same
+      // acked stream.
+      EXPECT_LT(c.net().total_messages(), base.net().total_messages())
+          << "coalescing never formed a shared frame";
+    } else {
+      // coalesce=1 IS the baseline configuration: bit-identical run.
+      EXPECT_EQ(c.net().total_messages(), base.net().total_messages());
+      EXPECT_EQ(c.net().total_bytes(), base.net().total_bytes());
+    }
+  } else {
+    rt::RtCluster c(shard);
+    c.start();
+    c.drive_until(now_nanos() + 60 * kSecond);
+    c.stop();
+    const RunResult r = c.collect();
+    ASSERT_TRUE(c.clients_done());
+    EXPECT_TRUE(r.consistent);
+    for (GroupId g = 0; g < kGroups; ++g) {
+      SCOPED_TRACE("group " + std::to_string(g));
+      // Same loss/order discipline as the batching sweep: every acked seq
+      // decided, first occurrences in client order, none lost.
+      for (const auto& [client, seqs] : per_client_seqs(c.sharded().recorder(g))) {
+        std::vector<bool> seen(kQuota + 1, false);
+        std::uint32_t last_first_seen = 0;
+        for (const std::uint32_t s : seqs) {
+          ASSERT_GE(s, 1u);
+          ASSERT_LE(s, kQuota);
+          if (!seen[s]) {
+            EXPECT_EQ(s, last_first_seen + 1)
+                << "client " << client << " decided out of order";
+            last_first_seen = s;
+            seen[s] = true;
+          }
+        }
+        EXPECT_EQ(last_first_seen, kQuota) << "client " << client << " lost acked commands";
+      }
+    }
+  }
+}
+
+std::string coalesce_param_name(
+    const ::testing::TestParamInfo<std::tuple<Backend, std::int32_t>>& info) {
+  return "C" + std::to_string(std::get<1>(info.param)) +
+         (std::get<0>(info.param) == Backend::kSim ? "_sim" : "_rt");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CoalesceParity,
+                         ::testing::Combine(::testing::Values(Backend::kSim, Backend::kRt),
+                                            ::testing::Values(1, 8)),
+                         coalesce_param_name);
+
 // The degenerate case IS the old system: an explicit --batch=1 policy runs
 // the legacy wire frames and reproduces the default-configuration results
 // bit for bit on the deterministic backend — committed, issued, message

@@ -81,6 +81,10 @@ Message rand_batched(Rng& rng, MsgType type, const Batch& value) {
       m.u.opx_window_body.digest = batch_digest(value);
       m.u.opx_window_body.count = m.u.opx_window_body.run.pack(value);
       break;
+    case MsgType::kOpxLearnRun:
+      m.u.opx_learn_run.first_instance = in;
+      m.u.opx_learn_run.count = m.u.opx_learn_run.run.pack(value);
+      break;
     default:
       ADD_FAILURE() << "not a batched frame kind";
   }
@@ -237,7 +241,10 @@ TEST(WireCodec, LegacyFramesStayBitIdenticalToStructPrefix) {
 TEST(WireCodec, ClientCmdBatchRoundTripsWithinItsCap) {
   Rng rng(0xC11E);
   const std::size_t live0 = CommandPool::local().live();
-  for (std::int32_t count = 2; count <= kMaxClientBatchCommands; ++count) {
+  // count == 1 is valid since client coalescing: a window can close with a
+  // single queued command (senders still prefer kClientRequest for singles,
+  // but the decoder must accept what a coalescing sender may emit).
+  for (std::int32_t count = 1; count <= kMaxClientBatchCommands; ++count) {
     const Batch value = rand_batch(rng, count);
     Message m(MsgType::kClientCmdBatch, ProtoId::kClient, 7, 0);
     m.u.client_cmd_batch.count = m.u.client_cmd_batch.run.pack(value);
@@ -267,11 +274,61 @@ TEST(WireCodec, ClientCmdBatchRejectsCountsBeyondTheInlineCap) {
   unsigned char buf[ci::wire::kMaxFrameBytes];
   std::memset(buf, 0, sizeof(buf));
   (void)ci::wire::encode(m, buf);
-  for (const std::int32_t bogus : {0, 1, kMaxClientBatchCommands + 1, 64, -3}) {
+  for (const std::int32_t bogus : {0, kMaxClientBatchCommands + 1, 64, -3}) {
     std::memcpy(buf + kMessageHeaderBytes, &bogus, sizeof(bogus));
     Message out;
     EXPECT_FALSE(
         ci::wire::try_decode(buf, ci::wire::kMaxFrameBytes, &out))
+        << "count " << bogus;
+  }
+}
+
+// kOpxLearnRun: the coalesced catch-up frame. Its own count window
+// (2..kMaxLearnRunCommands) straddles the inline/pooled boundary, so both
+// regimes must round-trip and everything outside the window must reject.
+TEST(WireCodec, LearnRunRoundTripsAcrossTheInlinePooledBoundary) {
+  Rng rng(0x1EA2);
+  const std::size_t live0 = CommandPool::local().live();
+  for (std::int32_t count = 2; count <= kMaxLearnRunCommands; ++count) {
+    const Batch value = rand_batch(rng, count);
+    Message m = rand_batched(rng, MsgType::kOpxLearnRun, value);
+    unsigned char buf[ci::wire::kMaxFrameBytes];
+    const std::uint32_t n = ci::wire::encode(m, buf);
+    EXPECT_EQ(n, wire_size(m));
+    EXPECT_EQ(n, kMessageHeaderBytes + offsetof(OpxLearnRun, run) +
+                     static_cast<std::size_t>(count) * sizeof(Command));
+    Message out;
+    ASSERT_TRUE(ci::wire::try_decode(buf, n, &out)) << "count " << count;
+    EXPECT_EQ(unpack_batch(out.u.opx_learn_run.run.data(out.u.opx_learn_run.count),
+                           out.u.opx_learn_run.count),
+              value);
+    expect_same_frame(m, out);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      EXPECT_FALSE(ci::wire::try_decode(buf, k, &out)) << count << "-run prefix " << k;
+    }
+    ci::wire::release_body(out);
+    ci::wire::release_body(m);
+  }
+  EXPECT_EQ(CommandPool::local().live(), live0) << "pool blocks leaked";
+}
+
+TEST(WireCodec, LearnRunRejectsCountsOutsideItsWindow) {
+  Rng rng(0x1EA3);
+  const Batch value = rand_batch(rng, kMaxLearnRunCommands);
+  Message m = rand_batched(rng, MsgType::kOpxLearnRun, value);
+  unsigned char buf[ci::wire::kMaxFrameBytes];
+  std::memset(buf, 0, sizeof(buf));
+  (void)ci::wire::encode(m, buf);
+  ci::wire::release_body(m);
+  // A run of one never travels as kOpxLearnRun (senders degenerate to the
+  // legacy kOpxLearn), so 1 is as invalid on decode as 0 or the protocol
+  // batch cap.
+  for (const std::int32_t bogus :
+       {0, 1, kMaxLearnRunCommands + 1, kMaxCommandsPerBatch, -5}) {
+    std::memcpy(buf + kMessageHeaderBytes + offsetof(OpxLearnRun, count), &bogus,
+                sizeof(bogus));
+    Message out;
+    EXPECT_FALSE(ci::wire::try_decode(buf, ci::wire::kMaxFrameBytes, &out))
         << "count " << bogus;
   }
 }
@@ -387,6 +444,36 @@ TEST(WireBudgets, PerFrameBytesArePinned) {
   full.max_commands = kMaxCommandsPerBatch;
   EXPECT_LT(ci::wire::max_frame_bytes(small), ci::wire::max_frame_bytes(full));
   EXPECT_LE(ci::wire::max_frame_bytes(full), ci::wire::kMaxFrameBytes);
+}
+
+TEST(WireBudgets, EncodeCopiesEachFrameByteExactlyOnce) {
+  // The zero-copy send-path contract: encode_into moves every frame byte
+  // from its source field to the destination in ONE pass. Copied bytes ==
+  // frame bytes, with a handful of appends (header, fixed fields, command
+  // run) — any second pass (an intermediate stack Message, an extra
+  // memcpy) doubles the byte count and fails this pin.
+  Rng rng(17);
+  std::vector<Message> samples;
+  {
+    Message m(MsgType::kClientRequest, ProtoId::kClient, 3, 0);
+    m.u.client_request.cmd.client = 3;
+    samples.push_back(m);
+  }
+  samples.push_back(rand_batched(rng, MsgType::kPhase2BatchReq,
+                                 rand_batch(rng, kMaxCommandsPerBatch)));
+  samples.push_back(rand_batched(rng, MsgType::kOpxBatchLearn,
+                                 rand_batch(rng, kInlineBatchCommands)));
+  samples.push_back(rand_batched(rng, MsgType::kOpxLearnRun,
+                                 rand_batch(rng, kMaxLearnRunCommands)));
+  for (const Message& m : samples) {
+    unsigned char buf[ci::wire::kMaxFrameBytes];
+    ci::wire::copy_stats().reset();
+    const std::uint32_t n = ci::wire::encode(m, buf);
+    EXPECT_EQ(ci::wire::copy_stats().bytes, n)
+        << "type " << static_cast<int>(m.type) << ": frame bytes copied more than once";
+    EXPECT_LE(ci::wire::copy_stats().appends, 3u) << "type " << static_cast<int>(m.type);
+    ci::wire::release_body(m);
+  }
 }
 
 }  // namespace

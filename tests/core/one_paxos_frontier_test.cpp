@@ -61,10 +61,11 @@ TEST(OnePaxosFrontier, DecidedInstanceWithLostLearnsIsNeverRefilled) {
   // Five nodes so a majority survives the two failures injected below.
   OpxHarness h(5);
   h.net.inject(test::client_request(7, 0, 1));
-  // Deliver everything except learns headed to node 3: node 3's log keeps a
-  // hole at instance 0 while the leader commits it.
+  // Deliver everything except learns headed to node 3 (including coalesced
+  // catch-up runs): node 3's log keeps a hole at instance 0 while the
+  // leader commits it.
   auto drop_learns_to_3 = [](const Message& m) {
-    return m.type == MsgType::kOpxLearn && m.dst == 3;
+    return (m.type == MsgType::kOpxLearn || m.type == MsgType::kOpxLearnRun) && m.dst == 3;
   };
   h.run_dropping(drop_learns_to_3);
   ASSERT_TRUE(h.at(0).log().is_learned(0));

@@ -264,6 +264,68 @@ TEST(ShardFromArgs, BundlesGroupsAndPlacement) {
   EXPECT_EQ(s.base.num_replicas, 5);
 }
 
+TEST(ClientCoalesceFromArgs, ParsesAndDefaults) {
+  {
+    Args a({"--client-coalesce=4"});
+    EXPECT_EQ(client_coalesce_from_args(a.argc(), a.argv()), 4);
+  }
+  {
+    Args a({"--client-coalesce", "8"});
+    EXPECT_EQ(client_coalesce_from_args(a.argc(), a.argv()), 8);
+  }
+  {
+    Args a({});
+    EXPECT_EQ(client_coalesce_from_args(a.argc(), a.argv()), 1);  // default: legacy frames
+  }
+}
+
+TEST(ClientCoalesceFromArgs, RejectsNonPositiveWindows) {
+  // --client-coalesce=0 must not silently run uncoalesced: a sweep that
+  // asked for coalescing and got per-command frames would report the wrong
+  // wire's numbers (same contract as --batch=0).
+  {
+    Args a({"--client-coalesce=0"});
+    std::int32_t n = 0;
+    std::string err;
+    EXPECT_FALSE(try_client_coalesce_from_args(a.argc(), a.argv(), 1, &n, &err));
+    EXPECT_NE(err.find("'0'"), std::string::npos);
+    EXPECT_EXIT(client_coalesce_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "bad coalesce window");
+  }
+  {
+    Args a({"--client-coalesce=-2"});
+    EXPECT_EXIT(client_coalesce_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "bad coalesce window");
+  }
+}
+
+TEST(ClientCoalesceFromArgs, RejectsGarbageOverflowAndMissingValue) {
+  {
+    Args a({"--client-coalesce=lots"});
+    EXPECT_EXIT(client_coalesce_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "bad coalesce window");
+  }
+  {
+    // Beyond kMaxClientBatchCommands: one kClientCmdBatch frame cannot
+    // carry more than the inline run capacity.
+    Args a({"--client-coalesce=9"});
+    EXPECT_EXIT(client_coalesce_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "bad coalesce window");
+  }
+  {
+    Args a({"--client-coalesce"});
+    EXPECT_EXIT(client_coalesce_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "requires a value");
+  }
+}
+
+TEST(PositionalArgs, SkipsClientCoalesceToo) {
+  Args a({"--client-coalesce", "4", "keep"});
+  const auto pos = positional_args(a.argc(), a.argv());
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], "keep");
+}
+
 TEST(TxnMixFromArgs, ParsesFractionsAndDefaults) {
   {
     Args a({"--txn-mix=0.25"});
@@ -306,7 +368,8 @@ TEST(PositionalArgs, SkipsTxnMixToo) {
 TEST(Usage, HelpPrintsEveryFlagAndExitsZero) {
   const std::string text = usage_text();
   for (const char* flag : {"--backend", "--groups", "--placement", "--batch",
-                           "--batch-flush-us", "--txn-mix", "--sweep-diff", "--help"}) {
+                           "--batch-flush-us", "--client-coalesce", "--txn-mix",
+                           "--sweep-diff", "--help"}) {
     EXPECT_NE(text.find(flag), std::string::npos) << flag << " missing from usage";
   }
   // (the EXIT matcher regex applies to stderr; usage goes to stdout, so
@@ -327,7 +390,8 @@ TEST(Usage, HelpPrintsEveryFlagAndExitsZero) {
 TEST(Usage, UnknownFlagExitsTwoNamingAllFlags) {
   Args a({"--txnmix=0.5"});
   EXPECT_EXIT(require_harness_flags_only(a.argc(), a.argv()),
-              ::testing::ExitedWithCode(2), "--txn-mix, --sweep-diff, --help");
+              ::testing::ExitedWithCode(2),
+              "--client-coalesce, --txn-mix, --sweep-diff, --help");
 }
 
 }  // namespace
