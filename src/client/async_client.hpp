@@ -83,6 +83,10 @@ class SubmitHandle {
   // operation result (previous value for writes, value for reads, the vote
   // for transaction prepares).
   std::uint64_t wait();
+  // The replying leader's cache epoch (ClientReply::lease_epoch), 0 when
+  // the reply predates leases or the command has not completed. Valid only
+  // after done()/wait(); the Session near-cache keys entries on it.
+  std::uint32_t lease_epoch() const;
 
  private:
   friend class AsyncClientEngine;
@@ -90,6 +94,7 @@ class SubmitHandle {
   struct Completion {
     bool done = false;
     std::uint64_t result = 0;
+    std::uint32_t lease_epoch = 0;
   };
 
   SubmitHandle(AsyncClientEngine* engine, std::shared_ptr<Completion> state)
@@ -156,6 +161,24 @@ class AsyncClientEngine final : public Engine {
     wait_locked(lock, [this] { return in_flight_count() == 0; });
   }
 
+  // The newest nonzero ClientReply::lease_epoch seen from this group's
+  // leader — the group's current cache epoch as far as this engine knows.
+  // 0 until a lease-epoch-stamped reply arrives.
+  std::uint32_t latest_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_epoch_;
+  }
+
+  // An already-completed handle carrying `result` — what a near-cache hit
+  // hands back so cached and replicated reads share one call shape.
+  SubmitHandle completed_handle(std::uint64_t result, std::uint32_t epoch) {
+    auto state = std::make_shared<SubmitHandle::Completion>();
+    state->done = true;
+    state->result = result;
+    state->lease_epoch = epoch;
+    return SubmitHandle(this, std::move(state));
+  }
+
   // ---- Engine side (hosting node thread) ----
 
   void on_message(Context& ctx, const Message& m) override {
@@ -169,6 +192,10 @@ class AsyncClientEngine final : public Engine {
     }
     it->second.completion->done = true;
     it->second.completion->result = m.u.client_reply.result;
+    it->second.completion->lease_epoch = m.u.client_reply.lease_epoch;
+    if (m.u.client_reply.lease_epoch != 0) {
+      latest_epoch_ = m.u.client_reply.lease_epoch;
+    }
     sent_.erase(it);
     done_cv_.notify_all();
   }
@@ -324,12 +351,13 @@ class AsyncClientEngine final : public Engine {
   AsyncClientConfig cfg_;
   NodeId target_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable done_cv_;
   std::uint32_t next_seq_ = 0;
   std::uint32_t next_run_ = 0;
   std::deque<Pending> queued_;             // not yet sent (tick launches them)
   std::map<std::uint32_t, InFlight> sent_;  // awaiting a reply, by seq
+  std::uint32_t latest_epoch_ = 0;          // newest nonzero reply epoch
 };
 
 inline bool SubmitHandle::done() const {
@@ -343,6 +371,12 @@ inline std::uint64_t SubmitHandle::wait() {
   std::unique_lock<std::mutex> lock(engine_->mu_);
   engine_->wait_locked(lock, [this] { return state_->done; });
   return state_->result;
+}
+
+inline std::uint32_t SubmitHandle::lease_epoch() const {
+  if (state_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(engine_->mu_);
+  return state_->done ? state_->lease_epoch : 0;
 }
 
 }  // namespace ci::client

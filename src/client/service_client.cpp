@@ -18,7 +18,42 @@ GroupId default_router(std::uint64_t key, std::int32_t groups) {
 }
 
 SubmitHandle Session::submit(Op op, std::uint64_t key, std::uint64_t value) {
-  return per_group_[static_cast<std::size_t>(group_of(key))]->submit(op, key, value);
+  const GroupId g = group_of(key);
+  AsyncClientEngine& client = *per_group_[static_cast<std::size_t>(g)];
+  if (near_cache_ && op == Op::kRead) {
+    const auto& map = cache_[static_cast<std::size_t>(g)];
+    const auto it = map.find(key);
+    // Serve only while the entry's epoch is still the newest this session
+    // has seen — one intervening write (any key) observed in any reply
+    // advances latest_epoch() and every older entry stops matching.
+    if (it != map.end() && it->second.epoch != 0 &&
+        it->second.epoch == client.latest_epoch()) {
+      ++near_cache_hits_;
+      return client.completed_handle(it->second.value, it->second.epoch);
+    }
+  }
+  return client.submit(op, key, value);
+}
+
+std::uint64_t Session::execute(Op op, std::uint64_t key, std::uint64_t value) {
+  SubmitHandle h = submit(op, key, value);
+  const std::uint64_t result = h.wait();
+  if (near_cache_ && (op == Op::kRead || op == Op::kWrite)) {
+    const std::uint32_t epoch = h.lease_epoch();
+    // A write's reply carries the epoch AFTER it applied, so caching the
+    // written value under it is a correct read-your-writes fast path.
+    if (epoch != 0) {
+      cache_store(group_of(key), key, op == Op::kWrite ? value : result, epoch);
+    }
+  }
+  return result;
+}
+
+void Session::cache_store(GroupId g, std::uint64_t key, std::uint64_t value,
+                          std::uint32_t epoch) {
+  auto& map = cache_[static_cast<std::size_t>(g)];
+  if (map.size() >= kNearCacheMaxEntries && map.find(key) == map.end()) map.clear();
+  map[key] = CacheEntry{value, epoch};
 }
 
 void Session::flush() {
@@ -162,6 +197,23 @@ void ServiceClient::throttle_replica(GroupId g, consensus::NodeId r, std::uint32
     return;
   }
   nodes_[static_cast<std::size_t>(node)]->set_slow_factor(factor);
+}
+
+void ServiceClient::stretch_clock(consensus::NodeId r, double rate) {
+  for (GroupId g = 0; g < opts_.groups; ++g) stretch_clock(g, r, rate);
+}
+
+void ServiceClient::stretch_clock(GroupId g, consensus::NodeId r, double rate) {
+  CI_CHECK(g >= 0 && g < opts_.groups);
+  CI_CHECK(r >= 0 && r < opts_.spec.num_replicas);
+  CI_CHECK(rate > 0.0);
+  const consensus::NodeId node = dep_.global_node(g, r);
+  if (opts_.backend == core::Backend::kSim) {
+    std::lock_guard<std::mutex> lock(sim_->mu);
+    sim_->net->stretch_clock(node, rate);
+    return;
+  }
+  nodes_[static_cast<std::size_t>(node)]->stretch_clock(rate);
 }
 
 consensus::NodeId ServiceClient::believed_leader(GroupId g) const {

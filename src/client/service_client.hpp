@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "client/async_client.hpp"
@@ -52,11 +53,23 @@ class Session {
   using Router = GroupId (*)(std::uint64_t key, std::int32_t groups);
 
   // Single-command API, routed by key. submit() never blocks on commits
-  // (only for pipeline room); execute() is submit().wait().
+  // (only for pipeline room); execute() is submit().wait() plus near-cache
+  // bookkeeping when the cache is enabled.
   SubmitHandle submit(Op op, std::uint64_t key, std::uint64_t value);
-  std::uint64_t execute(Op op, std::uint64_t key, std::uint64_t value) {
-    return submit(op, key, value).wait();
+  std::uint64_t execute(Op op, std::uint64_t key, std::uint64_t value);
+
+  // Opt-in near-cache (DESIGN.md §1f): caches read/write results keyed by
+  // (key, lease epoch). A cached value is served — as a pre-completed
+  // SubmitHandle, no network round trip — only while its epoch equals the
+  // newest epoch this session has observed from the group's leader, so any
+  // reply that reveals an intervening write invalidates every older entry
+  // at once. Gives session-monotonic reads: a cache hit is exactly as fresh
+  // as the session's latest observed reply, never fresher.
+  void enable_near_cache() {
+    near_cache_ = true;
+    cache_.resize(per_group_.size());
   }
+  std::uint64_t near_cache_hits() const { return near_cache_hits_; }
 
   // Blocks until everything submitted through this session committed.
   void flush();
@@ -80,10 +93,24 @@ class Session {
   friend class Txn;
   friend class TxnHandle;
 
+  struct CacheEntry {
+    std::uint64_t value = 0;
+    std::uint32_t epoch = 0;  // 0 = never serve (reply predates leases)
+  };
+  // Bound per group; overflow clears the map (an epoch-keyed cache rebuilds
+  // itself in one round of reads, so eviction policy is not worth state).
+  static constexpr std::size_t kNearCacheMaxEntries = 4096;
+
+  void cache_store(GroupId g, std::uint64_t key, std::uint64_t value,
+                   std::uint32_t epoch);
+
   std::vector<std::unique_ptr<AsyncClientEngine>> per_group_;
   Router router_ = &default_router;
   NodeId local_id_ = consensus::kNoNode;  // group-local id (stamps txn ids)
   std::uint32_t next_txn_ = 0;
+  bool near_cache_ = false;
+  std::vector<std::unordered_map<std::uint64_t, CacheEntry>> cache_;  // per group
+  std::uint64_t near_cache_hits_ = 0;
 };
 
 class ServiceClient {
@@ -128,6 +155,13 @@ class ServiceClient {
   // form (under co-location that is one shared node anyway).
   void throttle_replica(consensus::NodeId r, std::uint32_t factor);
   void throttle_replica(GroupId g, consensus::NodeId r, std::uint32_t factor);
+
+  // Fault injection: from now on replica `r`'s local clock runs `rate`
+  // times real (or virtual) speed — rate > 1 models the fast clock that
+  // would let a deposed leader believe a lease past its true expiry. The
+  // lease staleness tests drive this past TimeoutProfile::lease_epsilon.
+  void stretch_clock(consensus::NodeId r, double rate);
+  void stretch_clock(GroupId g, consensus::NodeId r, double rate);
 
   // Which replica (group-local id) group `g` currently believes leads it.
   consensus::NodeId believed_leader(GroupId g) const;

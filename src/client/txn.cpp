@@ -37,6 +37,13 @@ struct TxnHandle::Work {
   std::vector<SubmitHandle> prepares;
   std::vector<SubmitHandle> finals;
 
+  // Read-only snapshot transactions: the staged keys and, after a
+  // successful sandwich, their values. Such a transaction never locks or
+  // stages anything, so `participants` stays empty and the drop path in
+  // ~Work has nothing to resolve.
+  std::vector<std::uint64_t> get_keys;
+  std::vector<std::uint64_t> values;
+
   std::function<void(TxnPhase)> hook;
 
   void notify(TxnPhase p) {
@@ -74,6 +81,11 @@ Txn& Txn::put(std::uint64_t key, std::uint64_t value) {
   return *this;
 }
 
+Txn& Txn::get(std::uint64_t key) {
+  if (std::find(gets_.begin(), gets_.end(), key) == gets_.end()) gets_.push_back(key);
+  return *this;
+}
+
 Txn& Txn::on_phase(std::function<void(TxnPhase)> hook) {
   hook_ = std::move(hook);
   return *this;
@@ -86,6 +98,14 @@ TxnHandle Txn::commit() {
   auto work = std::make_shared<TxnHandle::Work>();
   work->session = session;
   work->hook = std::move(hook_);
+  CI_CHECK_MSG(puts_.empty() || gets_.empty(),
+               "a transaction is either read-only (get) or write-only (put)");
+  if (!gets_.empty()) {
+    // Read-only: no replicated command, no locks — wait() runs the version
+    // sandwich. txn stays kNoTxn so a dropped handle resolves nothing.
+    work->get_keys = std::move(gets_);
+    return TxnHandle(std::move(work));
+  }
   if (puts_.empty()) {
     // Nothing to do: trivially committed.
     work->state = TxnState::kCommitted;
@@ -140,10 +160,58 @@ TxnHandle Txn::commit() {
 
 TxnId TxnHandle::id() const { return work_ ? work_->txn : kNoTxn; }
 
+std::uint64_t TxnHandle::value(std::size_t i) const {
+  CI_CHECK_MSG(work_ != nullptr && work_->settled &&
+                   work_->state == TxnState::kCommitted,
+               "value() before a committed wait()");
+  CI_CHECK(i < work_->values.size());
+  return work_->values[i];
+}
+
 TxnState TxnHandle::wait() {
   CI_CHECK_MSG(work_ != nullptr, "waiting on an invalid TxnHandle");
   Work& w = *work_;
   if (w.settled) return w.state;
+
+  // Read-only snapshot: the version sandwich (txn.hpp). Each round is a
+  // per-key fan-out through the per-group clients; under a lease-holding
+  // leader every read is one fast-path round trip, no log entry. The
+  // sandwich bypasses the session near-cache on purpose — the versions must
+  // come from the authority the values come from.
+  if (!w.get_keys.empty()) {
+    Session& s = *w.session;
+    const std::size_t n = w.get_keys.size();
+    std::vector<std::uint64_t> v1(n), v2(n), vals(n);
+    const auto fan_out = [&](Op op, std::vector<std::uint64_t>& out) {
+      std::vector<SubmitHandle> handles;
+      handles.reserve(n);
+      for (const std::uint64_t key : w.get_keys) {
+        Command c;
+        c.op = op;
+        c.key = key;
+        handles.push_back(s.group_client(s.group_of(key)).submit(c));
+      }
+      for (std::size_t i = 0; i < n; ++i) out[i] = handles[i].wait();
+    };
+    for (int attempt = 0; attempt < Txn::kSnapshotAttempts; ++attempt) {
+      fan_out(Op::kReadVersioned, v1);
+      fan_out(Op::kRead, vals);
+      fan_out(Op::kReadVersioned, v2);
+      if (v1 == v2) {
+        // No key changed across the whole window, so the values coexisted
+        // at any instant inside it: a consistent cut.
+        w.values = std::move(vals);
+        w.state = TxnState::kCommitted;
+        w.settled = true;
+        w.notify(TxnPhase::kApplied);
+        return w.state;
+      }
+    }
+    w.state = TxnState::kAborted;  // a writer raced every attempt
+    w.settled = true;
+    w.notify(TxnPhase::kApplied);
+    return w.state;
+  }
 
   // PREPARE: collect every participant's vote. Each wait() rides the
   // group's replicated log, so a leader failover mid-prepare just delays

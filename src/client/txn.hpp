@@ -88,6 +88,10 @@ class TxnHandle {
   TxnState wait();
   bool committed() { return wait() == TxnState::kCommitted; }
 
+  // Read-only transactions: the value of the i-th get() (in staging
+  // order). Valid only after wait() returned kCommitted.
+  std::uint64_t value(std::size_t i) const;
+
  private:
   friend class Txn;
   struct Work;
@@ -98,11 +102,26 @@ class TxnHandle {
 // Builder: stage writes, then commit() to launch the 2PC. One transaction
 // writes each key at most once (a second put to the same key overwrites the
 // staged value client-side).
+//
+// Alternatively stage READS with get() — a read-only snapshot transaction.
+// It commits without any replicated command or lock: wait() runs a version
+// sandwich over the staged keys (versioned reads V1, value reads, versioned
+// reads V2, each a per-key fan-out through the ordinary read path — lease
+// fast path when the leader holds one). All versions unchanged ⇒ no key was
+// written during the whole window, so the values coexisted at one instant:
+// a consistent cut. A write race re-runs the sandwich; after
+// kSnapshotAttempts collisions wait() returns kAborted (retry-visible, like
+// a write-write conflict abort). get() and put() cannot be mixed in one
+// transaction — read-write transactions would need real read locks.
 class Txn {
  public:
+  // Sandwich re-runs before a read-only transaction gives up and aborts.
+  static constexpr int kSnapshotAttempts = 3;
+
   explicit Txn(Session* session) : session_(session) {}
 
   Txn& put(std::uint64_t key, std::uint64_t value);
+  Txn& get(std::uint64_t key);
 
   // Test/fault-injection hook, called at each TxnPhase transition during
   // wait(). Installed before commit().
@@ -116,6 +135,7 @@ class Txn {
  private:
   Session* session_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> puts_;
+  std::vector<std::uint64_t> gets_;
   std::function<void(TxnPhase)> hook_;
 };
 

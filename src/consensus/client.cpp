@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "common/time.hpp"
+
 namespace ci::consensus {
+
+namespace {
+
+// Latency of a locally-serviced read. ctx.now() is useless here — under the
+// simulator virtual time is frozen for the whole callback, so the elapsed
+// virtual time is always zero — and recording 0 poisoned the histogram's
+// low percentiles. Measure the actual state-machine lookup on the wall
+// clock instead, clamped to 1 ns so the sample is never zero.
+template <typename Fn>
+bool timed_local_read(const Fn& local_read, const Command& cmd, std::uint64_t* result,
+                      Nanos* elapsed) {
+  const Nanos begin = now_nanos();
+  const bool hit = local_read(cmd, result);
+  *elapsed = std::max<Nanos>(now_nanos() - begin, 1);
+  return hit;
+}
+
+}  // namespace
 
 ClientEngine::ClientEngine(const ClientConfig& cfg)
     : cfg_(cfg),
@@ -48,10 +68,11 @@ void ClientEngine::issue_round(Context& ctx) {
     Command cmd = make_command();
     if (cmd.op == Op::kRead && cfg_.local_read) {
       std::uint64_t result = 0;
-      if (cfg_.local_read(cmd, &result)) {
+      Nanos elapsed = 0;
+      if (timed_local_read(cfg_.local_read, cmd, &result, &elapsed)) {
         local_reads_.fetch_add(1, std::memory_order_relaxed);
         committed_++;
-        latency_.record(0);
+        latency_.record(elapsed);
         if (commit_series_ != nullptr) commit_series_->record(now);
         continue;
       }
@@ -135,11 +156,12 @@ void ClientEngine::issue_next(Context& ctx) {
 
     if (current_cmd_.op == Op::kRead && cfg_.local_read) {
       std::uint64_t result = 0;
-      if (cfg_.local_read(current_cmd_, &result)) {
+      Nanos elapsed = 0;
+      if (timed_local_read(cfg_.local_read, current_cmd_, &result, &elapsed)) {
         // Serviced from the co-located replica without touching the network.
         local_reads_.fetch_add(1, std::memory_order_relaxed);
         committed_++;
-        latency_.record(0);
+        latency_.record(elapsed);
         if (commit_series_ != nullptr) commit_series_->record(now);
         next_issue_at_ = now + cfg_.think_time;
         waiting_ = false;

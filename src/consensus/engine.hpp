@@ -54,6 +54,19 @@ struct EngineConfig {
   // (max_commands == 1) reproduces unbatched behavior bit for bit.
   BatchPolicy batch;
 
+  // Leader leases (DESIGN.md §1f). lease_duration > 0 makes heartbeats
+  // carry lease renewal rounds: each follower grants "I will not elect or
+  // support another leader for lease_duration from my receive time", and a
+  // leader holding unexpired grants from a majority answers Op::kRead /
+  // Op::kReadVersioned from its applied state machine without a log entry.
+  // The leader discounts every grant by lease_epsilon against its OWN send
+  // time, so correctness needs only bounded relative clock-rate skew (the
+  // follower's lease_duration must not elapse faster than the leader's
+  // lease_duration - lease_epsilon). 0 = leases off: no grants, no fast
+  // path, wire traffic bit-identical to the pre-lease system.
+  Nanos lease_duration = 0;
+  Nanos lease_epsilon = 0;
+
   // Applied state machine; may be null (agreement only).
   StateMachine* state_machine = nullptr;
 

@@ -1,0 +1,122 @@
+// Leader-lease bookkeeping shared by the Multi-Paxos and 1Paxos engines
+// (DESIGN.md §1f).
+//
+// The protocol rides the existing heartbeats: each heartbeat round carries a
+// fresh lease_seq, and a follower that honors it replies with a kLeaseGrant
+// echoing that seq — a promise not to start (or support) a takeover for
+// lease_duration from its OWN receive time. The leader never compares
+// cross-node clocks: it bounds each grant by the time IT sent the echoed
+// heartbeat, minus lease_epsilon, so the promise holds whenever the
+// follower's lease_duration does not elapse faster than the leader's
+// lease_duration - lease_epsilon (bounded relative clock-rate skew).
+//
+// A leader holding unexpired grants from a majority of voters (itself
+// included) owns the read fast path: Op::kRead / Op::kReadVersioned answered
+// from the applied state machine with no log entry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/time.hpp"
+#include "consensus/engine.hpp"
+#include "consensus/types.hpp"
+
+namespace ci::consensus {
+
+// Leader-side grant ledger: which followers promised support, until when (on
+// the leader's clock).
+class LeaseLedger {
+ public:
+  void configure(Nanos duration, Nanos epsilon) {
+    duration_ = duration;
+    epsilon_ = epsilon;
+  }
+
+  bool enabled() const { return duration_ > 0; }
+
+  // Opens a renewal round: returns the lease_seq to stamp into this
+  // heartbeat round and records the send time the echoes will be bound by.
+  // Seq 0 is reserved for "leases disabled", so the counter skips it on wrap.
+  std::uint32_t open_round(Nanos now) {
+    if (++seq_ == 0) ++seq_;
+    sent_[seq_] = now;
+    // A grant can only echo a seq whose round-trip is still in flight; a
+    // handful of rounds bounds the map under any reordering the transports
+    // produce (an older echo is simply a weaker grant we decline to record).
+    while (sent_.size() > kRoundsRemembered) sent_.erase(sent_.begin());
+    return seq_;
+  }
+
+  // Records a grant echoing `seq`. The grant's expiry is the leader's OWN
+  // send time of that round plus the follower's promise, discounted by
+  // epsilon; a monotonic per-grantor maximum, so reordered echoes are safe.
+  void on_grant(NodeId grantor, std::uint32_t seq) {
+    auto it = sent_.find(seq);
+    if (it == sent_.end()) return;  // round too old to bound — ignore
+    const Nanos expiry = it->second + duration_ - epsilon_;
+    Nanos& have = expiry_[grantor];
+    if (expiry > have) have = expiry;
+  }
+
+  // Does the leader hold a quorum of unexpired grants at `now`? `voters` is
+  // the electorate size (acceptor_count for Multi-Paxos, num_replicas for
+  // 1Paxos); the leader's own vote is implicit when self_votes.
+  bool held(Nanos now, std::int32_t voters, bool self_votes) const {
+    if (!enabled()) return false;
+    std::int32_t n = self_votes ? 1 : 0;
+    for (const auto& [grantor, until] : expiry_) {
+      if (until > now) ++n;
+    }
+    return n >= majority(voters);
+  }
+
+  // Count of currently-live grants (test introspection).
+  std::int32_t live_grants(Nanos now) const {
+    std::int32_t n = 0;
+    for (const auto& [grantor, until] : expiry_) {
+      if (until > now) ++n;
+    }
+    return n;
+  }
+
+  // Drop everything — on step-down or ballot change the old grants support a
+  // dead regime (on_grant already can't resurrect them: sent_ is cleared).
+  void reset() {
+    sent_.clear();
+    expiry_.clear();
+  }
+
+ private:
+  static constexpr std::size_t kRoundsRemembered = 8;
+
+  Nanos duration_ = 0;
+  Nanos epsilon_ = 0;
+  std::uint32_t seq_ = 0;
+  std::map<std::uint32_t, Nanos> sent_;        // seq -> leader send time
+  std::unordered_map<NodeId, Nanos> expiry_;   // grantor -> grant expiry
+};
+
+// Follower-side state: the one outstanding promise this node has made. While
+// live, the follower must not begin a takeover nor promise to (or vote for)
+// any candidate other than the grantee.
+struct FollowerLease {
+  NodeId to = kNoNode;
+  Nanos until = 0;
+
+  bool live(Nanos now) const { return to != kNoNode && now < until; }
+  bool blocks(NodeId candidate, Nanos now) const {
+    return live(now) && candidate != to;
+  }
+  void grant(NodeId leader, Nanos now, Nanos duration) {
+    to = leader;
+    until = now + duration;
+  }
+  void clear() {
+    to = kNoNode;
+    until = 0;
+  }
+};
+
+}  // namespace ci::consensus

@@ -105,6 +105,8 @@ std::size_t payload_bytes(const Message& m) {
       return batch_bytes(m.u.client_cmd_batch);
     case MsgType::kOpxLearnRun:
       return batch_bytes(m.u.opx_learn_run);
+    case MsgType::kLeaseGrant:
+      return sizeof(LeaseGrant);
   }
   return sizeof(Message::Payload);  // unknown: be conservative
 }
@@ -153,6 +155,7 @@ bool known_type(MsgType t) {
     case MsgType::kOpxWindowFetchReq:
     case MsgType::kClientCmdBatch:
     case MsgType::kOpxLearnRun:
+    case MsgType::kLeaseGrant:
       return true;
   }
   return false;

@@ -122,6 +122,15 @@ enum class MsgType : std::uint8_t {
   // to trigger: one header amortizes over the run. Instances that decided
   // multi-command batches still ride kOpxBatchLearn.
   kOpxLearnRun,
+
+  // Leader-lease grant (follower -> leader): the follower promises not to
+  // start (or support) a takeover for lease_duration after receiving the
+  // heartbeat that carried lease_seq; the grant echoes that seq so the
+  // leader can bound each grant by its OWN send time (no cross-node clock
+  // is ever compared). Leases exist only when EngineConfig::lease_duration
+  // > 0 — heartbeats then carry a nonzero lease_seq — so default
+  // deployments emit no grants and their wire traffic is unchanged.
+  kLeaseGrant,
 };
 
 // Message::flags bits.
@@ -142,7 +151,17 @@ struct ClientReply {
   std::uint64_t result = 0;     // read value for kRead commands
   Instance instance = kNoInstance;
   NodeId leader_hint = kNoNode;  // who the client should talk to
+  // The answering replica's write epoch: a counter that advances on every
+  // state-mutating command the replica applies. The session near-cache
+  // (client/service_client.hpp) keys entries by (key, epoch) and treats any
+  // entry older than the latest epoch seen from the group as invalid — the
+  // ack stream IS the invalidation channel. 0 = epoch not reported (engines
+  // start at 1). Occupies the struct's former trailing padding, so the wire
+  // frame layout is unchanged.
+  std::uint32_t lease_epoch = 0;
 };
+static_assert(sizeof(ClientReply) == 32 && offsetof(ClientReply, lease_epoch) == 28,
+              "lease_epoch must occupy ClientReply's former trailing padding");
 
 struct TwoPcPrepare {
   Instance instance = kNoInstance;
@@ -155,8 +174,25 @@ struct TwoPcAck {  // prepare-ack/nack, commit-ack, rollback, commit
 
 struct Heartbeat {
   NodeId leader = kNoNode;
+  // Lease renewal round this heartbeat opens (0 = leases disabled, the
+  // default — followers then send no kLeaseGrant replies and the frame's
+  // bytes match the pre-lease system). Occupies former struct padding.
+  std::uint32_t lease_seq = 0;
   Instance committed = kNoInstance;  // leader's contiguous commit prefix
   ProposalNum ballot;                // resolves dueling leaders by comparison
+};
+static_assert(offsetof(Heartbeat, committed) == 8,
+              "lease_seq must occupy Heartbeat's former padding, not shift fields");
+
+// Follower -> leader lease grant (kLeaseGrant): "I will not elect or
+// support another leader for lease_duration from when I sent this." The
+// leader discounts it by lease_epsilon against its own send time of the
+// heartbeat `lease_seq` echoes, so the promise holds under bounded relative
+// clock skew (DESIGN.md §1f).
+struct LeaseGrant {
+  NodeId grantor = kNoNode;
+  std::uint32_t lease_seq = 0;  // echo of Heartbeat::lease_seq
+  ProposalNum ballot;           // the leadership regime the grant supports
 };
 
 struct Phase1Req {
@@ -487,6 +523,7 @@ struct Message {
     TwoPcPrepare two_pc_prepare;
     TwoPcAck two_pc_ack;
     Heartbeat heartbeat;
+    LeaseGrant lease_grant;
     Phase1Req phase1_req;
     Phase1Resp phase1_resp;
     Phase2Req phase2_req;

@@ -31,6 +31,7 @@ MultiPaxosEngine::MultiPaxosEngine(const MultiPaxosConfig& cfg)
   }
   fd_jitter_ = static_cast<Nanos>(rng_.next_below(
       static_cast<std::uint64_t>(cfg_.base.fd_timeout / 4) + 1));
+  lease_.configure(cfg_.base.lease_duration, cfg_.base.lease_epsilon);
 }
 
 std::int32_t MultiPaxosEngine::acceptor_count() const {
@@ -88,6 +89,9 @@ void MultiPaxosEngine::on_message(Context& ctx, const Message& m) {
     case MsgType::kHeartbeat:
       handle_heartbeat(ctx, m);
       return;
+    case MsgType::kLeaseGrant:
+      handle_lease_grant(m);
+      return;
     default:
       return;
   }
@@ -99,10 +103,15 @@ void MultiPaxosEngine::tick(Context& ctx) {
     // Heartbeats keep follower failure detectors quiet.
     if (now - last_heartbeat_sent_ >= cfg_.base.heartbeat_period) {
       last_heartbeat_sent_ = now;
+      // With leases on, every heartbeat round doubles as a renewal round:
+      // followers echo lease_seq in kLeaseGrant and the ledger bounds each
+      // grant by this send time (lease.hpp).
+      const std::uint32_t lease_seq = lease_.enabled() ? lease_.open_round(now) : 0;
       for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
         if (r == cfg_.base.self) continue;
         Message hb(MsgType::kHeartbeat, ProtoId::kMultiPaxos, cfg_.base.self, r);
         hb.u.heartbeat.leader = cfg_.base.self;
+        hb.u.heartbeat.lease_seq = lease_seq;
         hb.u.heartbeat.committed = log_.first_gap();
         hb.u.heartbeat.ballot = my_ballot_;
         ctx.send(r, hb);
@@ -122,7 +131,8 @@ void MultiPaxosEngine::tick(Context& ctx) {
   } else {
     if (takeover_.has_value()) {
       if (now - takeover_->started >= cfg_.base.retry_timeout * 4) begin_takeover(ctx);
-    } else if (now - last_leader_contact_ >= cfg_.base.fd_timeout + fd_jitter_ &&
+    } else if (!granted_.live(now) &&
+               now - last_leader_contact_ >= cfg_.base.fd_timeout + fd_jitter_ &&
                (current_leader_ != cfg_.base.self)) {
       // Leader silent for too long: attempt to take over (paper §2.3 —
       // "other proposers can still try to become leaders when they suspect
@@ -137,6 +147,7 @@ void MultiPaxosEngine::tick(Context& ctx) {
 void MultiPaxosEngine::handle_client_request(Context& ctx, const Message& m) {
   const Command& cmd = m.u.client_request.cmd;
   if (leader_) {
+    if (try_lease_read(ctx, cmd)) return;
     pending_.push(cmd, ctx.now());
     pump(ctx);
     return;
@@ -147,10 +158,12 @@ void MultiPaxosEngine::handle_client_request(Context& ctx, const Message& m) {
   }
   const Nanos now = ctx.now();
   // A client that re-sent after a timeout is itself evidence the leader is
-  // slow (§7.6) — trust it alongside our own failure detector.
-  const bool suspect_leader = current_leader_ == kNoNode ||
-                              (m.flags & kFlagLeaderSuspect) != 0 ||
-                              now - last_leader_contact_ >= cfg_.base.fd_timeout + fd_jitter_;
+  // slow (§7.6) — trust it alongside our own failure detector. A live lease
+  // grant overrides both: we promised not to move against the grantee.
+  const bool suspect_leader = !granted_.live(now) &&
+                              (current_leader_ == kNoNode ||
+                               (m.flags & kFlagLeaderSuspect) != 0 ||
+                               now - last_leader_contact_ >= cfg_.base.fd_timeout + fd_jitter_);
   if (suspect_leader) {
     pending_.push(cmd, now);
     begin_takeover(ctx);
@@ -159,6 +172,32 @@ void MultiPaxosEngine::handle_client_request(Context& ctx, const Message& m) {
     fwd.dst = current_leader_;
     ctx.send(current_leader_, fwd);
   }
+}
+
+// The lease read fast path (DESIGN.md §1f): a leader holding a majority of
+// unexpired grants answers reads from its applied state machine — no log
+// entry, no acceptor round trip. Gated on read_floor_ so a fresh leader
+// first applies everything the previous regime may have exposed to readers.
+// Reads served here bypass the Executor's (client, seq) dedup cache — safe
+// because reads are idempotent and the executor tolerates seq gaps.
+bool MultiPaxosEngine::try_lease_read(Context& ctx, const Command& cmd) {
+  if (cmd.op != Op::kRead && cmd.op != Op::kReadVersioned) return false;
+  if (!lease_.held(ctx.now(), acceptor_count(), is_acceptor(cfg_.base.self))) return false;
+  if (log_.first_gap() < read_floor_) return false;
+  const StateMachine* sm = cfg_.base.state_machine;
+  Message reply(MsgType::kClientReply, ProtoId::kClient, cfg_.base.self, cmd.client);
+  reply.u.client_reply.seq = cmd.seq;
+  reply.u.client_reply.ok = 1;
+  reply.u.client_reply.instance = kNoInstance;  // no log entry backs this read
+  reply.u.client_reply.result =
+      sm == nullptr ? 0
+      : cmd.op == Op::kRead ? sm->read(cmd.key)
+                            : sm->versioned_read(cmd.key);
+  reply.u.client_reply.leader_hint = cfg_.base.self;
+  reply.u.client_reply.lease_epoch = write_epoch_;
+  ctx.send(cmd.client, reply);
+  ++lease_reads_;
+  return true;
 }
 
 void MultiPaxosEngine::pump(Context& ctx) {
@@ -252,11 +291,16 @@ void MultiPaxosEngine::finish_takeover(Context& ctx) {
   leader_ = true;
   current_leader_ = cfg_.base.self;
   my_ballot_ = t.pn;
+  lease_.reset();  // grants echo the new ballot's heartbeats from scratch
   // Re-propose every value some acceptor already accepted (the Paxos
   // constraint), and plug any holes below them with no-ops so the log
   // executes contiguously.
   Instance max_recovered = t.from_instance - 1;
   for (const auto& [in, rec] : t.recovered) max_recovered = std::max(max_recovered, in);
+  // The previous leader may have lease-served reads of anything it applied,
+  // i.e. anything decided — which phase 1 recovery bounds by max_recovered.
+  // Serve no lease read here until our applied prefix covers all of it.
+  read_floor_ = max_recovered + 1;
   for (Instance in = t.from_instance; in <= max_recovered; ++in) {
     if (log_.is_learned(in)) continue;
     Batch value = single_batch(Command{});  // no-op unless constrained
@@ -272,6 +316,7 @@ void MultiPaxosEngine::finish_takeover(Context& ctx) {
 void MultiPaxosEngine::step_down(Context& ctx, NodeId new_leader) {
   leader_ = false;
   takeover_.reset();
+  lease_.reset();  // our grants supported the ballot we just lost
   if (new_leader != kNoNode && new_leader != cfg_.base.self) current_leader_ = new_leader;
   last_leader_contact_ = ctx.now();
   // Keep unfinished commands: they are forwarded below if we know the new
@@ -296,6 +341,17 @@ void MultiPaxosEngine::forward_pending(Context& ctx) {
 
 void MultiPaxosEngine::handle_phase1_req(Context& ctx, const Message& m) {
   const ProposalNum pn = m.u.phase1_req.pn;
+  // A live grant is a promise not to support any OTHER candidate: refuse
+  // without bumping promised_, so the candidate retries after the grant
+  // lapses instead of deposing the leader the grant still protects.
+  if (granted_.blocks(m.src, ctx.now())) {
+    Message nack(MsgType::kNack, ProtoId::kMultiPaxos, cfg_.base.self, m.src);
+    nack.u.nack.instance = kNoInstance;
+    nack.u.nack.higher_pn = promised_;
+    nack.u.nack.leader_hint = granted_.to;
+    ctx.send(m.src, nack);
+    return;
+  }
   if (pn > promised_) {
     promised_ = pn;
     if (leader_ && !(pn == my_ballot_)) step_down(ctx, pn.node);
@@ -424,7 +480,25 @@ void MultiPaxosEngine::handle_heartbeat(Context& ctx, const Message& m) {
   current_leader_ = hb_leader;
   last_leader_contact_ = ctx.now();
   takeover_.reset();
+  // Lease renewal: grant (or re-grant) to the sender, unless we already
+  // promised a HIGHER ballot to someone else — supporting a deposed regime
+  // would let two leaders hold "majorities" built from disjoint eras.
+  if (cfg_.base.lease_duration > 0 && m.u.heartbeat.lease_seq != 0 &&
+      !(promised_ > m.u.heartbeat.ballot)) {
+    granted_.grant(hb_leader, ctx.now(), cfg_.base.lease_duration);
+    Message g(MsgType::kLeaseGrant, ProtoId::kMultiPaxos, cfg_.base.self, hb_leader);
+    g.u.lease_grant.grantor = cfg_.base.self;
+    g.u.lease_grant.lease_seq = m.u.heartbeat.lease_seq;
+    g.u.lease_grant.ballot = m.u.heartbeat.ballot;
+    ctx.send(hb_leader, g);
+  }
   forward_pending(ctx);
+}
+
+void MultiPaxosEngine::handle_lease_grant(const Message& m) {
+  if (!leader_ || !(m.u.lease_grant.ballot == my_ballot_)) return;
+  if (!is_acceptor(m.src)) return;  // only the electorate's grants count
+  lease_.on_grant(m.src, m.u.lease_grant.lease_seq);
 }
 
 void MultiPaxosEngine::learn(Context& ctx, Instance in, const Batch& value) {
@@ -434,6 +508,14 @@ void MultiPaxosEngine::learn(Context& ctx, Instance in, const Batch& value) {
   outstanding_.erase(in);
   log_.drain([&](Instance din, const Command& dcmd) {
     const Executor::Applied applied = executor_.apply(dcmd);
+    // Advance the near-cache epoch on every applied mutation (txn ops lock
+    // and stage, so they count too). Deterministic across replicas: it is a
+    // pure function of the applied log prefix. Skips 0 on wrap (0 = "epoch
+    // not reported" to clients).
+    if (!applied.duplicate && !dcmd.is_noop() && dcmd.op != Op::kRead &&
+        dcmd.op != Op::kReadVersioned) {
+      if (++write_epoch_ == 0) ++write_epoch_;
+    }
     ctx.deliver(din, dcmd);
     auto adv = advocated_.find(client_key(dcmd));
     if (adv != advocated_.end()) {
@@ -443,6 +525,7 @@ void MultiPaxosEngine::learn(Context& ctx, Instance in, const Batch& value) {
       reply.u.client_reply.instance = din;
       reply.u.client_reply.result = applied.result;
       reply.u.client_reply.leader_hint = leader_ ? cfg_.base.self : current_leader_;
+      reply.u.client_reply.lease_epoch = write_epoch_;
       ctx.send(dcmd.client, reply);
       advocated_.erase(adv);
     }

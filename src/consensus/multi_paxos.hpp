@@ -28,6 +28,7 @@
 
 #include "common/rng.hpp"
 #include "consensus/engine.hpp"
+#include "consensus/lease.hpp"
 #include "consensus/log.hpp"
 #include "consensus/state_machine.hpp"
 #include "consensus/synod.hpp"
@@ -55,6 +56,15 @@ class MultiPaxosEngine final : public Engine {
 
   bool is_leader() const { return leader_; }
   const ReplicatedLog& log() const { return log_; }
+
+  // Lease introspection (tests/reads): does this node hold the read fast
+  // path at `now`, and its current cache epoch (count of applied mutations).
+  bool holds_lease(Nanos now) const {
+    return leader_ && lease_.held(now, acceptor_count(), is_acceptor(cfg_.base.self)) &&
+           log_.first_gap() >= read_floor_;
+  }
+  std::uint32_t write_epoch() const { return write_epoch_; }
+  std::uint64_t lease_reads() const { return lease_reads_; }
 
  private:
   struct Outstanding {
@@ -109,6 +119,8 @@ class MultiPaxosEngine final : public Engine {
                            NodeId src, bool decided);
   void handle_nack(Context& ctx, const Message& m);
   void handle_heartbeat(Context& ctx, const Message& m);
+  void handle_lease_grant(const Message& m);
+  bool try_lease_read(Context& ctx, const Command& cmd);
   void learn(Context& ctx, Instance in, const Batch& value);
 
   MultiPaxosConfig cfg_;
@@ -146,6 +158,22 @@ class MultiPaxosEngine final : public Engine {
   Nanos last_leader_contact_ = 0;
   Nanos last_heartbeat_sent_ = 0;
   Nanos fd_jitter_ = 0;
+
+  // Leader leases (DESIGN.md §1f; off unless cfg_.base.lease_duration > 0).
+  LeaseLedger lease_;      // leader side: grants followers gave us
+  FollowerLease granted_;  // follower side: our outstanding promise
+  // Reads are only served from local state once every instance the previous
+  // regime may have decided is applied here: set to max_recovered + 1 at
+  // takeover (0 for a pre-agreed initial leader — nothing precedes it).
+  Instance read_floor_ = 0;
+  // Counts applied state-mutating commands; stamped into every ClientReply
+  // as the near-cache epoch. Deterministic across replicas (derived from the
+  // applied log prefix). Starts at 1 — epoch 0 means "not reported". On u32
+  // wrap it skips 0; a client whose cached entry survives a full 4B-write
+  // wrap could see a false hit, which at any realistic rate needs a session
+  // idle for hours against a saturated group (documented, accepted).
+  std::uint32_t write_epoch_ = 1;
+  std::uint64_t lease_reads_ = 0;  // fast-path reads served (introspection)
 };
 
 }  // namespace ci::consensus

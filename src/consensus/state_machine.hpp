@@ -41,6 +41,17 @@ class StateMachine {
     return 0;
   }
 
+  // Per-key write version, bumped on EVERY applied write of `key` (equal
+  // values included). Snapshot read-only transactions bracket their value
+  // reads with version reads: unchanged versions prove the values formed
+  // one consistent cut (no ABA — version moves even when the value does
+  // not). Services without versions return 0, which makes the snapshot
+  // check vacuous (documented: the cut degrades to independent reads).
+  virtual std::uint64_t versioned_read(std::uint64_t key) const {
+    (void)key;
+    return 0;
+  }
+
   virtual std::uint64_t txn_prepare(const Command& cmd) {
     (void)cmd;
     return 1;
@@ -86,6 +97,8 @@ class StateMachine {
         }
         return commit ? 1 : 0;
       }
+      case Op::kReadVersioned:
+        return versioned_read(cmd.key);
       default:
         return apply(cmd);
     }
@@ -115,6 +128,7 @@ class MapStateMachine final : public StateMachine {
         auto [it, inserted] = map_.try_emplace(cmd.key, cmd.value);
         const std::uint64_t old = inserted ? 0 : it->second;
         it->second = cmd.value;
+        ++versions_[cmd.key];
         return old;
       }
       case Op::kRead:
@@ -131,6 +145,11 @@ class MapStateMachine final : public StateMachine {
     return it == map_.end() ? 0 : it->second;
   }
 
+  std::uint64_t versioned_read(std::uint64_t key) const override {
+    auto it = versions_.find(key);
+    return it == versions_.end() ? 0 : it->second;
+  }
+
   std::uint64_t txn_prepare(const Command& cmd) override {
     auto [it, inserted] = locks_.try_emplace(cmd.key, cmd.txn);
     if (!inserted && it->second != cmd.txn) return 0;  // locked by another txn
@@ -144,6 +163,7 @@ class MapStateMachine final : public StateMachine {
     if (it == staged_.end()) return 1;  // already finished (duplicate decision)
     for (const auto& [key, value] : it->second) {
       map_[key] = value;
+      ++versions_[key];
       release_lock(txn, key);
     }
     staged_.erase(it);
@@ -183,6 +203,9 @@ class MapStateMachine final : public StateMachine {
   }
 
   std::unordered_map<std::uint64_t, std::uint64_t> map_;
+  // Per-key write counter backing versioned_read (bumped alongside every
+  // map_ write, so replicas agree on versions deterministically).
+  std::unordered_map<std::uint64_t, std::uint64_t> versions_;
   std::unordered_map<std::uint64_t, TxnId> locks_;  // key -> holding txn
   std::unordered_map<TxnId, std::vector<std::pair<std::uint64_t, std::uint64_t>>> staged_;
   // Home-group decision record, covering the decide->apply window; the

@@ -57,6 +57,13 @@ enum class Op : std::uint8_t {
   // one log entry where the classic flow replicated three (prepare, decide,
   // final). Result = 1 committed, 0 aborted.
   kTxnPrepareDecide = 7,
+
+  // Read returning (value, per-key version) — the probe of the snapshot
+  // read-only transaction (client/txn.hpp): round one collects values and
+  // versions across groups, round two re-reads the versions; unchanged
+  // versions prove the values formed one consistent cut. Serviced on the
+  // lease fast path like kRead. NOT a txn op (no lock/stage hooks).
+  kReadVersioned = 8,
 };
 
 // Identifies one cross-shard transaction: (coordinating session node, local

@@ -55,6 +55,15 @@ struct TimeoutProfile {
   Nanos request_timeout;
   Nanos tick_period;  // sim event granularity; ignored by rt
   std::int32_t pipeline_window;
+  // Leader leases (DESIGN.md §1f). All three stock profiles ship with
+  // leases OFF (0): a lease changes the wire (heartbeats open renewal
+  // rounds, followers answer with kLeaseGrant frames), so it is strictly
+  // opt-in — `--lease-ms` on the harness, or set these two directly. When
+  // opting in, lease must comfortably exceed heartbeat_period (renewals
+  // ride heartbeats) and lease_epsilon is the clock-skew margin subtracted
+  // from every grant; a lease below fd_timeout + epsilon buys nothing.
+  Nanos lease = 0;
+  Nanos lease_epsilon = 0;
 
   // Simulated many-core (microsecond message costs) — the EngineConfig
   // defaults.
@@ -89,12 +98,21 @@ struct TimeoutProfile {
 //     failures as slow cores (§1 fn. 3).
 //   * kResetAcceptor — 1Paxos-only silent acceptor reboot at `at`
 //     (DESIGN.md A3); deterministic state surgery, so sim-only.
+//   * kStretchClock — from `at` on, the node's LOCAL clock runs at `factor`
+//     times real (virtual or wall) time: Context::now() returns
+//     at + (t - at) * factor. factor > 1 models a fast local clock.
+//     Applied to a leader's FOLLOWERS it is the lease protocol's adversary:
+//     their grants lapse early in true time, so they can depose the leader
+//     while it still believes its lease — past the epsilon guard once
+//     (factor - 1) * lease_duration > lease_epsilon. (A fast clock on the
+//     leader itself is conservative: it only expires its belief sooner.)
+//     Both backends apply it (sim via the NodeCtx clock, rt via RtNode).
 // `node` is a deployment-local id. Under a sharded spec the plan is part of
 // the per-group template like everything else in the ClusterSpec: each
 // event applies to node `node` of EVERY group (a slow leader means every
 // group's leader is slow), mapped to transport nodes by the placement.
 struct FaultEvent {
-  enum class Kind { kSlowNode, kResetAcceptor };
+  enum class Kind { kSlowNode, kResetAcceptor, kStretchClock };
   Kind kind = Kind::kSlowNode;
   consensus::NodeId node = 0;
   Nanos at = 0;     // relative to run start (virtual or wall)
@@ -114,6 +132,13 @@ struct FaultPlan {
 
   FaultPlan& reset_acceptor_at(consensus::NodeId node, Nanos at) {
     events.push_back({FaultEvent::Kind::kResetAcceptor, node, at, 0, 1.0});
+    return *this;
+  }
+
+  // The node's local clock runs at `rate` x true time from `at` on (no end:
+  // a skewed oscillator does not heal itself). rate > 1 = fast clock.
+  FaultPlan& stretch_clock(consensus::NodeId node, Nanos at, double rate) {
+    events.push_back({FaultEvent::Kind::kStretchClock, node, at, 0, rate});
     return *this;
   }
 };
@@ -166,6 +191,8 @@ struct ClusterSpec {
     engine.fd_timeout = p.fd_timeout;
     engine.heartbeat_period = p.heartbeat_period;
     engine.pipeline_window = p.pipeline_window;
+    engine.lease_duration = p.lease;
+    engine.lease_epsilon = p.lease_epsilon;
     workload.request_timeout = p.request_timeout;
     sim.tick_period = p.tick_period;
     return *this;

@@ -43,6 +43,7 @@ OnePaxosEngine::OnePaxosEngine(const OnePaxosConfig& cfg)
   ever_acceptors_.insert(cfg_.initial_acceptor);
   fd_jitter_ = static_cast<Nanos>(
       rng_.next_below(static_cast<std::uint64_t>(cfg_.base.fd_timeout / 4) + 1));
+  lease_.configure(cfg_.base.lease_duration, cfg_.base.lease_epsilon);
 }
 
 void OnePaxosEngine::start(Context& ctx) {
@@ -72,6 +73,15 @@ void OnePaxosEngine::reset_acceptor_state() {
 void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
   if (m.src == current_leader_ && m.src != cfg_.base.self) last_leader_contact_ = ctx.now();
   if (m.proto == ProtoId::kUtility) {
+    // A live lease grant is a promise not to support any OTHER node's
+    // configuration proposals — the utility log IS this protocol's election.
+    // Drop the ballot-carrying requests; the candidate retries after the
+    // grant lapses. (The grantee's own proposals — acceptor rotations — and
+    // all responses/learns pass through untouched.)
+    if ((m.type == MsgType::kUtilPhase1Req || m.type == MsgType::kUtilPhase2Req) &&
+        granted_.blocks(m.src, ctx.now())) {
+      return;
+    }
     utility_.on_message(ctx, m);
     return;
   }
@@ -153,6 +163,17 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
         leader_committed_seen_ = std::max(leader_committed_seen_, m.u.heartbeat.committed);
         leader_progress_at_ = ctx.now();
       }
+      // Lease renewal: grant to the sender unless we already follow a NEWER
+      // view (guarded above: epoch >= current_leader_epoch_ here).
+      if (cfg_.base.lease_duration > 0 && m.u.heartbeat.lease_seq != 0) {
+        granted_.grant(m.u.heartbeat.leader, ctx.now(), cfg_.base.lease_duration);
+        Message g(MsgType::kLeaseGrant, ProtoId::kOnePaxos, cfg_.base.self,
+                  m.u.heartbeat.leader);
+        g.u.lease_grant.grantor = cfg_.base.self;
+        g.u.lease_grant.lease_seq = m.u.heartbeat.lease_seq;
+        g.u.lease_grant.ballot = m.u.heartbeat.ballot;
+        ctx.send(m.u.heartbeat.leader, g);
+      }
       if (m.u.heartbeat.committed > log_.first_gap() &&
           ctx.now() - last_catchup_sent_ >= cfg_.base.retry_timeout) {
         // The leader has decided instances we miss (lost learns): ask for a
@@ -197,6 +218,9 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
       ctx.send(m.src, pong);
       return;
     }
+    case MsgType::kLeaseGrant:
+      handle_lease_grant(m);
+      return;
     case MsgType::kPong:
       if (m.src == active_acceptor_) last_acceptor_contact_ = ctx.now();
       if (recovery_poll_) {
@@ -216,6 +240,7 @@ void OnePaxosEngine::on_message(Context& ctx, const Message& m) {
 void OnePaxosEngine::handle_client_request(Context& ctx, const Message& m) {
   const Command& cmd = m.u.client_request.cmd;
   if (i_am_leader_) {
+    if (try_lease_read(ctx, cmd)) return;
     pending_.push(cmd, ctx.now());
     pump(ctx);
     return;
@@ -241,6 +266,44 @@ void OnePaxosEngine::handle_client_request(Context& ctx, const Message& m) {
   Message fwd = m;
   fwd.dst = current_leader_;
   ctx.send(current_leader_, fwd);
+}
+
+// The lease read fast path (DESIGN.md §1f): a leader holding unexpired
+// grants from a majority of replicas (itself included) answers reads from
+// its applied state machine — no log entry, no acceptor round trip, which
+// on 1Paxos's single-acceptor fast path removes BOTH remaining hops.
+// Gated on read_floor_ so a fresh leader first applies everything the
+// previous regime may have exposed to its own lease readers.
+bool OnePaxosEngine::try_lease_read(Context& ctx, const Command& cmd) {
+  if (cmd.op != Op::kRead && cmd.op != Op::kReadVersioned) return false;
+  if (!lease_.held(ctx.now(), cfg_.base.num_replicas, /*self_votes=*/true)) return false;
+  if (log_.first_gap() < read_floor_) return false;
+  const StateMachine* sm = cfg_.base.state_machine;
+  Message reply(MsgType::kClientReply, ProtoId::kClient, cfg_.base.self, cmd.client);
+  reply.u.client_reply.seq = cmd.seq;
+  reply.u.client_reply.ok = 1;
+  reply.u.client_reply.instance = kNoInstance;  // no log entry backs this read
+  reply.u.client_reply.result =
+      sm == nullptr ? 0
+      : cmd.op == Op::kRead ? sm->read(cmd.key)
+                            : sm->versioned_read(cmd.key);
+  reply.u.client_reply.leader_hint = cfg_.base.self;
+  reply.u.client_reply.lease_epoch = write_epoch_;
+  ctx.send(cmd.client, reply);
+  ++lease_reads_;
+  return true;
+}
+
+// Grants echo the view version our heartbeats carry; anything else is from
+// a regime we no longer run (reset() on relinquish also guarantees stale
+// echoes find no recorded send time).
+void OnePaxosEngine::handle_lease_grant(const Message& m) {
+  if (m.u.lease_grant.ballot.node != cfg_.base.self ||
+      m.u.lease_grant.ballot.counter != current_leader_epoch_) {
+    return;
+  }
+  if (!is_replica(cfg_.base, m.src)) return;
+  lease_.on_grant(m.src, m.u.lease_grant.lease_seq);
 }
 
 // Outstanding instances under batching: the uncommitted window — and the
@@ -380,6 +443,13 @@ void OnePaxosEngine::learn(Context& ctx, Instance in, const Batch& v) {
   }
   log_.drain([&](Instance din, const Command& dcmd) {
     const Executor::Applied applied = executor_.apply(dcmd);
+    // Advance the near-cache epoch on every applied mutation (deterministic
+    // across replicas: a function of the applied log prefix; skips 0 on
+    // wrap, 0 meaning "epoch not reported").
+    if (!applied.duplicate && !dcmd.is_noop() && dcmd.op != Op::kRead &&
+        dcmd.op != Op::kReadVersioned) {
+      if (++write_epoch_ == 0) ++write_epoch_;
+    }
     ctx.deliver(din, dcmd);
     auto adv = advocated_.find(client_key(dcmd));
     if (adv != advocated_.end()) {
@@ -389,6 +459,7 @@ void OnePaxosEngine::learn(Context& ctx, Instance in, const Batch& v) {
       reply.u.client_reply.instance = din;
       reply.u.client_reply.result = applied.result;
       reply.u.client_reply.leader_hint = i_am_leader_ ? cfg_.base.self : current_leader_;
+      reply.u.client_reply.lease_epoch = write_epoch_;
       ctx.send(dcmd.client, reply);
       advocated_.erase(adv);
     }
@@ -508,6 +579,10 @@ void OnePaxosEngine::adopt(Context& ctx, const Message& m) {
   stuck_gap_ = kNoInstance;  // a fresh reign restarts the gap patience clock
   current_leader_ = cfg_.base.self;
   alloc_frontier_ = std::max(alloc_frontier_, m.u.opx_prepare_resp.frontier);
+  // The acceptor's frontier bounds every instance the previous regime could
+  // have decided — and so every value its lease readers could have seen.
+  // Serve no lease read until our applied prefix covers all of it.
+  read_floor_ = std::max(read_floor_, alloc_frontier_);
   register_proposals(m.u.opx_prepare_resp.accepted, m.u.opx_prepare_resp.num_accepted);
   for (const auto& [in, value] : prepare_batched_) register_batched(in, value);
   prepare_batched_.clear();
@@ -746,6 +821,9 @@ void OnePaxosEngine::try_takeover(Context& ctx) {
       utility_.propose_in_flight()) {
     return;
   }
+  // A live lease grant is a promise not to move against the grantee; the
+  // takeover resumes once it lapses (a dead leader stops renewing).
+  if (granted_.live(ctx.now())) return;
   const PaxosUtility::AcceptorInfo info = utility_.last_active_acceptor();
   CI_CHECK_MSG(info.acceptor != kNoNode, "no bootstrap AcceptorChange entry");
   if (info.acceptor == cfg_.base.self) {
@@ -830,6 +908,7 @@ void OnePaxosEngine::begin_leader_change(Context& ctx) {
 void OnePaxosEngine::relinquish(Context& ctx, NodeId new_leader) {
   const bool had_role = i_am_leader_ || prepare_outstanding_;
   i_am_leader_ = false;
+  lease_.reset();  // our grants supported the reign we just lost
   prepare_outstanding_ = false;
   prepare_main_held_ = false;
   prepare_batched_.clear();
@@ -909,11 +988,16 @@ void OnePaxosEngine::tick(Context& ctx) {
   if ((i_am_leader_ || establishing) &&
       now - last_heartbeat_sent_ >= cfg_.base.heartbeat_period) {
     last_heartbeat_sent_ = now;
+    // With leases on, each heartbeat round is also a renewal round (an
+    // establishing leader renews too — grants shield its recovery from
+    // impatient takeovers just as they shield its reads later).
+    const std::uint32_t lease_seq = lease_.enabled() ? lease_.open_round(now) : 0;
     for (NodeId r = 0; r < cfg_.base.num_replicas; ++r) {
       if (r == cfg_.base.self) continue;
       Message hb(MsgType::kHeartbeat, ProtoId::kOnePaxos, cfg_.base.self, r);
       if (establishing) hb.flags = kFlagEstablishing;  // buys recovery patience
       hb.u.heartbeat.leader = cfg_.base.self;
+      hb.u.heartbeat.lease_seq = lease_seq;
       hb.u.heartbeat.committed = log_.first_gap();
       hb.u.heartbeat.ballot.counter = current_leader_epoch_;  // view version
       hb.u.heartbeat.ballot.node = cfg_.base.self;

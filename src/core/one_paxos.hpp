@@ -40,6 +40,7 @@
 
 #include "common/rng.hpp"
 #include "consensus/engine.hpp"
+#include "consensus/lease.hpp"
 #include "consensus/log.hpp"
 #include "consensus/paxos_utility.hpp"
 #include "consensus/state_machine.hpp"
@@ -75,6 +76,15 @@ class OnePaxosEngine final : public Engine {
   // dropping all volatile acceptor-role state (hpn, ap, freshness).
   void reset_acceptor_state();
 
+  // Lease introspection (tests/reads): does this node hold the read fast
+  // path at `now`, and its current near-cache epoch.
+  bool holds_lease(Nanos now) const {
+    return i_am_leader_ && lease_.held(now, cfg_.base.num_replicas, /*self_votes=*/true) &&
+           log_.first_gap() >= read_floor_;
+  }
+  std::uint32_t write_epoch() const { return write_epoch_; }
+  std::uint64_t lease_reads() const { return lease_reads_; }
+
  private:
   struct AcceptTimes {
     Nanos first_sent = 0;
@@ -90,6 +100,8 @@ class OnePaxosEngine final : public Engine {
 
   // Fast path.
   void handle_client_request(Context& ctx, const Message& m);
+  bool try_lease_read(Context& ctx, const Command& cmd);
+  void handle_lease_grant(const Message& m);
   void pump(Context& ctx);
   std::int32_t effective_window() const;
   void send_accept(Context& ctx, Instance in);
@@ -240,6 +252,24 @@ class OnePaxosEngine final : public Engine {
   Instance stuck_gap_ = kNoInstance;
   Nanos stuck_gap_since_ = 0;
   Nanos fd_jitter_ = 0;
+
+  // Leader leases (DESIGN.md §1f; off unless cfg_.base.lease_duration > 0).
+  // 1Paxos elects through the utility log, so the follower-side promise
+  // gates kUtilPhase1Req/kUtilPhase2Req from non-grantees and try_takeover,
+  // rather than a Paxos phase 1. Grants echo the heartbeat's view version
+  // ({current_leader_epoch_, leader}), and the electorate is all replicas.
+  LeaseLedger lease_;      // leader side: grants followers gave us
+  FollowerLease granted_;  // follower side: our outstanding promise
+  // No lease read below this applied frontier: set from the adopted
+  // acceptor's frontier, which bounds every instance the previous regime
+  // could have decided (and so could have exposed to its own lease readers).
+  Instance read_floor_ = 0;
+  // Applied-mutation counter, stamped into ClientReply::lease_epoch as the
+  // session near-cache epoch. Deterministic across replicas (a function of
+  // the applied log prefix); starts at 1 (0 = "not reported"), skips 0 on
+  // u32 wrap.
+  std::uint32_t write_epoch_ = 1;
+  std::uint64_t lease_reads_ = 0;  // fast-path reads served (introspection)
 };
 
 }  // namespace ci::core

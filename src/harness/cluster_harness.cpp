@@ -19,7 +19,8 @@ namespace {
 // the parsers.
 constexpr const char* kValueFlags[] = {"--backend", "--groups", "--placement",
                                        "--batch", "--batch-flush-us",
-                                       "--client-coalesce", "--txn-mix"};
+                                       "--client-coalesce", "--txn-mix",
+                                       "--read-mix", "--lease-ms"};
 // Valueless flags: presence is the whole message. --help is recognized by
 // the strict scanners (print usage, exit 0) and always legal, so binaries
 // need not list it in their consumed sets.
@@ -333,6 +334,67 @@ double txn_mix_from_args(int argc, char** argv, double def) {
   return p;
 }
 
+bool try_read_mix_from_args(int argc, char** argv, double def, double* out,
+                            std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--read-mix", &malformed);
+  if (malformed) {
+    *err = "--read-mix requires a value (expected --read-mix=P, 0 <= P <= 1)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const double p = std::strtod(value, &end);
+  // !(p >= 0) also rejects NaN, which every ordered comparison fails.
+  if (end == value || *end != '\0' || !(p >= 0.0) || !(p <= 1.0)) {
+    *err = std::string("bad read mix '") + value +
+           "' (expected --read-mix=P, a fraction 0 <= P <= 1)";
+    return false;
+  }
+  *out = p;
+  return true;
+}
+
+double read_mix_from_args(int argc, char** argv, double def) {
+  double p = def;
+  std::string err;
+  if (!try_read_mix_from_args(argc, argv, def, &p, &err)) usage_exit(err.c_str());
+  return p;
+}
+
+bool try_lease_ms_from_args(int argc, char** argv, Nanos def, Nanos* out,
+                            std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--lease-ms", &malformed);
+  if (malformed) {
+    *err = "--lease-ms requires a value (expected --lease-ms=T, T >= 0)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const long long t = std::strtoll(value, &end, 10);
+  // Bounded so the millisecond->nanosecond multiply cannot overflow (and a
+  // strtoll clamp to LLONG_MAX cannot sneak through); an hour-long lease is
+  // far beyond any sane failover budget.
+  constexpr long long kMaxLeaseMs = 3600LL * 1000;
+  if (end == value || *end != '\0' || t < 0 || t > kMaxLeaseMs) {
+    *err = std::string("bad lease duration '") + value +
+           "' (expected --lease-ms=T milliseconds, 0 <= T <= 3600000; 0 = off)";
+    return false;
+  }
+  *out = static_cast<Nanos>(t) * kMillisecond;
+  return true;
+}
+
+Nanos lease_ms_from_args(int argc, char** argv, Nanos def) {
+  Nanos t = def;
+  std::string err;
+  if (!try_lease_ms_from_args(argc, argv, def, &t, &err)) usage_exit(err.c_str());
+  return t;
+}
+
 const char* usage_text() {
   return
       "harness flags (all binaries in bench/ and examples/ accept the subset\n"
@@ -347,6 +409,10 @@ const char* usage_text() {
       "                            (1 <= N <= 8; 1 = legacy per-command frames)\n"
       "  --txn-mix=P               fraction of ops issued as cross-shard\n"
       "                            transactions (0 <= P <= 1)\n"
+      "  --read-mix=P              fraction of workload ops issued as reads\n"
+      "                            (0 <= P <= 1)\n"
+      "  --lease-ms=T              leader lease duration in milliseconds\n"
+      "                            (T >= 0; 0 = leases off, reads replicate)\n"
       "  --sweep-diff              also run the spec on BOTH backends and diff\n"
       "                            the result shapes\n"
       "  --help                    print this text and exit\n"
@@ -410,7 +476,7 @@ void scan_args(int argc, char** argv, std::initializer_list<const char*> consume
       std::fprintf(stderr,
                    "unknown flag '%s' (harness flags: --backend, --groups, --placement, "
                    "--batch, --batch-flush-us, --client-coalesce, --txn-mix, "
-                   "--sweep-diff, --help)\n",
+                   "--read-mix, --lease-ms, --sweep-diff, --help)\n",
                    arg);
       std::exit(2);
     }

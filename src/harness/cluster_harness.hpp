@@ -74,11 +74,26 @@ bool try_txn_mix_from_args(int argc, char** argv, double def, double* out,
                            std::string* err);
 double txn_mix_from_args(int argc, char** argv, double def = 0.0);
 
+// `--read-mix=P`: fraction (0 <= P <= 1) of workload operations issued as
+// reads (WorkloadSpec::read_fraction / a bench's own mix sweep). Anything
+// outside [0, 1] or non-numeric exits 2.
+bool try_read_mix_from_args(int argc, char** argv, double def, double* out,
+                            std::string* err);
+double read_mix_from_args(int argc, char** argv, double def = 0.0);
+
+// `--lease-ms=T`: leader lease duration in milliseconds
+// (TimeoutProfile::lease / EngineConfig::lease_duration). T = 0 keeps
+// leases off (reads replicate); negative, non-numeric, or beyond an hour
+// exits 2. Returned in nanoseconds.
+bool try_lease_ms_from_args(int argc, char** argv, Nanos def, Nanos* out,
+                            std::string* err);
+Nanos lease_ms_from_args(int argc, char** argv, Nanos def = 0);
+
 // The usage text every harness-flag binary shares: enumerates ALL harness
 // flags (--backend, --groups, --placement, --batch, --batch-flush-us,
-// --client-coalesce, --txn-mix, --sweep-diff, --help) with their value
-// shapes. The strict
-// scanners print it and exit 0 when argv carries `--help`.
+// --client-coalesce, --txn-mix, --read-mix, --lease-ms, --sweep-diff,
+// --help) with their value shapes. The strict scanners print it and exit 0
+// when argv carries `--help`.
 const char* usage_text();
 
 // `base` plus whatever `--groups` / `--placement` say: the one-liner that

@@ -115,7 +115,12 @@ class ReplicatedKv {
   // consistency guarantees, local reads may be performed even with
   // non-blocking protocols"): reads replica `r`'s executed state — in the
   // group that owns `key` — without a protocol round trip; may lag the
-  // commit frontier. `r` is a group-local replica id.
+  // commit frontier. `r` is a group-local replica id. This is deliberately
+  // NOT the linearizable read path: KvSession::get() is — it rides the
+  // leader, which with leases enabled (EngineConfig::lease_duration,
+  // DESIGN.md §1f) answers from applied state without a log entry while
+  // staying linearizable. Use local_read only where staleness is
+  // acceptable by design.
   std::uint64_t local_read(consensus::NodeId r, std::uint64_t key) const;
 
   // Fault injection: multiply the per-message cost of replica `r` (a

@@ -45,9 +45,12 @@ RtCluster::RtCluster(const ShardSpec& shard)
 
   for (const FaultEvent& f : shard_.base.faults.events) {
     // Silent acceptor reboot is deterministic state surgery; only the
-    // simulator can apply it race-free.
-    CI_CHECK(f.kind == FaultEvent::Kind::kSlowNode);
+    // simulator can apply it race-free. Slow windows and clock stretches
+    // both apply cleanly at wall-clock offsets.
+    CI_CHECK(f.kind == FaultEvent::Kind::kSlowNode ||
+             f.kind == FaultEvent::Kind::kStretchClock);
   }
+  stretch_fired_.assign(shard_.base.faults.events.size(), false);
 
   net_ = std::make_unique<qclt::Network>(slots_for(shard_.base.engine.batch));
 
@@ -103,9 +106,21 @@ void RtCluster::apply_faults(Nanos elapsed) {
   // Recompute each planned node's factor from ALL windows active now
   // (mirrors SimNet::speed_factor's max-over-windows), so overlapping
   // windows compose and healing one window cannot erase another.
-  for (const FaultEvent& f : shard_.base.faults.events) {
+  for (std::size_t i = 0; i < shard_.base.faults.events.size(); ++i) {
+    const FaultEvent& f = shard_.base.faults.events[i];
+    if (f.kind == FaultEvent::Kind::kStretchClock) {
+      // One-shot: re-anchoring every poll would compound the transform.
+      if (stretch_fired_[i] || elapsed < f.at) continue;
+      stretch_fired_[i] = true;
+      for (GroupId g = 0; g < dep_.num_groups(); ++g) {
+        nodes_[static_cast<std::size_t>(dep_.global_node(g, f.node))]->stretch_clock(
+            f.factor);
+      }
+      continue;
+    }
     double factor = 1.0;
     for (const FaultEvent& g : shard_.base.faults.events) {
+      if (g.kind != FaultEvent::Kind::kSlowNode) continue;
       if (g.node == f.node && elapsed >= g.at && elapsed < g.until) {
         factor = std::max(factor, g.factor);
       }

@@ -116,6 +116,9 @@ class RtCluster {
   std::vector<std::vector<std::tuple<GroupId, consensus::NodeId, consensus::Instance,
                                      consensus::Command>>>
       delivery_logs_;
+  // One-shot latch per planned kStretchClock event (index into
+  // faults.events): a skewed oscillator is applied once, never re-anchored.
+  std::vector<bool> stretch_fired_;
   Nanos started_at_ = 0;
   Nanos stopped_at_ = 0;
   bool started_ = false;

@@ -56,6 +56,27 @@ class RtNode {
     slow_factor_.store(factor == 0 ? 1 : factor, std::memory_order_relaxed);
   }
 
+  // Clock-skew injection: from now on the engine's ctx.now() advances
+  // `rate` times the wall clock, re-anchored so the perceived clock stays
+  // continuous at the switch. The three fields are stored relaxed — the
+  // node thread may briefly mix old and new anchors at the switch instant,
+  // which perturbs the perceived time by at most the in-flight window; the
+  // lease staleness tests stretch once and then settle, so the transient is
+  // harmless. rate > 1 models the fast clock a deposed leader would need to
+  // overrun its lease.
+  void stretch_clock(double rate) {
+    const Nanos t = now_nanos();
+    const double old_rate = clock_rate_.load(std::memory_order_relaxed);
+    const Nanos anchor_real = clock_anchor_real_.load(std::memory_order_relaxed);
+    const Nanos anchor_seen = clock_anchor_seen_.load(std::memory_order_relaxed);
+    const Nanos seen_now =
+        anchor_seen +
+        static_cast<Nanos>(static_cast<double>(t - anchor_real) * old_rate);
+    clock_anchor_real_.store(t, std::memory_order_relaxed);
+    clock_anchor_seen_.store(seen_now, std::memory_order_relaxed);
+    clock_rate_.store(rate, std::memory_order_relaxed);
+  }
+
   NodeId id() const { return self_; }
   std::uint64_t messages_sent() const { return ctx_->sent.load(std::memory_order_relaxed); }
   // Encoded frame bytes behind messages_sent() (boundary crossings only).
@@ -66,7 +87,15 @@ class RtNode {
    public:
     explicit Ctx(RtNode* node) : node_(node) {}
     NodeId self() const override { return node_->self_; }
-    Nanos now() const override { return now_nanos(); }
+    Nanos now() const override {
+      const Nanos t = now_nanos();
+      const double rate = node_->clock_rate_.load(std::memory_order_relaxed);
+      if (rate == 1.0) return t;
+      const Nanos anchor_real = node_->clock_anchor_real_.load(std::memory_order_relaxed);
+      const Nanos anchor_seen = node_->clock_anchor_seen_.load(std::memory_order_relaxed);
+      return anchor_seen +
+             static_cast<Nanos>(static_cast<double>(t - anchor_real) * rate);
+    }
     void send(NodeId dst, const Message& m) override { node_->send(dst, m); }
     // Delivery reporting happens in the GroupDemuxEngine hosted on every
     // node (RtCluster's hook logs per node thread and replays into the
@@ -100,6 +129,10 @@ class RtNode {
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint32_t> slow_factor_{1};
+  // Perceived-clock skew (stretch_clock): seen + (wall - real) * rate.
+  std::atomic<Nanos> clock_anchor_real_{0};
+  std::atomic<Nanos> clock_anchor_seen_{0};
+  std::atomic<double> clock_rate_{1.0};
 };
 
 }  // namespace ci::rt

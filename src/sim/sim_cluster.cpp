@@ -40,6 +40,11 @@ SimCluster::SimCluster(const ShardSpec& shard)
           net_->schedule_call(f.at, node, [opx] { opx->reset_acceptor_state(); });
           break;
         }
+        case FaultEvent::Kind::kStretchClock:
+          net_->schedule_call(f.at, node, [net = net_.get(), node, rate = f.factor] {
+            net->stretch_clock(node, rate);
+          });
+          break;
       }
     }
   }

@@ -52,6 +52,19 @@ void SimNet::heal_node(NodeId node, Nanos t) {
   }
 }
 
+void SimNet::stretch_clock(NodeId node, double rate) {
+  CI_CHECK(rate > 0.0);
+  NodeCtx& n = *nodes_[static_cast<std::size_t>(node)];
+  // Re-anchor at the current virtual time so the perceived clock is
+  // continuous across the rate change (it jumps in SLOPE, not in value).
+  const Nanos seen_now =
+      n.skew_anchor_seen +
+      static_cast<Nanos>(static_cast<double>(now_ - n.skew_anchor_real) * n.skew_rate);
+  n.skew_anchor_real = now_;
+  n.skew_anchor_seen = seen_now;
+  n.skew_rate = rate;
+}
+
 void SimNet::schedule_call(Nanos t, NodeId node, std::function<void()> fn) {
   Event e;
   e.time = t;

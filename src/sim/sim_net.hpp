@@ -46,6 +46,13 @@ class SimNet {
   // Ends every slow window still open at time t for `node` (heal).
   void heal_node(NodeId node, Nanos t);
 
+  // From the current virtual time on, the node's PERCEIVED clock (what its
+  // engine's ctx.now() returns) advances `rate` times virtual time — the
+  // clock-skew fault the lease safety argument must survive. Event order
+  // and CPU costs are untouched; only the node's view of time is skewed,
+  // continuously re-anchored at the switch point.
+  void stretch_clock(NodeId node, double rate);
+
   // Runs fn at virtual time t on the given node (models environment events
   // such as an acceptor reboot).
   void schedule_call(Nanos t, NodeId node, std::function<void()> fn);
@@ -105,7 +112,14 @@ class SimNet {
     NodeCtx(SimNet* net, NodeId id, Engine* engine) : net_(net), id_(id), engine_(engine) {}
 
     NodeId self() const override { return id_; }
-    Nanos now() const override { return logical_now; }
+    // The node's PERCEIVED clock: virtual time through the skew transform
+    // (identity until SimNet::stretch_clock re-anchors it).
+    Nanos now() const override {
+      if (skew_rate == 1.0) return logical_now;
+      return skew_anchor_seen +
+             static_cast<Nanos>(static_cast<double>(logical_now - skew_anchor_real) *
+                                skew_rate);
+    }
     void send(NodeId dst, const Message& m) override { net_->send_from(*this, dst, m); }
     // Delivery reporting happens in the GroupDemuxEngine hosted on every
     // node (its deliver hook feeds the per-group agreement recorders); the
@@ -120,6 +134,10 @@ class SimNet {
     std::uint64_t sent = 0;
     std::uint64_t sent_bytes = 0;
     std::vector<std::tuple<Nanos, Nanos, double>> slow_windows;
+    // Clock skew (stretch_clock): perceived = seen + (virtual - real) * rate.
+    Nanos skew_anchor_real = 0;
+    Nanos skew_anchor_seen = 0;
+    double skew_rate = 1.0;
   };
 
   void send_from(NodeCtx& src, NodeId dst, const Message& m);

@@ -363,13 +363,86 @@ TEST(PositionalArgs, SkipsTxnMixToo) {
   EXPECT_EQ(pos[0], "keep");
 }
 
+TEST(ReadMixFromArgs, ParsesFractionsAndDefaults) {
+  {
+    Args a({"--read-mix=0.9"});
+    EXPECT_DOUBLE_EQ(read_mix_from_args(a.argc(), a.argv()), 0.9);
+  }
+  {
+    Args a({"--read-mix", "1"});
+    EXPECT_DOUBLE_EQ(read_mix_from_args(a.argc(), a.argv()), 1.0);
+  }
+  {
+    Args a({});
+    EXPECT_DOUBLE_EQ(read_mix_from_args(a.argc(), a.argv(), 0.5), 0.5);
+  }
+}
+
+TEST(ReadMixFromArgs, RejectsOutOfRangeAndGarbage) {
+  // A read mix above 1 (or below 0) must not silently clamp: a sweep that
+  // asked for 150% reads and measured a clamped 100% would report the wrong
+  // workload's numbers.
+  for (const char* bad : {"--read-mix=1.5", "--read-mix=-0.1", "--read-mix=nan",
+                          "--read-mix=lots", "--read-mix=0.5x"}) {
+    Args a({bad});
+    EXPECT_EXIT(read_mix_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad read mix")
+        << bad;
+  }
+  {
+    Args a({"--read-mix"});
+    EXPECT_EXIT(read_mix_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "requires a value");
+  }
+}
+
+TEST(LeaseMsFromArgs, ParsesMillisecondsAndDefaults) {
+  {
+    Args a({"--lease-ms=50"});
+    EXPECT_EQ(lease_ms_from_args(a.argc(), a.argv()), 50 * kMillisecond);
+  }
+  {
+    Args a({"--lease-ms", "0"});  // 0 = leases off, a legal explicit choice
+    EXPECT_EQ(lease_ms_from_args(a.argc(), a.argv()), 0);
+  }
+  {
+    Args a({});
+    EXPECT_EQ(lease_ms_from_args(a.argc(), a.argv(), 7 * kMillisecond),
+              7 * kMillisecond);
+  }
+}
+
+TEST(LeaseMsFromArgs, RejectsNegativeGarbageOverflowAndMissingValue) {
+  for (const char* bad : {"--lease-ms=-1", "--lease-ms=forever", "--lease-ms=5s",
+                          // Beyond the overflow-safe bound (strtoll would
+                          // clamp to LLONG_MAX silently).
+                          "--lease-ms=9223372036854775807"}) {
+    Args a({bad});
+    EXPECT_EXIT(lease_ms_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad lease duration")
+        << bad;
+  }
+  {
+    Args a({"--lease-ms"});
+    EXPECT_EXIT(lease_ms_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "requires a value");
+  }
+}
+
+TEST(PositionalArgs, SkipsReadMixAndLeaseMsToo) {
+  Args a({"--read-mix", "0.9", "--lease-ms=50", "keep"});
+  const auto pos = positional_args(a.argc(), a.argv());
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], "keep");
+}
+
 // --help prints the full flag enumeration and exits 0 — from either strict
 // scanner, and regardless of the binary's consumed set.
 TEST(Usage, HelpPrintsEveryFlagAndExitsZero) {
   const std::string text = usage_text();
   for (const char* flag : {"--backend", "--groups", "--placement", "--batch",
                            "--batch-flush-us", "--client-coalesce", "--txn-mix",
-                           "--sweep-diff", "--help"}) {
+                           "--read-mix", "--lease-ms", "--sweep-diff", "--help"}) {
     EXPECT_NE(text.find(flag), std::string::npos) << flag << " missing from usage";
   }
   // (the EXIT matcher regex applies to stderr; usage goes to stdout, so
@@ -391,7 +464,8 @@ TEST(Usage, UnknownFlagExitsTwoNamingAllFlags) {
   Args a({"--txnmix=0.5"});
   EXPECT_EXIT(require_harness_flags_only(a.argc(), a.argv()),
               ::testing::ExitedWithCode(2),
-              "--client-coalesce, --txn-mix, --sweep-diff, --help");
+              "--client-coalesce, --txn-mix, --read-mix, --lease-ms, "
+              "--sweep-diff, --help");
 }
 
 }  // namespace

@@ -1,0 +1,305 @@
+// Hand-stepped lease semantics (DESIGN.md §1f) for both engines:
+//   * grant acquisition over heartbeats and the read fast path (no log
+//     entry, applied-state answer, epoch-stamped reply);
+//   * lease off -> reads replicate like any command;
+//   * lapse without renewal;
+//   * takeover suppression: with synchronized clocks a follower's grant
+//     outlives the leader's discounted belief, so no two nodes ever claim
+//     the fast path at once;
+//   * the staleness adversary: followers whose clocks run fast past
+//     lease_epsilon depose the leader while it still believes its lease —
+//     the deposed leader serves a provably stale read until the new
+//     regime's first higher-ballot message reaches it, after which it
+//     steps down and never serves again.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "consensus/multi_paxos.hpp"
+#include "consensus/state_machine.hpp"
+#include "core/one_paxos.hpp"
+#include "support/fake_net.hpp"
+
+namespace ci {
+namespace {
+
+using consensus::kNoInstance;
+using consensus::MapStateMachine;
+using consensus::Message;
+using consensus::MsgType;
+using consensus::MultiPaxosConfig;
+using consensus::MultiPaxosEngine;
+using consensus::NodeId;
+using consensus::Op;
+using core::OnePaxosConfig;
+using core::OnePaxosEngine;
+using test::FakeNet;
+
+// Scans the externally-captured replies for the one answering (client, seq).
+const Message* reply_to(const FakeNet& net, NodeId client, std::uint32_t seq) {
+  for (const Message& m : net.external()) {
+    if (m.type == MsgType::kClientReply && m.dst == client &&
+        m.u.client_reply.seq == seq) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+constexpr Nanos kLease = 10 * kMillisecond;
+constexpr Nanos kEpsilon = 1 * kMillisecond;
+
+struct MpLeaseHarness {
+  explicit MpLeaseHarness(Nanos lease = kLease, Nanos epsilon = kEpsilon) {
+    for (NodeId r = 0; r < 3; ++r) {
+      MultiPaxosConfig cfg;
+      cfg.base.self = r;
+      cfg.base.num_replicas = 3;
+      cfg.base.seed = 11;
+      cfg.base.lease_duration = lease;
+      cfg.base.lease_epsilon = epsilon;
+      sms.push_back(std::make_unique<MapStateMachine>());
+      cfg.base.state_machine = sms.back().get();
+      engines.push_back(std::make_unique<MultiPaxosEngine>(cfg));
+      net.add(engines.back().get());
+    }
+    net.start_all();
+  }
+
+  MultiPaxosEngine& at(NodeId r) { return *engines[static_cast<std::size_t>(r)]; }
+
+  // Runs enough heartbeat rounds (200 us period) for grants to come back.
+  void acquire_lease() {
+    for (int i = 0; i < 5; ++i) {
+      net.advance(200 * kMicrosecond);
+      net.run();
+    }
+  }
+
+  bool leader_holds_lease(NodeId r) { return at(r).holds_lease(net.ctx(r).now()); }
+
+  FakeNet net;
+  std::vector<std::unique_ptr<MapStateMachine>> sms;
+  std::vector<std::unique_ptr<MultiPaxosEngine>> engines;
+};
+
+TEST(MultiPaxosLease, FastReadServesAppliedStateWithoutLogEntry) {
+  MpLeaseHarness h;
+  h.acquire_lease();
+  ASSERT_TRUE(h.leader_holds_lease(0));
+
+  h.net.inject(test::client_request(9, 0, 1, Op::kWrite, 1, 7));
+  h.net.run();
+  ASSERT_EQ(h.at(0).log().first_gap(), 1);
+  h.net.clear_external();
+
+  h.net.inject(test::client_request(9, 0, 2, Op::kRead, 1));
+  h.net.run();
+  EXPECT_EQ(h.at(0).lease_reads(), 1u);
+  EXPECT_EQ(h.at(0).log().first_gap(), 1);  // no instance consumed
+  const Message* r = reply_to(h.net, 9, 2);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->u.client_reply.result, 7u);
+  EXPECT_EQ(r->u.client_reply.instance, kNoInstance);
+  EXPECT_NE(r->u.client_reply.lease_epoch, 0u);
+  EXPECT_EQ(r->u.client_reply.lease_epoch, h.at(0).write_epoch());
+}
+
+TEST(MultiPaxosLease, LeaseOffReadsReplicate) {
+  MpLeaseHarness h(/*lease=*/0, /*epsilon=*/0);
+  h.acquire_lease();  // heartbeats flow, but carry no lease rounds
+  EXPECT_FALSE(h.leader_holds_lease(0));
+  h.net.inject(test::client_request(9, 0, 1, Op::kWrite, 1, 7));
+  h.net.run();
+  h.net.inject(test::client_request(9, 0, 2, Op::kRead, 1));
+  h.net.run();
+  EXPECT_EQ(h.at(0).lease_reads(), 0u);
+  EXPECT_EQ(h.at(0).log().first_gap(), 2);  // the read took an instance
+  const Message* r = reply_to(h.net, 9, 2);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->u.client_reply.result, 7u);
+}
+
+TEST(MultiPaxosLease, LapsesWithoutRenewal) {
+  MpLeaseHarness h;
+  h.acquire_lease();
+  ASSERT_TRUE(h.leader_holds_lease(0));
+  h.net.isolate(0);                      // no further grants reach the leader
+  h.net.advance(kLease + kMillisecond);  // past every recorded expiry
+  EXPECT_FALSE(h.leader_holds_lease(0));
+}
+
+TEST(MultiPaxosLease, SynchronizedClocksNeverOverlapRegimes) {
+  MpLeaseHarness h;
+  h.acquire_lease();
+  ASSERT_TRUE(h.leader_holds_lease(0));
+
+  const Nanos t0 = h.net.now();
+  h.net.isolate(0);
+  NodeId new_leader = consensus::kNoNode;
+  for (int i = 0; i < 400 && new_leader == consensus::kNoNode; ++i) {
+    h.net.advance(100 * kMicrosecond);
+    h.net.run();
+    if (h.at(1).is_leader()) new_leader = 1;
+    if (h.at(2).is_leader()) new_leader = 2;
+  }
+  ASSERT_NE(new_leader, consensus::kNoNode);
+  // The grants suppressed the takeover far past the 1 ms failure detector...
+  EXPECT_GE(h.net.now() - t0, 8 * kMillisecond);
+  // ...and the old leader's discounted belief expired strictly earlier, so
+  // there was no instant with two fast-path servers.
+  EXPECT_FALSE(h.leader_holds_lease(0));
+}
+
+TEST(MultiPaxosLease, FastFollowerClocksPastEpsilonAdmitOneStaleRead) {
+  MpLeaseHarness h;
+  h.acquire_lease();
+  h.net.inject(test::client_request(9, 0, 1, Op::kWrite, 1, 7));
+  h.net.run();
+  ASSERT_TRUE(h.leader_holds_lease(0));
+
+  // (rate - 1) * lease = 4 * 10 ms >> epsilon: the grants lapse in ~2 ms of
+  // true time while the leader believes its lease for ~9 ms.
+  h.net.stretch_clock(1, 5.0);
+  h.net.stretch_clock(2, 5.0);
+  h.net.isolate(0);
+  NodeId new_leader = consensus::kNoNode;
+  for (int i = 0; i < 60 && new_leader == consensus::kNoNode; ++i) {
+    h.net.advance(100 * kMicrosecond);
+    h.net.run();
+    if (h.at(1).is_leader()) new_leader = 1;
+    if (h.at(2).is_leader()) new_leader = 2;
+  }
+  ASSERT_NE(new_leader, consensus::kNoNode);
+  // The unsafe overlap the epsilon discount exists to prevent: a new regime
+  // is live while the deposed leader still believes its lease.
+  ASSERT_TRUE(h.leader_holds_lease(0));
+
+  h.net.inject(test::client_request(5, new_leader, 1, Op::kWrite, 1, 99));
+  h.net.run();
+  EXPECT_EQ(h.at(new_leader).log().first_gap(), 2);
+
+  // Heal the old leader and let a read reach it BEFORE any higher-ballot
+  // message does: it serves the stale value from its applied state.
+  h.net.heal(0);
+  h.net.clear_external();
+  h.net.inject(test::client_request(6, 0, 1, Op::kRead, 1));
+  h.net.run();
+  EXPECT_EQ(h.at(0).lease_reads(), 1u);
+  const Message* stale = reply_to(h.net, 6, 1);
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->u.client_reply.result, 7u);  // NOT 99: provably stale
+
+  // The new regime's heartbeats carry a higher ballot; on first contact the
+  // deposed leader steps down, resets its ledger, and stops serving.
+  for (int i = 0; i < 50; ++i) {
+    h.net.advance(200 * kMicrosecond);
+    h.net.run();
+  }
+  EXPECT_FALSE(h.at(0).is_leader());
+  EXPECT_FALSE(h.leader_holds_lease(0));
+  h.net.clear_external();
+  h.net.inject(test::client_request(8, 0, 1, Op::kRead, 1));
+  h.net.run();
+  EXPECT_EQ(h.at(0).lease_reads(), 1u);  // unchanged: no fast path anymore
+  const Message* fresh = reply_to(h.net, 8, 1);
+  ASSERT_NE(fresh, nullptr);  // forwarded to the new leader, answered fresh
+  EXPECT_EQ(fresh->u.client_reply.result, 99u);
+}
+
+struct OpxLeaseHarness {
+  explicit OpxLeaseHarness(Nanos lease = 12 * kMillisecond, Nanos epsilon = kEpsilon) {
+    for (NodeId r = 0; r < 3; ++r) {
+      OnePaxosConfig cfg;
+      cfg.base.self = r;
+      cfg.base.num_replicas = 3;
+      cfg.base.seed = 3;
+      cfg.base.fd_timeout = 3 * kMillisecond;
+      cfg.base.lease_duration = lease;
+      cfg.base.lease_epsilon = epsilon;
+      cfg.initial_leader = 0;
+      cfg.initial_acceptor = 1;
+      sms.push_back(std::make_unique<MapStateMachine>());
+      cfg.base.state_machine = sms.back().get();
+      engines.push_back(std::make_unique<OnePaxosEngine>(cfg));
+      net.add(engines.back().get());
+    }
+    net.start_all();
+  }
+
+  OnePaxosEngine& at(NodeId r) { return *engines[static_cast<std::size_t>(r)]; }
+
+  void acquire_lease() {
+    for (int i = 0; i < 5; ++i) {
+      net.advance(500 * kMicrosecond);
+      net.run();
+    }
+  }
+
+  bool leader_holds_lease(NodeId r) { return at(r).holds_lease(net.ctx(r).now()); }
+
+  FakeNet net;
+  std::vector<std::unique_ptr<MapStateMachine>> sms;
+  std::vector<std::unique_ptr<OnePaxosEngine>> engines;
+};
+
+TEST(OnePaxosLease, FastReadServesAppliedStateWithoutLogEntry) {
+  OpxLeaseHarness h;
+  h.acquire_lease();
+  ASSERT_TRUE(h.leader_holds_lease(0));
+
+  h.net.inject(test::client_request(9, 0, 1, Op::kWrite, 1, 7));
+  h.net.run();
+  ASSERT_EQ(h.at(0).log().first_gap(), 1);
+  h.net.clear_external();
+
+  h.net.inject(test::client_request(9, 0, 2, Op::kRead, 1));
+  h.net.run();
+  EXPECT_EQ(h.at(0).lease_reads(), 1u);
+  EXPECT_EQ(h.at(0).log().first_gap(), 1);
+  const Message* r = reply_to(h.net, 9, 2);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->u.client_reply.result, 7u);
+  EXPECT_EQ(r->u.client_reply.instance, kNoInstance);
+  EXPECT_NE(r->u.client_reply.lease_epoch, 0u);
+}
+
+TEST(OnePaxosLease, LeaseOffReadsReplicate) {
+  OpxLeaseHarness h(/*lease=*/0, /*epsilon=*/0);
+  h.acquire_lease();
+  EXPECT_FALSE(h.leader_holds_lease(0));
+  h.net.inject(test::client_request(9, 0, 1, Op::kWrite, 1, 7));
+  h.net.run();
+  h.net.inject(test::client_request(9, 0, 2, Op::kRead, 1));
+  h.net.run();
+  EXPECT_EQ(h.at(0).lease_reads(), 0u);
+  EXPECT_EQ(h.at(0).log().first_gap(), 2);
+  const Message* r = reply_to(h.net, 9, 2);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->u.client_reply.result, 7u);
+}
+
+TEST(OnePaxosLease, GrantsSuppressTakeoverPastFailureDetector) {
+  OpxLeaseHarness h;
+  h.acquire_lease();
+  ASSERT_TRUE(h.leader_holds_lease(0));
+
+  const Nanos t0 = h.net.now();
+  h.net.isolate(0);
+  NodeId new_leader = consensus::kNoNode;
+  for (int i = 0; i < 80 && new_leader == consensus::kNoNode; ++i) {
+    h.net.advance(500 * kMicrosecond);
+    h.net.run();
+    if (h.at(1).is_leader()) new_leader = 1;
+    if (h.at(2).is_leader()) new_leader = 2;
+  }
+  ASSERT_NE(new_leader, consensus::kNoNode);
+  // Grants (12 ms) held the takeover well past the 3 ms failure detector;
+  // the deposed leader's discounted belief was gone by then.
+  EXPECT_GE(h.net.now() - t0, 9 * kMillisecond);
+  EXPECT_FALSE(h.leader_holds_lease(0));
+}
+
+}  // namespace
+}  // namespace ci

@@ -104,6 +104,17 @@ class FakeNet {
   void isolate(NodeId n) { isolated_.insert(n); }
   void heal(NodeId n) { isolated_.erase(n); }
 
+  // From the current virtual time on, node n's PERCEIVED clock (its
+  // Context::now()) advances `rate` times virtual time — the clock-skew
+  // adversary of the lease staleness tests. Re-anchored at the switch so
+  // the perceived clock never jumps backwards.
+  void stretch_clock(NodeId n, double rate) {
+    auto& c = *ctxs_[static_cast<std::size_t>(n)];
+    c.skew_anchor_seen = c.now();
+    c.skew_anchor_real = now_;
+    c.skew_rate = rate;
+  }
+
   // Injects a message as if sent externally.
   void inject(const Message& m) { queue_.push_back(m); }
 
@@ -129,7 +140,12 @@ class FakeNet {
  private:
   struct Ctx final : Context {
     NodeId self() const override { return id; }
-    Nanos now() const override { return net->now_; }
+    Nanos now() const override {
+      if (skew_rate == 1.0) return net->now_;
+      return skew_anchor_seen +
+             static_cast<Nanos>(static_cast<double>(net->now_ - skew_anchor_real) *
+                                skew_rate);
+    }
     void send(NodeId dst, const Message& m) override {
       Message out = m;
       out.src = id;
@@ -148,6 +164,10 @@ class FakeNet {
     Engine* engine = nullptr;
     std::uint64_t sent = 0;
     std::vector<std::pair<Instance, Command>> delivered;
+    // Clock skew (stretch_clock): perceived = seen + (virtual - real) * rate.
+    Nanos skew_anchor_real = 0;
+    Nanos skew_anchor_seen = 0;
+    double skew_rate = 1.0;
   };
 
   void deliver(const Message& m) {
