@@ -14,7 +14,9 @@ OLD and NEW are BENCH_*.json files or directories containing them. Rows are
 matched by (bench, label); per-metric deltas print as percentages (positive
 ops_per_sec = faster, positive msgs_per_op/bytes_per_op = chattier).
 Latency metrics (p50_us, p99_us) print when present. Unmatched rows are
-listed but not an error (benches gain and lose rows across PRs).
+listed but not an error (benches gain and lose rows across PRs); a metric
+present on only one side of a matched row warns and is skipped — there is
+nothing to compare until both snapshots carry the column.
 
 --max-regress-pct P exits 1 when any matched row regresses by more than P
 percent on ops_per_sec (drop) or msgs_per_op/bytes_per_op (growth) — the CI
@@ -94,6 +96,14 @@ def main():
         name = f"{key[0]}/{key[1]}"
         for metric, higher_better, always in METRICS:
             if metric not in o or metric not in n:
+                # One-sided metric (a bench grew or lost a column across
+                # PRs): warn instead of silently skipping, but never gate
+                # on it — there is nothing to compare yet.
+                if (metric in o) != (metric in n):
+                    side = "OLD" if metric in o else "NEW"
+                    print(
+                        f"warning: {name} {metric} present only in {side}; skipped"
+                    )
                 continue
             ov, nv = o[metric], n[metric]
             if not always and ov == 0 and nv == 0:

@@ -6,6 +6,8 @@
 // agreement. Expected shape (paper): with 3 clients and 75% reads 2PC-Joint
 // catches up with 1Paxos; with 5 clients it falls behind again — the local
 // read optimization does not scale with the number of nodes.
+#include <string>
+
 #include "support/bench_common.hpp"
 
 namespace {
@@ -13,7 +15,7 @@ namespace {
 using namespace ci;
 using namespace ci::bench;
 
-double joint_run(Protocol p, int nodes, double read_fraction, bool local_reads) {
+BenchRun joint_run(Protocol p, int nodes, double read_fraction, bool local_reads) {
   ClusterSpec o;
   o.protocol = p;
   o.num_replicas = nodes;
@@ -21,7 +23,7 @@ double joint_run(Protocol p, int nodes, double read_fraction, bool local_reads) 
   o.joint_local_reads = local_reads;
   o.workload.read_fraction = read_fraction;
   o.seed = 6;
-  return run_sim(o, 20 * kMillisecond, 300 * kMillisecond).throughput;
+  return run_sim(o, 20 * kMillisecond, 300 * kMillisecond);
 }
 
 }  // namespace
@@ -30,16 +32,23 @@ int main() {
   header("E6: read workloads — 2PC-Joint local reads vs 1Paxos",
          "paper Fig. 10", "proposals/sec for 3 and 5 joint nodes");
 
+  BenchJson json("fig10_read_workload");
+  // One table row per configuration, one json row per (config, node count)
+  // so the snapshot diffs cell by cell.
+  auto table_row = [&](const char* name, const std::string& slug, Protocol p,
+                       double reads, bool local) {
+    const BenchRun three = joint_run(p, 3, reads, local);
+    const BenchRun five = joint_run(p, 5, reads, local);
+    row("%-26s %14.0f %14.0f", name, three.throughput, five.throughput);
+    json.add(slug + "-3n", three);
+    json.add(slug + "-5n", five);
+  };
+
   row("%-26s %14s %14s", "configuration", "3 clients", "5 clients");
-  row("%-26s %14.0f %14.0f", "1Paxos - 0% read",
-      joint_run(Protocol::kOnePaxos, 3, 0.0, false),
-      joint_run(Protocol::kOnePaxos, 5, 0.0, false));
-  row("%-26s %14.0f %14.0f", "2PC-Joint - 0% read",
-      joint_run(Protocol::kTwoPc, 3, 0.0, true), joint_run(Protocol::kTwoPc, 5, 0.0, true));
-  row("%-26s %14.0f %14.0f", "2PC-Joint - 10% read",
-      joint_run(Protocol::kTwoPc, 3, 0.10, true), joint_run(Protocol::kTwoPc, 5, 0.10, true));
-  row("%-26s %14.0f %14.0f", "2PC-Joint - 75% read",
-      joint_run(Protocol::kTwoPc, 3, 0.75, true), joint_run(Protocol::kTwoPc, 5, 0.75, true));
+  table_row("1Paxos - 0% read", "1paxos-read0", Protocol::kOnePaxos, 0.0, false);
+  table_row("2PC-Joint - 0% read", "joint-read0", Protocol::kTwoPc, 0.0, true);
+  table_row("2PC-Joint - 10% read", "joint-read10", Protocol::kTwoPc, 0.10, true);
+  table_row("2PC-Joint - 75% read", "joint-read75", Protocol::kTwoPc, 0.75, true);
   row("");
   row("Shape check (paper): more reads lift 2PC-Joint; at 3 clients / 75%%");
   row("reads it approaches 1Paxos, but adding clients drops it again while");

@@ -71,6 +71,22 @@ int main(int argc, char** argv) {
   const double dip = avg(faulty, kSlowStartBucket, kSlowStartBucket + 10);
   const double in_fault = avg(faulty, kSlowStartBucket + 20, kSlowEndBucket);
   const double post = avg(faulty, kSlowEndBucket + 5, kBuckets - 2);
+  const double flat = avg(baseline, 5, kBuckets - 2);
+
+  // Mirror the phase averages into the snapshot (the full series would
+  // drown the diff; the phases ARE the shape the figure argues).
+  BenchJson json("fig11_slow_leader");
+  auto phase = [&](const std::string& label, double ops) {
+    BenchRun r;
+    r.throughput = ops;
+    r.committed = static_cast<std::uint64_t>(ops);
+    json.add(label, r);
+  };
+  phase("pre-fault", pre);
+  phase("takeover-dip", dip);
+  phase("in-fault", in_fault);
+  phase("after-heal", post);
+  phase("no-failure", flat);
   row("");
   row("pre-fault avg %.0f | takeover dip avg %.0f | post-takeover (leader still slow) %.0f |"
       " after heal %.0f op/s",

@@ -23,14 +23,21 @@
 // the cross-shard transaction driver uses it for its per-group fan-out.
 // Retries always degrade to per-command legacy frames, so a lost batch
 // frame costs nothing but the amortization.
+//
+// Allocation discipline: the pipeline is bounded, so ALL per-command state
+// lives in fixed arrays — a ring for the not-yet-sent backlog, a slot array
+// for the awaiting-reply window — and Completion objects are recycled
+// through a spare list once both the engine and the application have
+// dropped them. After warmup a steady-state submit/complete cycle performs
+// no heap allocation (pinned by the alloc-guard suite), which is what lets
+// the open-loop workload engine (harness/workload.hpp) drive tens of
+// thousands of logical sessions without the allocator in the loop.
 #pragma once
 
-#include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -87,6 +94,11 @@ class SubmitHandle {
   // the reply predates leases or the command has not completed. Valid only
   // after done()/wait(); the Session near-cache keys entries on it.
   std::uint32_t lease_epoch() const;
+  // When the reply was processed, in the hosting node's clock (virtual
+  // nanoseconds under sim, wall nanoseconds under rt); 0 until done(). The
+  // workload engine measures honest open-loop latency against this instead
+  // of its own polling time, so reaping late never flatters the tail.
+  Nanos completed_at() const;
 
  private:
   friend class AsyncClientEngine;
@@ -95,6 +107,7 @@ class SubmitHandle {
     bool done = false;
     std::uint64_t result = 0;
     std::uint32_t lease_epoch = 0;
+    Nanos completed_at = 0;
   };
 
   SubmitHandle(AsyncClientEngine* engine, std::shared_ptr<Completion> state)
@@ -111,7 +124,9 @@ class AsyncClientEngine final : public Engine {
   static constexpr std::int32_t kMaxOutstanding = consensus::kMaxCommandsPerBatch;
 
   explicit AsyncClientEngine(const AsyncClientConfig& cfg)
-      : cfg_(cfg), target_(cfg.initial_target) {}
+      : cfg_(cfg), target_(cfg.initial_target) {
+    spare_.reserve(2 * static_cast<std::size_t>(kMaxOutstanding));
+  }
 
   // ---- Application side (any thread but the hosting node's) ----
 
@@ -161,6 +176,12 @@ class AsyncClientEngine final : public Engine {
     wait_locked(lock, [this] { return in_flight_count() == 0; });
   }
 
+  // Room left in the pipeline right now (how many submits would not block).
+  std::int32_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return kMaxOutstanding - in_flight_count();
+  }
+
   // The newest nonzero ClientReply::lease_epoch seen from this group's
   // leader — the group's current cache epoch as far as this engine knows.
   // 0 until a lease-epoch-stamped reply arrives.
@@ -182,21 +203,22 @@ class AsyncClientEngine final : public Engine {
   // ---- Engine side (hosting node thread) ----
 
   void on_message(Context& ctx, const Message& m) override {
-    (void)ctx;
     if (m.type != MsgType::kClientReply) return;
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = sent_.find(m.u.client_reply.seq);
-    if (it == sent_.end()) return;
+    const std::int32_t slot = find_sent_locked(m.u.client_reply.seq);
+    if (slot < 0) return;
     if (m.u.client_reply.leader_hint != consensus::kNoNode) {
       target_ = m.u.client_reply.leader_hint;
     }
-    it->second.completion->done = true;
-    it->second.completion->result = m.u.client_reply.result;
-    it->second.completion->lease_epoch = m.u.client_reply.lease_epoch;
+    Sent& f = sent_[static_cast<std::size_t>(slot)];
+    f.completion->done = true;
+    f.completion->result = m.u.client_reply.result;
+    f.completion->lease_epoch = m.u.client_reply.lease_epoch;
+    f.completion->completed_at = ctx.now();
     if (m.u.client_reply.lease_epoch != 0) {
       latest_epoch_ = m.u.client_reply.lease_epoch;
     }
-    sent_.erase(it);
+    release_sent_locked(slot);
     done_cv_.notify_all();
   }
 
@@ -206,25 +228,44 @@ class AsyncClientEngine final : public Engine {
     // Launch queued commands from the hosting node's thread. Members of one
     // run travel together in kClientCmdBatch frames; everything else goes
     // as a legacy kClientRequest.
-    while (!queued_.empty()) {
-      if (queued_.front().run != 0) {
-        launch_run_locked(ctx, now);
+    while (queued_count_ > 0) {
+      if (queued_front().run != 0) {
+        launch_chunk_locked(ctx, now, /*run=*/queued_front().run,
+                            consensus::kMaxClientBatchCommands);
         continue;
       }
       if (cfg_.coalesce > 1) {
-        launch_coalesced_locked(ctx, now);
+        launch_chunk_locked(
+            ctx, now, /*run=*/0,
+            std::min(cfg_.coalesce, consensus::kMaxClientBatchCommands));
         continue;
       }
-      Pending p = std::move(queued_.front());
-      queued_.pop_front();
+      Pending p = pop_queued();
       send_locked(ctx, p.cmd, /*suspect=*/false);
-      sent_.emplace(p.cmd.seq, InFlight{p.cmd, std::move(p.completion), now});
+      store_sent_locked(p.cmd, std::move(p.completion), now);
     }
-    // Retry stragglers individually; rotate the target at most once per
-    // tick so several outstanding commands cannot spin it around the ring.
+    // Retry stragglers individually, in submission (seq) order; rotate the
+    // target at most once per tick so several outstanding commands cannot
+    // spin it around the ring.
+    std::array<std::int32_t, kMaxOutstanding> overdue;
+    std::int32_t n = 0;
+    for (std::int32_t i = 0; i < kMaxOutstanding; ++i) {
+      Sent& f = sent_[static_cast<std::size_t>(i)];
+      if (!f.used || now - f.last_sent < cfg_.request_timeout) continue;
+      // Insertion sort by seq: the window is 64 slots and usually nearly
+      // ordered, so this stays cheap and allocation-free.
+      std::int32_t j = n++;
+      while (j > 0 &&
+             sent_[static_cast<std::size_t>(overdue[static_cast<std::size_t>(j - 1)])]
+                     .cmd.seq > f.cmd.seq) {
+        overdue[static_cast<std::size_t>(j)] = overdue[static_cast<std::size_t>(j - 1)];
+        --j;
+      }
+      overdue[static_cast<std::size_t>(j)] = i;
+    }
     bool rotated = false;
-    for (auto& [seq, f] : sent_) {
-      if (now - f.last_sent < cfg_.request_timeout) continue;
+    for (std::int32_t k = 0; k < n; ++k) {
+      Sent& f = sent_[static_cast<std::size_t>(overdue[static_cast<std::size_t>(k)])];
       if (!rotated) {
         target_ = (target_ + 1) % cfg_.base.num_replicas;
         rotated = true;
@@ -245,14 +286,83 @@ class AsyncClientEngine final : public Engine {
     std::uint32_t run = 0;  // nonzero: batch with same-run neighbors
   };
 
-  struct InFlight {
+  struct Sent {
+    bool used = false;
     Command cmd;
     std::shared_ptr<SubmitHandle::Completion> completion;
     Nanos last_sent = 0;
   };
 
-  std::int32_t in_flight_count() const {
-    return static_cast<std::int32_t>(queued_.size() + sent_.size());
+  std::int32_t in_flight_count() const { return queued_count_ + sent_count_; }
+
+  // ---- queued ring (capacity kMaxOutstanding; in_flight_count() <=
+  // kMaxOutstanding is the submit-side invariant, so it never overflows) ----
+
+  Pending& queued_front() { return queued_[static_cast<std::size_t>(queued_head_)]; }
+
+  Pending pop_queued() {
+    Pending p = std::move(queued_[static_cast<std::size_t>(queued_head_)]);
+    queued_head_ = (queued_head_ + 1) % kMaxOutstanding;
+    --queued_count_;
+    return p;
+  }
+
+  void push_queued(Pending p) {
+    CI_CHECK(queued_count_ < kMaxOutstanding);
+    const std::int32_t tail = (queued_head_ + queued_count_) % kMaxOutstanding;
+    queued_[static_cast<std::size_t>(tail)] = std::move(p);
+    ++queued_count_;
+  }
+
+  // ---- sent slots ----
+
+  std::int32_t find_sent_locked(std::uint32_t seq) const {
+    for (std::int32_t i = 0; i < kMaxOutstanding; ++i) {
+      const Sent& f = sent_[static_cast<std::size_t>(i)];
+      if (f.used && f.cmd.seq == seq) return i;
+    }
+    return -1;
+  }
+
+  void store_sent_locked(const Command& cmd,
+                         std::shared_ptr<SubmitHandle::Completion> completion,
+                         Nanos now) {
+    for (std::int32_t i = 0; i < kMaxOutstanding; ++i) {
+      Sent& f = sent_[static_cast<std::size_t>(i)];
+      if (f.used) continue;
+      f.used = true;
+      f.cmd = cmd;
+      f.completion = std::move(completion);
+      f.last_sent = now;
+      ++sent_count_;
+      return;
+    }
+    CI_CHECK_MSG(false, "sent window overflow (pipeline invariant broken)");
+  }
+
+  void release_sent_locked(std::int32_t slot) {
+    Sent& f = sent_[static_cast<std::size_t>(slot)];
+    f.used = false;
+    --sent_count_;
+    // Recycle the completion once the application drops its handle: the
+    // spare list is scanned at enqueue time for an entry nobody else
+    // references. Entries still held by the app stay parked here (they
+    // become reusable when the handle is dropped), so the list's size is
+    // bounded by the number of handles alive at once.
+    spare_.push_back(std::move(f.completion));
+  }
+
+  std::shared_ptr<SubmitHandle::Completion> acquire_completion_locked() {
+    for (std::size_t i = spare_.size(); i > 0; --i) {
+      auto& c = spare_[i - 1];
+      if (c.use_count() != 1) continue;  // an app handle still reads it
+      auto out = std::move(c);
+      spare_[i - 1] = std::move(spare_.back());
+      spare_.pop_back();
+      *out = SubmitHandle::Completion{};
+      return out;
+    }
+    return std::make_shared<SubmitHandle::Completion>();
   }
 
   SubmitHandle enqueue_locked(const Command& proto, std::uint32_t run) {
@@ -260,71 +370,39 @@ class AsyncClientEngine final : public Engine {
     p.cmd = proto;
     p.cmd.client = cfg_.base.self;
     p.cmd.seq = ++next_seq_;
-    p.completion = std::make_shared<SubmitHandle::Completion>();
+    p.completion = acquire_completion_locked();
     p.run = run;
-    queued_.push_back(p);
-    return SubmitHandle(this, std::move(p.completion));
+    SubmitHandle handle(this, p.completion);
+    push_queued(std::move(p));
+    return handle;
   }
 
-  // Front of the queue is a run member: peel off up to a frame's worth of
-  // its siblings and send them in one kClientCmdBatch (single leftovers go
-  // as a legacy frame — the wire promise is that one command never rides a
-  // batch frame).
-  void launch_run_locked(Context& ctx, Nanos now) {
-    const std::uint32_t run = queued_.front().run;
-    std::vector<Pending> chunk;
-    while (!queued_.empty() && queued_.front().run == run &&
-           static_cast<std::int32_t>(chunk.size()) < consensus::kMaxClientBatchCommands) {
-      chunk.push_back(std::move(queued_.front()));
-      queued_.pop_front();
+  // The front of the queue starts a chunk: peel up to `window` consecutive
+  // commands with the same run id (run 0 = plain commands under coalescing)
+  // and ship them in one kClientCmdBatch frame. A chunk of one keeps the
+  // legacy kClientRequest — the wire never pays the batch header for a
+  // single command.
+  void launch_chunk_locked(Context& ctx, Nanos now, std::uint32_t run,
+                           std::int32_t window) {
+    std::array<Pending, consensus::kMaxClientBatchCommands> chunk;
+    std::int32_t count = 0;
+    while (queued_count_ > 0 && queued_front().run == run && count < window) {
+      chunk[static_cast<std::size_t>(count++)] = pop_queued();
     }
-    if (chunk.size() == 1) {
+    if (count == 1) {
       send_locked(ctx, chunk[0].cmd, /*suspect=*/false);
     } else {
       Message m(MsgType::kClientCmdBatch, consensus::ProtoId::kClient, cfg_.base.self,
                 target_);
-      std::vector<Command> cmds;
-      cmds.reserve(chunk.size());
-      for (const Pending& p : chunk) cmds.push_back(p.cmd);
-      m.u.client_cmd_batch.count = static_cast<std::int32_t>(cmds.size());
-      m.u.client_cmd_batch.run.assign(cmds.data(), m.u.client_cmd_batch.count);
+      Command cmds[consensus::kMaxClientBatchCommands];
+      for (std::int32_t i = 0; i < count; ++i) cmds[i] = chunk[static_cast<std::size_t>(i)].cmd;
+      m.u.client_cmd_batch.count = count;
+      m.u.client_cmd_batch.run.assign(cmds, count);
       ctx.send(target_, m);
     }
-    for (Pending& p : chunk) {
-      const std::uint32_t seq = p.cmd.seq;
-      sent_.emplace(seq, InFlight{p.cmd, std::move(p.completion), now});
-    }
-  }
-
-  // Front of the queue is a plain command and coalescing is on: close the
-  // window over up to cfg_.coalesce consecutive plain commands and ship
-  // them in one kClientCmdBatch. A window that closes with one command
-  // (queue drained, or a run boundary hit) keeps the legacy frame — the
-  // wire never pays the batch header for a single command.
-  void launch_coalesced_locked(Context& ctx, Nanos now) {
-    const std::int32_t window =
-        std::min(cfg_.coalesce, consensus::kMaxClientBatchCommands);
-    std::vector<Pending> chunk;
-    while (!queued_.empty() && queued_.front().run == 0 &&
-           static_cast<std::int32_t>(chunk.size()) < window) {
-      chunk.push_back(std::move(queued_.front()));
-      queued_.pop_front();
-    }
-    if (chunk.size() == 1) {
-      send_locked(ctx, chunk[0].cmd, /*suspect=*/false);
-    } else {
-      Message m(MsgType::kClientCmdBatch, consensus::ProtoId::kClient, cfg_.base.self,
-                target_);
-      std::vector<Command> cmds;
-      cmds.reserve(chunk.size());
-      for (const Pending& p : chunk) cmds.push_back(p.cmd);
-      m.u.client_cmd_batch.count = static_cast<std::int32_t>(cmds.size());
-      m.u.client_cmd_batch.run.assign(cmds.data(), m.u.client_cmd_batch.count);
-      ctx.send(target_, m);
-    }
-    for (Pending& p : chunk) {
-      const std::uint32_t seq = p.cmd.seq;
-      sent_.emplace(seq, InFlight{p.cmd, std::move(p.completion), now});
+    for (std::int32_t i = 0; i < count; ++i) {
+      Pending& p = chunk[static_cast<std::size_t>(i)];
+      store_sent_locked(p.cmd, std::move(p.completion), now);
     }
   }
 
@@ -355,9 +433,16 @@ class AsyncClientEngine final : public Engine {
   std::condition_variable done_cv_;
   std::uint32_t next_seq_ = 0;
   std::uint32_t next_run_ = 0;
-  std::deque<Pending> queued_;             // not yet sent (tick launches them)
-  std::map<std::uint32_t, InFlight> sent_;  // awaiting a reply, by seq
-  std::uint32_t latest_epoch_ = 0;          // newest nonzero reply epoch
+  // Not yet sent (tick launches them): fixed ring, FIFO.
+  std::array<Pending, kMaxOutstanding> queued_;
+  std::int32_t queued_head_ = 0;
+  std::int32_t queued_count_ = 0;
+  // Awaiting a reply: fixed slot array (order-free; retries re-sort by seq).
+  std::array<Sent, kMaxOutstanding> sent_;
+  std::int32_t sent_count_ = 0;
+  // Recycled Completion objects (see release_sent_locked).
+  std::vector<std::shared_ptr<SubmitHandle::Completion>> spare_;
+  std::uint32_t latest_epoch_ = 0;  // newest nonzero reply epoch
 };
 
 inline bool SubmitHandle::done() const {
@@ -377,6 +462,12 @@ inline std::uint32_t SubmitHandle::lease_epoch() const {
   if (state_ == nullptr) return 0;
   std::lock_guard<std::mutex> lock(engine_->mu_);
   return state_->done ? state_->lease_epoch : 0;
+}
+
+inline Nanos SubmitHandle::completed_at() const {
+  if (state_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(engine_->mu_);
+  return state_->done ? state_->completed_at : 0;
 }
 
 }  // namespace ci::client

@@ -248,4 +248,10 @@ Nanos ServiceClient::sim_now() const {
   return sim_->net->now();
 }
 
+void ServiceClient::sim_run_until(Nanos t) {
+  if (opts_.backend != core::Backend::kSim) return;
+  std::lock_guard<std::mutex> lock(sim_->mu);
+  if (t > sim_->net->now()) sim_->net->run_until(t);
+}
+
 }  // namespace ci::client

@@ -177,6 +177,13 @@ class ServiceClient {
   std::uint64_t total_bytes() const;
   // Virtual time under sim (0 under rt, where wall clocks apply).
   Nanos sim_now() const;
+  // Advances the simulation to virtual time `t` (no-op when t has passed,
+  // and on the rt backend, where wall time advances itself). This is the
+  // open-loop workload driver's clock: it paces arrivals by running the
+  // cluster to each arrival's scheduled instant instead of blocking in a
+  // session wait. Call only between session operations (not from a reply
+  // callback); concurrent callers serialize on the pump mutex.
+  void sim_run_until(Nanos t);
 
   core::ShardedDeployment& deployment() { return dep_; }
 

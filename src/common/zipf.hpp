@@ -1,0 +1,76 @@
+// Zipfian rank sampler (YCSB's ZipfianGenerator shape): O(n) setup to
+// precompute the harmonic normalizer, O(1) per sample afterwards — cheap
+// enough to sit on the workload engine's arrival path.
+//
+// next() draws a RANK in [0, n): rank 0 is the most popular item, with
+// P(rank = k) proportional to 1 / (k+1)^theta. theta in [0, 1) controls the
+// skew — 0 degenerates to uniform, YCSB's default hot-key skew is 0.99.
+// Ranks cluster at the low end, so workloads that want the hot items spread
+// across the key space (and across shards) should scramble the rank
+// (scrambled_zipf_key below), exactly like YCSB's ScrambledZipfianGenerator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ci {
+
+class Zipf {
+ public:
+  // n >= 1 items, 0 <= theta < 1 (theta == 0 is uniform; 1 would need the
+  // divergent-harmonic special case YCSB also excludes).
+  Zipf(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    CI_CHECK(n >= 1);
+    CI_CHECK(theta >= 0.0 && theta < 1.0);
+    zetan_ = zeta(n, theta);
+    zeta2_ = zeta(n < 2 ? n : 2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    const double base = 1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta);
+    eta_ = n < 2 ? 1.0 : base / (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // One rank in [0, n), most popular first. O(1); no allocation.
+  std::uint64_t next(Rng& rng) {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (n_ >= 2 && uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;  // fp edge: clamp into range
+  }
+
+ private:
+  // zeta(n, theta) = sum_{i=1..n} 1 / i^theta. The O(n) part, paid once.
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+// Spreads a zipfian rank over [0, key_space) so the hot items are not
+// adjacent (and do not all hash to one shard): the SplitMix64 finalizer is
+// a bijection over u64, so distinct ranks keep distinct hashes and the
+// modulo only folds them into range (collisions merely merge two ranks'
+// popularity, exactly like YCSB's FNV scramble).
+inline std::uint64_t scrambled_zipf_key(std::uint64_t rank, std::uint64_t key_space) {
+  return SplitMix64(rank).next() % key_space;
+}
+
+}  // namespace ci

@@ -32,6 +32,17 @@ using Batch = std::vector<Command>;
 inline Batch single_batch(const Command& cmd) { return Batch{cmd}; }
 
 struct BatchPolicy {
+  // What governs the idle-pipeline flush of a PARTIAL batch:
+  //   * kFixed — the classic timer: hold up to flush_after unconditionally
+  //     (bit-identical to the pre-adaptive behavior, and the default);
+  //   * kAdaptive — the hold is derived from the observed arrival rate: a
+  //     lone command flushes immediately when the next arrival is not
+  //     expected within the budget, and waits at most a handful of
+  //     predicted inter-arrival gaps when company IS imminent. flush_after
+  //     becomes the upper bound of the hold (the "budget"); 0 keeps the
+  //     stock kAdaptiveDefaultHold.
+  enum class FlushMode : std::uint8_t { kFixed, kAdaptive };
+
   // Commands per instance; 1 (default) reproduces unbatched behavior
   // bit-identically. Clamped to [1, kMaxCommandsPerBatch].
   std::int32_t max_commands = 1;
@@ -46,10 +57,31 @@ struct BatchPolicy {
   // as one batch — the batch size adapts to load by itself. The timer only
   // governs the idle case: 0 (default) proposes a lone command immediately
   // (work-conserving, no added latency), T > 0 holds it up to T hoping for
-  // company (trading latency for fill at low load).
+  // company (trading latency for fill at low load). Under kAdaptive this is
+  // the hold's UPPER BOUND, not its value.
   Nanos flush_after = 0;
 
+  FlushMode flush_mode = FlushMode::kFixed;
+
+  // Adaptive-mode constants. The hold is min(budget, kAdaptiveHoldGaps *
+  // ewma_gap): at high arrival rates a few gaps buy most of the fill a
+  // fixed timer would (the in-flight decide accumulates the rest — group
+  // commit), while the budget caps the worst case when the gap estimate is
+  // stale. kAdaptiveDefaultHold is the budget when flush_after is unset —
+  // roughly a few decide round trips under the sim cost model.
+  static constexpr std::int64_t kAdaptiveHoldGaps = 8;
+  static constexpr Nanos kAdaptiveDefaultHold = 200 * kMicrosecond;
+
   bool batching() const { return max_commands > 1; }
+
+  bool adaptive() const { return flush_mode == FlushMode::kAdaptive; }
+
+  // The adaptive hold budget: flush_after when set, the stock default
+  // otherwise (an adaptive policy with no timer configured must still be
+  // allowed to hold — the whole point is that IT decides when not to).
+  Nanos adaptive_hold_budget() const {
+    return flush_after > 0 ? flush_after : kAdaptiveDefaultHold;
+  }
 
   // Commands per batch after every cap (max_commands, the byte budget, the
   // compile-time ceiling); never below 1.
@@ -73,7 +105,18 @@ class Batcher {
   bool empty() const { return q_.empty(); }
   std::size_t size() const { return q_.size(); }
 
-  void push(const Command& cmd, Nanos now) { q_.push_back({cmd, now}); }
+  void push(const Command& cmd, Nanos now) {
+    // Arrival-rate estimate for the adaptive flush rule: EWMA of the
+    // inter-arrival gap, clamped to >= 1 ns so a measured gap is never
+    // confused with the "no estimate yet" zero. Re-queues (push_front) are
+    // not arrivals and leave the estimate alone.
+    if (last_arrival_ != kNoTime && now >= last_arrival_) {
+      const Nanos gap = std::max<Nanos>(now - last_arrival_, 1);
+      ewma_gap_ = ewma_gap_ == 0 ? gap : (3 * ewma_gap_ + gap) / 4;
+    }
+    last_arrival_ = now;
+    q_.push_back({cmd, now});
+  }
 
   // Re-queue at the front (a command that lost an instance race must be
   // re-proposed before new arrivals). Front-of-queue age makes it flush
@@ -85,8 +128,11 @@ class Batcher {
   //   * unbatched policy — any pending command goes at once (the classic
   //     regime, bit-identical to pre-batching behavior);
   //   * batching — a full batch always goes; a partial batch goes only when
-  //     the pipeline is idle and its oldest command has waited flush_after
-  //     (group commit: in-flight decides flush the accumulated backlog).
+  //     the pipeline is idle and its oldest command has waited out the
+  //     flush policy (group commit: in-flight decides flush the accumulated
+  //     backlog). kFixed waits flush_after unconditionally; kAdaptive waits
+  //     only while the arrival-rate estimate says company is imminent —
+  //     see idle_hold().
   // Re-queued commands (push_front) count as overdue: a race loser must be
   // re-proposed as soon as the pipeline allows.
   bool ready(Nanos now, std::size_t outstanding) const {
@@ -95,8 +141,25 @@ class Batcher {
     if (static_cast<std::int32_t>(q_.size()) >= policy_.commands_cap()) return true;
     if (outstanding > 0) return false;
     const Nanos enqueued = q_.front().enqueued;
-    return enqueued == kNoTime || now - enqueued >= policy_.flush_after;
+    return enqueued == kNoTime || now - enqueued >= idle_hold();
   }
+
+  // How long the oldest command of a partial batch holds on an idle
+  // pipeline. kFixed: flush_after, always. kAdaptive: 0 when there is no
+  // gap estimate yet or arrivals are too sparse for company to show up
+  // within the budget (the p99-at-low-load win: a lone command proposes at
+  // batch=1 latency); otherwise a handful of predicted gaps, capped by the
+  // budget (enough fill to keep msgs/op amortized at mid load — saturation
+  // never gets here, full batches and in-flight accumulation flush first).
+  Nanos idle_hold() const {
+    if (!policy_.adaptive()) return policy_.flush_after;
+    const Nanos budget = policy_.adaptive_hold_budget();
+    if (ewma_gap_ == 0 || ewma_gap_ >= budget) return 0;
+    return std::min<Nanos>(budget, BatchPolicy::kAdaptiveHoldGaps * ewma_gap_);
+  }
+
+  // The current inter-arrival estimate (0 = no estimate yet); test hook.
+  Nanos ewma_gap() const { return ewma_gap_; }
 
   // Pops the next batch (up to the policy's cap), FIFO. Empty iff empty().
   Batch take() {
@@ -129,6 +192,8 @@ class Batcher {
 
   BatchPolicy policy_;
   std::deque<Pending> q_;
+  Nanos last_arrival_ = kNoTime;  // newest push() time (re-queues excluded)
+  Nanos ewma_gap_ = 0;            // EWMA inter-arrival gap; 0 = no estimate
 };
 
 // ---- Wire helpers ----

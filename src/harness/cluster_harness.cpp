@@ -19,8 +19,10 @@ namespace {
 // the parsers.
 constexpr const char* kValueFlags[] = {"--backend", "--groups", "--placement",
                                        "--batch", "--batch-flush-us",
-                                       "--client-coalesce", "--txn-mix",
-                                       "--read-mix", "--lease-ms"};
+                                       "--flush-policy", "--client-coalesce",
+                                       "--txn-mix", "--read-mix", "--lease-ms",
+                                       "--sessions", "--target-rate", "--zipf",
+                                       "--workload", "--value-bytes"};
 // Valueless flags: presence is the whole message. --help is recognized by
 // the strict scanners (print usage, exit 0) and always legal, so binaries
 // need not list it in their consumed sets.
@@ -269,10 +271,44 @@ Nanos batch_flush_from_args(int argc, char** argv, Nanos def) {
   return t;
 }
 
+bool try_flush_policy_from_args(int argc, char** argv,
+                                consensus::BatchPolicy::FlushMode def,
+                                consensus::BatchPolicy::FlushMode* out,
+                                std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--flush-policy", &malformed);
+  if (malformed) {
+    *err = "--flush-policy requires a value (expected --flush-policy=fixed|adaptive)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  if (std::strcmp(value, "fixed") == 0) {
+    *out = consensus::BatchPolicy::FlushMode::kFixed;
+    return true;
+  }
+  if (std::strcmp(value, "adaptive") == 0) {
+    *out = consensus::BatchPolicy::FlushMode::kAdaptive;
+    return true;
+  }
+  *err = std::string("unknown flush policy '") + value +
+         "' (expected --flush-policy=fixed|adaptive)";
+  return false;
+}
+
+consensus::BatchPolicy::FlushMode flush_policy_from_args(
+    int argc, char** argv, consensus::BatchPolicy::FlushMode def) {
+  consensus::BatchPolicy::FlushMode m = def;
+  std::string err;
+  if (!try_flush_policy_from_args(argc, argv, def, &m, &err)) usage_exit(err.c_str());
+  return m;
+}
+
 consensus::BatchPolicy batch_policy_from_args(int argc, char** argv) {
   consensus::BatchPolicy policy;
   policy.max_commands = batch_from_args(argc, argv);
   policy.flush_after = batch_flush_from_args(argc, argv);
+  policy.flush_mode = flush_policy_from_args(argc, argv);
   return policy;
 }
 
@@ -395,6 +431,150 @@ Nanos lease_ms_from_args(int argc, char** argv, Nanos def) {
   return t;
 }
 
+bool try_sessions_from_args(int argc, char** argv, std::int64_t def,
+                            std::int64_t* out, std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--sessions", &malformed);
+  if (malformed) {
+    *err = "--sessions requires a value (expected --sessions=N, 1 <= N <= 1000000)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const long long n = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || n < 1 || n > 1000000) {
+    *err = std::string("bad session count '") + value +
+           "' (expected --sessions=N, 1 <= N <= 1000000)";
+    return false;
+  }
+  *out = static_cast<std::int64_t>(n);
+  return true;
+}
+
+std::int64_t sessions_from_args(int argc, char** argv, std::int64_t def) {
+  std::int64_t n = def;
+  std::string err;
+  if (!try_sessions_from_args(argc, argv, def, &n, &err)) usage_exit(err.c_str());
+  return n;
+}
+
+bool try_target_rate_from_args(int argc, char** argv, double def, double* out,
+                               std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--target-rate", &malformed);
+  if (malformed) {
+    *err = "--target-rate requires a value (expected --target-rate=R ops/sec, "
+           "0 <= R <= 1e9; 0 = closed loop)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const double r = std::strtod(value, &end);
+  // !(r >= 0) also rejects NaN; the ceiling keeps nanosecond gap math sane
+  // (1e9 ops/sec is already a 1 ns inter-arrival).
+  if (end == value || *end != '\0' || !(r >= 0.0) || !(r <= 1e9)) {
+    *err = std::string("bad target rate '") + value +
+           "' (expected --target-rate=R ops/sec, 0 <= R <= 1e9; 0 = closed loop)";
+    return false;
+  }
+  *out = r;
+  return true;
+}
+
+double target_rate_from_args(int argc, char** argv, double def) {
+  double r = def;
+  std::string err;
+  if (!try_target_rate_from_args(argc, argv, def, &r, &err)) usage_exit(err.c_str());
+  return r;
+}
+
+bool try_zipf_from_args(int argc, char** argv, double def, double* out,
+                        std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--zipf", &malformed);
+  if (malformed) {
+    *err = "--zipf requires a value (expected --zipf=T, 0 <= T < 1)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const double t = std::strtod(value, &end);
+  // The zeta-series formula diverges at theta = 1, so the bound is strict.
+  if (end == value || *end != '\0' || !(t >= 0.0) || !(t < 1.0)) {
+    *err = std::string("bad zipf theta '") + value +
+           "' (expected --zipf=T, 0 <= T < 1; 0 = uniform)";
+    return false;
+  }
+  *out = t;
+  return true;
+}
+
+double zipf_from_args(int argc, char** argv, double def) {
+  double t = def;
+  std::string err;
+  if (!try_zipf_from_args(argc, argv, def, &t, &err)) usage_exit(err.c_str());
+  return t;
+}
+
+bool try_workload_from_args(int argc, char** argv, char def, char* out,
+                            std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--workload", &malformed);
+  if (malformed) {
+    *err = "--workload requires a value (expected --workload=A..F)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  if (value[0] < 'A' || value[0] > 'F' || value[1] != '\0') {
+    *err = std::string("unknown workload preset '") + value +
+           "' (expected --workload=A..F, the YCSB presets)";
+    return false;
+  }
+  *out = value[0];
+  return true;
+}
+
+char workload_from_args(int argc, char** argv, char def) {
+  char w = def;
+  std::string err;
+  if (!try_workload_from_args(argc, argv, def, &w, &err)) usage_exit(err.c_str());
+  return w;
+}
+
+bool try_value_bytes_from_args(int argc, char** argv, std::int32_t def,
+                               std::int32_t* out, std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--value-bytes", &malformed);
+  if (malformed) {
+    *err = "--value-bytes requires a value (expected --value-bytes=V, 1 <= V <= 128)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  // 128 = 8 fragment commands of 16 payload bytes, the widest record one
+  // client batch frame can carry (harness/workload.hpp).
+  if (end == value || *end != '\0' || v < 1 || v > 128) {
+    *err = std::string("bad value size '") + value +
+           "' (expected --value-bytes=V, 1 <= V <= 128)";
+    return false;
+  }
+  *out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+std::int32_t value_bytes_from_args(int argc, char** argv, std::int32_t def) {
+  std::int32_t v = def;
+  std::string err;
+  if (!try_value_bytes_from_args(argc, argv, def, &v, &err)) usage_exit(err.c_str());
+  return v;
+}
+
 const char* usage_text() {
   return
       "harness flags (all binaries in bench/ and examples/ accept the subset\n"
@@ -405,6 +585,9 @@ const char* usage_text() {
       "                            how groups map onto transport nodes\n"
       "  --batch=N                 commands per agreement instance (1 <= N <= 64)\n"
       "  --batch-flush-us=T        max microseconds a partial batch waits (T >= 0)\n"
+      "  --flush-policy=fixed|adaptive\n"
+      "                            partial-batch hold rule: full timer, or flush\n"
+      "                            early when arrivals look sparse\n"
       "  --client-coalesce=N       commands per client-side kClientCmdBatch frame\n"
       "                            (1 <= N <= 8; 1 = legacy per-command frames)\n"
       "  --txn-mix=P               fraction of ops issued as cross-shard\n"
@@ -413,6 +596,13 @@ const char* usage_text() {
       "                            (0 <= P <= 1)\n"
       "  --lease-ms=T              leader lease duration in milliseconds\n"
       "                            (T >= 0; 0 = leases off, reads replicate)\n"
+      "  --sessions=N              logical open-loop sessions to emulate\n"
+      "                            (1 <= N <= 1000000)\n"
+      "  --target-rate=R           aggregate open-loop arrival rate in ops/sec\n"
+      "                            (0 <= R <= 1e9; 0 = closed loop)\n"
+      "  --zipf=T                  zipfian key-skew theta (0 <= T < 1; 0 = uniform)\n"
+      "  --workload=A..F           YCSB preset selecting the op mix\n"
+      "  --value-bytes=V           record payload size in bytes (1 <= V <= 128)\n"
       "  --sweep-diff              also run the spec on BOTH backends and diff\n"
       "                            the result shapes\n"
       "  --help                    print this text and exit\n"
@@ -475,8 +665,9 @@ void scan_args(int argc, char** argv, std::initializer_list<const char*> consume
     if (!known) {
       std::fprintf(stderr,
                    "unknown flag '%s' (harness flags: --backend, --groups, --placement, "
-                   "--batch, --batch-flush-us, --client-coalesce, --txn-mix, "
-                   "--read-mix, --lease-ms, --sweep-diff, --help)\n",
+                   "--batch, --batch-flush-us, --flush-policy, --client-coalesce, "
+                   "--txn-mix, --read-mix, --lease-ms, --sessions, --target-rate, "
+                   "--zipf, --workload, --value-bytes, --sweep-diff, --help)\n",
                    arg);
       std::exit(2);
     }

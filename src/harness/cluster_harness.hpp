@@ -54,7 +54,8 @@ bool try_batch_flush_from_args(int argc, char** argv, Nanos def, Nanos* out,
                                std::string* err);
 Nanos batch_flush_from_args(int argc, char** argv, Nanos def = 0);
 
-// Both batching flags folded into one policy (defaults: unbatched).
+// The batching flags (--batch, --batch-flush-us, --flush-policy) folded
+// into one policy (defaults: unbatched, fixed flush).
 consensus::BatchPolicy batch_policy_from_args(int argc, char** argv);
 
 // `--client-coalesce=N`: commands per client-side kClientCmdBatch frame
@@ -89,11 +90,57 @@ bool try_lease_ms_from_args(int argc, char** argv, Nanos def, Nanos* out,
                             std::string* err);
 Nanos lease_ms_from_args(int argc, char** argv, Nanos def = 0);
 
+// `--flush-policy=fixed|adaptive`: how a partial batch decides to stop
+// waiting (BatchPolicy::flush_mode). `fixed` holds every partial batch for
+// the full --batch-flush-us; `adaptive` watches the observed inter-arrival
+// gap and flushes immediately once the next command looks farther away than
+// the budget (consensus/batch.hpp). Anything else exits 2.
+bool try_flush_policy_from_args(int argc, char** argv, consensus::BatchPolicy::FlushMode def,
+                                consensus::BatchPolicy::FlushMode* out, std::string* err);
+consensus::BatchPolicy::FlushMode flush_policy_from_args(
+    int argc, char** argv,
+    consensus::BatchPolicy::FlushMode def = consensus::BatchPolicy::FlushMode::kFixed);
+
+// `--sessions=N`: logical sessions the open-loop workload engine emulates
+// (harness/workload.hpp), 1 <= N <= 1000000. Non-numeric or out-of-range
+// exits 2.
+bool try_sessions_from_args(int argc, char** argv, std::int64_t def,
+                            std::int64_t* out, std::string* err);
+std::int64_t sessions_from_args(int argc, char** argv, std::int64_t def = 1);
+
+// `--target-rate=R`: aggregate open-loop arrival rate in ops/sec
+// (WorkloadProfile::target_rate); 0 <= R <= 1e9, 0 = closed loop. Negative,
+// non-numeric, or absurd values exit 2.
+bool try_target_rate_from_args(int argc, char** argv, double def, double* out,
+                               std::string* err);
+double target_rate_from_args(int argc, char** argv, double def = 0.0);
+
+// `--zipf=T`: zipfian skew theta for workload key choice
+// (WorkloadProfile::zipf_theta); 0 <= T < 1 (0 = uniform; the YCSB-standard
+// hot skew is 0.99). Out-of-range or non-numeric exits 2.
+bool try_zipf_from_args(int argc, char** argv, double def, double* out,
+                        std::string* err);
+double zipf_from_args(int argc, char** argv, double def = 0.99);
+
+// `--workload=A..F`: YCSB preset selecting the op mix
+// (WorkloadProfile::preset). A single letter A-F; anything else exits 2.
+bool try_workload_from_args(int argc, char** argv, char def, char* out,
+                            std::string* err);
+char workload_from_args(int argc, char** argv, char def = 'C');
+
+// `--value-bytes=V`: record payload size in bytes (WorkloadProfile::
+// value_bytes); 1 <= V <= 128 (a 16-byte command payload times at most 8
+// fragments). Out-of-range or non-numeric exits 2.
+bool try_value_bytes_from_args(int argc, char** argv, std::int32_t def,
+                               std::int32_t* out, std::string* err);
+std::int32_t value_bytes_from_args(int argc, char** argv, std::int32_t def = 8);
+
 // The usage text every harness-flag binary shares: enumerates ALL harness
 // flags (--backend, --groups, --placement, --batch, --batch-flush-us,
-// --client-coalesce, --txn-mix, --read-mix, --lease-ms, --sweep-diff,
-// --help) with their value shapes. The strict scanners print it and exit 0
-// when argv carries `--help`.
+// --flush-policy, --client-coalesce, --txn-mix, --read-mix, --lease-ms,
+// --sessions, --target-rate, --zipf, --workload, --value-bytes,
+// --sweep-diff, --help) with their value shapes. The strict scanners print
+// it and exit 0 when argv carries `--help`.
 const char* usage_text();
 
 // `base` plus whatever `--groups` / `--placement` say: the one-liner that

@@ -1,0 +1,378 @@
+#include "harness/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "client/service_client.hpp"
+#include "common/check.hpp"
+
+namespace ci::harness {
+
+using consensus::Op;
+
+namespace {
+
+constexpr std::int32_t kMaxParts = consensus::kMaxClientBatchCommands;
+// One Command carries 16 payload bytes (key + value), so a record of V
+// bytes is ceil(V/16) fragment commands.
+constexpr std::int32_t kFragmentBytes = 16;
+// Fragment j of a record lives at key + j * stride, far past any initial
+// key space, so fragments of different records never collide.
+constexpr std::uint64_t kFragmentStride = 1ull << 40;
+
+std::uint64_t fragment_key(std::uint64_t key, std::uint8_t j) {
+  return key + static_cast<std::uint64_t>(j) * kFragmentStride;
+}
+
+}  // namespace
+
+WorkloadProfile WorkloadProfile::preset(char workload) {
+  WorkloadProfile p;
+  switch (workload) {
+    case 'A': p.mix.update = 0.5; break;
+    case 'B': p.mix.update = 0.05; break;
+    case 'C': break;  // read-only is the default mix
+    case 'D': p.mix.insert = 0.05; p.mix.latest_reads = true; break;
+    case 'E': p.mix.insert = 0.05; p.mix.scan = 0.95; break;
+    case 'F': p.mix.rmw = 0.5; break;
+    default: CI_CHECK_MSG(false, "unknown YCSB preset (expected A..F)");
+  }
+  return p;
+}
+
+ArrivalGen::ArrivalGen(const WorkloadProfile& profile)
+    : profile_(profile), rng_(profile.seed),
+      zipf_(profile.key_space, profile.zipf_theta) {
+  CI_CHECK_MSG(profile_.sessions >= 1 && profile_.sessions <= 1000000,
+               "sessions out of range");
+  CI_CHECK(profile_.key_space >= 1);
+  CI_CHECK(profile_.value_bytes >= 1 &&
+           profile_.value_bytes <= kMaxParts * kFragmentBytes);
+  CI_CHECK(profile_.value_bytes_max == 0 ||
+           (profile_.value_bytes_max >= profile_.value_bytes &&
+            profile_.value_bytes_max <= kMaxParts * kFragmentBytes));
+  const WorkloadMix& m = profile_.mix;
+  CI_CHECK(m.update >= 0 && m.insert >= 0 && m.scan >= 0 && m.rmw >= 0 &&
+           m.txn >= 0);
+  double c = m.update;
+  thresholds_[0] = c;
+  thresholds_[1] = (c += m.insert);
+  thresholds_[2] = (c += m.scan);
+  thresholds_[3] = (c += m.rmw);
+  thresholds_[4] = (c += m.txn);
+  CI_CHECK_MSG(c <= 1.0 + 1e-9, "workload mix fractions exceed 1");
+}
+
+std::uint8_t ArrivalGen::draw_parts() {
+  std::int32_t bytes = profile_.value_bytes;
+  if (profile_.value_bytes_max > profile_.value_bytes) {
+    bytes += static_cast<std::int32_t>(rng_.next_below(static_cast<std::uint64_t>(
+        profile_.value_bytes_max - profile_.value_bytes + 1)));
+  }
+  return static_cast<std::uint8_t>((bytes + kFragmentBytes - 1) / kFragmentBytes);
+}
+
+Arrival ArrivalGen::next() {
+  Arrival a;
+  // The schedule draw comes first and is independent of the op draw, so
+  // pacing tests see the same arrival instants whatever the mix.
+  if (profile_.target_rate > 0) {
+    double gap_s;
+    if (profile_.pacing == Pacing::kPoisson) {
+      // Inverse-CDF exponential; 1-u keeps the argument away from log(0).
+      gap_s = -std::log(1.0 - rng_.next_double()) / profile_.target_rate;
+    } else {
+      gap_s = 1.0 / profile_.target_rate;
+    }
+    clock_ += std::max<Nanos>(static_cast<Nanos>(gap_s * 1e9 + 0.5), 1);
+  }
+  a.at = clock_;
+  a.session = static_cast<std::uint32_t>(
+      rng_.next_below(static_cast<std::uint64_t>(profile_.sessions)));
+
+  const double u = rng_.next_double();
+  if (u < thresholds_[0]) a.op = WlOp::kUpdate;
+  else if (u < thresholds_[1]) a.op = WlOp::kInsert;
+  else if (u < thresholds_[2]) a.op = WlOp::kScan;
+  else if (u < thresholds_[3]) a.op = WlOp::kRmw;
+  else if (u < thresholds_[4]) a.op = WlOp::kTxn;
+  else a.op = WlOp::kRead;
+
+  switch (a.op) {
+    case WlOp::kRead:
+      if (profile_.mix.latest_reads && inserted_ > 0) {
+        // YCSB "latest": rank r is the r-th newest record in the ordered
+        // space (inserts land at the top), so recency order is meaningful
+        // and the scramble does not apply.
+        a.key = profile_.key_space + inserted_ - 1 - zipf_.next(rng_);
+      } else {
+        a.key = scrambled_zipf_key(zipf_.next(rng_), profile_.key_space);
+      }
+      a.parts = draw_parts();
+      break;
+    case WlOp::kUpdate:
+    case WlOp::kRmw:
+      a.key = scrambled_zipf_key(zipf_.next(rng_), profile_.key_space);
+      a.value = rng_.next_u64();
+      a.parts = draw_parts();
+      break;
+    case WlOp::kInsert:
+      a.key = profile_.key_space + inserted_++;
+      a.value = rng_.next_u64();
+      a.parts = draw_parts();
+      break;
+    case WlOp::kScan: {
+      // Scans walk the ORDERED space, so the start rank maps to the key
+      // directly (no scramble), clamped so the run stays in range.
+      std::uint64_t len =
+          1 + rng_.next_below(static_cast<std::uint64_t>(kMaxParts));
+      len = std::min<std::uint64_t>(len, profile_.key_space);
+      std::uint64_t start = zipf_.next(rng_);
+      start = std::min(start, profile_.key_space - len);
+      a.key = start;
+      a.parts = static_cast<std::uint8_t>(len);
+      break;
+    }
+    case WlOp::kTxn:
+      a.key = scrambled_zipf_key(zipf_.next(rng_), profile_.key_space);
+      a.key2 = scrambled_zipf_key(zipf_.next(rng_), profile_.key_space);
+      if (a.key2 == a.key) a.key2 = (a.key2 + 1) % profile_.key_space;
+      a.value = rng_.next_u64();
+      break;
+  }
+  return a;
+}
+
+namespace {
+
+// One in-flight operation: up to kMaxParts completion handles plus the
+// staged write half of a read-modify-write. Flights live in a fixed pool;
+// the steady-state loop recycles them without touching the allocator.
+struct Flight {
+  Nanos scheduled = 0;       // absolute instant latency is measured from
+  std::uint32_t session = 0;
+  bool rmw_read_phase = false;  // true: h[0] is the read, write still staged
+  std::uint8_t count = 0;    // live handles
+  std::uint8_t checked = 0;  // prefix of handles already confirmed done
+  std::uint8_t write_parts = 0;
+  std::uint64_t write_key = 0;
+  std::uint64_t write_value = 0;
+  std::array<client::SubmitHandle, static_cast<std::size_t>(kMaxParts)> h;
+};
+
+class Driver {
+ public:
+  Driver(client::ServiceClient& svc, const WorkloadProfile& profile)
+      : svc_(svc), gen_(profile), conduits_(svc.session_count()),
+        // Every active flight pins at least one pipeline slot between
+        // reaps, so the conduits' total pipeline capacity (plus the flight
+        // being issued) bounds how many can be live at once.
+        pool_(static_cast<std::size_t>(conduits_) *
+                  static_cast<std::size_t>(svc.num_groups()) *
+                  static_cast<std::size_t>(client::AsyncClientEngine::kMaxOutstanding) +
+              16) {
+    CI_CHECK(conduits_ >= 1);
+    free_.reserve(pool_.size());
+    active_.reserve(pool_.size());
+    for (std::size_t i = pool_.size(); i > 0; --i) {
+      free_.push_back(static_cast<std::int32_t>(i - 1));
+    }
+    result_.session_ops.assign(static_cast<std::size_t>(profile.sessions), 0);
+  }
+
+  WorkloadResult run_open(std::int64_t ops) {
+    CI_CHECK_MSG(gen_.profile().target_rate > 0,
+                 "open loop requires a target rate");
+    start_ = now();
+    for (std::int64_t i = 0; i < ops; ++i) {
+      const Arrival a = gen_.next();
+      advance_to(start_ + a.at);
+      reap();
+      issue(a, start_ + a.at);
+    }
+    drain();
+    finish(gen_.profile().target_rate);
+    return std::move(result_);
+  }
+
+  WorkloadResult run_closed(std::int64_t ops, std::int32_t depth) {
+    CI_CHECK(depth >= 1);
+    const std::int64_t window = static_cast<std::int64_t>(depth) * conduits_;
+    start_ = now();
+    while (result_.issued < ops) {
+      if (static_cast<std::int64_t>(active_.size()) >= window) block_on_one();
+      reap();
+      while (result_.issued < ops &&
+             static_cast<std::int64_t>(active_.size()) < window) {
+        issue(gen_.next(), now());  // schedule ignored: issue = arrival
+      }
+    }
+    drain();
+    finish(0.0);
+    return std::move(result_);
+  }
+
+ private:
+  Nanos now() const {
+    return svc_.backend() == core::Backend::kSim ? svc_.sim_now() : now_nanos();
+  }
+
+  // Open-loop pacing: run virtual time forward under sim; spin on the
+  // monotonic clock under rt (sleeping would quantize the schedule).
+  void advance_to(Nanos t) {
+    if (svc_.backend() == core::Backend::kSim) {
+      svc_.sim_run_until(t);
+      return;
+    }
+    while (now_nanos() < t) {
+    }
+  }
+
+  client::Session& conduit_of(std::uint32_t session) {
+    return svc_.session(static_cast<std::int32_t>(
+        session % static_cast<std::uint32_t>(conduits_)));
+  }
+
+  void issue(const Arrival& a, Nanos scheduled) {
+    ++result_.issued;
+    ++result_.session_ops[a.session];
+    client::Session& conduit = conduit_of(a.session);
+    if (a.op == WlOp::kTxn) {
+      // Transactions only expose a blocking commit; the wait advances time
+      // and later arrivals are charged the delay (header: honesty rule).
+      conduit.txn().put(a.key, a.value).put(a.key2, a.value).commit().committed();
+      result_.latency.record(std::max<Nanos>(now() - scheduled, 1));
+      ++result_.completed;
+      return;
+    }
+    Flight& f = acquire_flight();
+    f.scheduled = scheduled;
+    f.session = a.session;
+    f.checked = 0;
+    f.rmw_read_phase = false;
+    f.count = a.parts;
+    switch (a.op) {
+      case WlOp::kRead:
+        for (std::uint8_t j = 0; j < a.parts; ++j)
+          f.h[j] = conduit.submit(Op::kRead, fragment_key(a.key, j), 0);
+        break;
+      case WlOp::kScan:
+        for (std::uint8_t j = 0; j < a.parts; ++j)
+          f.h[j] = conduit.submit(Op::kRead, a.key + j, 0);
+        break;
+      case WlOp::kUpdate:
+      case WlOp::kInsert:
+        for (std::uint8_t j = 0; j < a.parts; ++j)
+          f.h[j] = conduit.submit(Op::kWrite, fragment_key(a.key, j), a.value);
+        break;
+      case WlOp::kRmw:
+        f.rmw_read_phase = true;
+        f.count = 1;
+        f.write_key = a.key;
+        f.write_value = a.value;
+        f.write_parts = a.parts;
+        f.h[0] = conduit.submit(Op::kRead, fragment_key(a.key, 0), 0);
+        break;
+      case WlOp::kTxn:
+        break;  // handled above
+    }
+  }
+
+  Flight& acquire_flight() {
+    while (free_.empty()) {
+      // Pool pressure: every slot still carries an uncommitted command, so
+      // advance time until one lands.
+      block_on_one();
+      reap();
+    }
+    const std::int32_t idx = free_.back();
+    free_.pop_back();
+    active_.push_back(idx);
+    return pool_[static_cast<std::size_t>(idx)];
+  }
+
+  // Sweep the active flights: advance each one's confirmed-done prefix,
+  // launch staged read-modify-write writes, record and recycle the
+  // finished. Completion time is the engine's reply stamp, not the sweep
+  // instant, so reaping late never flatters the tail.
+  void reap() {
+    for (std::size_t i = 0; i < active_.size();) {
+      Flight& f = pool_[static_cast<std::size_t>(active_[i])];
+      while (f.checked < f.count && f.h[f.checked].done()) ++f.checked;
+      if (f.checked < f.count) {
+        ++i;
+        continue;
+      }
+      if (f.rmw_read_phase) {
+        // The read landed; the write half rides the same flight so the
+        // recorded latency spans both round trips.
+        f.rmw_read_phase = false;
+        f.checked = 0;
+        f.count = f.write_parts;
+        client::Session& conduit = conduit_of(f.session);
+        for (std::uint8_t j = 0; j < f.write_parts; ++j)
+          f.h[j] = conduit.submit(Op::kWrite, fragment_key(f.write_key, j),
+                                  f.write_value);
+        ++i;
+        continue;
+      }
+      Nanos done_at = 0;
+      for (std::uint8_t j = 0; j < f.count; ++j)
+        done_at = std::max(done_at, f.h[j].completed_at());
+      result_.latency.record(std::max<Nanos>(done_at - f.scheduled, 1));
+      ++result_.completed;
+      // Drop the handles so the engine can recycle their completions.
+      for (std::uint8_t j = 0; j < f.count; ++j) f.h[j] = client::SubmitHandle();
+      free_.push_back(active_[i]);
+      active_[i] = active_.back();
+      active_.pop_back();
+    }
+  }
+
+  // Block (pumping virtual time under sim) until SOME outstanding command
+  // lands — any one will do, progress is what matters.
+  void block_on_one() {
+    if (active_.empty()) return;
+    Flight& f = pool_[static_cast<std::size_t>(active_.front())];
+    if (f.checked < f.count) f.h[f.checked].wait();
+  }
+
+  void drain() {
+    while (!active_.empty()) {
+      block_on_one();
+      reap();
+    }
+  }
+
+  void finish(double offered) {
+    result_.duration = std::max<Nanos>(now() - start_, 1);
+    result_.offered_rate = offered;
+  }
+
+  client::ServiceClient& svc_;
+  ArrivalGen gen_;
+  std::int32_t conduits_;
+  std::vector<Flight> pool_;
+  std::vector<std::int32_t> free_;    // recycled pool indices (LIFO)
+  std::vector<std::int32_t> active_;  // live pool indices (order-free)
+  WorkloadResult result_;
+  Nanos start_ = 0;
+};
+
+}  // namespace
+
+WorkloadResult run_open_loop(client::ServiceClient& svc,
+                             const WorkloadProfile& profile, std::int64_t ops) {
+  Driver d(svc, profile);
+  return d.run_open(ops);
+}
+
+WorkloadResult run_closed_loop(client::ServiceClient& svc,
+                               const WorkloadProfile& profile, std::int64_t ops,
+                               std::int32_t depth) {
+  Driver d(svc, profile);
+  return d.run_closed(ops, depth);
+}
+
+}  // namespace ci::harness

@@ -1,0 +1,164 @@
+// The open-loop workload engine (DESIGN.md §1g): drives a ServiceClient the
+// way a real population of clients would — arrivals happen when the outside
+// world decides, not when the service finishes the previous request.
+//
+// Closed-loop benches (a fixed window of always-pending requests) measure
+// peak throughput honestly but LIE about tail latency under load: when the
+// service stalls, a closed loop stops offering work, so the stall never
+// shows up in the recorded percentiles (coordinated omission). Here the
+// arrival schedule is generated independently of service progress — Poisson
+// or uniformly paced at an aggregate target rate — and every operation's
+// latency is measured from its SCHEDULED arrival instant to the engine's
+// reply timestamp (SubmitHandle::completed_at). An op issued late because
+// the pipeline was full is charged the queueing delay it actually suffered.
+//
+// Scale model: `sessions` is the number of LOGICAL sessions (who is asking),
+// multiplexed over the ServiceClient's physical sessions ("conduits" — each
+// one transport node + per-group async engines). The aggregate of N Poisson
+// sources of rate r/N is exactly one Poisson source of rate r with each
+// arrival assigned to a uniformly random session, so a single O(1)-per-
+// arrival generator emulates a million-session population without a
+// million timer wheels. Per-session state is one pooled counter array,
+// allocated once up front; the steady-state arrival->issue->reap loop
+// performs no heap allocation (pinned by the alloc-guard suite).
+//
+// Operation shapes follow the YCSB presets A–F (WorkloadProfile::preset):
+// zipfian hot keys (common/zipf.hpp), read/update/insert/scan/read-modify-
+// write mixes, plus a cross-shard transaction fraction for custom mixes.
+// Values wider than one command's 16 payload bytes are modeled as
+// ceil(value_bytes/16) fragment commands submitted together; the op
+// completes when the last fragment commits. Transactions only expose a
+// blocking commit today, so a txn arrival is waited inline — arrivals
+// scheduled behind it are issued late, and (by the honest-latency rule
+// above) that delay is charged to them rather than hidden.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "consensus/types.hpp"
+
+namespace ci::client {
+class ServiceClient;
+}
+
+namespace ci::harness {
+
+// How inter-arrival gaps are drawn: kPoisson draws exponential gaps (a
+// memoryless aggregate, the honest default); kUniform paces arrivals on an
+// exact 1/rate grid (useful for pacing-accuracy tests).
+enum class Pacing : std::uint8_t { kPoisson, kUniform };
+
+// What one arrival asks the service to do.
+enum class WlOp : std::uint8_t {
+  kRead,    // read every fragment of one record
+  kUpdate,  // overwrite every fragment of one record
+  kInsert,  // append a fresh record past the initial key space
+  kScan,    // short ordered run of reads (YCSB E), 1..8 records
+  kRmw,     // read fragment 0, then overwrite the record (YCSB F)
+  kTxn,     // two-key cross-shard transaction, committed inline
+};
+
+// Fractions must sum to <= 1; the remainder is read. `latest_reads` skews
+// reads toward recently inserted records (YCSB D) instead of the scrambled
+// zipfian space.
+struct WorkloadMix {
+  double update = 0.0;
+  double insert = 0.0;
+  double scan = 0.0;
+  double rmw = 0.0;
+  double txn = 0.0;
+  bool latest_reads = false;
+};
+
+struct WorkloadProfile {
+  std::int64_t sessions = 1;       // logical sessions (1 .. 1e6)
+  double target_rate = 0.0;        // aggregate ops/sec; open loop requires > 0
+  Pacing pacing = Pacing::kPoisson;
+  double zipf_theta = 0.99;        // 0 = uniform; must be < 1
+  std::uint64_t key_space = 100000;
+  WorkloadMix mix;                 // default: 100% zipfian reads (YCSB C)
+  std::int32_t value_bytes = 8;    // record payload, 1..128 (1..8 fragments)
+  std::int32_t value_bytes_max = 0;  // > value_bytes: uniform size in range
+  std::uint64_t seed = 1;
+
+  // The YCSB preset table: A 50/50 read/update, B 95/5 read/update,
+  // C read-only, D 95/5 latest-read/insert, E 95/5 scan/insert,
+  // F 50/50 read/read-modify-write. Everything else keeps its default.
+  static WorkloadProfile preset(char workload);
+};
+
+// One generated arrival. `at` is the scheduled instant as an offset from
+// workload start; latency is measured from it regardless of when the op was
+// actually issued.
+struct Arrival {
+  Nanos at = 0;
+  std::uint32_t session = 0;
+  WlOp op = WlOp::kRead;
+  std::uint64_t key = 0;
+  std::uint64_t key2 = 0;   // second txn key
+  std::uint64_t value = 0;  // written value (updates/inserts/rmw/txn)
+  std::uint8_t parts = 1;   // record fragments, or scan length for kScan
+};
+
+// The deterministic O(1)-per-arrival generator: same profile + seed yields
+// the same arrival sequence on any backend. Exposed separately from the
+// drivers so tests can pin determinism and distribution shape without a
+// cluster.
+class ArrivalGen {
+ public:
+  explicit ArrivalGen(const WorkloadProfile& profile);
+
+  Arrival next();
+
+  const WorkloadProfile& profile() const { return profile_; }
+
+ private:
+  std::uint8_t draw_parts();
+
+  WorkloadProfile profile_;
+  Rng rng_;
+  Zipf zipf_;
+  Nanos clock_ = 0;          // last scheduled instant
+  std::uint64_t inserted_ = 0;  // records appended past key_space so far
+  // Cumulative mix thresholds (update, insert, scan, rmw, txn), in [0,1].
+  std::array<double, 5> thresholds_{};
+};
+
+// What a run measured. Latency is nanoseconds from scheduled arrival to
+// engine reply (open loop) or from issue to reply (closed loop).
+struct WorkloadResult {
+  std::int64_t issued = 0;
+  std::int64_t completed = 0;
+  Nanos duration = 0;        // virtual (sim) or wall (rt) elapsed time
+  double offered_rate = 0;   // ops/sec the schedule asked for (0 = closed)
+  Histogram latency;
+  // Ops issued per logical session; sums to `issued`. Sized `sessions`.
+  std::vector<std::uint32_t> session_ops;
+
+  double achieved_rate() const {
+    return duration <= 0 ? 0.0
+                         : static_cast<double>(completed) * 1e9 /
+                               static_cast<double>(duration);
+  }
+};
+
+// Runs `ops` open-loop arrivals against `svc` at profile.target_rate (> 0
+// required), then drains everything in flight. Logical session s is carried
+// by conduit s % svc.session_count(). Under sim the driver advances virtual
+// time to each scheduled instant; under rt it spins on the monotonic clock.
+WorkloadResult run_open_loop(client::ServiceClient& svc,
+                             const WorkloadProfile& profile, std::int64_t ops);
+
+// Peak-throughput companion: ignores the arrival schedule and keeps up to
+// `depth` operations in flight per conduit (the classic closed loop), using
+// the same generator for keys and op mix. target_rate is ignored.
+WorkloadResult run_closed_loop(client::ServiceClient& svc,
+                               const WorkloadProfile& profile, std::int64_t ops,
+                               std::int32_t depth);
+
+}  // namespace ci::harness

@@ -1,0 +1,81 @@
+// Distribution sanity for the zipfian sampler the workload engine draws hot
+// keys from: skew shape, the uniform degenerate case, determinism, and the
+// scramble's spreading property.
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ci {
+namespace {
+
+TEST(Zipf, RanksStayInRange) {
+  Rng rng(7);
+  Zipf z(100, 0.99);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(z.next(rng), 100u);
+  }
+}
+
+TEST(Zipf, SkewConcentratesMassOnTheHotRanks) {
+  // YCSB theta=0.99 over 1000 items: the analytic head probabilities are
+  // P(0) = 1/zeta ~ 0.13 and the top-10 carry roughly half the mass. Assert
+  // loose brackets so the test pins the shape, not the constants.
+  Rng rng(11);
+  Zipf z(1000, 0.99);
+  const int kSamples = 200000;
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < kSamples; ++i) counts[static_cast<std::size_t>(z.next(rng))]++;
+  const double p0 = static_cast<double>(counts[0]) / kSamples;
+  EXPECT_GT(p0, 0.08);
+  EXPECT_LT(p0, 0.20);
+  int top10 = 0;
+  for (int r = 0; r < 10; ++r) top10 += counts[static_cast<std::size_t>(r)];
+  const double p_top10 = static_cast<double>(top10) / kSamples;
+  EXPECT_GT(p_top10, 0.35);
+  // Monotone head: rank 0 strictly beats rank 50 beats rank 500.
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[50], counts[500]);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(13);
+  Zipf z(64, 0.0);
+  const int kSamples = 128000;  // 2000 expected per rank
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < kSamples; ++i) counts[static_cast<std::size_t>(z.next(rng))]++;
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*lo, 1600);  // within ~20% of the 2000 expectation
+  EXPECT_LT(*hi, 2400);
+}
+
+TEST(Zipf, SameSeedSameSequence) {
+  Zipf z(512, 0.9);
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(z.next(a), z.next(b));
+}
+
+TEST(Zipf, SingleItemAlwaysRankZero) {
+  Rng rng(1);
+  Zipf z(1, 0.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(rng), 0u);
+}
+
+TEST(ScrambledZipfKey, SpreadsTheHotRanksApart) {
+  // The scramble exists so hot ranks are not adjacent keys: the top-8 ranks
+  // must map to 8 distinct, non-consecutive keys in a large key space.
+  const std::uint64_t kSpace = 1u << 20;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t r = 0; r < 8; ++r) keys.push_back(scrambled_zipf_key(r, kSpace));
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_GT(keys[i] - keys[i - 1], 1u);  // distinct and non-adjacent
+  }
+  EXPECT_LT(keys.front(), kSpace);
+  EXPECT_LT(keys.back(), kSpace);
+}
+
+}  // namespace
+}  // namespace ci

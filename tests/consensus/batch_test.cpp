@@ -135,6 +135,119 @@ TEST(Batcher, DrainPreservesFifoOrder) {
   EXPECT_TRUE(b.empty());
 }
 
+TEST(Batcher, AdaptiveFlushesLoneCommandWithNoGapEstimate) {
+  // First-ever arrival: no inter-arrival estimate exists, so holding would
+  // be a pure latency tax — the command proposes immediately.
+  BatchPolicy p;
+  p.max_commands = 8;
+  p.flush_mode = BatchPolicy::FlushMode::kAdaptive;
+  p.flush_after = 100 * kMicrosecond;
+  Batcher b(p);
+  b.push(cmd(1), /*now=*/1000);
+  EXPECT_EQ(b.ewma_gap(), 0);
+  EXPECT_TRUE(b.ready(1000, /*outstanding=*/0));
+}
+
+TEST(Batcher, AdaptiveFlushesImmediatelyWhenArrivalsAreSparse) {
+  // Gap estimate beyond the budget: the next arrival will not show up in
+  // time, so waiting buys no fill — p99 at low offered load approaches
+  // batch=1 latency.
+  BatchPolicy p;
+  p.max_commands = 8;
+  p.flush_mode = BatchPolicy::FlushMode::kAdaptive;
+  p.flush_after = 100 * kMicrosecond;
+  Batcher b(p);
+  b.push(cmd(1), /*now=*/0);
+  (void)b.take();
+  b.push(cmd(2), /*now=*/5 * kMillisecond);  // 5 ms gap >> 100 us budget
+  EXPECT_GE(b.ewma_gap(), p.flush_after);
+  EXPECT_TRUE(b.ready(5 * kMillisecond, /*outstanding=*/0));
+}
+
+TEST(Batcher, AdaptiveHoldsAFewGapsWhenCompanyIsImminent) {
+  // Dense arrivals (2 us apart): the hold is kAdaptiveHoldGaps * gap, far
+  // below the fixed timer — company is gathered without paying flush_after.
+  BatchPolicy p;
+  p.max_commands = 64;
+  p.flush_mode = BatchPolicy::FlushMode::kAdaptive;
+  p.flush_after = 100 * kMicrosecond;
+  Batcher b(p);
+  Nanos now = 0;
+  for (std::uint32_t s = 1; s <= 4; ++s) {
+    b.push(cmd(s), now);
+    now += 2 * kMicrosecond;
+  }
+  const Nanos gap = b.ewma_gap();
+  ASSERT_GT(gap, 0);
+  ASSERT_LT(gap, p.flush_after);
+  const Nanos hold = BatchPolicy::kAdaptiveHoldGaps * gap;
+  // Oldest command enqueued at 0: not ready before the hold elapses...
+  EXPECT_FALSE(b.ready(hold - 1, /*outstanding=*/0));
+  // ...ready right at it — two orders of magnitude before flush_after.
+  EXPECT_TRUE(b.ready(hold, /*outstanding=*/0));
+  EXPECT_LT(hold, p.flush_after / 5);
+}
+
+TEST(Batcher, AdaptiveHoldIsCappedByTheBudget) {
+  // Gap just under the budget: kAdaptiveHoldGaps * gap would exceed it, so
+  // the budget caps the hold — adaptive never waits longer than fixed.
+  BatchPolicy p;
+  p.max_commands = 64;
+  p.flush_mode = BatchPolicy::FlushMode::kAdaptive;
+  p.flush_after = 100 * kMicrosecond;
+  Batcher b(p);
+  b.push(cmd(1), /*now=*/0);
+  (void)b.take();
+  b.push(cmd(2), /*now=*/90 * kMicrosecond);  // gap 90 us, x8 = 720 us > budget
+  // One stale sample dominates the EWMA here; the estimate sits below the
+  // budget, so the hold engages but must clamp to flush_after.
+  ASSERT_LT(b.ewma_gap(), p.flush_after);
+  const Nanos enq = 90 * kMicrosecond;
+  EXPECT_FALSE(b.ready(enq + p.flush_after - 1, /*outstanding=*/0));
+  EXPECT_TRUE(b.ready(enq + p.flush_after, /*outstanding=*/0));
+}
+
+TEST(Batcher, AdaptiveDefaultBudgetAppliesWhenFlushAfterUnset) {
+  BatchPolicy p;
+  p.max_commands = 8;
+  p.flush_mode = BatchPolicy::FlushMode::kAdaptive;
+  EXPECT_EQ(p.adaptive_hold_budget(), BatchPolicy::kAdaptiveDefaultHold);
+  p.flush_after = 50 * kMicrosecond;
+  EXPECT_EQ(p.adaptive_hold_budget(), 50 * kMicrosecond);
+}
+
+TEST(Batcher, AdaptiveFullBatchAndBusyPipelineRulesUnchanged) {
+  // The adaptive rule only governs the idle-partial case: a full batch is
+  // always ready, and a partial one still waits while instances are in
+  // flight (group commit).
+  BatchPolicy p;
+  p.max_commands = 4;
+  p.flush_mode = BatchPolicy::FlushMode::kAdaptive;
+  Batcher b(p);
+  Nanos now = 0;
+  for (std::uint32_t s = 1; s <= 2; ++s) {
+    b.push(cmd(s), now);
+    now += 1 * kMicrosecond;
+  }
+  EXPECT_FALSE(b.ready(now, /*outstanding=*/3));  // partial + busy: hold
+  for (std::uint32_t s = 3; s <= 4; ++s) {
+    b.push(cmd(s), now);
+    now += 1 * kMicrosecond;
+  }
+  EXPECT_TRUE(b.ready(now, /*outstanding=*/3));  // full beats a busy pipeline
+}
+
+TEST(Batcher, AdaptivePushFrontStaysOverdueAndSkipsTheEstimate) {
+  BatchPolicy p;
+  p.max_commands = 8;
+  p.flush_mode = BatchPolicy::FlushMode::kAdaptive;
+  p.flush_after = 1 * kSecond;
+  Batcher b(p);
+  b.push_front(cmd(1));  // a race loser re-queued
+  EXPECT_EQ(b.ewma_gap(), 0);  // re-queues are not arrivals
+  EXPECT_TRUE(b.ready(/*now=*/0, /*outstanding=*/0));
+}
+
 TEST(BatchWire, PackUnpackRoundTrip) {
   Batch in;
   for (std::uint32_t s = 1; s <= 5; ++s) in.push_back(cmd(s));

@@ -26,9 +26,14 @@
 #include <cstring>
 #include <new>
 
+#include <vector>
+
+#include "client/async_client.hpp"
 #include "common/cacheline.hpp"
+#include "common/histogram.hpp"
 #include "consensus/message.hpp"
 #include "consensus/wire_codec.hpp"
+#include "harness/workload.hpp"
 #include "qclt/connection.hpp"
 #include "qclt/spsc_queue.hpp"
 #include "rt/wire.hpp"
@@ -262,6 +267,109 @@ TEST(SendAllocGuard, RtSlotEncodeDecodeCycleAllocatesNothing) {
   EXPECT_EQ(g_armed_allocs, 0u)
       << "steady-state rt slot encode/decode allocated " << g_armed_allocs
       << " times over 512 cycles";
+}
+
+// The open-loop workload engine's per-arrival work — schedule draw, zipfian
+// key choice, session bookkeeping, histogram record — must also stay off
+// the allocator: at tens of thousands of logical sessions the generator
+// runs once per operation, and a single stray allocation there would
+// dominate the driver loop it claims to measure honestly.
+TEST(SendAllocGuard, WorkloadArrivalLoopAllocatesNothing) {
+  harness::WorkloadProfile p = harness::WorkloadProfile::preset('A');
+  p.sessions = 50000;
+  p.target_rate = 100000;
+  p.key_space = 100000;
+  p.value_bytes = 16;
+  p.value_bytes_max = 64;
+  p.seed = 19;
+  harness::ArrivalGen gen(p);  // setup may allocate (zeta table, etc.)
+  Histogram latency;
+  std::vector<std::uint32_t> session_ops(static_cast<std::size_t>(p.sessions), 0);
+
+  // Warm-up: nothing here grows, but keep the shape of the other pins.
+  for (int i = 0; i < 1000; ++i) {
+    const harness::Arrival a = gen.next();
+    ++session_ops[a.session];
+    latency.record(static_cast<Nanos>((a.key & 0xFFFF) + 1));
+  }
+
+  g_armed_allocs = 0;
+  g_armed = true;
+  for (int i = 0; i < 100000; ++i) {
+    const harness::Arrival a = gen.next();
+    ++session_ops[a.session];
+    latency.record(static_cast<Nanos>((a.key & 0xFFFF) + 1));
+  }
+  g_armed = false;
+
+  ASSERT_EQ(latency.count(), 101000u);
+  EXPECT_EQ(g_armed_allocs, 0u)
+      << "steady-state workload arrival loop allocated " << g_armed_allocs
+      << " times over 100000 arrivals";
+}
+
+namespace {
+
+// Loopback context for the async client pipeline pin: records the seq of
+// every outgoing request into a fixed ring so the test can answer them
+// after tick() returns (answering inline would re-enter the engine's
+// non-recursive mutex).
+class LoopbackCtx final : public Context {
+ public:
+  NodeId self() const override { return 9; }
+  Nanos now() const override { return clock; }
+  void send(NodeId, const Message& m) override {
+    if (m.type == MsgType::kClientRequest) {
+      seqs[count++ % kMaxCommandsPerBatch] = m.u.client_request.cmd.seq;
+    }
+  }
+  void deliver(consensus::Instance, const Command&) override {}
+
+  Nanos clock = 0;
+  std::uint32_t seqs[kMaxCommandsPerBatch] = {};
+  std::uint32_t count = 0;
+};
+
+}  // namespace
+
+// The pooled client pipeline (client/async_client.hpp): after the spare
+// list warms up, a full submit -> tick(send) -> reply -> wait -> drop-handle
+// cycle recycles its Completion and slot state with zero allocations — the
+// property that lets the workload driver run tens of thousands of logical
+// sessions without the allocator in the loop.
+TEST(SendAllocGuard, AsyncClientSubmitCompleteCycleAllocatesNothing) {
+  client::AsyncClientConfig cfg;
+  cfg.base.self = 9;
+  cfg.base.num_replicas = 3;
+  LoopbackCtx ctx;
+  client::AsyncClientEngine eng(cfg);
+
+  auto cycle = [&](std::uint64_t round) {
+    ctx.count = 0;
+    client::SubmitHandle h =
+        eng.submit(consensus::Op::kWrite, round, round * 3);
+    ctx.clock += 1000;
+    eng.tick(ctx);  // launches the queued command through ctx.send
+    ASSERT_EQ(ctx.count, 1u);
+    Message reply(MsgType::kClientReply, ProtoId::kClient, 0, 9);
+    reply.u.client_reply.seq = ctx.seqs[0];
+    reply.u.client_reply.result = round;
+    eng.on_message(ctx, reply);
+    ASSERT_TRUE(h.done());
+    ASSERT_EQ(h.wait(), round);
+  };  // handle dropped here -> its Completion returns to the spare list
+
+  // Warm-up populates the spare list (one Completion, reused thereafter).
+  for (std::uint64_t r = 1; r <= 128; ++r) cycle(r);
+
+  g_armed_allocs = 0;
+  g_armed = true;
+  for (std::uint64_t r = 129; r <= 1024; ++r) cycle(r);
+  g_armed = false;
+
+  EXPECT_EQ(g_armed_allocs, 0u)
+      << "steady-state async client cycle allocated " << g_armed_allocs
+      << " times over 896 cycles";
 }
 
 }  // namespace

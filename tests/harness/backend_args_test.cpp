@@ -436,13 +436,224 @@ TEST(PositionalArgs, SkipsReadMixAndLeaseMsToo) {
   EXPECT_EQ(pos[0], "keep");
 }
 
+TEST(FlushPolicyFromArgs, ParsesBothModesAndDefaults) {
+  {
+    Args a({"--flush-policy=adaptive"});
+    EXPECT_EQ(flush_policy_from_args(a.argc(), a.argv()),
+              consensus::BatchPolicy::FlushMode::kAdaptive);
+  }
+  {
+    Args a({"--flush-policy", "fixed"});
+    EXPECT_EQ(flush_policy_from_args(a.argc(), a.argv()),
+              consensus::BatchPolicy::FlushMode::kFixed);
+  }
+  {
+    Args a({});
+    EXPECT_EQ(flush_policy_from_args(a.argc(), a.argv()),
+              consensus::BatchPolicy::FlushMode::kFixed);
+  }
+}
+
+TEST(FlushPolicyFromArgs, RejectsUnknownPoliciesAndMissingValue) {
+  // --flush-policy=adptive must not silently run the fixed timer: an A/B
+  // latency sweep that measured fixed twice would report a fake win.
+  for (const char* bad : {"--flush-policy=adptive", "--flush-policy=auto",
+                          "--flush-policy=FIXED"}) {
+    Args a({bad});
+    EXPECT_EXIT(flush_policy_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "unknown flush policy")
+        << bad;
+  }
+  {
+    Args a({"--flush-policy"});
+    EXPECT_EXIT(flush_policy_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "requires a value");
+  }
+}
+
+TEST(BatchPolicyFromArgs, BundlesFlushModeToo) {
+  Args a({"--batch=32", "--batch-flush-us=100", "--flush-policy=adaptive"});
+  const consensus::BatchPolicy p = batch_policy_from_args(a.argc(), a.argv());
+  EXPECT_EQ(p.max_commands, 32);
+  EXPECT_EQ(p.flush_after, 100 * kMicrosecond);
+  EXPECT_TRUE(p.adaptive());
+}
+
+TEST(SessionsFromArgs, ParsesBoundsAndDefaults) {
+  {
+    Args a({"--sessions=50000"});
+    EXPECT_EQ(sessions_from_args(a.argc(), a.argv()), 50000);
+  }
+  {
+    Args a({"--sessions", "1000000"});  // the ceiling itself is legal
+    EXPECT_EQ(sessions_from_args(a.argc(), a.argv()), 1000000);
+  }
+  {
+    Args a({});
+    EXPECT_EQ(sessions_from_args(a.argc(), a.argv(), 256), 256);
+  }
+}
+
+TEST(SessionsFromArgs, RejectsZeroOverflowAndGarbage) {
+  for (const char* bad : {"--sessions=0", "--sessions=-5", "--sessions=1000001",
+                          "--sessions=many", "--sessions=1e6"}) {
+    Args a({bad});
+    EXPECT_EXIT(sessions_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad session count")
+        << bad;
+  }
+  {
+    Args a({"--sessions"});
+    EXPECT_EXIT(sessions_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "requires a value");
+  }
+}
+
+TEST(TargetRateFromArgs, ParsesRatesAndDefaults) {
+  {
+    Args a({"--target-rate=25000"});
+    EXPECT_DOUBLE_EQ(target_rate_from_args(a.argc(), a.argv()), 25000.0);
+  }
+  {
+    Args a({"--target-rate", "0"});  // 0 = closed loop, a legal explicit choice
+    EXPECT_DOUBLE_EQ(target_rate_from_args(a.argc(), a.argv()), 0.0);
+  }
+  {
+    Args a({"--target-rate=2.5e5"});  // scientific notation is fine for rates
+    EXPECT_DOUBLE_EQ(target_rate_from_args(a.argc(), a.argv()), 250000.0);
+  }
+  {
+    Args a({});
+    EXPECT_DOUBLE_EQ(target_rate_from_args(a.argc(), a.argv(), 1000.0), 1000.0);
+  }
+}
+
+TEST(TargetRateFromArgs, RejectsNegativeAbsurdAndGarbage) {
+  for (const char* bad : {"--target-rate=-1", "--target-rate=2e9",
+                          "--target-rate=nan", "--target-rate=fast",
+                          "--target-rate=1000x"}) {
+    Args a({bad});
+    EXPECT_EXIT(target_rate_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "bad target rate")
+        << bad;
+  }
+  {
+    Args a({"--target-rate"});
+    EXPECT_EXIT(target_rate_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "requires a value");
+  }
+}
+
+TEST(ZipfFromArgs, ParsesThetaAndDefaults) {
+  {
+    Args a({"--zipf=0.99"});
+    EXPECT_DOUBLE_EQ(zipf_from_args(a.argc(), a.argv()), 0.99);
+  }
+  {
+    Args a({"--zipf", "0"});  // uniform, a legal explicit choice
+    EXPECT_DOUBLE_EQ(zipf_from_args(a.argc(), a.argv()), 0.0);
+  }
+  {
+    Args a({});
+    EXPECT_DOUBLE_EQ(zipf_from_args(a.argc(), a.argv()), 0.99);
+  }
+}
+
+TEST(ZipfFromArgs, RejectsOneAndBeyondAndGarbage) {
+  // theta = 1 diverges in the zeta-series formula, so the bound is strict.
+  for (const char* bad : {"--zipf=1", "--zipf=1.2", "--zipf=-0.1", "--zipf=nan",
+                          "--zipf=hot"}) {
+    Args a({bad});
+    EXPECT_EXIT(zipf_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "bad zipf theta")
+        << bad;
+  }
+  {
+    Args a({"--zipf"});
+    EXPECT_EXIT(zipf_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "requires a value");
+  }
+}
+
+TEST(WorkloadFromArgs, ParsesPresetsAndDefaults) {
+  {
+    Args a({"--workload=A"});
+    EXPECT_EQ(workload_from_args(a.argc(), a.argv()), 'A');
+  }
+  {
+    Args a({"--workload", "F"});
+    EXPECT_EQ(workload_from_args(a.argc(), a.argv()), 'F');
+  }
+  {
+    Args a({});
+    EXPECT_EQ(workload_from_args(a.argc(), a.argv(), 'B'), 'B');
+  }
+}
+
+TEST(WorkloadFromArgs, RejectsUnknownPresetsAndMissingValue) {
+  for (const char* bad : {"--workload=G", "--workload=a", "--workload=AB",
+                          "--workload=ycsb-a"}) {
+    Args a({bad});
+    EXPECT_EXIT(workload_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "unknown workload preset")
+        << bad;
+  }
+  {
+    Args a({"--workload"});
+    EXPECT_EXIT(workload_from_args(a.argc(), a.argv()), ::testing::ExitedWithCode(2),
+                "requires a value");
+  }
+}
+
+TEST(ValueBytesFromArgs, ParsesBoundsAndDefaults) {
+  {
+    Args a({"--value-bytes=100"});
+    EXPECT_EQ(value_bytes_from_args(a.argc(), a.argv()), 100);
+  }
+  {
+    Args a({"--value-bytes", "128"});  // the 8-fragment ceiling is legal
+    EXPECT_EQ(value_bytes_from_args(a.argc(), a.argv()), 128);
+  }
+  {
+    Args a({});
+    EXPECT_EQ(value_bytes_from_args(a.argc(), a.argv()), 8);
+  }
+}
+
+TEST(ValueBytesFromArgs, RejectsZeroOversizedAndGarbage) {
+  for (const char* bad : {"--value-bytes=0", "--value-bytes=-8",
+                          "--value-bytes=129", "--value-bytes=big",
+                          "--value-bytes=64k"}) {
+    Args a({bad});
+    EXPECT_EXIT(value_bytes_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "bad value size")
+        << bad;
+  }
+  {
+    Args a({"--value-bytes"});
+    EXPECT_EXIT(value_bytes_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "requires a value");
+  }
+}
+
+TEST(PositionalArgs, SkipsWorkloadFlagsToo) {
+  Args a({"--sessions", "50000", "--target-rate=1e5", "--zipf=0.9",
+          "--workload", "A", "--value-bytes=64", "--flush-policy=adaptive",
+          "keep"});
+  const auto pos = positional_args(a.argc(), a.argv());
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], "keep");
+}
+
 // --help prints the full flag enumeration and exits 0 — from either strict
 // scanner, and regardless of the binary's consumed set.
 TEST(Usage, HelpPrintsEveryFlagAndExitsZero) {
   const std::string text = usage_text();
   for (const char* flag : {"--backend", "--groups", "--placement", "--batch",
-                           "--batch-flush-us", "--client-coalesce", "--txn-mix",
-                           "--read-mix", "--lease-ms", "--sweep-diff", "--help"}) {
+                           "--batch-flush-us", "--flush-policy", "--client-coalesce",
+                           "--txn-mix", "--read-mix", "--lease-ms", "--sessions",
+                           "--target-rate", "--zipf", "--workload", "--value-bytes",
+                           "--sweep-diff", "--help"}) {
     EXPECT_NE(text.find(flag), std::string::npos) << flag << " missing from usage";
   }
   // (the EXIT matcher regex applies to stderr; usage goes to stdout, so
@@ -465,6 +676,7 @@ TEST(Usage, UnknownFlagExitsTwoNamingAllFlags) {
   EXPECT_EXIT(require_harness_flags_only(a.argc(), a.argv()),
               ::testing::ExitedWithCode(2),
               "--client-coalesce, --txn-mix, --read-mix, --lease-ms, "
+              "--sessions, --target-rate, --zipf, --workload, --value-bytes, "
               "--sweep-diff, --help");
 }
 

@@ -1,0 +1,338 @@
+// The open-loop workload engine (harness/workload.hpp): generator
+// determinism and distribution shape without a cluster, then the drivers
+// end to end — sim pacing and honest latency, the 50K-logical-session
+// multiplexing smoke, inline transactions, the closed-loop companion, and
+// wall-clock pacing accuracy on the rt backend.
+#include "harness/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "client/service_client.hpp"
+
+namespace ci::harness {
+namespace {
+
+WorkloadProfile small_profile() {
+  WorkloadProfile p;
+  p.sessions = 1000;
+  p.target_rate = 100000;
+  p.key_space = 10000;
+  p.seed = 42;
+  return p;
+}
+
+TEST(ArrivalGen, SameSeedSameSequence) {
+  WorkloadProfile p = WorkloadProfile::preset('A');
+  p.sessions = 1000;
+  p.target_rate = 50000;
+  p.value_bytes = 16;
+  p.value_bytes_max = 64;
+  p.seed = 7;
+  ArrivalGen a(p), b(p);
+  for (int i = 0; i < 10000; ++i) {
+    const Arrival x = a.next();
+    const Arrival y = b.next();
+    ASSERT_EQ(x.at, y.at);
+    ASSERT_EQ(x.session, y.session);
+    ASSERT_EQ(x.op, y.op);
+    ASSERT_EQ(x.key, y.key);
+    ASSERT_EQ(x.key2, y.key2);
+    ASSERT_EQ(x.value, y.value);
+    ASSERT_EQ(x.parts, y.parts);
+  }
+}
+
+TEST(ArrivalGen, DifferentSeedsDiverge) {
+  WorkloadProfile p = small_profile();
+  ArrivalGen a(p);
+  p.seed = 43;
+  ArrivalGen b(p);
+  int diffs = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Arrival x = a.next();
+    const Arrival y = b.next();
+    if (x.at != y.at || x.key != y.key || x.session != y.session) ++diffs;
+  }
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(ArrivalGen, UniformPacingIsAnExactGrid) {
+  WorkloadProfile p = small_profile();
+  p.pacing = Pacing::kUniform;
+  p.target_rate = 1e6;  // 1 us grid
+  ArrivalGen g(p);
+  for (Nanos i = 1; i <= 1000; ++i) EXPECT_EQ(g.next().at, i * 1000);
+}
+
+TEST(ArrivalGen, PoissonGapsAverageTheTargetRate) {
+  WorkloadProfile p = small_profile();
+  p.target_rate = 100000;  // mean gap 10 us
+  ArrivalGen g(p);
+  const int kN = 20000;
+  Nanos last = 0, sum = 0;
+  for (int i = 0; i < kN; ++i) {
+    const Nanos at = g.next().at;
+    sum += at - last;
+    last = at;
+  }
+  const double mean = static_cast<double>(sum) / kN;
+  EXPECT_GT(mean, 9000.0);   // within 10% of the 10 us expectation
+  EXPECT_LT(mean, 11000.0);
+}
+
+TEST(ArrivalGen, PresetMixesMatchYcsb) {
+  struct Case {
+    char preset;
+    WlOp counted;
+    double lo, hi;
+  };
+  // Loose brackets over 20000 draws pin the shape, not the constants.
+  for (const Case& c : {Case{'A', WlOp::kUpdate, 0.47, 0.53},
+                        Case{'B', WlOp::kUpdate, 0.04, 0.06},
+                        Case{'D', WlOp::kInsert, 0.04, 0.06},
+                        Case{'E', WlOp::kScan, 0.93, 0.97},
+                        Case{'F', WlOp::kRmw, 0.47, 0.53}}) {
+    WorkloadProfile p = WorkloadProfile::preset(c.preset);
+    p.target_rate = 100000;
+    p.seed = 5;
+    ArrivalGen g(p);
+    int hits = 0;
+    const int kN = 20000;
+    for (int i = 0; i < kN; ++i) hits += g.next().op == c.counted ? 1 : 0;
+    const double frac = static_cast<double>(hits) / kN;
+    EXPECT_GT(frac, c.lo) << "preset " << c.preset;
+    EXPECT_LT(frac, c.hi) << "preset " << c.preset;
+  }
+  // C is read-only, full stop.
+  WorkloadProfile p = WorkloadProfile::preset('C');
+  p.target_rate = 100000;
+  ArrivalGen g(p);
+  for (int i = 0; i < 2000; ++i) EXPECT_EQ(g.next().op, WlOp::kRead);
+}
+
+TEST(ArrivalGen, InsertsAppendAndLatestReadsChaseThem) {
+  WorkloadProfile p = WorkloadProfile::preset('D');
+  p.target_rate = 100000;
+  p.key_space = 1000;
+  p.seed = 9;
+  ArrivalGen g(p);
+  std::uint64_t last_insert = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t hot_tail_reads = 0, reads = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Arrival a = g.next();
+    if (a.op == WlOp::kInsert) {
+      // Fresh keys append past the initial space, strictly increasing.
+      EXPECT_GE(a.key, p.key_space);
+      if (inserts > 0) {
+        EXPECT_EQ(a.key, last_insert + 1);
+      }
+      last_insert = a.key;
+      ++inserts;
+    } else if (a.op == WlOp::kRead && inserts > 0) {
+      ++reads;
+      // "Latest" skew: most reads land within the newest few records.
+      EXPECT_LT(a.key, p.key_space + inserts);
+      if (a.key + 10 >= p.key_space + inserts) ++hot_tail_reads;
+    }
+  }
+  ASSERT_GT(inserts, 500u);
+  ASSERT_GT(reads, 1000u);
+  EXPECT_GT(static_cast<double>(hot_tail_reads) / static_cast<double>(reads), 0.3);
+}
+
+TEST(ArrivalGen, ValueBytesControlFragmentCount) {
+  for (const auto& [bytes, parts] : std::vector<std::pair<int, int>>{
+           {1, 1}, {8, 1}, {16, 1}, {17, 2}, {64, 4}, {128, 8}}) {
+    WorkloadProfile p = WorkloadProfile::preset('A');
+    p.target_rate = 100000;
+    p.value_bytes = bytes;
+    ArrivalGen g(p);
+    for (int i = 0; i < 200; ++i) {
+      const Arrival a = g.next();
+      if (a.op == WlOp::kUpdate) {
+        EXPECT_EQ(a.parts, parts) << bytes << " bytes";
+      }
+    }
+  }
+  // A size range draws a spread of fragment counts.
+  WorkloadProfile p = WorkloadProfile::preset('A');
+  p.target_rate = 100000;
+  p.value_bytes = 16;
+  p.value_bytes_max = 64;
+  ArrivalGen g(p);
+  bool saw[5] = {};
+  for (int i = 0; i < 2000; ++i) {
+    const Arrival a = g.next();
+    if (a.op != WlOp::kUpdate) continue;
+    ASSERT_GE(a.parts, 1);
+    ASSERT_LE(a.parts, 4);
+    saw[a.parts] = true;
+  }
+  EXPECT_TRUE(saw[1] && saw[2] && saw[3] && saw[4]);
+}
+
+TEST(ArrivalGen, SessionsStayInRangeAndSpread) {
+  WorkloadProfile p = small_profile();
+  p.sessions = 50000;
+  ArrivalGen g(p);
+  std::vector<bool> seen(50000, false);
+  std::size_t distinct = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const Arrival a = g.next();
+    ASSERT_LT(a.session, 50000u);
+    if (!seen[a.session]) {
+      seen[a.session] = true;
+      ++distinct;
+    }
+  }
+  // Coupon-collector expectation for 100K uniform draws over 50K sessions
+  // is ~43K distinct; 40K is a loose floor.
+  EXPECT_GT(distinct, 40000u);
+}
+
+client::ServiceClient::Options sim_opts(std::int32_t conduits, std::int32_t groups = 1) {
+  client::ServiceClient::Options o;
+  o.backend = core::Backend::kSim;
+  o.spec.protocol = core::Protocol::kMultiPaxos;
+  o.spec.apply(core::TimeoutProfile::many_core());
+  o.spec.workload.request_timeout = 10 * kMillisecond;  // session retry timer
+  o.spec.engine.batch.max_commands = 16;
+  o.num_sessions = conduits;
+  o.groups = groups;
+  return o;
+}
+
+TEST(OpenLoop, SimRunCompletesEverythingAndMeasuresLatency) {
+  client::ServiceClient svc(sim_opts(4));
+  WorkloadProfile p = WorkloadProfile::preset('A');
+  p.sessions = 200;
+  p.target_rate = 50000;
+  p.key_space = 5000;
+  p.seed = 3;
+  const std::int64_t kOps = 2000;
+  const WorkloadResult r = run_open_loop(svc, p, kOps);
+  EXPECT_EQ(r.issued, kOps);
+  EXPECT_EQ(r.completed, kOps);
+  EXPECT_EQ(r.latency.count(), static_cast<std::uint64_t>(kOps));
+  EXPECT_GT(r.latency.percentile(0.5), 0);
+  EXPECT_GE(r.latency.percentile(0.99), r.latency.percentile(0.5));
+  // 2000 arrivals at 50K/s schedule ~40 ms of virtual time; the measured
+  // duration must cover the schedule (time cannot run backwards).
+  EXPECT_GE(r.duration, 35 * kMillisecond);
+  EXPECT_DOUBLE_EQ(r.offered_rate, 50000.0);
+  std::uint64_t issued_by_sessions = 0;
+  for (const std::uint32_t n : r.session_ops) issued_by_sessions += n;
+  EXPECT_EQ(issued_by_sessions, static_cast<std::uint64_t>(kOps));
+}
+
+TEST(OpenLoop, FiftyThousandLogicalSessionsMultiplex) {
+  client::ServiceClient svc(sim_opts(4));
+  WorkloadProfile p = WorkloadProfile::preset('B');
+  p.sessions = 50000;
+  p.target_rate = 200000;
+  p.key_space = 100000;
+  p.seed = 17;
+  const std::int64_t kOps = 5000;
+  const WorkloadResult r = run_open_loop(svc, p, kOps);
+  EXPECT_EQ(r.completed, kOps);
+  EXPECT_GT(r.latency.percentile(0.5), 0);
+  EXPECT_GT(r.latency.percentile(0.99), 0);
+  EXPECT_GT(r.latency.percentile(0.999), 0);
+  ASSERT_EQ(r.session_ops.size(), 50000u);
+  std::uint64_t sum = 0;
+  for (const std::uint32_t n : r.session_ops) sum += n;
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kOps));
+}
+
+TEST(OpenLoop, TransactionsCommitInline) {
+  client::ServiceClient svc(sim_opts(2, /*groups=*/2));
+  WorkloadProfile p;
+  p.sessions = 50;
+  p.target_rate = 20000;
+  p.mix.txn = 1.0;
+  p.key_space = 1000;
+  p.seed = 23;
+  const WorkloadResult r = run_open_loop(svc, p, 200);
+  EXPECT_EQ(r.completed, 200);
+  EXPECT_EQ(r.latency.count(), 200u);
+  EXPECT_GT(r.latency.percentile(0.5), 0);
+}
+
+TEST(OpenLoop, ScansAndWideValuesComplete) {
+  client::ServiceClient svc(sim_opts(2));
+  WorkloadProfile p = WorkloadProfile::preset('E');
+  p.sessions = 100;
+  p.target_rate = 30000;
+  p.key_space = 2000;
+  p.value_bytes = 64;  // 4-fragment inserts
+  p.seed = 31;
+  const WorkloadResult r = run_open_loop(svc, p, 500);
+  EXPECT_EQ(r.completed, 500);
+  EXPECT_EQ(r.latency.count(), 500u);
+}
+
+TEST(OpenLoop, ReadModifyWriteSpansBothRoundTrips) {
+  client::ServiceClient svc(sim_opts(2));
+  WorkloadProfile p;
+  p.sessions = 100;
+  p.target_rate = 20000;
+  p.mix.rmw = 1.0;
+  p.key_space = 2000;
+  p.seed = 37;
+  const WorkloadResult rmw = run_open_loop(svc, p, 400);
+  EXPECT_EQ(rmw.completed, 400);
+  client::ServiceClient svc2(sim_opts(2));
+  p.mix.rmw = 0.0;  // pure reads, same schedule
+  const WorkloadResult rd = run_open_loop(svc2, p, 400);
+  EXPECT_EQ(rd.completed, 400);
+  // Two round trips cost more than one (virtual time is deterministic
+  // enough for a strict comparison of medians).
+  EXPECT_GT(rmw.latency.percentile(0.5), rd.latency.percentile(0.5));
+}
+
+TEST(ClosedLoop, DrivesAFullPipeline) {
+  client::ServiceClient svc(sim_opts(2));
+  WorkloadProfile p = WorkloadProfile::preset('A');
+  p.sessions = 500;
+  p.key_space = 5000;
+  p.seed = 41;  // target_rate stays 0: closed loop ignores the schedule
+  const std::int64_t kOps = 2000;
+  const WorkloadResult r = run_closed_loop(svc, p, kOps, /*depth=*/16);
+  EXPECT_EQ(r.issued, kOps);
+  EXPECT_EQ(r.completed, kOps);
+  EXPECT_GT(r.achieved_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.offered_rate, 0.0);
+  EXPECT_GT(r.latency.percentile(0.5), 0);
+}
+
+// Wall-clock pacing on the real backend: a uniform 2000/s schedule of 400
+// arrivals spans 200 ms; the driver spins to each instant, so the run must
+// take at least the schedule and not wildly more (drain tail + slow CI
+// machines give the generous upper bound). RUN_SERIAL keeps the node
+// threads honest.
+TEST(OpenLoop, RtPacingTracksTheWallClock) {
+  client::ServiceClient::Options o;
+  o.backend = core::Backend::kRt;
+  o.spec.protocol = core::Protocol::kMultiPaxos;
+  o.num_sessions = 2;
+  client::ServiceClient svc(o);
+  WorkloadProfile p;
+  p.sessions = 20;
+  p.pacing = Pacing::kUniform;
+  p.target_rate = 2000;
+  p.key_space = 1000;
+  p.seed = 47;
+  const WorkloadResult r = run_open_loop(svc, p, 400);
+  EXPECT_EQ(r.completed, 400);
+  EXPECT_GE(r.duration, 195 * kMillisecond);  // cannot beat the schedule
+  EXPECT_LE(r.duration, 2 * kSecond);         // and must not stall out
+  const double achieved = r.achieved_rate();
+  EXPECT_GT(achieved, 400.0);  // no collapse: the loop kept pace
+  EXPECT_LT(achieved, 2100.0); // cannot exceed the offered rate (plus drain noise)
+}
+
+}  // namespace
+}  // namespace ci::harness

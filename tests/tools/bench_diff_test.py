@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Unit tests for bench/bench_diff.py (the CI perf-regression gate).
+
+Run as `bench_diff_test.py /path/to/bench_diff.py` (ctest passes the path).
+Each case writes a pair of BENCH_*.json snapshots into a temp dir and runs
+the real script as a subprocess, asserting on exit code and output — the
+same surface CI depends on.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+BENCH_DIFF = None  # set from argv in __main__
+
+
+def write_snapshot(directory, bench, rows):
+    path = os.path.join(directory, f"BENCH_{bench}.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"bench": bench, "rows": rows}, f)
+    return path
+
+
+def run_diff(old, new, *extra):
+    proc = subprocess.run(
+        [sys.executable, BENCH_DIFF, old, new, *extra],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def base_row(label, **overrides):
+    row = {
+        "label": label,
+        "ops_per_sec": 1000.0,
+        "msgs_per_op": 3.5,
+        "bytes_per_op": 400.0,
+        "p50_us": 50.0,
+        "p99_us": 120.0,
+        "p999_us": 150.0,
+        "consistent": True,
+    }
+    row.update(overrides)
+    return row
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.old_dir = os.path.join(self.tmp.name, "old")
+        self.new_dir = os.path.join(self.tmp.name, "new")
+        os.mkdir(self.old_dir)
+        os.mkdir(self.new_dir)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_identical_snapshots_pass_the_gate(self):
+        rows = [base_row("a"), base_row("b")]
+        write_snapshot(self.old_dir, "fig", rows)
+        write_snapshot(self.new_dir, "fig", rows)
+        code, out = run_diff(self.old_dir, self.new_dir, "--max-regress-pct", "2")
+        self.assertEqual(code, 0, out)
+        self.assertIn("2 rows matched", out)
+
+    def test_throughput_drop_beyond_gate_fails(self):
+        write_snapshot(self.old_dir, "fig", [base_row("a")])
+        write_snapshot(self.new_dir, "fig", [base_row("a", ops_per_sec=900.0)])
+        code, out = run_diff(self.old_dir, self.new_dir, "--max-regress-pct", "2")
+        self.assertEqual(code, 1, out)
+        self.assertIn("regressions beyond the gate", out)
+        self.assertIn("ops_per_sec", out)
+
+    def test_latency_growth_beyond_gate_fails(self):
+        write_snapshot(self.old_dir, "fig", [base_row("a")])
+        write_snapshot(self.new_dir, "fig", [base_row("a", p99_us=200.0)])
+        code, out = run_diff(self.old_dir, self.new_dir, "--max-regress-pct", "2")
+        self.assertEqual(code, 1, out)
+        self.assertIn("p99_us", out)
+
+    def test_regression_without_gate_flag_still_exits_zero(self):
+        write_snapshot(self.old_dir, "fig", [base_row("a")])
+        write_snapshot(self.new_dir, "fig", [base_row("a", ops_per_sec=100.0)])
+        code, out = run_diff(self.old_dir, self.new_dir)
+        self.assertEqual(code, 0, out)
+
+    def test_one_sided_metric_warns_and_is_not_gated(self):
+        old = base_row("a")
+        del old["p999_us"]  # OLD snapshot predates the column
+        write_snapshot(self.old_dir, "fig", [old])
+        write_snapshot(self.new_dir, "fig", [base_row("a", p999_us=9999.0)])
+        code, out = run_diff(self.old_dir, self.new_dir, "--max-regress-pct", "2")
+        self.assertEqual(code, 0, out)
+        self.assertIn("warning: fig/a p999_us present only in NEW; skipped", out)
+
+    def test_one_sided_metric_in_old_warns_too(self):
+        new = base_row("a")
+        del new["bytes_per_op"]
+        write_snapshot(self.old_dir, "fig", [base_row("a")])
+        write_snapshot(self.new_dir, "fig", [new])
+        code, out = run_diff(self.old_dir, self.new_dir, "--max-regress-pct", "2")
+        self.assertEqual(code, 0, out)
+        self.assertIn("warning: fig/a bytes_per_op present only in OLD; skipped", out)
+
+    def test_unmatched_rows_are_listed_not_fatal(self):
+        write_snapshot(self.old_dir, "fig", [base_row("gone")])
+        write_snapshot(self.new_dir, "fig", [base_row("fresh")])
+        code, out = run_diff(self.old_dir, self.new_dir, "--max-regress-pct", "2")
+        self.assertEqual(code, 0, out)
+        self.assertIn("only in OLD: fig/gone", out)
+        self.assertIn("only in NEW: fig/fresh", out)
+
+    def test_consistency_flip_fails_the_gate(self):
+        write_snapshot(self.old_dir, "fig", [base_row("a")])
+        write_snapshot(self.new_dir, "fig", [base_row("a", consistent=False)])
+        code, out = run_diff(self.old_dir, self.new_dir, "--max-regress-pct", "2")
+        self.assertEqual(code, 1, out)
+        self.assertIn("INCONSISTENT", out)
+
+    def test_empty_directory_is_an_error(self):
+        write_snapshot(self.new_dir, "fig", [base_row("a")])
+        code, out = run_diff(self.old_dir, self.new_dir)
+        self.assertNotEqual(code, 0)
+        self.assertIn("no BENCH_", out)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit("usage: bench_diff_test.py /path/to/bench_diff.py")
+    BENCH_DIFF = os.path.abspath(sys.argv.pop(1))
+    if not os.path.exists(BENCH_DIFF):
+        sys.exit(f"error: {BENCH_DIFF} not found")
+    unittest.main(verbosity=2)
