@@ -11,8 +11,11 @@ usage:
   bench_diff.py OLD NEW [--max-regress-pct P]
 
 OLD and NEW are BENCH_*.json files or directories containing them. Rows are
-matched by (bench, label); per-metric deltas print as percentages (positive
-ops_per_sec = faster, positive msgs_per_op/bytes_per_op = chattier).
+matched by (bench, label, backend) — a sim row is never compared against an
+rt or net row even when the labels collide (rows without a backend field,
+from snapshots predating it, match only each other). Per-metric deltas
+print as percentages (positive ops_per_sec = faster, positive
+msgs_per_op/bytes_per_op = chattier).
 Latency metrics (p50_us, p99_us) print when present. Unmatched rows are
 listed but not an error (benches gain and lose rows across PRs); a metric
 present on only one side of a matched row warns and is skipped — there is
@@ -40,7 +43,7 @@ METRICS = [
 
 
 def load_set(path):
-    """path -> {(bench, label): row_dict}; accepts a file or a directory."""
+    """path -> {(bench, label, backend): row_dict}; a file or a directory."""
     if os.path.isdir(path):
         files = sorted(
             os.path.join(path, f)
@@ -60,7 +63,7 @@ def load_set(path):
             sys.exit(f"error: cannot read {f}: {e}")
         bench = doc.get("bench", os.path.basename(f))
         for row in doc.get("rows", []):
-            rows[(bench, row.get("label", "?"))] = row
+            rows[(bench, row.get("label", "?"), row.get("backend", ""))] = row
     return rows
 
 
@@ -93,7 +96,7 @@ def main():
     print(f"{'bench/label':<56} {'metric':<12} {'old':>12} {'new':>12} {'delta':>9}")
     for key in matched:
         o, n = old_rows[key], new_rows[key]
-        name = f"{key[0]}/{key[1]}"
+        name = f"{key[0]}/{key[1]}" + (f"@{key[2]}" if key[2] else "")
         for metric, higher_better, always in METRICS:
             if metric not in o or metric not in n:
                 # One-sided metric (a bench grew or lost a column across
@@ -120,9 +123,9 @@ def main():
             print(f"{name:<56} {'consistent':<12} {'true':>12} {'FALSE':>12}")
 
     for key in only_old:
-        print(f"only in OLD: {key[0]}/{key[1]}")
+        print(f"only in OLD: {key[0]}/{key[1]}" + (f"@{key[2]}" if key[2] else ""))
     for key in only_new:
-        print(f"only in NEW: {key[0]}/{key[1]}")
+        print(f"only in NEW: {key[0]}/{key[1]}" + (f"@{key[2]}" if key[2] else ""))
     print(f"{len(matched)} rows matched, {len(only_old)} only-old, {len(only_new)} only-new")
 
     if regressions:

@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   // Mirror the phase averages into the snapshot (the full series would
   // drown the diff; the phases ARE the shape the figure argues).
   BenchJson json("fig11_slow_leader");
+  json.set_backend(backend);
   auto phase = [&](const std::string& label, double ops) {
     BenchRun r;
     r.throughput = ops;

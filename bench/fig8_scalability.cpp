@@ -7,10 +7,12 @@
 // of 1Paxos's peak; past saturation latency climbs steeply while throughput
 // stalls.
 //
-// One sweep, two runtimes: `--backend=sim` (default) runs the full 1..45
+// One sweep, three runtimes: `--backend=sim` (default) runs the full 1..45
 // sweep faithful to a 48-core box; `--backend=rt` runs the identical spec
 // over real threads up to a client count this machine can host without
-// heavy oversubscription.
+// heavy oversubscription; `--backend=net` does the same over a loopback
+// TCP socket mesh (`--net-port-base`, `--net-registry`, `--net-io-threads`
+// shape the mesh).
 #include <algorithm>
 
 #include "common/affinity.hpp"
@@ -20,8 +22,11 @@ int main(int argc, char** argv) {
   using namespace ci;
   using namespace ci::bench;
 
-  harness::require_harness_flags_only(argc, argv, {"--backend"});
+  harness::require_harness_flags_only(
+      argc, argv,
+      {"--backend", "--net-port-base", "--net-registry", "--net-io-threads"});
   const Backend backend = harness::backend_from_args(argc, argv, Backend::kSim);
+  const core::NetParams net = harness::net_params_from_args(argc, argv);
 
   header("E4: latency vs throughput as clients scale",
          "paper Fig. 8", "3 replicas; series = (throughput op/s, latency us) per client count");
@@ -29,7 +34,7 @@ int main(int argc, char** argv) {
   const int clients[] = {1, 2, 3, 5, 7, 9, 13, 18, 25, 35, 45};
   const Protocol protocols[] = {Protocol::kTwoPc, Protocol::kMultiPaxos, Protocol::kOnePaxos};
 
-  // The rt sweep stops before drowning the machine in threads; the sim
+  // The rt/net sweeps stop before drowning the machine in threads; the sim
   // sweep models the paper's 48 cores and runs the full axis.
   const int max_clients = backend == Backend::kSim
                               ? 45
@@ -38,6 +43,7 @@ int main(int argc, char** argv) {
   const Nanos window = backend == Backend::kSim ? 200 * kMillisecond : 400 * kMillisecond;
 
   BenchJson json("fig8_scalability");
+  json.set_backend(backend);
   row("--- backend: %s (%d cores online) ---", core::backend_name(backend),
       ci::online_cores());
   row("%8s | %12s %10s | %12s %10s | %12s %10s", "clients", "2PC op/s", "lat us",
@@ -53,6 +59,7 @@ int main(int argc, char** argv) {
       o.protocol = protocols[p];
       o.num_replicas = 3;
       o.num_clients = n;
+      o.net = net;
       o.seed = 4;
       const BenchRun r = run_cluster(backend, o, warmup, window);
       tput[p] = r.throughput;

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   };
 
   BenchJson json("fig_batching_amortization");
+  json.set_backend(backend);
 
   row("--- backend: %s, %d clients/group, 3 replicas/group ---",
       core::backend_name(backend), kClients);

@@ -182,6 +182,7 @@ int main(int argc, char** argv) {
       "p50 us", "p99 us");
 
   BenchJson json("fig_read_scaling");
+  json.set_backend(backend);
 
   // Key pool: 64 keys per group, shared by both stores (same router).
   std::vector<std::uint64_t> keys;

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
     return ShardSpec(o, groups, placement).total_nodes();
   };
   BenchJson json("fig_sharded_scalability");
+  json.set_backend(backend);
   row("%8s | %8s %8s | %12s %12s | %8s", "groups", "replicas", "clients",
       "agg op/s", "op/s/group", "speedup");
   double base = 0;

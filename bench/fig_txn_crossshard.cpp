@@ -162,6 +162,7 @@ int main(int argc, char** argv) {
       "p50 us", "p99 us");
 
   BenchJson json("fig_txn_crossshard");
+  json.set_backend(backend);
 
   // 1. Pure single-key, pipelined: the amortized baseline. A sliding
   // handle window keeps ~512 commands in flight AND yields a real per-op

@@ -6,8 +6,8 @@
 // series the paper reports. Absolute numbers reflect this machine and the
 // simulator's cost model; DESIGN.md §3 records the expected *shapes*.
 //
-// Benches accept `--backend={sim,rt}` (parsed by backend_from_args) and run
-// the same ClusterSpec on whichever runtime was chosen.
+// Benches accept `--backend={sim,rt,net}` (parsed by backend_from_args) and
+// run the same ClusterSpec on whichever runtime was chosen.
 #pragma once
 
 #include <chrono>
@@ -21,6 +21,7 @@
 #include "core/cluster_spec.hpp"
 #include "core/run_result.hpp"
 #include "harness/cluster_harness.hpp"
+#include "net/net_cluster.hpp"
 #include "rt/rt_cluster.hpp"
 #include "sim/sim_cluster.hpp"
 
@@ -126,13 +127,20 @@ class BenchJson {
   BenchJson(const BenchJson&) = delete;
   BenchJson& operator=(const BenchJson&) = delete;
 
+  // Stamps every subsequent row with the backend that produced it, so the
+  // diff tool never cross-compares sim numbers against rt/net numbers even
+  // when the row labels collide. Call once, right after parsing --backend.
+  void set_backend(Backend b) { backend_ = core::backend_name(b); }
+
   void add(const std::string& label, const BenchRun& r) {
     char buf[512];
     std::snprintf(buf, sizeof(buf),
-                  "    {\"label\": \"%s\", \"ops_per_sec\": %.1f, \"msgs_per_op\": %.3f, "
+                  "    {\"label\": \"%s\", \"backend\": \"%s\", \"ops_per_sec\": %.1f, "
+                  "\"msgs_per_op\": %.3f, "
                   "\"bytes_per_op\": %.1f, \"committed\": %llu, \"p50_us\": %.1f, "
                   "\"p99_us\": %.1f, \"p999_us\": %.1f, \"consistent\": %s}",
-                  label.c_str(), r.throughput, r.msgs_per_op(), r.bytes_per_op(),
+                  label.c_str(), backend_.c_str(), r.throughput, r.msgs_per_op(),
+                  r.bytes_per_op(),
                   static_cast<unsigned long long>(r.committed), r.p50_latency_us,
                   r.p99_latency_us, r.p999_latency_us, r.consistent ? "true" : "false");
     rows_.emplace_back(buf);
@@ -154,6 +162,7 @@ class BenchJson {
 
  private:
   std::string name_;
+  std::string backend_ = "sim";  // the historical default; see set_backend
   std::vector<std::string> rows_;
 };
 
@@ -183,8 +192,16 @@ inline std::vector<double> run_timeseries(Backend backend, const ClusterSpec& sp
     for (int i = 0; i < C; ++i) per_client.emplace_back(0, bucket, static_cast<std::size_t>(buckets));
     for (int i = 0; i < C; ++i) c.mutable_client(i).set_commit_series(&per_client[static_cast<std::size_t>(i)]);
     c.run(total);
-  } else {
+  } else if (backend == Backend::kRt) {
     rt::RtCluster c(spec);
+    const Nanos origin = now_nanos();
+    for (int i = 0; i < C; ++i) per_client.emplace_back(origin, bucket, static_cast<std::size_t>(buckets));
+    for (int i = 0; i < C; ++i) c.client(i)->set_commit_series(&per_client[static_cast<std::size_t>(i)]);
+    c.start();
+    c.drive_until(origin + total);
+    c.stop();
+  } else {
+    net::NetCluster c(spec);
     const Nanos origin = now_nanos();
     for (int i = 0; i < C; ++i) per_client.emplace_back(origin, bucket, static_cast<std::size_t>(buckets));
     for (int i = 0; i < C; ++i) c.client(i)->set_commit_series(&per_client[static_cast<std::size_t>(i)]);

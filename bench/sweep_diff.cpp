@@ -1,13 +1,19 @@
 // Backend sweep diff CLI (--sweep-diff made runnable): one spec, executed
-// on the simulator AND the real-thread runtime, with the two RunResults
-// diffed automatically by SHAPE — consistency, quota completion, message
-// amortization — never by wall-clock numbers (rt may be oversubscribed).
-// Exits non-zero on any mismatch, so it doubles as a scriptable check.
+// on every requested backend — the simulator, the real-thread runtime, and
+// the TCP socket mesh by default — with the RunResults diffed automatically
+// by SHAPE: consistency, quota completion, message amortization — never by
+// wall-clock numbers (rt/net may be oversubscribed). Exits non-zero on any
+// mismatch, so it doubles as a scriptable check.
+//
+// Positionals select the protocol (2pc|basic|multi|1paxos) and the backend
+// list (sim|rt|net, in any order; default all three):
 //
 //   $ ./bench/sweep_diff [--batch=N] [--batch-flush-us=T] [--groups=N]
 //                        [--placement=...] [2pc|basic|multi|1paxos]
+//                        [sim] [rt] [net]
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "support/bench_common.hpp"
 
@@ -16,7 +22,9 @@ int main(int argc, char** argv) {
   using namespace ci::bench;
 
   Protocol protocol = Protocol::kMultiPaxos;
+  std::vector<harness::Backend> backends;
   for (const std::string& arg : harness::positional_args(argc, argv)) {
+    harness::Backend b = harness::Backend::kSim;
     if (arg == "2pc") {
       protocol = Protocol::kTwoPc;
     } else if (arg == "basic") {
@@ -25,10 +33,22 @@ int main(int argc, char** argv) {
       protocol = Protocol::kMultiPaxos;
     } else if (arg == "1paxos") {
       protocol = Protocol::kOnePaxos;
+    } else if (harness::parse_backend(arg.c_str(), &b)) {
+      for (const harness::Backend seen : backends) {
+        if (seen == b) {
+          std::fprintf(stderr, "backend '%s' listed twice\n", arg.c_str());
+          return 2;
+        }
+      }
+      backends.push_back(b);
     } else {
-      std::fprintf(stderr, "unknown protocol '%s' (2pc|basic|multi|1paxos)\n", arg.c_str());
+      std::fprintf(stderr, "unknown positional '%s' (2pc|basic|multi|1paxos|sim|rt|net)\n",
+                   arg.c_str());
       return 2;
     }
+  }
+  if (backends.empty()) {
+    backends = {harness::Backend::kSim, harness::Backend::kRt, harness::Backend::kNet};
   }
 
   ClusterSpec o;
@@ -41,12 +61,12 @@ int main(int argc, char** argv) {
   const core::ShardSpec shard = harness::shard_from_args(argc, argv, o);
 
   harness::RunPlan plan;
-  plan.duration = 20 * kSecond;  // the quota ends both runs long before this
+  plan.duration = 20 * kSecond;  // the quota ends every run long before this
   plan.max_wall = 60 * kSecond;
 
-  header("Backend sweep diff", "one spec, both runtimes",
+  header("Backend sweep diff", "one spec, every requested runtime",
          "shapes must agree; absolute numbers are expected to differ");
-  const harness::SweepDiff d = harness::sweep_diff(shard, plan);
+  const harness::SweepDiffN d = harness::sweep_diff(backends, shard, plan);
 
   const auto mpo = [](const core::RunResult& r) {
     return r.committed > 0
@@ -60,12 +80,11 @@ int main(int argc, char** argv) {
   };
   row("%6s | %10s %10s %10s %12s | %s", "side", "committed", "msgs/op", "bytes/op",
       "op/s", "consistent");
-  row("%6s | %10llu %10.2f %10.1f %12.0f | %s", "sim",
-      static_cast<unsigned long long>(d.sim.committed), mpo(d.sim), bpo(d.sim),
-      d.sim.throughput_ops(), d.sim.consistent ? "yes" : "NO");
-  row("%6s | %10llu %10.2f %10.1f %12.0f | %s", "rt",
-      static_cast<unsigned long long>(d.rt.committed), mpo(d.rt), bpo(d.rt),
-      d.rt.throughput_ops(), d.rt.consistent ? "yes" : "NO");
+  for (const harness::BackendRun& r : d.runs) {
+    row("%6s | %10llu %10.2f %10.1f %12.0f | %s", core::backend_name(r.backend),
+        static_cast<unsigned long long>(r.result.committed), mpo(r.result), bpo(r.result),
+        r.result.throughput_ops(), r.result.consistent ? "yes" : "NO");
+  }
 
   if (d.ok()) {
     row("shapes agree.");

@@ -143,6 +143,37 @@ ServiceClient::ServiceClient(const Options& opts)
     return;
   }
 
+  if (opts_.backend == core::Backend::kNet) {
+    net::Endpoint registry_at;  // loopback ephemeral unless the spec names one
+    if (!opts_.spec.net.registry.empty()) {
+      CI_CHECK_MSG(net::parse_endpoint(opts_.spec.net.registry, &registry_at),
+                   "bad net.registry endpoint");
+    }
+    registry_ = std::make_unique<net::Registry>(registry_at, total);
+    CI_CHECK_MSG(registry_->ok(), "cannot bind the net registry");
+    if (opts_.spec.net.io_threads > 0) {
+      io_pool_ = std::make_unique<net::IoPool>(opts_.spec.net.io_threads);
+    }
+    net::MeshConfig mesh;
+    mesh.registry = registry_->endpoint();
+    mesh.total_nodes = total;
+    mesh.port_base = opts_.spec.net.port_base;
+    mesh.ring_bytes = net::ring_bytes_for(opts_.spec.engine.batch);
+    for (consensus::NodeId n = 0; n < replica_nodes; ++n) {
+      net_nodes_.push_back(
+          std::make_unique<net::NetNode>(n, dep_.node_engine(n), mesh, io_pool_.get()));
+    }
+    for (std::int32_t s = 0; s < S; ++s) {
+      net_nodes_.push_back(std::make_unique<net::NetNode>(
+          replica_nodes + s, session_demux_[static_cast<std::size_t>(s)].get(), mesh,
+          io_pool_.get()));
+    }
+    // Sessions submit on demand (no kStart release: there are no workload
+    // clients), so starting the mesh is the whole bring-up.
+    for (auto& n : net_nodes_) n->start();
+    return;
+  }
+
   net_ = std::make_unique<qclt::Network>(rt::slots_for(opts_.spec.engine.batch));
   const bool pin = opts_.spec.rt.pin && pinning_available();
   for (consensus::NodeId n = 0; n < replica_nodes; ++n) {
@@ -161,6 +192,8 @@ ServiceClient::ServiceClient(const Options& opts)
 ServiceClient::~ServiceClient() {
   for (auto& n : nodes_) n->request_stop();
   for (auto& n : nodes_) n->join();
+  for (auto& n : net_nodes_) n->request_stop();
+  for (auto& n : net_nodes_) n->join();
 }
 
 Session& ServiceClient::session(std::int32_t i) {
@@ -196,6 +229,10 @@ void ServiceClient::throttle_replica(GroupId g, consensus::NodeId r, std::uint32
     }
     return;
   }
+  if (opts_.backend == core::Backend::kNet) {
+    net_nodes_[static_cast<std::size_t>(node)]->set_slow_factor(factor);
+    return;
+  }
   nodes_[static_cast<std::size_t>(node)]->set_slow_factor(factor);
 }
 
@@ -211,6 +248,10 @@ void ServiceClient::stretch_clock(GroupId g, consensus::NodeId r, double rate) {
   if (opts_.backend == core::Backend::kSim) {
     std::lock_guard<std::mutex> lock(sim_->mu);
     sim_->net->stretch_clock(node, rate);
+    return;
+  }
+  if (opts_.backend == core::Backend::kNet) {
+    net_nodes_[static_cast<std::size_t>(node)]->stretch_clock(rate);
     return;
   }
   nodes_[static_cast<std::size_t>(node)]->stretch_clock(rate);
@@ -229,6 +270,7 @@ std::uint64_t ServiceClient::total_messages() const {
   }
   std::uint64_t sum = 0;
   for (const auto& n : nodes_) sum += n->messages_sent();
+  for (const auto& n : net_nodes_) sum += n->messages_sent();
   return sum;
 }
 
@@ -239,6 +281,7 @@ std::uint64_t ServiceClient::total_bytes() const {
   }
   std::uint64_t sum = 0;
   for (const auto& n : nodes_) sum += n->bytes_sent();
+  for (const auto& n : net_nodes_) sum += n->bytes_sent();
   return sum;
 }
 

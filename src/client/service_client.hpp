@@ -12,10 +12,12 @@
 // to its owning group.
 //
 // Backends: under kRt every replica and every session occupies a pinned
-// thread exchanging real frames; under kSim the replicas live in the
-// deterministic simulator and blocked sessions pump virtual time from the
-// calling thread — the same bridging the synchronous KV sessions always
-// had. kv::ReplicatedKv/kv::KvSession are now a thin typed facade over this
+// thread exchanging real frames; under kNet those threads exchange the
+// same frames over a loopback TCP socket mesh (registry bootstrap, length-
+// prefixed streams); under kSim the replicas live in the deterministic
+// simulator and blocked sessions pump virtual time from the calling thread
+// — the same bridging the synchronous KV sessions always had.
+// kv::ReplicatedKv/kv::KvSession are now a thin typed facade over this
 // layer.
 #pragma once
 
@@ -28,6 +30,8 @@
 #include "client/txn.hpp"
 #include "core/cluster_spec.hpp"
 #include "core/sharded_deployment.hpp"
+#include "net/net_node.hpp"
+#include "net/registry.hpp"
 #include "qclt/net.hpp"
 #include "rt/rt_node.hpp"
 
@@ -198,6 +202,12 @@ class ServiceClient {
   // rt backend
   std::unique_ptr<qclt::Network> net_;
   std::vector<std::unique_ptr<rt::RtNode>> nodes_;
+
+  // net backend: in-process bootstrap registry + one socket-mesh node per
+  // replica and per session (same thread-per-node shape as rt)
+  std::unique_ptr<net::Registry> registry_;
+  std::unique_ptr<net::IoPool> io_pool_;
+  std::vector<std::unique_ptr<net::NetNode>> net_nodes_;
 
   // sim backend
   std::unique_ptr<SimState> sim_;

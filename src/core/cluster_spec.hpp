@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -24,11 +25,21 @@ namespace ci::core {
 
 // Which runtime executes the spec. kSim is the deterministic many-core
 // simulation of §3's cost model; kRt is QC-libtask message passing between
-// pinned OS threads (§6-7).
-enum class Backend { kSim, kRt };
+// pinned OS threads (§6-7); kNet is the TCP socket mesh (src/net) — the
+// same wire::Codec frames over real sockets, the step from "consensus
+// inside one machine" to a deployable replicated service.
+enum class Backend { kSim, kRt, kNet };
 
 inline const char* backend_name(Backend b) {
-  return b == Backend::kSim ? "sim" : "rt";
+  switch (b) {
+    case Backend::kSim:
+      return "sim";
+    case Backend::kRt:
+      return "rt";
+    case Backend::kNet:
+      return "net";
+  }
+  return "?";
 }
 
 // Closed-loop client workload (§7.1): send, wait for the commit ACK,
@@ -154,6 +165,21 @@ struct RtParams {
   bool pin = true;  // pin node threads to cores (wraps modulo the machine)
 };
 
+// Socket-mesh-only parameters (src/net). The defaults run a self-contained
+// loopback deployment: an in-process registry on an ephemeral port, nodes
+// listening on ephemeral ports, each node thread flushing its own sockets.
+struct NetParams {
+  // Node i listens on port_base + i; 0 = ephemeral ports (the registry map
+  // is how peers learn them either way).
+  std::uint16_t port_base = 0;
+  // Where the registry binds, as "host:port" (`--net-registry`). Empty =
+  // 127.0.0.1 with an ephemeral port.
+  std::string registry;
+  // Dedicated socket-flusher threads draining the per-connection send
+  // rings; 0 = every node thread flushes its own rings in its poll loop.
+  std::int32_t io_threads = 0;
+};
+
 struct ClusterSpec {
   Protocol protocol = Protocol::kOnePaxos;
   std::int32_t num_replicas = 3;
@@ -185,6 +211,7 @@ struct ClusterSpec {
 
   SimParams sim;
   RtParams rt;
+  NetParams net;
 
   ClusterSpec& apply(const TimeoutProfile& p) {
     engine.retry_timeout = p.retry_timeout;

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "net/net_cluster.hpp"
 #include "rt/rt_cluster.hpp"
 #include "sim/sim_cluster.hpp"
 
@@ -22,7 +23,9 @@ constexpr const char* kValueFlags[] = {"--backend", "--groups", "--placement",
                                        "--flush-policy", "--client-coalesce",
                                        "--txn-mix", "--read-mix", "--lease-ms",
                                        "--sessions", "--target-rate", "--zipf",
-                                       "--workload", "--value-bytes"};
+                                       "--workload", "--value-bytes",
+                                       "--net-port-base", "--net-registry",
+                                       "--net-io-threads"};
 // Valueless flags: presence is the whole message. --help is recognized by
 // the strict scanners (print usage, exit 0) and always legal, so binaries
 // need not list it in their consumed sets.
@@ -90,6 +93,34 @@ RunResult run_rt_backend(const ShardSpec& shard, const RunPlan& plan) {
   return res;
 }
 
+// Same warmup-subtraction shape as run_rt_backend, but the cluster is a
+// loopback socket mesh: total_messages/total_bytes count actual frames and
+// socket bytes (length prefix included), so msgs/op and bytes/op rows are
+// honest wire numbers.
+RunResult run_net_backend(const ShardSpec& shard, const RunPlan& plan) {
+  net::NetCluster c(shard);
+  c.start();
+  const Nanos t0 = now_nanos();
+  c.drive_until(t0 + plan.warmup);
+  const std::uint64_t committed_warm = c.live_committed();
+  const std::uint64_t issued_warm = c.live_issued();
+  const std::uint64_t local_reads_warm = c.live_local_reads();
+  const std::uint64_t messages_warm = c.live_messages();
+  const std::uint64_t bytes_warm = c.live_bytes();
+  const Nanos measure_start = now_nanos();
+  c.drive_until(t0 + std::min(plan.warmup + plan.duration, plan.max_wall));
+  const Nanos measured = std::max<Nanos>(now_nanos() - measure_start, 1);
+  c.stop();
+  RunResult res = c.collect();
+  res.committed -= committed_warm;
+  res.issued -= issued_warm;
+  res.local_reads -= local_reads_warm;
+  res.total_messages -= messages_warm;
+  res.total_bytes -= bytes_warm;
+  res.duration = measured;
+  return res;
+}
+
 // Scans argv for `--name=value` or `--name value`. Returns the value, or
 // nullptr when absent. A flag present without a value sets *malformed.
 const char* flag_value(int argc, char** argv, const char* name, bool* malformed) {
@@ -131,6 +162,10 @@ bool parse_backend(const char* s, Backend* out) {
     *out = Backend::kRt;
     return true;
   }
+  if (std::strcmp(s, "net") == 0) {
+    *out = Backend::kNet;
+    return true;
+  }
   return false;
 }
 
@@ -156,12 +191,13 @@ bool try_backend_from_args(int argc, char** argv, Backend def, Backend* out,
   bool malformed = false;
   const char* value = flag_value(argc, argv, "--backend", &malformed);
   if (malformed) {
-    *err = "--backend requires a value (expected --backend=sim|rt)";
+    *err = "--backend requires a value (expected --backend=sim|rt|net)";
     return false;
   }
   if (value == nullptr) return true;
   if (!parse_backend(value, out)) {
-    *err = std::string("unknown backend '") + value + "' (expected --backend=sim|rt)";
+    *err = std::string("unknown backend '") + value +
+           "' (expected --backend=sim|rt|net)";
     return false;
   }
   return true;
@@ -575,11 +611,106 @@ std::int32_t value_bytes_from_args(int argc, char** argv, std::int32_t def) {
   return v;
 }
 
+bool try_net_port_base_from_args(int argc, char** argv, std::int32_t def,
+                                 std::int32_t* out, std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--net-port-base", &malformed);
+  if (malformed) {
+    *err = "--net-port-base requires a value (expected --net-port-base=P, "
+           "0 <= P <= 65535; 0 = ephemeral)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const long p = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || p < 0 || p > 65535) {
+    *err = std::string("bad net port base '") + value +
+           "' (expected --net-port-base=P, 0 <= P <= 65535; 0 = ephemeral)";
+    return false;
+  }
+  *out = static_cast<std::int32_t>(p);
+  return true;
+}
+
+std::int32_t net_port_base_from_args(int argc, char** argv, std::int32_t def) {
+  std::int32_t p = def;
+  std::string err;
+  if (!try_net_port_base_from_args(argc, argv, def, &p, &err)) usage_exit(err.c_str());
+  return p;
+}
+
+bool try_net_registry_from_args(int argc, char** argv, const std::string& def,
+                                std::string* out, std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--net-registry", &malformed);
+  if (malformed) {
+    *err = "--net-registry requires a value (expected --net-registry=host:port)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  net::Endpoint ep;
+  if (!net::parse_endpoint(value, &ep)) {
+    *err = std::string("bad registry endpoint '") + value +
+           "' (expected --net-registry=host:port)";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::string net_registry_from_args(int argc, char** argv, const std::string& def) {
+  std::string at = def;
+  std::string err;
+  if (!try_net_registry_from_args(argc, argv, def, &at, &err)) usage_exit(err.c_str());
+  return at;
+}
+
+bool try_net_io_threads_from_args(int argc, char** argv, std::int32_t def,
+                                  std::int32_t* out, std::string* err) {
+  *out = def;
+  bool malformed = false;
+  const char* value = flag_value(argc, argv, "--net-io-threads", &malformed);
+  if (malformed) {
+    *err = "--net-io-threads requires a value (expected --net-io-threads=N, "
+           "0 <= N <= 64; 0 = nodes flush their own sockets)";
+    return false;
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || n < 0 || n > 64) {
+    *err = std::string("bad io-thread count '") + value +
+           "' (expected --net-io-threads=N, 0 <= N <= 64; 0 = nodes flush "
+           "their own sockets)";
+    return false;
+  }
+  *out = static_cast<std::int32_t>(n);
+  return true;
+}
+
+std::int32_t net_io_threads_from_args(int argc, char** argv, std::int32_t def) {
+  std::int32_t n = def;
+  std::string err;
+  if (!try_net_io_threads_from_args(argc, argv, def, &n, &err)) usage_exit(err.c_str());
+  return n;
+}
+
+core::NetParams net_params_from_args(int argc, char** argv) {
+  core::NetParams net;
+  net.port_base = static_cast<std::uint16_t>(net_port_base_from_args(argc, argv));
+  net.registry = net_registry_from_args(argc, argv);
+  net.io_threads = net_io_threads_from_args(argc, argv);
+  return net;
+}
+
 const char* usage_text() {
   return
       "harness flags (all binaries in bench/ and examples/ accept the subset\n"
       "they consume; anything else exits 2):\n"
-      "  --backend=sim|rt          runtime: deterministic simulator or pinned threads\n"
+      "  --backend=sim|rt|net      runtime: deterministic simulator, pinned\n"
+      "                            threads, or a TCP socket mesh\n"
       "  --groups=N                consensus groups to shard over (N >= 1)\n"
       "  --placement=group-major|interleaved|colocated\n"
       "                            how groups map onto transport nodes\n"
@@ -603,8 +734,14 @@ const char* usage_text() {
       "  --zipf=T                  zipfian key-skew theta (0 <= T < 1; 0 = uniform)\n"
       "  --workload=A..F           YCSB preset selecting the op mix\n"
       "  --value-bytes=V           record payload size in bytes (1 <= V <= 128)\n"
-      "  --sweep-diff              also run the spec on BOTH backends and diff\n"
-      "                            the result shapes\n"
+      "  --net-port-base=P         net backend: node i listens on port P + i\n"
+      "                            (0 <= P <= 65535; 0 = ephemeral ports)\n"
+      "  --net-registry=host:port  net backend: where the bootstrap registry\n"
+      "                            binds (default: loopback, ephemeral port)\n"
+      "  --net-io-threads=N        net backend: dedicated socket-flusher threads\n"
+      "                            (0 <= N <= 64; 0 = nodes flush their own)\n"
+      "  --sweep-diff              also run the spec on the other backends and\n"
+      "                            diff the result shapes\n"
       "  --help                    print this text and exit\n"
       "Flags take --name=value or --name value form; the last occurrence wins.\n";
 }
@@ -667,7 +804,8 @@ void scan_args(int argc, char** argv, std::initializer_list<const char*> consume
                    "unknown flag '%s' (harness flags: --backend, --groups, --placement, "
                    "--batch, --batch-flush-us, --flush-policy, --client-coalesce, "
                    "--txn-mix, --read-mix, --lease-ms, --sessions, --target-rate, "
-                   "--zipf, --workload, --value-bytes, --sweep-diff, --help)\n",
+                   "--zipf, --workload, --value-bytes, --net-port-base, "
+                   "--net-registry, --net-io-threads, --sweep-diff, --help)\n",
                    arg);
       std::exit(2);
     }
@@ -688,7 +826,15 @@ void require_harness_flags_only(int argc, char** argv,
 }
 
 RunResult run(Backend b, const ShardSpec& shard, const RunPlan& plan) {
-  return b == Backend::kSim ? run_sim_backend(shard, plan) : run_rt_backend(shard, plan);
+  switch (b) {
+    case Backend::kSim:
+      return run_sim_backend(shard, plan);
+    case Backend::kRt:
+      return run_rt_backend(shard, plan);
+    case Backend::kNet:
+      return run_net_backend(shard, plan);
+  }
+  CI_CHECK_MSG(false, "unreachable backend");
 }
 
 RunResult run(Backend b, const ClusterSpec& spec, const RunPlan& plan) {
@@ -711,60 +857,82 @@ void mismatch(std::vector<std::string>* out, const std::string& what) {
 
 }  // namespace
 
-SweepDiff sweep_diff(const ShardSpec& shard, const RunPlan& plan) {
-  SweepDiff d;
-  // One logical spec, two runtimes. Each side gets its backend's timeout
-  // profile (virtual microsecond timers vs real oversubscribed threads) —
-  // the same adaptation every cross-backend comparison in the repo makes.
-  ShardSpec sim_shard = shard;
-  sim_shard.base.apply_backend_profile(Backend::kSim);
-  ShardSpec rt_shard = shard;
-  rt_shard.base.apply_backend_profile(Backend::kRt);
-  d.sim = run(Backend::kSim, sim_shard, plan);
-  d.rt = run(Backend::kRt, rt_shard, plan);
+SweepDiffN sweep_diff(const std::vector<Backend>& backends, const ShardSpec& shard,
+                      const RunPlan& plan) {
+  CI_CHECK_MSG(!backends.empty(), "sweep_diff needs at least one backend");
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    for (std::size_t j = i + 1; j < backends.size(); ++j) {
+      CI_CHECK_MSG(backends[i] != backends[j], "duplicate backend in sweep_diff list");
+    }
+  }
+
+  SweepDiffN d;
+  // One logical spec, one runtime per requested backend. Each side gets its
+  // backend's timeout profile (virtual microsecond timers vs real
+  // oversubscribed threads/sockets) — the same adaptation every
+  // cross-backend comparison in the repo makes.
+  for (const Backend b : backends) {
+    ShardSpec side = shard;
+    side.base.apply_backend_profile(b);
+    d.runs.push_back({b, run(b, side, plan)});
+  }
   auto* m = &d.mismatches;
 
-  // Safety shapes: agreement must hold on both backends, full stop.
-  if (!d.sim.consistent) mismatch(m, "sim run inconsistent (cross-replica disagreement)");
-  if (!d.rt.consistent) mismatch(m, "rt run inconsistent (cross-replica disagreement)");
-
-  // Liveness shapes: both backends make progress on the same spec.
-  if (d.sim.committed == 0) mismatch(m, "sim committed nothing");
-  if (d.rt.committed == 0) mismatch(m, "rt committed nothing");
-
-  // Quota shapes: a closed-loop request quota must complete on both sides —
-  // the one throughput-independent count the backends can agree on exactly.
   const std::uint64_t per_client = shard.base.workload.requests_per_client;
-  if (per_client > 0) {
-    const std::uint64_t quota = per_client *
-                                static_cast<std::uint64_t>(shard.base.client_count()) *
-                                static_cast<std::uint64_t>(shard.groups);
-    if (d.sim.committed != quota) {
-      mismatch(m, "sim committed " + std::to_string(d.sim.committed) + " of a " +
-                      std::to_string(quota) + "-request quota");
+  for (const BackendRun& r : d.runs) {
+    const std::string who = core::backend_name(r.backend);
+
+    // Safety shape: agreement must hold on every backend, full stop.
+    if (!r.result.consistent) {
+      mismatch(m, who + " run inconsistent (cross-replica disagreement)");
     }
-    if (d.rt.committed != quota) {
-      mismatch(m, "rt committed " + std::to_string(d.rt.committed) + " of a " +
-                      std::to_string(quota) + "-request quota");
+
+    // Liveness shape: every backend makes progress on the same spec.
+    if (r.result.committed == 0) mismatch(m, who + " committed nothing");
+
+    // Quota shape: a closed-loop request quota must complete on every side —
+    // the one throughput-independent count the backends can agree on exactly.
+    if (per_client > 0) {
+      const std::uint64_t quota = per_client *
+                                  static_cast<std::uint64_t>(shard.base.client_count()) *
+                                  static_cast<std::uint64_t>(shard.groups);
+      if (r.result.committed != quota) {
+        mismatch(m, who + " committed " + std::to_string(r.result.committed) +
+                        " of a " + std::to_string(quota) + "-request quota");
+      }
     }
   }
 
   // Amortization shape: messages per committed op is a structural property
-  // of the protocol/batch configuration, not of the clock — the backends
-  // must land within an order of magnitude (rt retries under an
-  // oversubscribed machine account for the slack; see the memory note:
-  // trust shapes, not numbers).
-  if (d.sim.committed > 0 && d.rt.committed > 0) {
-    const double sim_mpo =
-        static_cast<double>(d.sim.total_messages) / static_cast<double>(d.sim.committed);
-    const double rt_mpo =
-        static_cast<double>(d.rt.total_messages) / static_cast<double>(d.rt.committed);
-    if (sim_mpo > 0 && rt_mpo > 0 &&
-        (rt_mpo / sim_mpo > 10.0 || sim_mpo / rt_mpo > 10.0)) {
-      mismatch(m, "msgs/op diverged: sim " + std::to_string(sim_mpo) + " vs rt " +
-                      std::to_string(rt_mpo));
+  // of the protocol/batch configuration, not of the clock — every backend
+  // must land within an order of magnitude of the FIRST one (by convention
+  // sim, the deterministic reference; rt/net retries under an oversubscribed
+  // machine account for the slack — trust shapes, not numbers).
+  const BackendRun& ref = d.runs.front();
+  if (ref.result.committed > 0) {
+    const double ref_mpo = static_cast<double>(ref.result.total_messages) /
+                           static_cast<double>(ref.result.committed);
+    for (std::size_t i = 1; i < d.runs.size(); ++i) {
+      const BackendRun& r = d.runs[i];
+      if (r.result.committed == 0) continue;
+      const double mpo = static_cast<double>(r.result.total_messages) /
+                         static_cast<double>(r.result.committed);
+      if (ref_mpo > 0 && mpo > 0 && (mpo / ref_mpo > 10.0 || ref_mpo / mpo > 10.0)) {
+        mismatch(m, std::string("msgs/op diverged: ") + core::backend_name(ref.backend) +
+                        " " + std::to_string(ref_mpo) + " vs " +
+                        core::backend_name(r.backend) + " " + std::to_string(mpo));
+      }
     }
   }
+  return d;
+}
+
+SweepDiff sweep_diff(const ShardSpec& shard, const RunPlan& plan) {
+  SweepDiffN n = sweep_diff({Backend::kSim, Backend::kRt}, shard, plan);
+  SweepDiff d;
+  d.sim = n.runs[0].result;
+  d.rt = n.runs[1].result;
+  d.mismatches = std::move(n.mismatches);
   return d;
 }
 

@@ -1,7 +1,7 @@
 // Backend-agnostic cluster harness: run one ClusterSpec (or a sharded
-// ShardSpec) on either backend and get one RunResult back. This is the
+// ShardSpec) on any backend and get one RunResult back. This is the
 // layer benches, examples, and the parity tests program against;
-// `--backend={sim,rt}`, `--groups=N` and `--placement=...` select the
+// `--backend={sim,rt,net}`, `--groups=N` and `--placement=...` select the
 // runtime and the sharding layout at the command line.
 #pragma once
 
@@ -20,15 +20,15 @@ using core::Placement;
 using core::RunResult;
 using core::ShardSpec;
 
-// "sim" / "rt" -> Backend. Returns false on anything else.
+// "sim" / "rt" / "net" -> Backend. Returns false on anything else.
 bool parse_backend(const char* s, Backend* out);
 
 // "group-major" / "interleaved" / "colocated" -> Placement.
 bool parse_placement(const char* s, Placement* out);
 
-// Scans argv for `--backend=sim|rt` (or `--backend sim`). Returns false
-// with a message in *err on an unknown value or a missing one; *out holds
-// `def` when the flag is absent.
+// Scans argv for `--backend=sim|rt|net` (or `--backend sim`). Returns
+// false with a message in *err on an unknown value or a missing one; *out
+// holds `def` when the flag is absent.
 bool try_backend_from_args(int argc, char** argv, Backend def, Backend* out,
                            std::string* err);
 
@@ -135,12 +135,40 @@ bool try_value_bytes_from_args(int argc, char** argv, std::int32_t def,
                                std::int32_t* out, std::string* err);
 std::int32_t value_bytes_from_args(int argc, char** argv, std::int32_t def = 8);
 
+// `--net-port-base=P`: first listen port for the net backend's socket mesh
+// (core::NetParams::port_base); node i listens on P + i. 0 <= P <= 65535,
+// 0 = ephemeral ports (the registry map publishes them either way).
+// Non-numeric or out-of-range exits 2.
+bool try_net_port_base_from_args(int argc, char** argv, std::int32_t def,
+                                 std::int32_t* out, std::string* err);
+std::int32_t net_port_base_from_args(int argc, char** argv, std::int32_t def = 0);
+
+// `--net-registry=<host:port>`: where the net backend's bootstrap registry
+// binds (core::NetParams::registry). Must parse as host:port; anything else
+// exits 2. Default "" = loopback with an ephemeral port.
+bool try_net_registry_from_args(int argc, char** argv, const std::string& def,
+                                std::string* out, std::string* err);
+std::string net_registry_from_args(int argc, char** argv,
+                                   const std::string& def = std::string());
+
+// `--net-io-threads=N`: dedicated socket-flusher threads for the net
+// backend (core::NetParams::io_threads); 0 <= N <= 64, 0 = every node
+// thread flushes its own send rings. Non-numeric or out-of-range exits 2.
+bool try_net_io_threads_from_args(int argc, char** argv, std::int32_t def,
+                                  std::int32_t* out, std::string* err);
+std::int32_t net_io_threads_from_args(int argc, char** argv, std::int32_t def = 0);
+
+// The three net flags folded into one NetParams (defaults: loopback
+// ephemeral registry, ephemeral node ports, self-flushing nodes).
+core::NetParams net_params_from_args(int argc, char** argv);
+
 // The usage text every harness-flag binary shares: enumerates ALL harness
 // flags (--backend, --groups, --placement, --batch, --batch-flush-us,
 // --flush-policy, --client-coalesce, --txn-mix, --read-mix, --lease-ms,
 // --sessions, --target-rate, --zipf, --workload, --value-bytes,
-// --sweep-diff, --help) with their value shapes. The strict scanners print
-// it and exit 0 when argv carries `--help`.
+// --net-port-base, --net-registry, --net-io-threads, --sweep-diff, --help)
+// with their value shapes. The strict scanners print it and exit 0 when
+// argv carries `--help`.
 const char* usage_text();
 
 // `base` plus whatever `--groups` / `--placement` say: the one-liner that
@@ -183,11 +211,33 @@ RunResult run(Backend b, const ClusterSpec& spec, const RunPlan& plan);
 
 // ---- Backend sweep diffing (--sweep-diff) ----
 //
-// Runs the SAME spec on sim and rt and diffs the two RunResults by SHAPE,
-// not absolute numbers: virtual-time throughput and oversubscribed wall
-// clocks are incomparable, but consistency, liveness, quota completion,
-// and order-of-magnitude message amortization must agree. `mismatches` is
-// empty when the shapes line up; each entry is a human-readable complaint.
+// Runs the SAME spec on a list of backends and diffs the RunResults by
+// SHAPE, not absolute numbers: virtual-time throughput, oversubscribed
+// wall clocks, and socket round trips are incomparable, but consistency,
+// liveness, quota completion, and order-of-magnitude message amortization
+// must agree. `mismatches` is empty when the shapes line up; each entry is
+// a human-readable complaint naming the offending backend.
+struct BackendRun {
+  Backend backend = Backend::kSim;
+  RunResult result;
+};
+
+struct SweepDiffN {
+  std::vector<BackendRun> runs;  // same order as the requested backends
+  std::vector<std::string> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+// Each backend gets its canonical timeout profile applied before running;
+// msgs/op is compared pairwise against the FIRST backend in the list (by
+// convention sim, the deterministic reference). `backends` must be
+// non-empty and duplicate-free.
+SweepDiffN sweep_diff(const std::vector<Backend>& backends, const ShardSpec& shard,
+                      const RunPlan& plan);
+
+// The classic two-way form: sim vs rt, same checks, kept for the benches
+// and tests that predate the backend-list API.
 struct SweepDiff {
   RunResult sim;
   RunResult rt;

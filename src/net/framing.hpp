@@ -1,0 +1,91 @@
+// TCP framing for wire::Codec frames: a 4-byte little-endian length prefix
+// in front of each frame's bytes, and a reassembler that re-discovers frame
+// boundaries on the byte stream.
+//
+// The prefix is transport-private — the bytes BEHIND it are exactly the
+// frames sim and rt speak (wire::encode_into / wire::try_decode), which is
+// what keeps the net backend a pure adapter: no protocol engine knows
+// whether its frame crossed an SPSC queue or a socket.
+//
+// The reassembler's hot path never copies a complete frame: frames wholly
+// inside one recv() buffer are handed to the callback in place, and only a
+// trailing partial (a frame torn across recv boundaries) is carried over
+// into the internal buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace ci::net {
+
+inline constexpr std::size_t kLenPrefixBytes = 4;
+
+inline void put_len_prefix(unsigned char* p, std::uint32_t n) {
+  p[0] = static_cast<unsigned char>(n);
+  p[1] = static_cast<unsigned char>(n >> 8);
+  p[2] = static_cast<unsigned char>(n >> 16);
+  p[3] = static_cast<unsigned char>(n >> 24);
+}
+
+inline std::uint32_t get_len_prefix(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+// Per-connection frame reassembly. feed() consumes one recv()'s worth of
+// stream bytes and invokes `cb(frame_ptr, frame_len)` once per completed
+// frame, in order. Returns false on a malformed prefix (length 0 or above
+// `max_frame`) — the caller should drop the connection; a bounds-violating
+// length means the stream is corrupt and resynchronization is impossible.
+class FrameReassembler {
+ public:
+  explicit FrameReassembler(std::uint32_t max_frame) : max_frame_(max_frame) {}
+
+  template <typename Fn>
+  bool feed(const unsigned char* p, std::size_t n, Fn&& cb) {
+    // Finish any carried-over partial first: top it up byte-exactly (never
+    // past the current frame's end) so buf_ holds at most one frame.
+    while (!buf_.empty() && n > 0) {
+      std::size_t need;
+      if (buf_.size() < kLenPrefixBytes) {
+        need = kLenPrefixBytes - buf_.size();
+      } else {
+        const std::uint32_t len = get_len_prefix(buf_.data());
+        if (len == 0 || len > max_frame_) return false;
+        need = kLenPrefixBytes + len - buf_.size();
+      }
+      const std::size_t take = need < n ? need : n;
+      buf_.insert(buf_.end(), p, p + take);
+      p += take;
+      n -= take;
+      if (buf_.size() < kLenPrefixBytes) return true;  // still short of a prefix
+      const std::uint32_t len = get_len_prefix(buf_.data());
+      if (len == 0 || len > max_frame_) return false;
+      if (buf_.size() == kLenPrefixBytes + len) {
+        cb(buf_.data() + kLenPrefixBytes, len);
+        buf_.clear();
+      }
+    }
+    // Complete frames parsed straight out of the recv buffer — no copy.
+    while (n >= kLenPrefixBytes) {
+      const std::uint32_t len = get_len_prefix(p);
+      if (len == 0 || len > max_frame_) return false;
+      if (n < kLenPrefixBytes + len) break;
+      cb(p + kLenPrefixBytes, len);
+      p += kLenPrefixBytes + len;
+      n -= kLenPrefixBytes + len;
+    }
+    if (n > 0) buf_.insert(buf_.end(), p, p + n);
+    return true;
+  }
+
+  // Bytes of the in-progress partial frame (tests; 0 = stream at a boundary).
+  std::size_t pending() const { return buf_.size(); }
+
+ private:
+  std::uint32_t max_frame_;
+  std::vector<unsigned char> buf_;
+};
+
+}  // namespace ci::net

@@ -1,0 +1,195 @@
+#include "net/net_cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace ci::net {
+
+using consensus::NodeId;
+using core::FaultEvent;
+
+// The manager node hosts no protocol engine: its kStart release rides the
+// broadcast path from the on_ready hook instead of an Engine::start, so the
+// whole fan-out is one codec pass (NetNode::broadcast).
+class NetCluster::NoopEngine final : public consensus::Engine {
+ public:
+  void on_message(consensus::Context&, const consensus::Message&) override {}
+};
+
+NetCluster::NetCluster(const ClusterSpec& spec) : NetCluster(ShardSpec(spec)) {}
+
+NetCluster::NetCluster(const ShardSpec& shard)
+    : shard_(shard), dep_(shard, /*auto_start_clients=*/false) {
+  // Node ids: the deployment's transport nodes, then the load manager.
+  const NodeId manager_id = dep_.num_nodes();
+  const std::int32_t total = manager_id + 1;
+
+  for (const FaultEvent& f : shard_.base.faults.events) {
+    // Silent acceptor reboot is sim-only state surgery; slow windows and
+    // clock stretches apply cleanly at wall-clock offsets. (Fail-stop is a
+    // separate verb here — kill_node — because over sockets it maps to a
+    // real connection drop, not a FaultEvent kind.)
+    CI_CHECK(f.kind == FaultEvent::Kind::kSlowNode ||
+             f.kind == FaultEvent::Kind::kStretchClock);
+  }
+  stretch_fired_.assign(shard_.base.faults.events.size(), false);
+
+  Endpoint registry_at;  // loopback ephemeral unless the spec names one
+  if (!shard_.base.net.registry.empty()) {
+    CI_CHECK_MSG(parse_endpoint(shard_.base.net.registry, &registry_at),
+                 "bad net.registry endpoint");
+  }
+  registry_ = std::make_unique<Registry>(registry_at, total);
+  CI_CHECK_MSG(registry_->ok(), "cannot bind the net registry");
+
+  if (shard_.base.net.io_threads > 0) {
+    pool_ = std::make_unique<IoPool>(shard_.base.net.io_threads);
+  }
+
+  MeshConfig mesh;
+  mesh.registry = registry_->endpoint();
+  mesh.total_nodes = total;
+  mesh.port_base = shard_.base.net.port_base;
+  mesh.ring_bytes = ring_bytes_for(shard_.base.engine.batch);
+
+  delivery_logs_.resize(static_cast<std::size_t>(dep_.num_nodes()));
+  dep_.set_deliver_hook([this](NodeId global, GroupId g, NodeId local,
+                               consensus::Instance in, const consensus::Command& cmd) {
+    delivery_logs_[static_cast<std::size_t>(global)].emplace_back(g, local, in, cmd);
+  });
+
+  for (NodeId n = 0; n < dep_.num_nodes(); ++n) {
+    nodes_.push_back(
+        std::make_unique<NetNode>(n, dep_.node_engine(n), mesh, pool_.get()));
+  }
+  manager_engine_ = std::make_unique<NoopEngine>();
+  auto manager =
+      std::make_unique<NetNode>(manager_id, manager_engine_.get(), mesh, pool_.get());
+  // The paper's load manager (§7.1) releases every client of every group;
+  // here the release is ONE encoded kStart frame, dst/group restamped per
+  // target — the broadcast layer the ISSUE's fan-out frames ride.
+  const auto targets = dep_.client_targets();
+  manager->set_on_ready([targets, manager_id](NetNode& node) {
+    consensus::Message m(consensus::MsgType::kStart, consensus::ProtoId::kControl,
+                         manager_id, manager_id);
+    node.broadcast(m, targets);
+  });
+  nodes_.push_back(std::move(manager));
+}
+
+NetCluster::~NetCluster() { stop(); }
+
+void NetCluster::start() {
+  CI_CHECK(!started_);
+  started_ = true;
+  started_at_ = now_nanos();
+  for (auto& n : nodes_) n->start();
+}
+
+void NetCluster::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopped_at_ = now_nanos();
+  for (auto& n : nodes_) n->request_stop();
+  for (auto& n : nodes_) n->join();
+}
+
+void NetCluster::apply_faults(Nanos elapsed) {
+  // Identical semantics to RtCluster::apply_faults: recompute each planned
+  // node's factor as the max over ALL windows active now, quantized so an
+  // intended fault never rounds down to the healthy sentinel.
+  for (std::size_t i = 0; i < shard_.base.faults.events.size(); ++i) {
+    const FaultEvent& f = shard_.base.faults.events[i];
+    if (f.kind == FaultEvent::Kind::kStretchClock) {
+      if (stretch_fired_[i] || elapsed < f.at) continue;
+      stretch_fired_[i] = true;
+      for (GroupId g = 0; g < dep_.num_groups(); ++g) {
+        nodes_[static_cast<std::size_t>(dep_.global_node(g, f.node))]->stretch_clock(
+            f.factor);
+      }
+      continue;
+    }
+    double factor = 1.0;
+    for (const FaultEvent& g : shard_.base.faults.events) {
+      if (g.kind != FaultEvent::Kind::kSlowNode) continue;
+      if (g.node == f.node && elapsed >= g.at && elapsed < g.until) {
+        factor = std::max(factor, g.factor);
+      }
+    }
+    const auto quantized =
+        factor <= 1.0 ? 1u
+                      : std::max(2u, static_cast<std::uint32_t>(factor + 0.5));
+    for (GroupId g = 0; g < dep_.num_groups(); ++g) {
+      throttle_node(dep_.global_node(g, f.node), quantized);
+    }
+  }
+}
+
+void NetCluster::drive_until(Nanos wall_deadline) {
+  while (now_nanos() < wall_deadline && !clients_done()) {
+    tick_faults();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+RunResult NetCluster::run_to_completion(Nanos max_wall) {
+  drive_until(now_nanos() + max_wall);
+  stop();
+  return collect();
+}
+
+std::uint64_t NetCluster::live_messages() const {
+  std::uint64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->messages_sent();
+  return sum;
+}
+
+std::uint64_t NetCluster::live_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->bytes_sent();
+  return sum;
+}
+
+void NetCluster::replay_delivery_logs() {
+  CI_CHECK(stopped_);
+  if (collected_) return;
+  collected_ = true;
+  for (const auto& log : delivery_logs_) {
+    for (const auto& [g, local, in, cmd] : log) {
+      dep_.recorder(g).record(local, in, cmd);
+    }
+  }
+}
+
+RunResult NetCluster::collect() {
+  replay_delivery_logs();
+  RunResult res = dep_.collect();
+  res.duration = stopped_at_ - started_at_;
+  res.total_messages = live_messages();
+  res.total_bytes = live_bytes();
+  return res;
+}
+
+RunResult NetCluster::collect_group(GroupId g) {
+  replay_delivery_logs();
+  RunResult res = dep_.collect_group(g);
+  res.duration = stopped_at_ - started_at_;
+  // total_messages stays 0: transport counters are per node, and a node's
+  // socket traffic is not attributable to one group.
+  return res;
+}
+
+void NetCluster::throttle_node(NodeId node, std::uint32_t factor) {
+  CI_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()));
+  nodes_[static_cast<std::size_t>(node)]->set_slow_factor(factor);
+}
+
+void NetCluster::kill_node(NodeId node) {
+  CI_CHECK(node >= 0 && node < dep_.num_nodes());
+  nodes_[static_cast<std::size_t>(node)]->kill();
+}
+
+}  // namespace ci::net

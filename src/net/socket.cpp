@@ -1,0 +1,141 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+namespace ci::net {
+
+namespace {
+
+// Slice length for the cancellable poll loops below: long enough to stay
+// off the scheduler's back, short enough that stop/cancel is prompt.
+constexpr int kPollSliceMs = 10;
+
+bool resolve_ipv4(const Endpoint& e, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(e.port);
+  if (inet_pton(AF_INET, e.host.c_str(), &out->sin_addr) == 1) return true;
+  // Non-numeric host ("localhost", a LAN name): one getaddrinfo pass.
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(e.host.c_str(), nullptr, &hints, &res) != 0 || res == nullptr) {
+    return false;
+  }
+  out->sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  freeaddrinfo(res);
+  return true;
+}
+
+bool cancelled(const std::atomic<bool>* cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  // Consensus rounds are request/response; Nagle would serialize them
+  // behind delayed ACKs. Failure to set it only costs latency, not
+  // correctness, so the result is ignored.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Socket tcp_listen(const Endpoint& at, std::uint16_t* bound_port, int backlog) {
+  sockaddr_in addr{};
+  if (!resolve_ipv4(at, &addr)) return Socket();
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Socket();
+  int one = 1;
+  setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) return Socket();
+  if (listen(s.fd(), backlog) != 0) return Socket();
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) return Socket();
+  *bound_port = ntohs(bound.sin_port);
+  return s;
+}
+
+Socket tcp_dial(const Endpoint& to, Nanos deadline, const std::atomic<bool>* cancel) {
+  sockaddr_in addr{};
+  if (!resolve_ipv4(to, &addr)) return Socket();
+  while (now_nanos() < deadline && !cancelled(cancel)) {
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid()) return Socket();
+    if (connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return s;
+    }
+    // Refused/unreachable: the peer's accept queue is full or (transiently,
+    // during bootstrap races) the listener is not up yet. Back off briefly.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return Socket();
+}
+
+bool read_full(int fd, void* buf, std::size_t n, Nanos deadline,
+               const std::atomic<bool>* cancel) {
+  auto* p = static_cast<unsigned char*>(buf);
+  while (n > 0) {
+    if (now_nanos() >= deadline || cancelled(cancel)) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kPollSliceMs);
+    if (r < 0 && errno != EINTR) return false;
+    if (r <= 0) continue;
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got == 0) return false;  // peer closed mid-handshake
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n, Nanos deadline,
+                const std::atomic<bool>* cancel) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  while (n > 0) {
+    if (now_nanos() >= deadline || cancelled(cancel)) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    const int r = ::poll(&pfd, 1, kPollSliceMs);
+    if (r < 0 && errno != EINTR) return false;
+    if (r <= 0) continue;
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace ci::net

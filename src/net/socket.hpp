@@ -1,0 +1,73 @@
+// Thin RAII + helper layer over POSIX TCP sockets for the net backend.
+//
+// Two regimes share these helpers:
+//   * bootstrap (registry handshake, mesh dial/accept) — blocking sockets
+//     driven through read_full/write_full, which poll in short slices so a
+//     deadline or a cancel flag can abort a stuck peer;
+//   * steady state — sockets switched nonblocking (set_nonblocking +
+//     set_nodelay) and owned by NetNode's poll loop.
+//
+// Everything here is deliberately IPv4: the backend's unit of deployment is
+// a loopback or LAN mesh whose addresses the registry learns via
+// getpeername, and it packs them as 4-byte addresses in the node map.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "net/endpoint.hpp"
+
+namespace ci::net {
+
+// RAII file descriptor. Moves, never copies; close() is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+bool set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+// Listening socket bound to `at` (SO_REUSEADDR; at.port 0 = ephemeral).
+// Writes the actually-bound port to *bound_port. Invalid socket on failure.
+Socket tcp_listen(const Endpoint& at, std::uint16_t* bound_port, int backlog);
+
+// Connects to `to`, retrying refused/unreachable attempts every few
+// milliseconds until `deadline` (absolute now_nanos() time) or *cancel.
+// This is the bounded-connect-retry half of the mesh bootstrap: peers dial
+// as soon as they hold the registry map, and the listener they dial is
+// guaranteed to exist (nodes listen before registering), so retry only
+// papers over kernel-level accept-queue pressure. Invalid socket on timeout.
+Socket tcp_dial(const Endpoint& to, Nanos deadline, const std::atomic<bool>* cancel);
+
+// Blocking-ish exact-size I/O for the bootstrap handshakes: polls in short
+// slices so `deadline`/`cancel` can abort. false on EOF, error, timeout.
+bool read_full(int fd, void* buf, std::size_t n, Nanos deadline,
+               const std::atomic<bool>* cancel);
+bool write_full(int fd, const void* buf, std::size_t n, Nanos deadline,
+                const std::atomic<bool>* cancel);
+
+}  // namespace ci::net

@@ -28,12 +28,14 @@ class Args {
   std::vector<char*> ptrs_;
 };
 
-TEST(ParseBackend, RecognizesBothBackends) {
+TEST(ParseBackend, RecognizesAllBackends) {
   Backend b = Backend::kRt;
   EXPECT_TRUE(parse_backend("sim", &b));
   EXPECT_EQ(b, Backend::kSim);
   EXPECT_TRUE(parse_backend("rt", &b));
   EXPECT_EQ(b, Backend::kRt);
+  EXPECT_TRUE(parse_backend("net", &b));
+  EXPECT_EQ(b, Backend::kNet);
 }
 
 TEST(ParseBackend, RejectsUnknownNames) {
@@ -645,6 +647,120 @@ TEST(PositionalArgs, SkipsWorkloadFlagsToo) {
   EXPECT_EQ(pos[0], "keep");
 }
 
+TEST(NetPortBaseFromArgs, ParsesBoundsAndDefaults) {
+  {
+    Args a({"--net-port-base=15000"});
+    EXPECT_EQ(net_port_base_from_args(a.argc(), a.argv()), 15000);
+  }
+  {
+    Args a({"--net-port-base", "0"});  // 0 = ephemeral, a legal explicit choice
+    EXPECT_EQ(net_port_base_from_args(a.argc(), a.argv()), 0);
+  }
+  {
+    Args a({"--net-port-base=65535"});  // the ceiling itself is legal
+    EXPECT_EQ(net_port_base_from_args(a.argc(), a.argv()), 65535);
+  }
+  {
+    Args a({});
+    EXPECT_EQ(net_port_base_from_args(a.argc(), a.argv()), 0);
+  }
+}
+
+TEST(NetPortBaseFromArgs, RejectsOutOfRangeGarbageAndMissingValue) {
+  for (const char* bad : {"--net-port-base=-1", "--net-port-base=65536",
+                          "--net-port-base=http", "--net-port-base=80x"}) {
+    Args a({bad});
+    EXPECT_EXIT(net_port_base_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "bad net port base")
+        << bad;
+  }
+  {
+    Args a({"--net-port-base"});
+    EXPECT_EXIT(net_port_base_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "requires a value");
+  }
+}
+
+TEST(NetRegistryFromArgs, ParsesEndpointsAndDefaults) {
+  {
+    Args a({"--net-registry=127.0.0.1:19000"});
+    EXPECT_EQ(net_registry_from_args(a.argc(), a.argv()), "127.0.0.1:19000");
+  }
+  {
+    Args a({"--net-registry", "localhost:0"});  // port 0 = ephemeral bind
+    EXPECT_EQ(net_registry_from_args(a.argc(), a.argv()), "localhost:0");
+  }
+  {
+    Args a({});
+    EXPECT_EQ(net_registry_from_args(a.argc(), a.argv()), "");  // loopback ephemeral
+  }
+}
+
+TEST(NetRegistryFromArgs, RejectsMalformedEndpointsAndMissingValue) {
+  // A registry the mesh can never reach must fail at the flag, not as a
+  // 20-second bootstrap timeout later.
+  for (const char* bad : {"--net-registry=localhost", "--net-registry=:9000",
+                          "--net-registry=host:notaport",
+                          "--net-registry=host:70000"}) {
+    Args a({bad});
+    EXPECT_EXIT(net_registry_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "bad registry endpoint")
+        << bad;
+  }
+  {
+    Args a({"--net-registry"});
+    EXPECT_EXIT(net_registry_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "requires a value");
+  }
+}
+
+TEST(NetIoThreadsFromArgs, ParsesBoundsAndDefaults) {
+  {
+    Args a({"--net-io-threads=2"});
+    EXPECT_EQ(net_io_threads_from_args(a.argc(), a.argv()), 2);
+  }
+  {
+    Args a({"--net-io-threads", "0"});  // 0 = self-flushing, a legal choice
+    EXPECT_EQ(net_io_threads_from_args(a.argc(), a.argv()), 0);
+  }
+  {
+    Args a({});
+    EXPECT_EQ(net_io_threads_from_args(a.argc(), a.argv()), 0);
+  }
+}
+
+TEST(NetIoThreadsFromArgs, RejectsOutOfRangeGarbageAndMissingValue) {
+  for (const char* bad : {"--net-io-threads=-1", "--net-io-threads=65",
+                          "--net-io-threads=all", "--net-io-threads=2.5"}) {
+    Args a({bad});
+    EXPECT_EXIT(net_io_threads_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "bad io-thread count")
+        << bad;
+  }
+  {
+    Args a({"--net-io-threads"});
+    EXPECT_EXIT(net_io_threads_from_args(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "requires a value");
+  }
+}
+
+TEST(NetParamsFromArgs, BundlesAllThreeFlags) {
+  Args a({"--net-port-base=14000", "--net-registry=127.0.0.1:14100",
+          "--net-io-threads=3"});
+  const core::NetParams net = net_params_from_args(a.argc(), a.argv());
+  EXPECT_EQ(net.port_base, 14000);
+  EXPECT_EQ(net.registry, "127.0.0.1:14100");
+  EXPECT_EQ(net.io_threads, 3);
+}
+
+TEST(PositionalArgs, SkipsNetFlagsToo) {
+  Args a({"--net-port-base", "14000", "--net-registry=127.0.0.1:0",
+          "--net-io-threads", "2", "keep"});
+  const auto pos = positional_args(a.argc(), a.argv());
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], "keep");
+}
+
 // --help prints the full flag enumeration and exits 0 — from either strict
 // scanner, and regardless of the binary's consumed set.
 TEST(Usage, HelpPrintsEveryFlagAndExitsZero) {
@@ -653,6 +769,7 @@ TEST(Usage, HelpPrintsEveryFlagAndExitsZero) {
                            "--batch-flush-us", "--flush-policy", "--client-coalesce",
                            "--txn-mix", "--read-mix", "--lease-ms", "--sessions",
                            "--target-rate", "--zipf", "--workload", "--value-bytes",
+                           "--net-port-base", "--net-registry", "--net-io-threads",
                            "--sweep-diff", "--help"}) {
     EXPECT_NE(text.find(flag), std::string::npos) << flag << " missing from usage";
   }
@@ -677,6 +794,7 @@ TEST(Usage, UnknownFlagExitsTwoNamingAllFlags) {
               ::testing::ExitedWithCode(2),
               "--client-coalesce, --txn-mix, --read-mix, --lease-ms, "
               "--sessions, --target-rate, --zipf, --workload, --value-bytes, "
+              "--net-port-base, --net-registry, --net-io-threads, "
               "--sweep-diff, --help");
 }
 

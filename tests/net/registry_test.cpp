@@ -1,0 +1,171 @@
+// Bootstrap registry: the map publishes only once every expected node id
+// registered, late hellos are answered immediately from the completed map
+// (with re-registration overwriting the node's entry), and fetch_map's
+// retry loop survives a registry that starts late or restarts mid-
+// bootstrap — the orderings a real launch script produces.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/registry.hpp"
+
+namespace ci::net {
+namespace {
+
+constexpr Nanos kDeadlineBudget = 20 * kSecond;
+
+// One node's registration, run to completion on its own thread.
+struct Fetcher {
+  std::vector<Endpoint> map;
+  bool ok = false;
+  std::thread thread;
+
+  void start(const Endpoint& registry, consensus::NodeId self, std::uint16_t port) {
+    thread = std::thread([this, registry, self, port] {
+      ok = fetch_map(registry, self, port, now_nanos() + kDeadlineBudget, nullptr,
+                     &map);
+    });
+  }
+  void join() { thread.join(); }
+};
+
+TEST(Registry, PublishesTheFullMapOnceEveryNodeRegistered) {
+  Registry reg(Endpoint{"127.0.0.1", 0}, 3);
+  ASSERT_TRUE(reg.ok());
+  ASSERT_NE(reg.endpoint().port, 0);
+
+  Fetcher f[3];
+  for (consensus::NodeId i = 0; i < 3; ++i) {
+    f[i].start(reg.endpoint(), i, static_cast<std::uint16_t>(10000 + i));
+  }
+  for (auto& x : f) x.join();
+
+  for (consensus::NodeId i = 0; i < 3; ++i) {
+    SCOPED_TRACE("node " + std::to_string(i));
+    ASSERT_TRUE(f[i].ok);
+    ASSERT_EQ(f[i].map.size(), 3u);
+    for (consensus::NodeId j = 0; j < 3; ++j) {
+      // Loopback registrations resolve to loopback endpoints carrying each
+      // node's declared listen port.
+      EXPECT_EQ(f[i].map[static_cast<std::size_t>(j)].host, "127.0.0.1");
+      EXPECT_EQ(f[i].map[static_cast<std::size_t>(j)].port, 10000 + j);
+    }
+  }
+}
+
+TEST(Registry, DuplicateIdDoesNotPublishEarly) {
+  // Two hellos from the SAME id must not satisfy expected=2: the second
+  // overwrites, and the map stays unpublished until a distinct id arrives.
+  Registry reg(Endpoint{"127.0.0.1", 0}, 2);
+  ASSERT_TRUE(reg.ok());
+
+  Fetcher first;
+  first.start(reg.endpoint(), 0, 11000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Re-register node 0 on a fresh port while the first is parked. This
+  // cannot publish; both parked connections wait for node 1.
+  Fetcher second;
+  second.start(reg.endpoint(), 0, 11001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Fetcher third;
+  third.start(reg.endpoint(), 1, 11002);
+  first.join();
+  second.join();
+  third.join();
+
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  ASSERT_TRUE(third.ok);
+  // Everyone got the map, and node 0's entry is the LAST registration.
+  for (const Fetcher* x : {&first, &second, &third}) {
+    ASSERT_EQ(x->map.size(), 2u);
+    EXPECT_EQ(x->map[0].port, 11001);
+    EXPECT_EQ(x->map[1].port, 11002);
+  }
+}
+
+TEST(Registry, LateHelloIsAnsweredImmediatelyAndOverwrites) {
+  Registry reg(Endpoint{"127.0.0.1", 0}, 2);
+  ASSERT_TRUE(reg.ok());
+
+  Fetcher f[2];
+  f[0].start(reg.endpoint(), 0, 12000);
+  f[1].start(reg.endpoint(), 1, 12001);
+  f[0].join();
+  f[1].join();
+  ASSERT_TRUE(f[0].ok && f[1].ok);
+
+  // A restarted node 0 re-registers on a fresh port AFTER publication: it
+  // must be answered from the completed map without waiting, and its new
+  // endpoint replaces the stale one for this and every future fetch.
+  std::vector<Endpoint> late;
+  ASSERT_TRUE(fetch_map(reg.endpoint(), 0, 12042, now_nanos() + kDeadlineBudget,
+                        nullptr, &late));
+  ASSERT_EQ(late.size(), 2u);
+  EXPECT_EQ(late[0].port, 12042);
+  EXPECT_EQ(late[1].port, 12001);
+
+  std::vector<Endpoint> refetch;
+  ASSERT_TRUE(fetch_map(reg.endpoint(), 1, 12001, now_nanos() + kDeadlineBudget,
+                        nullptr, &refetch));
+  ASSERT_EQ(refetch.size(), 2u);
+  EXPECT_EQ(refetch[0].port, 12042);
+}
+
+TEST(Registry, FetchSurvivesARegistryRestartMidBootstrap) {
+  // Node 0 registers with registry A and parks; A dies before publication
+  // (its parked connections close). fetch_map's retry loop must redo the
+  // whole connect+hello exchange against the replacement registry B on the
+  // same endpoint and still come back with the full map.
+  Endpoint at;
+  Fetcher f0;
+  {
+    Registry a(Endpoint{"127.0.0.1", 0}, 2);
+    ASSERT_TRUE(a.ok());
+    at = a.endpoint();
+    f0.start(at, 0, 13000);
+    // Let node 0's hello land and park before the registry dies.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }  // A's destructor stops the serve loop and drops the parked connection.
+
+  // tcp_listen sets SO_REUSEADDR, so B can rebind A's port right away.
+  Registry b(at, 2);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b.endpoint().port, at.port);
+
+  Fetcher f1;
+  f1.start(at, 1, 13001);
+  f0.join();
+  f1.join();
+
+  ASSERT_TRUE(f0.ok);
+  ASSERT_TRUE(f1.ok);
+  for (const Fetcher* x : {&f0, &f1}) {
+    ASSERT_EQ(x->map.size(), 2u);
+    EXPECT_EQ(x->map[0].port, 13000);
+    EXPECT_EQ(x->map[1].port, 13001);
+  }
+}
+
+TEST(Registry, CancelAbortsAParkedFetch) {
+  Registry reg(Endpoint{"127.0.0.1", 0}, 2);  // never completes: only 1 registers
+  ASSERT_TRUE(reg.ok());
+
+  std::atomic<bool> cancel{false};
+  std::vector<Endpoint> map;
+  std::thread t([&] {
+    EXPECT_FALSE(fetch_map(reg.endpoint(), 0, 14000, now_nanos() + kDeadlineBudget,
+                           &cancel, &map));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  cancel.store(true);
+  t.join();  // must return promptly instead of burning the whole deadline
+}
+
+}  // namespace
+}  // namespace ci::net

@@ -115,6 +115,29 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("only in OLD: fig/gone", out)
         self.assertIn("only in NEW: fig/fresh", out)
 
+    def test_same_label_different_backend_never_matches(self):
+        # A sim row and a net row with the same label are different
+        # experiments: they must diff as unmatched, not as a regression,
+        # no matter how far apart the numbers are.
+        write_snapshot(self.old_dir, "fig", [base_row("a", backend="sim")])
+        write_snapshot(
+            self.new_dir, "fig", [base_row("a", backend="net", ops_per_sec=10.0)]
+        )
+        code, out = run_diff(self.old_dir, self.new_dir, "--max-regress-pct", "2")
+        self.assertEqual(code, 0, out)
+        self.assertIn("0 rows matched", out)
+        self.assertIn("only in OLD: fig/a@sim", out)
+        self.assertIn("only in NEW: fig/a@net", out)
+
+    def test_backend_tagged_rows_match_within_backend(self):
+        rows = [base_row("a", backend="net")]
+        write_snapshot(self.old_dir, "fig", rows)
+        write_snapshot(self.new_dir, "fig", rows)
+        code, out = run_diff(self.old_dir, self.new_dir, "--max-regress-pct", "2")
+        self.assertEqual(code, 0, out)
+        self.assertIn("1 rows matched", out)
+        self.assertIn("fig/a@net", out)
+
     def test_consistency_flip_fails_the_gate(self):
         write_snapshot(self.old_dir, "fig", [base_row("a")])
         write_snapshot(self.new_dir, "fig", [base_row("a", consistent=False)])
